@@ -1,0 +1,50 @@
+//! Ablation benchmark: RT-DBSCAN design choices (device builder, primitive
+//! compaction, triangle geometry) on the dataset where they matter most.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtcore::bvh::BuilderKind;
+use rtdbscan::{DbscanAlgorithm, DbscanParams, RtDbscan};
+use rtdbscan_datasets::{generate, PaperDataset};
+
+fn bench_ablations(c: &mut Criterion) {
+    let ngsim = generate(PaperDataset::Ngsim, 40_000, 42);
+    let ngsim_params = DbscanParams::new(0.0005, 100).unwrap();
+    let porto = generate(PaperDataset::PortoTaxi, 25_000, 42);
+    let porto_params = DbscanParams::new(0.5, 13).unwrap();
+
+    let mut group = c.benchmark_group("rt_dbscan_ablations");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    let ngsim_configs: Vec<(&str, RtDbscan)> = vec![
+        ("ngsim_sah_compaction", RtDbscan::default()),
+        ("ngsim_sah_no_compaction", RtDbscan::without_compaction()),
+        (
+            "ngsim_lbvh_compaction",
+            RtDbscan {
+                builder: BuilderKind::Lbvh,
+                ..RtDbscan::default()
+            },
+        ),
+    ];
+    for (name, config) in &ngsim_configs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| config.run(std::hint::black_box(&ngsim), ngsim_params).unwrap())
+        });
+    }
+
+    let porto_configs: Vec<(&str, RtDbscan)> = vec![
+        ("porto_spheres", RtDbscan::default()),
+        ("porto_triangles", RtDbscan::with_triangle_geometry(20)),
+    ];
+    for (name, config) in &porto_configs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| config.run(std::hint::black_box(&porto), porto_params).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion wall-clock benchmark behind Figure 4: all four DBSCAN
+//! implementations on a 16 K-point 3DRoad sample.
+//!
+//! The figure itself is regenerated (with simulated device times) by
+//! `cargo run -p rtdbscan-bench --release --bin repro -- fig4`; this bench
+//! measures the wall-clock cost of the Rust implementations for the same
+//! workload so regressions in the code itself are visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtdbscan::{CudaDclustPlus, DbscanAlgorithm, DbscanParams, Fdbscan, GDbscan, RtDbscan};
+use rtdbscan_datasets::{generate, PaperDataset};
+
+fn bench_fig4(c: &mut Criterion) {
+    let points = generate(PaperDataset::RoadNetwork, 16_000, 42);
+    let params = DbscanParams::new(0.05, 100).unwrap();
+
+    let mut group = c.benchmark_group("fig4_small_dataset");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    let algorithms: Vec<(&str, Box<dyn DbscanAlgorithm>)> = vec![
+        ("rt_dbscan", Box::new(RtDbscan::default())),
+        ("fdbscan", Box::new(Fdbscan::default())),
+        ("gdbscan", Box::new(GDbscan::default())),
+        ("cuda_dclust_plus", Box::new(CudaDclustPlus::default())),
+    ];
+    for (name, algo) in &algorithms {
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| {
+                let result = algo.run(std::hint::black_box(&points), params).unwrap();
+                std::hint::black_box(result.clustering.num_clusters())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion wall-clock benchmark behind Figure 5: RT-DBSCAN vs FDBSCAN
+//! while varying ε on each dataset (scaled workloads).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtdbscan::{DbscanAlgorithm, DbscanParams, Fdbscan, RtDbscan};
+use rtdbscan_datasets::{generate, PaperDataset};
+
+fn bench_fig5(c: &mut Criterion) {
+    // 40 K points keeps a full Criterion run tractable while preserving the
+    // eps-dependence of the workload.
+    let configs = [
+        (PaperDataset::RoadNetwork, vec![0.01f32, 0.1]),
+        (PaperDataset::PortoTaxi, vec![0.1f32, 0.5]),
+        (PaperDataset::Ionosphere3d, vec![0.05f32, 0.5]),
+    ];
+    for (dataset, eps_values) in configs {
+        let points = generate(dataset, 30_000, 42);
+        let mut group = c.benchmark_group(format!("fig5_{}", dataset.name()));
+        group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+        for eps in eps_values {
+            let params = DbscanParams::new(eps, 13).unwrap();
+            group.bench_with_input(BenchmarkId::new("rt_dbscan", eps), &eps, |b, _| {
+                b.iter(|| RtDbscan::default().run(std::hint::black_box(&points), params).unwrap())
+            });
+            group.bench_with_input(BenchmarkId::new("fdbscan", eps), &eps, |b, _| {
+                b.iter(|| Fdbscan::default().run(std::hint::black_box(&points), params).unwrap())
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

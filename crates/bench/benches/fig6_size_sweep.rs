@@ -1,0 +1,35 @@
+//! Criterion wall-clock benchmark behind Figures 6/7 and Tables I/III:
+//! RT-DBSCAN vs FDBSCAN while varying the dataset size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rtdbscan::{DbscanAlgorithm, DbscanParams, Fdbscan, RtDbscan};
+use rtdbscan_datasets::{generate, PaperDataset};
+
+fn bench_size_sweep(c: &mut Criterion) {
+    let configs = [
+        (PaperDataset::PortoTaxi, 0.5f32, 13usize),
+        (PaperDataset::Ionosphere3d, 0.5f32, 2usize),
+        (PaperDataset::Ngsim, 0.0005f32, 100usize),
+    ];
+    for (dataset, eps, min_pts) in configs {
+        let mut group = c.benchmark_group(format!("fig6_{}", dataset.name()));
+        group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+        for n in [15_000usize, 60_000] {
+            let points = generate(dataset, n, 42);
+            let params = DbscanParams::new(eps, min_pts).unwrap();
+            group.throughput(Throughput::Elements(n as u64));
+            group.bench_with_input(BenchmarkId::new("rt_dbscan", n), &n, |b, _| {
+                b.iter(|| RtDbscan::default().run(std::hint::black_box(&points), params).unwrap())
+            });
+            group.bench_with_input(BenchmarkId::new("fdbscan", n), &n, |b, _| {
+                b.iter(|| Fdbscan::default().run(std::hint::black_box(&points), params).unwrap())
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_size_sweep);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion wall-clock benchmark behind Figure 9: the impact of FDBSCAN's
+//! early traversal termination, compared against RT-DBSCAN.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtdbscan::{DbscanAlgorithm, DbscanParams, Fdbscan, RtDbscan};
+use rtdbscan_datasets::{generate, PaperDataset};
+
+fn bench_early_exit(c: &mut Criterion) {
+    let configs = [
+        (PaperDataset::PortoTaxi, 0.5f32, 13usize),
+        (PaperDataset::RoadNetwork, 0.05f32, 13usize),
+        (PaperDataset::Ngsim, 0.0005f32, 100usize),
+    ];
+    for (dataset, eps, min_pts) in configs {
+        let points = generate(dataset, 40_000, 42);
+        let params = DbscanParams::new(eps, min_pts).unwrap();
+        let mut group = c.benchmark_group(format!("fig9_{}", dataset.name()));
+        group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+        let variants: Vec<(&str, Box<dyn DbscanAlgorithm>)> = vec![
+            ("fdbscan", Box::new(Fdbscan::default())),
+            ("fdbscan_early_exit", Box::new(Fdbscan::with_early_exit())),
+            ("rt_dbscan", Box::new(RtDbscan::default())),
+        ];
+        for (name, algo) in &variants {
+            group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+                b.iter(|| algo.run(std::hint::black_box(&points), params).unwrap())
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_early_exit);
+criterion_main!(benches);

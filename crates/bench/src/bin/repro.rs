@@ -1,0 +1,219 @@
+//! `repro` — regenerate every table and figure of the RT-DBSCAN paper.
+//!
+//! ```text
+//! cargo run -p rtdbscan-bench --release --bin repro -- all
+//! cargo run -p rtdbscan-bench --release --bin repro -- fig5 --full
+//! cargo run -p rtdbscan-bench --release --bin repro -- table2 --scale 0.25
+//! cargo run -p rtdbscan-bench --release --bin repro -- all --markdown > results.md
+//! ```
+//!
+//! Without `--full`, workloads are scaled to 1/8 of the paper sizes so the
+//! whole suite finishes in minutes on a CPU-only machine; the reported
+//! numbers are simulated RTX 2060 device times derived from measured work
+//! counters (see DESIGN.md §1 and `rtcore::hardware`).
+
+use rtdbscan_bench::experiments::{self, ExperimentScale};
+use rtdbscan_bench::table::ExperimentTable;
+use rtdbscan_datasets::PaperDataset;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+repro — regenerate the RT-DBSCAN paper's tables and figures
+
+USAGE:
+    repro <EXPERIMENT> [--full | --scale <factor>] [--seed <n>] [--markdown]
+
+EXPERIMENTS:
+    all          every experiment, in paper order
+    fig4         speedup over CUDA-DClust+ (16K 3DRoad, eps sweep)
+    fig5         speedup over FDBSCAN vs eps (3DRoad, Porto, 3DIono)
+    fig6         speedup over FDBSCAN vs dataset size (3DRoad, Porto, 3DIono)
+    fig7         execution-time scalability on 3DIono
+    table1       Porto raw execution times vs dataset size
+    table2       NGSIM eps sweep (= Fig 8a)
+    table3       NGSIM size sweep (= Fig 8b)
+    fig9         early traversal termination study (Porto, 3DRoad, NGSIM)
+    breakdown    Section V-D build/clustering breakdown
+    tiny         Section V-B1 small-dataset crossover
+    ablation-triangles    Section VI-C sphere vs triangle geometry
+    ablations    builder / compaction ablations
+
+OPTIONS:
+    --full           run the paper-sized workloads (slow)
+    --scale <f>      scale factor for dataset sizes (default 0.125)
+    --seed <n>       dataset generator seed (default 42)
+    --markdown       emit GitHub-flavoured markdown instead of plain text
+";
+
+struct Options {
+    experiment: String,
+    scale: ExperimentScale,
+    markdown: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    if args.is_empty() {
+        return Err("missing experiment name".into());
+    }
+    let experiment = args[0].clone();
+    let mut scale = ExperimentScale::standard();
+    let mut markdown = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => scale.factor = 1.0,
+            "--markdown" => markdown = true,
+            "--scale" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or("--scale requires a value")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --scale value: {e}"))?;
+                if !(v > 0.0 && v <= 1.0) {
+                    return Err("--scale must be in (0, 1]".into());
+                }
+                scale.factor = v;
+            }
+            "--seed" => {
+                i += 1;
+                scale.seed = args
+                    .get(i)
+                    .ok_or("--seed requires a value")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad --seed value: {e}"))?;
+            }
+            other => return Err(format!("unknown option: {other}")),
+        }
+        i += 1;
+    }
+    Ok(Options {
+        experiment,
+        scale,
+        markdown,
+    })
+}
+
+fn run_experiment(name: &str, scale: &ExperimentScale) -> Result<Vec<ExperimentTable>, String> {
+    let tables = match name {
+        "all" => experiments::run_all(scale),
+        "fig4" => vec![experiments::fig4_small_dataset(scale)],
+        "fig5" => vec![
+            experiments::fig5_eps_sweep(scale, PaperDataset::RoadNetwork),
+            experiments::fig5_eps_sweep(scale, PaperDataset::PortoTaxi),
+            experiments::fig5_eps_sweep(scale, PaperDataset::Ionosphere3d),
+        ],
+        "fig6" => vec![
+            experiments::fig6_size_sweep(scale, PaperDataset::RoadNetwork),
+            experiments::fig6_size_sweep(scale, PaperDataset::PortoTaxi),
+            experiments::fig6_size_sweep(scale, PaperDataset::Ionosphere3d),
+        ],
+        "fig7" => vec![experiments::fig7_scalability(scale)],
+        "table1" => vec![experiments::table1_porto(scale)],
+        "table2" | "fig8a" => vec![experiments::table2_ngsim_eps(scale)],
+        "table3" | "fig8b" => vec![experiments::table3_ngsim_size(scale)],
+        "fig9" => vec![
+            experiments::fig9_early_exit(scale, PaperDataset::PortoTaxi),
+            experiments::fig9_early_exit(scale, PaperDataset::RoadNetwork),
+            experiments::fig9_early_exit(scale, PaperDataset::Ngsim),
+        ],
+        "breakdown" => vec![experiments::breakdown_analysis(scale)],
+        "tiny" => vec![experiments::tiny_dataset_crossover(scale)],
+        "ablation-triangles" => vec![experiments::ablation_triangles(scale)],
+        "ablations" => vec![experiments::ablation_builders_and_compaction(scale)],
+        other => return Err(format!("unknown experiment '{other}'\n\n{USAGE}")),
+    };
+    Ok(tables)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let options = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "# repro: experiment={} scale={} seed={} (simulated RTX 2060 device times)",
+        options.experiment, options.scale.factor, options.scale.seed
+    );
+    let started = std::time::Instant::now();
+    match run_experiment(&options.experiment, &options.scale) {
+        Ok(tables) => {
+            for t in &tables {
+                if options.markdown {
+                    println!("{}", t.to_markdown());
+                } else {
+                    println!("{t}");
+                }
+            }
+            eprintln!(
+                "# repro: {} table(s) in {:.1}s wall-clock",
+                tables.len(),
+                started.elapsed().as_secs_f64()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults() {
+        let o = parse_args(&["fig5".into()]).unwrap();
+        assert_eq!(o.experiment, "fig5");
+        assert!((o.scale.factor - 0.125).abs() < 1e-12);
+        assert!(!o.markdown);
+    }
+
+    #[test]
+    fn parse_full_and_seed_and_markdown() {
+        let o = parse_args(&[
+            "all".into(),
+            "--full".into(),
+            "--seed".into(),
+            "7".into(),
+            "--markdown".into(),
+        ])
+        .unwrap();
+        assert_eq!(o.scale.factor, 1.0);
+        assert_eq!(o.scale.seed, 7);
+        assert!(o.markdown);
+    }
+
+    #[test]
+    fn parse_scale_bounds() {
+        assert!(parse_args(&["all".into(), "--scale".into(), "0.5".into()]).is_ok());
+        assert!(parse_args(&["all".into(), "--scale".into(), "0".into()]).is_err());
+        assert!(parse_args(&["all".into(), "--scale".into(), "2".into()]).is_err());
+        assert!(parse_args(&["all".into(), "--bogus".into()]).is_err());
+        assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn unknown_experiment_is_an_error() {
+        let scale = ExperimentScale::smoke();
+        assert!(run_experiment("not-a-thing", &scale).is_err());
+    }
+
+    #[test]
+    fn tiny_experiment_runs_end_to_end() {
+        let scale = ExperimentScale::smoke();
+        let tables = run_experiment("breakdown", &scale).unwrap();
+        assert_eq!(tables.len(), 1);
+        assert!(!tables[0].rows.is_empty());
+    }
+}

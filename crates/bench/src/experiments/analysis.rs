@@ -1,0 +1,297 @@
+//! Analysis experiments: Fig 9 (early exit), the §V-D runtime breakdown, the
+//! §V-B1 tiny-dataset crossover, and the §VI-C / design-choice ablations.
+
+use super::{dataset, ExperimentScale};
+use crate::measure::measure;
+use crate::table::ExperimentTable;
+use rtcore::bvh::BuilderKind;
+use rtdbscan::{DbscanParams, Fdbscan, RtDbscan};
+use rtdbscan_datasets::PaperDataset;
+
+/// **Figure 9 (a/b/c)** — impact of FDBSCAN's early traversal termination:
+/// execution time vs dataset size for FDBSCAN, FDBSCAN-EarlyExit and
+/// RT-DBSCAN on Porto (9a), 3DRoad (9b) and NGSIM (9c).
+pub fn fig9_early_exit(scale: &ExperimentScale, which: PaperDataset) -> ExperimentTable {
+    let sub = match which {
+        PaperDataset::PortoTaxi => "9a",
+        PaperDataset::RoadNetwork => "9b",
+        PaperDataset::Ngsim => "9c",
+        PaperDataset::Ionosphere3d => "9?",
+    };
+    let (eps, min_pts) = super::size_sweeps::size_sweep_params(which, scale);
+    let mut table = ExperimentTable::new(
+        format!(
+            "Figure {sub}: impact of early traversal termination ({}, eps={eps}, minPts={min_pts})",
+            which.name()
+        ),
+        "dataset size",
+        vec![
+            "FDBSCAN (s)".to_string(),
+            "FDBSCAN-EarlyExit (s)".to_string(),
+            "RT-DBSCAN (s)".to_string(),
+        ],
+    );
+    for paper_n in super::size_sweeps::size_sweep_values(which) {
+        let points = dataset(scale, which, paper_n);
+        let params = DbscanParams::new(eps, min_pts).expect("valid params");
+        let fd = measure(&Fdbscan::default(), &points, params);
+        let fd_early = measure(&Fdbscan::with_early_exit(), &points, params);
+        let rt = measure(&RtDbscan::default(), &points, params);
+        table.push_row(
+            format!("{}", points.len()),
+            vec![
+                Some(fd.simulated_seconds()),
+                Some(fd_early.simulated_seconds()),
+                Some(rt.simulated_seconds()),
+            ],
+        );
+    }
+    table.push_note(match which {
+        PaperDataset::PortoTaxi => {
+            "Paper: early exit wins here — ~3x over plain FDBSCAN and ~1.5x over RT-DBSCAN at the \
+             largest sizes (neighbourhoods are far larger than minPts)."
+                .to_string()
+        }
+        PaperDataset::RoadNetwork => {
+            "Paper: RT-DBSCAN still outperforms FDBSCAN-EarlyExit on 3DRoad.".to_string()
+        }
+        PaperDataset::Ngsim => {
+            "Paper: early exit helps FDBSCAN substantially on NGSIM but RT-DBSCAN's pruning is \
+             even more effective."
+                .to_string()
+        }
+        PaperDataset::Ionosphere3d => "Not part of the paper's Fig 9.".to_string(),
+    });
+    table
+}
+
+/// **§V-D runtime analysis** — per-phase breakdown on 3DIono (scaled 1 M
+/// points, ε = 0.25, minPts = 100): BVH build vs the two clustering stages,
+/// the fraction of time spent clustering, and the clustering-only speedup.
+pub fn breakdown_analysis(scale: &ExperimentScale) -> ExperimentTable {
+    let points = dataset(scale, PaperDataset::Ionosphere3d, 1_000_000);
+    let min_pts = scale.min_pts(100);
+    let params = DbscanParams::new(0.25, min_pts).expect("valid params");
+    let fd = measure(&Fdbscan::default(), &points, params);
+    let rt = measure(&RtDbscan::default(), &points, params);
+
+    let mut table = ExperimentTable::new(
+        format!(
+            "Section V-D: runtime breakdown on 3DIono ({} points, eps=0.25, minPts={min_pts})",
+            points.len()
+        ),
+        "metric",
+        vec!["FDBSCAN".to_string(), "RT-DBSCAN".to_string()],
+    );
+    table.push_row(
+        "index build (s)",
+        vec![
+            Some(fd.simulated.build.as_secs_f64()),
+            Some(rt.simulated.build.as_secs_f64()),
+        ],
+    );
+    table.push_row(
+        "core identification (s)",
+        vec![
+            Some(fd.simulated.core_identification.as_secs_f64()),
+            Some(rt.simulated.core_identification.as_secs_f64()),
+        ],
+    );
+    table.push_row(
+        "cluster formation (s)",
+        vec![
+            Some(fd.simulated.cluster_formation.as_secs_f64()),
+            Some(rt.simulated.cluster_formation.as_secs_f64()),
+        ],
+    );
+    table.push_row(
+        "total (s)",
+        vec![Some(fd.simulated_seconds()), Some(rt.simulated_seconds())],
+    );
+    table.push_row(
+        "clustering fraction of total",
+        vec![
+            Some(fd.simulated.clustering_fraction()),
+            Some(rt.simulated.clustering_fraction()),
+        ],
+    );
+    let fd_clustering = fd.simulated.core_identification.as_secs_f64()
+        + fd.simulated.cluster_formation.as_secs_f64();
+    let rt_clustering = rt.simulated.core_identification.as_secs_f64()
+        + rt.simulated.cluster_formation.as_secs_f64();
+    table.push_row(
+        "clustering-only speedup (FDBSCAN / RT)",
+        vec![None, Some(fd_clustering / rt_clustering)],
+    );
+    table.push_note(
+        "Paper: RT-DBSCAN spends ~48-52% of its time on clustering (build dominates the rest), \
+         FDBSCAN ~94%; on the clustering operations alone RT-DBSCAN is >9x faster."
+            .to_string(),
+    );
+    table
+}
+
+/// **§V-B1 observation** — on very small datasets (under ~500 points) the
+/// RT setup cost is not amortised and RT-DBSCAN is 1.5–2× *slower* than
+/// FDBSCAN; the gap closes and reverses as the dataset grows.
+pub fn tiny_dataset_crossover(scale: &ExperimentScale) -> ExperimentTable {
+    let min_pts = 10;
+    let eps = 0.05;
+    let mut table = ExperimentTable::new(
+        format!("Section V-B1: small-dataset crossover (3DRoad, eps={eps}, minPts={min_pts})"),
+        "dataset size",
+        vec![
+            "FDBSCAN (s)".to_string(),
+            "RT-DBSCAN (s)".to_string(),
+            "RT speedup".to_string(),
+        ],
+    );
+    for n in [250usize, 500, 1_000, 2_000, 4_000, 16_000] {
+        let points = rtdbscan_datasets::road::generate_road_network(n, scale.seed);
+        let params = DbscanParams::new(eps, min_pts).expect("valid params");
+        let fd = measure(&Fdbscan::default(), &points, params);
+        let rt = measure(&RtDbscan::default(), &points, params);
+        table.push_row(
+            format!("{n}"),
+            vec![
+                Some(fd.simulated_seconds()),
+                Some(rt.simulated_seconds()),
+                Some(fd.simulated_seconds() / rt.simulated_seconds()),
+            ],
+        );
+    }
+    table.push_note(
+        "Paper: below ~500 points RT-DBSCAN is 1.5-2x slower than FDBSCAN because the BVH build \
+         (2.5x more expensive on the RT path) dominates."
+            .to_string(),
+    );
+    table
+}
+
+/// **§VI-C ablation** — approximating the ε-spheres with triangle meshes so
+/// the hardware triangle intersectors can be used forces an AnyHit call per
+/// hit and costs 2–5×.
+pub fn ablation_triangles(scale: &ExperimentScale) -> ExperimentTable {
+    let points = dataset(scale, PaperDataset::PortoTaxi, 250_000);
+    let min_pts = scale.min_pts(100);
+    let mut table = ExperimentTable::new(
+        format!(
+            "Section VI-C: sphere vs triangle geometry ({} Porto points, minPts={min_pts})",
+            points.len()
+        ),
+        "eps",
+        vec![
+            "RT-DBSCAN spheres (s)".to_string(),
+            "RT-DBSCAN triangles (s)".to_string(),
+            "slowdown".to_string(),
+        ],
+    );
+    for eps in [0.25f32, 0.5, 1.0] {
+        let params = DbscanParams::new(eps, min_pts).expect("valid params");
+        let spheres = measure(&RtDbscan::default(), &points, params);
+        let triangles = measure(&RtDbscan::with_triangle_geometry(20), &points, params);
+        table.push_row(
+            format!("{eps}"),
+            vec![
+                Some(spheres.simulated_seconds()),
+                Some(triangles.simulated_seconds()),
+                Some(triangles.simulated_seconds() / spheres.simulated_seconds()),
+            ],
+        );
+    }
+    table.push_note("Paper: triangle geometry is 2-5x slower due to AnyHit overhead.".to_string());
+    table
+}
+
+/// Design-choice ablations called out in DESIGN.md: the device builder
+/// (quality SAH vs fast LBVH) and primitive compaction, evaluated on the
+/// dataset where they matter most (NGSIM).
+pub fn ablation_builders_and_compaction(scale: &ExperimentScale) -> ExperimentTable {
+    let points = dataset(scale, PaperDataset::Ngsim, 500_000);
+    let params = DbscanParams::new(0.0005, 100).expect("valid params");
+    let mut table = ExperimentTable::new(
+        format!(
+            "Ablation: RT-DBSCAN builder / compaction choices (NGSIM, {} points)",
+            points.len()
+        ),
+        "configuration",
+        vec!["sim time (s)".to_string(), "intersection tests".to_string()],
+    );
+    let configs: Vec<(&str, RtDbscan)> = vec![
+        ("SAH + compaction (default)", RtDbscan::default()),
+        ("SAH, no compaction", RtDbscan::without_compaction()),
+        (
+            "LBVH + compaction",
+            RtDbscan {
+                builder: BuilderKind::Lbvh,
+                ..RtDbscan::default()
+            },
+        ),
+        (
+            "LBVH, no compaction",
+            RtDbscan {
+                builder: BuilderKind::Lbvh,
+                compaction: false,
+                ..RtDbscan::default()
+            },
+        ),
+    ];
+    for (label, config) in configs {
+        let run = measure(&config, &points, params);
+        table.push_row(
+            label,
+            vec![
+                Some(run.simulated_seconds()),
+                Some(run.result.counters.total().prim_tests as f64),
+            ],
+        );
+    }
+    table.push_note(
+        "The compaction pass is what reproduces the paper's observation that the RT hardware \
+         made very few intersection-program calls on NGSIM."
+            .to_string(),
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_smoke_has_expected_rows() {
+        let t = breakdown_analysis(&ExperimentScale::smoke());
+        assert_eq!(t.rows.len(), 6);
+        // RT-DBSCAN must spend a *smaller* fraction of its time clustering
+        // than FDBSCAN (build is relatively more expensive on the RT path).
+        let frac_row = 4;
+        let fd_frac = t.value(frac_row, 0).unwrap();
+        let rt_frac = t.value(frac_row, 1).unwrap();
+        assert!(rt_frac < fd_frac, "rt {rt_frac} vs fd {fd_frac}");
+    }
+
+    #[test]
+    fn tiny_crossover_shows_fdbscan_winning_at_the_smallest_size() {
+        let t = tiny_dataset_crossover(&ExperimentScale::smoke());
+        let speedup_col = t.column_index("RT speedup").unwrap();
+        let smallest = t.value(0, speedup_col).unwrap();
+        let largest = t.value(t.rows.len() - 1, speedup_col).unwrap();
+        assert!(
+            smallest < 1.0,
+            "RT-DBSCAN should lose below 500 points, speedup {smallest:.2}"
+        );
+        assert!(
+            largest > smallest,
+            "the gap must close as the dataset grows ({smallest:.2} -> {largest:.2})"
+        );
+    }
+
+    #[test]
+    fn triangle_ablation_shows_a_slowdown() {
+        let t = ablation_triangles(&ExperimentScale::smoke());
+        let slowdown_col = t.column_index("slowdown").unwrap();
+        for v in t.column_values(slowdown_col) {
+            assert!(v > 1.0, "triangles must be slower, got {v:.2}x");
+        }
+    }
+}

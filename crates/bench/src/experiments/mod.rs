@@ -1,0 +1,158 @@
+//! One function per table / figure of the paper's evaluation.
+//!
+//! | function | paper artefact |
+//! |---|---|
+//! | [`fig4_small_dataset`] | Fig 4 — speedup over CUDA-DClust+, 16 K 3DRoad, ε sweep |
+//! | [`fig5_eps_sweep`] | Fig 5a/5b/5c — speedup over FDBSCAN vs ε |
+//! | [`fig6_size_sweep`] | Fig 6a/6b/6c — speedup over FDBSCAN vs dataset size |
+//! | [`fig7_scalability`] | Fig 7 — raw execution-time growth on 3DIono |
+//! | [`table1_porto`] | Table I — raw times, Porto size sweep |
+//! | [`table2_ngsim_eps`] | Table II + Fig 8a — NGSIM ε sweep |
+//! | [`table3_ngsim_size`] | Table III + Fig 8b — NGSIM size sweep |
+//! | [`fig9_early_exit`] | Fig 9a/9b/9c — early-termination study |
+//! | [`breakdown_analysis`] | §V-D — build vs clustering breakdown |
+//! | [`tiny_dataset_crossover`] | §V-B1 — sub-500-point crossover |
+//! | [`ablation_triangles`] | §VI-C — triangle-geometry ablation |
+//! | [`ablation_builders_and_compaction`] | design-choice ablations (DESIGN.md) |
+//!
+//! Every experiment takes an [`ExperimentScale`] so the full paper-sized
+//! workloads (`--full`) and quick scaled-down runs share one code path.
+
+mod analysis;
+mod eps_sweeps;
+mod ngsim;
+mod size_sweeps;
+
+pub use analysis::{
+    ablation_builders_and_compaction, ablation_triangles, breakdown_analysis, fig9_early_exit,
+    tiny_dataset_crossover,
+};
+pub use eps_sweeps::{agrees_with_fdbscan, eps_sweep_values, fig4_small_dataset, fig5_eps_sweep, measure_pair};
+pub use ngsim::{table2_ngsim_eps, table3_ngsim_size, NGSIM_EPS_VALUES};
+pub use size_sweeps::{
+    fig6_size_sweep, fig7_scalability, size_sweep_params, size_sweep_values, table1_porto,
+};
+
+use crate::table::ExperimentTable;
+use rtdbscan_datasets::PaperDataset;
+
+/// Scales the paper's workload sizes down so experiments finish quickly on a
+/// CPU-only machine; `--full` in the `repro` binary uses [`ExperimentScale::full`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentScale {
+    /// Multiplier applied to dataset sizes (and proportionally to `minPts`,
+    /// so the density regime — which points are core — is preserved).
+    pub factor: f64,
+    /// Seed for the dataset generators.
+    pub seed: u64,
+}
+
+impl ExperimentScale {
+    /// Paper-sized workloads (up to 8 M points — slow on a laptop).
+    pub fn full() -> Self {
+        ExperimentScale {
+            factor: 1.0,
+            seed: 42,
+        }
+    }
+
+    /// The default for the `repro` binary: 1/8 of the paper sizes.
+    pub fn standard() -> Self {
+        ExperimentScale {
+            factor: 0.125,
+            seed: 42,
+        }
+    }
+
+    /// Very small workloads for integration tests and smoke runs.
+    pub fn smoke() -> Self {
+        ExperimentScale {
+            factor: 0.01,
+            seed: 42,
+        }
+    }
+
+    /// Scale a dataset size.
+    pub fn size(&self, n: usize) -> usize {
+        ((n as f64 * self.factor).round() as usize).max(512)
+    }
+
+    /// Scale a `minPts` value in proportion to the dataset size so the core /
+    /// border / noise structure of the scaled workload matches the paper's.
+    pub fn min_pts(&self, m: usize) -> usize {
+        ((m as f64 * self.factor).round() as usize).max(2)
+    }
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        ExperimentScale::standard()
+    }
+}
+
+/// Generate a scaled instance of a paper dataset.
+pub(crate) fn dataset(scale: &ExperimentScale, which: PaperDataset, paper_n: usize) -> Vec<rtcore::geometry::Point3> {
+    rtdbscan_datasets::generate(which, scale.size(paper_n), scale.seed)
+}
+
+/// Run every experiment at the given scale, in the order they appear in the
+/// paper.  Used by the `repro` binary's `all` command and by EXPERIMENTS.md
+/// generation.
+pub fn run_all(scale: &ExperimentScale) -> Vec<ExperimentTable> {
+    let mut out = Vec::new();
+    out.push(fig4_small_dataset(scale));
+    for d in [
+        PaperDataset::RoadNetwork,
+        PaperDataset::PortoTaxi,
+        PaperDataset::Ionosphere3d,
+    ] {
+        out.push(fig5_eps_sweep(scale, d));
+    }
+    for d in [
+        PaperDataset::RoadNetwork,
+        PaperDataset::PortoTaxi,
+        PaperDataset::Ionosphere3d,
+    ] {
+        out.push(fig6_size_sweep(scale, d));
+    }
+    out.push(fig7_scalability(scale));
+    out.push(table1_porto(scale));
+    out.push(table2_ngsim_eps(scale));
+    out.push(table3_ngsim_size(scale));
+    for d in [
+        PaperDataset::PortoTaxi,
+        PaperDataset::RoadNetwork,
+        PaperDataset::Ngsim,
+    ] {
+        out.push(fig9_early_exit(scale, d));
+    }
+    out.push(breakdown_analysis(scale));
+    out.push(tiny_dataset_crossover(scale));
+    out.push(ablation_triangles(scale));
+    out.push(ablation_builders_and_compaction(scale));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_helpers() {
+        let full = ExperimentScale::full();
+        assert_eq!(full.size(1_000_000), 1_000_000);
+        assert_eq!(full.min_pts(100), 100);
+        let std = ExperimentScale::standard();
+        assert_eq!(std.size(1_000_000), 125_000);
+        assert_eq!(std.min_pts(100), 13);
+        let smoke = ExperimentScale::smoke();
+        assert_eq!(smoke.size(16_000), 512); // floor
+        assert_eq!(smoke.min_pts(100), 2);
+    }
+
+    #[test]
+    fn default_scale_is_standard() {
+        let d = ExperimentScale::default();
+        assert!((d.factor - 0.125).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,28 @@
+//! Benchmark harness for the RT-DBSCAN reproduction.
+//!
+//! This crate turns the algorithms in `rtdbscan` and the generators in
+//! `rtdbscan-datasets` into the concrete experiments of the paper's
+//! evaluation section.  Every table and figure has a corresponding function
+//! in [`experiments`] that returns an [`ExperimentTable`]; the `repro` binary
+//! prints them and `EXPERIMENTS.md` records the measured numbers next to the
+//! paper's.
+//!
+//! Two kinds of numbers are produced:
+//!
+//! * **simulated device time** — the per-phase work counters of a run charged
+//!   to the RT-core or shader-core cost profile of the simulated RTX 2060
+//!   (see `rtcore::hardware`).  These are the numbers the figures are rebuilt
+//!   from, because the speedups in the paper come from the RT hardware, which
+//!   does not exist on this machine.
+//! * **wall-clock time** of this Rust implementation, reported alongside for
+//!   transparency and used by the Criterion micro-benchmarks.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod measure;
+pub mod table;
+
+pub use experiments::ExperimentScale;
+pub use measure::{measure, MeasuredRun};
+pub use table::ExperimentTable;

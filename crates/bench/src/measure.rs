@@ -1,0 +1,148 @@
+//! Running one algorithm on one workload and collecting every number the
+//! experiments need.
+
+use rtcore::geometry::Point3;
+use rtcore::hardware::DeviceModel;
+use rtdbscan::runner::SimulatedBreakdown;
+use rtdbscan::{DbscanAlgorithm, DbscanParams, RunResult};
+
+/// Everything measured from a single algorithm run.
+#[derive(Debug, Clone)]
+pub struct MeasuredRun {
+    /// Algorithm name ("RT-DBSCAN", "FDBSCAN", …).
+    pub name: &'static str,
+    /// The full run result (clustering, counters, wall-clock timings).
+    pub result: RunResult,
+    /// Simulated per-phase device time on the RTX 2060 model.
+    pub simulated: SimulatedBreakdown,
+    /// Short error text when the run failed (e.g. simulated out-of-memory),
+    /// in which case `result`/`simulated` hold zeroed placeholders.
+    pub error: Option<String>,
+}
+
+impl MeasuredRun {
+    /// Total simulated device time in seconds (`f64::INFINITY` for failed
+    /// runs so speedup math stays well-defined).
+    pub fn simulated_seconds(&self) -> f64 {
+        if self.error.is_some() {
+            f64::INFINITY
+        } else {
+            self.simulated.total().as_secs_f64()
+        }
+    }
+
+    /// Total wall-clock seconds of this Rust implementation.
+    pub fn wall_seconds(&self) -> f64 {
+        self.result.timings.total().as_secs_f64()
+    }
+
+    /// Number of clusters the run produced (0 for failed runs).
+    pub fn clusters(&self) -> usize {
+        self.result.clustering.num_clusters()
+    }
+
+    /// True if the run failed (e.g. out of simulated device memory).
+    pub fn failed(&self) -> bool {
+        self.error.is_some()
+    }
+}
+
+/// Run `algo` on `points` with `params` and collect all measurements,
+/// converting counters to simulated time on `device`.
+pub fn measure_on(
+    algo: &dyn DbscanAlgorithm,
+    points: &[Point3],
+    params: DbscanParams,
+    device: &DeviceModel,
+) -> MeasuredRun {
+    match algo.run(points, params) {
+        Ok(result) => {
+            let simulated = result.simulate_on(device);
+            MeasuredRun {
+                name: algo.name(),
+                result,
+                simulated,
+                error: None,
+            }
+        }
+        Err(err) => MeasuredRun {
+            name: algo.name(),
+            result: empty_result(),
+            simulated: SimulatedBreakdown::default(),
+            error: Some(err.to_string()),
+        },
+    }
+}
+
+/// [`measure_on`] with the default simulated device (RTX 2060).
+pub fn measure(
+    algo: &dyn DbscanAlgorithm,
+    points: &[Point3],
+    params: DbscanParams,
+) -> MeasuredRun {
+    measure_on(algo, points, params, &DeviceModel::default())
+}
+
+fn empty_result() -> RunResult {
+    RunResult {
+        clustering: rtdbscan::Clustering::new(vec![], vec![]),
+        timings: rtdbscan::PhaseTimings::default(),
+        counters: rtdbscan::PhaseCounters::default(),
+        path: rtcore::hardware::ExecutionPath::ShaderCore,
+        device_bytes: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdbscan::{Fdbscan, GDbscan, RtDbscan};
+
+    fn small_blobs() -> Vec<Point3> {
+        let mut pts = Vec::new();
+        for c in 0..2 {
+            for i in 0..40 {
+                pts.push(Point3::new_2d(c as f32 * 20.0 + (i % 8) as f32 * 0.1, (i / 8) as f32 * 0.1));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn measure_produces_consistent_numbers() {
+        let pts = small_blobs();
+        let params = DbscanParams::new(0.5, 3).unwrap();
+        let m = measure(&RtDbscan::default(), &pts, params);
+        assert!(!m.failed());
+        assert_eq!(m.clusters(), 2);
+        assert!(m.simulated_seconds() > 0.0);
+        assert!(m.simulated_seconds() < 1.0);
+        assert!(m.wall_seconds() > 0.0);
+        assert_eq!(m.name, "RT-DBSCAN");
+    }
+
+    #[test]
+    fn failed_runs_report_infinite_time() {
+        let pts = small_blobs();
+        let params = DbscanParams::new(0.5, 3).unwrap();
+        let oom = GDbscan {
+            device_memory_bytes: 16,
+        };
+        let m = measure(&oom, &pts, params);
+        assert!(m.failed());
+        assert!(m.simulated_seconds().is_infinite());
+        assert_eq!(m.clusters(), 0);
+        assert!(m.error.as_ref().unwrap().contains("memory"));
+    }
+
+    #[test]
+    fn identical_work_is_cheaper_on_the_rt_path() {
+        // RT-DBSCAN and FDBSCAN do comparable traversal work on this small
+        // input, but RT work is charged to the RT-core profile.
+        let pts = small_blobs();
+        let params = DbscanParams::new(0.5, 3).unwrap();
+        let rt = measure(&RtDbscan::default(), &pts, params);
+        let fd = measure(&Fdbscan::default(), &pts, params);
+        assert!(rt.simulated.clustering_fraction() < fd.simulated.clustering_fraction());
+    }
+}

@@ -1,0 +1,222 @@
+//! Plain-text experiment tables.
+
+use std::fmt;
+
+/// One regenerated table or figure: a title, a row label header, column
+/// headers and numeric rows.  Figures in the paper are line plots; here they
+/// are printed as the table of series values the plot would be drawn from.
+#[derive(Debug, Clone)]
+pub struct ExperimentTable {
+    /// Which paper artefact this regenerates ("Figure 5a", "Table I", …).
+    pub title: String,
+    /// Header of the row-label column ("eps", "dataset size", …).
+    pub row_header: String,
+    /// One header per numeric column.
+    pub columns: Vec<String>,
+    /// Rows: label plus one value per column.  `None` marks a failed run
+    /// (e.g. simulated out-of-memory), printed as "OOM".
+    pub rows: Vec<(String, Vec<Option<f64>>)>,
+    /// Free-text notes printed under the table (observations the paper makes
+    /// about this experiment).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentTable {
+    /// Create an empty table.
+    pub fn new(
+        title: impl Into<String>,
+        row_header: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        ExperimentTable {
+            title: title.into(),
+            row_header: row_header.into(),
+            columns,
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the number of values does not match the number of columns.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<Option<f64>>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row width must match column count"
+        );
+        self.rows.push((label.into(), values));
+    }
+
+    /// Append a note line.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Value at (row, column), if the run succeeded.
+    pub fn value(&self, row: usize, col: usize) -> Option<f64> {
+        self.rows.get(row).and_then(|r| r.1.get(col).copied().flatten())
+    }
+
+    /// Values of one column across all rows (failed cells skipped).
+    pub fn column_values(&self, col: usize) -> Vec<f64> {
+        self.rows
+            .iter()
+            .filter_map(|r| r.1.get(col).copied().flatten())
+            .collect()
+    }
+
+    /// Index of a column by header name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Render as a GitHub-flavoured markdown table (used for EXPERIMENTS.md).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |", self.row_header));
+        for c in &self.columns {
+            out.push_str(&format!(" {c} |"));
+        }
+        out.push('\n');
+        out.push_str(&format!("|{}|", "---|".repeat(self.columns.len() + 1)));
+        out.push('\n');
+        for (label, values) in &self.rows {
+            out.push_str(&format!("| {label} |"));
+            for v in values {
+                match v {
+                    Some(v) => out.push_str(&format!(" {} |", format_value(*v))),
+                    None => out.push_str(" OOM |"),
+                }
+            }
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("\n*{note}*\n"));
+        }
+        out
+    }
+}
+
+/// Compact numeric formatting: scientific-ish for very small / large values,
+/// fixed precision otherwise.
+fn format_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.3}")
+    } else if v.abs() >= 0.001 {
+        format!("{v:.5}")
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+impl fmt::Display for ExperimentTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let label_width = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain([self.row_header.len()])
+            .max()
+            .unwrap_or(8)
+            + 2;
+        let col_width = self
+            .columns
+            .iter()
+            .map(|c| c.len())
+            .max()
+            .unwrap_or(10)
+            .max(12)
+            + 2;
+        write!(f, "{:<label_width$}", self.row_header)?;
+        for c in &self.columns {
+            write!(f, "{c:>col_width$}")?;
+        }
+        writeln!(f)?;
+        for (label, values) in &self.rows {
+            write!(f, "{label:<label_width$}")?;
+            for v in values {
+                match v {
+                    Some(v) => write!(f, "{:>col_width$}", format_value(*v))?,
+                    None => write!(f, "{:>col_width$}", "OOM")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentTable {
+        let mut t = ExperimentTable::new(
+            "Figure X",
+            "eps",
+            vec!["RT-DBSCAN".into(), "FDBSCAN".into()],
+        );
+        t.push_row("0.1", vec![Some(1.5), Some(3.0)]);
+        t.push_row("0.2", vec![Some(0.0004), None]);
+        t.push_note("RT-DBSCAN wins everywhere");
+        t
+    }
+
+    #[test]
+    fn accessors() {
+        let t = sample();
+        assert_eq!(t.value(0, 0), Some(1.5));
+        assert_eq!(t.value(1, 1), None);
+        assert_eq!(t.column_values(0), vec![1.5, 0.0004]);
+        assert_eq!(t.column_index("FDBSCAN"), Some(1));
+        assert_eq!(t.column_index("bogus"), None);
+    }
+
+    #[test]
+    fn display_contains_everything() {
+        let s = sample().to_string();
+        assert!(s.contains("Figure X"));
+        assert!(s.contains("RT-DBSCAN"));
+        assert!(s.contains("OOM"));
+        assert!(s.contains("note:"));
+        assert!(s.contains("1.500"));
+    }
+
+    #[test]
+    fn markdown_is_well_formed() {
+        let md = sample().to_markdown();
+        assert!(md.starts_with("### Figure X"));
+        assert!(md.contains("| eps | RT-DBSCAN | FDBSCAN |"));
+        assert!(md.contains("| 0.2 |"));
+        assert!(md.contains("OOM"));
+        assert!(md.lines().filter(|l| l.starts_with('|')).count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = sample();
+        t.push_row("bad", vec![Some(1.0)]);
+    }
+
+    #[test]
+    fn value_formatting() {
+        assert_eq!(format_value(0.0), "0");
+        assert_eq!(format_value(1234.0), "1234");
+        assert_eq!(format_value(1.23456), "1.235");
+        assert_eq!(format_value(0.01234), "0.01234");
+        assert!(format_value(0.0000123).contains('e'));
+    }
+}

@@ -1,0 +1,136 @@
+//! Minimal CSV persistence for point sets.
+//!
+//! The real datasets the paper uses are distributed as CSV files; users who
+//! do have access to them can load them with [`load_csv`] and run the same
+//! experiments on the real data.  [`save_csv`] lets the synthetic datasets be
+//! exported for inspection or for cross-checking against other DBSCAN
+//! implementations.
+
+use rtcore::geometry::Point3;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Save points as `x,y,z` CSV (no header).
+pub fn save_csv(path: &Path, points: &[Point3]) -> io::Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    for p in points {
+        writeln!(w, "{},{},{}", p.x, p.y, p.z)?;
+    }
+    w.flush()
+}
+
+/// Load points from a CSV file.
+///
+/// Accepted formats, per line: `x,y` (z is set to 0) or `x,y,z`.  Extra
+/// columns are ignored, as are empty lines and lines starting with `#`.
+/// A line whose first two columns do not parse as numbers is treated as a
+/// header if it is the first line, and as an error otherwise.
+pub fn load_csv(path: &Path) -> io::Result<Vec<Point3>> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut pts = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut cols = trimmed.split(',').map(str::trim);
+        let x = cols.next().and_then(|c| c.parse::<f32>().ok());
+        let y = cols.next().and_then(|c| c.parse::<f32>().ok());
+        let z = cols.next().and_then(|c| c.parse::<f32>().ok()).unwrap_or(0.0);
+        match (x, y) {
+            (Some(x), Some(y)) => pts.push(Point3::new(x, y, z)),
+            _ if lineno == 0 => continue, // header row
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: could not parse '{}'", lineno + 1, trimmed),
+                ))
+            }
+        }
+    }
+    Ok(pts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("rtdbscan_io_test_{}_{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn roundtrip_save_and_load() {
+        let pts = vec![
+            Point3::new(1.5, -2.25, 3.0),
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1e-6, 1e6, -4.5),
+        ];
+        let path = temp_path("roundtrip.csv");
+        save_csv(&path, &pts).unwrap();
+        let loaded = load_csv(&path).unwrap();
+        assert_eq!(loaded, pts);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn loads_2d_rows_with_zero_z() {
+        let path = temp_path("2d.csv");
+        let mut f = File::create(&path).unwrap();
+        writeln!(f, "1.0,2.0").unwrap();
+        writeln!(f, "3.0,4.0").unwrap();
+        drop(f);
+        let pts = load_csv(&path).unwrap();
+        assert_eq!(pts, vec![Point3::new_2d(1.0, 2.0), Point3::new_2d(3.0, 4.0)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn skips_header_comments_and_blank_lines() {
+        let path = temp_path("header.csv");
+        let mut f = File::create(&path).unwrap();
+        writeln!(f, "lon,lat,tec").unwrap();
+        writeln!(f, "# a comment").unwrap();
+        writeln!(f).unwrap();
+        writeln!(f, "1.0, 2.0, 3.0").unwrap();
+        drop(f);
+        let pts = load_csv(&path).unwrap();
+        assert_eq!(pts, vec![Point3::new(1.0, 2.0, 3.0)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_mid_file_is_an_error() {
+        let path = temp_path("garbage.csv");
+        let mut f = File::create(&path).unwrap();
+        writeln!(f, "1.0,2.0").unwrap();
+        writeln!(f, "not,numbers").unwrap();
+        drop(f);
+        let err = load_csv(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 2"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn extra_columns_are_ignored() {
+        let path = temp_path("extra.csv");
+        let mut f = File::create(&path).unwrap();
+        writeln!(f, "1.0,2.0,3.0,99,hello").unwrap();
+        drop(f);
+        let pts = load_csv(&path).unwrap();
+        assert_eq!(pts, vec![Point3::new(1.0, 2.0, 3.0)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(load_csv(Path::new("/nonexistent/definitely_missing.csv")).is_err());
+    }
+}

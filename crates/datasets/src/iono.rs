@@ -1,0 +1,124 @@
+//! 3DIono-like ionosphere generator.
+//!
+//! The real 3DIono dataset (Pankratius et al.) records GPS-derived total
+//! electron content (TEC) measurements: each point is (latitude, longitude,
+//! TEC).  Structurally it is a genuinely 3-D point cloud in which measurement
+//! stations produce dense vertical "columns" of readings and large-scale
+//! ionospheric structure produces smooth horizontal bands.  The synthetic
+//! analogue reproduces that: receiver stations scattered over a continental
+//! area, each contributing a column of TEC readings whose mean follows a
+//! latitude-dependent band plus diurnal-style waves, with measurement noise.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+use rtcore::geometry::Point3;
+
+/// Latitude range of the synthetic receiver network (degrees).
+pub const IONO_LAT_RANGE: (f32, f32) = (25.0, 50.0);
+/// Longitude range of the synthetic receiver network (degrees).
+pub const IONO_LON_RANGE: (f32, f32) = (-125.0, -65.0);
+
+/// Generate `n` ionosphere measurements (longitude, latitude, TEC).
+pub fn generate_ionosphere(n: usize, seed: u64) -> Vec<Point3> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x10_0_0);
+    let n_stations = (n / 200).clamp(8, 4000);
+    let stations: Vec<(f32, f32)> = (0..n_stations)
+        .map(|_| {
+            (
+                rng.gen_range(IONO_LON_RANGE.0..IONO_LON_RANGE.1),
+                rng.gen_range(IONO_LAT_RANGE.0..IONO_LAT_RANGE.1),
+            )
+        })
+        .collect();
+    let pos_noise = Normal::new(0.0f32, 0.15).unwrap();
+    let tec_noise = Normal::new(0.0f32, 0.8).unwrap();
+
+    let mut pts = Vec::with_capacity(n);
+    while pts.len() < n {
+        let (sx, sy) = stations[rng.gen_range(0..stations.len())];
+        // A station produces a short burst of readings (a satellite pass).
+        let burst = rng.gen_range(5..=30usize);
+        let phase: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+        for k in 0..burst {
+            if pts.len() >= n {
+                break;
+            }
+            let lon = sx + pos_noise.sample(&mut rng);
+            let lat = sy + pos_noise.sample(&mut rng);
+            // Background TEC: stronger at low latitude, with a longitudinal
+            // (diurnal-like) wave and per-pass variation.
+            let background = 40.0 - 0.6 * (lat - IONO_LAT_RANGE.0)
+                + 6.0 * ((lon * 0.08) + phase).sin()
+                + 2.5 * (k as f32 * 0.4 + phase).sin();
+            let tec = (background + tec_noise.sample(&mut rng)).max(0.0);
+            pts.push(Point3::new(lon, lat, tec));
+        }
+    }
+    pts.truncate(n);
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_are_in_range_and_3d() {
+        let pts = generate_ionosphere(5000, 3);
+        assert_eq!(pts.len(), 5000);
+        for p in &pts {
+            assert!(p.x >= IONO_LON_RANGE.0 - 1.0 && p.x <= IONO_LON_RANGE.1 + 1.0);
+            assert!(p.y >= IONO_LAT_RANGE.0 - 1.0 && p.y <= IONO_LAT_RANGE.1 + 1.0);
+            assert!(p.z >= 0.0 && p.z < 80.0, "TEC {}", p.z);
+        }
+        assert!(pts.iter().any(|p| p.z > 1.0));
+    }
+
+    #[test]
+    fn tec_decreases_with_latitude_on_average() {
+        let pts = generate_ionosphere(30_000, 5);
+        let (mut low_sum, mut low_n, mut high_sum, mut high_n) = (0.0f64, 0usize, 0.0f64, 0usize);
+        for p in &pts {
+            if p.y < 32.0 {
+                low_sum += p.z as f64;
+                low_n += 1;
+            } else if p.y > 43.0 {
+                high_sum += p.z as f64;
+                high_n += 1;
+            }
+        }
+        assert!(low_n > 100 && high_n > 100);
+        assert!(low_sum / low_n as f64 > high_sum / high_n as f64);
+    }
+
+    #[test]
+    fn station_columns_create_local_density() {
+        // Measurements cluster around stations, so the median nearest
+        // neighbour distance should be well below the uniform expectation.
+        let pts = generate_ionosphere(4000, 9);
+        let mut nn = Vec::new();
+        for (i, p) in pts.iter().enumerate().step_by(50) {
+            let mut best = f32::INFINITY;
+            for (j, q) in pts.iter().enumerate() {
+                if i != j {
+                    best = best.min(p.distance(*q));
+                }
+            }
+            nn.push(best);
+        }
+        nn.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = nn[nn.len() / 2];
+        assert!(median < 1.0, "median nn {median}");
+    }
+
+    #[test]
+    fn deterministic_and_zero_safe() {
+        assert!(generate_ionosphere(0, 1).is_empty());
+        assert_eq!(generate_ionosphere(500, 2), generate_ionosphere(500, 2));
+        assert_ne!(generate_ionosphere(500, 2), generate_ionosphere(500, 3));
+    }
+}

@@ -1,0 +1,220 @@
+//! Generic synthetic point-cloud generators (blobs, uniform noise, rings).
+//!
+//! These are used by unit tests, property tests and the quickstart example;
+//! the paper-specific generators live in [`crate::road`],
+//! [`crate::trajectories`] and [`crate::iono`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+use rtcore::geometry::Point3;
+
+/// Description of one Gaussian blob.
+#[derive(Debug, Clone, Copy)]
+pub struct Blob {
+    /// Blob centre.
+    pub center: Point3,
+    /// Standard deviation of the isotropic Gaussian.
+    pub std_dev: f32,
+    /// Number of points drawn from this blob.
+    pub count: usize,
+}
+
+/// Generate a mixture of Gaussian blobs plus uniform background noise.
+///
+/// `noise_fraction` (0..1) of the total points are drawn uniformly over
+/// `bounds` (min corner, max corner); the rest are split across `blobs`
+/// proportionally to their `count` fields.
+pub fn gaussian_blobs_with_noise(
+    blobs: &[Blob],
+    noise_points: usize,
+    bounds: (Point3, Point3),
+    two_d: bool,
+    seed: u64,
+) -> Vec<Point3> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pts = Vec::new();
+    for blob in blobs {
+        let normal = Normal::new(0.0f32, blob.std_dev).expect("std_dev must be finite");
+        for _ in 0..blob.count {
+            let dx: f32 = normal.sample(&mut rng);
+            let dy: f32 = normal.sample(&mut rng);
+            let dz: f32 = if two_d { 0.0 } else { normal.sample(&mut rng) };
+            pts.push(Point3::new(
+                blob.center.x + dx,
+                blob.center.y + dy,
+                blob.center.z + dz,
+            ));
+        }
+    }
+    pts.extend(uniform_noise(noise_points, bounds, two_d, rng.gen()));
+    pts
+}
+
+/// Uniformly distributed points inside an axis-aligned box.
+pub fn uniform_noise(
+    n: usize,
+    bounds: (Point3, Point3),
+    two_d: bool,
+    seed: u64,
+) -> Vec<Point3> {
+    let (lo, hi) = bounds;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Point3::new(
+                rng.gen_range(lo.x..=hi.x),
+                rng.gen_range(lo.y..=hi.y),
+                if two_d { 0.0 } else { rng.gen_range(lo.z..=hi.z) },
+            )
+        })
+        .collect()
+}
+
+/// `k` equally sized, well-separated Gaussian clusters laid out on a grid —
+/// the "few large clusters" regime of the paper's evaluation.
+pub fn separated_clusters(k: usize, points_per_cluster: usize, seed: u64) -> Vec<Point3> {
+    let side = (k as f32).sqrt().ceil() as usize;
+    let spacing = 10.0f32;
+    let blobs: Vec<Blob> = (0..k)
+        .map(|i| Blob {
+            center: Point3::new(
+                (i % side) as f32 * spacing,
+                (i / side) as f32 * spacing,
+                0.0,
+            ),
+            std_dev: 0.5,
+            count: points_per_cluster,
+        })
+        .collect();
+    gaussian_blobs_with_noise(
+        &blobs,
+        0,
+        (Point3::ORIGIN, Point3::new(1.0, 1.0, 0.0)),
+        true,
+        seed,
+    )
+}
+
+/// Points on a noisy ring — a cluster shape k-means cannot recover but
+/// DBSCAN can (the motivation of Section II-C).
+pub fn noisy_ring(n: usize, radius: f32, noise_std: f32, seed: u64) -> Vec<Point3> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let normal = Normal::new(0.0f32, noise_std).expect("noise_std must be finite");
+    (0..n)
+        .map(|_| {
+            let theta: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+            let r = radius + normal.sample(&mut rng);
+            Point3::new(r * theta.cos(), r * theta.sin(), 0.0)
+        })
+        .collect()
+}
+
+/// A regular 2-D grid of points, useful for tests with exactly predictable
+/// neighbourhood structure.
+pub fn grid_2d(n_side: usize, spacing: f32) -> Vec<Point3> {
+    let mut pts = Vec::with_capacity(n_side * n_side);
+    for i in 0..n_side {
+        for j in 0..n_side {
+            pts.push(Point3::new(i as f32 * spacing, j as f32 * spacing, 0.0));
+        }
+    }
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blob_counts_add_up() {
+        let blobs = [
+            Blob {
+                center: Point3::new(0.0, 0.0, 0.0),
+                std_dev: 1.0,
+                count: 100,
+            },
+            Blob {
+                center: Point3::new(50.0, 0.0, 0.0),
+                std_dev: 1.0,
+                count: 200,
+            },
+        ];
+        let pts = gaussian_blobs_with_noise(
+            &blobs,
+            50,
+            (Point3::new(-10.0, -10.0, 0.0), Point3::new(60.0, 10.0, 0.0)),
+            true,
+            3,
+        );
+        assert_eq!(pts.len(), 350);
+        assert!(pts.iter().all(|p| p.z == 0.0));
+    }
+
+    #[test]
+    fn blobs_are_centred_roughly_where_asked() {
+        let blobs = [Blob {
+            center: Point3::new(10.0, -5.0, 0.0),
+            std_dev: 0.5,
+            count: 2000,
+        }];
+        let pts = gaussian_blobs_with_noise(
+            &blobs,
+            0,
+            (Point3::ORIGIN, Point3::new(1.0, 1.0, 0.0)),
+            true,
+            11,
+        );
+        let mean_x: f32 = pts.iter().map(|p| p.x).sum::<f32>() / pts.len() as f32;
+        let mean_y: f32 = pts.iter().map(|p| p.y).sum::<f32>() / pts.len() as f32;
+        assert!((mean_x - 10.0).abs() < 0.1, "mean_x {mean_x}");
+        assert!((mean_y + 5.0).abs() < 0.1, "mean_y {mean_y}");
+    }
+
+    #[test]
+    fn uniform_noise_respects_bounds() {
+        let lo = Point3::new(-1.0, 2.0, 3.0);
+        let hi = Point3::new(1.0, 4.0, 5.0);
+        let pts = uniform_noise(500, (lo, hi), false, 8);
+        for p in &pts {
+            assert!(p.x >= lo.x && p.x <= hi.x);
+            assert!(p.y >= lo.y && p.y <= hi.y);
+            assert!(p.z >= lo.z && p.z <= hi.z);
+        }
+    }
+
+    #[test]
+    fn separated_clusters_are_separated() {
+        let pts = separated_clusters(4, 100, 5);
+        assert_eq!(pts.len(), 400);
+        // Points from the first blob should be near (0, 0).
+        let near_origin = pts
+            .iter()
+            .filter(|p| p.x.abs() < 3.0 && p.y.abs() < 3.0)
+            .count();
+        assert!(near_origin >= 90, "{near_origin} near origin");
+    }
+
+    #[test]
+    fn ring_points_are_near_the_radius() {
+        let pts = noisy_ring(1000, 5.0, 0.05, 2);
+        for p in &pts {
+            let r = (p.x * p.x + p.y * p.y).sqrt();
+            assert!((r - 5.0).abs() < 1.0, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn grid_has_expected_layout() {
+        let pts = grid_2d(3, 2.0);
+        assert_eq!(pts.len(), 9);
+        assert!(pts.contains(&Point3::new(0.0, 0.0, 0.0)));
+        assert!(pts.contains(&Point3::new(4.0, 4.0, 0.0)));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(noisy_ring(100, 2.0, 0.1, 7), noisy_ring(100, 2.0, 0.1, 7));
+        assert_ne!(noisy_ring(100, 2.0, 0.1, 7), noisy_ring(100, 2.0, 0.1, 8));
+    }
+}

@@ -1,0 +1,206 @@
+//! The original sequential DBSCAN of Ester et al. (Algorithm 1 in the
+//! paper), used as the correctness oracle for every parallel implementation.
+//!
+//! Neighbour queries go through [`rtcore::query::FixedRadiusSearch`] so the
+//! oracle stays usable on tens of thousands of points; the expansion logic
+//! itself is the textbook seed-set algorithm and is deliberately sequential.
+
+use crate::labels::{Clustering, NOISE, UNASSIGNED};
+use crate::params::DbscanParams;
+use crate::runner::{timed, DbscanAlgorithm, PhaseCounters, PhaseTimings, RunResult};
+use rtcore::geometry::Point3;
+use rtcore::hardware::ExecutionPath;
+use rtcore::query::FixedRadiusSearch;
+use rtcore::Result;
+
+/// The sequential reference DBSCAN.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassicDbscan;
+
+impl ClassicDbscan {
+    /// Run the reference algorithm and return only the clustering (the usual
+    /// entry point for tests).
+    pub fn cluster(points: &[Point3], params: DbscanParams) -> Result<Clustering> {
+        Ok(ClassicDbscan.run(points, params)?.clustering)
+    }
+}
+
+impl DbscanAlgorithm for ClassicDbscan {
+    fn name(&self) -> &'static str {
+        "Classic-DBSCAN"
+    }
+
+    fn run(&self, points: &[Point3], params: DbscanParams) -> Result<RunResult> {
+        params.validate()?;
+        let n = points.len();
+
+        let (search, build_time) = timed(|| FixedRadiusSearch::build(points, params.eps));
+        let build_counters = search.build_counters();
+
+        let ((labels, core), cluster_time) = timed(|| {
+            let mut labels = vec![UNASSIGNED; n];
+            let mut core = vec![false; n];
+            let mut next_cluster = 0i64;
+
+            for p in 0..n {
+                if labels[p] != UNASSIGNED {
+                    continue;
+                }
+                let neighbors = search.neighbors_of(p);
+                if neighbors.len() < params.min_pts {
+                    labels[p] = NOISE;
+                    continue;
+                }
+                // p is a core point: start a new cluster and expand it.
+                let cluster_id = next_cluster;
+                next_cluster += 1;
+                labels[p] = cluster_id;
+                core[p] = true;
+
+                let mut seeds: Vec<u32> = neighbors;
+                let mut cursor = 0usize;
+                while cursor < seeds.len() {
+                    let q = seeds[cursor] as usize;
+                    cursor += 1;
+                    if labels[q] == NOISE {
+                        // Border point previously labelled noise.
+                        labels[q] = cluster_id;
+                    }
+                    if labels[q] != UNASSIGNED {
+                        continue;
+                    }
+                    labels[q] = cluster_id;
+                    let q_neighbors = search.neighbors_of(q);
+                    if q_neighbors.len() >= params.min_pts {
+                        core[q] = true;
+                        seeds.extend(q_neighbors);
+                    }
+                }
+            }
+            (labels, core)
+        });
+
+        let query_counters = search.query_counters();
+        Ok(RunResult {
+            clustering: Clustering::new(labels, core),
+            timings: PhaseTimings {
+                build: build_time,
+                core_identification: cluster_time,
+                cluster_formation: std::time::Duration::ZERO,
+            },
+            counters: PhaseCounters {
+                build: build_counters,
+                core_identification: query_counters,
+                cluster_formation: rtcore::hardware::WorkCounters::ZERO,
+            },
+            path: ExecutionPath::ShaderCore,
+            device_bytes: (n * std::mem::size_of::<Point3>()) as u64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs_and_noise() -> Vec<Point3> {
+        let mut pts = Vec::new();
+        // Blob A around (0, 0): 20 points within a 0.5 radius.
+        for i in 0..20 {
+            let a = i as f32 * 0.314;
+            pts.push(Point3::new_2d(0.3 * a.cos(), 0.3 * a.sin()));
+        }
+        // Blob B around (10, 0).
+        for i in 0..20 {
+            let a = i as f32 * 0.314;
+            pts.push(Point3::new_2d(10.0 + 0.3 * a.cos(), 0.3 * a.sin()));
+        }
+        // Two isolated noise points.
+        pts.push(Point3::new_2d(5.0, 5.0));
+        pts.push(Point3::new_2d(-5.0, -5.0));
+        pts
+    }
+
+    #[test]
+    fn finds_two_clusters_and_noise() {
+        let pts = two_blobs_and_noise();
+        let params = DbscanParams::new(1.0, 3).unwrap();
+        let c = ClassicDbscan::cluster(&pts, params).unwrap();
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.noise_count(), 2);
+        assert!(c.is_complete());
+        // All of blob A shares one label, all of blob B another.
+        assert!(c.labels[..20].iter().all(|&l| l == c.labels[0]));
+        assert!(c.labels[20..40].iter().all(|&l| l == c.labels[20]));
+        assert_ne!(c.labels[0], c.labels[20]);
+        assert_eq!(c.labels[40], NOISE);
+        assert_eq!(c.labels[41], NOISE);
+    }
+
+    #[test]
+    fn min_pts_larger_than_any_neighborhood_gives_all_noise() {
+        let pts = two_blobs_and_noise();
+        let params = DbscanParams::new(1.0, 50).unwrap();
+        let c = ClassicDbscan::cluster(&pts, params).unwrap();
+        assert_eq!(c.num_clusters(), 0);
+        assert_eq!(c.noise_count(), pts.len());
+        assert_eq!(c.core_count(), 0);
+    }
+
+    #[test]
+    fn huge_eps_gives_one_cluster() {
+        let pts = two_blobs_and_noise();
+        let params = DbscanParams::new(100.0, 3).unwrap();
+        let c = ClassicDbscan::cluster(&pts, params).unwrap();
+        assert_eq!(c.num_clusters(), 1);
+        assert_eq!(c.noise_count(), 0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let params = DbscanParams::new(1.0, 3).unwrap();
+        let c = ClassicDbscan::cluster(&[], params).unwrap();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn single_point_is_noise() {
+        let params = DbscanParams::new(1.0, 1).unwrap();
+        let c = ClassicDbscan::cluster(&[Point3::ORIGIN], params).unwrap();
+        assert_eq!(c.labels, vec![NOISE]);
+        assert!(!c.core[0]);
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        let pts = two_blobs_and_noise();
+        let bad = DbscanParams {
+            eps: -1.0,
+            min_pts: 3,
+        };
+        assert!(ClassicDbscan.run(&pts, bad).is_err());
+    }
+
+    #[test]
+    fn border_points_join_a_cluster() {
+        // A line of points spaced 0.9 apart with eps 1.0 and min_pts 2:
+        // interior points are core, the two endpoints are border.
+        let pts: Vec<Point3> = (0..10).map(|i| Point3::new_2d(i as f32 * 0.9, 0.0)).collect();
+        let params = DbscanParams::new(1.0, 2).unwrap();
+        let c = ClassicDbscan::cluster(&pts, params).unwrap();
+        assert_eq!(c.num_clusters(), 1);
+        assert_eq!(c.noise_count(), 0);
+        assert!(!c.core[0] || !c.core[9] || c.core_count() == 10);
+        assert!(c.border_count() <= 2);
+    }
+
+    #[test]
+    fn result_reports_timings_and_counters() {
+        let pts = two_blobs_and_noise();
+        let params = DbscanParams::new(1.0, 3).unwrap();
+        let r = ClassicDbscan.run(&pts, params).unwrap();
+        assert!(r.counters.build.build_prims > 0);
+        assert!(r.counters.core_identification.rays > 0);
+        assert_eq!(r.path, ExecutionPath::ShaderCore);
+    }
+}

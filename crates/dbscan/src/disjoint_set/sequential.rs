@@ -1,0 +1,153 @@
+//! Sequential union-by-rank disjoint set with path compression.
+
+/// A classic sequential disjoint-set forest.
+#[derive(Debug, Clone)]
+pub struct SequentialDisjointSet {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    /// Number of union operations that actually merged two distinct sets.
+    merges: u64,
+    /// Total find operations performed (including those inside unions).
+    finds: u64,
+}
+
+impl SequentialDisjointSet {
+    /// Create `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        SequentialDisjointSet {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            merges: 0,
+            finds: 0,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Find the representative of `x`, compressing the path.
+    pub fn find(&mut self, x: usize) -> usize {
+        self.finds += 1;
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merge the sets containing `a` and `b`.  Returns `true` if two distinct
+    /// sets were merged.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        self.merges += 1;
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// True if `a` and `b` are currently in the same set.
+    pub fn same_set(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn set_count(&mut self) -> usize {
+        let n = self.len();
+        (0..n).filter(|&i| self.find(i) == i).count()
+    }
+
+    /// (find operations, successful merges) performed so far.
+    pub fn op_counts(&self) -> (u64, u64) {
+        (self.finds, self.merges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut dsu = SequentialDisjointSet::new(5);
+        assert_eq!(dsu.len(), 5);
+        assert!(!dsu.is_empty());
+        assert_eq!(dsu.set_count(), 5);
+        for i in 0..5 {
+            assert_eq!(dsu.find(i), i);
+        }
+    }
+
+    #[test]
+    fn union_merges_and_same_set_reflects_it() {
+        let mut dsu = SequentialDisjointSet::new(6);
+        assert!(dsu.union(0, 1));
+        assert!(dsu.union(2, 3));
+        assert!(!dsu.union(1, 0)); // already merged
+        assert!(dsu.same_set(0, 1));
+        assert!(!dsu.same_set(0, 2));
+        assert!(dsu.union(1, 3));
+        assert!(dsu.same_set(0, 2));
+        assert_eq!(dsu.set_count(), 3); // {0,1,2,3}, {4}, {5}
+    }
+
+    #[test]
+    fn transitive_chains_collapse() {
+        let n = 1000;
+        let mut dsu = SequentialDisjointSet::new(n);
+        for i in 0..n - 1 {
+            dsu.union(i, i + 1);
+        }
+        assert_eq!(dsu.set_count(), 1);
+        assert!(dsu.same_set(0, n - 1));
+        let (finds, merges) = dsu.op_counts();
+        assert_eq!(merges, (n - 1) as u64);
+        assert!(finds >= 2 * (n - 1) as u64);
+    }
+
+    #[test]
+    fn empty_structure() {
+        let mut dsu = SequentialDisjointSet::new(0);
+        assert!(dsu.is_empty());
+        assert_eq!(dsu.set_count(), 0);
+    }
+
+    #[test]
+    fn path_compression_flattens() {
+        let mut dsu = SequentialDisjointSet::new(100);
+        for i in 0..99 {
+            dsu.union(i, i + 1);
+        }
+        let root = dsu.find(0);
+        // After a find from every node, all parents must point to the root.
+        for i in 0..100 {
+            dsu.find(i);
+        }
+        for i in 0..100 {
+            assert_eq!(dsu.parent[i], root);
+        }
+    }
+}

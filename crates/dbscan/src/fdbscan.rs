@@ -1,0 +1,323 @@
+//! FDBSCAN baseline (Prokopenko et al., "Fast tree-based algorithms for
+//! DBSCAN on GPUs" — the ArborX implementation the paper compares against).
+//!
+//! FDBSCAN builds a bounding-volume hierarchy over the points and runs two
+//! parallel stages: (1) a fixed-radius traversal per point to count
+//! neighbours and mark core points, and (2) a second traversal per core
+//! point that merges clusters through a parallel Union-Find, claiming border
+//! points atomically.  It stores no neighbour lists, which is what gives it
+//! its minimal memory footprint.
+//!
+//! Differences from RT-DBSCAN that matter for the evaluation:
+//!
+//! * all traversal runs on the shader cores
+//!   ([`ExecutionPath::ShaderCore`]) — there is no RT-core acceleration;
+//! * the BVH is the GPU-style LBVH (Morton order), not the quality builder
+//!   the RT driver uses, and no primitive compaction is applied;
+//! * optionally, stage 1 terminates a traversal early once `minPts`
+//!   neighbours have been seen (the `early_exit` switch studied in
+//!   Section VI-B / Fig 9).
+
+use crate::disjoint_set::ConcurrentDisjointSet;
+use crate::labels::{Clustering, NOISE};
+use crate::params::DbscanParams;
+use crate::runner::{timed, DbscanAlgorithm, PhaseCounters, PhaseTimings, RunResult};
+use rayon::prelude::*;
+use rtcore::bvh::{spheres_from_points, BvhBuilder, LbvhBuilder};
+use rtcore::geometry::{Point3, Ray};
+use rtcore::hardware::{ExecutionPath, WorkCounters};
+use rtcore::traversal::{traverse, Traversal};
+use rtcore::Result;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Configuration of the FDBSCAN baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct Fdbscan {
+    /// Terminate the stage-1 traversal as soon as `minPts` neighbours have
+    /// been found.  The paper's headline comparisons run with this *off*
+    /// (Section V-B explains why); Fig 9 studies the effect of turning it on.
+    pub early_exit: bool,
+    /// Maximum primitives per BVH leaf.
+    pub max_leaf_size: usize,
+}
+
+impl Default for Fdbscan {
+    fn default() -> Self {
+        Fdbscan {
+            early_exit: false,
+            max_leaf_size: 4,
+        }
+    }
+}
+
+impl Fdbscan {
+    /// FDBSCAN with the early-exit optimisation enabled
+    /// ("FDBSCAN-EarlyExit" in Fig 9).
+    pub fn with_early_exit() -> Self {
+        Fdbscan {
+            early_exit: true,
+            ..Fdbscan::default()
+        }
+    }
+}
+
+impl DbscanAlgorithm for Fdbscan {
+    fn name(&self) -> &'static str {
+        if self.early_exit {
+            "FDBSCAN-EarlyExit"
+        } else {
+            "FDBSCAN"
+        }
+    }
+
+    fn run(&self, points: &[Point3], params: DbscanParams) -> Result<RunResult> {
+        params.validate()?;
+        let n = points.len();
+        if n == 0 {
+            return Ok(empty_result());
+        }
+
+        // ------------------------------------------------------------------
+        // Index construction: LBVH over ε-spheres, software build.
+        // ------------------------------------------------------------------
+        let builder = LbvhBuilder {
+            max_leaf_size: self.max_leaf_size,
+        };
+        let (bvh, build_time) = timed(|| builder.build(spheres_from_points(points, params.eps)));
+        let bvh = bvh?;
+        let build_counters = bvh.build_counters;
+
+        let eps_sq = params.eps_sq();
+        let min_pts = params.min_pts;
+        let early_exit = self.early_exit;
+
+        // ------------------------------------------------------------------
+        // Stage 1: core-point identification.
+        // ------------------------------------------------------------------
+        let ((core, stage1_counters), stage1_time) = timed(|| {
+            let per_point: Vec<(bool, WorkCounters)> = (0..n)
+                .into_par_iter()
+                .map(|p| {
+                    let mut counters = WorkCounters::ZERO;
+                    counters.rays += 1;
+                    let ray = Ray::epsilon_ray(points[p]);
+                    let mut count = 0usize;
+                    traverse(&bvh, &ray, &mut counters, |sphere, counters| {
+                        counters.dist_comps += 1;
+                        if sphere.point_index != p as u32
+                            && sphere.center.distance_squared(points[p]) <= eps_sq
+                        {
+                            count += 1;
+                            if early_exit && count >= min_pts {
+                                return Traversal::Terminate;
+                            }
+                        }
+                        Traversal::Continue
+                    });
+                    (count >= min_pts, counters)
+                })
+                .collect();
+            let mut core = Vec::with_capacity(n);
+            let mut counters = WorkCounters::ZERO;
+            for (is_core, c) in per_point {
+                core.push(is_core);
+                counters += c;
+            }
+            (core, counters)
+        });
+
+        // ------------------------------------------------------------------
+        // Stage 2: cluster formation with a parallel Union-Find.
+        // ------------------------------------------------------------------
+        let dsu = ConcurrentDisjointSet::new(n);
+        let claimed: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+        let (mut stage2_counters, stage2_time) = timed(|| {
+            let total: WorkCounters = (0..n)
+                .into_par_iter()
+                .filter(|&p| core[p])
+                .map(|p| {
+                    let mut counters = WorkCounters::ZERO;
+                    counters.rays += 1;
+                    let ray = Ray::epsilon_ray(points[p]);
+                    traverse(&bvh, &ray, &mut counters, |sphere, counters| {
+                        counters.dist_comps += 1;
+                        let q = sphere.point_index as usize;
+                        if q != p && sphere.center.distance_squared(points[p]) <= eps_sq {
+                            if core[q] {
+                                dsu.union(p, q);
+                            } else if claimed[q]
+                                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                                .is_ok()
+                            {
+                                // The paper's "critical section" (Algorithm 3,
+                                // line 14): a border point joins exactly one
+                                // cluster.
+                                dsu.union(p, q);
+                            }
+                        }
+                        Traversal::Continue
+                    });
+                    counters
+                })
+                .sum();
+            total
+        });
+        let (find_ops, union_ops) = dsu.op_counts();
+        stage2_counters.find_ops += find_ops;
+        stage2_counters.union_ops += union_ops;
+
+        // ------------------------------------------------------------------
+        // Materialise labels.
+        // ------------------------------------------------------------------
+        let labels: Vec<i64> = (0..n)
+            .map(|i| {
+                if core[i] || claimed[i].load(Ordering::Relaxed) {
+                    dsu.find(i) as i64
+                } else {
+                    NOISE
+                }
+            })
+            .collect();
+
+        let device_bytes = bvh.device_bytes()
+            + (n * std::mem::size_of::<Point3>()) as u64
+            + (n * std::mem::size_of::<usize>()) as u64 // union-find parents
+            + 2 * n as u64; // core + claimed flags
+
+        Ok(RunResult {
+            clustering: Clustering::new(labels, core),
+            timings: PhaseTimings {
+                build: build_time,
+                core_identification: stage1_time,
+                cluster_formation: stage2_time,
+            },
+            counters: PhaseCounters {
+                build: build_counters,
+                core_identification: stage1_counters,
+                cluster_formation: stage2_counters,
+            },
+            path: ExecutionPath::ShaderCore,
+            device_bytes,
+        })
+    }
+}
+
+fn empty_result() -> RunResult {
+    RunResult {
+        clustering: Clustering::new(vec![], vec![]),
+        timings: PhaseTimings::default(),
+        counters: PhaseCounters::default(),
+        path: ExecutionPath::ShaderCore,
+        device_bytes: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classic::ClassicDbscan;
+    use crate::metrics::same_clustering;
+
+    fn blobs(n_per: usize) -> Vec<Point3> {
+        let mut pts = Vec::new();
+        for c in 0..3 {
+            let cx = c as f32 * 20.0;
+            for i in 0..n_per {
+                let a = i as f32 * 0.17;
+                let r = 0.8 * ((i % 13) as f32 / 13.0);
+                pts.push(Point3::new_2d(cx + r * a.cos(), r * a.sin()));
+            }
+        }
+        pts.push(Point3::new_2d(10.0, 10.0));
+        pts.push(Point3::new_2d(-10.0, 10.0));
+        pts
+    }
+
+    #[test]
+    fn matches_classic_dbscan() {
+        let pts = blobs(60);
+        let params = DbscanParams::new(0.5, 5).unwrap();
+        let reference = ClassicDbscan::cluster(&pts, params).unwrap();
+        let fd = Fdbscan::default().run(&pts, params).unwrap().clustering;
+        assert!(same_clustering(&reference, &fd, &pts, params));
+        assert_eq!(reference.num_clusters(), fd.num_clusters());
+        assert_eq!(reference.core, fd.core);
+    }
+
+    #[test]
+    fn early_exit_preserves_the_clustering() {
+        let pts = blobs(80);
+        let params = DbscanParams::new(0.6, 4).unwrap();
+        let plain = Fdbscan::default().run(&pts, params).unwrap();
+        let early = Fdbscan::with_early_exit().run(&pts, params).unwrap();
+        assert!(same_clustering(
+            &plain.clustering,
+            &early.clustering,
+            &pts,
+            params
+        ));
+        // Early exit must not do *more* stage-1 work.
+        assert!(
+            early.counters.core_identification.prim_tests
+                <= plain.counters.core_identification.prim_tests
+        );
+    }
+
+    #[test]
+    fn early_exit_reduces_work_on_dense_data() {
+        // Dense blob where every neighbourhood is far larger than minPts.
+        let pts: Vec<Point3> = (0..500)
+            .map(|i| Point3::new_2d((i % 25) as f32 * 0.05, (i / 25) as f32 * 0.05))
+            .collect();
+        let params = DbscanParams::new(2.0, 5).unwrap();
+        let plain = Fdbscan::default().run(&pts, params).unwrap();
+        let early = Fdbscan::with_early_exit().run(&pts, params).unwrap();
+        assert!(
+            (early.counters.core_identification.prim_tests as f64)
+                < 0.5 * plain.counters.core_identification.prim_tests as f64,
+            "early {} vs plain {}",
+            early.counters.core_identification.prim_tests,
+            plain.counters.core_identification.prim_tests
+        );
+    }
+
+    #[test]
+    fn all_noise_when_min_pts_unreachable() {
+        let pts = blobs(20);
+        let params = DbscanParams::new(0.5, 500).unwrap();
+        let r = Fdbscan::default().run(&pts, params).unwrap();
+        assert_eq!(r.clustering.num_clusters(), 0);
+        assert_eq!(r.clustering.noise_count(), pts.len());
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let params = DbscanParams::new(1.0, 2).unwrap();
+        let empty = Fdbscan::default().run(&[], params).unwrap();
+        assert!(empty.clustering.is_empty());
+        let single = Fdbscan::default()
+            .run(&[Point3::ORIGIN], params)
+            .unwrap();
+        assert_eq!(single.clustering.labels, vec![NOISE]);
+    }
+
+    #[test]
+    fn reports_shader_core_path_and_phase_counters() {
+        let pts = blobs(40);
+        let params = DbscanParams::new(0.5, 5).unwrap();
+        let r = Fdbscan::default().run(&pts, params).unwrap();
+        assert_eq!(r.path, ExecutionPath::ShaderCore);
+        assert!(r.counters.build.build_prims as usize == pts.len());
+        assert!(r.counters.core_identification.rays as usize == pts.len());
+        assert!(r.counters.cluster_formation.rays as usize <= pts.len());
+        assert!(r.counters.cluster_formation.union_ops > 0);
+        assert!(r.device_bytes > 0);
+        assert_eq!(r.clustering.len(), pts.len());
+    }
+
+    #[test]
+    fn names_distinguish_early_exit() {
+        assert_eq!(Fdbscan::default().name(), "FDBSCAN");
+        assert_eq!(Fdbscan::with_early_exit().name(), "FDBSCAN-EarlyExit");
+    }
+}

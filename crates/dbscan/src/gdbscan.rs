@@ -1,0 +1,253 @@
+//! G-DBSCAN baseline (Andrade et al., "G-DBSCAN: a GPU accelerated algorithm
+//! for density-based clustering").
+//!
+//! G-DBSCAN materialises the entire ε-neighbourhood graph — a vertex array
+//! with per-point degrees and a flat adjacency (edge) array — by comparing
+//! all pairs of points, then finds clusters with level-synchronous breadth
+//! first searches over that graph.  The graph is what makes it fast to
+//! cluster but also what limits it: the paper finds it runs out of the RTX
+//! 2060's 6 GB of memory above ~100 K points (Section V-B1), and building
+//! the graph costs Θ(n²) distance computations.
+//!
+//! The simulated device-memory footprint of the graph is checked against a
+//! configurable budget and the run fails with
+//! [`rtcore::Error::OutOfDeviceMemory`] when it does not fit, mirroring the
+//! paper's observation.
+
+use crate::labels::{Clustering, NOISE, UNASSIGNED};
+use crate::params::DbscanParams;
+use crate::runner::{timed, DbscanAlgorithm, PhaseCounters, PhaseTimings, RunResult};
+use rayon::prelude::*;
+use rtcore::geometry::Point3;
+use rtcore::hardware::{ExecutionPath, MemoryTracker, WorkCounters};
+use rtcore::Result;
+
+/// Configuration of the G-DBSCAN baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct GDbscan {
+    /// Simulated device-memory budget in bytes (defaults to the RTX 2060's
+    /// 6 GB).
+    pub device_memory_bytes: u64,
+}
+
+impl Default for GDbscan {
+    fn default() -> Self {
+        GDbscan {
+            device_memory_bytes: 6 * 1024 * 1024 * 1024,
+        }
+    }
+}
+
+impl DbscanAlgorithm for GDbscan {
+    fn name(&self) -> &'static str {
+        "G-DBSCAN"
+    }
+
+    fn run(&self, points: &[Point3], params: DbscanParams) -> Result<RunResult> {
+        params.validate()?;
+        let n = points.len();
+        if n == 0 {
+            return Ok(RunResult {
+                clustering: Clustering::new(vec![], vec![]),
+                timings: PhaseTimings::default(),
+                counters: PhaseCounters::default(),
+                path: ExecutionPath::ShaderCore,
+                device_bytes: 0,
+            });
+        }
+        let eps_sq = params.eps_sq();
+
+        // ------------------------------------------------------------------
+        // Graph construction: all-pairs distance comparison (this is what the
+        // original implementation does — it has no spatial index at all).
+        // ------------------------------------------------------------------
+        let ((adjacency, mut build_counters), build_time) = timed(|| {
+            let adjacency: Vec<Vec<u32>> = (0..n)
+                .into_par_iter()
+                .map(|i| {
+                    let mut neighbors = Vec::new();
+                    for j in 0..n {
+                        if i != j && points[i].distance_squared(points[j]) <= eps_sq {
+                            neighbors.push(j as u32);
+                        }
+                    }
+                    neighbors
+                })
+                .collect();
+            let edges: u64 = adjacency.iter().map(|a| a.len() as u64).sum();
+            let counters = WorkCounters {
+                dist_comps: (n as u64) * (n as u64 - 1),
+                list_ops: edges,
+                build_prims: n as u64,
+                ..WorkCounters::ZERO
+            };
+            (adjacency, counters)
+        });
+
+        // Simulated device footprint of the graph: vertex array (degree +
+        // start index per point, 8 bytes) plus 4 bytes per directed edge,
+        // plus the points themselves.
+        let edges: u64 = adjacency.iter().map(|a| a.len() as u64).sum();
+        let graph_bytes =
+            (n as u64) * 8 + edges * 4 + (n * std::mem::size_of::<Point3>()) as u64;
+        let mut tracker = MemoryTracker::new(self.device_memory_bytes);
+        tracker.allocate(graph_bytes)?;
+        build_counters.misc_ops += n as u64; // degree prefix-sum pass
+
+        // ------------------------------------------------------------------
+        // Stage 1: core points are simply the vertices with degree ≥ minPts.
+        // ------------------------------------------------------------------
+        let ((core, stage1_counters), stage1_time) = timed(|| {
+            let core: Vec<bool> = adjacency
+                .iter()
+                .map(|a| a.len() >= params.min_pts)
+                .collect();
+            let counters = WorkCounters {
+                misc_ops: n as u64,
+                ..WorkCounters::ZERO
+            };
+            (core, counters)
+        });
+
+        // ------------------------------------------------------------------
+        // Stage 2: BFS over the graph from every unvisited core point.
+        // Border points are absorbed but not expanded.
+        // ------------------------------------------------------------------
+        let ((labels, stage2_counters), stage2_time) = timed(|| {
+            let mut labels = vec![UNASSIGNED; n];
+            let mut counters = WorkCounters::ZERO;
+            let mut next_cluster = 0i64;
+            let mut frontier: Vec<u32> = Vec::new();
+            for start in 0..n {
+                if !core[start] || labels[start] != UNASSIGNED {
+                    continue;
+                }
+                let cluster = next_cluster;
+                next_cluster += 1;
+                labels[start] = cluster;
+                frontier.clear();
+                frontier.push(start as u32);
+                while let Some(v) = frontier.pop() {
+                    counters.misc_ops += 1;
+                    for &u in &adjacency[v as usize] {
+                        counters.list_ops += 1;
+                        let u = u as usize;
+                        if labels[u] == UNASSIGNED || labels[u] == NOISE {
+                            labels[u] = cluster;
+                            if core[u] {
+                                frontier.push(u as u32);
+                            }
+                        }
+                    }
+                }
+            }
+            for l in labels.iter_mut() {
+                if *l == UNASSIGNED {
+                    *l = NOISE;
+                }
+            }
+            (labels, counters)
+        });
+
+        Ok(RunResult {
+            clustering: Clustering::new(labels, core),
+            timings: PhaseTimings {
+                build: build_time,
+                core_identification: stage1_time,
+                cluster_formation: stage2_time,
+            },
+            counters: PhaseCounters {
+                build: build_counters,
+                core_identification: stage1_counters,
+                cluster_formation: stage2_counters,
+            },
+            path: ExecutionPath::ShaderCore,
+            device_bytes: graph_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classic::ClassicDbscan;
+    use crate::metrics::same_clustering;
+    use rtcore::Error;
+
+    fn two_rings_and_noise() -> Vec<Point3> {
+        let mut pts = Vec::new();
+        for i in 0..60 {
+            let a = i as f32 * 0.105;
+            pts.push(Point3::new_2d(3.0 * a.cos(), 3.0 * a.sin()));
+        }
+        for i in 0..60 {
+            let a = i as f32 * 0.105;
+            pts.push(Point3::new_2d(30.0 + 3.0 * a.cos(), 3.0 * a.sin()));
+        }
+        pts.push(Point3::new_2d(15.0, 15.0));
+        pts
+    }
+
+    #[test]
+    fn matches_classic_dbscan() {
+        let pts = two_rings_and_noise();
+        let params = DbscanParams::new(0.7, 2).unwrap();
+        let reference = ClassicDbscan::cluster(&pts, params).unwrap();
+        let g = GDbscan::default().run(&pts, params).unwrap().clustering;
+        assert_eq!(reference.core, g.core);
+        assert!(same_clustering(&reference, &g, &pts, params));
+        assert_eq!(g.num_clusters(), 2);
+    }
+
+    #[test]
+    fn quadratic_distance_work_is_counted() {
+        let pts = two_rings_and_noise();
+        let n = pts.len() as u64;
+        let params = DbscanParams::new(0.7, 2).unwrap();
+        let r = GDbscan::default().run(&pts, params).unwrap();
+        assert_eq!(r.counters.build.dist_comps, n * (n - 1));
+        assert!(r.counters.build.list_ops > 0);
+        assert_eq!(r.path, ExecutionPath::ShaderCore);
+    }
+
+    #[test]
+    fn out_of_memory_on_a_small_budget() {
+        let pts = two_rings_and_noise();
+        let params = DbscanParams::new(0.7, 2).unwrap();
+        let tiny = GDbscan {
+            device_memory_bytes: 64,
+        };
+        match tiny.run(&pts, params) {
+            Err(Error::OutOfDeviceMemory { .. }) => {}
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn graph_memory_grows_with_density() {
+        let pts = two_rings_and_noise();
+        let sparse = GDbscan::default()
+            .run(&pts, DbscanParams::new(0.3, 2).unwrap())
+            .unwrap();
+        let dense = GDbscan::default()
+            .run(&pts, DbscanParams::new(10.0, 2).unwrap())
+            .unwrap();
+        assert!(dense.device_bytes > sparse.device_bytes);
+    }
+
+    #[test]
+    fn empty_input() {
+        let params = DbscanParams::new(1.0, 2).unwrap();
+        let r = GDbscan::default().run(&[], params).unwrap();
+        assert!(r.clustering.is_empty());
+    }
+
+    #[test]
+    fn all_noise_dataset() {
+        let pts: Vec<Point3> = (0..40).map(|i| Point3::new_2d(i as f32 * 100.0, 0.0)).collect();
+        let params = DbscanParams::new(1.0, 2).unwrap();
+        let r = GDbscan::default().run(&pts, params).unwrap();
+        assert_eq!(r.clustering.num_clusters(), 0);
+        assert_eq!(r.clustering.noise_count(), 40);
+    }
+}

@@ -1,0 +1,195 @@
+//! Cluster assignments and label utilities.
+
+/// Label used for noise points.
+pub const NOISE: i64 = -1;
+
+/// Label used for points that have not been assigned yet (only observable
+/// inside algorithms; finished clusterings never contain it).
+pub const UNASSIGNED: i64 = -2;
+
+/// The result of a DBSCAN run: one label per point (`-1` = noise, otherwise a
+/// cluster id) plus the core-point flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// Cluster label per point; [`NOISE`] for noise.
+    pub labels: Vec<i64>,
+    /// `true` for core points.
+    pub core: Vec<bool>,
+}
+
+impl Clustering {
+    /// Create a clustering from raw parts.
+    ///
+    /// # Panics
+    /// Panics if the two vectors have different lengths.
+    pub fn new(labels: Vec<i64>, core: Vec<bool>) -> Self {
+        assert_eq!(labels.len(), core.len(), "labels/core length mismatch");
+        Clustering { labels, core }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if the clustering covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of distinct clusters (noise excluded).
+    pub fn num_clusters(&self) -> usize {
+        let mut ids: Vec<i64> = self.labels.iter().copied().filter(|&l| l >= 0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Number of noise points.
+    pub fn noise_count(&self) -> usize {
+        self.labels.iter().filter(|&&l| l == NOISE).count()
+    }
+
+    /// Number of core points.
+    pub fn core_count(&self) -> usize {
+        self.core.iter().filter(|&&c| c).count()
+    }
+
+    /// Number of border points (assigned to a cluster but not core).
+    pub fn border_count(&self) -> usize {
+        self.labels
+            .iter()
+            .zip(&self.core)
+            .filter(|&(&l, &c)| l >= 0 && !c)
+            .count()
+    }
+
+    /// Sizes of each cluster, keyed by canonical cluster id (see
+    /// [`Clustering::canonicalize`]); sorted descending.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        use std::collections::HashMap;
+        let mut sizes: HashMap<i64, usize> = HashMap::new();
+        for &l in &self.labels {
+            if l >= 0 {
+                *sizes.entry(l).or_default() += 1;
+            }
+        }
+        let mut out: Vec<usize> = sizes.into_values().collect();
+        out.sort_unstable_by(|a, b| b.cmp(a));
+        out
+    }
+
+    /// Relabel clusters as 0, 1, 2 … in order of first appearance, leaving
+    /// noise untouched.  Two clusterings that partition the points
+    /// identically canonicalise to identical label vectors, regardless of
+    /// the arbitrary ids the algorithms produced (union-find roots, BFS
+    /// order, …).
+    pub fn canonicalize(&self) -> Clustering {
+        use std::collections::HashMap;
+        let mut remap: HashMap<i64, i64> = HashMap::new();
+        let mut next = 0i64;
+        let labels = self
+            .labels
+            .iter()
+            .map(|&l| {
+                if l < 0 {
+                    NOISE
+                } else {
+                    *remap.entry(l).or_insert_with(|| {
+                        let id = next;
+                        next += 1;
+                        id
+                    })
+                }
+            })
+            .collect();
+        Clustering {
+            labels,
+            core: self.core.clone(),
+        }
+    }
+
+    /// True if every point is either noise or belongs to a cluster (no
+    /// [`UNASSIGNED`] left) and every cluster contains at least one core
+    /// point.
+    pub fn is_complete(&self) -> bool {
+        use std::collections::HashSet;
+        if self.labels.iter().any(|&l| l == UNASSIGNED || l < NOISE) {
+            return false;
+        }
+        let mut clusters_with_core: HashSet<i64> = HashSet::new();
+        for (&l, &c) in self.labels.iter().zip(&self.core) {
+            if l >= 0 && c {
+                clusters_with_core.insert(l);
+            }
+        }
+        self.labels
+            .iter()
+            .filter(|&&l| l >= 0)
+            .all(|l| clusters_with_core.contains(l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Clustering {
+        Clustering::new(
+            vec![5, 5, NOISE, 9, 9, 9, NOISE, 5],
+            vec![true, true, false, true, false, true, false, false],
+        )
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let c = sample();
+        assert_eq!(c.len(), 8);
+        assert!(!c.is_empty());
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.noise_count(), 2);
+        assert_eq!(c.core_count(), 4);
+        assert_eq!(c.border_count(), 2);
+        assert_eq!(c.cluster_sizes(), vec![3, 3]);
+    }
+
+    #[test]
+    fn canonicalize_relabels_in_first_appearance_order() {
+        let c = sample().canonicalize();
+        assert_eq!(c.labels, vec![0, 0, NOISE, 1, 1, 1, NOISE, 0]);
+        // Canonicalisation is idempotent.
+        assert_eq!(c.canonicalize(), c);
+    }
+
+    #[test]
+    fn canonical_forms_of_equivalent_clusterings_match() {
+        let a = Clustering::new(vec![7, 7, 3, NOISE], vec![true, true, true, false]);
+        let b = Clustering::new(vec![1, 1, 8, NOISE], vec![true, true, true, false]);
+        assert_eq!(a.canonicalize(), b.canonicalize());
+    }
+
+    #[test]
+    fn completeness_checks() {
+        assert!(sample().is_complete());
+        let unassigned = Clustering::new(vec![0, UNASSIGNED], vec![true, false]);
+        assert!(!unassigned.is_complete());
+        // A cluster with no core point is not a valid DBSCAN output.
+        let no_core = Clustering::new(vec![0, 0], vec![false, false]);
+        assert!(!no_core.is_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        Clustering::new(vec![0], vec![true, false]);
+    }
+
+    #[test]
+    fn empty_clustering() {
+        let c = Clustering::new(vec![], vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.num_clusters(), 0);
+        assert!(c.is_complete());
+        assert!(c.cluster_sizes().is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! DBSCAN parameters.
+
+use rtcore::{Error, Result};
+
+/// The two DBSCAN parameters (Section II-C of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DbscanParams {
+    /// Maximum distance between two points for them to be considered
+    /// neighbours (ε).
+    pub eps: f32,
+    /// Minimum number of neighbours (excluding the point itself) required
+    /// for a point to be a core point.
+    ///
+    /// Note on convention: the original DBSCAN paper counts the point itself
+    /// in its ε-neighbourhood; RT-DBSCAN's Algorithm 2 explicitly filters
+    /// self-intersections, so this implementation follows the paper and
+    /// counts *other* points only.  All algorithms in this crate share the
+    /// convention, so comparisons are apples-to-apples.
+    pub min_pts: usize,
+}
+
+impl DbscanParams {
+    /// Create a parameter set, validating the values.
+    pub fn new(eps: f32, min_pts: usize) -> Result<Self> {
+        let p = DbscanParams { eps, min_pts };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Validate that ε is positive and finite and minPts is at least 1.
+    pub fn validate(&self) -> Result<()> {
+        if !self.eps.is_finite() || self.eps <= 0.0 {
+            return Err(Error::InvalidConfig(format!(
+                "eps must be positive and finite, got {}",
+                self.eps
+            )));
+        }
+        if self.min_pts == 0 {
+            return Err(Error::InvalidConfig("min_pts must be at least 1".into()));
+        }
+        Ok(())
+    }
+
+    /// ε squared, the quantity actually compared against squared distances.
+    #[inline]
+    pub fn eps_sq(&self) -> f32 {
+        self.eps * self.eps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_params_construct() {
+        let p = DbscanParams::new(0.5, 10).unwrap();
+        assert_eq!(p.eps, 0.5);
+        assert_eq!(p.min_pts, 10);
+        assert_eq!(p.eps_sq(), 0.25);
+    }
+
+    #[test]
+    fn invalid_eps_rejected() {
+        assert!(DbscanParams::new(0.0, 10).is_err());
+        assert!(DbscanParams::new(-1.0, 10).is_err());
+        assert!(DbscanParams::new(f32::NAN, 10).is_err());
+        assert!(DbscanParams::new(f32::INFINITY, 10).is_err());
+    }
+
+    #[test]
+    fn zero_min_pts_rejected() {
+        assert!(DbscanParams::new(1.0, 0).is_err());
+    }
+
+    #[test]
+    fn validate_matches_new() {
+        let p = DbscanParams {
+            eps: -2.0,
+            min_pts: 5,
+        };
+        assert!(p.validate().is_err());
+    }
+}

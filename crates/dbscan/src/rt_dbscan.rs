@@ -1,0 +1,812 @@
+//! RT-DBSCAN — the paper's contribution.
+//!
+//! RT-DBSCAN re-expresses DBSCAN's fixed-radius neighbour searches as ray
+//! tracing queries so that the BVH build and traversal can run on RT cores:
+//!
+//! 1. **Input transformation** (Section III-B): every data point becomes a
+//!    solid sphere of radius ε.  The device builder also performs primitive
+//!    compaction, merging exactly coincident centres into one sphere with a
+//!    multiplicity count (see `rtcore::bvh::compact`).
+//! 2. **Stage 1 — core-point identification** (Algorithm 3, lines 1–6): one
+//!    infinitesimal ray is launched per point; the Intersection program
+//!    counts how many spheres contain the ray origin.  Points with at least
+//!    `minPts` neighbours are core points.
+//! 3. **Stage 2 — cluster formation** (Algorithm 3, lines 7–18): one ray per
+//!    core point; the Intersection program merges core neighbours through a
+//!    parallel Union-Find and atomically claims border points (the paper's
+//!    critical section).  Neighbour lists are never materialised — the
+//!    distance work is simply recomputed, which is what keeps the memory
+//!    footprint minimal.
+//!
+//! Both stages are implemented *inside the Intersection program* of the
+//! OptiX-style pipeline, with AnyHit and ClosestHit disabled, exactly as
+//! Section IV describes.  All traversal work is charged to the RT-core
+//! execution path of the device model.
+
+use crate::disjoint_set::ConcurrentDisjointSet;
+use crate::labels::{Clustering, NOISE};
+use crate::params::DbscanParams;
+use crate::runner::{timed, DbscanAlgorithm, PhaseCounters, PhaseTimings, RunResult};
+use rtcore::bvh::{
+    compact_coincident, spheres_from_points, BuilderKind, Bvh, BvhBuilder, LbvhBuilder,
+    MedianSplitBuilder, SahBuilder,
+};
+use rtcore::geometry::{Point3, Ray, Sphere};
+use rtcore::hardware::{ExecutionPath, WorkCounters};
+use rtcore::pipeline::{GeometryKind, Pipeline, PipelineConfig, ProgramFlow, RayProgram};
+use rtcore::Result;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Configuration of RT-DBSCAN.
+#[derive(Debug, Clone, Copy)]
+pub struct RtDbscan {
+    /// Merge exactly coincident points into one primitive at build time.
+    /// This is part of the (simulated) device builder; disabling it is an
+    /// ablation knob, not something the OptiX user controls.
+    pub compaction: bool,
+    /// Which builder the device uses for its acceleration structure.
+    pub builder: BuilderKind,
+    /// How the ε-spheres are presented to the hardware.
+    /// [`GeometryKind::TriangleSpheres`] reproduces the Section VI-C
+    /// ablation (2–5× slower because of AnyHit overhead).
+    pub geometry: GeometryKind,
+}
+
+impl Default for RtDbscan {
+    fn default() -> Self {
+        RtDbscan {
+            compaction: true,
+            builder: BuilderKind::BinnedSah,
+            geometry: GeometryKind::CustomSpheres,
+        }
+    }
+}
+
+impl RtDbscan {
+    /// The triangle-tessellation ablation of Section VI-C: spheres are
+    /// approximated with `triangles_per_sphere` triangles so the hardware
+    /// triangle unit can be used, at the price of one AnyHit call per hit.
+    pub fn with_triangle_geometry(triangles_per_sphere: u32) -> Self {
+        RtDbscan {
+            geometry: GeometryKind::TriangleSpheres {
+                triangles_per_sphere,
+            },
+            ..RtDbscan::default()
+        }
+    }
+
+    /// RT-DBSCAN without the device-side primitive compaction (ablation).
+    pub fn without_compaction() -> Self {
+        RtDbscan {
+            compaction: false,
+            ..RtDbscan::default()
+        }
+    }
+
+    fn build_scene(
+        &self,
+        points: &[Point3],
+        eps: f32,
+    ) -> Result<(Bvh, Vec<u32>, WorkCounters)> {
+        let mut extra = WorkCounters::ZERO;
+        let (spheres, representative_of) = if self.compaction {
+            let compaction = compact_coincident(points, eps);
+            extra.compaction_merges += compaction.merged;
+            // The bounds program still runs once per *input* primitive before
+            // the device merges duplicates, so charge the merged ones too.
+            extra.build_prims += compaction.merged;
+            (compaction.spheres, compaction.representative_of)
+        } else {
+            (
+                spheres_from_points(points, eps),
+                (0..points.len() as u32).collect(),
+            )
+        };
+        let bvh = match self.builder {
+            BuilderKind::BinnedSah => SahBuilder::default().build(spheres)?,
+            BuilderKind::Lbvh => LbvhBuilder::default().build(spheres)?,
+            BuilderKind::MedianSplit => MedianSplitBuilder::default().build(spheres)?,
+        };
+        Ok((bvh, representative_of, extra))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stage 1: neighbour counting inside the Intersection program.
+// ---------------------------------------------------------------------------
+
+struct CorePointProgram<'a> {
+    points: &'a [Point3],
+    representative_of: &'a [u32],
+    eps_sq: f32,
+}
+
+impl RayProgram for CorePointProgram<'_> {
+    type Payload = u64;
+
+    fn ray_gen(&self, launch_index: usize) -> (Ray, u64) {
+        (Ray::epsilon_ray(self.points[launch_index]), 0)
+    }
+
+    fn intersection(
+        &self,
+        launch_index: usize,
+        sphere: &Sphere,
+        ray: &Ray,
+        payload: &mut u64,
+        counters: &mut WorkCounters,
+    ) -> ProgramFlow {
+        counters.dist_comps += 1;
+        if sphere.center.distance_squared(ray.origin) <= self.eps_sq {
+            if sphere.point_index == self.representative_of[launch_index] {
+                // The sphere at our own location: its multiplicity includes
+                // this very point, so only the other coincident points count.
+                *payload += (sphere.multiplicity - 1) as u64;
+            } else {
+                *payload += sphere.multiplicity as u64;
+            }
+        }
+        ProgramFlow::Continue
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stage 2: union-find updates inside the Intersection program.
+// ---------------------------------------------------------------------------
+
+struct ClusterFormationProgram<'a> {
+    points: &'a [Point3],
+    core_indices: &'a [u32],
+    core: &'a [bool],
+    claimed: &'a [AtomicBool],
+    dsu: &'a ConcurrentDisjointSet,
+    eps_sq: f32,
+}
+
+impl RayProgram for ClusterFormationProgram<'_> {
+    type Payload = ();
+
+    fn ray_gen(&self, launch_index: usize) -> (Ray, ()) {
+        let p = self.core_indices[launch_index] as usize;
+        (Ray::epsilon_ray(self.points[p]), ())
+    }
+
+    fn intersection(
+        &self,
+        launch_index: usize,
+        sphere: &Sphere,
+        ray: &Ray,
+        _payload: &mut (),
+        counters: &mut WorkCounters,
+    ) -> ProgramFlow {
+        counters.dist_comps += 1;
+        let p = self.core_indices[launch_index] as usize;
+        let q = sphere.point_index as usize;
+        if q != p && sphere.center.distance_squared(ray.origin) <= self.eps_sq {
+            if self.core[q] {
+                self.dsu.union(p, q);
+            } else if self.claimed[q]
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                // Critical section of Algorithm 3 (line 14): a border point
+                // may be reachable from several clusters but must join only
+                // one, otherwise two clusters would be merged incorrectly.
+                self.dsu.union(p, q);
+            }
+        }
+        ProgramFlow::Continue
+    }
+}
+
+impl DbscanAlgorithm for RtDbscan {
+    fn name(&self) -> &'static str {
+        match self.geometry {
+            GeometryKind::CustomSpheres => {
+                if self.compaction {
+                    "RT-DBSCAN"
+                } else {
+                    "RT-DBSCAN (no compaction)"
+                }
+            }
+            GeometryKind::TriangleSpheres { .. } => "RT-DBSCAN (triangles)",
+        }
+    }
+
+    fn run(&self, points: &[Point3], params: DbscanParams) -> Result<RunResult> {
+        params.validate()?;
+        let n = points.len();
+        if n == 0 {
+            return Ok(RunResult {
+                clustering: Clustering::new(vec![], vec![]),
+                timings: PhaseTimings::default(),
+                counters: PhaseCounters::default(),
+                path: ExecutionPath::RtCore,
+                device_bytes: 0,
+            });
+        }
+
+        // ------------------------------------------------------------------
+        // Build: input transformation + device acceleration structure.
+        // ------------------------------------------------------------------
+        let (scene, build_time) = timed(|| self.build_scene(points, params.eps));
+        let (bvh, representative_of, extra_build) = scene?;
+        let build_counters = bvh.build_counters + extra_build;
+
+        let pipeline_config = PipelineConfig {
+            geometry: self.geometry,
+            ..PipelineConfig::default()
+        };
+        let pipeline = Pipeline::with_config(&bvh, pipeline_config);
+        let eps_sq = params.eps_sq();
+
+        // ------------------------------------------------------------------
+        // Stage 1: one ray per point, count neighbours, mark core points.
+        // ------------------------------------------------------------------
+        let (stage1, stage1_time) = timed(|| {
+            pipeline.launch(
+                n,
+                &CorePointProgram {
+                    points,
+                    representative_of: &representative_of,
+                    eps_sq,
+                },
+            )
+        });
+        let core: Vec<bool> = stage1
+            .payloads
+            .iter()
+            .map(|&count| count as usize >= params.min_pts)
+            .collect();
+        let stage1_counters = stage1.counters;
+
+        // ------------------------------------------------------------------
+        // Stage 2: one ray per core point, union-find cluster formation.
+        // ------------------------------------------------------------------
+        let core_indices: Vec<u32> = (0..n as u32).filter(|&i| core[i as usize]).collect();
+        let dsu = ConcurrentDisjointSet::new(n);
+        let claimed: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+        let (stage2, stage2_time) = timed(|| {
+            pipeline.launch(
+                core_indices.len(),
+                &ClusterFormationProgram {
+                    points,
+                    core_indices: &core_indices,
+                    core: &core,
+                    claimed: &claimed,
+                    dsu: &dsu,
+                    eps_sq,
+                },
+            )
+        });
+        let mut stage2_counters = stage2.counters;
+        let (find_ops, union_ops) = dsu.op_counts();
+        stage2_counters.find_ops += find_ops;
+        stage2_counters.union_ops += union_ops;
+
+        // ------------------------------------------------------------------
+        // Materialise labels.  Coincident duplicates that were merged away at
+        // build time inherit the assignment of their representative (they
+        // have identical neighbourhoods, so this is always a valid DBSCAN
+        // assignment).
+        // ------------------------------------------------------------------
+        let mut labels: Vec<i64> = (0..n)
+            .map(|i| {
+                if core[i] || claimed[i].load(Ordering::Relaxed) {
+                    dsu.find(i) as i64
+                } else {
+                    NOISE
+                }
+            })
+            .collect();
+        let mut dup_fixups = 0u64;
+        for i in 0..n {
+            let rep = representative_of[i] as usize;
+            if rep != i && labels[i] == NOISE && labels[rep] >= 0 {
+                labels[i] = labels[rep];
+                dup_fixups += 1;
+            }
+        }
+        stage2_counters.misc_ops += dup_fixups;
+
+        let device_bytes = bvh.device_bytes()
+            + (n * std::mem::size_of::<Point3>()) as u64
+            + (n * std::mem::size_of::<usize>()) as u64 // union-find parents
+            + 2 * n as u64; // core + claimed flags
+
+        Ok(RunResult {
+            clustering: Clustering::new(labels, core),
+            timings: PhaseTimings {
+                build: build_time,
+                core_identification: stage1_time,
+                cluster_formation: stage2_time,
+            },
+            counters: PhaseCounters {
+                build: build_counters,
+                core_identification: stage1_counters,
+                cluster_formation: stage2_counters,
+            },
+            path: ExecutionPath::RtCore,
+            device_bytes,
+        })
+    }
+}
+
+/// A reusable RT-DBSCAN session for parameter exploration (Section VI-B).
+///
+/// The paper argues that the realistic DBSCAN workflow is to run the
+/// clustering many times while exploring parameters, and that recording the
+/// full neighbour count of every point (instead of early-exiting the
+/// traversal) lets every later run with a different `minPts` skip the
+/// core-point identification stage entirely.  `RtDbscanSession` implements
+/// exactly that workflow:
+///
+/// * [`RtDbscanSession::new`] builds the acceleration structure and runs
+///   stage 1 once, recording the neighbour count of every point;
+/// * [`RtDbscanSession::cluster`] produces a full clustering for any
+///   `minPts` value, paying only for the stage-2 traversal.
+///
+/// ```
+/// use rtcore::geometry::Point3;
+/// use rtdbscan::rt_dbscan::RtDbscanSession;
+///
+/// let points: Vec<Point3> = (0..60).map(|i| Point3::new_2d(0.1 * (i % 30) as f32, (i / 30) as f32)).collect();
+/// let session = RtDbscanSession::new(&points, 0.25).unwrap();
+/// let strict = session.cluster(8).unwrap();
+/// let loose = session.cluster(2).unwrap();
+/// assert!(loose.clustering.core_count() >= strict.clustering.core_count());
+/// ```
+#[derive(Debug)]
+pub struct RtDbscanSession {
+    points: Vec<Point3>,
+    eps: f32,
+    config: RtDbscan,
+    bvh: Bvh,
+    representative_of: Vec<u32>,
+    neighbor_counts: Vec<u64>,
+    build_counters: WorkCounters,
+    stage1_counters: WorkCounters,
+    build_time: std::time::Duration,
+    stage1_time: std::time::Duration,
+}
+
+impl RtDbscanSession {
+    /// Build the scene and record every point's ε-neighbour count with the
+    /// default RT-DBSCAN configuration.
+    pub fn new(points: &[Point3], eps: f32) -> Result<Self> {
+        Self::with_config(points, eps, RtDbscan::default())
+    }
+
+    /// Build a session with an explicit RT-DBSCAN configuration.
+    pub fn with_config(points: &[Point3], eps: f32, config: RtDbscan) -> Result<Self> {
+        // Validate eps through the params type (minPts is irrelevant here).
+        DbscanParams::new(eps, 1)?;
+        if points.is_empty() {
+            return Ok(RtDbscanSession {
+                points: Vec::new(),
+                eps,
+                config,
+                bvh: Bvh {
+                    nodes: vec![],
+                    primitives: vec![],
+                    builder: config.builder,
+                    build_counters: WorkCounters::ZERO,
+                },
+                representative_of: Vec::new(),
+                neighbor_counts: Vec::new(),
+                build_counters: WorkCounters::ZERO,
+                stage1_counters: WorkCounters::ZERO,
+                build_time: std::time::Duration::ZERO,
+                stage1_time: std::time::Duration::ZERO,
+            });
+        }
+        let (scene, build_time) = timed(|| config.build_scene(points, eps));
+        let (bvh, representative_of, extra_build) = scene?;
+        let build_counters = bvh.build_counters + extra_build;
+
+        let pipeline_config = PipelineConfig {
+            geometry: config.geometry,
+            ..PipelineConfig::default()
+        };
+        let eps_sq = eps * eps;
+        let (stage1, stage1_time) = timed(|| {
+            Pipeline::with_config(&bvh, pipeline_config).launch(
+                points.len(),
+                &CorePointProgram {
+                    points,
+                    representative_of: &representative_of,
+                    eps_sq,
+                },
+            )
+        });
+        Ok(RtDbscanSession {
+            points: points.to_vec(),
+            eps,
+            config,
+            bvh,
+            representative_of,
+            neighbor_counts: stage1.payloads,
+            build_counters,
+            stage1_counters: stage1.counters,
+            build_time,
+            stage1_time,
+        })
+    }
+
+    /// The search radius this session was built for.
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+
+    /// Number of points in the session.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the session holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The recorded ε-neighbour count of every point (self excluded) — the
+    /// quantity whose retention Section VI-B argues for.
+    pub fn neighbor_counts(&self) -> &[u64] {
+        &self.neighbor_counts
+    }
+
+    /// Number of points that would be core points for a given `minPts`.
+    pub fn core_count_for(&self, min_pts: usize) -> usize {
+        self.neighbor_counts
+            .iter()
+            .filter(|&&c| c as usize >= min_pts)
+            .count()
+    }
+
+    /// The `minPts` value at which a given fraction (0..1) of the points
+    /// would qualify as core points — a simple parameter-selection helper
+    /// for the exploration workflow.
+    pub fn min_pts_for_core_fraction(&self, fraction: f64) -> usize {
+        if self.neighbor_counts.is_empty() {
+            return 1;
+        }
+        let mut counts: Vec<u64> = self.neighbor_counts.clone();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let idx = ((counts.len() as f64 * fraction.clamp(0.0, 1.0)).ceil() as usize)
+            .clamp(1, counts.len());
+        (counts[idx - 1] as usize).max(1)
+    }
+
+    /// Cluster with a given `minPts`, reusing the acceleration structure and
+    /// the recorded neighbour counts.  Only the cluster-formation stage is
+    /// executed; its cost is reported in the returned
+    /// [`RunResult::counters`] (`build` and `core_identification` are zero
+    /// because that work is shared across all calls on this session).
+    pub fn cluster(&self, min_pts: usize) -> Result<RunResult> {
+        DbscanParams::new(self.eps, min_pts)?;
+        let n = self.points.len();
+        if n == 0 {
+            return Ok(RunResult {
+                clustering: Clustering::new(vec![], vec![]),
+                timings: PhaseTimings::default(),
+                counters: PhaseCounters::default(),
+                path: ExecutionPath::RtCore,
+                device_bytes: 0,
+            });
+        }
+        let core: Vec<bool> = self
+            .neighbor_counts
+            .iter()
+            .map(|&c| c as usize >= min_pts)
+            .collect();
+        let core_indices: Vec<u32> = (0..n as u32).filter(|&i| core[i as usize]).collect();
+        let dsu = ConcurrentDisjointSet::new(n);
+        let claimed: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+        let pipeline_config = PipelineConfig {
+            geometry: self.config.geometry,
+            ..PipelineConfig::default()
+        };
+        let eps_sq = self.eps * self.eps;
+        let (stage2, stage2_time) = timed(|| {
+            Pipeline::with_config(&self.bvh, pipeline_config).launch(
+                core_indices.len(),
+                &ClusterFormationProgram {
+                    points: &self.points,
+                    core_indices: &core_indices,
+                    core: &core,
+                    claimed: &claimed,
+                    dsu: &dsu,
+                    eps_sq,
+                },
+            )
+        });
+        let mut stage2_counters = stage2.counters;
+        let (find_ops, union_ops) = dsu.op_counts();
+        stage2_counters.find_ops += find_ops;
+        stage2_counters.union_ops += union_ops;
+
+        let mut labels: Vec<i64> = (0..n)
+            .map(|i| {
+                if core[i] || claimed[i].load(Ordering::Relaxed) {
+                    dsu.find(i) as i64
+                } else {
+                    NOISE
+                }
+            })
+            .collect();
+        for i in 0..n {
+            let rep = self.representative_of[i] as usize;
+            if rep != i && labels[i] == NOISE && labels[rep] >= 0 {
+                labels[i] = labels[rep];
+                stage2_counters.misc_ops += 1;
+            }
+        }
+
+        Ok(RunResult {
+            clustering: Clustering::new(labels, core),
+            timings: PhaseTimings {
+                build: std::time::Duration::ZERO,
+                core_identification: std::time::Duration::ZERO,
+                cluster_formation: stage2_time,
+            },
+            counters: PhaseCounters {
+                build: WorkCounters::ZERO,
+                core_identification: WorkCounters::ZERO,
+                cluster_formation: stage2_counters,
+            },
+            path: ExecutionPath::RtCore,
+            device_bytes: self.bvh.device_bytes()
+                + (n * std::mem::size_of::<Point3>()) as u64
+                + 8 * n as u64,
+        })
+    }
+
+    /// The one-off cost of building this session (acceleration-structure
+    /// build plus the stage-1 launch): counters and wall-clock timings.
+    pub fn setup_cost(&self) -> (PhaseCounters, PhaseTimings) {
+        (
+            PhaseCounters {
+                build: self.build_counters,
+                core_identification: self.stage1_counters,
+                cluster_formation: WorkCounters::ZERO,
+            },
+            PhaseTimings {
+                build: self.build_time,
+                core_identification: self.stage1_time,
+                cluster_formation: std::time::Duration::ZERO,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classic::ClassicDbscan;
+    use crate::fdbscan::Fdbscan;
+    use crate::metrics::same_clustering;
+
+    fn blobs_with_noise() -> Vec<Point3> {
+        let mut pts = Vec::new();
+        for c in 0..4 {
+            let cx = (c % 2) as f32 * 15.0;
+            let cy = (c / 2) as f32 * 15.0;
+            for i in 0..50 {
+                let a = i as f32 * 0.251;
+                let r = 0.9 * ((i % 11) as f32 / 11.0);
+                pts.push(Point3::new_2d(cx + r * a.cos(), cy + r * a.sin()));
+            }
+        }
+        for i in 0..10 {
+            pts.push(Point3::new_2d(7.5, 3.0 + i as f32));
+        }
+        pts
+    }
+
+    #[test]
+    fn matches_classic_dbscan() {
+        let pts = blobs_with_noise();
+        let params = DbscanParams::new(0.5, 5).unwrap();
+        let reference = ClassicDbscan::cluster(&pts, params).unwrap();
+        let rt = RtDbscan::default().run(&pts, params).unwrap().clustering;
+        assert_eq!(reference.core, rt.core);
+        assert!(same_clustering(&reference, &rt, &pts, params));
+        assert_eq!(reference.num_clusters(), rt.num_clusters());
+    }
+
+    #[test]
+    fn matches_fdbscan_baseline() {
+        let pts = blobs_with_noise();
+        for (eps, min_pts) in [(0.4, 3), (0.8, 10), (2.0, 4)] {
+            let params = DbscanParams::new(eps, min_pts).unwrap();
+            let fd = Fdbscan::default().run(&pts, params).unwrap().clustering;
+            let rt = RtDbscan::default().run(&pts, params).unwrap().clustering;
+            assert_eq!(fd.core, rt.core, "eps={eps} min_pts={min_pts}");
+            assert!(
+                same_clustering(&fd, &rt, &pts, params),
+                "eps={eps} min_pts={min_pts}"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_heavily_duplicated_points() {
+        // 30 copies of each of 5 locations plus a separate sparse line.
+        let mut pts = Vec::new();
+        for loc in 0..5 {
+            for _ in 0..30 {
+                pts.push(Point3::new_2d(loc as f32 * 0.2, 0.0));
+            }
+        }
+        for i in 0..20 {
+            pts.push(Point3::new_2d(100.0 + i as f32 * 5.0, 0.0));
+        }
+        let params = DbscanParams::new(0.5, 10).unwrap();
+        let reference = ClassicDbscan::cluster(&pts, params).unwrap();
+        let rt = RtDbscan::default().run(&pts, params).unwrap();
+        assert_eq!(reference.core, rt.clustering.core);
+        assert!(same_clustering(&reference, &rt.clustering, &pts, params));
+        // Compaction must have merged the duplicates.
+        assert!(rt.counters.build.compaction_merges > 0);
+    }
+
+    #[test]
+    fn compaction_reduces_intersection_calls_on_duplicated_data() {
+        let mut pts = Vec::new();
+        for loc in 0..20 {
+            for _ in 0..50 {
+                pts.push(Point3::new_2d(loc as f32, (loc % 3) as f32));
+            }
+        }
+        let params = DbscanParams::new(0.1, 100).unwrap();
+        let with = RtDbscan::default().run(&pts, params).unwrap();
+        let without = RtDbscan::without_compaction().run(&pts, params).unwrap();
+        assert_eq!(with.clustering.core, without.clustering.core);
+        assert!(
+            with.counters.core_identification.prim_tests * 5
+                < without.counters.core_identification.prim_tests,
+            "with {} vs without {}",
+            with.counters.core_identification.prim_tests,
+            without.counters.core_identification.prim_tests
+        );
+    }
+
+    #[test]
+    fn triangle_geometry_gives_same_clusters_but_more_work() {
+        let pts = blobs_with_noise();
+        let params = DbscanParams::new(0.5, 5).unwrap();
+        let spheres = RtDbscan::default().run(&pts, params).unwrap();
+        let triangles = RtDbscan::with_triangle_geometry(20)
+            .run(&pts, params)
+            .unwrap();
+        assert_eq!(spheres.clustering.core, triangles.clustering.core);
+        assert!(same_clustering(
+            &spheres.clustering,
+            &triangles.clustering,
+            &pts,
+            params
+        ));
+        assert_eq!(spheres.counters.total().anyhit_invocations, 0);
+        assert!(triangles.counters.total().anyhit_invocations > 0);
+    }
+
+    #[test]
+    fn reports_rt_core_path_and_build_breakdown() {
+        let pts = blobs_with_noise();
+        let params = DbscanParams::new(0.5, 5).unwrap();
+        let r = RtDbscan::default().run(&pts, params).unwrap();
+        assert_eq!(r.path, ExecutionPath::RtCore);
+        assert_eq!(r.counters.build.build_prims as usize, pts.len());
+        assert_eq!(r.counters.core_identification.rays as usize, pts.len());
+        assert!(r.counters.cluster_formation.union_ops > 0);
+        assert!(r.device_bytes > 0);
+    }
+
+    #[test]
+    fn empty_input_and_all_noise() {
+        let params = DbscanParams::new(0.5, 5).unwrap();
+        let empty = RtDbscan::default().run(&[], params).unwrap();
+        assert!(empty.clustering.is_empty());
+
+        let sparse: Vec<Point3> = (0..50).map(|i| Point3::new_2d(i as f32 * 10.0, 0.0)).collect();
+        let r = RtDbscan::default().run(&sparse, params).unwrap();
+        assert_eq!(r.clustering.num_clusters(), 0);
+        assert_eq!(r.clustering.noise_count(), 50);
+    }
+
+    #[test]
+    fn names_reflect_configuration() {
+        assert_eq!(RtDbscan::default().name(), "RT-DBSCAN");
+        assert_eq!(
+            RtDbscan::without_compaction().name(),
+            "RT-DBSCAN (no compaction)"
+        );
+        assert_eq!(
+            RtDbscan::with_triangle_geometry(12).name(),
+            "RT-DBSCAN (triangles)"
+        );
+    }
+
+    #[test]
+    fn session_matches_one_shot_runs_for_every_min_pts() {
+        let pts = blobs_with_noise();
+        let session = RtDbscanSession::new(&pts, 0.5).unwrap();
+        for min_pts in [2usize, 5, 20, 500] {
+            let params = DbscanParams::new(0.5, min_pts).unwrap();
+            let one_shot = RtDbscan::default().run(&pts, params).unwrap().clustering;
+            let reused = session.cluster(min_pts).unwrap().clustering;
+            assert_eq!(one_shot.core, reused.core, "minPts={min_pts}");
+            assert!(
+                same_clustering(&one_shot, &reused, &pts, params),
+                "minPts={min_pts}"
+            );
+            assert_eq!(session.core_count_for(min_pts), reused.core_count());
+        }
+    }
+
+    #[test]
+    fn session_reuse_skips_stage_one_work() {
+        let pts = blobs_with_noise();
+        let session = RtDbscanSession::new(&pts, 0.5).unwrap();
+        let run = session.cluster(5).unwrap();
+        assert_eq!(run.counters.build, WorkCounters::ZERO);
+        assert_eq!(run.counters.core_identification, WorkCounters::ZERO);
+        assert!(run.counters.cluster_formation.rays > 0);
+        let (setup_counters, _) = session.setup_cost();
+        assert!(setup_counters.build.build_prims > 0);
+        assert_eq!(setup_counters.core_identification.rays as usize, pts.len());
+    }
+
+    #[test]
+    fn session_neighbor_counts_match_brute_force() {
+        let pts = blobs_with_noise();
+        let eps = 0.5f32;
+        let session = RtDbscanSession::new(&pts, eps).unwrap();
+        for (i, &count) in session.neighbor_counts().iter().enumerate().step_by(17) {
+            let expected = pts
+                .iter()
+                .enumerate()
+                .filter(|&(j, q)| j != i && pts[i].distance(*q) <= eps)
+                .count() as u64;
+            assert_eq!(count, expected, "point {i}");
+        }
+    }
+
+    #[test]
+    fn session_parameter_helpers() {
+        let pts = blobs_with_noise();
+        let session = RtDbscanSession::new(&pts, 0.5).unwrap();
+        assert_eq!(session.len(), pts.len());
+        assert!(!session.is_empty());
+        assert_eq!(session.eps(), 0.5);
+        let min_pts_half = session.min_pts_for_core_fraction(0.5);
+        let cores = session.core_count_for(min_pts_half);
+        assert!(cores >= pts.len() / 2, "{cores} of {}", pts.len());
+        // An empty session behaves sanely.
+        let empty = RtDbscanSession::new(&[], 0.5).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.min_pts_for_core_fraction(0.5), 1);
+        assert!(empty.cluster(3).unwrap().clustering.is_empty());
+    }
+
+    #[test]
+    fn session_rejects_invalid_parameters() {
+        let pts = blobs_with_noise();
+        assert!(RtDbscanSession::new(&pts, -1.0).is_err());
+        let session = RtDbscanSession::new(&pts, 0.5).unwrap();
+        assert!(session.cluster(0).is_err());
+    }
+
+    #[test]
+    fn lbvh_builder_variant_is_still_correct() {
+        let pts = blobs_with_noise();
+        let params = DbscanParams::new(0.5, 5).unwrap();
+        let alt = RtDbscan {
+            builder: BuilderKind::Lbvh,
+            ..RtDbscan::default()
+        };
+        let reference = ClassicDbscan::cluster(&pts, params).unwrap();
+        let rt = alt.run(&pts, params).unwrap().clustering;
+        assert_eq!(reference.core, rt.core);
+        assert!(same_clustering(&reference, &rt, &pts, params));
+    }
+}

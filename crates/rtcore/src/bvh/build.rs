@@ -1,0 +1,591 @@
+//! BVH builders.
+
+use crate::bvh::{Bvh, BvhNode, NodeKind};
+use crate::error::{Error, Result};
+use crate::geometry::{morton_encode_3d, radix_sort_by_code, Aabb, MortonCode, Sphere};
+use crate::hardware::WorkCounters;
+
+/// Identifies which construction algorithm produced a [`Bvh`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BuilderKind {
+    /// Morton-curve linear BVH (GPU-style fast build).
+    Lbvh,
+    /// Binned Surface Area Heuristic build.
+    BinnedSah,
+    /// Longest-axis median split.
+    MedianSplit,
+}
+
+impl std::fmt::Display for BuilderKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuilderKind::Lbvh => write!(f, "LBVH"),
+            BuilderKind::BinnedSah => write!(f, "binned-SAH"),
+            BuilderKind::MedianSplit => write!(f, "median-split"),
+        }
+    }
+}
+
+/// Common interface of every builder.
+pub trait BvhBuilder: Sync {
+    /// Build a hierarchy over the given primitives.
+    ///
+    /// Fails with [`Error::EmptyScene`] if `prims` is empty and
+    /// [`Error::InvalidPrimitive`] if any primitive has non-finite geometry
+    /// or a negative radius.
+    fn build(&self, prims: Vec<Sphere>) -> Result<Bvh>;
+
+    /// The kind tag recorded in the produced [`Bvh`].
+    fn kind(&self) -> BuilderKind;
+}
+
+/// Validate primitives before building.
+fn validate_prims(prims: &[Sphere]) -> Result<()> {
+    if prims.is_empty() {
+        return Err(Error::EmptyScene);
+    }
+    for (i, s) in prims.iter().enumerate() {
+        if !s.center.is_finite() {
+            return Err(Error::InvalidPrimitive {
+                index: i,
+                reason: "non-finite sphere centre".into(),
+            });
+        }
+        if !s.radius.is_finite() || s.radius < 0.0 {
+            return Err(Error::InvalidPrimitive {
+                index: i,
+                reason: format!("invalid radius {}", s.radius),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Bounds of a contiguous primitive range.
+fn range_bounds(prims: &[Sphere]) -> Aabb {
+    prims
+        .iter()
+        .fold(Aabb::EMPTY, |acc, s| acc.union(&s.bounds()))
+}
+
+/// Bounds of the primitive *centroids* in a range (used for splitting).
+fn centroid_bounds(prims: &[Sphere]) -> Aabb {
+    prims
+        .iter()
+        .fold(Aabb::EMPTY, |acc, s| acc.grown_to_include(s.center))
+}
+
+/// Shared recursive emitter: given a primitive array that the builder is
+/// allowed to reorder, recursively partition `[start, end)` and append nodes.
+///
+/// `split` decides where to partition a range; it returns `None` to force a
+/// leaf.  Returns the index of the node created for the range.
+fn emit_node<S>(
+    prims: &mut [Sphere],
+    start: usize,
+    end: usize,
+    max_leaf_size: usize,
+    nodes: &mut Vec<BvhNode>,
+    counters: &mut WorkCounters,
+    split: &S,
+) -> u32
+where
+    S: Fn(&mut [Sphere], usize, usize, &mut WorkCounters) -> Option<usize>,
+{
+    let node_index = nodes.len() as u32;
+    let bounds = range_bounds(&prims[start..end]);
+    counters.build_node_ops += 1;
+    // Placeholder, patched below once children are known.
+    nodes.push(BvhNode {
+        bounds,
+        kind: NodeKind::Leaf {
+            first_prim: start as u32,
+            prim_count: (end - start) as u32,
+        },
+    });
+
+    let count = end - start;
+    if count <= max_leaf_size {
+        return node_index;
+    }
+    let mid = match split(prims, start, end, counters) {
+        Some(mid) if mid > start && mid < end => mid,
+        _ => return node_index, // could not split further: keep as leaf
+    };
+    let left = emit_node(prims, start, mid, max_leaf_size, nodes, counters, split);
+    let right = emit_node(prims, mid, end, max_leaf_size, nodes, counters, split);
+    nodes[node_index as usize].kind = NodeKind::Internal { left, right };
+    node_index
+}
+
+fn finish_build(
+    kind: BuilderKind,
+    mut prims: Vec<Sphere>,
+    max_leaf_size: usize,
+    split: impl Fn(&mut [Sphere], usize, usize, &mut WorkCounters) -> Option<usize>,
+    mut counters: WorkCounters,
+) -> Bvh {
+    let mut nodes = Vec::with_capacity(2 * prims.len().max(1));
+    counters.build_prims += prims.len() as u64;
+    let n = prims.len();
+    emit_node(
+        &mut prims,
+        0,
+        n,
+        max_leaf_size.max(1),
+        &mut nodes,
+        &mut counters,
+        &split,
+    );
+    Bvh {
+        nodes,
+        primitives: prims,
+        builder: kind,
+        build_counters: counters,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Median split
+// ---------------------------------------------------------------------------
+
+/// Longest-axis median-split builder.
+///
+/// Simple and predictable; used as the reference in tests and as an ablation
+/// point in the benchmarks.
+#[derive(Debug, Clone, Copy)]
+pub struct MedianSplitBuilder {
+    /// Maximum number of primitives per leaf.
+    pub max_leaf_size: usize,
+}
+
+impl Default for MedianSplitBuilder {
+    fn default() -> Self {
+        MedianSplitBuilder { max_leaf_size: 4 }
+    }
+}
+
+impl BvhBuilder for MedianSplitBuilder {
+    fn build(&self, prims: Vec<Sphere>) -> Result<Bvh> {
+        validate_prims(&prims)?;
+        let max_leaf = self.max_leaf_size;
+        Ok(finish_build(
+            BuilderKind::MedianSplit,
+            prims,
+            max_leaf,
+            |prims, start, end, counters| {
+                let cb = centroid_bounds(&prims[start..end]);
+                let axis = cb.longest_axis();
+                let (ex, ey, ez) = cb.extent();
+                if ex <= 0.0 && ey <= 0.0 && ez <= 0.0 {
+                    // All centroids coincide; split the range in half anyway
+                    // so heavily duplicated data still yields a shallow tree.
+                    return Some((start + end) / 2);
+                }
+                let range = &mut prims[start..end];
+                counters.build_sort_ops += range.len() as u64;
+                let mid = range.len() / 2;
+                range.select_nth_unstable_by(mid, |a, b| {
+                    a.center[axis]
+                        .partial_cmp(&b.center[axis])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                Some(start + mid)
+            },
+            WorkCounters::ZERO,
+        ))
+    }
+
+    fn kind(&self) -> BuilderKind {
+        BuilderKind::MedianSplit
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binned SAH
+// ---------------------------------------------------------------------------
+
+/// Binned Surface-Area-Heuristic builder.
+///
+/// This is the "high quality" builder standing in for whatever OptiX does in
+/// its opaque hardware-assisted build: primitives are partitioned so that the
+/// expected traversal cost (child surface area × child primitive count) is
+/// minimised over a fixed number of candidate planes.
+#[derive(Debug, Clone, Copy)]
+pub struct SahBuilder {
+    /// Maximum number of primitives per leaf.
+    pub max_leaf_size: usize,
+    /// Number of candidate bins per axis.
+    pub bins: usize,
+}
+
+impl Default for SahBuilder {
+    fn default() -> Self {
+        SahBuilder {
+            max_leaf_size: 4,
+            bins: 16,
+        }
+    }
+}
+
+impl BvhBuilder for SahBuilder {
+    fn build(&self, prims: Vec<Sphere>) -> Result<Bvh> {
+        validate_prims(&prims)?;
+        let max_leaf = self.max_leaf_size;
+        let bins = self.bins.max(2);
+        Ok(finish_build(
+            BuilderKind::BinnedSah,
+            prims,
+            max_leaf,
+            move |prims, start, end, counters| {
+                let cb = centroid_bounds(&prims[start..end]);
+                let axis = cb.longest_axis();
+                let min = cb.min[axis];
+                let extent = cb.max[axis] - min;
+                let range = &mut prims[start..end];
+                counters.build_sort_ops += range.len() as u64;
+                if extent <= 0.0 {
+                    // Degenerate: all centroids identical along every axis
+                    // (centroid_bounds picks the longest). Fall back to an
+                    // even split.
+                    return Some((start + end) / 2);
+                }
+
+                // Bin primitives by centroid.
+                let mut bin_counts = vec![0usize; bins];
+                let mut bin_bounds = vec![Aabb::EMPTY; bins];
+                let bin_of = |c: f32| -> usize {
+                    let t = ((c - min) / extent * bins as f32) as usize;
+                    t.min(bins - 1)
+                };
+                for s in range.iter() {
+                    let b = bin_of(s.center[axis]);
+                    bin_counts[b] += 1;
+                    bin_bounds[b] = bin_bounds[b].union(&s.bounds());
+                }
+
+                // Sweep to find the cheapest split plane.
+                let mut left_area = vec![0.0f32; bins];
+                let mut left_count = vec![0usize; bins];
+                let mut acc = Aabb::EMPTY;
+                let mut cnt = 0usize;
+                for b in 0..bins {
+                    acc = acc.union(&bin_bounds[b]);
+                    cnt += bin_counts[b];
+                    left_area[b] = if acc.is_empty() { 0.0 } else { acc.surface_area() };
+                    left_count[b] = cnt;
+                }
+                let mut best_cost = f32::INFINITY;
+                let mut best_bin = None;
+                let mut acc = Aabb::EMPTY;
+                let mut cnt = 0usize;
+                for b in (1..bins).rev() {
+                    acc = acc.union(&bin_bounds[b]);
+                    cnt += bin_counts[b];
+                    let right_area = if acc.is_empty() { 0.0 } else { acc.surface_area() };
+                    let lc = left_count[b - 1];
+                    let rc = cnt;
+                    if lc == 0 || rc == 0 {
+                        continue;
+                    }
+                    let cost = left_area[b - 1] * lc as f32 + right_area * rc as f32;
+                    if cost < best_cost {
+                        best_cost = cost;
+                        best_bin = Some(b);
+                    }
+                }
+                let split_bin = best_bin?;
+
+                // Partition in place around the chosen plane.
+                let mid = itertools_partition(range, |s| bin_of(s.center[axis]) < split_bin);
+                if mid == 0 || mid == range.len() {
+                    // SAH failed to separate anything (can happen with many
+                    // coincident centroids); fall back to an even split.
+                    return Some((start + end) / 2);
+                }
+                Some(start + mid)
+            },
+            WorkCounters::ZERO,
+        ))
+    }
+
+    fn kind(&self) -> BuilderKind {
+        BuilderKind::BinnedSah
+    }
+}
+
+/// In-place stable-enough partition: moves elements satisfying `pred` to the
+/// front, returns the number of such elements.
+fn itertools_partition<T, F: Fn(&T) -> bool>(slice: &mut [T], pred: F) -> usize {
+    let mut next_front = 0usize;
+    for i in 0..slice.len() {
+        if pred(&slice[i]) {
+            slice.swap(i, next_front);
+            next_front += 1;
+        }
+    }
+    next_front
+}
+
+// ---------------------------------------------------------------------------
+// LBVH (Morton order)
+// ---------------------------------------------------------------------------
+
+/// Linear BVH builder: Morton-code sort followed by top-down emission that
+/// splits each range at the most significant bit in which its codes differ.
+///
+/// This is the classic GPU construction (Lauterbach et al. / Karras) and the
+/// structure ArborX — the library behind the FDBSCAN baseline — uses.
+#[derive(Debug, Clone, Copy)]
+pub struct LbvhBuilder {
+    /// Maximum number of primitives per leaf.
+    pub max_leaf_size: usize,
+}
+
+impl Default for LbvhBuilder {
+    fn default() -> Self {
+        LbvhBuilder { max_leaf_size: 4 }
+    }
+}
+
+impl LbvhBuilder {
+    /// Find the split position of a sorted Morton-code range: one past the
+    /// last element that shares the highest differing bit with the first
+    /// element.  Returns the midpoint when all codes are identical.
+    fn morton_split(codes: &[u32], start: usize, end: usize) -> usize {
+        let first = codes[start];
+        let last = codes[end - 1];
+        if first == last {
+            return (start + end) / 2;
+        }
+        let common_prefix = (first ^ last).leading_zeros();
+        // Binary search for the first element whose prefix differs from
+        // `first` at bit position `common_prefix`.
+        let mut lo = start;
+        let mut hi = end - 1;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let prefix = (first ^ codes[mid]).leading_zeros();
+            if prefix > common_prefix {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo.clamp(start + 1, end - 1)
+    }
+}
+
+impl BvhBuilder for LbvhBuilder {
+    fn build(&self, prims: Vec<Sphere>) -> Result<Bvh> {
+        validate_prims(&prims)?;
+        let mut counters = WorkCounters::ZERO;
+
+        // 1. Morton-code every primitive centroid over the scene bounds.
+        let scene = prims
+            .iter()
+            .fold(Aabb::EMPTY, |acc, s| acc.grown_to_include(s.center));
+        let extent = scene.extent();
+        let mut codes: Vec<MortonCode> = prims
+            .iter()
+            .enumerate()
+            .map(|(i, s)| MortonCode {
+                code: morton_encode_3d(s.center, scene.min, extent),
+                index: i as u32,
+            })
+            .collect();
+        counters.misc_ops += codes.len() as u64; // code computation
+
+        // 2. Radix sort by code.
+        counters.build_sort_ops += radix_sort_by_code(&mut codes);
+
+        // 3. Reorder primitives into Morton order.
+        let sorted_prims: Vec<Sphere> = codes.iter().map(|c| prims[c.index as usize]).collect();
+        let sorted_codes: Vec<u32> = codes.iter().map(|c| c.code).collect();
+
+        // 4. Emit hierarchy top-down, splitting at the highest differing bit.
+        let max_leaf = self.max_leaf_size;
+        let codes_ref = std::sync::Arc::new(sorted_codes);
+        let codes_for_split = std::sync::Arc::clone(&codes_ref);
+        Ok(finish_build(
+            BuilderKind::Lbvh,
+            sorted_prims,
+            max_leaf,
+            move |_prims, start, end, _counters| {
+                Some(Self::morton_split(&codes_for_split, start, end))
+            },
+            counters,
+        ))
+    }
+
+    fn kind(&self) -> BuilderKind {
+        BuilderKind::Lbvh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bvh::validate;
+    use crate::geometry::Point3;
+
+    fn grid_spheres(n_side: usize, radius: f32) -> Vec<Sphere> {
+        let mut out = Vec::new();
+        let mut idx = 0u32;
+        for i in 0..n_side {
+            for j in 0..n_side {
+                out.push(Sphere::new(
+                    Point3::new(i as f32, j as f32, 0.0),
+                    radius,
+                    idx,
+                ));
+                idx += 1;
+            }
+        }
+        out
+    }
+
+    fn builders() -> Vec<(&'static str, Box<dyn BvhBuilder>)> {
+        vec![
+            ("median", Box::new(MedianSplitBuilder::default())),
+            ("sah", Box::new(SahBuilder::default())),
+            ("lbvh", Box::new(LbvhBuilder::default())),
+        ]
+    }
+
+    #[test]
+    fn empty_scene_is_rejected() {
+        for (name, b) in builders() {
+            assert_eq!(b.build(vec![]).unwrap_err(), Error::EmptyScene, "{name}");
+        }
+    }
+
+    #[test]
+    fn invalid_primitives_are_rejected() {
+        let bad_center = vec![Sphere::new(Point3::new(f32::NAN, 0.0, 0.0), 1.0, 0)];
+        let bad_radius = vec![Sphere::new(Point3::ORIGIN, -1.0, 0)];
+        for (name, b) in builders() {
+            assert!(
+                matches!(
+                    b.build(bad_center.clone()),
+                    Err(Error::InvalidPrimitive { index: 0, .. })
+                ),
+                "{name} centre"
+            );
+            assert!(
+                matches!(
+                    b.build(bad_radius.clone()),
+                    Err(Error::InvalidPrimitive { index: 0, .. })
+                ),
+                "{name} radius"
+            );
+        }
+    }
+
+    #[test]
+    fn single_primitive_builds_single_leaf() {
+        for (name, b) in builders() {
+            let bvh = b
+                .build(vec![Sphere::new(Point3::new(1.0, 2.0, 3.0), 0.5, 0)])
+                .unwrap();
+            assert_eq!(bvh.node_count(), 1, "{name}");
+            assert!(bvh.nodes[0].is_leaf(), "{name}");
+            validate(&bvh).unwrap();
+        }
+    }
+
+    #[test]
+    fn all_builders_produce_valid_trees_on_grid() {
+        let spheres = grid_spheres(20, 0.4);
+        for (name, b) in builders() {
+            let bvh = b.build(spheres.clone()).unwrap();
+            validate(&bvh).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(bvh.primitive_count(), 400, "{name}");
+            assert_eq!(bvh.builder, b.kind(), "{name}");
+            assert!(bvh.build_counters.build_prims == 400, "{name}");
+            assert!(bvh.build_counters.build_node_ops > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn all_builders_handle_coincident_points() {
+        // 1000 copies of the same point — the NGSIM-style degenerate case.
+        let spheres: Vec<Sphere> = (0..1000)
+            .map(|i| Sphere::new(Point3::new(5.0, 5.0, 0.0), 0.1, i as u32))
+            .collect();
+        for (name, b) in builders() {
+            let bvh = b.build(spheres.clone()).unwrap();
+            validate(&bvh).unwrap_or_else(|e| panic!("{name}: {e}"));
+            // The tree must stay shallow-ish (no linear chains).
+            assert!(bvh.depth() < 64, "{name}: depth {}", bvh.depth());
+        }
+    }
+
+    #[test]
+    fn leaf_size_is_respected_where_splittable() {
+        let spheres = grid_spheres(8, 0.3);
+        let bvh = SahBuilder {
+            max_leaf_size: 2,
+            bins: 8,
+        }
+        .build(spheres)
+        .unwrap();
+        for node in &bvh.nodes {
+            if let NodeKind::Leaf { prim_count, .. } = node.kind {
+                // Grid points are distinct, so every leaf can reach the target.
+                assert!(prim_count <= 2, "leaf of size {prim_count}");
+            }
+        }
+    }
+
+    #[test]
+    fn sah_tree_is_no_worse_than_median_on_clustered_data() {
+        // Two well-separated clusters: SAH must separate them at the root.
+        let mut spheres = Vec::new();
+        for i in 0..64 {
+            spheres.push(Sphere::new(
+                Point3::new(i as f32 * 0.01, 0.0, 0.0),
+                0.1,
+                i as u32,
+            ));
+        }
+        for i in 0..64 {
+            spheres.push(Sphere::new(
+                Point3::new(100.0 + i as f32 * 0.01, 0.0, 0.0),
+                0.1,
+                64 + i as u32,
+            ));
+        }
+        let sah = SahBuilder::default().build(spheres).unwrap();
+        if let NodeKind::Internal { left, right } = sah.nodes[0].kind {
+            let lb = sah.nodes[left as usize].bounds;
+            let rb = sah.nodes[right as usize].bounds;
+            assert!(!lb.intersects_aabb(&rb), "SAH should separate the clusters");
+        } else {
+            panic!("root should be internal");
+        }
+    }
+
+    #[test]
+    fn morton_split_midpoint_for_identical_codes() {
+        let codes = vec![7u32; 10];
+        assert_eq!(LbvhBuilder::morton_split(&codes, 0, 10), 5);
+    }
+
+    #[test]
+    fn morton_split_separates_differing_prefix() {
+        let codes = vec![0, 0, 0, 8, 8, 8];
+        let split = LbvhBuilder::morton_split(&codes, 0, 6);
+        assert_eq!(split, 3);
+    }
+
+    #[test]
+    fn partition_helper() {
+        let mut v = vec![5, 1, 4, 2, 3];
+        let k = itertools_partition(&mut v, |&x| x <= 2);
+        assert_eq!(k, 2);
+        let (front, back) = v.split_at(k);
+        assert!(front.iter().all(|&x| x <= 2));
+        assert!(back.iter().all(|&x| x > 2));
+    }
+}

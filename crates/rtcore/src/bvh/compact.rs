@@ -1,0 +1,180 @@
+//! Primitive compaction: merge exactly coincident sphere centres.
+//!
+//! OptiX's acceleration-structure builder is free to reorganise, split and
+//! compact primitives ("The Optix builder performs memory compaction, invokes
+//! bounding box routines and other ray-tracing-specific operations",
+//! Section V-D).  On the heavily duplicated NGSIM dataset the paper observes
+//! that the hardware "made relatively few calls to the intersection program"
+//! and attributes its enormous speedups to the builder having pruned the
+//! search space.
+//!
+//! This module implements the analogous software pass used by the RT device
+//! path of the simulator: all primitives whose centres are *bit-exactly*
+//! coincident are merged into a single representative sphere carrying a
+//! multiplicity count.  Queries then perform one intersection test per unique
+//! location instead of one per duplicate, while neighbour *counts* remain
+//! exact because the multiplicity is added back by the caller.
+//!
+//! The pass is part of the RT path only; the FDBSCAN/ArborX-style baseline
+//! keeps one primitive per point, as the original library does.
+
+use crate::geometry::{Point3, Sphere};
+use std::collections::HashMap;
+
+/// Result of compacting a point set into sphere primitives.
+#[derive(Debug, Clone)]
+pub struct CompactionResult {
+    /// One sphere per *unique* location.  `point_index` refers to the
+    /// representative (first-seen) data point and `multiplicity` counts how
+    /// many data points share the location.
+    pub spheres: Vec<Sphere>,
+    /// For every original data point, the index of its representative point
+    /// (`rep[i] == i` for representatives themselves).
+    pub representative_of: Vec<u32>,
+    /// Number of primitives merged away (`points.len() - spheres.len()`).
+    pub merged: u64,
+}
+
+impl CompactionResult {
+    /// True if no two input points were coincident.
+    pub fn is_identity(&self) -> bool {
+        self.merged == 0
+    }
+
+    /// Groups of duplicate points, keyed by representative index.  Only
+    /// groups with at least two members are returned.
+    pub fn duplicate_groups(&self) -> Vec<(u32, Vec<u32>)> {
+        let mut groups: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (i, &rep) in self.representative_of.iter().enumerate() {
+            groups.entry(rep).or_default().push(i as u32);
+        }
+        let mut out: Vec<(u32, Vec<u32>)> = groups
+            .into_iter()
+            .filter(|(_, members)| members.len() > 1)
+            .collect();
+        out.sort_by_key(|(rep, _)| *rep);
+        out
+    }
+}
+
+/// Merge exactly coincident points into representative spheres of radius
+/// `radius`.
+///
+/// Coincidence is judged on the bit pattern of the coordinates (with
+/// `-0.0 == 0.0`), so no tolerance parameter is involved and the pass cannot
+/// change clustering semantics: coincident points have identical
+/// ε-neighbourhoods by definition.
+pub fn compact_coincident(points: &[Point3], radius: f32) -> CompactionResult {
+    let mut first_seen: HashMap<(u32, u32, u32), u32> = HashMap::with_capacity(points.len());
+    let mut spheres: Vec<Sphere> = Vec::with_capacity(points.len());
+    // Maps representative point index -> index of its sphere in `spheres`.
+    let mut sphere_of_rep: HashMap<u32, usize> = HashMap::new();
+    let mut representative_of = vec![0u32; points.len()];
+
+    for (i, &p) in points.iter().enumerate() {
+        let key = p.bit_key();
+        match first_seen.get(&key) {
+            Some(&rep) => {
+                representative_of[i] = rep;
+                let sphere_idx = sphere_of_rep[&rep];
+                spheres[sphere_idx].multiplicity += 1;
+            }
+            None => {
+                let rep = i as u32;
+                first_seen.insert(key, rep);
+                representative_of[i] = rep;
+                sphere_of_rep.insert(rep, spheres.len());
+                spheres.push(Sphere::new(p, radius, rep));
+            }
+        }
+    }
+
+    let merged = (points.len() - spheres.len()) as u64;
+    CompactionResult {
+        spheres,
+        representative_of,
+        merged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_points_are_untouched() {
+        let pts = vec![
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(2.0, 0.0, 0.0),
+        ];
+        let c = compact_coincident(&pts, 0.5);
+        assert!(c.is_identity());
+        assert_eq!(c.spheres.len(), 3);
+        assert_eq!(c.representative_of, vec![0, 1, 2]);
+        assert!(c.duplicate_groups().is_empty());
+        assert!(c.spheres.iter().all(|s| s.multiplicity == 1));
+    }
+
+    #[test]
+    fn coincident_points_are_merged_with_multiplicity() {
+        let pts = vec![
+            Point3::new(1.0, 1.0, 0.0),
+            Point3::new(2.0, 2.0, 0.0),
+            Point3::new(1.0, 1.0, 0.0),
+            Point3::new(1.0, 1.0, 0.0),
+        ];
+        let c = compact_coincident(&pts, 0.3);
+        assert_eq!(c.spheres.len(), 2);
+        assert_eq!(c.merged, 2);
+        assert_eq!(c.representative_of, vec![0, 1, 0, 0]);
+        let rep_sphere = c.spheres.iter().find(|s| s.point_index == 0).unwrap();
+        assert_eq!(rep_sphere.multiplicity, 3);
+        let groups = c.duplicate_groups();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].0, 0);
+        assert_eq!(groups[0].1, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn negative_zero_merges_with_positive_zero() {
+        let pts = vec![Point3::new(0.0, 1.0, 0.0), Point3::new(-0.0, 1.0, 0.0)];
+        let c = compact_coincident(&pts, 0.1);
+        assert_eq!(c.spheres.len(), 1);
+        assert_eq!(c.merged, 1);
+    }
+
+    #[test]
+    fn nearly_coincident_points_are_not_merged() {
+        let pts = vec![
+            Point3::new(1.0, 1.0, 0.0),
+            Point3::new(1.0 + 1e-6, 1.0, 0.0),
+        ];
+        let c = compact_coincident(&pts, 0.1);
+        assert_eq!(c.spheres.len(), 2);
+        assert!(c.is_identity());
+    }
+
+    #[test]
+    fn multiplicities_sum_to_point_count() {
+        let pts: Vec<Point3> = (0..1000)
+            .map(|i| Point3::new((i % 10) as f32, ((i / 10) % 10) as f32, 0.0))
+            .collect();
+        let c = compact_coincident(&pts, 0.5);
+        assert_eq!(c.spheres.len(), 100);
+        let total: u32 = c.spheres.iter().map(|s| s.multiplicity).sum();
+        assert_eq!(total as usize, pts.len());
+        // Every representative maps to itself.
+        for s in &c.spheres {
+            assert_eq!(c.representative_of[s.point_index as usize], s.point_index);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = compact_coincident(&[], 1.0);
+        assert!(c.spheres.is_empty());
+        assert!(c.representative_of.is_empty());
+        assert_eq!(c.merged, 0);
+    }
+}

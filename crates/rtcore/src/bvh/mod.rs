@@ -1,0 +1,83 @@
+//! Bounding Volume Hierarchies.
+//!
+//! The RT cores "intelligently build a Bounding Volume Hierarchy"
+//! (Section II-B1 of the paper); this module provides the software
+//! equivalents used by the simulator:
+//!
+//! * [`LbvhBuilder`] — the GPU-style fast builder: primitives are sorted
+//!   along a Morton curve and the hierarchy is emitted from the sorted
+//!   order.  This is what the baseline FDBSCAN-style traversal uses.
+//! * [`SahBuilder`] — a binned Surface Area Heuristic builder, the
+//!   "high-quality" builder used for the RT device path (OptiX builds its
+//!   acceleration structure with quality heuristics the user cannot see).
+//! * [`MedianSplitBuilder`] — simple longest-axis median split, kept as an
+//!   easy-to-reason-about reference for tests.
+//! * [`compact`] — the primitive-compaction pass the RT path applies before
+//!   building: exactly coincident sphere centres are merged into a single
+//!   primitive with a multiplicity count.
+//!
+//! All builders produce the same flat [`Bvh`] representation and report the
+//! work they performed through [`crate::hardware::WorkCounters`].
+
+mod build;
+mod compact;
+mod node;
+mod validate;
+
+pub use build::{BvhBuilder, BuilderKind, LbvhBuilder, MedianSplitBuilder, SahBuilder};
+pub use compact::{compact_coincident, CompactionResult};
+pub use node::{Bvh, BvhNode, NodeKind};
+pub use validate::{validate, BvhInvariantError};
+
+use crate::error::Result;
+use crate::geometry::{Point3, Sphere};
+
+/// Convenience: wrap every point in an ε-sphere primitive (the input
+/// transformation of Section III-B) without compaction.
+pub fn spheres_from_points(points: &[Point3], radius: f32) -> Vec<Sphere> {
+    points
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| Sphere::new(p, radius, i as u32))
+        .collect()
+}
+
+/// Build a BVH over raw points using the given builder.
+///
+/// This is the common entry point used by the query layer and by the DBSCAN
+/// implementations: it performs the sphere expansion and delegates to the
+/// builder.
+pub fn build_over_points<B: BvhBuilder + ?Sized>(
+    builder: &B,
+    points: &[Point3],
+    radius: f32,
+) -> Result<Bvh> {
+    builder.build(spheres_from_points(points, radius))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spheres_from_points_preserves_indices_and_radius() {
+        let pts = vec![Point3::new(0.0, 0.0, 0.0), Point3::new(1.0, 2.0, 3.0)];
+        let spheres = spheres_from_points(&pts, 0.5);
+        assert_eq!(spheres.len(), 2);
+        assert_eq!(spheres[0].point_index, 0);
+        assert_eq!(spheres[1].point_index, 1);
+        assert!(spheres.iter().all(|s| s.radius == 0.5));
+        assert!(spheres.iter().all(|s| s.multiplicity == 1));
+        assert_eq!(spheres[1].center, pts[1]);
+    }
+
+    #[test]
+    fn build_over_points_produces_valid_tree() {
+        let pts: Vec<Point3> = (0..100)
+            .map(|i| Point3::new(i as f32 * 0.3, (i % 7) as f32, 0.0))
+            .collect();
+        let bvh = build_over_points(&LbvhBuilder::default(), &pts, 0.2).unwrap();
+        validate(&bvh).unwrap();
+        assert_eq!(bvh.primitives.len(), 100);
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type shared by the rtcore crate.
+
+use std::fmt;
+
+/// Errors produced while building scenes or launching pipelines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The scene contained no primitives; a BVH cannot be built.
+    EmptyScene,
+    /// A primitive had a non-finite coordinate or radius.
+    InvalidPrimitive {
+        /// Index of the offending primitive in the build input.
+        index: usize,
+        /// Human-readable description of what was wrong.
+        reason: String,
+    },
+    /// The simulated device ran out of memory.
+    ///
+    /// Mirrors the 6 GB limit of the RTX 2060 used in the paper: G-DBSCAN and
+    /// CUDA-DClust+ hit this above ~100 K points.
+    OutOfDeviceMemory {
+        /// Bytes the allocation would have required.
+        requested: u64,
+        /// Bytes still available on the simulated device.
+        available: u64,
+    },
+    /// A launch was attempted against a pipeline with no geometry attached.
+    MissingGeometry,
+    /// A configuration value was out of range (for example a zero radius).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptyScene => write!(f, "cannot build a BVH over an empty scene"),
+            Error::InvalidPrimitive { index, reason } => {
+                write!(f, "invalid primitive at index {index}: {reason}")
+            }
+            Error::OutOfDeviceMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "simulated device out of memory: requested {requested} bytes, {available} available"
+            ),
+            Error::MissingGeometry => write!(f, "pipeline launched without geometry"),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_empty_scene() {
+        assert_eq!(
+            Error::EmptyScene.to_string(),
+            "cannot build a BVH over an empty scene"
+        );
+    }
+
+    #[test]
+    fn display_oom_mentions_sizes() {
+        let e = Error::OutOfDeviceMemory {
+            requested: 100,
+            available: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100"));
+        assert!(s.contains('7'));
+    }
+
+    #[test]
+    fn display_invalid_primitive() {
+        let e = Error::InvalidPrimitive {
+            index: 3,
+            reason: "NaN coordinate".into(),
+        };
+        assert!(e.to_string().contains("index 3"));
+        assert!(e.to_string().contains("NaN"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::EmptyScene, Error::EmptyScene);
+        assert_ne!(Error::EmptyScene, Error::MissingGeometry);
+    }
+}

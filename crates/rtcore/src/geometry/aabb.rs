@@ -1,0 +1,313 @@
+//! Axis-aligned bounding boxes.
+
+use super::{Point3, Ray};
+
+/// An axis-aligned bounding box (AABB).
+///
+/// AABBs serve two roles, matching Section II of the paper:
+/// * the *bounds program* of a sphere primitive produces the AABB that
+///   encloses the ε-sphere around a data point, and
+/// * every internal node of the BVH stores the AABB enclosing its subtree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Point3,
+    /// Maximum corner.
+    pub max: Point3,
+}
+
+impl Aabb {
+    /// An "empty" box that any point or box can be merged into.
+    pub const EMPTY: Aabb = Aabb {
+        min: Point3 {
+            x: f32::INFINITY,
+            y: f32::INFINITY,
+            z: f32::INFINITY,
+        },
+        max: Point3 {
+            x: f32::NEG_INFINITY,
+            y: f32::NEG_INFINITY,
+            z: f32::NEG_INFINITY,
+        },
+    };
+
+    /// Construct a box from explicit corners.
+    ///
+    /// The caller is responsible for `min <= max` component-wise; use
+    /// [`Aabb::from_points`] when that is not guaranteed.
+    #[inline]
+    pub const fn new(min: Point3, max: Point3) -> Self {
+        Aabb { min, max }
+    }
+
+    /// Construct the smallest box containing both points.
+    #[inline]
+    pub fn from_points(a: Point3, b: Point3) -> Self {
+        Aabb {
+            min: a.min(b),
+            max: a.max(b),
+        }
+    }
+
+    /// Construct the box enclosing a sphere of `radius` centred at `center`.
+    ///
+    /// This is exactly the user-specified *bounds program* the paper supplies
+    /// to OWL for its sphere primitives.
+    #[inline]
+    pub fn from_sphere(center: Point3, radius: f32) -> Self {
+        Aabb {
+            min: Point3::new(center.x - radius, center.y - radius, center.z - radius),
+            max: Point3::new(center.x + radius, center.y + radius, center.z + radius),
+        }
+    }
+
+    /// The smallest box enclosing every point in the slice.
+    ///
+    /// Returns [`Aabb::EMPTY`] for an empty slice.
+    pub fn from_point_slice(points: &[Point3]) -> Self {
+        points
+            .iter()
+            .fold(Aabb::EMPTY, |acc, &p| acc.grown_to_include(p))
+    }
+
+    /// True if the box contains no space (as produced by [`Aabb::EMPTY`]).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y || self.min.z > self.max.z
+    }
+
+    /// Centre of the box.  Meaningless for empty boxes.
+    #[inline]
+    pub fn center(&self) -> Point3 {
+        Point3::new(
+            0.5 * (self.min.x + self.max.x),
+            0.5 * (self.min.y + self.max.y),
+            0.5 * (self.min.z + self.max.z),
+        )
+    }
+
+    /// Extent (max - min) along each axis.  Zero for empty boxes.
+    #[inline]
+    pub fn extent(&self) -> (f32, f32, f32) {
+        if self.is_empty() {
+            (0.0, 0.0, 0.0)
+        } else {
+            (
+                self.max.x - self.min.x,
+                self.max.y - self.min.y,
+                self.max.z - self.min.z,
+            )
+        }
+    }
+
+    /// Surface area of the box; the quantity the SAH builder minimises.
+    #[inline]
+    pub fn surface_area(&self) -> f32 {
+        let (dx, dy, dz) = self.extent();
+        2.0 * (dx * dy + dy * dz + dz * dx)
+    }
+
+    /// Index of the longest axis (0 = x, 1 = y, 2 = z).
+    #[inline]
+    pub fn longest_axis(&self) -> usize {
+        let (dx, dy, dz) = self.extent();
+        if dx >= dy && dx >= dz {
+            0
+        } else if dy >= dz {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// The union of two boxes.
+    #[inline]
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        Aabb {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Returns a copy grown to include `p`.
+    #[inline]
+    pub fn grown_to_include(&self, p: Point3) -> Aabb {
+        Aabb {
+            min: self.min.min(p),
+            max: self.max.max(p),
+        }
+    }
+
+    /// True if `p` lies inside or on the boundary of the box.
+    #[inline]
+    pub fn contains_point(&self, p: Point3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// True if `other` is entirely contained in `self` (empty boxes are
+    /// contained in everything).
+    #[inline]
+    pub fn contains_aabb(&self, other: &Aabb) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        self.contains_point(other.min) && self.contains_point(other.max)
+    }
+
+    /// True if the two boxes overlap (share at least one point).
+    #[inline]
+    pub fn intersects_aabb(&self, other: &Aabb) -> bool {
+        !(self.is_empty() || other.is_empty())
+            && self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+            && self.min.z <= other.max.z
+            && self.max.z >= other.min.z
+    }
+
+    /// Slab test: does `ray` hit this box within its `[t_min, t_max]`
+    /// interval?
+    ///
+    /// This is the test the RT cores perform in hardware at every internal
+    /// BVH node.  For the epsilon-length rays used by the neighbour-search
+    /// reduction it degenerates to "is the ray origin inside the box?", which
+    /// the implementation short-circuits for exactness (a zero-length ray has
+    /// no usable direction).
+    #[inline]
+    pub fn intersects_ray(&self, ray: &Ray) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        // Degenerate (point-like) rays: containment test on the origin.
+        if ray.interval.t_max <= super::EPSILON_RAY_TMAX {
+            return self.contains_point(ray.origin);
+        }
+        let mut t0 = ray.interval.t_min;
+        let mut t1 = ray.interval.t_max;
+        for axis in 0..3 {
+            let inv_d = 1.0 / ray.direction[axis];
+            let mut near = (self.min[axis] - ray.origin[axis]) * inv_d;
+            let mut far = (self.max[axis] - ray.origin[axis]) * inv_d;
+            if inv_d < 0.0 {
+                std::mem::swap(&mut near, &mut far);
+            }
+            t0 = t0.max(near);
+            t1 = t1.min(far);
+            if t0 > t1 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl Default for Aabb {
+    fn default() -> Self {
+        Aabb::EMPTY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{Ray, Vec3};
+
+    #[test]
+    fn empty_box_properties() {
+        let e = Aabb::EMPTY;
+        assert!(e.is_empty());
+        assert_eq!(e.extent(), (0.0, 0.0, 0.0));
+        assert!(!e.contains_point(Point3::ORIGIN));
+        assert!(Aabb::default().is_empty());
+    }
+
+    #[test]
+    fn from_sphere_bounds() {
+        let b = Aabb::from_sphere(Point3::new(1.0, 2.0, 3.0), 0.5);
+        assert_eq!(b.min, Point3::new(0.5, 1.5, 2.5));
+        assert_eq!(b.max, Point3::new(1.5, 2.5, 3.5));
+        assert!(b.contains_point(Point3::new(1.0, 2.0, 3.0)));
+    }
+
+    #[test]
+    fn union_and_grow() {
+        let a = Aabb::from_sphere(Point3::ORIGIN, 1.0);
+        let b = Aabb::from_sphere(Point3::new(5.0, 0.0, 0.0), 1.0);
+        let u = a.union(&b);
+        assert!(u.contains_aabb(&a));
+        assert!(u.contains_aabb(&b));
+        assert_eq!(u.min.x, -1.0);
+        assert_eq!(u.max.x, 6.0);
+
+        let g = Aabb::EMPTY.grown_to_include(Point3::new(1.0, 1.0, 1.0));
+        assert!(!g.is_empty());
+        assert_eq!(g.min, g.max);
+    }
+
+    #[test]
+    fn from_point_slice_encloses_everything() {
+        let pts = [
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, -2.0, 3.0),
+            Point3::new(-5.0, 4.0, 2.0),
+        ];
+        let b = Aabb::from_point_slice(&pts);
+        for p in pts {
+            assert!(b.contains_point(p));
+        }
+        assert!(Aabb::from_point_slice(&[]).is_empty());
+    }
+
+    #[test]
+    fn surface_area_and_longest_axis() {
+        let b = Aabb::new(Point3::ORIGIN, Point3::new(2.0, 1.0, 1.0));
+        assert_eq!(b.surface_area(), 2.0 * (2.0 + 1.0 + 2.0));
+        assert_eq!(b.longest_axis(), 0);
+        let b = Aabb::new(Point3::ORIGIN, Point3::new(1.0, 3.0, 1.0));
+        assert_eq!(b.longest_axis(), 1);
+        let b = Aabb::new(Point3::ORIGIN, Point3::new(1.0, 1.0, 4.0));
+        assert_eq!(b.longest_axis(), 2);
+    }
+
+    #[test]
+    fn aabb_overlap() {
+        let a = Aabb::from_sphere(Point3::ORIGIN, 1.0);
+        let b = Aabb::from_sphere(Point3::new(1.5, 0.0, 0.0), 1.0);
+        let c = Aabb::from_sphere(Point3::new(10.0, 0.0, 0.0), 1.0);
+        assert!(a.intersects_aabb(&b));
+        assert!(!a.intersects_aabb(&c));
+        assert!(!a.intersects_aabb(&Aabb::EMPTY));
+    }
+
+    #[test]
+    fn degenerate_ray_uses_containment() {
+        let b = Aabb::from_sphere(Point3::ORIGIN, 1.0);
+        let inside = Ray::epsilon_ray(Point3::new(0.5, 0.5, 0.5));
+        let outside = Ray::epsilon_ray(Point3::new(2.0, 0.0, 0.0));
+        assert!(b.intersects_ray(&inside));
+        assert!(!b.intersects_ray(&outside));
+    }
+
+    #[test]
+    fn finite_ray_slab_test() {
+        let b = Aabb::new(Point3::new(1.0, -1.0, -1.0), Point3::new(2.0, 1.0, 1.0));
+        let hit = Ray::new(Point3::ORIGIN, Vec3::new(1.0, 0.0, 0.0), 0.0, 10.0);
+        let miss_direction = Ray::new(Point3::ORIGIN, Vec3::new(0.0, 1.0, 0.0), 0.0, 10.0);
+        let too_short = Ray::new(Point3::ORIGIN, Vec3::new(1.0, 0.0, 0.0), 0.0, 0.5);
+        assert!(b.intersects_ray(&hit));
+        assert!(!b.intersects_ray(&miss_direction));
+        assert!(!b.intersects_ray(&too_short));
+    }
+
+    #[test]
+    fn center_is_midpoint() {
+        let b = Aabb::new(Point3::new(0.0, 0.0, 0.0), Point3::new(2.0, 4.0, 6.0));
+        assert_eq!(b.center(), Point3::new(1.0, 2.0, 3.0));
+    }
+}

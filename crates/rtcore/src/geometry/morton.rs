@@ -1,0 +1,200 @@
+//! Morton (Z-order) codes and the radix sort used by the LBVH builder.
+//!
+//! GPU BVH builders (including the ones behind OptiX's fast build mode)
+//! linearise primitives along a space-filling curve and then emit the
+//! hierarchy from the sorted order.  This module provides the 30-bit 3-D
+//! Morton encoding (10 bits per axis) that the LBVH builder in
+//! [`crate::bvh::lbvh`] consumes, plus a stable LSD radix sort over the codes
+//! so the builder does not depend on the standard library sort (and so the
+//! cost model can account for the sort explicitly).
+
+/// A 30-bit 3-D Morton code paired with the index of the primitive it was
+/// computed from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MortonCode {
+    /// The interleaved code.
+    pub code: u32,
+    /// Index of the primitive this code belongs to.
+    pub index: u32,
+}
+
+/// Spread the lower 10 bits of `v` so that there are two zero bits between
+/// each original bit ("bit interleaving" helper).
+#[inline]
+fn expand_bits_10(v: u32) -> u32 {
+    let mut x = v & 0x3ff;
+    x = (x | (x << 16)) & 0x030000FF;
+    x = (x | (x << 8)) & 0x0300F00F;
+    x = (x | (x << 4)) & 0x030C30C3;
+    x = (x | (x << 2)) & 0x09249249;
+    x
+}
+
+/// Encode normalised coordinates (each in `[0, 1]`) into a 30-bit Morton
+/// code.  Values outside `[0, 1]` are clamped.
+#[inline]
+pub fn morton_encode_normalized(x: f32, y: f32, z: f32) -> u32 {
+    #[inline]
+    fn quantize(v: f32) -> u32 {
+        let v = (v.clamp(0.0, 1.0) * 1023.0).round();
+        v as u32
+    }
+    let xx = expand_bits_10(quantize(x));
+    let yy = expand_bits_10(quantize(y));
+    let zz = expand_bits_10(quantize(z));
+    (xx << 2) | (yy << 1) | zz
+}
+
+/// Encode a point given the scene bounds used for normalisation.
+///
+/// Degenerate extents (a flat axis, common for 2-D data with `z = 0`) map to
+/// coordinate 0 on that axis.
+#[inline]
+pub fn morton_encode_3d(
+    p: crate::geometry::Point3,
+    scene_min: crate::geometry::Point3,
+    scene_extent: (f32, f32, f32),
+) -> u32 {
+    #[inline]
+    fn norm(v: f32, min: f32, extent: f32) -> f32 {
+        if extent > 0.0 {
+            (v - min) / extent
+        } else {
+            0.0
+        }
+    }
+    morton_encode_normalized(
+        norm(p.x, scene_min.x, scene_extent.0),
+        norm(p.y, scene_min.y, scene_extent.1),
+        norm(p.z, scene_min.z, scene_extent.2),
+    )
+}
+
+/// Stable least-significant-digit radix sort of Morton codes (8-bit digits,
+/// 4 passes).  Returns the number of scatter operations performed so the
+/// device cost model can charge for the sort.
+pub fn radix_sort_by_code(codes: &mut Vec<MortonCode>) -> u64 {
+    let n = codes.len();
+    if n <= 1 {
+        return 0;
+    }
+    let mut scratch: Vec<MortonCode> = vec![MortonCode { code: 0, index: 0 }; n];
+    let mut ops: u64 = 0;
+    for pass in 0..4u32 {
+        let shift = pass * 8;
+        let mut counts = [0usize; 256];
+        for c in codes.iter() {
+            counts[((c.code >> shift) & 0xff) as usize] += 1;
+        }
+        let mut offsets = [0usize; 256];
+        let mut running = 0usize;
+        for (digit, count) in counts.iter().enumerate() {
+            offsets[digit] = running;
+            running += count;
+        }
+        for c in codes.iter() {
+            let digit = ((c.code >> shift) & 0xff) as usize;
+            scratch[offsets[digit]] = *c;
+            offsets[digit] += 1;
+            ops += 1;
+        }
+        std::mem::swap(codes, &mut scratch);
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point3;
+
+    #[test]
+    fn expand_bits_spacing() {
+        // 0b111 -> 0b1001001
+        assert_eq!(expand_bits_10(0b111), 0b1001001);
+        assert_eq!(expand_bits_10(1), 1);
+        assert_eq!(expand_bits_10(0), 0);
+    }
+
+    #[test]
+    fn morton_origin_is_zero_and_corner_is_max() {
+        assert_eq!(morton_encode_normalized(0.0, 0.0, 0.0), 0);
+        let max = morton_encode_normalized(1.0, 1.0, 1.0);
+        assert_eq!(max, (1 << 30) - 1);
+    }
+
+    #[test]
+    fn morton_clamps_out_of_range() {
+        assert_eq!(
+            morton_encode_normalized(-1.0, 2.0, 0.5),
+            morton_encode_normalized(0.0, 1.0, 0.5)
+        );
+    }
+
+    #[test]
+    fn morton_orders_along_axes() {
+        // Larger x (with other coordinates 0) must give a strictly larger code.
+        let lo = morton_encode_normalized(0.1, 0.0, 0.0);
+        let hi = morton_encode_normalized(0.9, 0.0, 0.0);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn morton_encode_3d_handles_flat_axis() {
+        let min = Point3::new(0.0, 0.0, 0.0);
+        let extent = (10.0, 10.0, 0.0); // flat z, as for 2-D data
+        let a = morton_encode_3d(Point3::new(1.0, 1.0, 0.0), min, extent);
+        let b = morton_encode_3d(Point3::new(9.0, 9.0, 0.0), min, extent);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn radix_sort_sorts_and_is_stable() {
+        let mut codes = vec![
+            MortonCode { code: 30, index: 0 },
+            MortonCode { code: 10, index: 1 },
+            MortonCode { code: 30, index: 2 },
+            MortonCode { code: 5, index: 3 },
+            MortonCode { code: 10, index: 4 },
+        ];
+        let ops = radix_sort_by_code(&mut codes);
+        assert!(ops > 0);
+        let sorted: Vec<u32> = codes.iter().map(|c| c.code).collect();
+        assert_eq!(sorted, vec![5, 10, 10, 30, 30]);
+        // Stability: equal codes keep their original relative order.
+        assert_eq!(codes[1].index, 1);
+        assert_eq!(codes[2].index, 4);
+        assert_eq!(codes[3].index, 0);
+        assert_eq!(codes[4].index, 2);
+    }
+
+    #[test]
+    fn radix_sort_handles_trivial_inputs() {
+        let mut empty: Vec<MortonCode> = vec![];
+        assert_eq!(radix_sort_by_code(&mut empty), 0);
+        let mut one = vec![MortonCode { code: 9, index: 0 }];
+        assert_eq!(radix_sort_by_code(&mut one), 0);
+        assert_eq!(one[0].code, 9);
+    }
+
+    #[test]
+    fn radix_sort_matches_std_sort_on_random_codes() {
+        // Simple LCG so the test does not need the rand crate here.
+        let mut state = 0x12345678u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as u32) & 0x3fffffff
+        };
+        let mut codes: Vec<MortonCode> = (0..1000)
+            .map(|i| MortonCode {
+                code: next(),
+                index: i,
+            })
+            .collect();
+        let mut expected: Vec<u32> = codes.iter().map(|c| c.code).collect();
+        expected.sort_unstable();
+        radix_sort_by_code(&mut codes);
+        let got: Vec<u32> = codes.iter().map(|c| c.code).collect();
+        assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,219 @@
+//! 3-D points.
+
+use super::Vec3;
+use std::ops::{Add, Index, Sub};
+
+/// A position in 3-D space.
+///
+/// Datasets handed to the RT pipeline are slices of `Point3`.  2-D datasets
+/// (3DRoad, Porto, NGSIM in the paper) set `z = 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point3 {
+    /// x coordinate.
+    pub x: f32,
+    /// y coordinate.
+    pub y: f32,
+    /// z coordinate.
+    pub z: f32,
+}
+
+impl Point3 {
+    /// The origin.
+    pub const ORIGIN: Point3 = Point3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Construct a point from coordinates.
+    #[inline]
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Point3 { x, y, z }
+    }
+
+    /// Construct a 2-D point embedded in 3-D with `z = 0`.
+    ///
+    /// This mirrors Section IV of the paper: "As Optix only accepts 3D
+    /// inputs, we set the z-dimension to 0 for 2D datasets".
+    #[inline]
+    pub const fn new_2d(x: f32, y: f32) -> Self {
+        Point3 { x, y, z: 0.0 }
+    }
+
+    /// Interpret the point as a displacement vector from the origin.
+    #[inline]
+    pub fn to_vec(self) -> Vec3 {
+        Vec3::new(self.x, self.y, self.z)
+    }
+
+    /// Construct a point from a displacement vector.
+    #[inline]
+    pub fn from_vec(v: Vec3) -> Self {
+        Point3::new(v.x, v.y, v.z)
+    }
+
+    /// Component-wise minimum of two points.
+    #[inline]
+    pub fn min(self, other: Point3) -> Point3 {
+        Point3::new(
+            self.x.min(other.x),
+            self.y.min(other.y),
+            self.z.min(other.z),
+        )
+    }
+
+    /// Component-wise maximum of two points.
+    #[inline]
+    pub fn max(self, other: Point3) -> Point3 {
+        Point3::new(
+            self.x.max(other.x),
+            self.y.max(other.y),
+            self.z.max(other.z),
+        )
+    }
+
+    /// True if every coordinate is finite (no NaN / infinity).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Squared distance to another point.
+    #[inline]
+    pub fn distance_squared(self, other: Point3) -> f32 {
+        super::distance_squared(self, other)
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn distance(self, other: Point3) -> f32 {
+        super::distance(self, other)
+    }
+
+    /// Bit-exact coordinate key, used by the primitive-compaction pass to
+    /// detect exactly coincident points.
+    ///
+    /// Negative zero is normalised to positive zero so `-0.0` and `0.0`
+    /// compact together.
+    #[inline]
+    pub fn bit_key(self) -> (u32, u32, u32) {
+        #[inline]
+        fn canon(v: f32) -> u32 {
+            // Normalise -0.0 to +0.0; NaN payloads are left as-is (callers
+            // validate finiteness before building scenes).
+            if v == 0.0 {
+                0.0f32.to_bits()
+            } else {
+                v.to_bits()
+            }
+        }
+        (canon(self.x), canon(self.y), canon(self.z))
+    }
+}
+
+impl Index<usize> for Point3 {
+    type Output = f32;
+
+    /// Access coordinates by axis index (0 = x, 1 = y, 2 = z).
+    ///
+    /// # Panics
+    /// Panics if `axis > 2`.
+    #[inline]
+    fn index(&self, axis: usize) -> &f32 {
+        match axis {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("axis index out of range: {axis}"),
+        }
+    }
+}
+
+impl Add<Vec3> for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Point3 {
+        Point3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl Sub<Vec3> for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Point3 {
+        Point3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl Sub<Point3> for Point3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Point3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_2d_embedding() {
+        let p = Point3::new(1.0, 2.0, 3.0);
+        assert_eq!((p.x, p.y, p.z), (1.0, 2.0, 3.0));
+        let q = Point3::new_2d(4.0, 5.0);
+        assert_eq!(q.z, 0.0);
+        assert_eq!(Point3::ORIGIN, Point3::new(0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn point_vector_arithmetic() {
+        let p = Point3::new(1.0, 1.0, 1.0);
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(p + v, Point3::new(2.0, 3.0, 4.0));
+        assert_eq!((p + v) - v, p);
+        assert_eq!(Point3::new(2.0, 3.0, 4.0) - p, v);
+    }
+
+    #[test]
+    fn indexing_by_axis() {
+        let p = Point3::new(7.0, 8.0, 9.0);
+        assert_eq!(p[0], 7.0);
+        assert_eq!(p[1], 8.0);
+        assert_eq!(p[2], 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "axis index out of range")]
+    fn indexing_out_of_range_panics() {
+        let p = Point3::ORIGIN;
+        let _ = p[3];
+    }
+
+    #[test]
+    fn min_max_and_finiteness() {
+        let a = Point3::new(1.0, 5.0, -2.0);
+        let b = Point3::new(0.0, 7.0, -1.0);
+        assert_eq!(a.min(b), Point3::new(0.0, 5.0, -2.0));
+        assert_eq!(a.max(b), Point3::new(1.0, 7.0, -1.0));
+        assert!(a.is_finite());
+        assert!(!Point3::new(f32::NAN, 0.0, 0.0).is_finite());
+    }
+
+    #[test]
+    fn bit_key_identifies_coincident_points() {
+        let a = Point3::new(1.5, -2.25, 0.0);
+        let b = Point3::new(1.5, -2.25, -0.0);
+        assert_eq!(a.bit_key(), b.bit_key());
+        let c = Point3::new(1.5, -2.25, 1e-7);
+        assert_ne!(a.bit_key(), c.bit_key());
+    }
+
+    #[test]
+    fn distance_helpers_match_module_functions() {
+        let a = Point3::new(0.0, 0.0, 0.0);
+        let b = Point3::new(0.0, 3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.distance_squared(b), 25.0);
+    }
+}

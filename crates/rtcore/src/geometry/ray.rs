@@ -1,0 +1,141 @@
+//! Rays and ray intervals.
+
+use super::{Point3, Vec3, EPSILON_RAY_TMAX};
+
+/// The parametric validity interval `[t_min, t_max]` of a ray.
+///
+/// A point on the ray is `origin + t * direction` with
+/// `t ∈ [t_min, t_max]`, matching the definition in Section II-B2 of the
+/// paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RayInterval {
+    /// Start of the valid parameter range.
+    pub t_min: f32,
+    /// End of the valid parameter range.
+    pub t_max: f32,
+}
+
+impl RayInterval {
+    /// Construct an interval.
+    #[inline]
+    pub const fn new(t_min: f32, t_max: f32) -> Self {
+        RayInterval { t_min, t_max }
+    }
+
+    /// The infinitesimal interval `[0, 1e-16]` used by the neighbour-search
+    /// reduction (Algorithm 2, Line 4).
+    #[inline]
+    pub const fn epsilon() -> Self {
+        RayInterval {
+            t_min: 0.0,
+            t_max: EPSILON_RAY_TMAX,
+        }
+    }
+
+    /// True if `t` lies inside the interval.
+    #[inline]
+    pub fn contains(&self, t: f32) -> bool {
+        t >= self.t_min && t <= self.t_max
+    }
+
+    /// Length of the interval (clamped at zero).
+    #[inline]
+    pub fn length(&self) -> f32 {
+        (self.t_max - self.t_min).max(0.0)
+    }
+}
+
+/// A ray: origin, direction and validity interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    /// Ray origin (the query point, for neighbour searches).
+    pub origin: Point3,
+    /// Ray direction.  For 2-D datasets the paper fixes this to +z.
+    pub direction: Vec3,
+    /// Valid parameter range.
+    pub interval: RayInterval,
+}
+
+impl Ray {
+    /// Construct a general ray.
+    #[inline]
+    pub fn new(origin: Point3, direction: Vec3, t_min: f32, t_max: f32) -> Self {
+        Ray {
+            origin,
+            direction,
+            interval: RayInterval::new(t_min, t_max),
+        }
+    }
+
+    /// Construct the infinitesimally short query ray of the paper's
+    /// neighbour-search reduction: origin at the query point, direction +z,
+    /// interval `[0, 1e-16]`.
+    #[inline]
+    pub fn epsilon_ray(origin: Point3) -> Self {
+        Ray {
+            origin,
+            direction: Vec3::UNIT_Z,
+            interval: RayInterval::epsilon(),
+        }
+    }
+
+    /// The point at parameter `t`.
+    #[inline]
+    pub fn at(&self, t: f32) -> Point3 {
+        self.origin + self.direction * t
+    }
+
+    /// True if this is a degenerate (point-like) query ray whose extent is at
+    /// most the epsilon interval.  Such rays reduce every intersection test
+    /// to a containment test at the origin.
+    #[inline]
+    pub fn is_point_query(&self) -> bool {
+        self.interval.t_max <= EPSILON_RAY_TMAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_basics() {
+        let i = RayInterval::new(1.0, 3.0);
+        assert!(i.contains(1.0));
+        assert!(i.contains(2.5));
+        assert!(!i.contains(0.5));
+        assert!(!i.contains(3.5));
+        assert_eq!(i.length(), 2.0);
+        assert_eq!(RayInterval::new(3.0, 1.0).length(), 0.0);
+    }
+
+    #[test]
+    fn epsilon_interval_matches_paper() {
+        let e = RayInterval::epsilon();
+        assert_eq!(e.t_min, 0.0);
+        assert_eq!(e.t_max, EPSILON_RAY_TMAX);
+    }
+
+    #[test]
+    fn ray_at_parameter() {
+        let r = Ray::new(
+            Point3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 2.0, 0.0),
+            0.0,
+            10.0,
+        );
+        assert_eq!(r.at(0.0), Point3::new(1.0, 0.0, 0.0));
+        assert_eq!(r.at(1.5), Point3::new(1.0, 3.0, 0.0));
+    }
+
+    #[test]
+    fn epsilon_ray_is_point_query_with_unit_z_direction() {
+        let q = Point3::new(4.0, 5.0, 0.0);
+        let r = Ray::epsilon_ray(q);
+        assert!(r.is_point_query());
+        assert_eq!(r.origin, q);
+        assert_eq!(r.direction, Vec3::UNIT_Z);
+        let long = Ray::new(q, Vec3::UNIT_Z, 0.0, 1.0);
+        assert!(!long.is_point_query());
+    }
+}

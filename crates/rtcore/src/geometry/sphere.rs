@@ -1,0 +1,138 @@
+//! Solid sphere primitives.
+//!
+//! The input transformation of Section III-B expands a sphere of radius ε
+//! around *every* data point.  Two points are ε-neighbours exactly when the
+//! centre of one lies inside the sphere of the other.
+
+use super::{Aabb, Point3, Ray};
+
+/// A solid sphere primitive in the scene.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sphere {
+    /// Sphere centre — the original data point.
+    pub center: Point3,
+    /// Sphere radius — the DBSCAN ε parameter.
+    pub radius: f32,
+    /// Index of the data point this sphere was created from.
+    ///
+    /// After primitive compaction several coincident data points may share a
+    /// single sphere; `point_index` then refers to the representative and
+    /// [`Sphere::multiplicity`] records how many points it stands for.
+    pub point_index: u32,
+    /// Number of coincident data points this primitive represents (≥ 1).
+    pub multiplicity: u32,
+}
+
+impl Sphere {
+    /// Create a sphere for one data point (multiplicity 1).
+    #[inline]
+    pub fn new(center: Point3, radius: f32, point_index: u32) -> Self {
+        Sphere {
+            center,
+            radius,
+            point_index,
+            multiplicity: 1,
+        }
+    }
+
+    /// The bounds program: the AABB enclosing this sphere.
+    #[inline]
+    pub fn bounds(&self) -> Aabb {
+        Aabb::from_sphere(self.center, self.radius)
+    }
+
+    /// True if `p` lies inside or on the sphere.
+    #[inline]
+    pub fn contains_point(&self, p: Point3) -> bool {
+        self.center.distance_squared(p) <= self.radius * self.radius
+    }
+
+    /// Ray–sphere intersection for the degenerate point-query rays used by
+    /// the neighbour-search reduction: the ray "hits" the solid sphere iff
+    /// its origin is inside the sphere.
+    ///
+    /// For general rays this falls back to the classic quadratic test against
+    /// the sphere surface (used by the triangle/closest-hit ablations and by
+    /// tests).
+    #[inline]
+    pub fn intersects_ray(&self, ray: &Ray) -> bool {
+        if ray.is_point_query() {
+            return self.contains_point(ray.origin);
+        }
+        // Solid sphere: origin inside counts as a hit regardless of direction.
+        if self.contains_point(ray.origin) {
+            return true;
+        }
+        let oc = ray.origin - self.center;
+        let a = ray.direction.length_squared();
+        if a == 0.0 {
+            return false;
+        }
+        let half_b = oc.dot(ray.direction);
+        let c = oc.length_squared() - self.radius * self.radius;
+        let disc = half_b * half_b - a * c;
+        if disc < 0.0 {
+            return false;
+        }
+        let sqrt_d = disc.sqrt();
+        let t0 = (-half_b - sqrt_d) / a;
+        let t1 = (-half_b + sqrt_d) / a;
+        ray.interval.contains(t0) || ray.interval.contains(t1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Vec3;
+
+    #[test]
+    fn bounds_enclose_sphere() {
+        let s = Sphere::new(Point3::new(1.0, 1.0, 1.0), 0.5, 0);
+        let b = s.bounds();
+        assert_eq!(b.min, Point3::new(0.5, 0.5, 0.5));
+        assert_eq!(b.max, Point3::new(1.5, 1.5, 1.5));
+    }
+
+    #[test]
+    fn containment() {
+        let s = Sphere::new(Point3::ORIGIN, 1.0, 0);
+        assert!(s.contains_point(Point3::new(0.5, 0.5, 0.5)));
+        assert!(s.contains_point(Point3::new(1.0, 0.0, 0.0))); // boundary
+        assert!(!s.contains_point(Point3::new(1.01, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn point_query_ray_hits_iff_origin_inside() {
+        let s = Sphere::new(Point3::ORIGIN, 1.0, 0);
+        assert!(s.intersects_ray(&Ray::epsilon_ray(Point3::new(0.9, 0.0, 0.0))));
+        assert!(!s.intersects_ray(&Ray::epsilon_ray(Point3::new(1.1, 0.0, 0.0))));
+    }
+
+    #[test]
+    fn general_ray_quadratic_test() {
+        let s = Sphere::new(Point3::new(0.0, 0.0, 5.0), 1.0, 0);
+        let toward = Ray::new(Point3::ORIGIN, Vec3::UNIT_Z, 0.0, 10.0);
+        let away = Ray::new(Point3::ORIGIN, -Vec3::UNIT_Z, 0.0, 10.0);
+        let short = Ray::new(Point3::ORIGIN, Vec3::UNIT_Z, 0.0, 1.0);
+        assert!(s.intersects_ray(&toward));
+        assert!(!s.intersects_ray(&away));
+        assert!(!s.intersects_ray(&short));
+    }
+
+    #[test]
+    fn ray_starting_inside_solid_sphere_hits() {
+        let s = Sphere::new(Point3::ORIGIN, 2.0, 7);
+        let r = Ray::new(Point3::new(0.5, 0.0, 0.0), Vec3::UNIT_Z, 0.0, 100.0);
+        assert!(s.intersects_ray(&r));
+        assert_eq!(s.point_index, 7);
+        assert_eq!(s.multiplicity, 1);
+    }
+
+    #[test]
+    fn zero_direction_non_point_ray_misses_outside() {
+        let s = Sphere::new(Point3::ORIGIN, 1.0, 0);
+        let r = Ray::new(Point3::new(5.0, 0.0, 0.0), Vec3::ZERO, 0.0, 1.0);
+        assert!(!s.intersects_ray(&r));
+    }
+}

@@ -1,0 +1,278 @@
+//! A minimal 3-component single-precision vector.
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A direction / displacement in 3-D space.
+///
+/// [`crate::geometry::Point3`] is the positional counterpart; keeping the two
+/// types distinct catches a family of unit errors at compile time (adding two
+/// points, for instance, is not meaningful, while adding a `Vec3` to a
+/// `Point3` is).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f32,
+    /// y component.
+    pub y: f32,
+    /// z component.
+    pub z: f32,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Unit vector along +z — the ray direction the paper uses for 2-D data.
+    pub const UNIT_Z: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 1.0,
+    };
+
+    /// Construct a vector from components.
+    #[inline]
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Construct a vector with all components equal.
+    #[inline]
+    pub const fn splat(v: f32) -> Self {
+        Vec3 { x: v, y: v, z: v }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Vec3) -> f32 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, other: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * other.z - self.z * other.y,
+            y: self.z * other.x - self.x * other.z,
+            z: self.x * other.y - self.y * other.x,
+        }
+    }
+
+    /// Squared Euclidean length.
+    #[inline]
+    pub fn length_squared(self) -> f32 {
+        self.dot(self)
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn length(self) -> f32 {
+        self.length_squared().sqrt()
+    }
+
+    /// Returns a unit-length copy of this vector.
+    ///
+    /// Returns [`Vec3::ZERO`] for the zero vector rather than producing NaNs,
+    /// which keeps degenerate ray directions well-defined (the epsilon-length
+    /// query rays never rely on their direction).
+    #[inline]
+    pub fn normalized(self) -> Vec3 {
+        let len = self.length();
+        if len > 0.0 {
+            self / len
+        } else {
+            Vec3::ZERO
+        }
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.x.min(other.x),
+            y: self.y.min(other.y),
+            z: self.z.min(other.z),
+        }
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, other: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.x.max(other.x),
+            y: self.y.max(other.y),
+            z: self.z.max(other.z),
+        }
+    }
+
+    /// Largest component.
+    #[inline]
+    pub fn max_component(self) -> f32 {
+        self.x.max(self.y).max(self.z)
+    }
+
+    /// True if every component is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+impl std::ops::Index<usize> for Vec3 {
+    type Output = f32;
+
+    /// Access components by axis index (0 = x, 1 = y, 2 = z).
+    ///
+    /// # Panics
+    /// Panics if `axis > 2`.
+    #[inline]
+    fn index(&self, axis: usize) -> &f32 {
+        match axis {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("axis index out of range: {axis}"),
+        }
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f32> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: f32) -> Vec3 {
+        Vec3::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Mul<Vec3> for f32 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: Vec3) -> Vec3 {
+        rhs * self
+    }
+}
+
+impl Div<f32> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, rhs: f32) -> Vec3 {
+        Vec3::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(v.x, 1.0);
+        assert_eq!(v.y, 2.0);
+        assert_eq!(v.z, 3.0);
+        assert_eq!(Vec3::splat(2.0), Vec3::new(2.0, 2.0, 2.0));
+        assert_eq!(Vec3::ZERO, Vec3::new(0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        assert_eq!(x.dot(y), 0.0);
+        assert_eq!(x.cross(y), Vec3::new(0.0, 0.0, 1.0));
+        assert_eq!(y.cross(x), Vec3::new(0.0, 0.0, -1.0));
+        assert_eq!(x.dot(x), 1.0);
+    }
+
+    #[test]
+    fn length_and_normalize() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(v.length(), 5.0);
+        assert_eq!(v.length_squared(), 25.0);
+        let n = v.normalized();
+        assert!((n.length() - 1.0).abs() < 1e-6);
+        assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn min_max_components() {
+        let a = Vec3::new(1.0, 5.0, 3.0);
+        let b = Vec3::new(2.0, 4.0, 6.0);
+        assert_eq!(a.min(b), Vec3::new(1.0, 4.0, 3.0));
+        assert_eq!(a.max(b), Vec3::new(2.0, 5.0, 6.0));
+        assert_eq!(a.max_component(), 5.0);
+    }
+
+    #[test]
+    fn indexing_by_axis() {
+        let v = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(v[0], 4.0);
+        assert_eq!(v[1], 5.0);
+        assert_eq!(v[2], 6.0);
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Vec3::new(1.0, 2.0, 3.0).is_finite());
+        assert!(!Vec3::new(f32::NAN, 0.0, 0.0).is_finite());
+        assert!(!Vec3::new(0.0, f32::INFINITY, 0.0).is_finite());
+    }
+}

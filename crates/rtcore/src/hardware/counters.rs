@@ -1,0 +1,303 @@
+//! Work counters.
+//!
+//! Two flavours are provided:
+//!
+//! * [`WorkCounters`] — a plain value type.  Traversals return one per query
+//!   and callers fold them; this keeps the hot path free of atomics, which is
+//!   the pattern the hpc guides recommend for rayon reductions.
+//! * [`SharedCounters`] — an atomic accumulator for contexts where a shared
+//!   sink is more convenient (for example the pipeline's parallel launch).
+
+use std::ops::{Add, AddAssign};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-operation work counts accumulated while building and traversing
+/// scenes or while running a clustering algorithm.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkCounters {
+    /// Rays launched (one per fixed-radius query).
+    pub rays: u64,
+    /// Internal BVH nodes visited during traversal.
+    pub node_visits: u64,
+    /// Ray–AABB slab tests performed.
+    pub aabb_tests: u64,
+    /// Primitive intersection-program invocations (ray–sphere tests).
+    pub prim_tests: u64,
+    /// AnyHit-program invocations (only used by the triangle-geometry
+    /// ablation of Section VI-C; the sphere path never calls AnyHit).
+    pub anyhit_invocations: u64,
+    /// Euclidean distance computations (the filter inside the intersection
+    /// program, and all distance work done by non-RT baselines).
+    pub dist_comps: u64,
+    /// Primitives processed by a BVH / index build.
+    pub build_prims: u64,
+    /// Scatter operations performed by the builder's radix sort.
+    pub build_sort_ops: u64,
+    /// Node emission / refit operations performed by a builder.
+    pub build_node_ops: u64,
+    /// Primitives merged away by the compaction pass.
+    pub compaction_merges: u64,
+    /// Union operations on a disjoint-set structure.
+    pub union_ops: u64,
+    /// Find (root lookup) operations on a disjoint-set structure.
+    pub find_ops: u64,
+    /// Neighbour-list entries appended (G-DBSCAN graph construction, BFS
+    /// frontier pushes, chain expansions …).
+    pub list_ops: u64,
+    /// Miscellaneous per-point bookkeeping operations.
+    pub misc_ops: u64,
+}
+
+impl WorkCounters {
+    /// A counter set with every field zero.
+    pub const ZERO: WorkCounters = WorkCounters {
+        rays: 0,
+        node_visits: 0,
+        aabb_tests: 0,
+        prim_tests: 0,
+        anyhit_invocations: 0,
+        dist_comps: 0,
+        build_prims: 0,
+        build_sort_ops: 0,
+        build_node_ops: 0,
+        compaction_merges: 0,
+        union_ops: 0,
+        find_ops: 0,
+        list_ops: 0,
+        misc_ops: 0,
+    };
+
+    /// Sum of all traversal-side counters (everything except build work).
+    pub fn traversal_ops(&self) -> u64 {
+        self.rays
+            + self.node_visits
+            + self.aabb_tests
+            + self.prim_tests
+            + self.anyhit_invocations
+            + self.dist_comps
+    }
+
+    /// Sum of all build-side counters.
+    pub fn build_ops(&self) -> u64 {
+        self.build_prims + self.build_sort_ops + self.build_node_ops + self.compaction_merges
+    }
+
+    /// Total work units of any kind.
+    pub fn total_ops(&self) -> u64 {
+        self.traversal_ops() + self.build_ops() + self.union_ops + self.find_ops + self.list_ops
+            + self.misc_ops
+    }
+}
+
+impl Add for WorkCounters {
+    type Output = WorkCounters;
+    fn add(self, rhs: WorkCounters) -> WorkCounters {
+        WorkCounters {
+            rays: self.rays + rhs.rays,
+            node_visits: self.node_visits + rhs.node_visits,
+            aabb_tests: self.aabb_tests + rhs.aabb_tests,
+            prim_tests: self.prim_tests + rhs.prim_tests,
+            anyhit_invocations: self.anyhit_invocations + rhs.anyhit_invocations,
+            dist_comps: self.dist_comps + rhs.dist_comps,
+            build_prims: self.build_prims + rhs.build_prims,
+            build_sort_ops: self.build_sort_ops + rhs.build_sort_ops,
+            build_node_ops: self.build_node_ops + rhs.build_node_ops,
+            compaction_merges: self.compaction_merges + rhs.compaction_merges,
+            union_ops: self.union_ops + rhs.union_ops,
+            find_ops: self.find_ops + rhs.find_ops,
+            list_ops: self.list_ops + rhs.list_ops,
+            misc_ops: self.misc_ops + rhs.misc_ops,
+        }
+    }
+}
+
+impl AddAssign for WorkCounters {
+    fn add_assign(&mut self, rhs: WorkCounters) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for WorkCounters {
+    fn sum<I: Iterator<Item = WorkCounters>>(iter: I) -> Self {
+        iter.fold(WorkCounters::ZERO, |a, b| a + b)
+    }
+}
+
+/// Atomic counter sink for parallel accumulation.
+///
+/// Field meanings match [`WorkCounters`]; use [`SharedCounters::add`] to fold
+/// a per-thread [`WorkCounters`] in and [`SharedCounters::snapshot`] to read
+/// the totals back out.
+#[derive(Debug, Default)]
+pub struct SharedCounters {
+    rays: AtomicU64,
+    node_visits: AtomicU64,
+    aabb_tests: AtomicU64,
+    prim_tests: AtomicU64,
+    anyhit_invocations: AtomicU64,
+    dist_comps: AtomicU64,
+    build_prims: AtomicU64,
+    build_sort_ops: AtomicU64,
+    build_node_ops: AtomicU64,
+    compaction_merges: AtomicU64,
+    union_ops: AtomicU64,
+    find_ops: AtomicU64,
+    list_ops: AtomicU64,
+    misc_ops: AtomicU64,
+}
+
+impl SharedCounters {
+    /// Create a zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold a per-thread counter set into the shared totals.
+    ///
+    /// Relaxed ordering is sufficient: the counters carry no synchronisation
+    /// meaning, they are only summed after the parallel region joins.
+    pub fn add(&self, c: &WorkCounters) {
+        self.rays.fetch_add(c.rays, Ordering::Relaxed);
+        self.node_visits.fetch_add(c.node_visits, Ordering::Relaxed);
+        self.aabb_tests.fetch_add(c.aabb_tests, Ordering::Relaxed);
+        self.prim_tests.fetch_add(c.prim_tests, Ordering::Relaxed);
+        self.anyhit_invocations
+            .fetch_add(c.anyhit_invocations, Ordering::Relaxed);
+        self.dist_comps.fetch_add(c.dist_comps, Ordering::Relaxed);
+        self.build_prims.fetch_add(c.build_prims, Ordering::Relaxed);
+        self.build_sort_ops
+            .fetch_add(c.build_sort_ops, Ordering::Relaxed);
+        self.build_node_ops
+            .fetch_add(c.build_node_ops, Ordering::Relaxed);
+        self.compaction_merges
+            .fetch_add(c.compaction_merges, Ordering::Relaxed);
+        self.union_ops.fetch_add(c.union_ops, Ordering::Relaxed);
+        self.find_ops.fetch_add(c.find_ops, Ordering::Relaxed);
+        self.list_ops.fetch_add(c.list_ops, Ordering::Relaxed);
+        self.misc_ops.fetch_add(c.misc_ops, Ordering::Relaxed);
+    }
+
+    /// Read the accumulated totals.
+    pub fn snapshot(&self) -> WorkCounters {
+        WorkCounters {
+            rays: self.rays.load(Ordering::Relaxed),
+            node_visits: self.node_visits.load(Ordering::Relaxed),
+            aabb_tests: self.aabb_tests.load(Ordering::Relaxed),
+            prim_tests: self.prim_tests.load(Ordering::Relaxed),
+            anyhit_invocations: self.anyhit_invocations.load(Ordering::Relaxed),
+            dist_comps: self.dist_comps.load(Ordering::Relaxed),
+            build_prims: self.build_prims.load(Ordering::Relaxed),
+            build_sort_ops: self.build_sort_ops.load(Ordering::Relaxed),
+            build_node_ops: self.build_node_ops.load(Ordering::Relaxed),
+            compaction_merges: self.compaction_merges.load(Ordering::Relaxed),
+            union_ops: self.union_ops.load(Ordering::Relaxed),
+            find_ops: self.find_ops.load(Ordering::Relaxed),
+            list_ops: self.list_ops.load(Ordering::Relaxed),
+            misc_ops: self.misc_ops.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset every counter to zero.
+    pub fn reset(&self) {
+        self.rays.store(0, Ordering::Relaxed);
+        self.node_visits.store(0, Ordering::Relaxed);
+        self.aabb_tests.store(0, Ordering::Relaxed);
+        self.prim_tests.store(0, Ordering::Relaxed);
+        self.anyhit_invocations.store(0, Ordering::Relaxed);
+        self.dist_comps.store(0, Ordering::Relaxed);
+        self.build_prims.store(0, Ordering::Relaxed);
+        self.build_sort_ops.store(0, Ordering::Relaxed);
+        self.build_node_ops.store(0, Ordering::Relaxed);
+        self.compaction_merges.store(0, Ordering::Relaxed);
+        self.union_ops.store(0, Ordering::Relaxed);
+        self.find_ops.store(0, Ordering::Relaxed);
+        self.list_ops.store(0, Ordering::Relaxed);
+        self.misc_ops.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WorkCounters {
+        WorkCounters {
+            rays: 1,
+            node_visits: 2,
+            aabb_tests: 3,
+            prim_tests: 4,
+            anyhit_invocations: 14,
+            dist_comps: 5,
+            build_prims: 6,
+            build_sort_ops: 7,
+            build_node_ops: 8,
+            compaction_merges: 9,
+            union_ops: 10,
+            find_ops: 11,
+            list_ops: 12,
+            misc_ops: 13,
+        }
+    }
+
+    #[test]
+    fn addition_is_fieldwise() {
+        let a = sample();
+        let b = sample();
+        let c = a + b;
+        assert_eq!(c.rays, 2);
+        assert_eq!(c.misc_ops, 26);
+        let mut d = WorkCounters::ZERO;
+        d += a;
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn aggregate_helpers() {
+        let c = sample();
+        assert_eq!(c.traversal_ops(), 1 + 2 + 3 + 4 + 14 + 5);
+        assert_eq!(c.build_ops(), 6 + 7 + 8 + 9);
+        assert_eq!(c.total_ops(), (1..=14).sum::<u64>());
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: WorkCounters = (0..4).map(|_| sample()).sum();
+        assert_eq!(total.rays, 4);
+        assert_eq!(total.find_ops, 44);
+    }
+
+    #[test]
+    fn shared_counters_accumulate_and_reset() {
+        let shared = SharedCounters::new();
+        shared.add(&sample());
+        shared.add(&sample());
+        let snap = shared.snapshot();
+        assert_eq!(snap.rays, 2);
+        assert_eq!(snap.union_ops, 20);
+        shared.reset();
+        assert_eq!(shared.snapshot(), WorkCounters::ZERO);
+    }
+
+    #[test]
+    fn shared_counters_parallel_accumulation() {
+        use std::sync::Arc;
+        let shared = Arc::new(SharedCounters::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let s = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.add(&WorkCounters {
+                            rays: 1,
+                            ..WorkCounters::ZERO
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(shared.snapshot().rays, 8000);
+    }
+}

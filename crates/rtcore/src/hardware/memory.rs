@@ -1,0 +1,153 @@
+//! Simulated device-memory accounting.
+//!
+//! The paper repeatedly runs into the 6 GB limit of the RTX 2060: G-DBSCAN
+//! and CUDA-DClust+ go out of memory above ~100 K points (Section V-B1).
+//! Algorithms in this reproduction register the device-resident structures
+//! they would allocate on a real GPU with a [`MemoryTracker`], which enforces
+//! the budget and records the peak footprint for reports.
+
+use crate::error::{Error, Result};
+
+/// Tracks simulated device-memory allocations against a fixed budget.
+#[derive(Debug, Clone)]
+pub struct MemoryTracker {
+    budget: u64,
+    in_use: u64,
+    peak: u64,
+}
+
+impl MemoryTracker {
+    /// Create a tracker with the given budget in bytes.
+    pub fn new(budget_bytes: u64) -> Self {
+        MemoryTracker {
+            budget: budget_bytes,
+            in_use: 0,
+            peak: 0,
+        }
+    }
+
+    /// Create a tracker with an effectively unlimited budget (useful in unit
+    /// tests that do not care about memory).
+    pub fn unlimited() -> Self {
+        MemoryTracker::new(u64::MAX)
+    }
+
+    /// Total budget in bytes.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Bytes currently allocated.
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// Peak bytes ever allocated at once.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> u64 {
+        self.budget.saturating_sub(self.in_use)
+    }
+
+    /// Record an allocation of `bytes`, failing with
+    /// [`Error::OutOfDeviceMemory`] if it does not fit.
+    pub fn allocate(&mut self, bytes: u64) -> Result<()> {
+        if bytes > self.available() {
+            return Err(Error::OutOfDeviceMemory {
+                requested: bytes,
+                available: self.available(),
+            });
+        }
+        self.in_use += bytes;
+        self.peak = self.peak.max(self.in_use);
+        Ok(())
+    }
+
+    /// Record a deallocation of `bytes` (saturating at zero).
+    pub fn free(&mut self, bytes: u64) {
+        self.in_use = self.in_use.saturating_sub(bytes);
+    }
+
+    /// Release everything currently allocated (peak is retained).
+    pub fn free_all(&mut self) {
+        self.in_use = 0;
+    }
+}
+
+impl Default for MemoryTracker {
+    /// Defaults to the 6 GB budget of the paper's RTX 2060.
+    fn default() -> Self {
+        MemoryTracker::new(6 * 1024 * 1024 * 1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_within_budget() {
+        let mut t = MemoryTracker::new(1000);
+        assert!(t.allocate(600).is_ok());
+        assert_eq!(t.in_use(), 600);
+        assert_eq!(t.available(), 400);
+        assert_eq!(t.peak(), 600);
+    }
+
+    #[test]
+    fn allocate_over_budget_fails() {
+        let mut t = MemoryTracker::new(1000);
+        t.allocate(900).unwrap();
+        let err = t.allocate(200).unwrap_err();
+        match err {
+            Error::OutOfDeviceMemory {
+                requested,
+                available,
+            } => {
+                assert_eq!(requested, 200);
+                assert_eq!(available, 100);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // The failed allocation must not change accounting.
+        assert_eq!(t.in_use(), 900);
+    }
+
+    #[test]
+    fn free_and_peak_tracking() {
+        let mut t = MemoryTracker::new(1000);
+        t.allocate(500).unwrap();
+        t.allocate(300).unwrap();
+        assert_eq!(t.peak(), 800);
+        t.free(600);
+        assert_eq!(t.in_use(), 200);
+        assert_eq!(t.peak(), 800);
+        t.allocate(100).unwrap();
+        assert_eq!(t.peak(), 800);
+        t.free_all();
+        assert_eq!(t.in_use(), 0);
+        assert_eq!(t.peak(), 800);
+    }
+
+    #[test]
+    fn free_saturates_at_zero() {
+        let mut t = MemoryTracker::new(100);
+        t.free(50);
+        assert_eq!(t.in_use(), 0);
+    }
+
+    #[test]
+    fn default_is_6gb() {
+        let t = MemoryTracker::default();
+        assert_eq!(t.budget(), 6 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn unlimited_never_fails() {
+        let mut t = MemoryTracker::unlimited();
+        assert!(t.allocate(u64::MAX / 2).is_ok());
+    }
+}

@@ -1,0 +1,58 @@
+//! `rtcore` — a software simulator of an OptiX / OWL style ray-tracing stack.
+//!
+//! The RT-DBSCAN paper offloads the expensive parts of DBSCAN's fixed-radius
+//! neighbour searches to the ray-tracing (RT) cores of an NVIDIA RTX GPU via
+//! the OptiX 7 Wrapper Library (OWL).  This crate reproduces that substrate in
+//! portable Rust so the algorithm — and the baselines it is compared against —
+//! can be studied, tested and benchmarked without RT hardware:
+//!
+//! * [`geometry`] — 3-D vectors, points, axis-aligned bounding boxes, rays,
+//!   sphere primitives and Morton codes.
+//! * [`bvh`] — bounding-volume-hierarchy builders (LBVH via Morton codes,
+//!   binned SAH, median split) plus the primitive-compaction pass the RT
+//!   device path uses.
+//! * [`traversal`] — a counted, stack-based BVH traversal engine with the
+//!   any-hit / early-termination hooks the OptiX pipeline exposes.
+//! * [`pipeline`] — the OptiX-like programming model: `RayGen`,
+//!   `Intersection`, `AnyHit`, `ClosestHit` and `Miss` programs, a geometry
+//!   group, and a parallel `launch`.
+//! * [`hardware`] — the device cost model.  All work performed by the
+//!   traversal engine and builders is counted, and a [`hardware::DeviceModel`]
+//!   converts those counts into simulated execution time for an RT-core
+//!   device (RTX-2060-like) or a shader-core-only device, together with a
+//!   simulated device-memory budget.
+//! * [`query`] — `RT-FindNeighbor`: the fixed-radius nearest-neighbour
+//!   primitive of the paper (Definition III.1 / Algorithm 2), built on top of
+//!   the pipeline.
+//!
+//! The crate has no knowledge of DBSCAN; clustering lives in the `rtdbscan`
+//! crate which drives this one.
+//!
+//! # Quick example
+//!
+//! ```
+//! use rtcore::geometry::Point3;
+//! use rtcore::query::FixedRadiusSearch;
+//!
+//! let pts = vec![
+//!     Point3::new(0.0, 0.0, 0.0),
+//!     Point3::new(0.5, 0.0, 0.0),
+//!     Point3::new(10.0, 0.0, 0.0),
+//! ];
+//! let search = FixedRadiusSearch::build(&pts, 1.0);
+//! let n = search.neighbors_of(0);
+//! assert_eq!(n, vec![1]); // point 2 is too far, self is excluded
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod bvh;
+pub mod error;
+pub mod geometry;
+pub mod hardware;
+pub mod pipeline;
+pub mod query;
+pub mod traversal;
+
+pub use error::{Error, Result};

@@ -1,0 +1,316 @@
+//! Pipeline construction and (parallel) launch.
+
+use super::program::{GeometryKind, ProgramFlow, RayProgram};
+use crate::bvh::Bvh;
+use crate::hardware::WorkCounters;
+use crate::traversal::{traverse, Traversal};
+use rayon::prelude::*;
+
+/// Launch-time configuration, mirroring the switches the paper mentions in
+/// Section IV (geometry type, AnyHit/ClosestHit disabled, etc.).
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// How spheres are presented to the hardware.
+    pub geometry: GeometryKind,
+    /// Minimum number of rays per rayon work item; launches smaller than this
+    /// run sequentially to avoid parallel overhead on tiny scenes.
+    pub min_parallel_launch: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            geometry: GeometryKind::CustomSpheres,
+            min_parallel_launch: 256,
+        }
+    }
+}
+
+/// Result of a pipeline launch: one payload per launch index plus the work
+/// counters accumulated across all rays (and the build work of the scene's
+/// BVH, which is *not* included — the caller charges that separately so
+/// build/traversal breakdowns stay separable, as in Section V-D).
+#[derive(Debug, Clone)]
+pub struct LaunchResult<P> {
+    /// Final payload of every ray, indexed by launch index.
+    pub payloads: Vec<P>,
+    /// Traversal-side work performed by the launch.
+    pub counters: WorkCounters,
+}
+
+/// A pipeline: a scene (built BVH) plus launch configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Pipeline<'a> {
+    scene: &'a Bvh,
+    config: PipelineConfig,
+}
+
+impl<'a> Pipeline<'a> {
+    /// Create a pipeline over a built scene with default configuration.
+    pub fn new(scene: &'a Bvh) -> Self {
+        Pipeline {
+            scene,
+            config: PipelineConfig::default(),
+        }
+    }
+
+    /// Create a pipeline with an explicit configuration.
+    pub fn with_config(scene: &'a Bvh, config: PipelineConfig) -> Self {
+        Pipeline { scene, config }
+    }
+
+    /// The scene this pipeline traverses.
+    pub fn scene(&self) -> &Bvh {
+        self.scene
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> PipelineConfig {
+        self.config
+    }
+
+    /// Trace a single ray for `launch_index`, returning its payload and the
+    /// work it performed.
+    fn trace_one<P: RayProgram>(&self, program: &P, launch_index: usize) -> (P::Payload, WorkCounters) {
+        let mut counters = WorkCounters::ZERO;
+        counters.rays += 1;
+        let (ray, mut payload) = program.ray_gen(launch_index);
+        let geometry = self.config.geometry;
+        let outcome = traverse(self.scene, &ray, &mut counters, |sphere, counters| {
+            match geometry {
+                GeometryKind::CustomSpheres => {
+                    match program.intersection(launch_index, sphere, &ray, &mut payload, counters)
+                    {
+                        ProgramFlow::Continue => Traversal::Continue,
+                        ProgramFlow::TerminateRay => Traversal::Terminate,
+                    }
+                }
+                GeometryKind::TriangleSpheres {
+                    triangles_per_sphere,
+                } => {
+                    // The hardware tests every triangle of the tessellated
+                    // sphere (cheap, done by the RT units) …
+                    counters.prim_tests += triangles_per_sphere.saturating_sub(1) as u64;
+                    // … and every *accepted* hit bounces back into the AnyHit
+                    // program on the shader cores, which is where the 2–5×
+                    // slowdown of Section VI-C comes from.
+                    match program.intersection(launch_index, sphere, &ray, &mut payload, counters)
+                    {
+                        ProgramFlow::Continue => {
+                            counters.anyhit_invocations += 1;
+                            match program.any_hit(launch_index, sphere, &ray, &mut payload, counters)
+                            {
+                                ProgramFlow::Continue => Traversal::Continue,
+                                ProgramFlow::TerminateRay => Traversal::Terminate,
+                            }
+                        }
+                        ProgramFlow::TerminateRay => Traversal::Terminate,
+                    }
+                }
+            }
+        });
+        if outcome.primitives_visited == 0 {
+            program.miss(launch_index, &mut payload);
+        }
+        (payload, counters)
+    }
+
+    /// Launch `count` rays in parallel (one per launch index, like one CUDA
+    /// thread per ray).  Falls back to a sequential launch below
+    /// [`PipelineConfig::min_parallel_launch`].
+    pub fn launch<P: RayProgram>(&self, count: usize, program: &P) -> LaunchResult<P::Payload> {
+        if count < self.config.min_parallel_launch {
+            return self.launch_sequential(count, program);
+        }
+        let results: Vec<(P::Payload, WorkCounters)> = (0..count)
+            .into_par_iter()
+            .map(|i| self.trace_one(program, i))
+            .collect();
+        let mut payloads = Vec::with_capacity(count);
+        let mut counters = WorkCounters::ZERO;
+        for (p, c) in results {
+            payloads.push(p);
+            counters += c;
+        }
+        LaunchResult { payloads, counters }
+    }
+
+    /// Launch `count` rays sequentially.  Produces bit-identical counters to
+    /// [`Pipeline::launch`]; useful for tests and debugging.
+    pub fn launch_sequential<P: RayProgram>(
+        &self,
+        count: usize,
+        program: &P,
+    ) -> LaunchResult<P::Payload> {
+        let mut payloads = Vec::with_capacity(count);
+        let mut counters = WorkCounters::ZERO;
+        for i in 0..count {
+            let (p, c) = self.trace_one(program, i);
+            payloads.push(p);
+            counters += c;
+        }
+        LaunchResult { payloads, counters }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bvh::{spheres_from_points, BvhBuilder, LbvhBuilder};
+    use crate::geometry::{Point3, Ray, Sphere};
+
+    /// Program that records whether each query point is inside any *other*
+    /// point's sphere, terminating as soon as one is found.
+    struct FindAny<'a> {
+        points: &'a [Point3],
+        radius: f32,
+    }
+    impl RayProgram for FindAny<'_> {
+        type Payload = bool;
+        fn ray_gen(&self, launch_index: usize) -> (Ray, bool) {
+            (Ray::epsilon_ray(self.points[launch_index]), false)
+        }
+        fn intersection(
+            &self,
+            launch_index: usize,
+            sphere: &Sphere,
+            ray: &Ray,
+            payload: &mut bool,
+            counters: &mut WorkCounters,
+        ) -> ProgramFlow {
+            counters.dist_comps += 1;
+            if sphere.point_index != launch_index as u32
+                && sphere.center.distance_squared(ray.origin) <= self.radius * self.radius
+            {
+                *payload = true;
+                return ProgramFlow::TerminateRay;
+            }
+            ProgramFlow::Continue
+        }
+        fn miss(&self, _launch_index: usize, payload: &mut bool) {
+            *payload = false;
+        }
+    }
+
+    fn cluster_points() -> Vec<Point3> {
+        let mut pts: Vec<Point3> = (0..50)
+            .map(|i| Point3::new(i as f32 * 0.1, 0.0, 0.0))
+            .collect();
+        pts.push(Point3::new(1000.0, 1000.0, 0.0)); // isolated point
+        pts
+    }
+
+    #[test]
+    fn terminate_ray_is_honoured() {
+        let points = cluster_points();
+        let bvh = LbvhBuilder::default()
+            .build(spheres_from_points(&points, 0.25))
+            .unwrap();
+        let program = FindAny {
+            points: &points,
+            radius: 0.25,
+        };
+        let result = Pipeline::new(&bvh).launch(points.len(), &program);
+        // All clustered points find a neighbour; the isolated one does not.
+        assert!(result.payloads[..50].iter().all(|&b| b));
+        assert!(!result.payloads[50]);
+    }
+
+    #[test]
+    fn triangle_geometry_charges_anyhit() {
+        let points = cluster_points();
+        let bvh = LbvhBuilder::default()
+            .build(spheres_from_points(&points, 0.25))
+            .unwrap();
+        struct CountAll<'a> {
+            points: &'a [Point3],
+            radius: f32,
+        }
+        impl RayProgram for CountAll<'_> {
+            type Payload = u32;
+            fn ray_gen(&self, launch_index: usize) -> (Ray, u32) {
+                (Ray::epsilon_ray(self.points[launch_index]), 0)
+            }
+            fn intersection(
+                &self,
+                _launch_index: usize,
+                sphere: &Sphere,
+                ray: &Ray,
+                payload: &mut u32,
+                counters: &mut WorkCounters,
+            ) -> ProgramFlow {
+                counters.dist_comps += 1;
+                if sphere.center.distance_squared(ray.origin) <= self.radius * self.radius {
+                    *payload += 1;
+                }
+                ProgramFlow::Continue
+            }
+        }
+        let program = CountAll {
+            points: &points,
+            radius: 0.25,
+        };
+        let sphere_cfg = PipelineConfig::default();
+        let tri_cfg = PipelineConfig {
+            geometry: GeometryKind::TriangleSpheres {
+                triangles_per_sphere: 20,
+            },
+            ..PipelineConfig::default()
+        };
+        let sphere_run = Pipeline::with_config(&bvh, sphere_cfg).launch(points.len(), &program);
+        let tri_run = Pipeline::with_config(&bvh, tri_cfg).launch(points.len(), &program);
+        // Same results …
+        assert_eq!(sphere_run.payloads, tri_run.payloads);
+        // … but the triangle path performs strictly more primitive tests and
+        // invokes AnyHit, while the sphere path never does.
+        assert_eq!(sphere_run.counters.anyhit_invocations, 0);
+        assert!(tri_run.counters.anyhit_invocations > 0);
+        assert!(tri_run.counters.prim_tests > sphere_run.counters.prim_tests);
+    }
+
+    #[test]
+    fn miss_program_runs_for_rays_outside_the_scene() {
+        let points = vec![Point3::new(0.0, 0.0, 0.0), Point3::new(1.0, 0.0, 0.0)];
+        let bvh = LbvhBuilder::default()
+            .build(spheres_from_points(&points, 0.1))
+            .unwrap();
+        struct MissMarker;
+        impl RayProgram for MissMarker {
+            type Payload = i32;
+            fn ray_gen(&self, _launch_index: usize) -> (Ray, i32) {
+                (Ray::epsilon_ray(Point3::new(500.0, 500.0, 0.0)), 0)
+            }
+            fn intersection(
+                &self,
+                _launch_index: usize,
+                _sphere: &Sphere,
+                _ray: &Ray,
+                payload: &mut i32,
+                _counters: &mut WorkCounters,
+            ) -> ProgramFlow {
+                *payload = 1;
+                ProgramFlow::Continue
+            }
+            fn miss(&self, _launch_index: usize, payload: &mut i32) {
+                *payload = -1;
+            }
+        }
+        let result = Pipeline::new(&bvh).launch_sequential(3, &MissMarker);
+        assert_eq!(result.payloads, vec![-1, -1, -1]);
+    }
+
+    #[test]
+    fn zero_ray_launch_is_empty() {
+        let points = vec![Point3::ORIGIN];
+        let bvh = LbvhBuilder::default()
+            .build(spheres_from_points(&points, 1.0))
+            .unwrap();
+        let program = FindAny {
+            points: &points,
+            radius: 1.0,
+        };
+        let result = Pipeline::new(&bvh).launch(0, &program);
+        assert!(result.payloads.is_empty());
+        assert_eq!(result.counters, WorkCounters::ZERO);
+    }
+}

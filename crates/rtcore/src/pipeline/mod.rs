@@ -1,0 +1,101 @@
+//! The OptiX / OWL-like programming model.
+//!
+//! OWL splits a ray-tracing computation into small user programs bound to a
+//! pipeline: *RayGen* creates rays, the hardware builds and traverses the
+//! BVH, and for every candidate primitive the *Intersection* program decides
+//! whether the primitive is really hit; *AnyHit*, *ClosestHit* and *Miss* are
+//! optional.  RT-DBSCAN implements both of its clustering phases **inside the
+//! Intersection program** and explicitly disables AnyHit and ClosestHit
+//! (Section IV), which is exactly how this module is intended to be used.
+//!
+//! A [`Pipeline`] borrows a built [`Bvh`] ("the scene"), a user
+//! [`RayProgram`] provides the programmable stages, and
+//! [`Pipeline::launch`] executes one ray per launch index in parallel —
+//! the software analogue of launching one CUDA thread per ray.
+
+mod launch;
+mod program;
+
+pub use launch::{LaunchResult, Pipeline, PipelineConfig};
+pub use program::{GeometryKind, ProgramFlow, RayProgram};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bvh::{spheres_from_points, BvhBuilder, SahBuilder};
+    use crate::geometry::{Point3, Ray, Sphere};
+    use crate::hardware::WorkCounters;
+
+    /// A program that counts, for each launch index, how many spheres contain
+    /// the corresponding query point — i.e. the neighbour-count kernel of
+    /// RT-DBSCAN's first stage.
+    struct CountNeighbors<'a> {
+        points: &'a [Point3],
+        radius: f32,
+    }
+
+    impl RayProgram for CountNeighbors<'_> {
+        type Payload = u32;
+
+        fn ray_gen(&self, launch_index: usize) -> (Ray, u32) {
+            (Ray::epsilon_ray(self.points[launch_index]), 0)
+        }
+
+        fn intersection(
+            &self,
+            launch_index: usize,
+            sphere: &Sphere,
+            ray: &Ray,
+            payload: &mut u32,
+            counters: &mut WorkCounters,
+        ) -> ProgramFlow {
+            counters.dist_comps += 1;
+            let within = sphere.center.distance_squared(ray.origin) <= self.radius * self.radius;
+            if within && sphere.point_index != launch_index as u32 {
+                *payload += sphere.multiplicity;
+            }
+            ProgramFlow::Continue
+        }
+    }
+
+    #[test]
+    fn pipeline_counts_neighbors_in_parallel() {
+        // Points on a line, spacing 1, radius 1.5 → interior points have 2
+        // neighbours, the two endpoints have 1.
+        let points: Vec<Point3> = (0..64).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect();
+        let bvh = SahBuilder::default()
+            .build(spheres_from_points(&points, 1.5))
+            .unwrap();
+        let pipeline = Pipeline::new(&bvh);
+        let program = CountNeighbors {
+            points: &points,
+            radius: 1.5,
+        };
+        let result = pipeline.launch(points.len(), &program);
+        assert_eq!(result.payloads.len(), 64);
+        assert_eq!(result.payloads[0], 1);
+        assert_eq!(result.payloads[63], 1);
+        assert!(result.payloads[1..63].iter().all(|&c| c == 2));
+        assert_eq!(result.counters.rays, 64);
+        assert!(result.counters.prim_tests > 0);
+        assert!(result.counters.anyhit_invocations == 0);
+    }
+
+    #[test]
+    fn sequential_and_parallel_launch_agree() {
+        let points: Vec<Point3> = (0..200)
+            .map(|i| Point3::new((i % 20) as f32 * 0.3, (i / 20) as f32 * 0.3, 0.0))
+            .collect();
+        let bvh = SahBuilder::default()
+            .build(spheres_from_points(&points, 0.5))
+            .unwrap();
+        let program = CountNeighbors {
+            points: &points,
+            radius: 0.5,
+        };
+        let par = Pipeline::new(&bvh).launch(points.len(), &program);
+        let seq = Pipeline::new(&bvh).launch_sequential(points.len(), &program);
+        assert_eq!(par.payloads, seq.payloads);
+        assert_eq!(par.counters, seq.counters);
+    }
+}

@@ -1,0 +1,136 @@
+//! User-programmable pipeline stages.
+
+use crate::geometry::{Ray, Sphere};
+use crate::hardware::WorkCounters;
+
+/// Control-flow decision returned by the Intersection / AnyHit programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgramFlow {
+    /// Keep traversing: more candidate primitives may be reported for this
+    /// ray.
+    Continue,
+    /// Terminate traversal of this ray.  OptiX only allows this from the
+    /// AnyHit program; the simulator permits it from the Intersection
+    /// program too so the early-exit ablation can be expressed, but
+    /// RT-DBSCAN itself never uses it (Section VI-B).
+    TerminateRay,
+}
+
+/// How sphere primitives are presented to the (simulated) hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeometryKind {
+    /// Custom sphere primitives with a user Intersection program — the
+    /// configuration RT-DBSCAN uses.
+    CustomSpheres,
+    /// Spheres tessellated into triangles so the hardware ray–triangle unit
+    /// can be used.  Every accepted hit must then go through the AnyHit
+    /// program, which Section VI-C measures as a 2–5× slowdown.
+    TriangleSpheres {
+        /// Number of triangles each sphere is tessellated into.
+        triangles_per_sphere: u32,
+    },
+}
+
+impl Default for GeometryKind {
+    fn default() -> Self {
+        GeometryKind::CustomSpheres
+    }
+}
+
+/// The bundle of user programs bound to a pipeline launch.
+///
+/// `Payload` is the per-ray state (OptiX's ray payload registers): the
+/// neighbour count for stage 1 of RT-DBSCAN, or nothing at all for stage 2,
+/// which updates the disjoint-set structure directly from the Intersection
+/// program.
+pub trait RayProgram: Sync {
+    /// Per-ray payload carried through the launch and returned to the caller.
+    type Payload: Send;
+
+    /// RayGen program: produce the ray and initial payload for a launch
+    /// index.
+    fn ray_gen(&self, launch_index: usize) -> (Ray, Self::Payload);
+
+    /// Intersection program: invoked for every primitive in every leaf whose
+    /// bounds the ray reached.  The program is responsible for the exact
+    /// sphere membership test (bounding boxes are conservative) and for any
+    /// algorithm-specific work; it reports the work it does through
+    /// `counters`.
+    fn intersection(
+        &self,
+        launch_index: usize,
+        sphere: &Sphere,
+        ray: &Ray,
+        payload: &mut Self::Payload,
+        counters: &mut WorkCounters,
+    ) -> ProgramFlow;
+
+    /// AnyHit program: only invoked for [`GeometryKind::TriangleSpheres`]
+    /// geometry, once per accepted hit.  The default implementation does
+    /// nothing and continues traversal.
+    fn any_hit(
+        &self,
+        _launch_index: usize,
+        _sphere: &Sphere,
+        _ray: &Ray,
+        _payload: &mut Self::Payload,
+        _counters: &mut WorkCounters,
+    ) -> ProgramFlow {
+        ProgramFlow::Continue
+    }
+
+    /// Miss program: invoked when the ray's traversal reached no primitive at
+    /// all.  The default implementation does nothing.
+    fn miss(&self, _launch_index: usize, _payload: &mut Self::Payload) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point3;
+
+    struct Trivial;
+    impl RayProgram for Trivial {
+        type Payload = usize;
+        fn ray_gen(&self, launch_index: usize) -> (Ray, usize) {
+            (Ray::epsilon_ray(Point3::ORIGIN), launch_index)
+        }
+        fn intersection(
+            &self,
+            _launch_index: usize,
+            _sphere: &Sphere,
+            _ray: &Ray,
+            payload: &mut usize,
+            _counters: &mut WorkCounters,
+        ) -> ProgramFlow {
+            *payload += 1;
+            ProgramFlow::Continue
+        }
+    }
+
+    #[test]
+    fn default_geometry_is_custom_spheres() {
+        assert_eq!(GeometryKind::default(), GeometryKind::CustomSpheres);
+    }
+
+    #[test]
+    fn default_any_hit_and_miss_are_noops() {
+        let p = Trivial;
+        let sphere = Sphere::new(Point3::ORIGIN, 1.0, 0);
+        let ray = Ray::epsilon_ray(Point3::ORIGIN);
+        let mut payload = 0usize;
+        let mut counters = WorkCounters::ZERO;
+        assert_eq!(
+            p.any_hit(0, &sphere, &ray, &mut payload, &mut counters),
+            ProgramFlow::Continue
+        );
+        p.miss(0, &mut payload);
+        assert_eq!(payload, 0);
+        assert_eq!(counters, WorkCounters::ZERO);
+    }
+
+    #[test]
+    fn program_flow_equality() {
+        assert_ne!(ProgramFlow::Continue, ProgramFlow::TerminateRay);
+    }
+}

@@ -1,0 +1,293 @@
+//! `RT-FindNeighbor`: the fixed-radius nearest-neighbour primitive.
+//!
+//! This is the crate's high-level convenience API, implementing
+//! Definition III.1 / Algorithm 2 of the paper end-to-end: expand an
+//! ε-sphere around every data point, build the acceleration structure, and
+//! answer `findNeighborhood(p, S, ε)` queries by tracing an infinitesimal ray
+//! from `p` and filtering the intersected spheres with an exact distance
+//! test and the self-intersection filter.
+//!
+//! The RT-DBSCAN implementation in the `rtdbscan` crate drives the lower
+//! level [`crate::pipeline`] directly (it needs compaction and per-phase
+//! counters); this module is the ergonomic entry point for everything else —
+//! examples, tests and applications that just need neighbour queries.
+
+use crate::bvh::{spheres_from_points, BuilderKind, Bvh, BvhBuilder, LbvhBuilder, SahBuilder};
+use crate::error::Result;
+use crate::geometry::{Point3, Ray};
+use crate::hardware::WorkCounters;
+use crate::traversal::{traverse, Traversal};
+use parking_lot::Mutex;
+
+/// Options controlling how a [`FixedRadiusSearch`] builds its scene.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchOptions {
+    /// Which BVH builder to use.
+    pub builder: BuilderKind,
+    /// Maximum primitives per BVH leaf.
+    pub max_leaf_size: usize,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            builder: BuilderKind::BinnedSah,
+            max_leaf_size: 4,
+        }
+    }
+}
+
+/// A built fixed-radius search structure over a point set.
+#[derive(Debug)]
+pub struct FixedRadiusSearch {
+    points: Vec<Point3>,
+    radius: f32,
+    bvh: Option<Bvh>,
+    /// Work performed by queries since construction (build work is recorded
+    /// separately in the BVH itself).
+    query_counters: Mutex<WorkCounters>,
+}
+
+impl FixedRadiusSearch {
+    /// Build a search structure with default options.
+    ///
+    /// An empty point set is accepted: every query simply returns no
+    /// neighbours.
+    pub fn build(points: &[Point3], radius: f32) -> Self {
+        Self::build_with(points, radius, SearchOptions::default())
+            .expect("default options cannot fail on finite input")
+    }
+
+    /// Build a search structure with explicit options.
+    pub fn build_with(points: &[Point3], radius: f32, options: SearchOptions) -> Result<Self> {
+        let bvh = if points.is_empty() {
+            None
+        } else {
+            let prims = spheres_from_points(points, radius);
+            let bvh = match options.builder {
+                BuilderKind::Lbvh => LbvhBuilder {
+                    max_leaf_size: options.max_leaf_size,
+                }
+                .build(prims)?,
+                BuilderKind::BinnedSah => SahBuilder {
+                    max_leaf_size: options.max_leaf_size,
+                    ..SahBuilder::default()
+                }
+                .build(prims)?,
+                BuilderKind::MedianSplit => crate::bvh::MedianSplitBuilder {
+                    max_leaf_size: options.max_leaf_size,
+                }
+                .build(prims)?,
+            };
+            Some(bvh)
+        };
+        Ok(FixedRadiusSearch {
+            points: points.to_vec(),
+            radius,
+            bvh,
+            query_counters: Mutex::new(WorkCounters::ZERO),
+        })
+    }
+
+    /// The search radius (ε).
+    pub fn radius(&self) -> f32 {
+        self.radius
+    }
+
+    /// Number of points in the structure.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the structure contains no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The points the structure was built over.
+    pub fn points(&self) -> &[Point3] {
+        &self.points
+    }
+
+    /// Work performed by the BVH build.
+    pub fn build_counters(&self) -> WorkCounters {
+        self.bvh
+            .as_ref()
+            .map(|b| b.build_counters)
+            .unwrap_or(WorkCounters::ZERO)
+    }
+
+    /// Work performed by all queries since construction.
+    pub fn query_counters(&self) -> WorkCounters {
+        *self.query_counters.lock()
+    }
+
+    /// Neighbours of the `index`-th data point (self excluded), in arbitrary
+    /// order.
+    pub fn neighbors_of(&self, index: usize) -> Vec<u32> {
+        self.neighbors_filtered(self.points[index], Some(index as u32))
+    }
+
+    /// Neighbours of an arbitrary query location (no self-exclusion).
+    pub fn neighbors_of_point(&self, query: Point3) -> Vec<u32> {
+        self.neighbors_filtered(query, None)
+    }
+
+    /// Number of neighbours of the `index`-th data point (self excluded).
+    pub fn neighbor_count(&self, index: usize) -> usize {
+        self.neighbors_of(index).len()
+    }
+
+    /// Visit every neighbour of `query` (excluding `exclude`), stopping early
+    /// if the visitor returns `false`.  Returns the number of neighbours
+    /// visited.
+    pub fn for_each_neighbor<F>(&self, query: Point3, exclude: Option<u32>, mut visit: F) -> usize
+    where
+        F: FnMut(u32) -> bool,
+    {
+        let Some(bvh) = &self.bvh else {
+            return 0;
+        };
+        let ray = Ray::epsilon_ray(query);
+        let radius_sq = self.radius * self.radius;
+        let mut counters = WorkCounters::ZERO;
+        counters.rays += 1;
+        let mut visited = 0usize;
+        traverse(bvh, &ray, &mut counters, |sphere, counters| {
+            counters.dist_comps += 1;
+            if sphere.center.distance_squared(query) <= radius_sq
+                && Some(sphere.point_index) != exclude
+            {
+                visited += 1;
+                if !visit(sphere.point_index) {
+                    return Traversal::Terminate;
+                }
+            }
+            Traversal::Continue
+        });
+        *self.query_counters.lock() += counters;
+        visited
+    }
+
+    fn neighbors_filtered(&self, query: Point3, exclude: Option<u32>) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.for_each_neighbor(query, exclude, |idx| {
+            out.push(idx);
+            true
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force(points: &[Point3], q: Point3, exclude: Option<u32>, radius: f32) -> Vec<u32> {
+        let mut out: Vec<u32> = points
+            .iter()
+            .enumerate()
+            .filter(|&(i, p)| Some(i as u32) != exclude && q.distance(*p) <= radius)
+            .map(|(i, _)| i as u32)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    fn grid(n_side: usize, spacing: f32) -> Vec<Point3> {
+        let mut pts = Vec::new();
+        for i in 0..n_side {
+            for j in 0..n_side {
+                pts.push(Point3::new(i as f32 * spacing, j as f32 * spacing, 0.0));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn matches_brute_force_on_grid() {
+        let pts = grid(15, 0.5);
+        let radius = 0.8;
+        for options in [
+            SearchOptions::default(),
+            SearchOptions {
+                builder: BuilderKind::Lbvh,
+                max_leaf_size: 8,
+            },
+            SearchOptions {
+                builder: BuilderKind::MedianSplit,
+                max_leaf_size: 2,
+            },
+        ] {
+            let search = FixedRadiusSearch::build_with(&pts, radius, options).unwrap();
+            for q in [0usize, 7, 112, 224] {
+                let mut got = search.neighbors_of(q);
+                got.sort_unstable();
+                assert_eq!(
+                    got,
+                    brute_force(&pts, pts[q], Some(q as u32), radius),
+                    "query {q} options {options:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_of_point_includes_coincident_data_point() {
+        let pts = vec![Point3::new(0.0, 0.0, 0.0), Point3::new(0.5, 0.0, 0.0)];
+        let search = FixedRadiusSearch::build(&pts, 1.0);
+        let mut hits = search.neighbors_of_point(Point3::new(0.0, 0.0, 0.0));
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_structure_answers_empty() {
+        let search = FixedRadiusSearch::build(&[], 1.0);
+        assert!(search.is_empty());
+        assert_eq!(search.len(), 0);
+        assert!(search.neighbors_of_point(Point3::ORIGIN).is_empty());
+        assert_eq!(search.build_counters(), WorkCounters::ZERO);
+    }
+
+    #[test]
+    fn early_stop_via_visitor() {
+        let pts = grid(10, 0.1); // dense: many neighbours
+        let search = FixedRadiusSearch::build(&pts, 5.0);
+        let mut seen = 0;
+        let visited = search.for_each_neighbor(pts[0], Some(0), |_| {
+            seen += 1;
+            seen < 3
+        });
+        assert_eq!(visited, 3);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let pts = grid(10, 0.5);
+        let search = FixedRadiusSearch::build(&pts, 0.8);
+        assert!(search.build_counters().build_prims == 100);
+        assert_eq!(search.query_counters(), WorkCounters::ZERO);
+        let _ = search.neighbors_of(0);
+        let _ = search.neighbors_of(50);
+        let qc = search.query_counters();
+        assert_eq!(qc.rays, 2);
+        assert!(qc.prim_tests > 0);
+    }
+
+    #[test]
+    fn neighbor_count_matches_list_length() {
+        let pts = grid(8, 0.4);
+        let search = FixedRadiusSearch::build(&pts, 0.6);
+        for q in 0..pts.len() {
+            assert_eq!(search.neighbor_count(q), search.neighbors_of(q).len());
+        }
+    }
+
+    #[test]
+    fn radius_boundary_is_inclusive() {
+        let pts = vec![Point3::new(0.0, 0.0, 0.0), Point3::new(1.0, 0.0, 0.0)];
+        let search = FixedRadiusSearch::build(&pts, 1.0);
+        assert_eq!(search.neighbors_of(0), vec![1]);
+    }
+}

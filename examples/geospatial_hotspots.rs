@@ -1,0 +1,60 @@
+//! Geospatial hotspot detection on taxi GPS data — the workload class the
+//! paper's introduction motivates (density-based clustering of 2-D
+//! geospatial data).
+//!
+//! ```text
+//! cargo run --release -p rtdbscan --example geospatial_hotspots
+//! ```
+//!
+//! Generates a Porto-like taxi trajectory dataset, finds pick-up hotspots
+//! with RT-DBSCAN, and compares against the FDBSCAN baseline to show where
+//! the RT acceleration pays off.
+
+use rtdbscan::{DbscanAlgorithm, DbscanParams, Fdbscan, RtDbscan};
+use rtdbscan_datasets::{generate, PaperDataset};
+
+fn main() {
+    let n = 60_000;
+    let points = generate(PaperDataset::PortoTaxi, n, 42);
+    println!("Porto-like taxi dataset: {} GPS points", points.len());
+
+    // Hotspots: dense pick-up areas.  minPts is high so only genuinely busy
+    // areas qualify, mirroring the paper's Porto configuration (0.5, 1000)
+    // scaled to this dataset size.
+    let params = DbscanParams::new(0.5, 60).expect("valid parameters");
+
+    let rt = RtDbscan::default();
+    let fd = Fdbscan::default();
+    let rt_run = rt.run(&points, params).expect("RT-DBSCAN run");
+    let fd_run = fd.run(&points, params).expect("FDBSCAN run");
+
+    // The two implementations must agree on the clustering.
+    assert_eq!(rt_run.clustering.core, fd_run.clustering.core);
+    println!(
+        "hotspots found: {} (RT-DBSCAN) / {} (FDBSCAN), {} noise points",
+        rt_run.clustering.num_clusters(),
+        fd_run.clustering.num_clusters(),
+        rt_run.clustering.noise_count()
+    );
+    let sizes = rt_run.clustering.cluster_sizes();
+    for (i, size) in sizes.iter().take(5).enumerate() {
+        println!("  hotspot {i}: {size} pick-up points");
+    }
+    if sizes.len() > 5 {
+        println!("  … and {} smaller hotspots", sizes.len() - 5);
+    }
+
+    // Simulated device comparison (the paper's Fig 5b / 6b setting).
+    let device = rtcore::hardware::DeviceModel::rtx2060();
+    let rt_sim = rt_run.simulate_on(&device).total();
+    let fd_sim = fd_run.simulate_on(&device).total();
+    println!(
+        "simulated RTX 2060 time: RT-DBSCAN {rt_sim}, FDBSCAN {fd_sim} ({:.2}x speedup)",
+        fd_sim.as_secs_f64() / rt_sim.as_secs_f64()
+    );
+    println!(
+        "wall-clock on this machine: RT-DBSCAN {:.2?}, FDBSCAN {:.2?}",
+        rt_run.timings.total(),
+        fd_run.timings.total()
+    );
+}

@@ -1,0 +1,85 @@
+//! Quickstart: cluster a small 2-D point set with RT-DBSCAN.
+//!
+//! ```text
+//! cargo run --release -p rtdbscan --example quickstart
+//! ```
+//!
+//! Generates three Gaussian blobs plus uniform noise, runs RT-DBSCAN, and
+//! prints what it found together with the per-phase timing breakdown the
+//! library reports.
+
+use rtcore::geometry::Point3;
+use rtdbscan::{DbscanAlgorithm, DbscanParams, RtDbscan};
+
+fn main() {
+    // --- 1. Make some data: three blobs and a sprinkling of noise. ---------
+    let blobs = [
+        rtdbscan_datasets::synthetic::Blob {
+            center: Point3::new_2d(0.0, 0.0),
+            std_dev: 0.4,
+            count: 600,
+        },
+        rtdbscan_datasets::synthetic::Blob {
+            center: Point3::new_2d(8.0, 1.0),
+            std_dev: 0.6,
+            count: 900,
+        },
+        rtdbscan_datasets::synthetic::Blob {
+            center: Point3::new_2d(3.0, 7.0),
+            std_dev: 0.3,
+            count: 400,
+        },
+    ];
+    let points = rtdbscan_datasets::synthetic::gaussian_blobs_with_noise(
+        &blobs,
+        120,
+        (Point3::new_2d(-5.0, -5.0), Point3::new_2d(13.0, 12.0)),
+        true,
+        7,
+    );
+    println!("dataset: {} points (3 blobs + 120 noise points)", points.len());
+
+    // --- 2. Cluster with RT-DBSCAN. -----------------------------------------
+    let params = DbscanParams::new(0.5, 8).expect("valid parameters");
+    let algorithm = RtDbscan::default();
+    let result = algorithm
+        .run(&points, params)
+        .expect("clustering should succeed");
+
+    // --- 3. Inspect the result. ---------------------------------------------
+    let clustering = &result.clustering;
+    println!(
+        "{}: {} clusters, {} core points, {} border points, {} noise points",
+        algorithm.name(),
+        clustering.num_clusters(),
+        clustering.core_count(),
+        clustering.border_count(),
+        clustering.noise_count()
+    );
+    for (i, size) in clustering.cluster_sizes().iter().enumerate() {
+        println!("  cluster {i}: {size} points");
+    }
+
+    // --- 4. Where did the time go? -------------------------------------------
+    println!(
+        "wall-clock: build {:.2?}, core identification {:.2?}, cluster formation {:.2?}",
+        result.timings.build,
+        result.timings.core_identification,
+        result.timings.cluster_formation
+    );
+    let simulated = result.simulate_on(&rtcore::hardware::DeviceModel::rtx2060());
+    println!(
+        "simulated RTX 2060: build {}, stage 1 {}, stage 2 {} (clustering fraction {:.0}%)",
+        simulated.build,
+        simulated.core_identification,
+        simulated.cluster_formation,
+        100.0 * simulated.clustering_fraction()
+    );
+    println!(
+        "work: {} rays, {} BVH node visits, {} intersection tests, {} distance computations",
+        result.counters.total().rays,
+        result.counters.total().node_visits,
+        result.counters.total().prim_tests,
+        result.counters.total().dist_comps
+    );
+}

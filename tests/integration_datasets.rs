@@ -1,0 +1,131 @@
+//! Integration tests of the dataset generators against the clustering stack:
+//! the synthetic datasets must exhibit the density structure the paper's
+//! experiments depend on, and they must survive a CSV round trip unchanged.
+
+use rtdbscan::{ClassicDbscan, DbscanAlgorithm, DbscanParams, RtDbscan};
+use rtdbscan_datasets::{generate, load_csv, save_csv, PaperDataset};
+use std::collections::HashMap;
+
+#[test]
+fn road_network_produces_many_small_clusters_then_few_large_ones() {
+    // Sweeping eps on the road network must move the clustering from
+    // "many small clusters" to "few large clusters" (Section V-B).
+    let points = generate(PaperDataset::RoadNetwork, 8_000, 21);
+    let small = RtDbscan::default()
+        .run(&points, DbscanParams::new(0.004, 3).unwrap())
+        .unwrap()
+        .clustering;
+    let large = RtDbscan::default()
+        .run(&points, DbscanParams::new(0.08, 3).unwrap())
+        .unwrap()
+        .clustering;
+    assert!(
+        small.num_clusters() > large.num_clusters(),
+        "smaller eps should fragment the road network ({} vs {})",
+        small.num_clusters(),
+        large.num_clusters()
+    );
+    assert!(large.num_clusters() >= 1);
+    let largest_small = small.cluster_sizes().first().copied().unwrap_or(0);
+    let largest_large = large.cluster_sizes().first().copied().unwrap_or(0);
+    assert!(largest_large > largest_small);
+}
+
+#[test]
+fn porto_hotspots_are_recovered_as_clusters() {
+    let points = generate(PaperDataset::PortoTaxi, 12_000, 33);
+    // eps / minPts chosen so hotspot cores qualify but the thinner
+    // trajectory corridors between them do not, which keeps the hotspots
+    // from being bridged into one giant cluster.
+    let clustering = RtDbscan::default()
+        .run(&points, DbscanParams::new(0.3, 60).unwrap())
+        .unwrap()
+        .clustering;
+    // The generator places six hotspots; a sensible eps should recover
+    // several of them as distinct dense clusters and leave sparse
+    // trajectory / noise points unclustered.
+    assert!(
+        clustering.num_clusters() >= 2,
+        "expected several hotspots, got {}",
+        clustering.num_clusters()
+    );
+    assert!(clustering.noise_count() > 0);
+    assert!(clustering.noise_count() < points.len());
+}
+
+#[test]
+fn ngsim_duplication_and_zero_cluster_property() {
+    let points = generate(PaperDataset::Ngsim, 40_000, 9);
+    let mut unique: HashMap<(u32, u32), u32> = HashMap::new();
+    for p in &points {
+        *unique.entry((p.x.to_bits(), p.y.to_bits())).or_default() += 1;
+    }
+    let duplication = points.len() as f64 / unique.len() as f64;
+    assert!(duplication > 2.0, "duplication ratio {duplication:.1}");
+    let max_per_location = unique.values().copied().max().unwrap();
+    assert!(
+        (max_per_location as usize) < 100,
+        "no location may reach minPts=100 ({max_per_location})"
+    );
+
+    let clustering = RtDbscan::default()
+        .run(&points, DbscanParams::new(0.0005, 100).unwrap())
+        .unwrap()
+        .clustering;
+    assert_eq!(clustering.num_clusters(), 0);
+    assert_eq!(clustering.noise_count(), points.len());
+}
+
+#[test]
+fn ionosphere_forms_clusters_in_3d() {
+    let points = generate(PaperDataset::Ionosphere3d, 10_000, 13);
+    assert!(points.iter().any(|p| p.z != 0.0), "3DIono must be genuinely 3-D");
+    let clustering = RtDbscan::default()
+        .run(&points, DbscanParams::new(0.5, 5).unwrap())
+        .unwrap()
+        .clustering;
+    assert!(clustering.num_clusters() > 0);
+    assert!(clustering.core_count() > 0);
+}
+
+#[test]
+fn csv_round_trip_preserves_clustering() {
+    let points = generate(PaperDataset::Ionosphere3d, 2_000, 4);
+    let mut path = std::env::temp_dir();
+    path.push(format!("rtdbscan_integration_{}.csv", std::process::id()));
+    save_csv(&path, &points).unwrap();
+    let reloaded = load_csv(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(points, reloaded);
+
+    let params = DbscanParams::new(0.6, 5).unwrap();
+    let a = ClassicDbscan::cluster(&points, params).unwrap();
+    let b = ClassicDbscan::cluster(&reloaded, params).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn scaled_subsets_preserve_the_density_regime() {
+    // The experiment harness scales dataset sizes down; the generator must
+    // keep the same spatial extent (density per area drops proportionally),
+    // which is why the harness scales minPts alongside.
+    for dataset in PaperDataset::ALL {
+        let small = generate(dataset, 2_000, 2);
+        let large = generate(dataset, 20_000, 2);
+        let extent = |pts: &[rtcore::geometry::Point3]| {
+            let mut min = pts[0];
+            let mut max = pts[0];
+            for p in pts {
+                min = min.min(*p);
+                max = max.max(*p);
+            }
+            (max.x - min.x) * (max.y - min.y)
+        };
+        let ratio = extent(&large) / extent(&small).max(f32::MIN_POSITIVE);
+        assert!(
+            (0.3..6.0).contains(&ratio),
+            "{}: spatial extent should not scale with n (ratio {ratio})",
+            dataset.name()
+        );
+    }
+}

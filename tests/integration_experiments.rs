@@ -1,0 +1,178 @@
+//! Integration tests of the experiment harness: the qualitative shape of the
+//! paper's results must hold when the experiments are run at a reduced scale.
+//!
+//! These are the guard rails for the benchmark suite — if a change to the
+//! algorithms, the cost model or the generators flips who wins an experiment,
+//! these tests fail before the numbers ever reach EXPERIMENTS.md.
+
+use rtdbscan_bench::experiments::{self, ExperimentScale};
+use rtdbscan_bench::measure::measure;
+use rtdbscan_datasets::{generate, PaperDataset};
+use rtdbscan::{DbscanParams, Fdbscan, RtDbscan};
+
+/// Scale used throughout this file: large enough for the asymptotic effects
+/// to show, small enough for the test suite to stay quick.
+fn test_scale() -> ExperimentScale {
+    ExperimentScale {
+        factor: 0.02,
+        seed: 42,
+    }
+}
+
+#[test]
+fn rt_dbscan_outperforms_fdbscan_at_scale_on_every_fig5_dataset() {
+    // Fig 5: at the (scaled) 1M-point setting RT-DBSCAN should win for the
+    // larger eps values on every dataset.
+    for dataset in [
+        PaperDataset::RoadNetwork,
+        PaperDataset::PortoTaxi,
+        PaperDataset::Ionosphere3d,
+    ] {
+        let table = experiments::fig5_eps_sweep(&test_scale(), dataset);
+        let speedup_col = table.column_index("speedup").unwrap();
+        let speedups = table.column_values(speedup_col);
+        let max = speedups.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(
+            max > 1.0,
+            "{}: RT-DBSCAN should win somewhere in the eps sweep, max speedup {max:.2}",
+            dataset.name()
+        );
+        // The largest-eps end of the sweep is where RT acceleration pays the
+        // most (more traversal work to accelerate).
+        assert!(
+            speedups.last().unwrap() >= speedups.first().unwrap(),
+            "{}: speedup should not shrink as eps grows ({speedups:?})",
+            dataset.name()
+        );
+    }
+}
+
+#[test]
+fn fig6_speedup_grows_with_dataset_size() {
+    for dataset in [PaperDataset::PortoTaxi, PaperDataset::Ionosphere3d] {
+        let table = experiments::fig6_size_sweep(&test_scale(), dataset);
+        let col = table.column_index("speedup").unwrap();
+        let speedups = table.column_values(col);
+        assert!(speedups.len() >= 3);
+        let first = speedups.first().unwrap();
+        let last = speedups.last().unwrap();
+        assert!(
+            last > first,
+            "{}: speedup should widen with size ({first:.2} -> {last:.2})",
+            dataset.name()
+        );
+        assert!(
+            *last > 1.0,
+            "{}: RT-DBSCAN should win at the largest size ({last:.2}x)",
+            dataset.name()
+        );
+    }
+}
+
+#[test]
+fn ngsim_tables_show_orders_of_magnitude_and_zero_clusters() {
+    let table2 = experiments::table2_ngsim_eps(&test_scale());
+    let speedup_col = table2.column_index("speedup").unwrap();
+    let clusters_col = table2.column_index("clusters").unwrap();
+    for row in 0..table2.rows.len() {
+        let speedup = table2.value(row, speedup_col).unwrap();
+        // At this reduced scale the fixed pipeline-setup cost still limits
+        // the ratio; the full-scale factors are recorded in EXPERIMENTS.md.
+        assert!(speedup > 1.5, "row {row}: NGSIM speedup only {speedup:.1}x");
+        assert_eq!(
+            table2.value(row, clusters_col).unwrap(),
+            0.0,
+            "NGSIM must form zero clusters at the paper's parameters"
+        );
+    }
+
+    // Table III: the FDBSCAN column must grow faster than the RT column, and
+    // the gap at the largest size must already be substantial.
+    let table3 = experiments::table3_ngsim_size(&test_scale());
+    let fd = table3.column_values(table3.column_index("FDBSCAN (s)").unwrap());
+    let rt = table3.column_values(table3.column_index("RT-DBSCAN (s)").unwrap());
+    let fd_growth = fd.last().unwrap() / fd.first().unwrap();
+    let rt_growth = rt.last().unwrap() / rt.first().unwrap();
+    assert!(
+        fd_growth > rt_growth,
+        "FDBSCAN should scale worse on NGSIM (fd x{fd_growth:.1} vs rt x{rt_growth:.1})"
+    );
+    let largest_speedup = fd.last().unwrap() / rt.last().unwrap();
+    assert!(
+        largest_speedup > 3.0,
+        "expected a clear win at the largest NGSIM size, got {largest_speedup:.1}x"
+    );
+}
+
+#[test]
+fn breakdown_reproduces_the_section_v_d_structure() {
+    let table = experiments::breakdown_analysis(&ExperimentScale {
+        factor: 0.05,
+        seed: 42,
+    });
+    // Row 4 is the clustering fraction; FDBSCAN spends most of its time
+    // clustering, RT-DBSCAN spends a much larger share on the BVH build.
+    let fd_fraction = table.value(4, 0).unwrap();
+    let rt_fraction = table.value(4, 1).unwrap();
+    assert!(fd_fraction > 0.5, "FDBSCAN clustering fraction {fd_fraction:.2}");
+    assert!(rt_fraction < fd_fraction);
+    // Last row: clustering-only speedup must exceed the end-to-end one.
+    let clustering_speedup = table.value(5, 1).unwrap();
+    let fd_total = table.value(3, 0).unwrap();
+    let rt_total = table.value(3, 1).unwrap();
+    assert!(clustering_speedup > fd_total / rt_total);
+}
+
+#[test]
+fn early_exit_helps_fdbscan_most_on_porto() {
+    // Fig 9a: with minPts far below typical neighbourhood sizes, early exit
+    // saves FDBSCAN a lot of stage-1 work.
+    let scale = test_scale();
+    let table = experiments::fig9_early_exit(&scale, PaperDataset::PortoTaxi);
+    let plain = table.column_values(table.column_index("FDBSCAN (s)").unwrap());
+    let early = table.column_values(table.column_index("FDBSCAN-EarlyExit (s)").unwrap());
+    for (p, e) in plain.iter().zip(&early) {
+        assert!(e <= p, "early exit must never be slower (plain {p:.4}, early {e:.4})");
+    }
+    // At the largest size the saving should be substantial (paper: ~3x).
+    assert!(
+        plain.last().unwrap() / early.last().unwrap() > 1.3,
+        "expected a clear early-exit win on Porto"
+    );
+}
+
+#[test]
+fn experiment_clusterings_are_not_degenerate() {
+    // Speedup numbers are only meaningful if the runs actually cluster: the
+    // Fig 5 configurations must produce at least one cluster at the largest
+    // eps, and the algorithms must agree on it.
+    let scale = test_scale();
+    for dataset in [PaperDataset::PortoTaxi, PaperDataset::Ionosphere3d] {
+        let points = generate(dataset, scale.size(200_000), scale.seed);
+        let (eps, min_pts_paper) = dataset.default_params();
+        let params = DbscanParams::new(eps, scale.min_pts(min_pts_paper)).unwrap();
+        let rt = measure(&RtDbscan::default(), &points, params);
+        let fd = measure(&Fdbscan::default(), &points, params);
+        assert!(rt.clusters() > 0, "{}: no clusters formed", dataset.name());
+        assert_eq!(rt.clusters(), fd.clusters(), "{}", dataset.name());
+        assert!(experiments::agrees_with_fdbscan(
+            &RtDbscan::default(),
+            &points,
+            params
+        ));
+    }
+}
+
+#[test]
+fn run_all_smoke_produces_every_table() {
+    let tables = experiments::run_all(&ExperimentScale::smoke());
+    // 1 (fig4) + 3 (fig5) + 3 (fig6) + 1 (fig7) + 3 (tables I-III)
+    // + 3 (fig9) + 1 (breakdown) + 1 (tiny) + 2 (ablations) = 18
+    assert_eq!(tables.len(), 18);
+    for t in &tables {
+        assert!(!t.rows.is_empty(), "{} has no rows", t.title);
+        assert!(!t.columns.is_empty(), "{} has no columns", t.title);
+        // Markdown rendering must succeed for EXPERIMENTS.md generation.
+        assert!(t.to_markdown().contains(&t.title));
+    }
+}

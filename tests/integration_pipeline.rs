@@ -1,0 +1,201 @@
+//! Integration tests of the rtcore substrate against the dataset generators:
+//! BVH invariants, query correctness against brute force, and counter
+//! consistency — the plumbing every experiment rests on.
+
+use proptest::prelude::*;
+use rtcore::bvh::{
+    build_over_points, compact_coincident, validate, BvhBuilder, LbvhBuilder, MedianSplitBuilder,
+    SahBuilder,
+};
+use rtcore::geometry::{Point3, Ray};
+use rtcore::hardware::{DeviceModel, ExecutionPath, WorkCounters};
+use rtcore::query::FixedRadiusSearch;
+use rtcore::traversal::collect_sphere_hits;
+use rtdbscan_datasets::{generate, PaperDataset};
+
+fn brute_force_neighbors(points: &[Point3], q: usize, radius: f32) -> Vec<u32> {
+    let mut out: Vec<u32> = points
+        .iter()
+        .enumerate()
+        .filter(|&(i, p)| i != q && points[q].distance(*p) <= radius)
+        .map(|(i, _)| i as u32)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[test]
+fn bvh_invariants_hold_on_every_dataset_and_builder() {
+    for dataset in PaperDataset::ALL {
+        let points = generate(dataset, 4_000, 17);
+        let (eps, _) = dataset.default_params();
+        let builders: Vec<Box<dyn BvhBuilder>> = vec![
+            Box::new(LbvhBuilder::default()),
+            Box::new(SahBuilder::default()),
+            Box::new(MedianSplitBuilder::default()),
+        ];
+        for builder in builders {
+            let bvh = build_over_points(builder.as_ref(), &points, eps).unwrap();
+            validate(&bvh).unwrap_or_else(|e| {
+                panic!("{:?} on {}: {e}", builder.kind(), dataset.name())
+            });
+            assert_eq!(bvh.primitive_count(), points.len());
+            assert!(bvh.depth() <= 2 * (points.len() as f32).log2() as usize + 32);
+        }
+    }
+}
+
+#[test]
+fn fixed_radius_search_matches_brute_force_on_real_shaped_data() {
+    for dataset in PaperDataset::ALL {
+        let points = generate(dataset, 1_500, 23);
+        let (eps, _) = dataset.default_params();
+        let search = FixedRadiusSearch::build(&points, eps);
+        for q in (0..points.len()).step_by(137) {
+            let mut got = search.neighbors_of(q);
+            got.sort_unstable();
+            assert_eq!(
+                got,
+                brute_force_neighbors(&points, q, eps),
+                "dataset {} query {q}",
+                dataset.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn compaction_preserves_query_semantics_on_duplicated_data() {
+    let points = generate(PaperDataset::Ngsim, 3_000, 5);
+    let radius = 0.001;
+    let compaction = compact_coincident(&points, radius);
+    assert!(compaction.merged > 0, "NGSIM data should contain duplicates");
+    let bvh = SahBuilder::default().build(compaction.spheres.clone()).unwrap();
+    validate(&bvh).unwrap();
+
+    // Multiplicity-weighted neighbour counts over the compacted scene must
+    // equal the exact counts over the raw points.
+    for q in (0..points.len()).step_by(211) {
+        let expected = brute_force_neighbors(&points, q, radius).len() as u64;
+        let ray = Ray::epsilon_ray(points[q]);
+        let mut counters = WorkCounters::ZERO;
+        let mut count = 0u64;
+        rtcore::traversal::traverse(&bvh, &ray, &mut counters, |sphere, counters| {
+            counters.dist_comps += 1;
+            if sphere.center.distance_squared(points[q]) <= radius * radius {
+                if sphere.point_index == compaction.representative_of[q] {
+                    count += (sphere.multiplicity - 1) as u64;
+                } else {
+                    count += sphere.multiplicity as u64;
+                }
+            }
+            rtcore::traversal::Traversal::Continue
+        });
+        assert_eq!(count, expected, "query {q}");
+    }
+}
+
+#[test]
+fn traversal_counters_and_device_model_are_consistent() {
+    let points = generate(PaperDataset::PortoTaxi, 5_000, 7);
+    let bvh = build_over_points(&LbvhBuilder::default(), &points, 0.5).unwrap();
+    let mut counters = WorkCounters::ZERO;
+    for (i, &p) in points.iter().enumerate().step_by(10) {
+        counters.rays += 1;
+        collect_sphere_hits(&bvh, &Ray::epsilon_ray(p), Some(i as u32), &mut counters);
+    }
+    // Counter sanity: every ray visits at least the root, every primitive
+    // test was preceded by an AABB admission, distance filter ran per test.
+    assert!(counters.aabb_tests >= counters.rays);
+    assert!(counters.dist_comps == counters.prim_tests);
+    assert!(counters.node_visits > 0);
+
+    // The same counters are strictly cheaper on the RT path than on the
+    // shader path, and build time is charged separately.
+    let device = DeviceModel::rtx2060();
+    let rt = device.traversal_time(&counters, ExecutionPath::RtCore);
+    let sm = device.traversal_time(&counters, ExecutionPath::ShaderCore);
+    assert!(rt < sm);
+    assert_eq!(
+        device.build_time(&counters, ExecutionPath::RtCore).as_secs_f64(),
+        0.0,
+        "no build work was recorded, so no build time may be charged"
+    );
+}
+
+#[test]
+fn query_structure_handles_updates_of_radius_via_rebuild() {
+    let points = generate(PaperDataset::Ionosphere3d, 2_000, 3);
+    let small = FixedRadiusSearch::build(&points, 0.1);
+    let large = FixedRadiusSearch::build(&points, 1.0);
+    let mut grew = 0;
+    for q in (0..points.len()).step_by(97) {
+        let a = small.neighbor_count(q);
+        let b = large.neighbor_count(q);
+        assert!(b >= a, "larger radius can never lose neighbours");
+        if b > a {
+            grew += 1;
+        }
+    }
+    assert!(grew > 0, "a 10x larger radius should grow some neighbourhood");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property: for arbitrary point clouds and radii, the RT query primitive
+    /// returns exactly the brute-force neighbour set.
+    #[test]
+    fn rt_findneighbor_equals_brute_force(
+        n in 1usize..120,
+        radius in 0.05f32..3.0,
+        seed in 0u64..500,
+        query in 0usize..120,
+    ) {
+        // Deterministic pseudo-random points from the seed (keep proptest
+        // shrinking well-behaved by avoiding external RNG state).
+        let pts: Vec<Point3> = (0..n)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(seed);
+                let x = ((h >> 16) & 0xffff) as f32 / 65535.0 * 10.0;
+                let y = ((h >> 32) & 0xffff) as f32 / 65535.0 * 10.0;
+                let z = ((h >> 48) & 0xffff) as f32 / 65535.0 * 2.0;
+                Point3::new(x, y, z)
+            })
+            .collect();
+        let q = query % n;
+        let search = FixedRadiusSearch::build(&pts, radius);
+        let mut got = search.neighbors_of(q);
+        got.sort_unstable();
+        prop_assert_eq!(got, brute_force_neighbors(&pts, q, radius));
+    }
+
+    /// Property: BVH structural invariants hold for arbitrary point clouds,
+    /// including ones with many exact duplicates.
+    #[test]
+    fn bvh_invariants_hold_for_arbitrary_inputs(
+        n in 1usize..200,
+        dup_every in 1usize..5,
+        radius in 0.01f32..1.0,
+        seed in 0u64..500,
+    ) {
+        let pts: Vec<Point3> = (0..n)
+            .map(|i| {
+                let base = i / dup_every * dup_every; // duplicate runs
+                let h = (base as u64).wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(seed);
+                Point3::new_2d(
+                    ((h >> 20) & 0x3ff) as f32 / 10.0,
+                    ((h >> 40) & 0x3ff) as f32 / 10.0,
+                )
+            })
+            .collect();
+        for builder in [rtcore::bvh::BuilderKind::Lbvh, rtcore::bvh::BuilderKind::BinnedSah] {
+            let bvh = match builder {
+                rtcore::bvh::BuilderKind::Lbvh =>
+                    build_over_points(&LbvhBuilder::default(), &pts, radius).unwrap(),
+                _ => build_over_points(&SahBuilder::default(), &pts, radius).unwrap(),
+            };
+            prop_assert!(validate(&bvh).is_ok());
+        }
+    }
+}
