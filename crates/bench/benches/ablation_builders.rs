@@ -30,7 +30,11 @@ fn bench_ablations(c: &mut Criterion) {
     ];
     for (name, config) in &ngsim_configs {
         group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
-            b.iter(|| config.run(std::hint::black_box(&ngsim), ngsim_params).unwrap())
+            b.iter(|| {
+                config
+                    .run(std::hint::black_box(&ngsim), ngsim_params)
+                    .unwrap()
+            })
         });
     }
 
@@ -40,7 +44,11 @@ fn bench_ablations(c: &mut Criterion) {
     ];
     for (name, config) in &porto_configs {
         group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
-            b.iter(|| config.run(std::hint::black_box(&porto), porto_params).unwrap())
+            b.iter(|| {
+                config
+                    .run(std::hint::black_box(&porto), porto_params)
+                    .unwrap()
+            })
         });
     }
     group.finish();

@@ -17,15 +17,23 @@ fn bench_fig5(c: &mut Criterion) {
         let points = generate(dataset, 30_000, 42);
         let mut group = c.benchmark_group(format!("fig5_{}", dataset.name()));
         group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(3));
+        group.warm_up_time(std::time::Duration::from_millis(500));
+        group.measurement_time(std::time::Duration::from_secs(3));
         for eps in eps_values {
             let params = DbscanParams::new(eps, 13).unwrap();
             group.bench_with_input(BenchmarkId::new("rt_dbscan", eps), &eps, |b, _| {
-                b.iter(|| RtDbscan::default().run(std::hint::black_box(&points), params).unwrap())
+                b.iter(|| {
+                    RtDbscan::default()
+                        .run(std::hint::black_box(&points), params)
+                        .unwrap()
+                })
             });
             group.bench_with_input(BenchmarkId::new("fdbscan", eps), &eps, |b, _| {
-                b.iter(|| Fdbscan::default().run(std::hint::black_box(&points), params).unwrap())
+                b.iter(|| {
+                    Fdbscan::default()
+                        .run(std::hint::black_box(&points), params)
+                        .unwrap()
+                })
             });
         }
         group.finish();

@@ -14,17 +14,25 @@ fn bench_size_sweep(c: &mut Criterion) {
     for (dataset, eps, min_pts) in configs {
         let mut group = c.benchmark_group(format!("fig6_{}", dataset.name()));
         group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(3));
+        group.warm_up_time(std::time::Duration::from_millis(500));
+        group.measurement_time(std::time::Duration::from_secs(3));
         for n in [15_000usize, 60_000] {
             let points = generate(dataset, n, 42);
             let params = DbscanParams::new(eps, min_pts).unwrap();
             group.throughput(Throughput::Elements(n as u64));
             group.bench_with_input(BenchmarkId::new("rt_dbscan", n), &n, |b, _| {
-                b.iter(|| RtDbscan::default().run(std::hint::black_box(&points), params).unwrap())
+                b.iter(|| {
+                    RtDbscan::default()
+                        .run(std::hint::black_box(&points), params)
+                        .unwrap()
+                })
             });
             group.bench_with_input(BenchmarkId::new("fdbscan", n), &n, |b, _| {
-                b.iter(|| Fdbscan::default().run(std::hint::black_box(&points), params).unwrap())
+                b.iter(|| {
+                    Fdbscan::default()
+                        .run(std::hint::black_box(&points), params)
+                        .unwrap()
+                })
             });
         }
         group.finish();

@@ -16,8 +16,8 @@ fn bench_early_exit(c: &mut Criterion) {
         let params = DbscanParams::new(eps, min_pts).unwrap();
         let mut group = c.benchmark_group(format!("fig9_{}", dataset.name()));
         group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(3));
+        group.warm_up_time(std::time::Duration::from_millis(500));
+        group.measurement_time(std::time::Duration::from_secs(3));
         let variants: Vec<(&str, Box<dyn DbscanAlgorithm>)> = vec![
             ("fdbscan", Box::new(Fdbscan::default())),
             ("fdbscan_early_exit", Box::new(Fdbscan::with_early_exit())),

@@ -49,13 +49,9 @@ fn bench_queries(c: &mut Criterion) {
             let mut counters = WorkCounters::ZERO;
             let mut total = 0usize;
             for (i, p) in points.iter().enumerate().step_by(100) {
-                total += collect_sphere_hits(
-                    &bvh,
-                    &Ray::epsilon_ray(*p),
-                    Some(i as u32),
-                    &mut counters,
-                )
-                .len();
+                total +=
+                    collect_sphere_hits(&bvh, &Ray::epsilon_ray(*p), Some(i as u32), &mut counters)
+                        .len();
             }
             std::hint::black_box(total)
         })

@@ -116,11 +116,10 @@ pub fn fig5_eps_sweep(scale: &ExperimentScale, which: PaperDataset) -> Experimen
     }
     table.push_note(match which {
         PaperDataset::RoadNetwork => {
-            "Paper: max speedup 1.5x; small dataset + small eps keep BVH build dominant.".to_string()
+            "Paper: max speedup 1.5x; small dataset + small eps keep BVH build dominant."
+                .to_string()
         }
-        PaperDataset::PortoTaxi => {
-            "Paper: max speedup 2.3x, increasing with eps.".to_string()
-        }
+        PaperDataset::PortoTaxi => "Paper: max speedup 2.3x, increasing with eps.".to_string(),
         PaperDataset::Ionosphere3d => {
             "Paper: max speedup 3.6x; larger eps means more traversal work for RT cores to win on."
                 .to_string()
@@ -133,11 +132,7 @@ pub fn fig5_eps_sweep(scale: &ExperimentScale, which: PaperDataset) -> Experimen
 /// Convenience used by tests and the Criterion benches: one (dataset, eps)
 /// pair measured for both RT-DBSCAN and FDBSCAN, returning
 /// (fdbscan_seconds, rtdbscan_seconds).
-pub fn measure_pair(
-    points: &[rtcore::geometry::Point3],
-    eps: f32,
-    min_pts: usize,
-) -> (f64, f64) {
+pub fn measure_pair(points: &[rtcore::geometry::Point3], eps: f32, min_pts: usize) -> (f64, f64) {
     let params = DbscanParams::new(eps, min_pts).expect("valid params");
     let fd = measure(&Fdbscan::default(), points, params);
     let rt = measure(&RtDbscan::default(), points, params);
@@ -155,12 +150,9 @@ pub fn agrees_with_fdbscan(
     let fd = Fdbscan::default().run(points, params);
     let other = algo.run(points, params);
     match (fd, other) {
-        (Ok(a), Ok(b)) => rtdbscan::metrics::same_clustering(
-            &a.clustering,
-            &b.clustering,
-            points,
-            params,
-        ),
+        (Ok(a), Ok(b)) => {
+            rtdbscan::metrics::same_clustering(&a.clustering, &b.clustering, points, params)
+        }
         _ => false,
     }
 }

@@ -27,7 +27,9 @@ pub use analysis::{
     ablation_builders_and_compaction, ablation_triangles, breakdown_analysis, fig9_early_exit,
     tiny_dataset_crossover,
 };
-pub use eps_sweeps::{agrees_with_fdbscan, eps_sweep_values, fig4_small_dataset, fig5_eps_sweep, measure_pair};
+pub use eps_sweeps::{
+    agrees_with_fdbscan, eps_sweep_values, fig4_small_dataset, fig5_eps_sweep, measure_pair,
+};
 pub use ngsim::{table2_ngsim_eps, table3_ngsim_size, NGSIM_EPS_VALUES};
 pub use size_sweeps::{
     fig6_size_sweep, fig7_scalability, size_sweep_params, size_sweep_values, table1_porto,
@@ -91,7 +93,11 @@ impl Default for ExperimentScale {
 }
 
 /// Generate a scaled instance of a paper dataset.
-pub(crate) fn dataset(scale: &ExperimentScale, which: PaperDataset, paper_n: usize) -> Vec<rtcore::geometry::Point3> {
+pub(crate) fn dataset(
+    scale: &ExperimentScale,
+    which: PaperDataset,
+    paper_n: usize,
+) -> Vec<rtcore::geometry::Point3> {
     rtdbscan_datasets::generate(which, scale.size(paper_n), scale.seed)
 }
 

@@ -35,10 +35,7 @@ pub fn size_sweep_params(which: PaperDataset, scale: &ExperimentScale) -> (f32, 
     (eps, min_pts)
 }
 
-fn run_size_sweep(
-    scale: &ExperimentScale,
-    which: PaperDataset,
-) -> Vec<(usize, f64, f64, usize)> {
+fn run_size_sweep(scale: &ExperimentScale, which: PaperDataset) -> Vec<(usize, f64, f64, usize)> {
     let (eps, min_pts) = size_sweep_params(which, scale);
     size_sweep_values(which)
         .into_iter()
@@ -87,7 +84,9 @@ pub fn fig6_size_sweep(scale: &ExperimentScale, which: PaperDataset) -> Experime
         );
     }
     table.push_note(match which {
-        PaperDataset::RoadNetwork => "Paper: max speedup 1.37x (small dataset, build-dominated).".to_string(),
+        PaperDataset::RoadNetwork => {
+            "Paper: max speedup 1.37x (small dataset, build-dominated).".to_string()
+        }
         PaperDataset::PortoTaxi => "Paper: max speedup 2.9x at the largest size.".to_string(),
         PaperDataset::Ionosphere3d => "Paper: max speedup 4.1x at the largest size.".to_string(),
         PaperDataset::Ngsim => "See Table III.".to_string(),
@@ -103,13 +102,17 @@ pub fn fig7_scalability(scale: &ExperimentScale) -> ExperimentTable {
     let mut table = ExperimentTable::new(
         format!("Figure 7: execution-time scalability on 3DIono (eps={eps}, minPts={min_pts})"),
         "dataset size",
-        vec!["FDBSCAN sim (s)".to_string(), "RT-DBSCAN sim (s)".to_string()],
+        vec![
+            "FDBSCAN sim (s)".to_string(),
+            "RT-DBSCAN sim (s)".to_string(),
+        ],
     );
     for (n, fd, rt, _) in run_size_sweep(scale, which) {
         table.push_row(format!("{n}"), vec![Some(fd), Some(rt)]);
     }
     table.push_note(
-        "Paper: RT-DBSCAN's execution time grows significantly more slowly than FDBSCAN's.".to_string(),
+        "Paper: RT-DBSCAN's execution time grows significantly more slowly than FDBSCAN's."
+            .to_string(),
     );
     table
 }
@@ -120,7 +123,9 @@ pub fn table1_porto(scale: &ExperimentScale) -> ExperimentTable {
     let which = PaperDataset::PortoTaxi;
     let (eps, min_pts) = size_sweep_params(which, scale);
     let mut table = ExperimentTable::new(
-        format!("Table I: execution time (s) for Porto vs dataset size (eps={eps}, minPts={min_pts})"),
+        format!(
+            "Table I: execution time (s) for Porto vs dataset size (eps={eps}, minPts={min_pts})"
+        ),
         "dataset size",
         vec![
             "FDBSCAN (s)".to_string(),
@@ -165,7 +170,10 @@ mod tests {
         let scale = ExperimentScale::smoke();
         let t = fig7_scalability(&scale);
         assert_eq!(t.columns.len(), 2);
-        assert_eq!(t.rows.len(), size_sweep_values(PaperDataset::Ionosphere3d).len());
+        assert_eq!(
+            t.rows.len(),
+            size_sweep_values(PaperDataset::Ionosphere3d).len()
+        );
         for (label, row) in &t.rows {
             assert!(label.parse::<usize>().is_ok());
             assert!(row.iter().all(|v| v.unwrap() > 0.0));

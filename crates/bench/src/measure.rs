@@ -75,11 +75,7 @@ pub fn measure_on(
 }
 
 /// [`measure_on`] with the default simulated device (RTX 2060).
-pub fn measure(
-    algo: &dyn DbscanAlgorithm,
-    points: &[Point3],
-    params: DbscanParams,
-) -> MeasuredRun {
+pub fn measure(algo: &dyn DbscanAlgorithm, points: &[Point3], params: DbscanParams) -> MeasuredRun {
     measure_on(algo, points, params, &DeviceModel::default())
 }
 
@@ -102,7 +98,10 @@ mod tests {
         let mut pts = Vec::new();
         for c in 0..2 {
             for i in 0..40 {
-                pts.push(Point3::new_2d(c as f32 * 20.0 + (i % 8) as f32 * 0.1, (i / 8) as f32 * 0.1));
+                pts.push(Point3::new_2d(
+                    c as f32 * 20.0 + (i % 8) as f32 * 0.1,
+                    (i / 8) as f32 * 0.1,
+                ));
             }
         }
         pts

@@ -57,7 +57,9 @@ impl ExperimentTable {
 
     /// Value at (row, column), if the run succeeded.
     pub fn value(&self, row: usize, col: usize) -> Option<f64> {
-        self.rows.get(row).and_then(|r| r.1.get(col).copied().flatten())
+        self.rows
+            .get(row)
+            .and_then(|r| r.1.get(col).copied().flatten())
     }
 
     /// Values of one column across all rows (failed cells skipped).

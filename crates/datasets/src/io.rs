@@ -40,7 +40,10 @@ pub fn load_csv(path: &Path) -> io::Result<Vec<Point3>> {
         let mut cols = trimmed.split(',').map(str::trim);
         let x = cols.next().and_then(|c| c.parse::<f32>().ok());
         let y = cols.next().and_then(|c| c.parse::<f32>().ok());
-        let z = cols.next().and_then(|c| c.parse::<f32>().ok()).unwrap_or(0.0);
+        let z = cols
+            .next()
+            .and_then(|c| c.parse::<f32>().ok())
+            .unwrap_or(0.0);
         match (x, y) {
             (Some(x), Some(y)) => pts.push(Point3::new(x, y, z)),
             _ if lineno == 0 => continue, // header row
@@ -87,7 +90,10 @@ mod tests {
         writeln!(f, "3.0,4.0").unwrap();
         drop(f);
         let pts = load_csv(&path).unwrap();
-        assert_eq!(pts, vec![Point3::new_2d(1.0, 2.0), Point3::new_2d(3.0, 4.0)]);
+        assert_eq!(
+            pts,
+            vec![Point3::new_2d(1.0, 2.0), Point3::new_2d(3.0, 4.0)]
+        );
         std::fs::remove_file(&path).ok();
     }
 

@@ -24,7 +24,7 @@ pub fn generate_ionosphere(n: usize, seed: u64) -> Vec<Point3> {
     if n == 0 {
         return Vec::new();
     }
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x10_0_0);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0000_1000);
     let n_stations = (n / 200).clamp(8, 4000);
     let stations: Vec<(f32, f32)> = (0..n_stations)
         .map(|_| {

@@ -23,10 +23,12 @@
 pub mod io;
 pub mod iono;
 pub mod road;
+pub mod stream;
 pub mod synthetic;
 pub mod trajectories;
 
 pub use io::{load_csv, save_csv};
+pub use stream::{PointStream, StreamConfig, TimedPoint};
 
 use rtcore::geometry::Point3;
 

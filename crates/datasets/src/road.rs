@@ -75,7 +75,7 @@ pub fn generate_road_network(n: usize, seed: u64) -> Vec<Point3> {
             })
             .collect();
         dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-        let degree = rng.gen_range(2..=3).min(dists.len());
+        let degree = rng.gen_range(2..=3usize).min(dists.len());
         for &(j, d) in dists.iter().take(degree) {
             if i < j {
                 edges.push((i, j, d));
@@ -84,7 +84,7 @@ pub fn generate_road_network(n: usize, seed: u64) -> Vec<Point3> {
             }
         }
     }
-    edges.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    edges.sort_by_key(|a| (a.0, a.1));
     edges.dedup_by_key(|e| (e.0, e.1));
     if edges.is_empty() {
         // Degenerate tiny inputs: a single self-edge so sampling still works.
@@ -92,7 +92,11 @@ pub fn generate_road_network(n: usize, seed: u64) -> Vec<Point3> {
     }
 
     // 3. Distribute points along edges proportionally to length.
-    let total_len: f32 = edges.iter().map(|e| e.2).sum::<f32>().max(f32::MIN_POSITIVE);
+    let total_len: f32 = edges
+        .iter()
+        .map(|e| e.2)
+        .sum::<f32>()
+        .max(f32::MIN_POSITIVE);
     let jitter = Normal::new(0.0f32, 5e-5).unwrap();
     let mut pts = Vec::with_capacity(n);
     'outer: loop {

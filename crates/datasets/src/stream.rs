@@ -1,0 +1,226 @@
+//! Replayable point streams for the streaming clustering subsystem.
+//!
+//! The batch experiments hand a whole dataset to an algorithm at once; a
+//! streaming system instead sees *timestamped arrivals*.  This module turns
+//! the deterministic generators of this crate into replayable streams: the
+//! same `(dataset, n, seed)` triple always produces the identical sequence
+//! of timestamped points, delivered in ingestion batches, so streaming
+//! experiments are exactly as reproducible as the batch ones.
+//!
+//! Timestamps are synthetic (arrival index scaled by a configurable rate)
+//! — what matters to the windowing logic downstream is their monotone
+//! order and spacing, not any real-world clock.
+
+use crate::PaperDataset;
+use rtcore::geometry::Point3;
+
+/// A point with its arrival timestamp (seconds since stream start).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedPoint {
+    /// The spatial point.
+    pub point: Point3,
+    /// Arrival time in seconds since the start of the stream.
+    pub time: f64,
+}
+
+/// Configuration of a replayable stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamConfig {
+    /// Total number of points the stream will deliver.
+    pub total_points: usize,
+    /// Points delivered per ingestion batch (the last batch may be short).
+    pub batch_size: usize,
+    /// Arrivals per second: consecutive points are spaced `1 / rate`
+    /// seconds apart.
+    pub points_per_second: f64,
+    /// Seed forwarded to the underlying generator.
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            total_points: 10_000,
+            batch_size: 256,
+            points_per_second: 1_000.0,
+            seed: 42,
+        }
+    }
+}
+
+/// A replayable stream over one of the paper's dataset analogues.
+///
+/// The underlying generator is materialised once (they are cheap and
+/// deterministic) and then replayed in arrival order.  Iterating yields
+/// batches of [`TimedPoint`]s; [`PointStream::reset`] rewinds to the start
+/// for an identical replay.
+///
+/// ```
+/// use rtdbscan_datasets::stream::{PointStream, StreamConfig};
+/// use rtdbscan_datasets::PaperDataset;
+///
+/// let config = StreamConfig { total_points: 1000, batch_size: 300, ..StreamConfig::default() };
+/// let mut stream = PointStream::replay(PaperDataset::PortoTaxi, config);
+/// let sizes: Vec<usize> = (&mut stream).map(|b| b.len()).collect();
+/// assert_eq!(sizes, vec![300, 300, 300, 100]);
+/// stream.reset();
+/// assert_eq!(stream.next().unwrap().len(), 300);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PointStream {
+    points: Vec<Point3>,
+    config: StreamConfig,
+    cursor: usize,
+}
+
+impl PointStream {
+    /// Replay one of the paper's dataset analogues as a stream.
+    pub fn replay(dataset: PaperDataset, config: StreamConfig) -> Self {
+        let points = crate::generate(dataset, config.total_points, config.seed);
+        PointStream {
+            points,
+            config,
+            cursor: 0,
+        }
+    }
+
+    /// Build a stream over an explicit point sequence (arrival order =
+    /// slice order).
+    pub fn from_points(points: Vec<Point3>, config: StreamConfig) -> Self {
+        PointStream {
+            points,
+            config,
+            cursor: 0,
+        }
+    }
+
+    /// The stream's configuration.
+    pub fn config(&self) -> StreamConfig {
+        self.config
+    }
+
+    /// Total number of points this stream delivers.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the stream delivers no points at all.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of points already delivered.
+    pub fn delivered(&self) -> usize {
+        self.cursor
+    }
+
+    /// Rewind to the start; the replay is bit-identical.
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// Arrival timestamp of the point with arrival index `i`.
+    fn time_of(&self, i: usize) -> f64 {
+        i as f64 / self.config.points_per_second.max(f64::MIN_POSITIVE)
+    }
+}
+
+impl Iterator for PointStream {
+    type Item = Vec<TimedPoint>;
+
+    fn next(&mut self) -> Option<Vec<TimedPoint>> {
+        if self.cursor >= self.points.len() {
+            return None;
+        }
+        let batch = self.config.batch_size.max(1);
+        let end = (self.cursor + batch).min(self.points.len());
+        let out: Vec<TimedPoint> = (self.cursor..end)
+            .map(|i| TimedPoint {
+                point: self.points[i],
+                time: self.time_of(i),
+            })
+            .collect();
+        self.cursor = end;
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(total: usize, batch: usize) -> StreamConfig {
+        StreamConfig {
+            total_points: total,
+            batch_size: batch,
+            points_per_second: 100.0,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let a: Vec<Vec<TimedPoint>> =
+            PointStream::replay(PaperDataset::Ngsim, config(2000, 128)).collect();
+        let b: Vec<Vec<TimedPoint>> =
+            PointStream::replay(PaperDataset::Ngsim, config(2000, 128)).collect();
+        assert_eq!(a, b);
+        let c: Vec<Vec<TimedPoint>> = PointStream::replay(
+            PaperDataset::Ngsim,
+            StreamConfig {
+                seed: 8,
+                ..config(2000, 128)
+            },
+        )
+        .collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn batches_cover_the_dataset_in_order() {
+        let cfg = config(1000, 137);
+        let stream = PointStream::replay(PaperDataset::PortoTaxi, cfg);
+        let reference = crate::generate(PaperDataset::PortoTaxi, 1000, cfg.seed);
+        let delivered: Vec<Point3> = stream
+            .flat_map(|b| b.into_iter().map(|t| t.point))
+            .collect();
+        assert_eq!(delivered, reference);
+    }
+
+    #[test]
+    fn timestamps_are_monotone_and_rate_scaled() {
+        let cfg = config(500, 50);
+        let stream = PointStream::replay(PaperDataset::RoadNetwork, cfg);
+        let times: Vec<f64> = stream.flat_map(|b| b.into_iter().map(|t| t.time)).collect();
+        assert_eq!(times.len(), 500);
+        assert!(times.windows(2).all(|w| w[1] > w[0]));
+        // 100 points/s → last point arrives at 4.99s.
+        assert!((times[499] - 4.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_rewinds_identically() {
+        let mut stream = PointStream::replay(PaperDataset::Ionosphere3d, config(300, 100));
+        let first: Vec<_> = (&mut stream).collect();
+        assert!(stream.next().is_none());
+        assert_eq!(stream.delivered(), 300);
+        stream.reset();
+        assert_eq!(stream.delivered(), 0);
+        let second: Vec<_> = stream.collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn explicit_points_and_edge_cases() {
+        let pts = vec![Point3::new_2d(1.0, 2.0), Point3::new_2d(3.0, 4.0)];
+        let mut stream = PointStream::from_points(pts.clone(), config(2, 10));
+        let batch = stream.next().unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].point, pts[0]);
+        assert!(stream.next().is_none());
+
+        let mut empty = PointStream::from_points(vec![], config(0, 10));
+        assert!(empty.is_empty());
+        assert!(empty.next().is_none());
+    }
+}

@@ -52,12 +52,7 @@ pub fn gaussian_blobs_with_noise(
 }
 
 /// Uniformly distributed points inside an axis-aligned box.
-pub fn uniform_noise(
-    n: usize,
-    bounds: (Point3, Point3),
-    two_d: bool,
-    seed: u64,
-) -> Vec<Point3> {
+pub fn uniform_noise(n: usize, bounds: (Point3, Point3), two_d: bool, seed: u64) -> Vec<Point3> {
     let (lo, hi) = bounds;
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
@@ -65,7 +60,11 @@ pub fn uniform_noise(
             Point3::new(
                 rng.gen_range(lo.x..=hi.x),
                 rng.gen_range(lo.y..=hi.y),
-                if two_d { 0.0 } else { rng.gen_range(lo.z..=hi.z) },
+                if two_d {
+                    0.0
+                } else {
+                    rng.gen_range(lo.z..=hi.z)
+                },
             )
         })
         .collect()

@@ -25,14 +25,14 @@ pub fn generate_porto_taxi(n: usize, seed: u64) -> Vec<Point3> {
     if n == 0 {
         return Vec::new();
     }
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x9097_0);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0009_0970);
     let hotspots: Vec<(f32, f32, f32)> = vec![
-        (0.0, 0.0, 0.6),     // city centre
-        (6.0, 4.0, 0.9),     // airport
-        (-4.0, 2.5, 0.5),    // station
-        (3.0, -5.0, 0.8),    // beach front
-        (-7.0, -3.0, 1.0),   // industrial area
-        (9.0, -1.0, 1.2),    // suburb hub
+        (0.0, 0.0, 0.6),   // city centre
+        (6.0, 4.0, 0.9),   // airport
+        (-4.0, 2.5, 0.5),  // station
+        (3.0, -5.0, 0.8),  // beach front
+        (-7.0, -3.0, 1.0), // industrial area
+        (9.0, -1.0, 1.2),  // suburb hub
     ];
     let jitter = Normal::new(0.0f32, 0.04).unwrap();
     let mut pts = Vec::with_capacity(n);
@@ -108,7 +108,7 @@ pub fn generate_ngsim(n: usize, seed: u64) -> Vec<Point3> {
     if n == 0 {
         return Vec::new();
     }
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x09_51_6);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0000_9516);
     // Two jam regions covering ~5 % of the segment.
     let jams: Vec<(f32, f32)> = vec![(300.0, 360.0), (1400.0, 1450.0)];
     let quantize = |v: f32| (v / NGSIM_QUANTUM_FT).round() * NGSIM_QUANTUM_FT;
@@ -140,7 +140,7 @@ pub fn generate_ngsim(n: usize, seed: u64) -> Vec<Point3> {
                     break;
                 }
                 pts.push(Point3::new_2d(x, quantize(y)));
-                y += rng.gen_range(3.0..7.0);
+                y += rng.gen_range(3.0f32..7.0);
                 if y > NGSIM_SEGMENT_FT {
                     y -= NGSIM_SEGMENT_FT;
                 }
@@ -220,8 +220,12 @@ mod tests {
         let ngsim = generate_ngsim(10_000, 1);
         let porto = generate_porto_taxi(10_000, 1);
         let area = |pts: &[Point3]| {
-            let (mut minx, mut maxx, mut miny, mut maxy) =
-                (f32::INFINITY, f32::NEG_INFINITY, f32::INFINITY, f32::NEG_INFINITY);
+            let (mut minx, mut maxx, mut miny, mut maxy) = (
+                f32::INFINITY,
+                f32::NEG_INFINITY,
+                f32::INFINITY,
+                f32::NEG_INFINITY,
+            );
             for p in pts {
                 minx = minx.min(p.x);
                 maxx = maxx.max(p.x);

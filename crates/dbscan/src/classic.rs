@@ -94,7 +94,7 @@ impl DbscanAlgorithm for ClassicDbscan {
                 cluster_formation: rtcore::hardware::WorkCounters::ZERO,
             },
             path: ExecutionPath::ShaderCore,
-            device_bytes: (n * std::mem::size_of::<Point3>()) as u64,
+            device_bytes: std::mem::size_of_val(points) as u64,
         })
     }
 }
@@ -185,7 +185,9 @@ mod tests {
     fn border_points_join_a_cluster() {
         // A line of points spaced 0.9 apart with eps 1.0 and min_pts 2:
         // interior points are core, the two endpoints are border.
-        let pts: Vec<Point3> = (0..10).map(|i| Point3::new_2d(i as f32 * 0.9, 0.0)).collect();
+        let pts: Vec<Point3> = (0..10)
+            .map(|i| Point3::new_2d(i as f32 * 0.9, 0.0))
+            .collect();
         let params = DbscanParams::new(1.0, 2).unwrap();
         let c = ClassicDbscan::cluster(&pts, params).unwrap();
         assert_eq!(c.num_clusters(), 1);

@@ -104,7 +104,7 @@ impl DbscanAlgorithm for CudaDclustPlus {
         let seed_list_bytes = chains * self.max_seeds_per_chain as u64 * 4;
         let collision_matrix_bytes = chains * chains / 8; // bit matrix
         let index_bytes = (n as u64) * 4 + grid.len() as u64 * 16;
-        let device_bytes = (n * std::mem::size_of::<Point3>()) as u64
+        let device_bytes = std::mem::size_of_val(points) as u64
             + index_bytes
             + seed_list_bytes
             + collision_matrix_bytes;
@@ -141,10 +141,10 @@ impl DbscanAlgorithm for CudaDclustPlus {
         let ((core, stage1_counters), stage1_time) = timed(|| {
             let mut counters = WorkCounters::ZERO;
             let mut core = vec![false; n];
-            for p in 0..n {
+            for (p, is_core) in core.iter_mut().enumerate() {
                 counters.misc_ops += 1;
                 let neigh = neighbors_of(p, &mut counters);
-                core[p] = neigh.len() >= params.min_pts;
+                *is_core = neigh.len() >= params.min_pts;
             }
             (core, counters)
         });
@@ -287,7 +287,10 @@ mod tests {
         for (eps, min_pts) in [(0.6, 4), (1.2, 8)] {
             let params = DbscanParams::new(eps, min_pts).unwrap();
             let reference = ClassicDbscan::cluster(&pts, params).unwrap();
-            let d = CudaDclustPlus::default().run(&pts, params).unwrap().clustering;
+            let d = CudaDclustPlus::default()
+                .run(&pts, params)
+                .unwrap()
+                .clustering;
             assert_eq!(reference.core, d.core, "eps={eps}");
             assert!(same_clustering(&reference, &d, &pts, params), "eps={eps}");
         }
@@ -341,8 +344,9 @@ mod tests {
             .unwrap()
             .clustering
             .is_empty());
-        let sparse: Vec<Point3> =
-            (0..30).map(|i| Point3::new_2d(i as f32 * 50.0, 0.0)).collect();
+        let sparse: Vec<Point3> = (0..30)
+            .map(|i| Point3::new_2d(i as f32 * 50.0, 0.0))
+            .collect();
         let r = CudaDclustPlus::default().run(&sparse, params).unwrap();
         assert_eq!(r.clustering.num_clusters(), 0);
         assert_eq!(r.clustering.noise_count(), 30);

@@ -76,12 +76,7 @@ impl ConcurrentDisjointSet {
             // gives a total order on roots so concurrent unions cannot form
             // cycles and the result is independent of scheduling.
             let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
-            match self.parent[hi].compare_exchange(
-                hi,
-                lo,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
+            match self.parent[hi].compare_exchange(hi, lo, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => {
                     self.merges.fetch_add(1, Ordering::Relaxed);
                     return true;
@@ -233,11 +228,13 @@ mod tests {
             let mut next = 0usize;
             roots
                 .iter()
-                .map(|r| *map.entry(*r).or_insert_with(|| {
-                    let v = next;
-                    next += 1;
-                    v
-                }))
+                .map(|r| {
+                    *map.entry(*r).or_insert_with(|| {
+                        let v = next;
+                        next += 1;
+                        v
+                    })
+                })
                 .collect::<Vec<_>>()
         };
         assert_eq!(canon(&a), canon(&b));

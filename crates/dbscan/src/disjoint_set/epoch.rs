@@ -1,0 +1,266 @@
+//! Epoch-aware disjoint set for incremental / repeated clustering.
+//!
+//! The streaming clusterer re-forms clusters many times over a sliding
+//! window: insert-only slides extend an existing partition, while slides
+//! that delete core points invalidate it and stage 2 re-runs.  Allocating a
+//! fresh forest per snapshot would make every snapshot O(capacity) before
+//! any clustering work happens; this structure instead stamps every slot
+//! with the epoch that last initialised it.  [`EpochDisjointSet::reset`] is
+//! O(1) — it just bumps the epoch — and slots lazily re-initialise to
+//! singletons the first time they are touched in the new epoch.
+//!
+//! The structure also supports `grow`, because a stream's slot space
+//! expands as new points arrive, and counts its union/find work exactly
+//! like the other disjoint sets in this module so the device cost model can
+//! charge it.
+
+/// A union-by-rank disjoint-set forest with O(1) whole-structure reset.
+#[derive(Debug, Clone)]
+pub struct EpochDisjointSet {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    /// Epoch at which each slot was last initialised.
+    stamp: Vec<u32>,
+    epoch: u32,
+    merges: u64,
+    finds: u64,
+}
+
+impl EpochDisjointSet {
+    /// Create a forest with `n` slots, all singletons.
+    pub fn new(n: usize) -> Self {
+        EpochDisjointSet {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            stamp: vec![0; n],
+            epoch: 0,
+            merges: 0,
+            finds: 0,
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if the forest has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Current epoch (diagnostic; bumped by [`EpochDisjointSet::reset`]).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Forget every union in O(1): all slots become singletons again.
+    pub fn reset(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped around: stale stamps could collide with the new epoch,
+            // so pay one eager reinitialisation every 2^32 resets.
+            for i in 0..self.parent.len() {
+                self.parent[i] = i as u32;
+                self.rank[i] = 0;
+                self.stamp[i] = 0;
+            }
+        }
+    }
+
+    /// Extend the slot space to at least `n` slots (new slots are
+    /// singletons).
+    pub fn grow(&mut self, n: usize) {
+        let old = self.parent.len();
+        if n <= old {
+            return;
+        }
+        self.parent.extend(old as u32..n as u32);
+        self.rank.resize(n, 0);
+        // Fresh slots are born initialised for the current epoch.
+        self.stamp.resize(n, self.epoch);
+    }
+
+    /// Lazily re-initialise a slot if it was last touched in an older epoch.
+    #[inline]
+    fn touch(&mut self, x: usize) {
+        if self.stamp[x] != self.epoch {
+            self.stamp[x] = self.epoch;
+            self.parent[x] = x as u32;
+            self.rank[x] = 0;
+        }
+    }
+
+    /// Find the representative of `x`, compressing the path.
+    pub fn find(&mut self, x: usize) -> usize {
+        self.finds += 1;
+        self.touch(x);
+        let mut root = x;
+        loop {
+            self.touch(root);
+            let p = self.parent[root] as usize;
+            if p == root {
+                break;
+            }
+            root = p;
+        }
+        let mut cur = x;
+        while self.parent[cur] as usize != root {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merge the sets containing `a` and `b`; returns true if two distinct
+    /// sets were merged.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        self.merges += 1;
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb as u32,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra as u32,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra as u32;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// True if `a` and `b` are currently in the same set.
+    pub fn same_set(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// (find operations, successful merges) performed so far (cumulative
+    /// across epochs).
+    pub fn op_counts(&self) -> (u64, u64) {
+        (self.finds, self.merges)
+    }
+
+    /// Reset the operation counters (e.g. per measurement interval).
+    pub fn reset_op_counts(&mut self) {
+        self.finds = 0;
+        self.merges = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disjoint_set::SequentialDisjointSet;
+
+    #[test]
+    fn behaves_like_sequential_within_one_epoch() {
+        let n = 400;
+        let mut seq = SequentialDisjointSet::new(n);
+        let mut epo = EpochDisjointSet::new(n);
+        for i in 0..n {
+            if i % 2 == 0 && i + 2 < n {
+                seq.union(i, i + 2);
+                epo.union(i, i + 2);
+            }
+            if i % 11 == 0 {
+                let j = (i * 7 + 3) % n;
+                seq.union(i, j);
+                epo.union(i, j);
+            }
+        }
+        for i in 0..n {
+            for j in (0..n).step_by(13) {
+                assert_eq!(seq.same_set(i, j), epo.same_set(i, j), "({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_restores_singletons_in_o1() {
+        let mut dsu = EpochDisjointSet::new(100);
+        for i in 0..99 {
+            dsu.union(i, i + 1);
+        }
+        assert!(dsu.same_set(0, 99));
+        let epoch_before = dsu.epoch();
+        dsu.reset();
+        assert_eq!(dsu.epoch(), epoch_before + 1);
+        for i in 1..100 {
+            assert!(!dsu.same_set(0, i), "slot {i} still merged after reset");
+            assert_eq!(dsu.find(i), i);
+        }
+    }
+
+    #[test]
+    fn unions_after_reset_start_fresh() {
+        let mut dsu = EpochDisjointSet::new(10);
+        dsu.union(0, 1);
+        dsu.union(2, 3);
+        dsu.reset();
+        dsu.union(1, 2);
+        assert!(dsu.same_set(1, 2));
+        assert!(!dsu.same_set(0, 1));
+        assert!(!dsu.same_set(2, 3));
+    }
+
+    #[test]
+    fn grow_adds_singletons_mid_epoch() {
+        let mut dsu = EpochDisjointSet::new(4);
+        dsu.union(0, 1);
+        dsu.grow(8);
+        assert_eq!(dsu.len(), 8);
+        assert!(dsu.same_set(0, 1));
+        for i in 4..8 {
+            assert_eq!(dsu.find(i), i);
+        }
+        dsu.union(1, 7);
+        assert!(dsu.same_set(0, 7));
+        // Growing smaller is a no-op.
+        dsu.grow(2);
+        assert_eq!(dsu.len(), 8);
+    }
+
+    #[test]
+    fn grow_after_reset_initialises_for_current_epoch() {
+        let mut dsu = EpochDisjointSet::new(4);
+        dsu.union(0, 3);
+        dsu.reset();
+        dsu.grow(6);
+        dsu.union(4, 5);
+        assert!(dsu.same_set(4, 5));
+        assert!(!dsu.same_set(0, 3));
+    }
+
+    #[test]
+    fn many_epochs_stay_correct() {
+        let mut dsu = EpochDisjointSet::new(50);
+        for round in 0..100 {
+            dsu.reset();
+            // Merge a different pair pattern each round.
+            for i in 0..49 {
+                if (i + round) % 3 == 0 {
+                    dsu.union(i, i + 1);
+                }
+            }
+            for i in 0..49 {
+                let expect = (i + round) % 3 == 0;
+                assert_eq!(dsu.same_set(i, i + 1), expect, "round {round} slot {i}");
+            }
+        }
+        let (finds, merges) = dsu.op_counts();
+        assert!(finds > 0 && merges > 0);
+        dsu.reset_op_counts();
+        assert_eq!(dsu.op_counts(), (0, 0));
+    }
+
+    #[test]
+    fn empty_forest() {
+        let dsu = EpochDisjointSet::new(0);
+        assert!(dsu.is_empty());
+        assert_eq!(dsu.len(), 0);
+    }
+}

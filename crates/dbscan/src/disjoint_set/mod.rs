@@ -11,15 +11,20 @@
 //!   rayon workers can update concurrently, standing in for the GPU-side
 //!   parallel Union-Find of FDBSCAN/RT-DBSCAN (including the "critical
 //!   section" union of Algorithm 3, line 14, which is expressed here as a
-//!   compare-and-swap claim).
+//!   compare-and-swap claim);
+//! * [`EpochDisjointSet`] — union-by-rank with O(1) whole-structure reset
+//!   via epoch stamping, used by the streaming clusterer to re-form
+//!   clusters across sliding-window snapshots without reallocating.
 //!
 //! Both structures count the union/find work they perform so the device
 //! cost model can charge it.
 
 mod concurrent;
+mod epoch;
 mod sequential;
 
 pub use concurrent::ConcurrentDisjointSet;
+pub use epoch::EpochDisjointSet;
 pub use sequential::SequentialDisjointSet;
 
 #[cfg(test)]

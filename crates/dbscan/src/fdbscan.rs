@@ -180,7 +180,7 @@ impl DbscanAlgorithm for Fdbscan {
             .collect();
 
         let device_bytes = bvh.device_bytes()
-            + (n * std::mem::size_of::<Point3>()) as u64
+            + std::mem::size_of_val(points) as u64
             + (n * std::mem::size_of::<usize>()) as u64 // union-find parents
             + 2 * n as u64; // core + claimed flags
 
@@ -295,9 +295,7 @@ mod tests {
         let params = DbscanParams::new(1.0, 2).unwrap();
         let empty = Fdbscan::default().run(&[], params).unwrap();
         assert!(empty.clustering.is_empty());
-        let single = Fdbscan::default()
-            .run(&[Point3::ORIGIN], params)
-            .unwrap();
+        let single = Fdbscan::default().run(&[Point3::ORIGIN], params).unwrap();
         assert_eq!(single.clustering.labels, vec![NOISE]);
     }
 

@@ -88,8 +88,7 @@ impl DbscanAlgorithm for GDbscan {
         // start index per point, 8 bytes) plus 4 bytes per directed edge,
         // plus the points themselves.
         let edges: u64 = adjacency.iter().map(|a| a.len() as u64).sum();
-        let graph_bytes =
-            (n as u64) * 8 + edges * 4 + (n * std::mem::size_of::<Point3>()) as u64;
+        let graph_bytes = (n as u64) * 8 + edges * 4 + std::mem::size_of_val(points) as u64;
         let mut tracker = MemoryTracker::new(self.device_memory_bytes);
         tracker.allocate(graph_bytes)?;
         build_counters.misc_ops += n as u64; // degree prefix-sum pass
@@ -244,7 +243,9 @@ mod tests {
 
     #[test]
     fn all_noise_dataset() {
-        let pts: Vec<Point3> = (0..40).map(|i| Point3::new_2d(i as f32 * 100.0, 0.0)).collect();
+        let pts: Vec<Point3> = (0..40)
+            .map(|i| Point3::new_2d(i as f32 * 100.0, 0.0))
+            .collect();
         let params = DbscanParams::new(1.0, 2).unwrap();
         let r = GDbscan::default().run(&pts, params).unwrap();
         assert_eq!(r.clustering.num_clusters(), 0);

@@ -69,7 +69,9 @@ mod tests {
     /// The re-exported quickstart types compose as documented.
     #[test]
     fn public_api_smoke_test() {
-        let points: Vec<Point3> = (0..30).map(|i| Point3::new_2d(0.2 * i as f32, 0.0)).collect();
+        let points: Vec<Point3> = (0..30)
+            .map(|i| Point3::new_2d(0.2 * i as f32, 0.0))
+            .collect();
         let params = DbscanParams::new(0.5, 2).unwrap();
         let algorithms: Vec<Box<dyn DbscanAlgorithm>> = vec![
             Box::new(RtDbscan::default()),

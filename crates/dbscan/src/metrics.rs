@@ -199,7 +199,9 @@ mod tests {
     use crate::labels::NOISE;
 
     fn line_points(n: usize, spacing: f32) -> Vec<Point3> {
-        (0..n).map(|i| Point3::new_2d(i as f32 * spacing, 0.0)).collect()
+        (0..n)
+            .map(|i| Point3::new_2d(i as f32 * spacing, 0.0))
+            .collect()
     }
 
     #[test]

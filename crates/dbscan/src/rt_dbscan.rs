@@ -50,6 +50,12 @@ pub struct RtDbscan {
     /// [`GeometryKind::TriangleSpheres`] reproduces the Section VI-C
     /// ablation (2–5× slower because of AnyHit overhead).
     pub geometry: GeometryKind,
+    /// Launches smaller than this run sequentially instead of through the
+    /// parallel launch (forwarded to
+    /// [`PipelineConfig::min_parallel_launch`]).  The default mirrors the
+    /// pipeline's; benches sweep it to locate the sequential-vs-parallel
+    /// crossover.
+    pub min_parallel_launch: usize,
 }
 
 impl Default for RtDbscan {
@@ -58,6 +64,7 @@ impl Default for RtDbscan {
             compaction: true,
             builder: BuilderKind::BinnedSah,
             geometry: GeometryKind::CustomSpheres,
+            min_parallel_launch: PipelineConfig::default().min_parallel_launch,
         }
     }
 }
@@ -83,11 +90,24 @@ impl RtDbscan {
         }
     }
 
-    fn build_scene(
-        &self,
-        points: &[Point3],
-        eps: f32,
-    ) -> Result<(Bvh, Vec<u32>, WorkCounters)> {
+    /// Override the launch-width threshold below which ray launches run
+    /// sequentially (see [`PipelineConfig::min_parallel_launch`]).
+    pub fn with_min_parallel_launch(min_parallel_launch: usize) -> Self {
+        RtDbscan {
+            min_parallel_launch,
+            ..RtDbscan::default()
+        }
+    }
+
+    /// The pipeline configuration this algorithm launches with.
+    fn pipeline_config(&self) -> PipelineConfig {
+        PipelineConfig {
+            geometry: self.geometry,
+            min_parallel_launch: self.min_parallel_launch,
+        }
+    }
+
+    fn build_scene(&self, points: &[Point3], eps: f32) -> Result<(Bvh, Vec<u32>, WorkCounters)> {
         let mut extra = WorkCounters::ZERO;
         let (spheres, representative_of) = if self.compaction {
             let compaction = compact_coincident(points, eps);
@@ -233,11 +253,7 @@ impl DbscanAlgorithm for RtDbscan {
         let (bvh, representative_of, extra_build) = scene?;
         let build_counters = bvh.build_counters + extra_build;
 
-        let pipeline_config = PipelineConfig {
-            geometry: self.geometry,
-            ..PipelineConfig::default()
-        };
-        let pipeline = Pipeline::with_config(&bvh, pipeline_config);
+        let pipeline = Pipeline::with_config(&bvh, self.pipeline_config());
         let eps_sq = params.eps_sq();
 
         // ------------------------------------------------------------------
@@ -310,7 +326,7 @@ impl DbscanAlgorithm for RtDbscan {
         stage2_counters.misc_ops += dup_fixups;
 
         let device_bytes = bvh.device_bytes()
-            + (n * std::mem::size_of::<Point3>()) as u64
+            + std::mem::size_of_val(points) as u64
             + (n * std::mem::size_of::<usize>()) as u64 // union-find parents
             + 2 * n as u64; // core + claimed flags
 
@@ -404,10 +420,7 @@ impl RtDbscanSession {
         let (bvh, representative_of, extra_build) = scene?;
         let build_counters = bvh.build_counters + extra_build;
 
-        let pipeline_config = PipelineConfig {
-            geometry: config.geometry,
-            ..PipelineConfig::default()
-        };
+        let pipeline_config = config.pipeline_config();
         let eps_sq = eps * eps;
         let (stage1, stage1_time) = timed(|| {
             Pipeline::with_config(&bvh, pipeline_config).launch(
@@ -501,10 +514,7 @@ impl RtDbscanSession {
         let core_indices: Vec<u32> = (0..n as u32).filter(|&i| core[i as usize]).collect();
         let dsu = ConcurrentDisjointSet::new(n);
         let claimed: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
-        let pipeline_config = PipelineConfig {
-            geometry: self.config.geometry,
-            ..PipelineConfig::default()
-        };
+        let pipeline_config = self.config.pipeline_config();
         let eps_sq = self.eps * self.eps;
         let (stage2, stage2_time) = timed(|| {
             Pipeline::with_config(&self.bvh, pipeline_config).launch(
@@ -707,7 +717,9 @@ mod tests {
         let empty = RtDbscan::default().run(&[], params).unwrap();
         assert!(empty.clustering.is_empty());
 
-        let sparse: Vec<Point3> = (0..50).map(|i| Point3::new_2d(i as f32 * 10.0, 0.0)).collect();
+        let sparse: Vec<Point3> = (0..50)
+            .map(|i| Point3::new_2d(i as f32 * 10.0, 0.0))
+            .collect();
         let r = RtDbscan::default().run(&sparse, params).unwrap();
         assert_eq!(r.clustering.num_clusters(), 0);
         assert_eq!(r.clustering.noise_count(), 50);
@@ -794,6 +806,41 @@ mod tests {
         assert!(RtDbscanSession::new(&pts, -1.0).is_err());
         let session = RtDbscanSession::new(&pts, 0.5).unwrap();
         assert!(session.cluster(0).is_err());
+    }
+
+    #[test]
+    fn min_parallel_launch_is_plumbed_through_and_result_invariant() {
+        let pts = blobs_with_noise();
+        let params = DbscanParams::new(0.5, 5).unwrap();
+        // Force the all-sequential and all-parallel launch paths.
+        let sequential = RtDbscan::with_min_parallel_launch(usize::MAX);
+        let parallel = RtDbscan::with_min_parallel_launch(0);
+        assert_eq!(sequential.pipeline_config().min_parallel_launch, usize::MAX);
+        assert_eq!(parallel.pipeline_config().min_parallel_launch, 0);
+        assert_eq!(
+            RtDbscan::default().pipeline_config().min_parallel_launch,
+            PipelineConfig::default().min_parallel_launch
+        );
+
+        let seq_run = sequential.run(&pts, params).unwrap();
+        let par_run = parallel.run(&pts, params).unwrap();
+        // The launch path is an execution detail: clusterings, core flags
+        // and traversal counters must be identical.
+        assert_eq!(seq_run.clustering.core, par_run.clustering.core);
+        assert!(same_clustering(
+            &seq_run.clustering,
+            &par_run.clustering,
+            &pts,
+            params
+        ));
+        assert_eq!(
+            seq_run.counters.core_identification,
+            par_run.counters.core_identification
+        );
+        assert_eq!(
+            seq_run.counters.core_identification.rays as usize,
+            pts.len()
+        );
     }
 
     #[test]

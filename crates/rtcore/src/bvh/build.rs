@@ -272,7 +272,11 @@ impl BvhBuilder for SahBuilder {
                 for b in 0..bins {
                     acc = acc.union(&bin_bounds[b]);
                     cnt += bin_counts[b];
-                    left_area[b] = if acc.is_empty() { 0.0 } else { acc.surface_area() };
+                    left_area[b] = if acc.is_empty() {
+                        0.0
+                    } else {
+                        acc.surface_area()
+                    };
                     left_count[b] = cnt;
                 }
                 let mut best_cost = f32::INFINITY;
@@ -282,7 +286,11 @@ impl BvhBuilder for SahBuilder {
                 for b in (1..bins).rev() {
                     acc = acc.union(&bin_bounds[b]);
                     cnt += bin_counts[b];
-                    let right_area = if acc.is_empty() { 0.0 } else { acc.surface_area() };
+                    let right_area = if acc.is_empty() {
+                        0.0
+                    } else {
+                        acc.surface_area()
+                    };
                     let lc = left_count[b - 1];
                     let rc = cnt;
                     if lc == 0 || rc == 0 {

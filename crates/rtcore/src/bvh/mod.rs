@@ -22,11 +22,13 @@
 mod build;
 mod compact;
 mod node;
+pub mod refit;
 mod validate;
 
-pub use build::{BvhBuilder, BuilderKind, LbvhBuilder, MedianSplitBuilder, SahBuilder};
+pub use build::{BuilderKind, BvhBuilder, LbvhBuilder, MedianSplitBuilder, SahBuilder};
 pub use compact::{compact_coincident, CompactionResult};
 pub use node::{Bvh, BvhNode, NodeKind};
+pub use refit::{remove_points, tree_health, update_spheres, RefitPolicy, RefitStats, TreeHealth};
 pub use validate::{validate, BvhInvariantError};
 
 use crate::error::Result;

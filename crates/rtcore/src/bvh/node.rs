@@ -72,10 +72,7 @@ impl Bvh {
 
     /// The root node's bounds (the whole scene).
     pub fn scene_bounds(&self) -> Aabb {
-        self.nodes
-            .first()
-            .map(|n| n.bounds)
-            .unwrap_or(Aabb::EMPTY)
+        self.nodes.first().map(|n| n.bounds).unwrap_or(Aabb::EMPTY)
     }
 
     /// Maximum depth of the tree (root = depth 1).  Iterative to avoid stack

@@ -67,7 +67,10 @@ impl fmt::Display for BvhInvariantError {
                 write!(f, "child node index {index} out of range")
             }
             BvhInvariantError::PrimRangeOutOfRange { first, count } => {
-                write!(f, "leaf primitive range [{first}, {first}+{count}) out of range")
+                write!(
+                    f,
+                    "leaf primitive range [{first}, {first}+{count}) out of range"
+                )
             }
             BvhInvariantError::NodeVisitedTwice { index } => {
                 write!(f, "node {index} reachable through two parents")
@@ -76,10 +79,16 @@ impl fmt::Display for BvhInvariantError {
                 write!(f, "{count} nodes unreachable from the root")
             }
             BvhInvariantError::PrimitiveCoverage { index, times } => {
-                write!(f, "primitive {index} covered by {times} leaves (expected 1)")
+                write!(
+                    f,
+                    "primitive {index} covered by {times} leaves (expected 1)"
+                )
             }
             BvhInvariantError::ChildNotContained { parent, child } => {
-                write!(f, "bounds of child {child} not contained in parent {parent}")
+                write!(
+                    f,
+                    "bounds of child {child} not contained in parent {parent}"
+                )
             }
             BvhInvariantError::PrimitiveNotContained { leaf, prim } => {
                 write!(f, "primitive {prim} not contained in bounds of leaf {leaf}")
@@ -127,10 +136,7 @@ pub fn validate(bvh: &Bvh) -> Result<(), BvhInvariantError> {
                     visited[child as usize] = true;
                     let cb = bvh.nodes[child as usize].bounds;
                     if !node.bounds.contains_aabb(&cb) {
-                        return Err(BvhInvariantError::ChildNotContained {
-                            parent: idx,
-                            child,
-                        });
+                        return Err(BvhInvariantError::ChildNotContained { parent: idx, child });
                     }
                     stack.push(child);
                 }

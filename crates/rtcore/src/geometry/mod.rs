@@ -72,7 +72,7 @@ mod tests {
 
     #[test]
     fn epsilon_ray_is_tiny_but_positive() {
-        assert!(EPSILON_RAY_TMAX > 0.0);
-        assert!(EPSILON_RAY_TMAX < 1e-10);
+        let t = EPSILON_RAY_TMAX;
+        assert!(t > 0.0 && t < 1e-10, "{t}");
     }
 }

@@ -182,7 +182,9 @@ mod tests {
         // Simple LCG so the test does not need the rand crate here.
         let mut state = 0x12345678u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as u32) & 0x3fffffff
         };
         let mut codes: Vec<MortonCode> = (0..1000)

@@ -46,6 +46,14 @@ pub struct WorkCounters {
     pub list_ops: u64,
     /// Miscellaneous per-point bookkeeping operations.
     pub misc_ops: u64,
+    /// Node AABB recomputations performed by an in-place BVH refit.
+    pub refit_node_ops: u64,
+    /// Refit passes performed (the cheap branch of the streaming update
+    /// policy).
+    pub refits: u64,
+    /// Full acceleration-structure rebuilds performed (the expensive branch
+    /// of the streaming update policy).
+    pub rebuilds: u64,
 }
 
 impl WorkCounters {
@@ -65,6 +73,9 @@ impl WorkCounters {
         find_ops: 0,
         list_ops: 0,
         misc_ops: 0,
+        refit_node_ops: 0,
+        refits: 0,
+        rebuilds: 0,
     };
 
     /// Sum of all traversal-side counters (everything except build work).
@@ -82,10 +93,23 @@ impl WorkCounters {
         self.build_prims + self.build_sort_ops + self.build_node_ops + self.compaction_merges
     }
 
+    /// Sum of all refit-side counters (charged separately from full builds
+    /// so the streaming update policy's two branches stay distinguishable —
+    /// in particular, a refit never pays the fixed pipeline-setup cost).
+    pub fn refit_ops(&self) -> u64 {
+        self.refit_node_ops + self.refits
+    }
+
     /// Total work units of any kind.
     pub fn total_ops(&self) -> u64 {
-        self.traversal_ops() + self.build_ops() + self.union_ops + self.find_ops + self.list_ops
+        self.traversal_ops()
+            + self.build_ops()
+            + self.refit_ops()
+            + self.union_ops
+            + self.find_ops
+            + self.list_ops
             + self.misc_ops
+            + self.rebuilds
     }
 }
 
@@ -107,6 +131,9 @@ impl Add for WorkCounters {
             find_ops: self.find_ops + rhs.find_ops,
             list_ops: self.list_ops + rhs.list_ops,
             misc_ops: self.misc_ops + rhs.misc_ops,
+            refit_node_ops: self.refit_node_ops + rhs.refit_node_ops,
+            refits: self.refits + rhs.refits,
+            rebuilds: self.rebuilds + rhs.rebuilds,
         }
     }
 }
@@ -144,6 +171,9 @@ pub struct SharedCounters {
     find_ops: AtomicU64,
     list_ops: AtomicU64,
     misc_ops: AtomicU64,
+    refit_node_ops: AtomicU64,
+    refits: AtomicU64,
+    rebuilds: AtomicU64,
 }
 
 impl SharedCounters {
@@ -175,6 +205,10 @@ impl SharedCounters {
         self.find_ops.fetch_add(c.find_ops, Ordering::Relaxed);
         self.list_ops.fetch_add(c.list_ops, Ordering::Relaxed);
         self.misc_ops.fetch_add(c.misc_ops, Ordering::Relaxed);
+        self.refit_node_ops
+            .fetch_add(c.refit_node_ops, Ordering::Relaxed);
+        self.refits.fetch_add(c.refits, Ordering::Relaxed);
+        self.rebuilds.fetch_add(c.rebuilds, Ordering::Relaxed);
     }
 
     /// Read the accumulated totals.
@@ -194,6 +228,9 @@ impl SharedCounters {
             find_ops: self.find_ops.load(Ordering::Relaxed),
             list_ops: self.list_ops.load(Ordering::Relaxed),
             misc_ops: self.misc_ops.load(Ordering::Relaxed),
+            refit_node_ops: self.refit_node_ops.load(Ordering::Relaxed),
+            refits: self.refits.load(Ordering::Relaxed),
+            rebuilds: self.rebuilds.load(Ordering::Relaxed),
         }
     }
 
@@ -213,6 +250,9 @@ impl SharedCounters {
         self.find_ops.store(0, Ordering::Relaxed);
         self.list_ops.store(0, Ordering::Relaxed);
         self.misc_ops.store(0, Ordering::Relaxed);
+        self.refit_node_ops.store(0, Ordering::Relaxed);
+        self.refits.store(0, Ordering::Relaxed);
+        self.rebuilds.store(0, Ordering::Relaxed);
     }
 }
 
@@ -236,6 +276,9 @@ mod tests {
             find_ops: 11,
             list_ops: 12,
             misc_ops: 13,
+            refit_node_ops: 15,
+            refits: 16,
+            rebuilds: 17,
         }
     }
 
@@ -256,7 +299,8 @@ mod tests {
         let c = sample();
         assert_eq!(c.traversal_ops(), 1 + 2 + 3 + 4 + 14 + 5);
         assert_eq!(c.build_ops(), 6 + 7 + 8 + 9);
-        assert_eq!(c.total_ops(), (1..=14).sum::<u64>());
+        assert_eq!(c.refit_ops(), 15 + 16);
+        assert_eq!(c.total_ops(), (1..=17).sum::<u64>());
     }
 
     #[test]

@@ -157,10 +157,18 @@ impl CostProfile {
     }
 
     /// Simulated build-side time for a set of counters.  The fixed setup
-    /// cost is charged once whenever any build work happened.
+    /// cost is charged once whenever any *full* build work happened; refit
+    /// passes deliberately do not pay it (they patch the existing
+    /// acceleration structure in place instead of re-launching the build
+    /// kernels), which is what makes the streaming refit branch cheap.
+    /// A refitted node is charged at half a node-emission: it re-reads the
+    /// node and recomputes its AABB but performs no partitioning.
     pub fn build_time(&self, c: &WorkCounters) -> SimulatedDuration {
+        // Each full rebuild is its own kernel launch: charge the fixed
+        // setup once per recorded rebuild (batch runs record none and pay
+        // it once, as before).
         let fixed = if c.build_ops() > 0 {
-            self.fixed_setup_ns
+            self.fixed_setup_ns * (c.rebuilds.max(1)) as f64
         } else {
             0.0
         };
@@ -168,7 +176,8 @@ impl CostProfile {
             + c.build_prims as f64 * self.build_per_prim_ns
             + c.build_sort_ops as f64 * self.build_sort_op_ns
             + c.build_node_ops as f64 * self.build_node_op_ns
-            + c.compaction_merges as f64 * self.build_node_op_ns;
+            + c.compaction_merges as f64 * self.build_node_op_ns
+            + c.refit_node_ops as f64 * (0.5 * self.build_node_op_ns);
         SimulatedDuration::from_nanos_f64(ns)
     }
 

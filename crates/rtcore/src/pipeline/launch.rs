@@ -71,7 +71,11 @@ impl<'a> Pipeline<'a> {
 
     /// Trace a single ray for `launch_index`, returning its payload and the
     /// work it performed.
-    fn trace_one<P: RayProgram>(&self, program: &P, launch_index: usize) -> (P::Payload, WorkCounters) {
+    fn trace_one<P: RayProgram>(
+        &self,
+        program: &P,
+        launch_index: usize,
+    ) -> (P::Payload, WorkCounters) {
         let mut counters = WorkCounters::ZERO;
         counters.rays += 1;
         let (ray, mut payload) = program.ray_gen(launch_index);
@@ -79,8 +83,7 @@ impl<'a> Pipeline<'a> {
         let outcome = traverse(self.scene, &ray, &mut counters, |sphere, counters| {
             match geometry {
                 GeometryKind::CustomSpheres => {
-                    match program.intersection(launch_index, sphere, &ray, &mut payload, counters)
-                    {
+                    match program.intersection(launch_index, sphere, &ray, &mut payload, counters) {
                         ProgramFlow::Continue => Traversal::Continue,
                         ProgramFlow::TerminateRay => Traversal::Terminate,
                     }
@@ -94,12 +97,16 @@ impl<'a> Pipeline<'a> {
                     // … and every *accepted* hit bounces back into the AnyHit
                     // program on the shader cores, which is where the 2–5×
                     // slowdown of Section VI-C comes from.
-                    match program.intersection(launch_index, sphere, &ray, &mut payload, counters)
-                    {
+                    match program.intersection(launch_index, sphere, &ray, &mut payload, counters) {
                         ProgramFlow::Continue => {
                             counters.anyhit_invocations += 1;
-                            match program.any_hit(launch_index, sphere, &ray, &mut payload, counters)
-                            {
+                            match program.any_hit(
+                                launch_index,
+                                sphere,
+                                &ray,
+                                &mut payload,
+                                counters,
+                            ) {
                                 ProgramFlow::Continue => Traversal::Continue,
                                 ProgramFlow::TerminateRay => Traversal::Terminate,
                             }

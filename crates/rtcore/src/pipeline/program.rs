@@ -17,10 +17,11 @@ pub enum ProgramFlow {
 }
 
 /// How sphere primitives are presented to the (simulated) hardware.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum GeometryKind {
     /// Custom sphere primitives with a user Intersection program — the
     /// configuration RT-DBSCAN uses.
+    #[default]
     CustomSpheres,
     /// Spheres tessellated into triangles so the hardware ray–triangle unit
     /// can be used.  Every accepted hit must then go through the AnyHit
@@ -29,12 +30,6 @@ pub enum GeometryKind {
         /// Number of triangles each sphere is tessellated into.
         triangles_per_sphere: u32,
     },
-}
-
-impl Default for GeometryKind {
-    fn default() -> Self {
-        GeometryKind::CustomSpheres
-    }
 }
 
 /// The bundle of user programs bound to a pipeline launch.

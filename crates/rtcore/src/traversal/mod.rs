@@ -123,7 +123,9 @@ pub fn collect_sphere_hits(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bvh::{spheres_from_points, BvhBuilder, LbvhBuilder, MedianSplitBuilder, SahBuilder};
+    use crate::bvh::{
+        spheres_from_points, BvhBuilder, LbvhBuilder, MedianSplitBuilder, SahBuilder,
+    };
     use crate::geometry::Point3;
 
     fn line_points(n: usize, spacing: f32) -> Vec<Point3> {

@@ -1,0 +1,108 @@
+//! Offline stand-in for the parts of `rand_distr` this workspace uses:
+//! the [`Normal`] distribution (sampled with the Box-Muller transform) and
+//! the [`Distribution`] trait.
+
+use rand::{Rng, RngCore, Standard};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draw one value using `rng` as the source of randomness.
+    fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned by [`Normal::new`] for invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "standard deviation must be finite and non-negative")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Float types [`Normal`] can produce (`f32` and `f64`).
+pub trait NormalFloat: Copy {
+    /// Widen to `f64` for the internal Box-Muller math.
+    fn to_f64(self) -> f64;
+    /// Narrow back from `f64`.
+    fn from_f64(v: f64) -> Self;
+}
+
+impl NormalFloat for f32 {
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    fn from_f64(v: f64) -> f32 {
+        v as f32
+    }
+}
+
+impl NormalFloat for f64 {
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn from_f64(v: f64) -> f64 {
+        v
+    }
+}
+
+/// Normal (Gaussian) distribution with the given mean and standard
+/// deviation.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+impl<F: NormalFloat> Normal<F> {
+    /// Create a normal distribution; fails if `std_dev` is negative or
+    /// non-finite.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, NormalError> {
+        let sd = std_dev.to_f64();
+        if !sd.is_finite() || sd < 0.0 {
+            return Err(NormalError);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl<F: NormalFloat> Distribution<F> for Normal<F> {
+    fn sample<R: RngCore>(&self, rng: &mut R) -> F {
+        // Box-Muller in f64 for accuracy, cast down at the end.
+        let mut u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            u1 = f64::MIN_POSITIVE;
+        }
+        let u2: f64 = f64::sample_standard(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        F::from_f64(self.mean.to_f64() + self.std_dev.to_f64() * z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_std_dev() {
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+        assert!(Normal::new(0.0f32, f32::NAN).is_err());
+        assert!(Normal::new(0.0f32, 1.0).is_ok());
+    }
+
+    #[test]
+    fn sample_statistics_are_plausible() {
+        let normal = Normal::new(5.0f64, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+}

@@ -1,0 +1,994 @@
+//! The streaming clusterer: windowed ingestion, BVH refit/rebuild, and
+//! incremental cluster-label maintenance.
+//!
+//! # How incrementality works
+//!
+//! DBSCAN's output decomposes into three layers, each with different
+//! incremental behaviour (points never move once ingested, so ε-adjacency
+//! between two live points is immutable):
+//!
+//! 1. **Neighbour counts / core flags** — maintained *exactly*: inserting a
+//!    point queries its ε-neighbourhood once and bumps both sides' counts;
+//!    evicting a point queries once more and decrements the survivors.
+//!    Stage 1 of the batch pipeline never needs to re-run.
+//! 2. **The core partition** (clusters = connected components of core
+//!    points under ε-adjacency) — monotone under insertion: a point can
+//!    only *become* core, and a new core point merges components, which a
+//!    union-find absorbs in place.  Evicting a core point (or flipping a
+//!    core point back below `minPts`) can split components, which
+//!    union-find cannot express — that marks the partition **dirty**.
+//! 3. **Border attachment** — each non-core point keeps a *hint*: some
+//!    live core ε-neighbour.  Hints stay valid until the hinted core
+//!    retires or flips, which only happens on the dirty path.
+//!
+//! A dirty partition is repaired lazily by the next [`snapshot`]: the
+//! epoch disjoint-set resets in O(1) and a stage-2-only pass (one
+//! neighbourhood traversal per live core point) re-forms components and
+//! hints.  The expensive per-snapshot work of the batch pipeline — scene
+//! build and stage-1 counting over *all* points — is never repeated; the
+//! acceleration structure itself is maintained by refit with an
+//! LBVH-rebuild fallback under the configured [`RefitPolicy`].
+//!
+//! [`snapshot`]: StreamingClusterer::snapshot
+
+use crate::window::{StreamingConfig, WindowPolicy};
+use rtcore::bvh::{refit, Bvh, BvhBuilder, LbvhBuilder, TreeHealth};
+use rtcore::geometry::{Point3, Ray, Sphere};
+use rtcore::hardware::WorkCounters;
+use rtcore::traversal::{traverse, Traversal};
+use rtcore::Result;
+use rtdbscan::disjoint_set::EpochDisjointSet;
+use rtdbscan::labels::{Clustering, NOISE};
+use std::collections::VecDeque;
+
+/// Which spatial structure currently holds a slot's sphere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    /// In the unindexed tail of the current batch (scanned exactly).
+    Tail,
+    /// In one of the small immutable delta BVHs.
+    Delta,
+    /// In the main indexed scene.
+    Scene,
+}
+
+/// Per-point state in the slot arena.  Slots are reused after eviction so
+/// long-running streams do not grow without bound.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    point: Point3,
+    /// Arrival timestamp (seconds); drives time-window eviction.
+    time: f64,
+    alive: bool,
+    /// Exact number of live ε-neighbours (self excluded).
+    neighbor_count: u32,
+    core: bool,
+    /// Some live core ε-neighbour, if one is known (border attachment).
+    hint: Option<u32>,
+    /// Which structure holds this slot's sphere (valid while alive, and
+    /// governs when an evicted slot's id may be reused).
+    loc: Loc,
+}
+
+/// What one [`StreamingClusterer::ingest`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Points inserted into the window.
+    pub inserted: usize,
+    /// Points evicted by the window policy.
+    pub evicted: usize,
+    /// Whether the indexed scene was refitted in place this call.
+    pub refitted: bool,
+    /// Whether the indexed scene was fully rebuilt this call.
+    pub rebuilt: bool,
+}
+
+/// Aggregate observability counters for dashboards and benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamingStats {
+    /// Total points ever ingested.
+    pub ingested: u64,
+    /// Total points ever evicted.
+    pub evicted: u64,
+    /// Refit passes performed on the indexed scene.
+    pub refits: u64,
+    /// Full rebuilds of the indexed scene.
+    pub rebuilds: u64,
+    /// Snapshots that could reuse the clean incremental partition.
+    pub clean_snapshots: u64,
+    /// Snapshots that had to re-form the partition (stage-2 pass).
+    pub dirty_snapshots: u64,
+}
+
+/// Sliding-window density clusterer over the ray-tracing substrate.
+///
+/// ```
+/// use rtcore::geometry::Point3;
+/// use rtdbscan::DbscanParams;
+/// use rtdbscan_stream::{StreamingClusterer, StreamingConfig, WindowPolicy};
+///
+/// // minPts counts *other* neighbours in this codebase, so minPts = 1
+/// // makes every member of a pair a core point.
+/// let params = DbscanParams::new(1.0, 1).unwrap();
+/// let config = StreamingConfig::new(params, WindowPolicy::Count(4));
+/// let mut clusterer = StreamingClusterer::new(config).unwrap();
+///
+/// // Two pairs arrive; both are clusters of two.
+/// clusterer.ingest(&[
+///     (Point3::new_2d(0.0, 0.0), 0.0),
+///     (Point3::new_2d(0.5, 0.0), 1.0),
+///     (Point3::new_2d(10.0, 0.0), 2.0),
+///     (Point3::new_2d(10.5, 0.0), 3.0),
+/// ])
+/// .unwrap();
+/// assert_eq!(clusterer.snapshot().num_clusters(), 2);
+///
+/// // Two more points near the first pair slide the window: the old pair
+/// // leaves, and only the second cluster plus the newcomers remain.
+/// clusterer.ingest(&[
+///     (Point3::new_2d(20.0, 0.0), 4.0),
+///     (Point3::new_2d(20.5, 0.0), 5.0),
+/// ])
+/// .unwrap();
+/// let snapshot = clusterer.snapshot();
+/// assert_eq!(snapshot.len(), 4);
+/// assert_eq!(snapshot.num_clusters(), 2);
+/// ```
+#[derive(Debug)]
+pub struct StreamingClusterer {
+    config: StreamingConfig,
+    eps_sq: f32,
+
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// Evicted slots whose spheres are still physically in the main scene;
+    /// reusable once a refit or rebuild has flushed those spheres
+    /// (otherwise a reused id would make the stale sphere masquerade as
+    /// the new occupant).
+    retiring_scene: Vec<u32>,
+    /// Evicted slots whose spheres sit in a delta BVH; reusable after the
+    /// full rebuild that absorbs the deltas.
+    retiring_delta: Vec<u32>,
+    /// Live slots in arrival order (front = oldest).
+    live: VecDeque<u32>,
+    /// Newest timestamp seen (time windows are measured against it).
+    now: f64,
+
+    /// Indexed scene over a prefix of the live set, `None` until first
+    /// (re)build or when the window empties.
+    scene: Option<Bvh>,
+    health_at_build: Option<TreeHealth>,
+    /// Retired primitives still physically inside `scene` (hit lists filter
+    /// them; a refit flushes them).
+    dead_in_scene: usize,
+    /// Small immutable LBVHs over recently arrived batches — the overlay
+    /// levels of the scene, in the LSM-tree sense.  Queries traverse the
+    /// main scene plus every delta; a full rebuild absorbs them.
+    deltas: Vec<Bvh>,
+    /// Live slots not yet in any BVH (the current batch); queries scan
+    /// these exactly.
+    pending: Vec<u32>,
+
+    dsu: EpochDisjointSet,
+    /// Set when the incremental partition may be invalid (a core point
+    /// retired or flipped down); cleared by the stage-2 pass in `snapshot`.
+    dirty: bool,
+
+    /// Work by phase, mirroring the batch pipeline's breakdown: scene
+    /// maintenance (build/refit), neighbour-count maintenance (stage 1),
+    /// partition maintenance (stage 2).
+    build_counters: WorkCounters,
+    stage1_counters: WorkCounters,
+    stage2_counters: WorkCounters,
+    stats: StreamingStats,
+
+    /// Scratch buffers reused across calls.
+    hits_scratch: Vec<u32>,
+    flips_scratch: Vec<u32>,
+}
+
+impl StreamingClusterer {
+    /// Create an empty clusterer; fails on invalid configuration.
+    pub fn new(config: StreamingConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(StreamingClusterer {
+            config,
+            eps_sq: config.params.eps_sq(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            retiring_scene: Vec::new(),
+            retiring_delta: Vec::new(),
+            live: VecDeque::new(),
+            now: f64::NEG_INFINITY,
+            scene: None,
+            health_at_build: None,
+            dead_in_scene: 0,
+            deltas: Vec::new(),
+            pending: Vec::new(),
+            dsu: EpochDisjointSet::new(0),
+            dirty: false,
+            build_counters: WorkCounters::ZERO,
+            stage1_counters: WorkCounters::ZERO,
+            stage2_counters: WorkCounters::ZERO,
+            stats: StreamingStats::default(),
+            hits_scratch: Vec::new(),
+            flips_scratch: Vec::new(),
+        })
+    }
+
+    /// The configuration this clusterer runs with.
+    pub fn config(&self) -> StreamingConfig {
+        self.config
+    }
+
+    /// Number of live points in the window.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True if the window holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// The live window contents in arrival order — index `i` here labels
+    /// position `i` of [`StreamingClusterer::snapshot`]'s output.
+    pub fn window_points(&self) -> Vec<Point3> {
+        self.live
+            .iter()
+            .map(|&slot| self.slots[slot as usize].point)
+            .collect()
+    }
+
+    /// Aggregate observability counters.
+    pub fn stats(&self) -> StreamingStats {
+        self.stats
+    }
+
+    /// Total counted work so far, across all phases.
+    pub fn counters(&self) -> WorkCounters {
+        self.build_counters + self.stage1_counters + self.stage2_counters
+    }
+
+    /// Counted work split the way the batch pipeline reports it:
+    /// `(scene maintenance, neighbour counting, cluster formation)`.
+    pub fn phase_counters(&self) -> (WorkCounters, WorkCounters, WorkCounters) {
+        (
+            self.build_counters,
+            self.stage1_counters,
+            self.stage2_counters,
+        )
+    }
+
+    /// Estimated device-memory footprint of the streaming state in bytes.
+    pub fn device_bytes(&self) -> u64 {
+        let scene = self.scene.as_ref().map_or(0, Bvh::device_bytes);
+        let deltas: u64 = self.deltas.iter().map(Bvh::device_bytes).sum();
+        scene
+            + deltas
+            + (self.slots.len() * std::mem::size_of::<Slot>()) as u64
+            + (self.pending.len() * std::mem::size_of::<u32>()) as u64
+            + (self.dsu.len() * 8) as u64
+    }
+
+    // ------------------------------------------------------------------
+    // Ingestion
+    // ------------------------------------------------------------------
+
+    /// Ingest a batch of timestamped points, sliding the window as
+    /// configured.  Timestamps should be non-decreasing across calls; the
+    /// window clock only moves forward.
+    ///
+    /// Fails — without touching any state — if a point or timestamp is
+    /// non-finite, matching the batch pipeline's input validation (a
+    /// long-running stream must reject a poison point, not crash on it).
+    pub fn ingest(&mut self, batch: &[(Point3, f64)]) -> Result<IngestReport> {
+        for (index, &(point, time)) in batch.iter().enumerate() {
+            if !point.is_finite() || !time.is_finite() {
+                return Err(rtcore::Error::InvalidPrimitive {
+                    index,
+                    reason: format!("non-finite ingest point or timestamp ({point:?} @ {time})"),
+                });
+            }
+        }
+        let mut report = IngestReport::default();
+        self.flips_scratch.clear();
+
+        for &(point, time) in batch {
+            self.now = if self.now.is_finite() {
+                self.now.max(time)
+            } else {
+                time
+            };
+            report.evicted += self.evict_due(self.now);
+            self.insert_point(point, time);
+            report.inserted += 1;
+        }
+        // Count-window eviction for the final state (insert_point evicts
+        // pre-insert so the budget is never exceeded mid-batch).
+
+        self.process_flip_ups();
+        let (refitted, rebuilt) = self.maintain_scene();
+        report.refitted = refitted;
+        report.rebuilt = rebuilt;
+
+        self.stats.ingested += report.inserted as u64;
+        self.stats.evicted += report.evicted as u64;
+        Ok(report)
+    }
+
+    /// Evict every point the window policy no longer retains given the
+    /// current clock, returning how many were evicted.
+    fn evict_due(&mut self, now: f64) -> usize {
+        let mut evicted = 0usize;
+        while let Some(&oldest) = self.live.front() {
+            let must_evict = match self.config.window {
+                // `>=` : eviction runs pre-insert, so reaching the budget
+                // means the insert about to happen would exceed it.
+                WindowPolicy::Count(max) => self.live.len() >= max,
+                WindowPolicy::Time(horizon) => now - self.slots[oldest as usize].time > horizon,
+            };
+            if !must_evict {
+                break;
+            }
+            self.evict_slot(oldest);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    fn evict_slot(&mut self, slot: u32) {
+        debug_assert_eq!(self.live.front(), Some(&slot));
+        self.live.pop_front();
+
+        // Decrement the survivors' neighbour counts; core points that drop
+        // below minPts dirty the partition.
+        let point = self.slots[slot as usize].point;
+        let mut hits = std::mem::take(&mut self.hits_scratch);
+        self.neighbors_of(point, slot, &mut hits, Phase::Stage1);
+        let min_pts = self.config.params.min_pts;
+        for &q in &hits {
+            let s = &mut self.slots[q as usize];
+            s.neighbor_count -= 1;
+            self.stage1_counters.misc_ops += 1;
+            if s.core && (s.neighbor_count as usize) < min_pts {
+                s.core = false;
+                self.dirty = true;
+            }
+        }
+        self.hits_scratch = hits;
+
+        if self.slots[slot as usize].core {
+            // Retiring a core point can split its component.
+            self.dirty = true;
+        }
+
+        self.slots[slot as usize].alive = false;
+        // Physically drop from whichever structure holds the point.  A
+        // tail slot disappears immediately and can be reused; a slot whose
+        // sphere is still in a BVH must wait for the refit/rebuild that
+        // removes the sphere (queries filter it by the alive flag until
+        // then).
+        match self.slots[slot as usize].loc {
+            Loc::Tail => {
+                let pos = self
+                    .pending
+                    .iter()
+                    .position(|&p| p == slot)
+                    .expect("tail slot must be in pending");
+                self.pending.swap_remove(pos);
+                self.free.push(slot);
+            }
+            Loc::Delta => self.retiring_delta.push(slot),
+            Loc::Scene => {
+                self.dead_in_scene += 1;
+                self.retiring_scene.push(slot);
+            }
+        }
+    }
+
+    fn insert_point(&mut self, point: Point3, time: f64) {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Slot {
+                    point,
+                    time,
+                    alive: true,
+                    neighbor_count: 0,
+                    core: false,
+                    hint: None,
+                    loc: Loc::Tail,
+                };
+                s
+            }
+            None => {
+                let s = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    point,
+                    time,
+                    alive: true,
+                    neighbor_count: 0,
+                    core: false,
+                    hint: None,
+                    loc: Loc::Tail,
+                });
+                s
+            }
+        };
+        self.dsu.grow(self.slots.len());
+
+        // One neighbourhood query maintains both sides' counts exactly.
+        let mut hits = std::mem::take(&mut self.hits_scratch);
+        self.neighbors_of(point, slot, &mut hits, Phase::Stage1);
+        let min_pts = self.config.params.min_pts;
+        let mut hint = None;
+        for &q in &hits {
+            let other = &mut self.slots[q as usize];
+            other.neighbor_count += 1;
+            self.stage1_counters.misc_ops += 1;
+            if other.core {
+                hint = hint.or(Some(q));
+            } else if other.neighbor_count as usize >= min_pts {
+                // Crossing minPts: flag now (so later queries in this batch
+                // already see it as core), union later with a fresh query.
+                other.core = true;
+                self.flips_scratch.push(q);
+            }
+        }
+        let me = &mut self.slots[slot as usize];
+        me.neighbor_count = hits.len() as u32;
+        me.hint = hint;
+        if hits.len() >= min_pts {
+            me.core = true;
+            self.flips_scratch.push(slot);
+        }
+        self.hits_scratch = hits;
+
+        self.live.push_back(slot);
+        self.pending.push(slot);
+    }
+
+    /// Every point that became core this batch merges with its core
+    /// neighbours and hands hints to its non-core neighbours.  On the dirty
+    /// path the unions are skipped — the next snapshot re-forms the
+    /// partition from scratch anyway.
+    fn process_flip_ups(&mut self) {
+        if self.flips_scratch.is_empty() {
+            return;
+        }
+        let flips = std::mem::take(&mut self.flips_scratch);
+        let mut hits = std::mem::take(&mut self.hits_scratch);
+        for &slot in &flips {
+            if !self.slots[slot as usize].alive {
+                continue; // became core and was evicted within one batch
+            }
+            self.neighbors_of(
+                self.slots[slot as usize].point,
+                slot,
+                &mut hits,
+                Phase::Stage2,
+            );
+            for &q in &hits {
+                if self.slots[q as usize].core {
+                    if !self.dirty {
+                        self.dsu.union(slot as usize, q as usize);
+                    }
+                } else {
+                    let (qp, qh) = {
+                        let sq = &self.slots[q as usize];
+                        (sq.point, sq.hint)
+                    };
+                    if !self.hint_valid(qp, qh) {
+                        self.slots[q as usize].hint = Some(slot);
+                    }
+                }
+            }
+        }
+        self.drain_dsu_ops();
+        self.hits_scratch = hits;
+        self.flips_scratch = flips;
+        self.flips_scratch.clear();
+    }
+
+    /// A hint is usable for `of` only if the hinted slot is still live,
+    /// still core, *and* still within ε of `of` — the distance re-check
+    /// guards against slot reuse handing the id to an unrelated point.
+    fn hint_valid(&self, of: Point3, hint: Option<u32>) -> bool {
+        hint.is_some_and(|h| {
+            let s = &self.slots[h as usize];
+            s.alive && s.core && s.point.distance_squared(of) <= self.eps_sq
+        })
+    }
+
+    fn drain_dsu_ops(&mut self) {
+        let (finds, unions) = self.dsu.op_counts();
+        self.dsu.reset_op_counts();
+        self.stage2_counters.find_ops += finds;
+        self.stage2_counters.union_ops += unions;
+    }
+
+    // ------------------------------------------------------------------
+    // Scene maintenance: refit vs rebuild
+    // ------------------------------------------------------------------
+
+    /// Levels in the delta forest before a full rebuild is forced; deeper
+    /// forests make queries touch too many roots.
+    const MAX_DELTAS: usize = 8;
+
+    fn maintain_scene(&mut self) -> (bool, bool) {
+        if self.needs_rebuild() {
+            self.rebuild_scene();
+            return (false, true);
+        }
+        let mut refitted = false;
+        if let Some(scene) = self.scene.as_mut() {
+            let prims = scene.primitives.len().max(1);
+            if self.dead_in_scene > 0
+                && self.dead_in_scene as f32 >= self.config.refit_dead_fraction * prims as f32
+            {
+                let slots = &self.slots;
+                refit::remove_points(
+                    scene,
+                    |slot| !slots[slot as usize].alive,
+                    &mut self.build_counters,
+                );
+                self.dead_in_scene = 0;
+                self.free.append(&mut self.retiring_scene);
+                self.stats.refits += 1;
+                refitted = true;
+            }
+        }
+        self.compact_tail_into_delta();
+        (refitted, false)
+    }
+
+    /// Index the batch tail as a small immutable LBVH so later queries stop
+    /// paying a linear scan for it.  These delta builds are the cheap,
+    /// incremental part of the update policy: a few hundred primitives
+    /// each, absorbed wholesale by the next full rebuild.
+    fn compact_tail_into_delta(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let spheres: Vec<Sphere> = self
+            .pending
+            .iter()
+            .map(|&slot| {
+                Sphere::new(
+                    self.slots[slot as usize].point,
+                    self.config.params.eps,
+                    slot,
+                )
+            })
+            .collect();
+        let delta = LbvhBuilder::default()
+            .build(spheres)
+            .expect("tail points are finite by construction");
+        self.build_counters += delta.build_counters;
+        for &slot in &self.pending {
+            self.slots[slot as usize].loc = Loc::Delta;
+        }
+        self.pending.clear();
+        self.deltas.push(delta);
+    }
+
+    fn needs_rebuild(&self) -> bool {
+        let indexed_live = self
+            .scene
+            .as_ref()
+            .map_or(0, |s| s.primitives.len() - self.dead_in_scene);
+        let overlay: usize = self
+            .deltas
+            .iter()
+            .map(|d| d.primitives.len())
+            .sum::<usize>()
+            + self.pending.len();
+        if overlay as f32 > self.config.max_pending_fraction * indexed_live.max(1) as f32 {
+            return true;
+        }
+        if self.deltas.len() >= Self::MAX_DELTAS {
+            return true;
+        }
+        match (&self.scene, &self.health_at_build) {
+            (Some(scene), Some(at_build)) => self
+                .config
+                .refit_policy
+                .should_rebuild(at_build, &refit::tree_health(scene)),
+            _ => overlay > 0,
+        }
+    }
+
+    fn rebuild_scene(&mut self) {
+        let spheres: Vec<Sphere> = self
+            .live
+            .iter()
+            .map(|&slot| {
+                Sphere::new(
+                    self.slots[slot as usize].point,
+                    self.config.params.eps,
+                    slot,
+                )
+            })
+            .collect();
+        for &slot in &self.live {
+            self.slots[slot as usize].loc = Loc::Scene;
+        }
+        self.pending.clear();
+        self.deltas.clear();
+        self.dead_in_scene = 0;
+        self.free.append(&mut self.retiring_scene);
+        self.free.append(&mut self.retiring_delta);
+        if spheres.is_empty() {
+            self.scene = None;
+            self.health_at_build = None;
+            return;
+        }
+        let bvh = LbvhBuilder::default()
+            .build(spheres)
+            .expect("live window points are finite by construction");
+        self.build_counters += bvh.build_counters;
+        self.build_counters.rebuilds += 1;
+        self.stats.rebuilds += 1;
+        self.health_at_build = Some(refit::tree_health(&bvh));
+        self.scene = Some(bvh);
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Exact live ε-neighbourhood of `point` (slot ids, `exclude` and
+    /// retired slots filtered out): one counted traversal of the indexed
+    /// scene plus an exact scan of the pending overlay.
+    fn neighbors_of(&mut self, point: Point3, exclude: u32, out: &mut Vec<u32>, phase: Phase) {
+        out.clear();
+        let mut counters = WorkCounters::ZERO;
+        counters.rays += 1;
+        let ray = Ray::epsilon_ray(point);
+        let slots = &self.slots;
+        let eps_sq = self.eps_sq;
+        for tree in self.scene.iter().chain(self.deltas.iter()) {
+            traverse(tree, &ray, &mut counters, |sphere, counters| {
+                counters.dist_comps += 1;
+                if sphere.point_index != exclude
+                    && sphere.center.distance_squared(point) <= eps_sq
+                    && slots[sphere.point_index as usize].alive
+                {
+                    out.push(sphere.point_index);
+                }
+                Traversal::Continue
+            });
+        }
+        for &slot in &self.pending {
+            counters.dist_comps += 1;
+            if slot != exclude
+                && self.slots[slot as usize].point.distance_squared(point) <= self.eps_sq
+            {
+                out.push(slot);
+            }
+        }
+        match phase {
+            Phase::Stage1 => self.stage1_counters += counters,
+            Phase::Stage2 => self.stage2_counters += counters,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot
+    // ------------------------------------------------------------------
+
+    /// Current clustering of the live window, in arrival order (position
+    /// `i` corresponds to `window_points()[i]`).
+    ///
+    /// On the clean path this only materialises labels from the maintained
+    /// state.  On the dirty path it first re-forms the core partition with
+    /// a stage-2-only pass: O(1) epoch reset of the disjoint set, then one
+    /// neighbourhood traversal per live core point — never a scene rebuild
+    /// or a stage-1 recount.
+    pub fn snapshot(&mut self) -> Clustering {
+        if self.dirty {
+            self.reform_partition();
+            self.stats.dirty_snapshots += 1;
+        } else {
+            self.stats.clean_snapshots += 1;
+        }
+
+        let mut labels = Vec::with_capacity(self.live.len());
+        let mut core_flags = Vec::with_capacity(self.live.len());
+        let live: Vec<u32> = self.live.iter().copied().collect();
+        for &slot in &live {
+            let s = self.slots[slot as usize];
+            core_flags.push(s.core);
+            if s.core {
+                labels.push(self.dsu.find(slot as usize) as i64);
+            } else if self.hint_valid(s.point, s.hint) {
+                let h = s.hint.expect("hint_valid checked Some");
+                labels.push(self.dsu.find(h as usize) as i64);
+            } else {
+                labels.push(NOISE);
+            }
+            self.stage2_counters.misc_ops += 1;
+        }
+        self.drain_dsu_ops();
+        Clustering::new(labels, core_flags)
+    }
+
+    /// The dirty-path repair: stage 2 re-run over the maintained core
+    /// flags.
+    fn reform_partition(&mut self) {
+        self.dsu.reset();
+        let live: Vec<u32> = self.live.iter().copied().collect();
+        let mut hits = std::mem::take(&mut self.hits_scratch);
+        for &slot in &live {
+            if !self.slots[slot as usize].core {
+                continue;
+            }
+            self.neighbors_of(
+                self.slots[slot as usize].point,
+                slot,
+                &mut hits,
+                Phase::Stage2,
+            );
+            for &q in &hits {
+                if self.slots[q as usize].core {
+                    self.dsu.union(slot as usize, q as usize);
+                } else {
+                    let (qp, qh) = {
+                        let sq = &self.slots[q as usize];
+                        (sq.point, sq.hint)
+                    };
+                    if !self.hint_valid(qp, qh) {
+                        self.slots[q as usize].hint = Some(slot);
+                    }
+                }
+            }
+        }
+        self.hits_scratch = hits;
+        self.drain_dsu_ops();
+        self.dirty = false;
+    }
+}
+
+/// Which phase a query's work is charged to.
+#[derive(Debug, Clone, Copy)]
+enum Phase {
+    Stage1,
+    Stage2,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdbscan::metrics::same_clustering;
+    use rtdbscan::{ClassicDbscan, DbscanParams};
+
+    fn config(eps: f32, min_pts: usize, window: WindowPolicy) -> StreamingConfig {
+        StreamingConfig::new(DbscanParams::new(eps, min_pts).unwrap(), window)
+    }
+
+    fn timestamped(points: &[Point3], start: f64) -> Vec<(Point3, f64)> {
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, start + i as f64))
+            .collect()
+    }
+
+    /// Oracle check: the snapshot must be a valid DBSCAN clustering of the
+    /// window contents.
+    fn assert_matches_classic(clusterer: &mut StreamingClusterer) {
+        let points = clusterer.window_points();
+        let params = clusterer.config().params;
+        let snapshot = clusterer.snapshot();
+        let reference = ClassicDbscan::cluster(&points, params).unwrap();
+        assert_eq!(reference.core, snapshot.core, "core flags diverged");
+        assert!(
+            same_clustering(&reference, &snapshot, &points, params),
+            "partition diverged"
+        );
+    }
+
+    #[test]
+    fn empty_and_single_point_snapshots() {
+        let mut c = StreamingClusterer::new(config(1.0, 2, WindowPolicy::Count(10))).unwrap();
+        assert!(c.is_empty());
+        assert!(c.snapshot().is_empty());
+        c.ingest(&[(Point3::new_2d(0.0, 0.0), 0.0)]).unwrap();
+        let s = c.snapshot();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.noise_count(), 1);
+    }
+
+    #[test]
+    fn insert_only_stream_matches_classic_at_every_batch() {
+        let mut c = StreamingClusterer::new(config(1.2, 3, WindowPolicy::Count(10_000))).unwrap();
+        // Three drifting blobs plus noise, fed in batches.
+        let mut t = 0.0;
+        for wave in 0..6 {
+            let mut batch = Vec::new();
+            for i in 0..40 {
+                let cx = (wave % 3) as f32 * 8.0;
+                let angle = i as f32 * 0.37 + wave as f32;
+                let r = 0.9 * ((i % 7) as f32 / 7.0);
+                batch.push((Point3::new_2d(cx + r * angle.cos(), r * angle.sin()), t));
+                t += 1.0;
+            }
+            batch.push((Point3::new_2d(100.0 + wave as f32 * 50.0, -50.0), t));
+            c.ingest(&batch).unwrap();
+            assert_matches_classic(&mut c);
+        }
+        assert_eq!(c.stats().evicted, 0);
+        assert!(c.stats().clean_snapshots > 0, "insert-only must stay clean");
+    }
+
+    #[test]
+    fn count_window_slides_and_stays_correct() {
+        let mut c = StreamingClusterer::new(config(1.0, 2, WindowPolicy::Count(30))).unwrap();
+        for wave in 0..10 {
+            let pts: Vec<Point3> = (0..12)
+                .map(|i| {
+                    Point3::new_2d(
+                        wave as f32 * 3.0 + (i % 4) as f32 * 0.4,
+                        (i / 4) as f32 * 0.4,
+                    )
+                })
+                .collect();
+            c.ingest(&timestamped(&pts, wave as f64 * 100.0)).unwrap();
+            assert!(c.len() <= 30);
+            assert_matches_classic(&mut c);
+        }
+        assert!(c.stats().evicted > 0);
+        assert!(c.stats().dirty_snapshots > 0, "slides retire core points");
+    }
+
+    #[test]
+    fn time_window_expires_old_points() {
+        let mut c = StreamingClusterer::new(config(1.0, 2, WindowPolicy::Time(10.0))).unwrap();
+        let old: Vec<Point3> = (0..8)
+            .map(|i| Point3::new_2d(i as f32 * 0.3, 0.0))
+            .collect();
+        c.ingest(&timestamped(&old, 0.0)).unwrap();
+        assert_eq!(c.len(), 8);
+        assert_matches_classic(&mut c);
+
+        // 50 seconds later everything old is outside the horizon.
+        let fresh: Vec<Point3> = (0..6)
+            .map(|i| Point3::new_2d(40.0 + i as f32 * 0.3, 0.0))
+            .collect();
+        c.ingest(&timestamped(&fresh, 50.0)).unwrap();
+        assert_eq!(c.len(), 6);
+        let points = c.window_points();
+        assert!(points.iter().all(|p| p.x >= 40.0));
+        assert_matches_classic(&mut c);
+    }
+
+    #[test]
+    fn heavy_sliding_exercises_refit_and_rebuild() {
+        let mut cfg = config(0.8, 4, WindowPolicy::Count(160));
+        cfg.refit_dead_fraction = 0.02;
+        cfg.max_pending_fraction = 0.5;
+        let mut c = StreamingClusterer::new(cfg).unwrap();
+        for wave in 0..25 {
+            let pts: Vec<Point3> = (0..40)
+                .map(|i| {
+                    let h = (wave * 97 + i * 31) as u64;
+                    Point3::new_2d(
+                        (wave as f32) * 1.5 + ((h >> 3) & 7) as f32 * 0.25,
+                        ((h >> 7) & 7) as f32 * 0.25,
+                    )
+                })
+                .collect();
+            c.ingest(&timestamped(&pts, wave as f64 * 1000.0)).unwrap();
+            if wave % 5 == 4 {
+                assert_matches_classic(&mut c);
+            }
+        }
+        let stats = c.stats();
+        assert!(stats.refits > 0, "expected refit passes: {stats:?}");
+        assert!(stats.rebuilds > 1, "expected rebuilds: {stats:?}");
+        let counters = c.counters();
+        assert!(counters.refits > 0);
+        assert!(counters.rebuilds > 1);
+        assert!(counters.refit_node_ops > 0);
+    }
+
+    #[test]
+    fn border_points_attach_and_detach_across_slides() {
+        // A chain where the middle point is border to both sides, then the
+        // left side ages out.
+        let mut c = StreamingClusterer::new(config(1.0, 2, WindowPolicy::Count(5))).unwrap();
+        c.ingest(&[
+            (Point3::new_2d(0.0, 0.0), 0.0),
+            (Point3::new_2d(0.8, 0.0), 1.0),
+            (Point3::new_2d(1.6, 0.0), 2.0),
+            (Point3::new_2d(2.4, 0.0), 3.0),
+            (Point3::new_2d(3.2, 0.0), 4.0),
+        ])
+        .unwrap();
+        assert_matches_classic(&mut c);
+        // Slide: two new isolated points push out the two leftmost.
+        c.ingest(&[
+            (Point3::new_2d(50.0, 0.0), 5.0),
+            (Point3::new_2d(60.0, 0.0), 6.0),
+        ])
+        .unwrap();
+        assert_matches_classic(&mut c);
+    }
+
+    #[test]
+    fn duplicate_coordinates_are_handled() {
+        let mut c = StreamingClusterer::new(config(0.5, 5, WindowPolicy::Count(100))).unwrap();
+        let mut batch = Vec::new();
+        for i in 0..30 {
+            batch.push((Point3::new_2d((i % 3) as f32 * 0.1, 0.0), i as f64));
+        }
+        c.ingest(&batch).unwrap();
+        assert_matches_classic(&mut c);
+    }
+
+    #[test]
+    fn phase_counters_and_reports_are_populated() {
+        let mut c = StreamingClusterer::new(config(1.0, 2, WindowPolicy::Count(50))).unwrap();
+        let pts: Vec<Point3> = (0..60)
+            .map(|i| Point3::new_2d(i as f32 * 0.4, 0.0))
+            .collect();
+        let report = c.ingest(&timestamped(&pts, 0.0)).unwrap();
+        assert_eq!(report.inserted, 60);
+        assert_eq!(report.evicted, 10);
+        let _ = c.snapshot();
+        let (build, stage1, stage2) = c.phase_counters();
+        assert!(build.build_prims > 0, "scene was built");
+        assert!(stage1.rays > 0, "ingest queries are charged to stage 1");
+        assert!(stage1.dist_comps > 0);
+        assert!(
+            stage2.misc_ops > 0,
+            "label materialisation charged to stage 2"
+        );
+        assert!(c.device_bytes() > 0);
+        assert_eq!(c.stats().ingested, 60);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let params = DbscanParams::new(1.0, 2).unwrap();
+        assert!(
+            StreamingClusterer::new(StreamingConfig::new(params, WindowPolicy::Count(0))).is_err()
+        );
+        let bad = StreamingConfig {
+            max_pending_fraction: f32::NAN,
+            ..StreamingConfig::new(params, WindowPolicy::Count(5))
+        };
+        assert!(StreamingClusterer::new(bad).is_err());
+    }
+
+    #[test]
+    fn non_finite_input_is_rejected_without_state_change() {
+        let mut c = StreamingClusterer::new(config(1.0, 2, WindowPolicy::Count(10))).unwrap();
+        c.ingest(&[(Point3::new_2d(0.0, 0.0), 0.0)]).unwrap();
+        let before = c.stats();
+        assert!(c
+            .ingest(&[
+                (Point3::new_2d(1.0, 0.0), 1.0),
+                (Point3::new_2d(f32::NAN, 0.0), 2.0),
+            ])
+            .is_err());
+        assert!(c
+            .ingest(&[(Point3::new_2d(1.0, 0.0), f64::INFINITY)])
+            .is_err());
+        assert_eq!(c.stats(), before, "failed ingest must not mutate state");
+        assert_eq!(c.len(), 1);
+        let _ = c.snapshot();
+    }
+
+    #[test]
+    fn snapshot_is_idempotent() {
+        let mut c = StreamingClusterer::new(config(1.0, 2, WindowPolicy::Count(40))).unwrap();
+        let pts: Vec<Point3> = (0..30)
+            .map(|i| Point3::new_2d((i % 10) as f32 * 0.5, (i / 10) as f32 * 0.5))
+            .collect();
+        c.ingest(&timestamped(&pts, 0.0)).unwrap();
+        let a = c.snapshot();
+        let b = c.snapshot();
+        assert_eq!(a.canonicalize(), b.canonicalize());
+    }
+}

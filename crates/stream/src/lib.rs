@@ -1,0 +1,46 @@
+//! Streaming RT-DBSCAN: incremental density clustering over sliding
+//! windows.
+//!
+//! The batch pipeline in `rtdbscan` rebuilds the world from scratch on
+//! every run: input transformation, acceleration-structure build, stage-1
+//! neighbour counting, stage-2 cluster formation.  That is the right shape
+//! for the paper's experiments and exactly the wrong shape for a production
+//! system clustering live trajectory or geospatial feeds, where points
+//! arrive continuously and old ones age out.  This crate adds the streaming
+//! shape on top of the same substrate:
+//!
+//! * [`StreamingClusterer`] — batched ingestion into a sliding time/count
+//!   window ([`WindowPolicy`]).  The ε-sphere scene is kept alive across
+//!   batches: expiring points are *refitted* out of the BVH in place
+//!   (`rtcore::bvh::refit`), newly arrived points accumulate in a pending
+//!   overlay that queries scan exactly, and a quality heuristic
+//!   ([`rtcore::bvh::RefitPolicy`] plus a pending-fraction bound) decides
+//!   when the degraded tree is worth a full LBVH rebuild.
+//! * Incremental cluster maintenance — per-point ε-neighbour counts are
+//!   maintained exactly under insertion and deletion, so core flags never
+//!   need a stage-1 re-run.  Core merges go into an
+//!   [`rtdbscan::disjoint_set::EpochDisjointSet`]; insert-only slides
+//!   extend the partition in place, and slides that retire core points mark
+//!   the partition dirty, to be re-formed lazily by the next
+//!   [`StreamingClusterer::snapshot`] with a stage-2-only pass (the O(1)
+//!   epoch reset makes that re-formation allocation-free).
+//! * [`StreamingSnapshotAlgorithm`] — a [`rtdbscan::DbscanAlgorithm`]
+//!   adapter that replays a batch input through the streaming path, so the
+//!   oracle and metrics machinery (`same_clustering`, ARI/NMI, the bench
+//!   harness) applies to the streaming subsystem unchanged.
+//!
+//! Every piece of work — traversals, pending scans, refits, rebuilds,
+//! union/find traffic — is recorded in `rtcore::hardware::WorkCounters`,
+//! with refit and rebuild decisions visible as `refits` / `rebuilds`, so
+//! the simulated-device cost model prices streaming updates the same way
+//! it prices the batch pipeline.
+
+#![warn(missing_docs)]
+
+mod adapter;
+mod clusterer;
+mod window;
+
+pub use adapter::StreamingSnapshotAlgorithm;
+pub use clusterer::{IngestReport, StreamingClusterer, StreamingStats};
+pub use window::{StreamingConfig, WindowPolicy};

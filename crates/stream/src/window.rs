@@ -1,0 +1,115 @@
+//! Window and update-policy configuration for the streaming clusterer.
+
+use rtcore::bvh::RefitPolicy;
+use rtdbscan::DbscanParams;
+
+/// Which points are "live": the sliding-window retention policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WindowPolicy {
+    /// Keep at most this many points; ingesting beyond the budget evicts
+    /// the oldest.
+    Count(usize),
+    /// Keep points whose age (relative to the newest ingested timestamp)
+    /// is at most this horizon, in seconds.
+    Time(f64),
+}
+
+impl WindowPolicy {
+    /// Validate the policy's parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            WindowPolicy::Count(0) => Err("count window must keep at least one point".into()),
+            WindowPolicy::Time(h) if h <= 0.0 || !h.is_finite() => Err(format!(
+                "time window horizon must be positive and finite, got {h}"
+            )),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Full configuration of a [`crate::StreamingClusterer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamingConfig {
+    /// DBSCAN parameters (ε, minPts) — fixed for the clusterer's lifetime.
+    pub params: DbscanParams,
+    /// The sliding-window retention policy.
+    pub window: WindowPolicy,
+    /// When the refitted BVH counts as degraded enough to rebuild.
+    pub refit_policy: RefitPolicy,
+    /// Rebuild when pending (not-yet-indexed) points exceed this fraction
+    /// of the indexed primitives; until then they are scanned exactly by an
+    /// overlay pass per query.
+    pub max_pending_fraction: f32,
+    /// Refit (physically remove retired primitives and recompute bounds)
+    /// once the dead fraction of the indexed primitives exceeds this;
+    /// below it, retired primitives are only filtered out of hit lists.
+    pub refit_dead_fraction: f32,
+}
+
+impl StreamingConfig {
+    /// A configuration with the given parameters and window, default update
+    /// policy knobs.
+    pub fn new(params: DbscanParams, window: WindowPolicy) -> Self {
+        StreamingConfig {
+            params,
+            window,
+            refit_policy: RefitPolicy::default(),
+            max_pending_fraction: 0.25,
+            refit_dead_fraction: 0.03125,
+        }
+    }
+
+    /// Validate every knob.
+    pub fn validate(&self) -> rtcore::Result<()> {
+        self.params.validate()?;
+        if let Err(msg) = self.window.validate() {
+            return Err(rtcore::Error::InvalidConfig(msg));
+        }
+        if self.max_pending_fraction <= 0.0 || !self.max_pending_fraction.is_finite() {
+            return Err(rtcore::Error::InvalidConfig(format!(
+                "max_pending_fraction must be positive and finite, got {}",
+                self.max_pending_fraction
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.refit_dead_fraction) {
+            return Err(rtcore::Error::InvalidConfig(format!(
+                "refit_dead_fraction must be in [0, 1], got {}",
+                self.refit_dead_fraction
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_validation() {
+        assert!(WindowPolicy::Count(1).validate().is_ok());
+        assert!(WindowPolicy::Count(0).validate().is_err());
+        assert!(WindowPolicy::Time(10.0).validate().is_ok());
+        assert!(WindowPolicy::Time(0.0).validate().is_err());
+        assert!(WindowPolicy::Time(f64::NAN).validate().is_err());
+    }
+
+    #[test]
+    fn config_validation() {
+        let params = DbscanParams::new(0.5, 3).unwrap();
+        let good = StreamingConfig::new(params, WindowPolicy::Count(100));
+        assert!(good.validate().is_ok());
+
+        let bad_pending = StreamingConfig {
+            max_pending_fraction: 0.0,
+            ..good
+        };
+        assert!(bad_pending.validate().is_err());
+
+        let bad_dead = StreamingConfig {
+            refit_dead_fraction: 1.5,
+            ..good
+        };
+        assert!(bad_dead.validate().is_err());
+    }
+}

@@ -37,7 +37,10 @@ fn main() {
         true,
         7,
     );
-    println!("dataset: {} points (3 blobs + 120 noise points)", points.len());
+    println!(
+        "dataset: {} points (3 blobs + 120 noise points)",
+        points.len()
+    );
 
     // --- 2. Cluster with RT-DBSCAN. -----------------------------------------
     let params = DbscanParams::new(0.5, 8).expect("valid parameters");
@@ -63,9 +66,7 @@ fn main() {
     // --- 4. Where did the time go? -------------------------------------------
     println!(
         "wall-clock: build {:.2?}, core identification {:.2?}, cluster formation {:.2?}",
-        result.timings.build,
-        result.timings.core_identification,
-        result.timings.cluster_formation
+        result.timings.build, result.timings.core_identification, result.timings.cluster_formation
     );
     let simulated = result.simulate_on(&rtcore::hardware::DeviceModel::rtx2060());
     println!(

@@ -79,7 +79,10 @@ fn ngsim_duplication_and_zero_cluster_property() {
 #[test]
 fn ionosphere_forms_clusters_in_3d() {
     let points = generate(PaperDataset::Ionosphere3d, 10_000, 13);
-    assert!(points.iter().any(|p| p.z != 0.0), "3DIono must be genuinely 3-D");
+    assert!(
+        points.iter().any(|p| p.z != 0.0),
+        "3DIono must be genuinely 3-D"
+    );
     let clustering = RtDbscan::default()
         .run(&points, DbscanParams::new(0.5, 5).unwrap())
         .unwrap()

@@ -5,10 +5,10 @@
 //! algorithms, the cost model or the generators flips who wins an experiment,
 //! these tests fail before the numbers ever reach EXPERIMENTS.md.
 
+use rtdbscan::{DbscanParams, Fdbscan, RtDbscan};
 use rtdbscan_bench::experiments::{self, ExperimentScale};
 use rtdbscan_bench::measure::measure;
 use rtdbscan_datasets::{generate, PaperDataset};
-use rtdbscan::{DbscanParams, Fdbscan, RtDbscan};
 
 /// Scale used throughout this file: large enough for the asymptotic effects
 /// to show, small enough for the test suite to stay quick.
@@ -114,7 +114,10 @@ fn breakdown_reproduces_the_section_v_d_structure() {
     // clustering, RT-DBSCAN spends a much larger share on the BVH build.
     let fd_fraction = table.value(4, 0).unwrap();
     let rt_fraction = table.value(4, 1).unwrap();
-    assert!(fd_fraction > 0.5, "FDBSCAN clustering fraction {fd_fraction:.2}");
+    assert!(
+        fd_fraction > 0.5,
+        "FDBSCAN clustering fraction {fd_fraction:.2}"
+    );
     assert!(rt_fraction < fd_fraction);
     // Last row: clustering-only speedup must exceed the end-to-end one.
     let clustering_speedup = table.value(5, 1).unwrap();
@@ -132,7 +135,10 @@ fn early_exit_helps_fdbscan_most_on_porto() {
     let plain = table.column_values(table.column_index("FDBSCAN (s)").unwrap());
     let early = table.column_values(table.column_index("FDBSCAN-EarlyExit (s)").unwrap());
     for (p, e) in plain.iter().zip(&early) {
-        assert!(e <= p, "early exit must never be slower (plain {p:.4}, early {e:.4})");
+        assert!(
+            e <= p,
+            "early exit must never be slower (plain {p:.4}, early {e:.4})"
+        );
     }
     // At the largest size the saving should be substantial (paper: ~3x).
     assert!(

@@ -36,9 +36,8 @@ fn bvh_invariants_hold_on_every_dataset_and_builder() {
         ];
         for builder in builders {
             let bvh = build_over_points(builder.as_ref(), &points, eps).unwrap();
-            validate(&bvh).unwrap_or_else(|e| {
-                panic!("{:?} on {}: {e}", builder.kind(), dataset.name())
-            });
+            validate(&bvh)
+                .unwrap_or_else(|e| panic!("{:?} on {}: {e}", builder.kind(), dataset.name()));
             assert_eq!(bvh.primitive_count(), points.len());
             assert!(bvh.depth() <= 2 * (points.len() as f32).log2() as usize + 32);
         }
@@ -69,8 +68,13 @@ fn compaction_preserves_query_semantics_on_duplicated_data() {
     let points = generate(PaperDataset::Ngsim, 3_000, 5);
     let radius = 0.001;
     let compaction = compact_coincident(&points, radius);
-    assert!(compaction.merged > 0, "NGSIM data should contain duplicates");
-    let bvh = SahBuilder::default().build(compaction.spheres.clone()).unwrap();
+    assert!(
+        compaction.merged > 0,
+        "NGSIM data should contain duplicates"
+    );
+    let bvh = SahBuilder::default()
+        .build(compaction.spheres.clone())
+        .unwrap();
     validate(&bvh).unwrap();
 
     // Multiplicity-weighted neighbour counts over the compacted scene must
@@ -117,7 +121,9 @@ fn traversal_counters_and_device_model_are_consistent() {
     let sm = device.traversal_time(&counters, ExecutionPath::ShaderCore);
     assert!(rt < sm);
     assert_eq!(
-        device.build_time(&counters, ExecutionPath::RtCore).as_secs_f64(),
+        device
+            .build_time(&counters, ExecutionPath::RtCore)
+            .as_secs_f64(),
         0.0,
         "no build work was recorded, so no build time may be charged"
     );
@@ -137,7 +143,10 @@ fn query_structure_handles_updates_of_radius_via_rebuild() {
             grew += 1;
         }
     }
-    assert!(grew > 0, "a 10x larger radius should grow some neighbourhood");
+    assert!(
+        grew > 0,
+        "a 10x larger radius should grow some neighbourhood"
+    );
 }
 
 proptest! {

@@ -1,0 +1,195 @@
+//! Cross-crate equivalence tests for the streaming subsystem: a
+//! [`StreamingClusterer`] snapshot must always be a clustering that a batch
+//! DBSCAN run over the same window contents could have produced — across
+//! window slides, refit passes and full-rebuild transitions.
+
+use proptest::prelude::*;
+use rtcore::geometry::Point3;
+use rtdbscan::metrics::same_clustering;
+use rtdbscan::{ClassicDbscan, DbscanAlgorithm, DbscanParams, RtDbscan};
+use rtdbscan_datasets::{generate, PaperDataset, PointStream, StreamConfig};
+use rtdbscan_stream::{
+    StreamingClusterer, StreamingConfig, StreamingSnapshotAlgorithm, WindowPolicy,
+};
+
+/// Run the oracle comparison for the clusterer's current window.
+fn assert_snapshot_matches_batch(clusterer: &mut StreamingClusterer, context: &str) {
+    let points = clusterer.window_points();
+    let params = clusterer.config().params;
+    let snapshot = clusterer.snapshot();
+    let reference = ClassicDbscan::cluster(&points, params).unwrap();
+    assert_eq!(
+        reference.core,
+        snapshot.core,
+        "{context}: core flags diverged ({} window points)",
+        points.len()
+    );
+    assert!(
+        same_clustering(&reference, &snapshot, &points, params),
+        "{context}: cluster partition diverged ({} window points)",
+        points.len()
+    );
+}
+
+#[test]
+fn synthetic_stream_matches_batch_across_slides_and_rebuilds() {
+    let params = DbscanParams::new(0.6, 4).unwrap();
+    let mut config = StreamingConfig::new(params, WindowPolicy::Count(400));
+    // Aggressive maintenance thresholds so this test crosses both the
+    // refit and the rebuild path many times.
+    config.refit_dead_fraction = 0.01;
+    config.max_pending_fraction = 0.4;
+    let mut clusterer = StreamingClusterer::new(config).unwrap();
+
+    let stream = PointStream::replay(
+        PaperDataset::PortoTaxi,
+        StreamConfig {
+            total_points: 2_000,
+            batch_size: 100,
+            points_per_second: 50.0,
+            seed: 9,
+        },
+    );
+    for (i, batch) in stream.enumerate() {
+        let timed: Vec<(Point3, f64)> = batch.iter().map(|t| (t.point, t.time)).collect();
+        clusterer.ingest(&timed).unwrap();
+        assert!(clusterer.len() <= 400);
+        assert_snapshot_matches_batch(&mut clusterer, &format!("porto batch {i}"));
+    }
+
+    let stats = clusterer.stats();
+    assert!(stats.evicted > 0, "window never slid: {stats:?}");
+    assert!(stats.refits > 0, "refit path never exercised: {stats:?}");
+    assert!(
+        stats.rebuilds > 1,
+        "rebuild path never exercised: {stats:?}"
+    );
+    // Decisions must be visible in the unified counter stream.
+    let counters = clusterer.counters();
+    assert_eq!(counters.refits, stats.refits);
+    assert_eq!(counters.rebuilds, stats.rebuilds);
+    assert!(counters.refit_node_ops > 0);
+}
+
+#[test]
+fn trajectory_stream_with_time_window_matches_batch() {
+    let params = DbscanParams::new(0.002, 6).unwrap();
+    let config = StreamingConfig::new(params, WindowPolicy::Time(4.0));
+    let mut clusterer = StreamingClusterer::new(config).unwrap();
+
+    // NGSIM-style trajectories: heavy coordinate duplication, the
+    // degenerate case for spatial indexes.
+    let stream = PointStream::replay(
+        PaperDataset::Ngsim,
+        StreamConfig {
+            total_points: 1_500,
+            batch_size: 125,
+            points_per_second: 100.0,
+            seed: 3,
+        },
+    );
+    let mut slid = false;
+    for (i, batch) in stream.enumerate() {
+        let timed: Vec<(Point3, f64)> = batch.iter().map(|t| (t.point, t.time)).collect();
+        clusterer.ingest(&timed).unwrap();
+        slid |= clusterer.stats().evicted > 0;
+        assert_snapshot_matches_batch(&mut clusterer, &format!("ngsim batch {i}"));
+    }
+    assert!(slid, "time window never expired anything");
+}
+
+#[test]
+fn adapter_agrees_with_rt_dbscan_on_paper_datasets() {
+    for dataset in [PaperDataset::RoadNetwork, PaperDataset::Ionosphere3d] {
+        let points = generate(dataset, 1_200, 17);
+        let (eps, _) = dataset.default_params();
+        let params = DbscanParams::new(eps.max(0.05), 5).unwrap();
+        let reference = ClassicDbscan::cluster(&points, params).unwrap();
+        let rt = RtDbscan::default().run(&points, params).unwrap().clustering;
+        let streamed = StreamingSnapshotAlgorithm {
+            batch_size: 173,
+            snapshot_every_batch: true,
+        }
+        .run(&points, params)
+        .unwrap()
+        .clustering;
+        assert_eq!(reference.core, streamed.core, "{}", dataset.name());
+        assert!(
+            same_clustering(&reference, &streamed, &points, params),
+            "{} vs classic",
+            dataset.name()
+        );
+        assert!(
+            same_clustering(&rt, &streamed, &points, params),
+            "{} vs rt",
+            dataset.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Property: for arbitrary blob/noise/duplicate workloads, window
+    /// sizes, batch sizes and parameters, every snapshot taken while the
+    /// window slides is permutation-equivalent to a batch ClassicDbscan run
+    /// on the live window contents.
+    #[test]
+    fn streaming_window_always_matches_batch(
+        blob_count in 1usize..4,
+        points_per_blob in 8usize..40,
+        noise in 0usize..25,
+        duplicates in 0usize..15,
+        eps in 0.3f32..1.8,
+        min_pts in 1usize..7,
+        window in 25usize..120,
+        batch_size in 5usize..60,
+        seed in 0u64..1000,
+    ) {
+        // Deterministic workload in the style of the batch equivalence
+        // property test: blobs on a coarse grid, far-flung noise, exact
+        // duplicates.
+        let mut pts = Vec::new();
+        for b in 0..blob_count {
+            let cx = (b % 2) as f32 * 6.0;
+            let cy = (b / 2) as f32 * 6.0;
+            for i in 0..points_per_blob {
+                let angle = (i as f32 + seed as f32) * 0.7;
+                let radius = 0.8 * ((i * 7 + b * 3) % 10) as f32 / 10.0;
+                pts.push(Point3::new_2d(cx + radius * angle.cos(), cy + radius * angle.sin()));
+            }
+        }
+        for i in 0..noise {
+            pts.push(Point3::new_2d(
+                20.0 + (i as f32 * 13.7 + seed as f32) % 40.0,
+                -20.0 - (i as f32 * 7.3) % 40.0,
+            ));
+        }
+        for i in 0..duplicates.min(pts.len()) {
+            pts.push(pts[i * 31 % pts.len()]);
+        }
+        // Interleave so blobs, noise and duplicates mix across batches.
+        let n = pts.len();
+        let shuffled: Vec<Point3> = (0..n).map(|i| pts[(i * 17 + 5) % n]).collect();
+
+        let params = DbscanParams::new(eps, min_pts).unwrap();
+        let mut config = StreamingConfig::new(params, WindowPolicy::Count(window));
+        config.refit_dead_fraction = 0.02;
+        let mut clusterer = StreamingClusterer::new(config).unwrap();
+
+        let mut t = 0.0f64;
+        for chunk in shuffled.chunks(batch_size) {
+            let timed: Vec<(Point3, f64)> = chunk.iter().map(|&p| { t += 1.0; (p, t) }).collect();
+            clusterer.ingest(&timed).unwrap();
+
+            let window_points = clusterer.window_points();
+            let snapshot = clusterer.snapshot();
+            let reference = ClassicDbscan::cluster(&window_points, params).unwrap();
+            prop_assert_eq!(&reference.core, &snapshot.core);
+            prop_assert!(
+                same_clustering(&reference, &snapshot, &window_points, params),
+                "partition diverged at t={} (window {})", t, window_points.len()
+            );
+        }
+    }
+}
