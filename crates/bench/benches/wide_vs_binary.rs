@@ -1,0 +1,106 @@
+//! Wide (BVH4) batched traversal vs binary traversal on the fig-6 size
+//! sweep — the acceptance-criterion bench for the batched engine.
+//!
+//! Before the wall-clock groups run, a counter report is printed for each
+//! size: rays / distance computations / primitive tests (which must match
+//! exactly between the two engines — proof that both answered identical
+//! queries), the node-visit counters, and the simulated-device node-visit
+//! charge under the RT-core cost profile.  At every size — including
+//! n ≥ 100 000 — the wide batched engine must report a strictly smaller
+//! simulated node-visit charge than the binary engine; the process aborts
+//! with a panic otherwise, so regressions cannot print a plausible-looking
+//! table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rtcore::hardware::{CostProfile, WorkCounters};
+use rtdbscan::{DbscanAlgorithm, DbscanParams, RtDbscan};
+use rtdbscan_datasets::{generate, PaperDataset};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn node_visit_charge_ns(profile: &CostProfile, c: &WorkCounters) -> f64 {
+    c.node_visits as f64 * profile.node_visit_ns
+        + c.wide_node_visits as f64 * profile.wide_visit_ns()
+}
+
+/// Counter + simulated-charge comparison at one size; panics unless the
+/// wide engine charges strictly less while answering identical queries.
+fn report_and_assert(n: usize, points: &[rtcore::geometry::Point3], params: DbscanParams) {
+    let wide = RtDbscan::default().run(points, params).unwrap();
+    let binary = RtDbscan::with_binary_traversal()
+        .run(points, params)
+        .unwrap();
+
+    let w = wide.counters.core_identification + wide.counters.cluster_formation;
+    let b = binary.counters.core_identification + binary.counters.cluster_formation;
+    assert_eq!(w.rays, b.rays, "n={n}: engines launched different queries");
+    assert_eq!(
+        w.dist_comps, b.dist_comps,
+        "n={n}: engines filtered different candidates"
+    );
+    assert_eq!(
+        w.prim_tests, b.prim_tests,
+        "n={n}: engines tested different primitives"
+    );
+    assert_eq!(
+        wide.clustering.core, binary.clustering.core,
+        "n={n}: engines disagreed on core points"
+    );
+
+    let profile = CostProfile::rt_core();
+    let wide_ns = node_visit_charge_ns(&profile, &w);
+    let binary_ns = node_visit_charge_ns(&profile, &b);
+    println!(
+        "n={n:>7}  rays={} dist_comps={} (identical on both engines)\n\
+         \tbinary: node_visits={:>10}  charge={:>12.0} ns\n\
+         \twide:   wide_visits={:>10}  charge={:>12.0} ns  ({} batched launches, {:.2}x cheaper)",
+        w.rays,
+        w.dist_comps,
+        b.node_visits,
+        binary_ns,
+        w.wide_node_visits,
+        wide_ns,
+        w.batched_launches,
+        binary_ns / wide_ns.max(1.0),
+    );
+    assert!(
+        wide_ns < binary_ns,
+        "n={n}: wide engine must charge fewer simulated node-visit ns \
+         (wide {wide_ns} vs binary {binary_ns})"
+    );
+}
+
+fn bench_wide_vs_binary(c: &mut Criterion) {
+    let params = DbscanParams::new(0.4, 10).unwrap();
+
+    // Counter proof across the sweep, including the n ≥ 100k acceptance
+    // point (counter collection is one run per engine, not a timing loop).
+    for n in [15_000usize, 60_000, 120_000] {
+        let points = generate(PaperDataset::PortoTaxi, n, 42);
+        report_and_assert(n, &points, params);
+    }
+
+    // Wall-clock comparison at the sizes criterion can sample quickly.
+    let mut group = c.benchmark_group("fig6_wide_vs_binary");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for n in [15_000usize, 60_000] {
+        let points = generate(PaperDataset::PortoTaxi, n, 42);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("wide_batched", n), &n, |b, _| {
+            b.iter(|| RtDbscan::default().run(black_box(&points), params).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("binary", n), &n, |b, _| {
+            b.iter(|| {
+                RtDbscan::with_binary_traversal()
+                    .run(black_box(&points), params)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wide_vs_binary);
+criterion_main!(benches);

@@ -33,7 +33,9 @@ use rtcore::bvh::{
 };
 use rtcore::geometry::{Point3, Ray, Sphere};
 use rtcore::hardware::{ExecutionPath, WorkCounters};
-use rtcore::pipeline::{GeometryKind, Pipeline, PipelineConfig, ProgramFlow, RayProgram};
+use rtcore::pipeline::{
+    GeometryKind, Pipeline, PipelineConfig, ProgramFlow, RayProgram, TraversalEngine,
+};
 use rtcore::Result;
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -56,6 +58,11 @@ pub struct RtDbscan {
     /// pipeline's; benches sweep it to locate the sequential-vs-parallel
     /// crossover.
     pub min_parallel_launch: usize,
+    /// Which traversal substrate both stages launch on.  Defaults to the
+    /// wide (BVH4) batched engine — the layout real RT cores walk; the
+    /// binary engine remains selectable as the oracle
+    /// ([`RtDbscan::with_binary_traversal`]).
+    pub traversal: TraversalEngine,
 }
 
 impl Default for RtDbscan {
@@ -65,6 +72,7 @@ impl Default for RtDbscan {
             builder: BuilderKind::BinnedSah,
             geometry: GeometryKind::CustomSpheres,
             min_parallel_launch: PipelineConfig::default().min_parallel_launch,
+            traversal: TraversalEngine::WideBatched,
         }
     }
 }
@@ -99,11 +107,22 @@ impl RtDbscan {
         }
     }
 
+    /// RT-DBSCAN on the one-ray-at-a-time binary traversal — the oracle the
+    /// wide batched default is verified against.
+    pub fn with_binary_traversal() -> Self {
+        RtDbscan {
+            traversal: TraversalEngine::Binary,
+            ..RtDbscan::default()
+        }
+    }
+
     /// The pipeline configuration this algorithm launches with.
     fn pipeline_config(&self) -> PipelineConfig {
         PipelineConfig {
             geometry: self.geometry,
             min_parallel_launch: self.min_parallel_launch,
+            traversal: self.traversal,
+            ..PipelineConfig::default()
         }
     }
 
@@ -251,9 +270,19 @@ impl DbscanAlgorithm for RtDbscan {
         // ------------------------------------------------------------------
         let (scene, build_time) = timed(|| self.build_scene(points, params.eps));
         let (bvh, representative_of, extra_build) = scene?;
-        let build_counters = bvh.build_counters + extra_build;
 
-        let pipeline = Pipeline::with_config(&bvh, self.pipeline_config());
+        // Pipeline creation collapses the scene into the wide format when
+        // the batched engine is selected; that is device-build work, so its
+        // time and node emissions are charged to the build phase.
+        let (pipeline, collapse_time) =
+            timed(|| Pipeline::with_config(&bvh, self.pipeline_config()));
+        let build_time = build_time + collapse_time;
+        let build_counters = bvh.build_counters
+            + extra_build
+            + pipeline
+                .wide_scene()
+                .map(|w| w.collapse_counters)
+                .unwrap_or(WorkCounters::ZERO);
         let eps_sq = params.eps_sq();
 
         // ------------------------------------------------------------------
@@ -326,6 +355,7 @@ impl DbscanAlgorithm for RtDbscan {
         stage2_counters.misc_ops += dup_fixups;
 
         let device_bytes = bvh.device_bytes()
+            + pipeline.wide_scene().map_or(0, |w| w.device_bytes())
             + std::mem::size_of_val(points) as u64
             + (n * std::mem::size_of::<usize>()) as u64 // union-find parents
             + 2 * n as u64; // core + claimed flags
@@ -378,6 +408,9 @@ pub struct RtDbscanSession {
     eps: f32,
     config: RtDbscan,
     bvh: Bvh,
+    /// The wide collapse of `bvh`, kept so repeated `cluster` calls reuse it
+    /// (only populated for the batched engine).
+    wide: Option<rtcore::bvh::WideBvh>,
     representative_of: Vec<u32>,
     neighbor_counts: Vec<u64>,
     build_counters: WorkCounters,
@@ -408,6 +441,7 @@ impl RtDbscanSession {
                     builder: config.builder,
                     build_counters: WorkCounters::ZERO,
                 },
+                wide: None,
                 representative_of: Vec::new(),
                 neighbor_counts: Vec::new(),
                 build_counters: WorkCounters::ZERO,
@@ -418,12 +452,29 @@ impl RtDbscanSession {
         }
         let (scene, build_time) = timed(|| config.build_scene(points, eps));
         let (bvh, representative_of, extra_build) = scene?;
-        let build_counters = bvh.build_counters + extra_build;
 
         let pipeline_config = config.pipeline_config();
+        // Collapse once and keep it: every later `cluster` call reuses the
+        // wide scene instead of re-collapsing.
+        let (wide, collapse_time) = timed(|| match config.traversal {
+            TraversalEngine::WideBatched => Some(rtcore::bvh::WideBvh::from_binary(&bvh)),
+            TraversalEngine::Binary => None,
+        });
+        let build_time = build_time + collapse_time;
+        let build_counters = bvh.build_counters
+            + extra_build
+            + wide
+                .as_ref()
+                .map(|w| w.collapse_counters)
+                .unwrap_or(WorkCounters::ZERO);
+
         let eps_sq = eps * eps;
         let (stage1, stage1_time) = timed(|| {
-            Pipeline::with_config(&bvh, pipeline_config).launch(
+            let pipeline = match &wide {
+                Some(w) => Pipeline::with_collapsed(&bvh, w, pipeline_config),
+                None => Pipeline::with_config(&bvh, pipeline_config),
+            };
+            pipeline.launch(
                 points.len(),
                 &CorePointProgram {
                     points,
@@ -437,6 +488,7 @@ impl RtDbscanSession {
             eps,
             config,
             bvh,
+            wide,
             representative_of,
             neighbor_counts: stage1.payloads,
             build_counters,
@@ -517,7 +569,11 @@ impl RtDbscanSession {
         let pipeline_config = self.config.pipeline_config();
         let eps_sq = self.eps * self.eps;
         let (stage2, stage2_time) = timed(|| {
-            Pipeline::with_config(&self.bvh, pipeline_config).launch(
+            let pipeline = match &self.wide {
+                Some(w) => Pipeline::with_collapsed(&self.bvh, w, pipeline_config),
+                None => Pipeline::with_config(&self.bvh, pipeline_config),
+            };
+            pipeline.launch(
                 core_indices.len(),
                 &ClusterFormationProgram {
                     points: &self.points,
@@ -565,6 +621,7 @@ impl RtDbscanSession {
             },
             path: ExecutionPath::RtCore,
             device_bytes: self.bvh.device_bytes()
+                + self.wide.as_ref().map_or(0, |w| w.device_bytes())
                 + (n * std::mem::size_of::<Point3>()) as u64
                 + 8 * n as u64,
         })
@@ -774,10 +831,12 @@ mod tests {
         let eps = 0.5f32;
         let session = RtDbscanSession::new(&pts, eps).unwrap();
         for (i, &count) in session.neighbor_counts().iter().enumerate().step_by(17) {
+            // Closed-ball convention on squared f32 distances — the single
+            // boundary rule every implementation in the workspace shares.
             let expected = pts
                 .iter()
                 .enumerate()
-                .filter(|&(j, q)| j != i && pts[i].distance(*q) <= eps)
+                .filter(|&(j, q)| j != i && pts[i].distance_squared(*q) <= eps * eps)
                 .count() as u64;
             assert_eq!(count, expected, "point {i}");
         }
@@ -840,6 +899,53 @@ mod tests {
         assert_eq!(
             seq_run.counters.core_identification.rays as usize,
             pts.len()
+        );
+    }
+
+    #[test]
+    fn wide_batched_default_matches_binary_oracle_and_charges_fewer_node_visits() {
+        let pts = blobs_with_noise();
+        let params = DbscanParams::new(0.5, 5).unwrap();
+        assert_eq!(RtDbscan::default().traversal, TraversalEngine::WideBatched);
+        let wide = RtDbscan::default().run(&pts, params).unwrap();
+        let binary = RtDbscan::with_binary_traversal().run(&pts, params).unwrap();
+
+        // Identical queries …
+        assert_eq!(
+            wide.counters.core_identification.rays,
+            binary.counters.core_identification.rays
+        );
+        assert_eq!(
+            wide.counters.core_identification.dist_comps,
+            binary.counters.core_identification.dist_comps
+        );
+        // … identical answers …
+        assert_eq!(wide.clustering.core, binary.clustering.core);
+        assert!(same_clustering(
+            &wide.clustering,
+            &binary.clustering,
+            &pts,
+            params
+        ));
+        // … disjoint node-visit accounting …
+        assert_eq!(wide.counters.core_identification.node_visits, 0);
+        assert!(wide.counters.core_identification.wide_node_visits > 0);
+        assert!(wide.counters.core_identification.batched_launches > 0);
+        assert_eq!(binary.counters.core_identification.wide_node_visits, 0);
+        // … and a strictly cheaper simulated node-visit bill for the wide
+        // batched engine.
+        use rtcore::hardware::CostProfile;
+        let profile = CostProfile::rt_core();
+        let charge = |c: &rtcore::hardware::WorkCounters| {
+            c.node_visits as f64 * profile.node_visit_ns
+                + c.wide_node_visits as f64 * profile.wide_visit_ns()
+        };
+        assert!(
+            charge(&wide.counters.core_identification)
+                < charge(&binary.counters.core_identification),
+            "wide {} vs binary {}",
+            charge(&wide.counters.core_identification),
+            charge(&binary.counters.core_identification)
         );
     }
 

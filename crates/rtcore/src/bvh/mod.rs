@@ -15,6 +15,10 @@
 //! * [`compact`] — the primitive-compaction pass the RT path applies before
 //!   building: exactly coincident sphere centres are merged into a single
 //!   primitive with a multiplicity count.
+//! * [`wide`] — the BVH4 layout real RT cores traverse: any binary tree from
+//!   the builders above collapses into SoA wide nodes
+//!   ([`WideBvh::from_binary`]) consumed by the batched traversal engine in
+//!   [`crate::traversal::batch`].
 //!
 //! All builders produce the same flat [`Bvh`] representation and report the
 //! work they performed through [`crate::hardware::WorkCounters`].
@@ -24,12 +28,14 @@ mod compact;
 mod node;
 pub mod refit;
 mod validate;
+pub mod wide;
 
 pub use build::{BuilderKind, BvhBuilder, LbvhBuilder, MedianSplitBuilder, SahBuilder};
 pub use compact::{compact_coincident, CompactionResult};
 pub use node::{Bvh, BvhNode, NodeKind};
 pub use refit::{remove_points, tree_health, update_spheres, RefitPolicy, RefitStats, TreeHealth};
 pub use validate::{validate, BvhInvariantError};
+pub use wide::{validate_wide, WideBvh, WideChild, WideInvariantError, WideNode, WIDE_BRANCHING};
 
 use crate::error::Result;
 use crate::geometry::{Point3, Sphere};

@@ -292,7 +292,7 @@ mod tests {
     fn brute_force(points: &[(u32, Point3)], q: Point3, radius: f32) -> Vec<u32> {
         let mut out: Vec<u32> = points
             .iter()
-            .filter(|&&(_, p)| p.distance(q) <= radius)
+            .filter(|&&(_, p)| p.distance_squared(q) <= radius * radius)
             .map(|&(i, _)| i)
             .collect();
         out.sort_unstable();

@@ -1,0 +1,634 @@
+//! Wide (BVH4) acceleration structures.
+//!
+//! Real RT cores do not walk binary trees: their node format packs several
+//! child bounding boxes into one cache line and the box unit tests a ray
+//! against all of them in lockstep.  This module provides the software
+//! analogue — a 4-wide BVH obtained by *collapsing* any binary [`Bvh`]
+//! produced by the builders in [`crate::bvh`]:
+//!
+//! # Collapse rules
+//!
+//! Starting from a binary node, its two children form the initial child set;
+//! while the set holds fewer than four entries, the internal member whose
+//! AABB has the largest surface area is replaced by its own two children
+//! (expanding the fattest box first minimises the area the packed node
+//! exposes to rays).  Leaves are never expanded — they become leaf slots
+//! whose ranges index a *copy* of the source tree's re-ordered primitive
+//! array (identical layout, so a collapse cannot reorder hits; the copy is
+//! what lets the wide scene live independently of the binary one, and
+//! [`WideBvh::device_bytes`] charges it honestly).
+//! A set that still has fewer than four members is padded with
+//! [`WideChild::Empty`] slots whose lanes hold the empty AABB (rejected by
+//! every overlap test for free).
+//!
+//! # Node layout
+//!
+//! [`WideNode`] stores the four child AABBs in structure-of-arrays form:
+//! six lanes of `[f32; 4]` (min x/y/z, max x/y/z).  A point-in-box test
+//! against all four children is then four compares per lane over contiguous
+//! memory — the exact shape SIMD units and RT-core box testers consume.
+//! Child references are packed `u32` payloads tagged by [`WideChild`].
+//!
+//! # Cost model
+//!
+//! Traversal over a `WideBvh` counts one
+//! [`crate::hardware::WorkCounters::wide_node_visits`] per node visit
+//! (instead of the binary `node_visits`); the device model charges a wide
+//! visit at a configurable fraction of the four binary visits it replaces
+//! ([`crate::hardware::CostProfile::wide_visit_fraction`]), which is what
+//! lets benches demonstrate the simulated-device win of wide nodes.
+
+use crate::bvh::{Bvh, NodeKind};
+use crate::geometry::{Aabb, Point3, Sphere};
+use crate::hardware::WorkCounters;
+
+/// Branching factor of the wide format.
+pub const WIDE_BRANCHING: usize = 4;
+
+/// One slot of a wide node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WideChild {
+    /// An interior child: index into [`WideBvh::nodes`].
+    Node(u32),
+    /// A leaf child owning a contiguous primitive range.
+    Leaf {
+        /// Index of the first primitive.
+        first_prim: u32,
+        /// Number of primitives.
+        prim_count: u32,
+    },
+    /// An unused slot (the node has fewer than four real children).
+    Empty,
+}
+
+/// A 4-wide BVH node: four child AABBs in SoA lanes plus packed child
+/// references.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WideNode {
+    /// Minimum corners of the four child AABBs, one lane per axis.
+    pub min_lanes: [[f32; 4]; 3],
+    /// Maximum corners of the four child AABBs, one lane per axis.
+    pub max_lanes: [[f32; 4]; 3],
+    /// The four child references.
+    pub children: [WideChild; 4],
+}
+
+impl WideNode {
+    /// A node with every slot empty.
+    pub const EMPTY: WideNode = WideNode {
+        min_lanes: [[f32::INFINITY; 4]; 3],
+        max_lanes: [[f32::NEG_INFINITY; 4]; 3],
+        children: [WideChild::Empty; 4],
+    };
+
+    /// Store `bounds` into child slot `slot`.
+    fn set_bounds(&mut self, slot: usize, bounds: &Aabb) {
+        self.min_lanes[0][slot] = bounds.min.x;
+        self.min_lanes[1][slot] = bounds.min.y;
+        self.min_lanes[2][slot] = bounds.min.z;
+        self.max_lanes[0][slot] = bounds.max.x;
+        self.max_lanes[1][slot] = bounds.max.y;
+        self.max_lanes[2][slot] = bounds.max.z;
+    }
+
+    /// Reconstruct the AABB of child slot `slot`.
+    pub fn child_bounds(&self, slot: usize) -> Aabb {
+        Aabb {
+            min: Point3::new(
+                self.min_lanes[0][slot],
+                self.min_lanes[1][slot],
+                self.min_lanes[2][slot],
+            ),
+            max: Point3::new(
+                self.max_lanes[0][slot],
+                self.max_lanes[1][slot],
+                self.max_lanes[2][slot],
+            ),
+        }
+    }
+
+    /// Test a query point against all four child boxes at once, returning a
+    /// 4-bit hit mask (bit `i` set ⇔ `p` inside child `i`'s box).  Empty
+    /// slots hold inverted boxes and can never set their bit.
+    ///
+    /// This is the software stand-in for the lockstep box test an RT core's
+    /// wide node unit performs; it compiles to branch-free lane compares.
+    #[inline]
+    pub fn point_hit_mask(&self, p: Point3) -> u8 {
+        let mut mask = 0u8;
+        for slot in 0..WIDE_BRANCHING {
+            let inside = p.x >= self.min_lanes[0][slot]
+                && p.x <= self.max_lanes[0][slot]
+                && p.y >= self.min_lanes[1][slot]
+                && p.y <= self.max_lanes[1][slot]
+                && p.z >= self.min_lanes[2][slot]
+                && p.z <= self.max_lanes[2][slot];
+            mask |= (inside as u8) << slot;
+        }
+        mask
+    }
+}
+
+/// A collapsed 4-wide BVH.
+///
+/// Node 0 is the root.  `primitives` is the same re-ordered array the source
+/// binary tree produced, so leaf ranges mean exactly what they meant there.
+#[derive(Debug, Clone)]
+pub struct WideBvh {
+    /// Flat wide-node storage; index 0 is the root.
+    pub nodes: Vec<WideNode>,
+    /// Bounds of the whole scene (the source tree's root bounds).
+    pub scene_bounds: Aabb,
+    /// Primitives, re-ordered so leaf ranges are contiguous (shared layout
+    /// with the source binary tree).
+    pub primitives: Vec<Sphere>,
+    /// Work the collapse performed (node emissions), for the cost model.
+    pub collapse_counters: WorkCounters,
+}
+
+impl WideBvh {
+    /// Collapse a binary BVH into the 4-wide format.
+    ///
+    /// An empty source tree yields an empty wide tree.  A source whose root
+    /// is a single leaf yields one wide node with one leaf slot.
+    pub fn from_binary(bvh: &Bvh) -> WideBvh {
+        let mut counters = WorkCounters::ZERO;
+        if bvh.nodes.is_empty() {
+            return WideBvh {
+                nodes: Vec::new(),
+                scene_bounds: Aabb::EMPTY,
+                primitives: Vec::new(),
+                collapse_counters: counters,
+            };
+        }
+        let mut nodes: Vec<WideNode> = Vec::with_capacity(bvh.nodes.len() / 2 + 1);
+        // Worklist of (binary node to collapse, wide node slot to fill).
+        nodes.push(WideNode::EMPTY);
+        counters.build_node_ops += 1;
+        let mut work: Vec<(u32, u32)> = vec![(0, 0)];
+        while let Some((bin_idx, wide_idx)) = work.pop() {
+            let members = collapse_members(bvh, bin_idx);
+            let mut node = WideNode::EMPTY;
+            for (slot, &member) in members.iter().enumerate() {
+                let m = &bvh.nodes[member as usize];
+                node.set_bounds(slot, &m.bounds);
+                match m.kind {
+                    NodeKind::Leaf {
+                        first_prim,
+                        prim_count,
+                    } => {
+                        node.children[slot] = WideChild::Leaf {
+                            first_prim,
+                            prim_count,
+                        };
+                    }
+                    NodeKind::Internal { .. } => {
+                        let child_wide = nodes.len() as u32;
+                        nodes.push(WideNode::EMPTY);
+                        counters.build_node_ops += 1;
+                        node.children[slot] = WideChild::Node(child_wide);
+                        work.push((member, child_wide));
+                    }
+                }
+            }
+            nodes[wide_idx as usize] = node;
+        }
+        WideBvh {
+            nodes,
+            scene_bounds: bvh.nodes[0].bounds,
+            primitives: bvh.primitives.clone(),
+            collapse_counters: counters,
+        }
+    }
+
+    /// Number of wide nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of primitives.
+    pub fn primitive_count(&self) -> usize {
+        self.primitives.len()
+    }
+
+    /// Estimated device-memory footprint in bytes (wide nodes + primitives).
+    pub fn device_bytes(&self) -> u64 {
+        std::mem::size_of::<WideNode>() as u64 * self.nodes.len() as u64
+            + std::mem::size_of::<Sphere>() as u64 * self.primitives.len() as u64
+    }
+}
+
+/// The collapse rule: expand internal members fattest-first until the set
+/// holds up to four children of `bin_idx`.
+///
+/// The returned members are binary-node indices; at most [`WIDE_BRANCHING`]
+/// of them, each either a leaf or an internal node that becomes a nested
+/// wide node.  A leaf root is returned as the single member.
+fn collapse_members(bvh: &Bvh, bin_idx: u32) -> Vec<u32> {
+    let node = &bvh.nodes[bin_idx as usize];
+    let mut members: Vec<u32> = match node.kind {
+        NodeKind::Leaf { .. } => return vec![bin_idx],
+        NodeKind::Internal { left, right } => vec![left, right],
+    };
+    loop {
+        if members.len() >= WIDE_BRANCHING {
+            break;
+        }
+        // Expand the internal member with the largest surface area.
+        let expandable = members
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| !bvh.nodes[m as usize].is_leaf())
+            .max_by(|(_, &a), (_, &b)| {
+                let sa = bvh.nodes[a as usize].bounds.surface_area();
+                let sb = bvh.nodes[b as usize].bounds.surface_area();
+                sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i);
+        let Some(pos) = expandable else {
+            break; // all members are leaves
+        };
+        let victim = members.swap_remove(pos);
+        if let NodeKind::Internal { left, right } = bvh.nodes[victim as usize].kind {
+            members.push(left);
+            members.push(right);
+        }
+    }
+    members
+}
+
+/// A violated wide-BVH invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WideInvariantError {
+    /// The tree has no nodes but claims primitives (or vice versa).
+    EmptyTreeWithPrimitives,
+    /// A child node index was out of range.
+    NodeIndexOutOfRange {
+        /// Offending child index.
+        index: u32,
+    },
+    /// A wide node was reachable through two different parents.
+    NodeVisitedTwice {
+        /// Offending node index.
+        index: u32,
+    },
+    /// Some wide node was never reached from the root.
+    UnreachableNodes {
+        /// Number of unreachable nodes.
+        count: usize,
+    },
+    /// A leaf slot's primitive range exceeded the primitive array.
+    PrimRangeOutOfRange {
+        /// First primitive of the offending slot.
+        first: u32,
+        /// Count of the offending slot.
+        count: u32,
+    },
+    /// A primitive was not covered by exactly one leaf slot.
+    PrimitiveCoverage {
+        /// Primitive index.
+        index: u32,
+        /// Number of leaf slots that claimed it.
+        times: usize,
+    },
+    /// A slot's stored lane bounds did not contain what the slot references
+    /// (a nested node's own slot bounds, or a leaf slot's primitives).
+    SlotBoundsTooSmall {
+        /// Wide node index.
+        node: u32,
+        /// Slot index within the node.
+        slot: usize,
+    },
+    /// A non-empty slot stored an empty/inverted AABB, or an empty slot
+    /// stored a real one (empty slots must be rejected by the lane test).
+    SlotBoundsTagMismatch {
+        /// Wide node index.
+        node: u32,
+        /// Slot index within the node.
+        slot: usize,
+    },
+}
+
+impl std::fmt::Display for WideInvariantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WideInvariantError::EmptyTreeWithPrimitives => {
+                write!(f, "wide node/primitive arrays disagree about emptiness")
+            }
+            WideInvariantError::NodeIndexOutOfRange { index } => {
+                write!(f, "wide child index {index} out of range")
+            }
+            WideInvariantError::NodeVisitedTwice { index } => {
+                write!(f, "wide node {index} reachable through two parents")
+            }
+            WideInvariantError::UnreachableNodes { count } => {
+                write!(f, "{count} wide nodes unreachable from the root")
+            }
+            WideInvariantError::PrimRangeOutOfRange { first, count } => {
+                write!(
+                    f,
+                    "leaf slot primitive range [{first}, {first}+{count}) out of range"
+                )
+            }
+            WideInvariantError::PrimitiveCoverage { index, times } => {
+                write!(
+                    f,
+                    "primitive {index} covered by {times} leaf slots (expected 1)"
+                )
+            }
+            WideInvariantError::SlotBoundsTooSmall { node, slot } => {
+                write!(
+                    f,
+                    "slot {slot} of wide node {node} does not contain its subtree"
+                )
+            }
+            WideInvariantError::SlotBoundsTagMismatch { node, slot } => {
+                write!(
+                    f,
+                    "slot {slot} of wide node {node} has bounds inconsistent with its tag"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WideInvariantError {}
+
+/// Check every structural invariant of a collapsed wide BVH:
+///
+/// 1. every wide node is reachable from the root exactly once;
+/// 2. non-empty slots store real AABBs, empty slots store the inverted box;
+/// 3. leaf-slot primitive ranges are in-bounds and every primitive is
+///    covered by exactly one leaf slot;
+/// 4. a slot's lane bounds contain its subtree — a nested node's own slot
+///    boxes for interior slots, the owned primitives' bounds for leaf slots.
+pub fn validate_wide(wide: &WideBvh) -> Result<(), WideInvariantError> {
+    if wide.nodes.is_empty() {
+        if wide.primitives.is_empty() {
+            return Ok(());
+        }
+        return Err(WideInvariantError::EmptyTreeWithPrimitives);
+    }
+
+    let n_nodes = wide.nodes.len();
+    let n_prims = wide.primitives.len();
+    let mut visited = vec![false; n_nodes];
+    let mut prim_cover = vec![0usize; n_prims];
+    let mut stack: Vec<u32> = vec![0];
+    visited[0] = true;
+
+    while let Some(idx) = stack.pop() {
+        let node = &wide.nodes[idx as usize];
+        for slot in 0..WIDE_BRANCHING {
+            let bounds = node.child_bounds(slot);
+            match node.children[slot] {
+                WideChild::Empty => {
+                    if !bounds.is_empty() {
+                        return Err(WideInvariantError::SlotBoundsTagMismatch { node: idx, slot });
+                    }
+                }
+                WideChild::Node(child) => {
+                    if bounds.is_empty() {
+                        return Err(WideInvariantError::SlotBoundsTagMismatch { node: idx, slot });
+                    }
+                    if child as usize >= n_nodes {
+                        return Err(WideInvariantError::NodeIndexOutOfRange { index: child });
+                    }
+                    if visited[child as usize] {
+                        return Err(WideInvariantError::NodeVisitedTwice { index: child });
+                    }
+                    visited[child as usize] = true;
+                    // The nested node's own slot boxes must fit in this slot.
+                    let nested = &wide.nodes[child as usize];
+                    for nested_slot in 0..WIDE_BRANCHING {
+                        let nb = nested.child_bounds(nested_slot);
+                        if !bounds.contains_aabb(&nb) {
+                            return Err(WideInvariantError::SlotBoundsTooSmall { node: idx, slot });
+                        }
+                    }
+                    stack.push(child);
+                }
+                WideChild::Leaf {
+                    first_prim,
+                    prim_count,
+                } => {
+                    if bounds.is_empty() && prim_count > 0 {
+                        return Err(WideInvariantError::SlotBoundsTagMismatch { node: idx, slot });
+                    }
+                    let first = first_prim as usize;
+                    let count = prim_count as usize;
+                    if first + count > n_prims {
+                        return Err(WideInvariantError::PrimRangeOutOfRange {
+                            first: first_prim,
+                            count: prim_count,
+                        });
+                    }
+                    for (offset, prim) in wide.primitives[first..first + count].iter().enumerate() {
+                        prim_cover[first + offset] += 1;
+                        if !bounds.contains_aabb(&prim.bounds()) {
+                            return Err(WideInvariantError::SlotBoundsTooSmall { node: idx, slot });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let unreachable = visited.iter().filter(|v| !**v).count();
+    if unreachable > 0 {
+        return Err(WideInvariantError::UnreachableNodes { count: unreachable });
+    }
+    for (i, &times) in prim_cover.iter().enumerate() {
+        if times != 1 {
+            return Err(WideInvariantError::PrimitiveCoverage {
+                index: i as u32,
+                times,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bvh::{
+        spheres_from_points, BvhBuilder, LbvhBuilder, MedianSplitBuilder, SahBuilder,
+    };
+    use crate::geometry::Point3;
+
+    fn grid(n_side: usize, spacing: f32) -> Vec<Point3> {
+        let mut pts = Vec::new();
+        for i in 0..n_side {
+            for j in 0..n_side {
+                pts.push(Point3::new(i as f32 * spacing, j as f32 * spacing, 0.0));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn collapse_of_every_builder_is_valid() {
+        let pts = grid(17, 0.6);
+        let builders: Vec<Box<dyn BvhBuilder>> = vec![
+            Box::new(LbvhBuilder::default()),
+            Box::new(SahBuilder::default()),
+            Box::new(MedianSplitBuilder::default()),
+        ];
+        for b in builders {
+            let bvh = b.build(spheres_from_points(&pts, 0.4)).unwrap();
+            let wide = WideBvh::from_binary(&bvh);
+            validate_wide(&wide).unwrap_or_else(|e| panic!("{:?}: {e}", b.kind()));
+            assert_eq!(wide.primitive_count(), pts.len());
+            // Collapsing 2 levels into 1 must not grow the node count.
+            assert!(wide.node_count() <= bvh.node_count());
+            assert!(wide.collapse_counters.build_node_ops > 0);
+            assert_eq!(wide.scene_bounds, bvh.scene_bounds());
+        }
+    }
+
+    #[test]
+    fn collapse_roughly_halves_node_count_on_big_trees() {
+        let pts = grid(40, 0.5);
+        let bvh = LbvhBuilder::default()
+            .build(spheres_from_points(&pts, 0.3))
+            .unwrap();
+        let wide = WideBvh::from_binary(&bvh);
+        validate_wide(&wide).unwrap();
+        // A full binary tree of internal nodes collapses ~3:1; real trees
+        // land somewhere between 2:1 and 3:1.
+        assert!(
+            wide.node_count() * 2 < bvh.node_count(),
+            "wide {} vs binary {}",
+            wide.node_count(),
+            bvh.node_count()
+        );
+    }
+
+    #[test]
+    fn single_leaf_and_empty_trees() {
+        let bvh = LbvhBuilder::default()
+            .build(vec![Sphere::new(Point3::ORIGIN, 1.0, 0)])
+            .unwrap();
+        let wide = WideBvh::from_binary(&bvh);
+        validate_wide(&wide).unwrap();
+        assert_eq!(wide.node_count(), 1);
+        assert!(matches!(
+            wide.nodes[0].children[0],
+            WideChild::Leaf { prim_count: 1, .. }
+        ));
+        assert_eq!(wide.nodes[0].children[1], WideChild::Empty);
+
+        let empty = Bvh {
+            nodes: vec![],
+            primitives: vec![],
+            builder: crate::bvh::BuilderKind::Lbvh,
+            build_counters: WorkCounters::ZERO,
+        };
+        let wide = WideBvh::from_binary(&empty);
+        validate_wide(&wide).unwrap();
+        assert_eq!(wide.node_count(), 0);
+        assert!(wide.scene_bounds.is_empty());
+    }
+
+    #[test]
+    fn point_hit_mask_matches_scalar_tests() {
+        let pts = grid(9, 1.0);
+        let bvh = SahBuilder::default()
+            .build(spheres_from_points(&pts, 0.5))
+            .unwrap();
+        let wide = WideBvh::from_binary(&bvh);
+        for node in &wide.nodes {
+            for q in [
+                Point3::new(0.0, 0.0, 0.0),
+                Point3::new(4.2, 3.9, 0.0),
+                Point3::new(8.0, 8.0, 0.0),
+                Point3::new(-3.0, 100.0, 0.0),
+            ] {
+                let mask = node.point_hit_mask(q);
+                for slot in 0..WIDE_BRANCHING {
+                    let expected = node.child_bounds(slot).contains_point(q);
+                    assert_eq!(mask & (1 << slot) != 0, expected, "slot {slot} at {q:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn validator_catches_corruption() {
+        let pts = grid(8, 0.7);
+        let bvh = LbvhBuilder::default()
+            .build(spheres_from_points(&pts, 0.4))
+            .unwrap();
+        let wide = WideBvh::from_binary(&bvh);
+
+        // Shrink a slot's box so its subtree sticks out.
+        let mut bad = wide.clone();
+        bad.nodes[0].set_bounds(0, &Aabb::from_sphere(Point3::ORIGIN, 1e-3));
+        assert!(matches!(
+            validate_wide(&bad).unwrap_err(),
+            WideInvariantError::SlotBoundsTooSmall { .. }
+        ));
+
+        // Point a slot at an out-of-range node.
+        let mut bad = wide.clone();
+        for slot in 0..WIDE_BRANCHING {
+            if matches!(bad.nodes[0].children[slot], WideChild::Node(_)) {
+                bad.nodes[0].children[slot] = WideChild::Node(10_000);
+                break;
+            }
+        }
+        assert!(matches!(
+            validate_wide(&bad).unwrap_err(),
+            WideInvariantError::NodeIndexOutOfRange { index: 10_000 }
+        ));
+
+        // Give an empty slot real bounds.
+        let mut bad = wide.clone();
+        let last = bad.nodes.len() - 1;
+        bad.nodes[last].set_bounds(3, &Aabb::from_sphere(Point3::ORIGIN, 1.0));
+        let corrupted = bad.nodes[last].children[3] == WideChild::Empty;
+        if corrupted {
+            assert!(matches!(
+                validate_wide(&bad).unwrap_err(),
+                WideInvariantError::SlotBoundsTagMismatch { .. }
+            ));
+        }
+
+        // Claim primitives without any nodes.
+        let bad = WideBvh {
+            nodes: vec![],
+            scene_bounds: Aabb::EMPTY,
+            primitives: vec![Sphere::new(Point3::ORIGIN, 1.0, 0)],
+            collapse_counters: WorkCounters::ZERO,
+        };
+        assert_eq!(
+            validate_wide(&bad).unwrap_err(),
+            WideInvariantError::EmptyTreeWithPrimitives
+        );
+    }
+
+    #[test]
+    fn duplicated_points_collapse_cleanly() {
+        let pts: Vec<Point3> = (0..500).map(|_| Point3::new(3.0, 3.0, 0.0)).collect();
+        let bvh = LbvhBuilder::default()
+            .build(spheres_from_points(&pts, 0.2))
+            .unwrap();
+        let wide = WideBvh::from_binary(&bvh);
+        validate_wide(&wide).unwrap();
+        assert_eq!(wide.primitive_count(), 500);
+    }
+
+    #[test]
+    fn device_bytes_are_positive_and_error_display_informative() {
+        let pts = grid(5, 1.0);
+        let bvh = LbvhBuilder::default()
+            .build(spheres_from_points(&pts, 0.4))
+            .unwrap();
+        let wide = WideBvh::from_binary(&bvh);
+        assert!(wide.device_bytes() > 0);
+        let e = WideInvariantError::SlotBoundsTooSmall { node: 3, slot: 2 };
+        assert!(e.to_string().contains("slot 2"));
+        assert!(e.to_string().contains("node 3"));
+    }
+}

@@ -7,6 +7,12 @@
 //!   the pattern the hpc guides recommend for rayon reductions.
 //! * [`SharedCounters`] — an atomic accumulator for contexts where a shared
 //!   sink is more convenient (for example the pipeline's parallel launch).
+//!
+//! All accumulation (the `+`/`+=` impls, the aggregate helpers and the
+//! [`SharedCounters`] merges) uses **saturating** arithmetic: a long-running
+//! streaming deployment folds counters for days, and a silent wrap in a
+//! release build would corrupt every downstream cost-model read.  Clamping at
+//! `u64::MAX` is both detectable and harmless.
 
 use std::ops::{Add, AddAssign};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -19,6 +25,13 @@ pub struct WorkCounters {
     pub rays: u64,
     /// Internal BVH nodes visited during traversal.
     pub node_visits: u64,
+    /// Wide (BVH4) nodes visited during batched traversal.  One wide visit
+    /// tests up to four child AABBs; the device cost model charges it at a
+    /// configurable fraction of four binary visits.
+    pub wide_node_visits: u64,
+    /// Batched traversal launches (one per ray packet handed to the wide
+    /// traversal engine).
+    pub batched_launches: u64,
     /// Ray–AABB slab tests performed.
     pub aabb_tests: u64,
     /// Primitive intersection-program invocations (ray–sphere tests).
@@ -56,11 +69,19 @@ pub struct WorkCounters {
     pub rebuilds: u64,
 }
 
+/// Saturating fold of a slice of counter values.
+#[inline]
+fn sat_sum(parts: &[u64]) -> u64 {
+    parts.iter().fold(0u64, |acc, &x| acc.saturating_add(x))
+}
+
 impl WorkCounters {
     /// A counter set with every field zero.
     pub const ZERO: WorkCounters = WorkCounters {
         rays: 0,
         node_visits: 0,
+        wide_node_visits: 0,
+        batched_launches: 0,
         aabb_tests: 0,
         prim_tests: 0,
         anyhit_invocations: 0,
@@ -80,36 +101,47 @@ impl WorkCounters {
 
     /// Sum of all traversal-side counters (everything except build work).
     pub fn traversal_ops(&self) -> u64 {
-        self.rays
-            + self.node_visits
-            + self.aabb_tests
-            + self.prim_tests
-            + self.anyhit_invocations
-            + self.dist_comps
+        sat_sum(&[
+            self.rays,
+            self.node_visits,
+            self.wide_node_visits,
+            self.batched_launches,
+            self.aabb_tests,
+            self.prim_tests,
+            self.anyhit_invocations,
+            self.dist_comps,
+        ])
     }
 
     /// Sum of all build-side counters.
     pub fn build_ops(&self) -> u64 {
-        self.build_prims + self.build_sort_ops + self.build_node_ops + self.compaction_merges
+        sat_sum(&[
+            self.build_prims,
+            self.build_sort_ops,
+            self.build_node_ops,
+            self.compaction_merges,
+        ])
     }
 
     /// Sum of all refit-side counters (charged separately from full builds
     /// so the streaming update policy's two branches stay distinguishable —
     /// in particular, a refit never pays the fixed pipeline-setup cost).
     pub fn refit_ops(&self) -> u64 {
-        self.refit_node_ops + self.refits
+        sat_sum(&[self.refit_node_ops, self.refits])
     }
 
     /// Total work units of any kind.
     pub fn total_ops(&self) -> u64 {
-        self.traversal_ops()
-            + self.build_ops()
-            + self.refit_ops()
-            + self.union_ops
-            + self.find_ops
-            + self.list_ops
-            + self.misc_ops
-            + self.rebuilds
+        sat_sum(&[
+            self.traversal_ops(),
+            self.build_ops(),
+            self.refit_ops(),
+            self.union_ops,
+            self.find_ops,
+            self.list_ops,
+            self.misc_ops,
+            self.rebuilds,
+        ])
     }
 }
 
@@ -117,23 +149,27 @@ impl Add for WorkCounters {
     type Output = WorkCounters;
     fn add(self, rhs: WorkCounters) -> WorkCounters {
         WorkCounters {
-            rays: self.rays + rhs.rays,
-            node_visits: self.node_visits + rhs.node_visits,
-            aabb_tests: self.aabb_tests + rhs.aabb_tests,
-            prim_tests: self.prim_tests + rhs.prim_tests,
-            anyhit_invocations: self.anyhit_invocations + rhs.anyhit_invocations,
-            dist_comps: self.dist_comps + rhs.dist_comps,
-            build_prims: self.build_prims + rhs.build_prims,
-            build_sort_ops: self.build_sort_ops + rhs.build_sort_ops,
-            build_node_ops: self.build_node_ops + rhs.build_node_ops,
-            compaction_merges: self.compaction_merges + rhs.compaction_merges,
-            union_ops: self.union_ops + rhs.union_ops,
-            find_ops: self.find_ops + rhs.find_ops,
-            list_ops: self.list_ops + rhs.list_ops,
-            misc_ops: self.misc_ops + rhs.misc_ops,
-            refit_node_ops: self.refit_node_ops + rhs.refit_node_ops,
-            refits: self.refits + rhs.refits,
-            rebuilds: self.rebuilds + rhs.rebuilds,
+            rays: self.rays.saturating_add(rhs.rays),
+            node_visits: self.node_visits.saturating_add(rhs.node_visits),
+            wide_node_visits: self.wide_node_visits.saturating_add(rhs.wide_node_visits),
+            batched_launches: self.batched_launches.saturating_add(rhs.batched_launches),
+            aabb_tests: self.aabb_tests.saturating_add(rhs.aabb_tests),
+            prim_tests: self.prim_tests.saturating_add(rhs.prim_tests),
+            anyhit_invocations: self
+                .anyhit_invocations
+                .saturating_add(rhs.anyhit_invocations),
+            dist_comps: self.dist_comps.saturating_add(rhs.dist_comps),
+            build_prims: self.build_prims.saturating_add(rhs.build_prims),
+            build_sort_ops: self.build_sort_ops.saturating_add(rhs.build_sort_ops),
+            build_node_ops: self.build_node_ops.saturating_add(rhs.build_node_ops),
+            compaction_merges: self.compaction_merges.saturating_add(rhs.compaction_merges),
+            union_ops: self.union_ops.saturating_add(rhs.union_ops),
+            find_ops: self.find_ops.saturating_add(rhs.find_ops),
+            list_ops: self.list_ops.saturating_add(rhs.list_ops),
+            misc_ops: self.misc_ops.saturating_add(rhs.misc_ops),
+            refit_node_ops: self.refit_node_ops.saturating_add(rhs.refit_node_ops),
+            refits: self.refits.saturating_add(rhs.refits),
+            rebuilds: self.rebuilds.saturating_add(rhs.rebuilds),
         }
     }
 }
@@ -150,6 +186,23 @@ impl std::iter::Sum for WorkCounters {
     }
 }
 
+/// Saturating atomic add: CAS loop that clamps at `u64::MAX` instead of
+/// wrapping.  Relaxed ordering is fine — counters carry no synchronisation
+/// meaning (see [`SharedCounters::add`]).
+fn saturating_fetch_add(cell: &AtomicU64, value: u64) {
+    if value == 0 {
+        return;
+    }
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = current.saturating_add(value);
+        match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(observed) => current = observed,
+        }
+    }
+}
+
 /// Atomic counter sink for parallel accumulation.
 ///
 /// Field meanings match [`WorkCounters`]; use [`SharedCounters::add`] to fold
@@ -159,6 +212,8 @@ impl std::iter::Sum for WorkCounters {
 pub struct SharedCounters {
     rays: AtomicU64,
     node_visits: AtomicU64,
+    wide_node_visits: AtomicU64,
+    batched_launches: AtomicU64,
     aabb_tests: AtomicU64,
     prim_tests: AtomicU64,
     anyhit_invocations: AtomicU64,
@@ -182,33 +237,31 @@ impl SharedCounters {
         Self::default()
     }
 
-    /// Fold a per-thread counter set into the shared totals.
+    /// Fold a per-thread counter set into the shared totals, saturating at
+    /// `u64::MAX`.
     ///
     /// Relaxed ordering is sufficient: the counters carry no synchronisation
     /// meaning, they are only summed after the parallel region joins.
     pub fn add(&self, c: &WorkCounters) {
-        self.rays.fetch_add(c.rays, Ordering::Relaxed);
-        self.node_visits.fetch_add(c.node_visits, Ordering::Relaxed);
-        self.aabb_tests.fetch_add(c.aabb_tests, Ordering::Relaxed);
-        self.prim_tests.fetch_add(c.prim_tests, Ordering::Relaxed);
-        self.anyhit_invocations
-            .fetch_add(c.anyhit_invocations, Ordering::Relaxed);
-        self.dist_comps.fetch_add(c.dist_comps, Ordering::Relaxed);
-        self.build_prims.fetch_add(c.build_prims, Ordering::Relaxed);
-        self.build_sort_ops
-            .fetch_add(c.build_sort_ops, Ordering::Relaxed);
-        self.build_node_ops
-            .fetch_add(c.build_node_ops, Ordering::Relaxed);
-        self.compaction_merges
-            .fetch_add(c.compaction_merges, Ordering::Relaxed);
-        self.union_ops.fetch_add(c.union_ops, Ordering::Relaxed);
-        self.find_ops.fetch_add(c.find_ops, Ordering::Relaxed);
-        self.list_ops.fetch_add(c.list_ops, Ordering::Relaxed);
-        self.misc_ops.fetch_add(c.misc_ops, Ordering::Relaxed);
-        self.refit_node_ops
-            .fetch_add(c.refit_node_ops, Ordering::Relaxed);
-        self.refits.fetch_add(c.refits, Ordering::Relaxed);
-        self.rebuilds.fetch_add(c.rebuilds, Ordering::Relaxed);
+        saturating_fetch_add(&self.rays, c.rays);
+        saturating_fetch_add(&self.node_visits, c.node_visits);
+        saturating_fetch_add(&self.wide_node_visits, c.wide_node_visits);
+        saturating_fetch_add(&self.batched_launches, c.batched_launches);
+        saturating_fetch_add(&self.aabb_tests, c.aabb_tests);
+        saturating_fetch_add(&self.prim_tests, c.prim_tests);
+        saturating_fetch_add(&self.anyhit_invocations, c.anyhit_invocations);
+        saturating_fetch_add(&self.dist_comps, c.dist_comps);
+        saturating_fetch_add(&self.build_prims, c.build_prims);
+        saturating_fetch_add(&self.build_sort_ops, c.build_sort_ops);
+        saturating_fetch_add(&self.build_node_ops, c.build_node_ops);
+        saturating_fetch_add(&self.compaction_merges, c.compaction_merges);
+        saturating_fetch_add(&self.union_ops, c.union_ops);
+        saturating_fetch_add(&self.find_ops, c.find_ops);
+        saturating_fetch_add(&self.list_ops, c.list_ops);
+        saturating_fetch_add(&self.misc_ops, c.misc_ops);
+        saturating_fetch_add(&self.refit_node_ops, c.refit_node_ops);
+        saturating_fetch_add(&self.refits, c.refits);
+        saturating_fetch_add(&self.rebuilds, c.rebuilds);
     }
 
     /// Read the accumulated totals.
@@ -216,6 +269,8 @@ impl SharedCounters {
         WorkCounters {
             rays: self.rays.load(Ordering::Relaxed),
             node_visits: self.node_visits.load(Ordering::Relaxed),
+            wide_node_visits: self.wide_node_visits.load(Ordering::Relaxed),
+            batched_launches: self.batched_launches.load(Ordering::Relaxed),
             aabb_tests: self.aabb_tests.load(Ordering::Relaxed),
             prim_tests: self.prim_tests.load(Ordering::Relaxed),
             anyhit_invocations: self.anyhit_invocations.load(Ordering::Relaxed),
@@ -238,6 +293,8 @@ impl SharedCounters {
     pub fn reset(&self) {
         self.rays.store(0, Ordering::Relaxed);
         self.node_visits.store(0, Ordering::Relaxed);
+        self.wide_node_visits.store(0, Ordering::Relaxed);
+        self.batched_launches.store(0, Ordering::Relaxed);
         self.aabb_tests.store(0, Ordering::Relaxed);
         self.prim_tests.store(0, Ordering::Relaxed);
         self.anyhit_invocations.store(0, Ordering::Relaxed);
@@ -279,6 +336,8 @@ mod tests {
             refit_node_ops: 15,
             refits: 16,
             rebuilds: 17,
+            wide_node_visits: 18,
+            batched_launches: 19,
         }
     }
 
@@ -289,6 +348,8 @@ mod tests {
         let c = a + b;
         assert_eq!(c.rays, 2);
         assert_eq!(c.misc_ops, 26);
+        assert_eq!(c.wide_node_visits, 36);
+        assert_eq!(c.batched_launches, 38);
         let mut d = WorkCounters::ZERO;
         d += a;
         assert_eq!(d, a);
@@ -297,10 +358,10 @@ mod tests {
     #[test]
     fn aggregate_helpers() {
         let c = sample();
-        assert_eq!(c.traversal_ops(), 1 + 2 + 3 + 4 + 14 + 5);
+        assert_eq!(c.traversal_ops(), 1 + 2 + 3 + 4 + 14 + 5 + 18 + 19);
         assert_eq!(c.build_ops(), 6 + 7 + 8 + 9);
         assert_eq!(c.refit_ops(), 15 + 16);
-        assert_eq!(c.total_ops(), (1..=17).sum::<u64>());
+        assert_eq!(c.total_ops(), (1..=19).sum::<u64>());
     }
 
     #[test]
@@ -311,6 +372,38 @@ mod tests {
     }
 
     #[test]
+    fn addition_saturates_instead_of_wrapping() {
+        let near_max = WorkCounters {
+            rays: u64::MAX - 1,
+            dist_comps: u64::MAX,
+            ..WorkCounters::ZERO
+        };
+        let more = WorkCounters {
+            rays: 10,
+            dist_comps: 10,
+            ..WorkCounters::ZERO
+        };
+        let sum = near_max + more;
+        assert_eq!(sum.rays, u64::MAX);
+        assert_eq!(sum.dist_comps, u64::MAX);
+        let mut acc = near_max;
+        acc += more;
+        assert_eq!(acc.rays, u64::MAX);
+    }
+
+    #[test]
+    fn aggregate_helpers_saturate() {
+        let c = WorkCounters {
+            rays: u64::MAX,
+            node_visits: u64::MAX,
+            build_prims: u64::MAX,
+            ..WorkCounters::ZERO
+        };
+        assert_eq!(c.traversal_ops(), u64::MAX);
+        assert_eq!(c.total_ops(), u64::MAX);
+    }
+
+    #[test]
     fn shared_counters_accumulate_and_reset() {
         let shared = SharedCounters::new();
         shared.add(&sample());
@@ -318,8 +411,23 @@ mod tests {
         let snap = shared.snapshot();
         assert_eq!(snap.rays, 2);
         assert_eq!(snap.union_ops, 20);
+        assert_eq!(snap.wide_node_visits, 36);
         shared.reset();
         assert_eq!(shared.snapshot(), WorkCounters::ZERO);
+    }
+
+    #[test]
+    fn shared_counters_saturate() {
+        let shared = SharedCounters::new();
+        shared.add(&WorkCounters {
+            rays: u64::MAX - 5,
+            ..WorkCounters::ZERO
+        });
+        shared.add(&WorkCounters {
+            rays: 100,
+            ..WorkCounters::ZERO
+        });
+        assert_eq!(shared.snapshot().rays, u64::MAX);
     }
 
     #[test]

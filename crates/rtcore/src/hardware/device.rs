@@ -68,6 +68,16 @@ pub struct CostProfile {
     pub ray_setup_ns: f64,
     /// Cost of visiting one internal BVH node (fetch + schedule children).
     pub node_visit_ns: f64,
+    /// Cost of one wide (BVH4) node visit, expressed as a fraction of the
+    /// four binary node visits it replaces.  Real RT cores test all child
+    /// slots of a wide node in parallel, so a wide visit is far cheaper than
+    /// four sequential binary visits; a software traversal gains less.  A
+    /// fraction of 0.25 would make a wide visit cost exactly one binary
+    /// visit; 1.0 would remove the advantage entirely.
+    pub wide_visit_fraction: f64,
+    /// Fixed cost of dispatching one batched (ray-packet) traversal launch —
+    /// packet assembly and scheduling, amortised over the packet's rays.
+    pub batched_launch_ns: f64,
     /// Cost of one ray–AABB slab test.
     pub aabb_test_ns: f64,
     /// Cost of one primitive intersection-program invocation.
@@ -109,6 +119,10 @@ impl CostProfile {
             fixed_setup_ns: 1_800_000.0,
             ray_setup_ns: 2.0,
             node_visit_ns: 0.45,
+            // Hardware tests a wide node's 4 child boxes in lockstep: a wide
+            // visit costs ~1.2 binary visits, i.e. 0.3 of the 4 it replaces.
+            wide_visit_fraction: 0.3,
+            batched_launch_ns: 30.0,
             aabb_test_ns: 0.25,
             prim_test_ns: 0.55,
             anyhit_ns: 38.0,
@@ -128,6 +142,11 @@ impl CostProfile {
             fixed_setup_ns: 900_000.0,
             ray_setup_ns: 2.0,
             node_visit_ns: 4.2,
+            // Software traversal still wins from the shared node fetch and
+            // better locality, but there is no lockstep box unit: ~2.4
+            // binary visits per wide visit.
+            wide_visit_fraction: 0.6,
+            batched_launch_ns: 45.0,
             aabb_test_ns: 2.4,
             prim_test_ns: 5.0,
             anyhit_ns: 6.0,
@@ -141,10 +160,18 @@ impl CostProfile {
         }
     }
 
+    /// Effective cost of one wide (BVH4) node visit in nanoseconds: the
+    /// configured fraction of the four binary visits it replaces.
+    pub fn wide_visit_ns(&self) -> f64 {
+        self.wide_visit_fraction * 4.0 * self.node_visit_ns
+    }
+
     /// Simulated traversal-side time for a set of counters.
     pub fn traversal_time(&self, c: &WorkCounters) -> SimulatedDuration {
         let ns = c.rays as f64 * self.ray_setup_ns
             + c.node_visits as f64 * self.node_visit_ns
+            + c.wide_node_visits as f64 * self.wide_visit_ns()
+            + c.batched_launches as f64 * self.batched_launch_ns
             + c.aabb_tests as f64 * self.aabb_test_ns
             + c.prim_tests as f64 * self.prim_test_ns
             + c.anyhit_invocations as f64 * self.anyhit_ns
@@ -337,6 +364,28 @@ mod tests {
         let parts = dev.build_time(&c, ExecutionPath::RtCore).as_secs_f64()
             + dev.traversal_time(&c, ExecutionPath::RtCore).as_secs_f64();
         assert!((total - parts).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_visits_are_cheaper_than_the_binary_visits_they_replace() {
+        let profile = CostProfile::rt_core();
+        // One wide visit stands in for up to four binary visits.
+        assert!(profile.wide_visit_ns() < 4.0 * profile.node_visit_ns);
+        let binary = WorkCounters {
+            node_visits: 4_000,
+            ..WorkCounters::ZERO
+        };
+        let wide = WorkCounters {
+            wide_node_visits: 1_000,
+            ..WorkCounters::ZERO
+        };
+        assert!(profile.traversal_time(&wide) < profile.traversal_time(&binary));
+        // Batched launches carry their own (small) dispatch charge.
+        let launches = WorkCounters {
+            batched_launches: 10,
+            ..WorkCounters::ZERO
+        };
+        assert!(profile.traversal_time(&launches).as_secs_f64() > 0.0);
     }
 
     #[test]

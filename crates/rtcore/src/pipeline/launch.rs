@@ -1,10 +1,24 @@
 //! Pipeline construction and (parallel) launch.
 
 use super::program::{GeometryKind, ProgramFlow, RayProgram};
-use crate::bvh::Bvh;
+use crate::bvh::{Bvh, WideBvh};
+use crate::geometry::{Ray, Sphere};
 use crate::hardware::WorkCounters;
-use crate::traversal::{traverse, Traversal};
+use crate::traversal::{traverse, traverse_batch, Traversal};
 use rayon::prelude::*;
+
+/// Which traversal substrate a pipeline launch uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraversalEngine {
+    /// One ray at a time over the binary tree — the reference engine, kept
+    /// as the oracle every other path is tested against.
+    Binary,
+    /// Ray packets over a collapsed wide (BVH4) scene: the scene is
+    /// collapsed once at pipeline construction, rays launch in fixed-size
+    /// packets, and each wide node a packet reaches is fetched once for the
+    /// whole packet (see [`crate::traversal::batch`]).
+    WideBatched,
+}
 
 /// Launch-time configuration, mirroring the switches the paper mentions in
 /// Section IV (geometry type, AnyHit/ClosestHit disabled, etc.).
@@ -15,6 +29,15 @@ pub struct PipelineConfig {
     /// Minimum number of rays per rayon work item; launches smaller than this
     /// run sequentially to avoid parallel overhead on tiny scenes.
     pub min_parallel_launch: usize,
+    /// Which traversal substrate to launch on.  The pipeline defaults to the
+    /// binary oracle; the RT device path (`RtDbscan`) defaults to
+    /// [`TraversalEngine::WideBatched`].
+    pub traversal: TraversalEngine,
+    /// Rays per packet for [`TraversalEngine::WideBatched`] (also the unit
+    /// of parallelism: one packet per rayon work item).  Packet boundaries
+    /// are fixed by this value, so counters are launch-order deterministic
+    /// regardless of thread count.
+    pub batch_size: usize,
 }
 
 impl Default for PipelineConfig {
@@ -22,6 +45,51 @@ impl Default for PipelineConfig {
         PipelineConfig {
             geometry: GeometryKind::CustomSpheres,
             min_parallel_launch: 256,
+            traversal: TraversalEngine::Binary,
+            batch_size: 512,
+        }
+    }
+}
+
+/// Shared Intersection/AnyHit dispatch for both traversal engines: invokes
+/// the user program for one candidate primitive exactly the way
+/// Section IV's pipeline would, including the triangle-tessellation
+/// ablation's AnyHit bounce.
+fn run_intersection<P: RayProgram>(
+    program: &P,
+    geometry: GeometryKind,
+    launch_index: usize,
+    sphere: &Sphere,
+    ray: &Ray,
+    payload: &mut P::Payload,
+    counters: &mut WorkCounters,
+) -> Traversal {
+    match geometry {
+        GeometryKind::CustomSpheres => {
+            match program.intersection(launch_index, sphere, ray, payload, counters) {
+                ProgramFlow::Continue => Traversal::Continue,
+                ProgramFlow::TerminateRay => Traversal::Terminate,
+            }
+        }
+        GeometryKind::TriangleSpheres {
+            triangles_per_sphere,
+        } => {
+            // The hardware tests every triangle of the tessellated
+            // sphere (cheap, done by the RT units) …
+            counters.prim_tests += triangles_per_sphere.saturating_sub(1) as u64;
+            // … and every *accepted* hit bounces back into the AnyHit
+            // program on the shader cores, which is where the 2–5×
+            // slowdown of Section VI-C comes from.
+            match program.intersection(launch_index, sphere, ray, payload, counters) {
+                ProgramFlow::Continue => {
+                    counters.anyhit_invocations += 1;
+                    match program.any_hit(launch_index, sphere, ray, payload, counters) {
+                        ProgramFlow::Continue => Traversal::Continue,
+                        ProgramFlow::TerminateRay => Traversal::Terminate,
+                    }
+                }
+                ProgramFlow::TerminateRay => Traversal::Terminate,
+            }
         }
     }
 }
@@ -39,29 +107,60 @@ pub struct LaunchResult<P> {
 }
 
 /// A pipeline: a scene (built BVH) plus launch configuration.
-#[derive(Debug, Clone, Copy)]
+///
+/// With [`TraversalEngine::WideBatched`] the binary scene is collapsed into
+/// a [`WideBvh`] once at construction (the analogue of the driver compiling
+/// the acceleration structure into the hardware node format).  Launch
+/// counters cover traversal work only; the one-off collapse work is exposed
+/// as `wide_scene().collapse_counters` for the caller to fold into its
+/// build-phase accounting, the same split the binary build uses.
+#[derive(Debug, Clone)]
 pub struct Pipeline<'a> {
     scene: &'a Bvh,
+    wide: Option<std::borrow::Cow<'a, WideBvh>>,
     config: PipelineConfig,
 }
 
 impl<'a> Pipeline<'a> {
     /// Create a pipeline over a built scene with default configuration.
     pub fn new(scene: &'a Bvh) -> Self {
-        Pipeline {
-            scene,
-            config: PipelineConfig::default(),
-        }
+        Self::with_config(scene, PipelineConfig::default())
     }
 
     /// Create a pipeline with an explicit configuration.
     pub fn with_config(scene: &'a Bvh, config: PipelineConfig) -> Self {
-        Pipeline { scene, config }
+        let wide = match config.traversal {
+            TraversalEngine::Binary => None,
+            TraversalEngine::WideBatched => {
+                Some(std::borrow::Cow::Owned(WideBvh::from_binary(scene)))
+            }
+        };
+        Pipeline {
+            scene,
+            wide,
+            config,
+        }
+    }
+
+    /// Create a pipeline over a scene whose wide collapse the caller
+    /// already holds (session-style reuse across many launches); the
+    /// collapse must have been produced from `scene`.
+    pub fn with_collapsed(scene: &'a Bvh, wide: &'a WideBvh, config: PipelineConfig) -> Self {
+        Pipeline {
+            scene,
+            wide: Some(std::borrow::Cow::Borrowed(wide)),
+            config,
+        }
     }
 
     /// The scene this pipeline traverses.
     pub fn scene(&self) -> &Bvh {
         self.scene
+    }
+
+    /// The collapsed wide scene, if the configuration launches batched.
+    pub fn wide_scene(&self) -> Option<&WideBvh> {
+        self.wide.as_deref()
     }
 
     /// The active configuration.
@@ -81,40 +180,15 @@ impl<'a> Pipeline<'a> {
         let (ray, mut payload) = program.ray_gen(launch_index);
         let geometry = self.config.geometry;
         let outcome = traverse(self.scene, &ray, &mut counters, |sphere, counters| {
-            match geometry {
-                GeometryKind::CustomSpheres => {
-                    match program.intersection(launch_index, sphere, &ray, &mut payload, counters) {
-                        ProgramFlow::Continue => Traversal::Continue,
-                        ProgramFlow::TerminateRay => Traversal::Terminate,
-                    }
-                }
-                GeometryKind::TriangleSpheres {
-                    triangles_per_sphere,
-                } => {
-                    // The hardware tests every triangle of the tessellated
-                    // sphere (cheap, done by the RT units) …
-                    counters.prim_tests += triangles_per_sphere.saturating_sub(1) as u64;
-                    // … and every *accepted* hit bounces back into the AnyHit
-                    // program on the shader cores, which is where the 2–5×
-                    // slowdown of Section VI-C comes from.
-                    match program.intersection(launch_index, sphere, &ray, &mut payload, counters) {
-                        ProgramFlow::Continue => {
-                            counters.anyhit_invocations += 1;
-                            match program.any_hit(
-                                launch_index,
-                                sphere,
-                                &ray,
-                                &mut payload,
-                                counters,
-                            ) {
-                                ProgramFlow::Continue => Traversal::Continue,
-                                ProgramFlow::TerminateRay => Traversal::Terminate,
-                            }
-                        }
-                        ProgramFlow::TerminateRay => Traversal::Terminate,
-                    }
-                }
-            }
+            run_intersection(
+                program,
+                geometry,
+                launch_index,
+                sphere,
+                &ray,
+                &mut payload,
+                counters,
+            )
         });
         if outcome.primitives_visited == 0 {
             program.miss(launch_index, &mut payload);
@@ -122,28 +196,101 @@ impl<'a> Pipeline<'a> {
         (payload, counters)
     }
 
+    /// Trace one fixed-size packet of rays `[start, start + len)` through the
+    /// wide scene, returning the packet's payloads and work.
+    fn trace_packet<P: RayProgram>(
+        &self,
+        program: &P,
+        start: usize,
+        len: usize,
+    ) -> (Vec<P::Payload>, WorkCounters) {
+        let wide = self
+            .wide
+            .as_deref()
+            .expect("wide scene is collapsed at construction for WideBatched");
+        let mut counters = WorkCounters::ZERO;
+        counters.rays += len as u64;
+        let mut rays = Vec::with_capacity(len);
+        let mut payloads = Vec::with_capacity(len);
+        for i in start..start + len {
+            let (ray, payload) = program.ray_gen(i);
+            rays.push(ray);
+            payloads.push(payload);
+        }
+        let geometry = self.config.geometry;
+        let outcomes = {
+            let payloads = &mut payloads;
+            traverse_batch(wide, &rays, &mut counters, |q, sphere, counters| {
+                run_intersection(
+                    program,
+                    geometry,
+                    start + q,
+                    sphere,
+                    &rays[q],
+                    &mut payloads[q],
+                    counters,
+                )
+            })
+        };
+        for (q, outcome) in outcomes.iter().enumerate() {
+            if outcome.primitives_visited == 0 {
+                program.miss(start + q, &mut payloads[q]);
+            }
+        }
+        (payloads, counters)
+    }
+
+    /// Fixed packet boundaries for a batched launch of `count` rays.
+    fn packet_ranges(&self, count: usize) -> Vec<(usize, usize)> {
+        let size = self.config.batch_size.max(1);
+        (0..count)
+            .step_by(size)
+            .map(|start| (start, size.min(count - start)))
+            .collect()
+    }
+
     /// Launch `count` rays in parallel (one per launch index, like one CUDA
     /// thread per ray).  Falls back to a sequential launch below
     /// [`PipelineConfig::min_parallel_launch`].
+    ///
+    /// With [`TraversalEngine::WideBatched`] the unit of work is a fixed
+    /// packet of [`PipelineConfig::batch_size`] rays instead of a single
+    /// ray; packet boundaries do not depend on thread count, so payloads and
+    /// counters are identical to [`Pipeline::launch_sequential`].
     pub fn launch<P: RayProgram>(&self, count: usize, program: &P) -> LaunchResult<P::Payload> {
         if count < self.config.min_parallel_launch {
             return self.launch_sequential(count, program);
         }
-        let results: Vec<(P::Payload, WorkCounters)> = (0..count)
-            .into_par_iter()
-            .map(|i| self.trace_one(program, i))
-            .collect();
         let mut payloads = Vec::with_capacity(count);
         let mut counters = WorkCounters::ZERO;
-        for (p, c) in results {
-            payloads.push(p);
-            counters += c;
+        match self.config.traversal {
+            TraversalEngine::Binary => {
+                let results: Vec<(P::Payload, WorkCounters)> = (0..count)
+                    .into_par_iter()
+                    .map(|i| self.trace_one(program, i))
+                    .collect();
+                for (p, c) in results {
+                    payloads.push(p);
+                    counters += c;
+                }
+            }
+            TraversalEngine::WideBatched => {
+                let results: Vec<(Vec<P::Payload>, WorkCounters)> = self
+                    .packet_ranges(count)
+                    .into_par_iter()
+                    .map(|(start, len)| self.trace_packet(program, start, len))
+                    .collect();
+                for (p, c) in results {
+                    payloads.extend(p);
+                    counters += c;
+                }
+            }
         }
         LaunchResult { payloads, counters }
     }
 
-    /// Launch `count` rays sequentially.  Produces bit-identical counters to
-    /// [`Pipeline::launch`]; useful for tests and debugging.
+    /// Launch `count` rays sequentially.  Produces bit-identical payloads
+    /// and counters to [`Pipeline::launch`]; useful for tests and debugging.
     pub fn launch_sequential<P: RayProgram>(
         &self,
         count: usize,
@@ -151,10 +298,21 @@ impl<'a> Pipeline<'a> {
     ) -> LaunchResult<P::Payload> {
         let mut payloads = Vec::with_capacity(count);
         let mut counters = WorkCounters::ZERO;
-        for i in 0..count {
-            let (p, c) = self.trace_one(program, i);
-            payloads.push(p);
-            counters += c;
+        match self.config.traversal {
+            TraversalEngine::Binary => {
+                for i in 0..count {
+                    let (p, c) = self.trace_one(program, i);
+                    payloads.push(p);
+                    counters += c;
+                }
+            }
+            TraversalEngine::WideBatched => {
+                for (start, len) in self.packet_ranges(count) {
+                    let (p, c) = self.trace_packet(program, start, len);
+                    payloads.extend(p);
+                    counters += c;
+                }
+            }
         }
         LaunchResult { payloads, counters }
     }
@@ -304,6 +462,103 @@ mod tests {
         }
         let result = Pipeline::new(&bvh).launch_sequential(3, &MissMarker);
         assert_eq!(result.payloads, vec![-1, -1, -1]);
+    }
+
+    #[test]
+    fn wide_batched_launch_matches_binary_payloads() {
+        let points = cluster_points();
+        let bvh = LbvhBuilder::default()
+            .build(spheres_from_points(&points, 0.25))
+            .unwrap();
+        let program = FindAny {
+            points: &points,
+            radius: 0.25,
+        };
+        let binary = Pipeline::new(&bvh).launch(points.len(), &program);
+        let wide_cfg = PipelineConfig {
+            traversal: TraversalEngine::WideBatched,
+            batch_size: 16,
+            ..PipelineConfig::default()
+        };
+        let wide_pipeline = Pipeline::with_config(&bvh, wide_cfg);
+        assert!(wide_pipeline.wide_scene().is_some());
+        let wide = wide_pipeline.launch(points.len(), &program);
+        assert_eq!(binary.payloads, wide.payloads);
+        // The batched path works in wide visits and packets, never binary
+        // node visits.
+        assert_eq!(wide.counters.node_visits, 0);
+        assert!(wide.counters.wide_node_visits > 0);
+        assert!(wide.counters.batched_launches >= 1);
+        assert_eq!(wide.counters.rays, binary.counters.rays);
+    }
+
+    #[test]
+    fn wide_batched_sequential_and_parallel_launches_are_identical() {
+        let points: Vec<Point3> = (0..300)
+            .map(|i| Point3::new((i % 25) as f32 * 0.3, (i / 25) as f32 * 0.3, 0.0))
+            .collect();
+        let bvh = LbvhBuilder::default()
+            .build(spheres_from_points(&points, 0.5))
+            .unwrap();
+        let program = FindAny {
+            points: &points,
+            radius: 0.5,
+        };
+        let cfg = PipelineConfig {
+            traversal: TraversalEngine::WideBatched,
+            batch_size: 64,
+            min_parallel_launch: 0,
+            ..PipelineConfig::default()
+        };
+        let pipeline = Pipeline::with_config(&bvh, cfg);
+        let par = pipeline.launch(points.len(), &program);
+        let seq = pipeline.launch_sequential(points.len(), &program);
+        assert_eq!(par.payloads, seq.payloads);
+        assert_eq!(par.counters, seq.counters);
+        // 300 rays in packets of 64 → 5 batched launches.
+        assert_eq!(par.counters.batched_launches, 5);
+    }
+
+    #[test]
+    fn wide_batched_miss_program_runs_per_query() {
+        let points = vec![Point3::ORIGIN, Point3::new(0.2, 0.0, 0.0)];
+        let bvh = LbvhBuilder::default()
+            .build(spheres_from_points(&points, 0.5))
+            .unwrap();
+        struct MissOrHit;
+        impl RayProgram for MissOrHit {
+            type Payload = i32;
+            fn ray_gen(&self, launch_index: usize) -> (Ray, i32) {
+                // Even indices query inside the scene, odd ones far away.
+                let origin = if launch_index.is_multiple_of(2) {
+                    Point3::ORIGIN
+                } else {
+                    Point3::new(900.0, 900.0, 0.0)
+                };
+                (Ray::epsilon_ray(origin), 0)
+            }
+            fn intersection(
+                &self,
+                _launch_index: usize,
+                _sphere: &Sphere,
+                _ray: &Ray,
+                payload: &mut i32,
+                _counters: &mut WorkCounters,
+            ) -> ProgramFlow {
+                *payload = 1;
+                ProgramFlow::Continue
+            }
+            fn miss(&self, _launch_index: usize, payload: &mut i32) {
+                *payload = -1;
+            }
+        }
+        let cfg = PipelineConfig {
+            traversal: TraversalEngine::WideBatched,
+            batch_size: 3,
+            ..PipelineConfig::default()
+        };
+        let result = Pipeline::with_config(&bvh, cfg).launch_sequential(6, &MissOrHit);
+        assert_eq!(result.payloads, vec![1, -1, 1, -1, 1, -1]);
     }
 
     #[test]

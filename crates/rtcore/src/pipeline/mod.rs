@@ -16,7 +16,7 @@
 mod launch;
 mod program;
 
-pub use launch::{LaunchResult, Pipeline, PipelineConfig};
+pub use launch::{LaunchResult, Pipeline, PipelineConfig, TraversalEngine};
 pub use program::{GeometryKind, ProgramFlow, RayProgram};
 
 #[cfg(test)]

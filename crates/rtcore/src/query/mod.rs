@@ -187,7 +187,9 @@ mod tests {
         let mut out: Vec<u32> = points
             .iter()
             .enumerate()
-            .filter(|&(i, p)| Some(i as u32) != exclude && q.distance(*p) <= radius)
+            .filter(|&(i, p)| {
+                Some(i as u32) != exclude && q.distance_squared(*p) <= radius * radius
+            })
             .map(|(i, _)| i as u32)
             .collect();
         out.sort_unstable();

@@ -1,0 +1,452 @@
+//! Batched traversal over wide (BVH4) scenes.
+//!
+//! Two engines are provided on top of [`WideBvh`]:
+//!
+//! * [`traverse_wide`] — one ray, wide nodes: each visit tests the ray
+//!   against all four packed child boxes (one
+//!   [`WorkCounters::wide_node_visits`] instead of the several binary
+//!   `node_visits` the collapsed levels used to cost).
+//! * [`traverse_batch`] — a *ray packet*: a slice of queries walks the tree
+//!   together in wavefront order.  Each wide node the packet reaches is
+//!   fetched **once** and tested against every query still interested in it,
+//!   so the per-node charge is amortised across the packet — the software
+//!   analogue of the many-rays-in-flight scheduling real RT cores perform.
+//!   Per-query hit callbacks and early termination behave exactly as in the
+//!   single-ray engine: a query that terminates stops receiving callbacks
+//!   while the rest of the packet continues.
+//!
+//! Both engines report the same hits as the binary
+//! [`crate::traversal::traverse`] over the source tree (the collapse shares
+//! the primitive array, so even hit grouping per leaf is identical); only
+//! the node-visit accounting differs.  The equivalence is property-tested
+//! here and again end-to-end in the workspace integration suite.
+
+use crate::bvh::wide::{WideBvh, WideChild, WIDE_BRANCHING};
+use crate::geometry::{Ray, Sphere};
+use crate::hardware::WorkCounters;
+use crate::traversal::{Traversal, TraversalOutcome};
+
+/// 4-bit hit mask of `ray` against a wide node's child slots.
+///
+/// Point queries — the neighbour-search reduction's only ray shape — go
+/// through [`WideNode::point_hit_mask`], the lockstep SoA lane compare;
+/// general rays fall back to four scalar slab tests.  Empty slots hold
+/// inverted boxes and can never set their bit on either path.
+#[inline]
+fn slot_hit_mask(node: &crate::bvh::WideNode, ray: &Ray) -> u8 {
+    if ray.is_point_query() {
+        return node.point_hit_mask(ray.origin);
+    }
+    let mut mask = 0u8;
+    for slot in 0..WIDE_BRANCHING {
+        if node.child_bounds(slot).intersects_ray(ray) {
+            mask |= 1 << slot;
+        }
+    }
+    mask
+}
+
+/// Number of non-empty child slots — the lanes the lockstep box unit
+/// charges for.
+#[inline]
+fn occupied_slots(node: &crate::bvh::WideNode) -> u64 {
+    node.children
+        .iter()
+        .filter(|c| **c != WideChild::Empty)
+        .count() as u64
+}
+
+/// Traverse a wide scene with a single ray, invoking `on_primitive` for
+/// every primitive in every leaf slot whose box the ray reaches.
+///
+/// Work is recorded as `wide_node_visits` (one per wide node) plus one
+/// `aabb_tests` per occupied child slot — the four boxes are tested in one
+/// lockstep lane compare ([`WideNode::point_hit_mask`]), but each occupied
+/// lane is still a box test as far as the cost model is concerned.
+pub fn traverse_wide<F>(
+    wide: &WideBvh,
+    ray: &Ray,
+    counters: &mut WorkCounters,
+    mut on_primitive: F,
+) -> TraversalOutcome
+where
+    F: FnMut(&Sphere, &mut WorkCounters) -> Traversal,
+{
+    let mut outcome = TraversalOutcome {
+        terminated_early: false,
+        primitives_visited: 0,
+    };
+    if wide.nodes.is_empty() {
+        return outcome;
+    }
+    // Root test against the scene bounds, mirroring the binary engine.
+    counters.aabb_tests += 1;
+    if !wide.scene_bounds.intersects_ray(ray) {
+        return outcome;
+    }
+
+    let mut stack: Vec<u32> = Vec::with_capacity(32);
+    stack.push(0);
+    'outer: while let Some(idx) = stack.pop() {
+        let node = &wide.nodes[idx as usize];
+        counters.wide_node_visits += 1;
+        counters.aabb_tests += occupied_slots(node);
+        let mask = slot_hit_mask(node, ray);
+        for slot in 0..WIDE_BRANCHING {
+            if mask & (1 << slot) == 0 {
+                continue;
+            }
+            match node.children[slot] {
+                WideChild::Empty => {}
+                WideChild::Node(child) => {
+                    stack.push(child);
+                }
+                WideChild::Leaf {
+                    first_prim,
+                    prim_count,
+                } => {
+                    let first = first_prim as usize;
+                    let count = prim_count as usize;
+                    for prim in &wide.primitives[first..first + count] {
+                        counters.prim_tests += 1;
+                        outcome.primitives_visited += 1;
+                        if on_primitive(prim, counters) == Traversal::Terminate {
+                            outcome.terminated_early = true;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    outcome
+}
+
+/// Traverse a wide scene with a packet of rays in wavefront order.
+///
+/// All rays walk the tree together: every wide node reached by at least one
+/// live ray is fetched and visited **once** (`wide_node_visits += 1`), with
+/// each live ray lane-tested against the node's non-empty child slots
+/// (`aabb_tests` per ray × slot).  `on_primitive` receives the packet-local
+/// query index alongside the primitive; returning [`Traversal::Terminate`]
+/// retires that query only — the rest of the packet continues.
+///
+/// One call is one batched launch (`batched_launches += 1`).  Returns a
+/// per-query [`TraversalOutcome`] in packet order.
+pub fn traverse_batch<F>(
+    wide: &WideBvh,
+    rays: &[Ray],
+    counters: &mut WorkCounters,
+    mut on_primitive: F,
+) -> Vec<TraversalOutcome>
+where
+    F: FnMut(usize, &Sphere, &mut WorkCounters) -> Traversal,
+{
+    let mut outcomes = vec![
+        TraversalOutcome {
+            terminated_early: false,
+            primitives_visited: 0,
+        };
+        rays.len()
+    ];
+    if rays.is_empty() {
+        return outcomes;
+    }
+    counters.batched_launches += 1;
+    if wide.nodes.is_empty() {
+        return outcomes;
+    }
+
+    // Root scene-bounds test retires rays that miss the scene entirely.
+    let mut root_queries: Vec<u32> = Vec::with_capacity(rays.len());
+    for (q, ray) in rays.iter().enumerate() {
+        counters.aabb_tests += 1;
+        if wide.scene_bounds.intersects_ray(ray) {
+            root_queries.push(q as u32);
+        }
+    }
+    if root_queries.is_empty() {
+        return outcomes;
+    }
+
+    let mut alive = vec![true; rays.len()];
+    // Wavefront worklist: (wide node, queries that reached it).
+    let mut work: Vec<(u32, Vec<u32>)> = vec![(0, root_queries)];
+    // Scratch reused across node visits: (query, its slot hit mask).
+    let mut hits: Vec<(u32, u8)> = Vec::new();
+    let mut slot_queries: Vec<u32> = Vec::new();
+
+    while let Some((idx, queries)) = work.pop() {
+        let node = &wide.nodes[idx as usize];
+        // Lockstep lane compare of every live query against all four child
+        // boxes at once; queries that terminated while this entry sat on
+        // the stack drop out here.
+        hits.clear();
+        for &q in &queries {
+            if alive[q as usize] {
+                hits.push((q, slot_hit_mask(node, &rays[q as usize])));
+            }
+        }
+        if hits.is_empty() {
+            continue;
+        }
+        counters.wide_node_visits += 1;
+        counters.aabb_tests += occupied_slots(node) * hits.len() as u64;
+        for slot in 0..WIDE_BRANCHING {
+            slot_queries.clear();
+            for &(q, mask) in &hits {
+                if mask & (1 << slot) != 0 && alive[q as usize] {
+                    slot_queries.push(q);
+                }
+            }
+            if slot_queries.is_empty() {
+                continue;
+            }
+            match node.children[slot] {
+                WideChild::Empty => {
+                    unreachable!("empty slots hold inverted boxes and never match")
+                }
+                WideChild::Node(child) => {
+                    work.push((child, slot_queries.clone()));
+                }
+                WideChild::Leaf {
+                    first_prim,
+                    prim_count,
+                } => {
+                    let first = first_prim as usize;
+                    let count = prim_count as usize;
+                    for &q in &slot_queries {
+                        let qi = q as usize;
+                        for prim in &wide.primitives[first..first + count] {
+                            counters.prim_tests += 1;
+                            outcomes[qi].primitives_visited += 1;
+                            if on_primitive(qi, prim, counters) == Traversal::Terminate {
+                                outcomes[qi].terminated_early = true;
+                                alive[qi] = false;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    outcomes
+}
+
+/// Convenience batched query mirroring
+/// [`crate::traversal::collect_sphere_hits`]: for each ray, the
+/// `point_index` of every sphere it actually hits (exact sphere test),
+/// excluding the matching entry of `exclude` (per-query self-intersection
+/// filter; pass an empty slice for no exclusions).
+pub fn collect_sphere_hits_batch(
+    wide: &WideBvh,
+    rays: &[Ray],
+    exclude: &[Option<u32>],
+    counters: &mut WorkCounters,
+) -> Vec<Vec<u32>> {
+    let mut hits: Vec<Vec<u32>> = vec![Vec::new(); rays.len()];
+    traverse_batch(wide, rays, counters, |q, sphere, counters| {
+        counters.dist_comps += 1;
+        if sphere.intersects_ray(&rays[q])
+            && exclude.get(q).copied().flatten() != Some(sphere.point_index)
+        {
+            hits[q].push(sphere.point_index);
+        }
+        Traversal::Continue
+    });
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bvh::{
+        spheres_from_points, BvhBuilder, LbvhBuilder, MedianSplitBuilder, SahBuilder, WideBvh,
+    };
+    use crate::geometry::Point3;
+    use crate::traversal::collect_sphere_hits;
+
+    fn scatter(n: usize) -> Vec<Point3> {
+        (0..n)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                Point3::new(
+                    ((h >> 8) & 0xFF) as f32 * 0.11,
+                    ((h >> 24) & 0xFF) as f32 * 0.11,
+                    ((h >> 40) & 0x3) as f32 * 0.11,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn wide_single_ray_matches_binary_for_every_builder() {
+        let points = scatter(400);
+        let radius = 0.9;
+        let builders: Vec<Box<dyn BvhBuilder>> = vec![
+            Box::new(LbvhBuilder::default()),
+            Box::new(SahBuilder::default()),
+            Box::new(MedianSplitBuilder::default()),
+        ];
+        for builder in builders {
+            let bvh = builder.build(spheres_from_points(&points, radius)).unwrap();
+            let wide = WideBvh::from_binary(&bvh);
+            for q in [0usize, 13, 200, 399] {
+                let ray = Ray::epsilon_ray(points[q]);
+                let mut bc = WorkCounters::ZERO;
+                let mut binary = collect_sphere_hits(&bvh, &ray, Some(q as u32), &mut bc);
+                binary.sort_unstable();
+                let mut wc = WorkCounters::ZERO;
+                let mut wide_hits = Vec::new();
+                traverse_wide(&wide, &ray, &mut wc, |sphere, counters| {
+                    counters.dist_comps += 1;
+                    if sphere.intersects_ray(&ray) && sphere.point_index != q as u32 {
+                        wide_hits.push(sphere.point_index);
+                    }
+                    Traversal::Continue
+                });
+                wide_hits.sort_unstable();
+                assert_eq!(wide_hits, binary, "builder {:?} query {q}", builder.kind());
+                assert!(wc.wide_node_visits > 0);
+                assert_eq!(wc.node_visits, 0);
+                // Collapsing levels must not increase node visits.
+                assert!(wc.wide_node_visits <= bc.node_visits);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_per_ray_hits_and_amortises_node_visits() {
+        let points = scatter(600);
+        let radius = 1.1;
+        let bvh = LbvhBuilder::default()
+            .build(spheres_from_points(&points, radius))
+            .unwrap();
+        let wide = WideBvh::from_binary(&bvh);
+        let rays: Vec<Ray> = points.iter().map(|&p| Ray::epsilon_ray(p)).collect();
+        let exclude: Vec<Option<u32>> = (0..points.len()).map(|i| Some(i as u32)).collect();
+
+        let mut batch_counters = WorkCounters::ZERO;
+        let batch_hits = collect_sphere_hits_batch(&wide, &rays, &exclude, &mut batch_counters);
+        assert_eq!(batch_counters.batched_launches, 1);
+
+        let mut single_counters = WorkCounters::ZERO;
+        let mut single_wide_visits = 0u64;
+        for (i, ray) in rays.iter().enumerate() {
+            let mut c = WorkCounters::ZERO;
+            let mut expected = collect_sphere_hits(&bvh, ray, Some(i as u32), &mut single_counters);
+            expected.sort_unstable();
+            let mut got = batch_hits[i].clone();
+            got.sort_unstable();
+            assert_eq!(got, expected, "query {i}");
+            traverse_wide(&wide, ray, &mut c, |_, _| Traversal::Continue);
+            single_wide_visits += c.wide_node_visits;
+        }
+        // The packet shares node fetches: strictly fewer wide visits than
+        // running the same queries one at a time, and far fewer than the
+        // binary engine's node visits.
+        assert!(
+            batch_counters.wide_node_visits < single_wide_visits,
+            "batch {} vs singles {}",
+            batch_counters.wide_node_visits,
+            single_wide_visits
+        );
+        assert!(batch_counters.wide_node_visits < single_counters.node_visits);
+    }
+
+    #[test]
+    fn per_query_early_termination_is_isolated() {
+        // Dense scene: every query overlaps everything.
+        let points: Vec<Point3> = (0..64)
+            .map(|i| Point3::new(i as f32 * 0.01, 0.0, 0.0))
+            .collect();
+        let bvh = SahBuilder::default()
+            .build(spheres_from_points(&points, 50.0))
+            .unwrap();
+        let wide = WideBvh::from_binary(&bvh);
+        let rays: Vec<Ray> = points.iter().map(|&p| Ray::epsilon_ray(p)).collect();
+        let mut counters = WorkCounters::ZERO;
+        let mut seen = vec![0u32; rays.len()];
+        let outcomes = traverse_batch(&wide, &rays, &mut counters, |q, _, _| {
+            seen[q] += 1;
+            if q == 0 && seen[q] >= 3 {
+                Traversal::Terminate
+            } else {
+                Traversal::Continue
+            }
+        });
+        assert!(outcomes[0].terminated_early);
+        assert_eq!(outcomes[0].primitives_visited, 3);
+        for (q, outcome) in outcomes.iter().enumerate().skip(1) {
+            assert!(!outcome.terminated_early);
+            assert_eq!(outcome.primitives_visited, 64, "query {q}");
+        }
+    }
+
+    #[test]
+    fn empty_scene_and_empty_packet() {
+        let empty = WideBvh::from_binary(&crate::bvh::Bvh {
+            nodes: vec![],
+            primitives: vec![],
+            builder: crate::bvh::BuilderKind::Lbvh,
+            build_counters: WorkCounters::ZERO,
+        });
+        let mut counters = WorkCounters::ZERO;
+        let rays = vec![Ray::epsilon_ray(Point3::ORIGIN)];
+        let outcomes = traverse_batch(&empty, &rays, &mut counters, |_, _, _| Traversal::Continue);
+        assert_eq!(outcomes[0].primitives_visited, 0);
+        assert_eq!(counters.batched_launches, 1);
+        assert_eq!(counters.wide_node_visits, 0);
+
+        let points = vec![Point3::ORIGIN];
+        let bvh = LbvhBuilder::default()
+            .build(spheres_from_points(&points, 1.0))
+            .unwrap();
+        let wide = WideBvh::from_binary(&bvh);
+        let mut counters = WorkCounters::ZERO;
+        let outcomes = traverse_batch(&wide, &[], &mut counters, |_, _, _| Traversal::Continue);
+        assert!(outcomes.is_empty());
+        assert_eq!(counters, WorkCounters::ZERO);
+    }
+
+    #[test]
+    fn rays_outside_the_scene_are_retired_at_the_root() {
+        let points = scatter(100);
+        let bvh = LbvhBuilder::default()
+            .build(spheres_from_points(&points, 0.5))
+            .unwrap();
+        let wide = WideBvh::from_binary(&bvh);
+        let rays = vec![
+            Ray::epsilon_ray(Point3::new(1e6, 1e6, 0.0)),
+            Ray::epsilon_ray(Point3::new(-1e6, 0.0, 0.0)),
+        ];
+        let mut counters = WorkCounters::ZERO;
+        let hits = collect_sphere_hits_batch(&wide, &rays, &[], &mut counters);
+        assert!(hits.iter().all(Vec::is_empty));
+        assert_eq!(counters.wide_node_visits, 0);
+        assert_eq!(counters.aabb_tests, 2);
+    }
+
+    #[test]
+    fn duplicate_points_batch_equivalence() {
+        let mut points: Vec<Point3> = (0..40).map(|_| Point3::new(2.0, 2.0, 0.0)).collect();
+        points.extend((0..40).map(|i| Point3::new(10.0 + i as f32 * 0.3, 0.0, 0.0)));
+        let bvh = LbvhBuilder::default()
+            .build(spheres_from_points(&points, 0.6))
+            .unwrap();
+        let wide = WideBvh::from_binary(&bvh);
+        let rays: Vec<Ray> = points.iter().map(|&p| Ray::epsilon_ray(p)).collect();
+        let exclude: Vec<Option<u32>> = (0..points.len()).map(|i| Some(i as u32)).collect();
+        let mut counters = WorkCounters::ZERO;
+        let batch = collect_sphere_hits_batch(&wide, &rays, &exclude, &mut counters);
+        for (i, ray) in rays.iter().enumerate() {
+            let mut c = WorkCounters::ZERO;
+            let mut expected = collect_sphere_hits(&bvh, ray, Some(i as u32), &mut c);
+            expected.sort_unstable();
+            let mut got = batch[i].clone();
+            got.sort_unstable();
+            assert_eq!(got, expected, "query {i}");
+        }
+    }
+}

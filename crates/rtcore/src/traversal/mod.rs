@@ -10,6 +10,15 @@
 //! Every step of the traversal is recorded in a [`WorkCounters`] so the
 //! device cost model can charge it to either the RT-core or the shader-core
 //! execution path.
+//!
+//! This module walks the *binary* tree one ray at a time and serves as the
+//! correctness oracle; the [`batch`] submodule provides the wide (BVH4)
+//! single-ray and ray-packet engines that the RT device path uses by
+//! default.
+
+pub mod batch;
+
+pub use batch::{collect_sphere_hits_batch, traverse_batch, traverse_wide};
 
 use crate::bvh::{Bvh, NodeKind};
 use crate::geometry::{Ray, Sphere};
@@ -139,7 +148,7 @@ mod tests {
         let mut out: Vec<u32> = points
             .iter()
             .enumerate()
-            .filter(|&(i, p)| i != q && points[q].distance(*p) <= radius)
+            .filter(|&(i, p)| i != q && points[q].distance_squared(*p) <= radius * radius)
             .map(|(i, _)| i as u32)
             .collect();
         out.sort_unstable();

@@ -32,10 +32,11 @@
 //! [`snapshot`]: StreamingClusterer::snapshot
 
 use crate::window::{StreamingConfig, WindowPolicy};
-use rtcore::bvh::{refit, Bvh, BvhBuilder, LbvhBuilder, TreeHealth};
+use rtcore::bvh::{refit, Bvh, BvhBuilder, LbvhBuilder, TreeHealth, WideBvh};
 use rtcore::geometry::{Point3, Ray, Sphere};
 use rtcore::hardware::WorkCounters;
-use rtcore::traversal::{traverse, Traversal};
+use rtcore::pipeline::TraversalEngine;
+use rtcore::traversal::{traverse, traverse_batch, Traversal};
 use rtcore::Result;
 use rtdbscan::disjoint_set::EpochDisjointSet;
 use rtdbscan::labels::{Clustering, NOISE};
@@ -158,6 +159,10 @@ pub struct StreamingClusterer {
     /// (re)build or when the window empties.
     scene: Option<Bvh>,
     health_at_build: Option<TreeHealth>,
+    /// Lazily collapsed wide (BVH4) form of `scene`, used by the batched
+    /// snapshot repair pass; invalidated whenever `scene` changes shape
+    /// (refit or rebuild).
+    wide_scene: Option<WideBvh>,
     /// Retired primitives still physically inside `scene` (hit lists filter
     /// them; a refit flushes them).
     dead_in_scene: usize,
@@ -202,6 +207,7 @@ impl StreamingClusterer {
             now: f64::NEG_INFINITY,
             scene: None,
             health_at_build: None,
+            wide_scene: None,
             dead_in_scene: 0,
             deltas: Vec::new(),
             pending: Vec::new(),
@@ -263,8 +269,10 @@ impl StreamingClusterer {
     /// Estimated device-memory footprint of the streaming state in bytes.
     pub fn device_bytes(&self) -> u64 {
         let scene = self.scene.as_ref().map_or(0, Bvh::device_bytes);
+        let wide = self.wide_scene.as_ref().map_or(0, WideBvh::device_bytes);
         let deltas: u64 = self.deltas.iter().map(Bvh::device_bytes).sum();
         scene
+            + wide
             + deltas
             + (self.slots.len() * std::mem::size_of::<Slot>()) as u64
             + (self.pending.len() * std::mem::size_of::<u32>()) as u64
@@ -326,7 +334,9 @@ impl StreamingClusterer {
                 // `>=` : eviction runs pre-insert, so reaching the budget
                 // means the insert about to happen would exceed it.
                 WindowPolicy::Count(max) => self.live.len() >= max,
-                WindowPolicy::Time(horizon) => now - self.slots[oldest as usize].time > horizon,
+                // `>=` : a point whose age equals the horizon exactly is
+                // already out of the window (see `WindowPolicy::Time`).
+                WindowPolicy::Time(horizon) => now - self.slots[oldest as usize].time >= horizon,
             };
             if !must_evict {
                 break;
@@ -532,6 +542,7 @@ impl StreamingClusterer {
                     |slot| !slots[slot as usize].alive,
                     &mut self.build_counters,
                 );
+                self.wide_scene = None; // scene changed shape
                 self.dead_in_scene = 0;
                 self.free.append(&mut self.retiring_scene);
                 self.stats.refits += 1;
@@ -615,6 +626,7 @@ impl StreamingClusterer {
         }
         self.pending.clear();
         self.deltas.clear();
+        self.wide_scene = None; // collapsed form follows the scene
         self.dead_in_scene = 0;
         self.free.append(&mut self.retiring_scene);
         self.free.append(&mut self.retiring_delta);
@@ -637,6 +649,24 @@ impl StreamingClusterer {
     // Queries
     // ------------------------------------------------------------------
 
+    /// The one neighbour rule every query arm shares: `candidate` counts as
+    /// a live ε-neighbour of the query at `origin` iff it is not the query
+    /// itself, its centre lies in the closed ε-ball (squared-f32
+    /// convention), and its slot is still alive.
+    #[inline]
+    fn is_live_neighbor(
+        slots: &[Slot],
+        exclude: u32,
+        eps_sq: f32,
+        candidate: u32,
+        center: Point3,
+        origin: Point3,
+    ) -> bool {
+        candidate != exclude
+            && center.distance_squared(origin) <= eps_sq
+            && slots[candidate as usize].alive
+    }
+
     /// Exact live ε-neighbourhood of `point` (slot ids, `exclude` and
     /// retired slots filtered out): one counted traversal of the indexed
     /// scene plus an exact scan of the pending overlay.
@@ -650,10 +680,14 @@ impl StreamingClusterer {
         for tree in self.scene.iter().chain(self.deltas.iter()) {
             traverse(tree, &ray, &mut counters, |sphere, counters| {
                 counters.dist_comps += 1;
-                if sphere.point_index != exclude
-                    && sphere.center.distance_squared(point) <= eps_sq
-                    && slots[sphere.point_index as usize].alive
-                {
+                if Self::is_live_neighbor(
+                    slots,
+                    exclude,
+                    eps_sq,
+                    sphere.point_index,
+                    sphere.center,
+                    point,
+                ) {
                     out.push(sphere.point_index);
                 }
                 Traversal::Continue
@@ -661,9 +695,8 @@ impl StreamingClusterer {
         }
         for &slot in &self.pending {
             counters.dist_comps += 1;
-            if slot != exclude
-                && self.slots[slot as usize].point.distance_squared(point) <= self.eps_sq
-            {
+            let center = slots[slot as usize].point;
+            if Self::is_live_neighbor(slots, exclude, eps_sq, slot, center, point) {
                 out.push(slot);
             }
         }
@@ -713,39 +746,160 @@ impl StreamingClusterer {
         Clustering::new(labels, core_flags)
     }
 
+    /// Rays per packet for the batched snapshot repair (bounds the size of
+    /// the per-packet query lists the wavefront traversal keeps live).
+    const SNAPSHOT_PACKET: usize = 512;
+
     /// The dirty-path repair: stage 2 re-run over the maintained core
     /// flags.
+    ///
+    /// The main indexed scene is walked by *all* core-point queries at once
+    /// through the wide batched engine (collapsing it lazily, once per
+    /// scene shape); the small delta BVHs and the pending tail are handled
+    /// per query, exactly as the incremental path does.
     fn reform_partition(&mut self) {
         self.dsu.reset();
-        let live: Vec<u32> = self.live.iter().copied().collect();
-        let mut hits = std::mem::take(&mut self.hits_scratch);
-        for &slot in &live {
-            if !self.slots[slot as usize].core {
-                continue;
-            }
-            self.neighbors_of(
-                self.slots[slot as usize].point,
-                slot,
-                &mut hits,
-                Phase::Stage2,
-            );
-            for &q in &hits {
-                if self.slots[q as usize].core {
-                    self.dsu.union(slot as usize, q as usize);
-                } else {
-                    let (qp, qh) = {
-                        let sq = &self.slots[q as usize];
-                        (sq.point, sq.hint)
-                    };
-                    if !self.hint_valid(qp, qh) {
-                        self.slots[q as usize].hint = Some(slot);
+        let cores: Vec<u32> = self
+            .live
+            .iter()
+            .copied()
+            .filter(|&slot| self.slots[slot as usize].core)
+            .collect();
+        self.ensure_wide_scene();
+        // One packet at a time: neighbourhood lists for at most
+        // `SNAPSHOT_PACKET` core points are materialised at once, then
+        // consumed, keeping the repair's memory bounded regardless of
+        // window size.
+        let mut lists: Vec<Vec<u32>> = Vec::new();
+        for start in (0..cores.len()).step_by(Self::SNAPSHOT_PACKET) {
+            let chunk = &cores[start..(start + Self::SNAPSHOT_PACKET).min(cores.len())];
+            self.chunk_neighborhoods(chunk, &mut lists);
+            for (k, &slot) in chunk.iter().enumerate() {
+                for &q in &lists[k] {
+                    if self.slots[q as usize].core {
+                        self.dsu.union(slot as usize, q as usize);
+                    } else {
+                        let (qp, qh) = {
+                            let sq = &self.slots[q as usize];
+                            (sq.point, sq.hint)
+                        };
+                        if !self.hint_valid(qp, qh) {
+                            self.slots[q as usize].hint = Some(slot);
+                        }
                     }
                 }
             }
         }
-        self.hits_scratch = hits;
         self.drain_dsu_ops();
         self.dirty = false;
+    }
+
+    /// Collapse the main scene into the wide format if the batched snapshot
+    /// engine is configured and no valid collapse is cached.  The collapse
+    /// is device-build work.
+    fn ensure_wide_scene(&mut self) {
+        if self.config.snapshot_traversal == TraversalEngine::WideBatched
+            && self.wide_scene.is_none()
+        {
+            if let Some(scene) = &self.scene {
+                let wide = WideBvh::from_binary(scene);
+                self.build_counters += wide.collapse_counters;
+                self.wide_scene = Some(wide);
+            }
+        }
+    }
+
+    /// Exact live ε-neighbourhoods of one packet of slots (self excluded),
+    /// written into `lists` (index-aligned with `chunk`, scratch reused
+    /// across calls): the main scene answers the whole packet in one
+    /// batched wide launch when so configured, deltas and the pending tail
+    /// are scanned per query.  Work is charged to stage 2.
+    fn chunk_neighborhoods(&mut self, chunk: &[u32], lists: &mut Vec<Vec<u32>>) {
+        for list in lists.iter_mut() {
+            list.clear();
+        }
+        lists.resize(chunk.len().max(lists.len()), Vec::new());
+        if chunk.is_empty() {
+            return;
+        }
+
+        let mut counters = WorkCounters::ZERO;
+        counters.rays += chunk.len() as u64;
+        let eps_sq = self.eps_sq;
+        let slots = &self.slots;
+        let rays: Vec<Ray> = chunk
+            .iter()
+            .map(|&slot| Ray::epsilon_ray(slots[slot as usize].point))
+            .collect();
+
+        // Main indexed scene.
+        match (&self.wide_scene, &self.scene) {
+            (Some(wide), _) if self.config.snapshot_traversal == TraversalEngine::WideBatched => {
+                traverse_batch(wide, &rays, &mut counters, |q, sphere, counters| {
+                    counters.dist_comps += 1;
+                    if Self::is_live_neighbor(
+                        slots,
+                        chunk[q],
+                        eps_sq,
+                        sphere.point_index,
+                        sphere.center,
+                        rays[q].origin,
+                    ) {
+                        lists[q].push(sphere.point_index);
+                    }
+                    Traversal::Continue
+                });
+            }
+            (_, Some(scene)) => {
+                for (k, ray) in rays.iter().enumerate() {
+                    traverse(scene, ray, &mut counters, |sphere, counters| {
+                        counters.dist_comps += 1;
+                        if Self::is_live_neighbor(
+                            slots,
+                            chunk[k],
+                            eps_sq,
+                            sphere.point_index,
+                            sphere.center,
+                            ray.origin,
+                        ) {
+                            lists[k].push(sphere.point_index);
+                        }
+                        Traversal::Continue
+                    });
+                }
+            }
+            _ => {}
+        }
+
+        // Delta overlays and the unindexed tail, per query.
+        for tree in &self.deltas {
+            for (k, ray) in rays.iter().enumerate() {
+                traverse(tree, ray, &mut counters, |sphere, counters| {
+                    counters.dist_comps += 1;
+                    if Self::is_live_neighbor(
+                        slots,
+                        chunk[k],
+                        eps_sq,
+                        sphere.point_index,
+                        sphere.center,
+                        ray.origin,
+                    ) {
+                        lists[k].push(sphere.point_index);
+                    }
+                    Traversal::Continue
+                });
+            }
+        }
+        for &p in &self.pending {
+            for (k, ray) in rays.iter().enumerate() {
+                counters.dist_comps += 1;
+                let center = slots[p as usize].point;
+                if Self::is_live_neighbor(slots, chunk[k], eps_sq, p, center, ray.origin) {
+                    lists[k].push(p);
+                }
+            }
+        }
+        self.stage2_counters += counters;
     }
 }
 
@@ -860,6 +1014,75 @@ mod tests {
         let points = c.window_points();
         assert!(points.iter().all(|p| p.x >= 40.0));
         assert_matches_classic(&mut c);
+    }
+
+    #[test]
+    fn time_window_boundary_age_equal_to_horizon_is_evicted() {
+        // Horizon 10: a point aged exactly 10 must be out, one aged just
+        // under must stay, in the same ingest call.
+        let mut c = StreamingClusterer::new(config(1.0, 2, WindowPolicy::Time(10.0))).unwrap();
+        c.ingest(&[
+            (Point3::new_2d(0.0, 0.0), 0.0), // age 10 at t=10 → evicted
+            (Point3::new_2d(1.0, 0.0), 0.5), // age 9.5 at t=10 → kept
+            (Point3::new_2d(2.0, 0.0), 5.0), // age 5 at t=10 → kept
+        ])
+        .unwrap();
+        assert_eq!(c.len(), 3);
+        c.ingest(&[(Point3::new_2d(3.0, 0.0), 10.0)]).unwrap();
+        assert_eq!(c.len(), 3, "exact-boundary point must be evicted");
+        let xs: Vec<f32> = c.window_points().iter().map(|p| p.x).collect();
+        assert_eq!(xs, vec![1.0, 2.0, 3.0]);
+        assert_matches_classic(&mut c);
+
+        // The convention must hold when several points share the boundary
+        // timestamp exactly.
+        let mut c = StreamingClusterer::new(config(1.0, 2, WindowPolicy::Time(10.0))).unwrap();
+        c.ingest(&[
+            (Point3::new_2d(0.0, 0.0), 0.0),
+            (Point3::new_2d(0.5, 0.0), 0.0),
+            (Point3::new_2d(9.0, 0.0), 10.0),
+        ])
+        .unwrap();
+        assert_eq!(c.len(), 1, "both boundary-aged points leave together");
+        assert_matches_classic(&mut c);
+    }
+
+    #[test]
+    fn wide_and_binary_snapshot_paths_agree() {
+        let params = DbscanParams::new(1.0, 2).unwrap();
+        let make = |engine| {
+            let mut cfg = StreamingConfig::new(params, WindowPolicy::Count(60));
+            cfg.snapshot_traversal = engine;
+            StreamingClusterer::new(cfg).unwrap()
+        };
+        let mut wide = make(rtcore::pipeline::TraversalEngine::WideBatched);
+        let mut binary = make(rtcore::pipeline::TraversalEngine::Binary);
+        for wave in 0..8 {
+            let pts: Vec<Point3> = (0..20)
+                .map(|i| {
+                    Point3::new_2d(
+                        wave as f32 * 2.0 + (i % 5) as f32 * 0.45,
+                        (i / 5) as f32 * 0.45,
+                    )
+                })
+                .collect();
+            let batch = timestamped(&pts, wave as f64 * 50.0);
+            wide.ingest(&batch).unwrap();
+            binary.ingest(&batch).unwrap();
+            let a = wide.snapshot();
+            let b = binary.snapshot();
+            assert_eq!(a.core, b.core, "wave {wave}");
+            assert_eq!(a.canonicalize(), b.canonicalize(), "wave {wave}");
+            assert_matches_classic(&mut wide);
+        }
+        // Slides retired core points, so the wide repair path really ran …
+        assert!(wide.stats().dirty_snapshots > 0);
+        let (_, _, stage2) = wide.phase_counters();
+        assert!(stage2.wide_node_visits > 0, "batched repair engaged");
+        assert!(stage2.batched_launches > 0);
+        // … and the binary oracle never touched wide nodes.
+        let (_, _, stage2_bin) = binary.phase_counters();
+        assert_eq!(stage2_bin.wide_node_visits, 0);
     }
 
     #[test]

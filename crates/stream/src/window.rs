@@ -1,6 +1,7 @@
 //! Window and update-policy configuration for the streaming clusterer.
 
 use rtcore::bvh::RefitPolicy;
+use rtcore::pipeline::TraversalEngine;
 use rtdbscan::DbscanParams;
 
 /// Which points are "live": the sliding-window retention policy.
@@ -9,8 +10,13 @@ pub enum WindowPolicy {
     /// Keep at most this many points; ingesting beyond the budget evicts
     /// the oldest.
     Count(usize),
-    /// Keep points whose age (relative to the newest ingested timestamp)
-    /// is at most this horizon, in seconds.
+    /// Keep points whose age (relative to the newest ingested timestamp) is
+    /// strictly less than this horizon, in seconds.  The boundary is
+    /// exclusive on the old side — a point whose age *equals* the horizon is
+    /// evicted (`age >= horizon` ⇒ out), the same closed/open split the
+    /// ε-ball uses at exactly `eps` being *in*; one convention, applied
+    /// everywhere, keeps snapshot-equivalence checks stable when timestamps
+    /// land exactly on the boundary.
     Time(f64),
 }
 
@@ -44,6 +50,13 @@ pub struct StreamingConfig {
     /// once the dead fraction of the indexed primitives exceeds this;
     /// below it, retired primitives are only filtered out of hit lists.
     pub refit_dead_fraction: f32,
+    /// Traversal substrate for the snapshot repair pass over the main
+    /// indexed scene.  [`TraversalEngine::WideBatched`] (the default)
+    /// collapses the main BVH into the wide format once per (re)build and
+    /// walks all core-point queries through it as ray packets; the binary
+    /// engine remains selectable as the oracle.  Delta BVHs are small and
+    /// short-lived and always traverse binary.
+    pub snapshot_traversal: TraversalEngine,
 }
 
 impl StreamingConfig {
@@ -56,6 +69,7 @@ impl StreamingConfig {
             refit_policy: RefitPolicy::default(),
             max_pending_fraction: 0.25,
             refit_dead_fraction: 0.03125,
+            snapshot_traversal: TraversalEngine::WideBatched,
         }
     }
 

@@ -77,8 +77,9 @@ fn main() {
         100.0 * simulated.clustering_fraction()
     );
     println!(
-        "work: {} rays, {} BVH node visits, {} intersection tests, {} distance computations",
+        "work: {} rays, {} wide + {} binary BVH node visits, {} intersection tests, {} distance computations",
         result.counters.total().rays,
+        result.counters.total().wide_node_visits,
         result.counters.total().node_visits,
         result.counters.total().prim_tests,
         result.counters.total().dist_comps

@@ -68,8 +68,12 @@ fn main() {
         stats.clean_snapshots, stats.dirty_snapshots
     );
     println!(
-        "counted work: {} rays, {} node visits, {} refit node ops, {} build prims",
-        counters.rays, counters.node_visits, counters.refit_node_ops, counters.build_prims
+        "counted work: {} rays, {} binary + {} wide node visits, {} refit node ops, {} build prims",
+        counters.rays,
+        counters.node_visits,
+        counters.wide_node_visits,
+        counters.refit_node_ops,
+        counters.build_prims
     );
     let device = rtcore::hardware::DeviceModel::default();
     println!(
