@@ -29,7 +29,10 @@ fn bench_launch_crossover(c: &mut Criterion) {
             } else {
                 format!("min_par_{threshold}")
             };
-            let algo = RtDbscan::with_min_parallel_launch(threshold);
+            let algo = RtDbscan {
+                min_parallel_launch: threshold,
+                ..RtDbscan::default()
+            };
             group.bench_with_input(BenchmarkId::from_parameter(label), &points, |b, pts| {
                 b.iter(|| black_box(algo.run(pts, params).unwrap().clustering.num_clusters()))
             });

@@ -1,5 +1,6 @@
 //! Wide (BVH4) batched traversal vs binary traversal on the fig-6 size
-//! sweep — the acceptance-criterion bench for the batched engine.
+//! sweep — the acceptance-criterion bench for the batched engine — plus the
+//! engine-façade guard for the `NeighborIndex` redesign.
 //!
 //! Before the wall-clock groups run, a counter report is printed for each
 //! size: rays / distance computations / primitive tests (which must match
@@ -10,9 +11,17 @@
 //! simulated node-visit charge than the binary engine; the process aborts
 //! with a panic otherwise, so regressions cannot print a plausible-looking
 //! table.
+//!
+//! The façade guard then (1) asserts that running RT-DBSCAN *through*
+//! `ClusterEngine` reproduces the direct call's ray / dist-comp / prim-test
+//! counters bit-for-bit — the abstraction adds zero per-query work on the
+//! hot path — and (2) drives all four `NeighborIndex` backends through the
+//! engine and asserts they report identical per-point neighbour counts.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rtcore::hardware::{CostProfile, WorkCounters};
+use rtcore::index::IndexKind;
+use rtdbscan::engine::{Algo, ClusterEngine};
 use rtdbscan::{DbscanAlgorithm, DbscanParams, RtDbscan};
 use rtdbscan_datasets::{generate, PaperDataset};
 use std::hint::black_box;
@@ -70,6 +79,56 @@ fn report_and_assert(n: usize, points: &[rtcore::geometry::Point3], params: Dbsc
     );
 }
 
+/// The redesign guard: the engine façade must cost nothing and every
+/// backend must answer every query identically.
+fn assert_facade_is_free(n: usize, points: &[rtcore::geometry::Point3], params: DbscanParams) {
+    // (1) Zero added hot-path work: direct call vs engine call, counter
+    // identity on the quantities the RT device charges per query.
+    let direct = RtDbscan::default().run(points, params).unwrap();
+    let engine = ClusterEngine::builder()
+        .algorithm(Algo::Rt)
+        .index(IndexKind::WideBatched)
+        .params(params)
+        .build()
+        .unwrap();
+    let via_engine = engine.run(points).unwrap();
+    let d = direct.counters.core_identification + direct.counters.cluster_formation;
+    let e = via_engine.counters.core_identification + via_engine.counters.cluster_formation;
+    assert_eq!(d.rays, e.rays, "n={n}: façade launched extra rays");
+    assert_eq!(d.dist_comps, e.dist_comps, "n={n}: façade added dist comps");
+    assert_eq!(d.prim_tests, e.prim_tests, "n={n}: façade added prim tests");
+    assert_eq!(
+        d.wide_node_visits, e.wide_node_visits,
+        "n={n}: façade changed traversal shape"
+    );
+    assert_eq!(direct.counters.build, via_engine.counters.build);
+    assert_eq!(direct.clustering.core, via_engine.clustering.core);
+
+    // (2) Backend identity: all four backends, driven through the engine's
+    // session mode, report identical per-point neighbour counts.
+    let mut reference: Option<Vec<u64>> = None;
+    for kind in IndexKind::ALL {
+        let session = ClusterEngine::builder()
+            .algorithm(Algo::Rt)
+            .index(kind)
+            .params(params)
+            .build()
+            .unwrap()
+            .session(points)
+            .unwrap();
+        let counts = session.neighbor_counts().to_vec();
+        match &reference {
+            None => reference = Some(counts),
+            Some(r) => assert_eq!(r, &counts, "n={n}: {kind:?} disagrees on neighbour counts"),
+        }
+    }
+    println!(
+        "n={n:>7}  façade counter-identical to direct calls; {} backends agree on all {} neighbour counts",
+        IndexKind::ALL.len(),
+        points.len()
+    );
+}
+
 fn bench_wide_vs_binary(c: &mut Criterion) {
     let params = DbscanParams::new(0.4, 10).unwrap();
 
@@ -78,6 +137,13 @@ fn bench_wide_vs_binary(c: &mut Criterion) {
     for n in [15_000usize, 60_000, 120_000] {
         let points = generate(PaperDataset::PortoTaxi, n, 42);
         report_and_assert(n, &points, params);
+    }
+
+    // Façade guard at a size where the brute-force oracle is still fast.
+    {
+        let n = 15_000usize;
+        let points = generate(PaperDataset::PortoTaxi, n, 42);
+        assert_facade_is_free(n, &points, params);
     }
 
     // Wall-clock comparison at the sizes criterion can sample quickly.

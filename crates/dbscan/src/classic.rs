@@ -1,16 +1,17 @@
 //! The original sequential DBSCAN of Ester et al. (Algorithm 1 in the
 //! paper), used as the correctness oracle for every parallel implementation.
 //!
-//! Neighbour queries go through [`rtcore::query::FixedRadiusSearch`] so the
-//! oracle stays usable on tens of thousands of points; the expansion logic
-//! itself is the textbook seed-set algorithm and is deliberately sequential.
+//! Neighbour queries go through a [`rtcore::index::NeighborIndex`] backend
+//! (a binned-SAH binary BVH by default) so the oracle stays usable on tens
+//! of thousands of points; the expansion logic itself is the textbook
+//! seed-set algorithm and is deliberately sequential.
 
 use crate::labels::{Clustering, NOISE, UNASSIGNED};
 use crate::params::DbscanParams;
 use crate::runner::{timed, DbscanAlgorithm, PhaseCounters, PhaseTimings, RunResult};
 use rtcore::geometry::Point3;
-use rtcore::hardware::ExecutionPath;
-use rtcore::query::FixedRadiusSearch;
+use rtcore::hardware::{ExecutionPath, WorkCounters};
+use rtcore::index::{IndexKind, NeighborFlow, NeighborIndex, NeighborIndexBuilder};
 use rtcore::Result;
 
 /// The sequential reference DBSCAN.
@@ -23,20 +24,44 @@ impl ClassicDbscan {
     pub fn cluster(points: &[Point3], params: DbscanParams) -> Result<Clustering> {
         Ok(ClassicDbscan.run(points, params)?.clustering)
     }
-}
 
-impl DbscanAlgorithm for ClassicDbscan {
-    fn name(&self) -> &'static str {
-        "Classic-DBSCAN"
+    /// The neighbour-index configuration the oracle builds by default.
+    pub fn index_builder(&self) -> NeighborIndexBuilder {
+        NeighborIndexBuilder::new(IndexKind::BinaryBvh)
     }
 
-    fn run(&self, points: &[Point3], params: DbscanParams) -> Result<RunResult> {
+    /// Run the textbook seed-set expansion over an already-built index.
+    pub fn run_on(
+        &self,
+        index: &dyn NeighborIndex,
+        points: &[Point3],
+        params: DbscanParams,
+    ) -> Result<RunResult> {
         params.validate()?;
+        if index.capabilities().compacting {
+            return Err(rtcore::Error::InvalidConfig(format!(
+                "{} tracks individual point ids and cannot run over a compacting index",
+                self.name()
+            )));
+        }
         let n = points.len();
 
-        let (search, build_time) = timed(|| FixedRadiusSearch::build(points, params.eps));
-        let build_counters = search.build_counters();
+        let neighbors_of = |p: usize, counters: &mut WorkCounters| -> Vec<u32> {
+            let mut out = Vec::new();
+            index.for_each_neighbor(
+                points[p],
+                params.eps,
+                Some(p as u32),
+                counters,
+                &mut |nb, _| {
+                    out.push(nb.index);
+                    NeighborFlow::Continue
+                },
+            );
+            out
+        };
 
+        let mut query_counters = WorkCounters::ZERO;
         let ((labels, core), cluster_time) = timed(|| {
             let mut labels = vec![UNASSIGNED; n];
             let mut core = vec![false; n];
@@ -46,7 +71,7 @@ impl DbscanAlgorithm for ClassicDbscan {
                 if labels[p] != UNASSIGNED {
                     continue;
                 }
-                let neighbors = search.neighbors_of(p);
+                let neighbors = neighbors_of(p, &mut query_counters);
                 if neighbors.len() < params.min_pts {
                     labels[p] = NOISE;
                     continue;
@@ -70,7 +95,7 @@ impl DbscanAlgorithm for ClassicDbscan {
                         continue;
                     }
                     labels[q] = cluster_id;
-                    let q_neighbors = search.neighbors_of(q);
+                    let q_neighbors = neighbors_of(q, &mut query_counters);
                     if q_neighbors.len() >= params.min_pts {
                         core[q] = true;
                         seeds.extend(q_neighbors);
@@ -80,22 +105,35 @@ impl DbscanAlgorithm for ClassicDbscan {
             (labels, core)
         });
 
-        let query_counters = search.query_counters();
         Ok(RunResult {
             clustering: Clustering::new(labels, core),
             timings: PhaseTimings {
-                build: build_time,
+                build: std::time::Duration::ZERO,
                 core_identification: cluster_time,
                 cluster_formation: std::time::Duration::ZERO,
             },
             counters: PhaseCounters {
-                build: build_counters,
+                build: index.build_counters(),
                 core_identification: query_counters,
-                cluster_formation: rtcore::hardware::WorkCounters::ZERO,
+                cluster_formation: WorkCounters::ZERO,
             },
             path: ExecutionPath::ShaderCore,
             device_bytes: std::mem::size_of_val(points) as u64,
         })
+    }
+}
+
+impl DbscanAlgorithm for ClassicDbscan {
+    fn name(&self) -> &'static str {
+        "Classic-DBSCAN"
+    }
+
+    fn run(&self, points: &[Point3], params: DbscanParams) -> Result<RunResult> {
+        params.validate()?;
+        let (index, build_time) = timed(|| self.index_builder().build(points, params.eps));
+        let mut result = self.run_on(index?.as_ref(), points, params)?;
+        result.timings.build += build_time;
+        Ok(result)
     }
 }
 
@@ -204,5 +242,19 @@ mod tests {
         assert!(r.counters.build.build_prims > 0);
         assert!(r.counters.core_identification.rays > 0);
         assert_eq!(r.path, ExecutionPath::ShaderCore);
+    }
+
+    #[test]
+    fn oracle_runs_on_the_oracle_backend() {
+        // Classic over brute force: the doubly-exact configuration.
+        let pts = two_blobs_and_noise();
+        let params = DbscanParams::new(1.0, 3).unwrap();
+        let index = NeighborIndexBuilder::new(IndexKind::BruteForce)
+            .build(&pts, params.eps)
+            .unwrap();
+        let via_brute = ClassicDbscan.run_on(index.as_ref(), &pts, params).unwrap();
+        let default = ClassicDbscan::cluster(&pts, params).unwrap();
+        assert_eq!(default.core, via_brute.clustering.core);
+        assert_eq!(default.canonicalize(), via_brute.clustering.canonicalize());
     }
 }

@@ -12,10 +12,12 @@
 //! observed out-of-memory failures and result variability above ~100 K points
 //! on a 6 GB card.
 //!
-//! This re-implementation keeps the same structure — grid index, bounded
-//! chain seed lists, collision matrix, final collision resolution through a
-//! union-find — and accounts for the same simulated device memory, while
-//! producing exact DBSCAN results.
+//! Since the `NeighborIndex` redesign the grid itself lives in
+//! [`rtcore::index::UniformGridIndex`] (any backend can stand in through
+//! [`CudaDclustPlus::run_on`]); this file keeps what is genuinely
+//! CUDA-DClust+: bounded chain seed lists, the collision matrix, and the
+//! final collision resolution through a union-find — while producing exact
+//! DBSCAN results.
 
 use crate::disjoint_set::SequentialDisjointSet;
 use crate::labels::{Clustering, NOISE, UNASSIGNED};
@@ -23,8 +25,8 @@ use crate::params::DbscanParams;
 use crate::runner::{timed, DbscanAlgorithm, PhaseCounters, PhaseTimings, RunResult};
 use rtcore::geometry::Point3;
 use rtcore::hardware::{ExecutionPath, MemoryTracker, WorkCounters};
+use rtcore::index::{IndexKind, NeighborFlow, NeighborIndex, NeighborIndexBuilder};
 use rtcore::Result;
-use std::collections::HashMap;
 
 /// Configuration of the CUDA-DClust+ analogue.
 #[derive(Debug, Clone, Copy)]
@@ -49,23 +51,27 @@ impl Default for CudaDclustPlus {
     }
 }
 
-/// Integer grid coordinate of a point for a given cell size.
-#[inline]
-fn cell_of(p: Point3, cell: f32) -> (i32, i32, i32) {
-    (
-        (p.x / cell).floor() as i32,
-        (p.y / cell).floor() as i32,
-        (p.z / cell).floor() as i32,
-    )
-}
-
-impl DbscanAlgorithm for CudaDclustPlus {
-    fn name(&self) -> &'static str {
-        "CUDA-DClust+"
+impl CudaDclustPlus {
+    /// The neighbour-index configuration this baseline builds by default:
+    /// the regular grid with cell side ε.
+    pub fn index_builder(&self) -> NeighborIndexBuilder {
+        NeighborIndexBuilder::new(IndexKind::UniformGrid)
     }
 
-    fn run(&self, points: &[Point3], params: DbscanParams) -> Result<RunResult> {
+    /// Run chain expansion over an already-built neighbour index.
+    pub fn run_on(
+        &self,
+        index: &dyn NeighborIndex,
+        points: &[Point3],
+        params: DbscanParams,
+    ) -> Result<RunResult> {
         params.validate()?;
+        if index.capabilities().compacting {
+            return Err(rtcore::Error::InvalidConfig(format!(
+                "{} tracks individual point ids and cannot run over a compacting index",
+                self.name()
+            )));
+        }
         let n = points.len();
         if n == 0 {
             return Ok(RunResult {
@@ -77,66 +83,34 @@ impl DbscanAlgorithm for CudaDclustPlus {
             });
         }
         let eps = params.eps;
-        let eps_sq = params.eps_sq();
+        let mut build_counters = index.build_counters();
 
-        // ------------------------------------------------------------------
-        // Index construction: regular grid with cell side ε.
-        // ------------------------------------------------------------------
-        let ((grid, mut build_counters), build_time) = timed(|| {
-            let mut grid: HashMap<(i32, i32, i32), Vec<u32>> = HashMap::new();
-            for (i, &p) in points.iter().enumerate() {
-                grid.entry(cell_of(p, eps)).or_default().push(i as u32);
-            }
-            let counters = WorkCounters {
-                build_prims: n as u64,
-                build_sort_ops: n as u64,          // scatter into cells
-                build_node_ops: grid.len() as u64, // cell directory entries
-                misc_ops: 2 * n as u64,            // key computation + prefix sums
-                ..WorkCounters::ZERO
-            };
-            (grid, counters)
-        });
-
-        // Simulated device footprint: points + cell directory + point index
-        // array + chain seed lists + chain collision matrix.
+        // Simulated device footprint: points + the index structure + chain
+        // seed lists + chain collision matrix.
         let chains =
             ((n as u64 * self.chains_per_million_points as u64) / 1_000_000).clamp(64, 1 << 20);
         let seed_list_bytes = chains * self.max_seeds_per_chain as u64 * 4;
         let collision_matrix_bytes = chains * chains / 8; // bit matrix
-        let index_bytes = (n as u64) * 4 + grid.len() as u64 * 16;
         let device_bytes = std::mem::size_of_val(points) as u64
-            + index_bytes
+            + index.device_bytes()
             + seed_list_bytes
             + collision_matrix_bytes;
         let mut tracker = MemoryTracker::new(self.device_memory_bytes);
         tracker.allocate(device_bytes)?;
         build_counters.misc_ops += chains; // chain initialisation
 
-        // Helper: visit all points in the 27-cell neighbourhood of `p`.
+        // Helper: the exact ε-neighbourhood of point `p` through the index.
         let neighbors_of = |p: usize, counters: &mut WorkCounters| -> Vec<u32> {
-            let c = cell_of(points[p], eps);
             let mut out = Vec::new();
-            for dx in -1..=1 {
-                for dy in -1..=1 {
-                    for dz in -1..=1 {
-                        if let Some(cell_points) = grid.get(&(c.0 + dx, c.1 + dy, c.2 + dz)) {
-                            for &q in cell_points {
-                                counters.dist_comps += 1;
-                                if q as usize != p
-                                    && points[p].distance_squared(points[q as usize]) <= eps_sq
-                                {
-                                    out.push(q);
-                                }
-                            }
-                        }
-                    }
-                }
-            }
+            index.for_each_neighbor(points[p], eps, Some(p as u32), counters, &mut |nb, _| {
+                out.push(nb.index);
+                NeighborFlow::Continue
+            });
             out
         };
 
         // ------------------------------------------------------------------
-        // Stage 1: core identification via grid scans.
+        // Stage 1: core identification via index scans.
         // ------------------------------------------------------------------
         let ((core, stage1_counters), stage1_time) = timed(|| {
             let mut counters = WorkCounters::ZERO;
@@ -225,7 +199,7 @@ impl DbscanAlgorithm for CudaDclustPlus {
         Ok(RunResult {
             clustering: Clustering::new(labels, core),
             timings: PhaseTimings {
-                build: build_time,
+                build: std::time::Duration::ZERO,
                 core_identification: stage1_time,
                 cluster_formation: stage2_time,
             },
@@ -237,6 +211,20 @@ impl DbscanAlgorithm for CudaDclustPlus {
             path: ExecutionPath::ShaderCore,
             device_bytes,
         })
+    }
+}
+
+impl DbscanAlgorithm for CudaDclustPlus {
+    fn name(&self) -> &'static str {
+        "CUDA-DClust+"
+    }
+
+    fn run(&self, points: &[Point3], params: DbscanParams) -> Result<RunResult> {
+        params.validate()?;
+        let (index, build_time) = timed(|| self.index_builder().build(points, params.eps));
+        let mut result = self.run_on(index?.as_ref(), points, params)?;
+        result.timings.build += build_time;
+        Ok(result)
     }
 }
 
@@ -350,5 +338,26 @@ mod tests {
         let r = CudaDclustPlus::default().run(&sparse, params).unwrap();
         assert_eq!(r.clustering.num_clusters(), 0);
         assert_eq!(r.clustering.noise_count(), 30);
+    }
+
+    #[test]
+    fn chain_expansion_runs_on_a_bvh_backend_too() {
+        let pts = three_blobs();
+        let params = DbscanParams::new(0.8, 4).unwrap();
+        let index = NeighborIndexBuilder::new(IndexKind::WideBatched)
+            .build(&pts, params.eps)
+            .unwrap();
+        let via_bvh = CudaDclustPlus::default()
+            .run_on(index.as_ref(), &pts, params)
+            .unwrap();
+        let reference = ClassicDbscan::cluster(&pts, params).unwrap();
+        assert_eq!(reference.core, via_bvh.clustering.core);
+        assert!(same_clustering(
+            &reference,
+            &via_bvh.clustering,
+            &pts,
+            params
+        ));
+        assert!(via_bvh.counters.core_identification.rays > 0);
     }
 }

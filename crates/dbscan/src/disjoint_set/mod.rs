@@ -1,7 +1,7 @@
 //! Disjoint-set (Union-Find) structures.
 //!
 //! RT-DBSCAN and FDBSCAN both form clusters by merging points into a
-//! disjoint-set forest (Hopcroft & Ullman, cited as [19] in the paper).  Two
+//! disjoint-set forest (Hopcroft & Ullman, cited as \[19\] in the paper).  Two
 //! implementations are provided:
 //!
 //! * [`SequentialDisjointSet`] — classic union-by-rank with full path

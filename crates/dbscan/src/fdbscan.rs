@@ -8,27 +8,28 @@
 //! points atomically.  It stores no neighbour lists, which is what gives it
 //! its minimal memory footprint.
 //!
-//! Differences from RT-DBSCAN that matter for the evaluation:
+//! Since the `NeighborIndex` redesign the two stages are the shared
+//! machinery in `stages` — identical to RT-DBSCAN's — and only the substrate
+//! and execution path differ:
 //!
 //! * all traversal runs on the shader cores
 //!   ([`ExecutionPath::ShaderCore`]) — there is no RT-core acceleration;
-//! * the BVH is the GPU-style LBVH (Morton order), not the quality builder
-//!   the RT driver uses, and no primitive compaction is applied;
+//! * the native backend is a *binary* BVH built by the GPU-style LBVH
+//!   (Morton order), not the wide batched scene the RT driver collapses to,
+//!   and no primitive compaction is applied;
 //! * optionally, stage 1 terminates a traversal early once `minPts`
 //!   neighbours have been seen (the `early_exit` switch studied in
 //!   Section VI-B / Fig 9).
 
-use crate::disjoint_set::ConcurrentDisjointSet;
-use crate::labels::{Clustering, NOISE};
+use crate::labels::Clustering;
 use crate::params::DbscanParams;
 use crate::runner::{timed, DbscanAlgorithm, PhaseCounters, PhaseTimings, RunResult};
-use rayon::prelude::*;
-use rtcore::bvh::{spheres_from_points, BvhBuilder, LbvhBuilder};
-use rtcore::geometry::{Point3, Ray};
-use rtcore::hardware::{ExecutionPath, WorkCounters};
-use rtcore::traversal::{traverse, Traversal};
+use crate::stages;
+use rtcore::bvh::BuilderKind;
+use rtcore::geometry::Point3;
+use rtcore::hardware::ExecutionPath;
+use rtcore::index::{IndexKind, NeighborIndex, NeighborIndexBuilder};
 use rtcore::Result;
-use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Configuration of the FDBSCAN baseline.
 #[derive(Debug, Clone, Copy)]
@@ -59,6 +60,70 @@ impl Fdbscan {
             ..Fdbscan::default()
         }
     }
+
+    /// The neighbour-index configuration this baseline builds by default: a
+    /// binary BVH from the GPU-style LBVH builder, no compaction.
+    pub fn index_builder(&self) -> NeighborIndexBuilder {
+        NeighborIndexBuilder {
+            bvh_builder: BuilderKind::Lbvh,
+            max_leaf_size: self.max_leaf_size,
+            ..NeighborIndexBuilder::new(IndexKind::BinaryBvh)
+        }
+    }
+
+    /// Run both stages over an already-built neighbour index (build phase
+    /// reported with the index's counters and zero wall-clock time — the
+    /// caller owns the build timing).
+    pub fn run_on(
+        &self,
+        index: &dyn NeighborIndex,
+        points: &[Point3],
+        params: DbscanParams,
+    ) -> Result<RunResult> {
+        params.validate()?;
+        let n = points.len();
+        if n == 0 {
+            return Ok(empty_result());
+        }
+
+        // ------------------------------------------------------------------
+        // Stage 1: core-point identification (optionally early-exiting).
+        // ------------------------------------------------------------------
+        let early = self.early_exit.then_some(params.min_pts);
+        let ((counts, stage1_counters), stage1_time) =
+            timed(|| stages::count_all_neighbors(index, points, params.eps, early));
+        let core: Vec<bool> = counts
+            .iter()
+            .map(|&c| c as usize >= params.min_pts)
+            .collect();
+
+        // ------------------------------------------------------------------
+        // Stage 2: cluster formation with a parallel Union-Find.
+        // ------------------------------------------------------------------
+        let ((labels, stage2_counters), stage2_time) =
+            timed(|| stages::form_clusters(index, points, &core, params.eps));
+
+        let device_bytes = index.device_bytes()
+            + std::mem::size_of_val(points) as u64
+            + (n * std::mem::size_of::<usize>()) as u64 // union-find parents
+            + 2 * n as u64; // core + claimed flags
+
+        Ok(RunResult {
+            clustering: Clustering::new(labels, core),
+            timings: PhaseTimings {
+                build: std::time::Duration::ZERO,
+                core_identification: stage1_time,
+                cluster_formation: stage2_time,
+            },
+            counters: PhaseCounters {
+                build: index.build_counters(),
+                core_identification: stage1_counters,
+                cluster_formation: stage2_counters,
+            },
+            path: ExecutionPath::ShaderCore,
+            device_bytes,
+        })
+    }
 }
 
 impl DbscanAlgorithm for Fdbscan {
@@ -72,133 +137,10 @@ impl DbscanAlgorithm for Fdbscan {
 
     fn run(&self, points: &[Point3], params: DbscanParams) -> Result<RunResult> {
         params.validate()?;
-        let n = points.len();
-        if n == 0 {
-            return Ok(empty_result());
-        }
-
-        // ------------------------------------------------------------------
-        // Index construction: LBVH over ε-spheres, software build.
-        // ------------------------------------------------------------------
-        let builder = LbvhBuilder {
-            max_leaf_size: self.max_leaf_size,
-        };
-        let (bvh, build_time) = timed(|| builder.build(spheres_from_points(points, params.eps)));
-        let bvh = bvh?;
-        let build_counters = bvh.build_counters;
-
-        let eps_sq = params.eps_sq();
-        let min_pts = params.min_pts;
-        let early_exit = self.early_exit;
-
-        // ------------------------------------------------------------------
-        // Stage 1: core-point identification.
-        // ------------------------------------------------------------------
-        let ((core, stage1_counters), stage1_time) = timed(|| {
-            let per_point: Vec<(bool, WorkCounters)> = (0..n)
-                .into_par_iter()
-                .map(|p| {
-                    let mut counters = WorkCounters::ZERO;
-                    counters.rays += 1;
-                    let ray = Ray::epsilon_ray(points[p]);
-                    let mut count = 0usize;
-                    traverse(&bvh, &ray, &mut counters, |sphere, counters| {
-                        counters.dist_comps += 1;
-                        if sphere.point_index != p as u32
-                            && sphere.center.distance_squared(points[p]) <= eps_sq
-                        {
-                            count += 1;
-                            if early_exit && count >= min_pts {
-                                return Traversal::Terminate;
-                            }
-                        }
-                        Traversal::Continue
-                    });
-                    (count >= min_pts, counters)
-                })
-                .collect();
-            let mut core = Vec::with_capacity(n);
-            let mut counters = WorkCounters::ZERO;
-            for (is_core, c) in per_point {
-                core.push(is_core);
-                counters += c;
-            }
-            (core, counters)
-        });
-
-        // ------------------------------------------------------------------
-        // Stage 2: cluster formation with a parallel Union-Find.
-        // ------------------------------------------------------------------
-        let dsu = ConcurrentDisjointSet::new(n);
-        let claimed: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
-        let (mut stage2_counters, stage2_time) = timed(|| {
-            let total: WorkCounters = (0..n)
-                .into_par_iter()
-                .filter(|&p| core[p])
-                .map(|p| {
-                    let mut counters = WorkCounters::ZERO;
-                    counters.rays += 1;
-                    let ray = Ray::epsilon_ray(points[p]);
-                    traverse(&bvh, &ray, &mut counters, |sphere, counters| {
-                        counters.dist_comps += 1;
-                        let q = sphere.point_index as usize;
-                        if q != p && sphere.center.distance_squared(points[p]) <= eps_sq {
-                            if core[q] {
-                                dsu.union(p, q);
-                            } else if claimed[q]
-                                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
-                                .is_ok()
-                            {
-                                // The paper's "critical section" (Algorithm 3,
-                                // line 14): a border point joins exactly one
-                                // cluster.
-                                dsu.union(p, q);
-                            }
-                        }
-                        Traversal::Continue
-                    });
-                    counters
-                })
-                .sum();
-            total
-        });
-        let (find_ops, union_ops) = dsu.op_counts();
-        stage2_counters.find_ops += find_ops;
-        stage2_counters.union_ops += union_ops;
-
-        // ------------------------------------------------------------------
-        // Materialise labels.
-        // ------------------------------------------------------------------
-        let labels: Vec<i64> = (0..n)
-            .map(|i| {
-                if core[i] || claimed[i].load(Ordering::Relaxed) {
-                    dsu.find(i) as i64
-                } else {
-                    NOISE
-                }
-            })
-            .collect();
-
-        let device_bytes = bvh.device_bytes()
-            + std::mem::size_of_val(points) as u64
-            + (n * std::mem::size_of::<usize>()) as u64 // union-find parents
-            + 2 * n as u64; // core + claimed flags
-
-        Ok(RunResult {
-            clustering: Clustering::new(labels, core),
-            timings: PhaseTimings {
-                build: build_time,
-                core_identification: stage1_time,
-                cluster_formation: stage2_time,
-            },
-            counters: PhaseCounters {
-                build: build_counters,
-                core_identification: stage1_counters,
-                cluster_formation: stage2_counters,
-            },
-            path: ExecutionPath::ShaderCore,
-            device_bytes,
-        })
+        let (index, build_time) = timed(|| self.index_builder().build(points, params.eps));
+        let mut result = self.run_on(index?.as_ref(), points, params)?;
+        result.timings.build += build_time;
+        Ok(result)
     }
 }
 
@@ -216,6 +158,7 @@ fn empty_result() -> RunResult {
 mod tests {
     use super::*;
     use crate::classic::ClassicDbscan;
+    use crate::labels::NOISE;
     use crate::metrics::same_clustering;
 
     fn blobs(n_per: usize) -> Vec<Point3> {

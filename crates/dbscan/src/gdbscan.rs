@@ -2,12 +2,15 @@
 //! for density-based clustering").
 //!
 //! G-DBSCAN materialises the entire ε-neighbourhood graph — a vertex array
-//! with per-point degrees and a flat adjacency (edge) array — by comparing
-//! all pairs of points, then finds clusters with level-synchronous breadth
-//! first searches over that graph.  The graph is what makes it fast to
-//! cluster but also what limits it: the paper finds it runs out of the RTX
-//! 2060's 6 GB of memory above ~100 K points (Section V-B1), and building
-//! the graph costs Θ(n²) distance computations.
+//! with per-point degrees and a flat adjacency (edge) array — then finds
+//! clusters with level-synchronous breadth first searches over that graph.
+//! The graph is what makes it fast to cluster but also what limits it: the
+//! paper finds it runs out of the RTX 2060's 6 GB of memory above ~100 K
+//! points (Section V-B1), and building the graph costs Θ(n²) distance
+//! computations on its native substrate — the [`IndexKind::BruteForce`]
+//! backend, because the original implementation has no spatial index at all.
+//! Through [`GDbscan::run_on`] the same graph construction can be driven by
+//! any other [`NeighborIndex`] backend.
 //!
 //! The simulated device-memory footprint of the graph is checked against a
 //! configurable budget and the run fails with
@@ -20,6 +23,7 @@ use crate::runner::{timed, DbscanAlgorithm, PhaseCounters, PhaseTimings, RunResu
 use rayon::prelude::*;
 use rtcore::geometry::Point3;
 use rtcore::hardware::{ExecutionPath, MemoryTracker, WorkCounters};
+use rtcore::index::{IndexKind, NeighborFlow, NeighborIndex, NeighborIndexBuilder};
 use rtcore::Result;
 
 /// Configuration of the G-DBSCAN baseline.
@@ -38,13 +42,29 @@ impl Default for GDbscan {
     }
 }
 
-impl DbscanAlgorithm for GDbscan {
-    fn name(&self) -> &'static str {
-        "G-DBSCAN"
+impl GDbscan {
+    /// The neighbour-index configuration this baseline uses by default: the
+    /// brute-force scan (the original compares all pairs).
+    pub fn index_builder(&self) -> NeighborIndexBuilder {
+        NeighborIndexBuilder::new(IndexKind::BruteForce)
     }
 
-    fn run(&self, points: &[Point3], params: DbscanParams) -> Result<RunResult> {
+    /// Run over an already-built neighbour index.  Graph construction is
+    /// charged to the build phase (with the index's own build counters);
+    /// the BFS stages are pure graph work, exactly as in the original.
+    pub fn run_on(
+        &self,
+        index: &dyn NeighborIndex,
+        points: &[Point3],
+        params: DbscanParams,
+    ) -> Result<RunResult> {
         params.validate()?;
+        if index.capabilities().compacting {
+            return Err(rtcore::Error::InvalidConfig(format!(
+                "{} tracks individual point ids and cannot run over a compacting index",
+                self.name()
+            )));
+        }
         let n = points.len();
         if n == 0 {
             return Ok(RunResult {
@@ -55,40 +75,48 @@ impl DbscanAlgorithm for GDbscan {
                 device_bytes: 0,
             });
         }
-        let eps_sq = params.eps_sq();
+        let eps = params.eps;
 
         // ------------------------------------------------------------------
-        // Graph construction: all-pairs distance comparison (this is what the
-        // original implementation does — it has no spatial index at all).
+        // Graph construction: one neighbour query per point through the
+        // backend (the native brute-force index reproduces the original
+        // all-pairs comparison and its n·(n−1) distance computations).
         // ------------------------------------------------------------------
         let ((adjacency, mut build_counters), build_time) = timed(|| {
-            let adjacency: Vec<Vec<u32>> = (0..n)
+            let per_point: Vec<(Vec<u32>, WorkCounters)> = (0..n)
                 .into_par_iter()
                 .map(|i| {
+                    let mut c = WorkCounters::ZERO;
                     let mut neighbors = Vec::new();
-                    for j in 0..n {
-                        if i != j && points[i].distance_squared(points[j]) <= eps_sq {
-                            neighbors.push(j as u32);
-                        }
-                    }
-                    neighbors
+                    index.for_each_neighbor(
+                        points[i],
+                        eps,
+                        Some(i as u32),
+                        &mut c,
+                        &mut |nb, _| {
+                            neighbors.push(nb.index);
+                            NeighborFlow::Continue
+                        },
+                    );
+                    (neighbors, c)
                 })
                 .collect();
-            let edges: u64 = adjacency.iter().map(|a| a.len() as u64).sum();
-            let counters = WorkCounters {
-                dist_comps: (n as u64) * (n as u64 - 1),
-                list_ops: edges,
-                build_prims: n as u64,
-                ..WorkCounters::ZERO
-            };
+            let mut adjacency = Vec::with_capacity(n);
+            let mut counters = index.build_counters();
+            for (neighbors, c) in per_point {
+                counters += c;
+                counters.list_ops += neighbors.len() as u64;
+                adjacency.push(neighbors);
+            }
             (adjacency, counters)
         });
 
         // Simulated device footprint of the graph: vertex array (degree +
         // start index per point, 8 bytes) plus 4 bytes per directed edge,
-        // plus the points themselves.
+        // plus the index structure itself (for the native brute-force
+        // backend that is exactly the points).
         let edges: u64 = adjacency.iter().map(|a| a.len() as u64).sum();
-        let graph_bytes = (n as u64) * 8 + edges * 4 + std::mem::size_of_val(points) as u64;
+        let graph_bytes = (n as u64) * 8 + edges * 4 + index.device_bytes();
         let mut tracker = MemoryTracker::new(self.device_memory_bytes);
         tracker.allocate(graph_bytes)?;
         build_counters.misc_ops += n as u64; // degree prefix-sum pass
@@ -163,6 +191,20 @@ impl DbscanAlgorithm for GDbscan {
             path: ExecutionPath::ShaderCore,
             device_bytes: graph_bytes,
         })
+    }
+}
+
+impl DbscanAlgorithm for GDbscan {
+    fn name(&self) -> &'static str {
+        "G-DBSCAN"
+    }
+
+    fn run(&self, points: &[Point3], params: DbscanParams) -> Result<RunResult> {
+        params.validate()?;
+        let (index, index_time) = timed(|| self.index_builder().build(points, params.eps));
+        let mut result = self.run_on(index?.as_ref(), points, params)?;
+        result.timings.build += index_time;
+        Ok(result)
     }
 }
 
@@ -250,5 +292,28 @@ mod tests {
         let r = GDbscan::default().run(&pts, params).unwrap();
         assert_eq!(r.clustering.num_clusters(), 0);
         assert_eq!(r.clustering.noise_count(), 40);
+    }
+
+    #[test]
+    fn spatial_backends_skip_the_quadratic_scan() {
+        // The same graph through a BVH backend performs strictly fewer
+        // distance computations on a sparse workload.
+        let pts = two_rings_and_noise();
+        let params = DbscanParams::new(0.7, 2).unwrap();
+        let bvh_index = NeighborIndexBuilder::new(IndexKind::BinaryBvh)
+            .build(&pts, params.eps)
+            .unwrap();
+        let via_bvh = GDbscan::default()
+            .run_on(bvh_index.as_ref(), &pts, params)
+            .unwrap();
+        let brute = GDbscan::default().run(&pts, params).unwrap();
+        assert_eq!(brute.clustering.core, via_bvh.clustering.core);
+        assert!(same_clustering(
+            &brute.clustering,
+            &via_bvh.clustering,
+            &pts,
+            params
+        ));
+        assert!(via_bvh.counters.build.dist_comps < brute.counters.build.dist_comps);
     }
 }

@@ -20,19 +20,32 @@
 //! memory, which is what the `rtdbscan-bench` crate uses to regenerate every
 //! table and figure of the paper.
 //!
+//! Since the API redesign, two orthogonal axes compose through one surface:
+//! the *algorithm* ([`engine::Algo`]) and the *neighbour-search backend*
+//! ([`engine::IndexKind`], the `rtcore::index::NeighborIndex` trait).  The
+//! [`engine::ClusterEngine`] builder façade is the recommended entry point;
+//! the per-algorithm structs remain for direct use, and every one of them
+//! now also runs over an arbitrary backend via its `run_on` method.
+//!
 //! # Quickstart
 //!
 //! ```
 //! use rtcore::geometry::Point3;
-//! use rtdbscan::{DbscanAlgorithm, DbscanParams, RtDbscan};
+//! use rtdbscan::prelude::*;
 //!
 //! // Two tight groups of points and one straggler.
 //! let mut points: Vec<Point3> = (0..20).map(|i| Point3::new_2d(0.1 * i as f32, 0.0)).collect();
 //! points.extend((0..20).map(|i| Point3::new_2d(100.0 + 0.1 * i as f32, 0.0)));
 //! points.push(Point3::new_2d(50.0, 50.0));
 //!
-//! let params = DbscanParams::new(0.5, 3).unwrap();
-//! let result = RtDbscan::default().run(&points, params).unwrap();
+//! let engine = ClusterEngine::builder()
+//!     .algorithm(Algo::Rt)
+//!     .index(IndexKind::WideBatched)
+//!     .eps(0.5)
+//!     .min_pts(3)
+//!     .build()
+//!     .unwrap();
+//! let result = engine.run(&points).unwrap();
 //! assert_eq!(result.clustering.num_clusters(), 2);
 //! assert_eq!(result.clustering.noise_count(), 1);
 //! ```
@@ -42,6 +55,7 @@
 pub mod classic;
 pub mod dclust;
 pub mod disjoint_set;
+pub mod engine;
 pub mod fdbscan;
 pub mod gdbscan;
 pub mod labels;
@@ -49,17 +63,37 @@ pub mod metrics;
 pub mod params;
 pub mod rt_dbscan;
 pub mod runner;
+pub(crate) mod stages;
 
 pub use classic::ClassicDbscan;
 pub use dclust::CudaDclustPlus;
+pub use engine::{Algo, ClusterEngine, ClusterEngineBuilder, ClusterSession, ConfigError};
 pub use fdbscan::Fdbscan;
 pub use gdbscan::GDbscan;
 pub use labels::{Clustering, NOISE};
 pub use params::DbscanParams;
-pub use rt_dbscan::{RtDbscan, RtDbscanSession};
+pub use rt_dbscan::RtDbscan;
+#[allow(deprecated)]
+pub use rt_dbscan::RtDbscanSession;
 pub use runner::{
     DbscanAlgorithm, Phase, PhaseCounters, PhaseTimings, RunResult, SimulatedBreakdown,
 };
+
+/// Flat convenience re-exports: `use rtdbscan::prelude::*;` brings in the
+/// engine façade, the backend layer, the parameter types and the result
+/// types in one line.
+pub mod prelude {
+    pub use crate::engine::{
+        Algo, ClusterEngine, ClusterEngineBuilder, ClusterSession, ConfigError, IndexKind,
+    };
+    pub use crate::labels::{Clustering, NOISE};
+    pub use crate::params::DbscanParams;
+    pub use crate::runner::{DbscanAlgorithm, Phase, PhaseCounters, PhaseTimings, RunResult};
+    pub use crate::{ClassicDbscan, CudaDclustPlus, Fdbscan, GDbscan, RtDbscan};
+    pub use rtcore::index::{
+        IndexCapabilities, Neighbor, NeighborFlow, NeighborIndex, NeighborIndexBuilder,
+    };
+}
 
 #[cfg(test)]
 mod tests {

@@ -12,7 +12,8 @@
 use crate::labels::Clustering;
 use crate::params::DbscanParams;
 use rtcore::geometry::Point3;
-use rtcore::query::FixedRadiusSearch;
+use rtcore::hardware::WorkCounters;
+use rtcore::index::{BinaryBvhIndex, NeighborIndex, NeighborIndexBuilder};
 use std::collections::HashMap;
 
 /// Pair-counting helper: returns `n * (n - 1) / 2` as f64.
@@ -164,7 +165,7 @@ pub fn same_clustering(
     }
 
     // Border / noise points.
-    let mut search: Option<FixedRadiusSearch> = None;
+    let mut search: Option<BinaryBvhIndex> = None;
     for i in 0..a.len() {
         if a.core[i] {
             continue;
@@ -175,13 +176,20 @@ pub fn same_clustering(
             (true, true) => {
                 // Validate each assignment independently: the cluster must be
                 // reachable through some core neighbour.
-                let search =
-                    search.get_or_insert_with(|| FixedRadiusSearch::build(points, params.eps));
+                let search = search.get_or_insert_with(|| {
+                    let config = NeighborIndexBuilder::new(rtcore::index::IndexKind::BinaryBvh);
+                    BinaryBvhIndex::build(&config, points, params.eps)
+                        .expect("validation search over finite points cannot fail")
+                });
+                let mut scratch = WorkCounters::ZERO;
                 for (clustering, label) in [(a, la), (b, lb)] {
-                    let ok = search.neighbors_of(i).into_iter().any(|j| {
-                        let j = j as usize;
-                        clustering.core[j] && clustering.labels[j] == label
-                    });
+                    let ok = search
+                        .neighbors_of(points[i], params.eps, Some(i as u32), &mut scratch)
+                        .into_iter()
+                        .any(|j| {
+                            let j = j as usize;
+                            clustering.core[j] && clustering.labels[j] == label
+                        });
                     if !ok {
                         return false;
                     }

@@ -12,32 +12,30 @@
 //!    counts how many spheres contain the ray origin.  Points with at least
 //!    `minPts` neighbours are core points.
 //! 3. **Stage 2 — cluster formation** (Algorithm 3, lines 7–18): one ray per
-//!    core point; the Intersection program merges core neighbours through a
-//!    parallel Union-Find and atomically claims border points (the paper's
-//!    critical section).  Neighbour lists are never materialised — the
-//!    distance work is simply recomputed, which is what keeps the memory
-//!    footprint minimal.
+//!    core point; core neighbours merge through a parallel Union-Find and
+//!    border points are claimed atomically (the paper's critical section).
+//!    Neighbour lists are never materialised — the distance work is simply
+//!    recomputed, which is what keeps the memory footprint minimal.
 //!
-//! Both stages are implemented *inside the Intersection program* of the
-//! OptiX-style pipeline, with AnyHit and ClosestHit disabled, exactly as
-//! Section IV describes.  All traversal work is charged to the RT-core
-//! execution path of the device model.
+//! Since the `NeighborIndex` redesign both stages run over *any* backend
+//! ([`RtDbscan::run_on`]): the default is the wide (BVH4) batched index —
+//! the layout real RT cores walk — with the binary BVH index as the
+//! traversal oracle, but the same two stages execute unchanged over a
+//! uniform grid or a brute-force scan.  The per-candidate work accounting
+//! (one `dist_comps` per Intersection-program invocation, AnyHit bounces for
+//! the triangle ablation) lives in the backend and is bit-identical to the
+//! pre-redesign pipeline launches.
 
-use crate::disjoint_set::ConcurrentDisjointSet;
-use crate::labels::{Clustering, NOISE};
+use crate::labels::Clustering;
 use crate::params::DbscanParams;
 use crate::runner::{timed, DbscanAlgorithm, PhaseCounters, PhaseTimings, RunResult};
-use rtcore::bvh::{
-    compact_coincident, spheres_from_points, BuilderKind, Bvh, BvhBuilder, LbvhBuilder,
-    MedianSplitBuilder, SahBuilder,
-};
-use rtcore::geometry::{Point3, Ray, Sphere};
-use rtcore::hardware::{ExecutionPath, WorkCounters};
-use rtcore::pipeline::{
-    GeometryKind, Pipeline, PipelineConfig, ProgramFlow, RayProgram, TraversalEngine,
-};
+use crate::stages;
+use rtcore::bvh::BuilderKind;
+use rtcore::geometry::Point3;
+use rtcore::hardware::ExecutionPath;
+use rtcore::index::{IndexKind, NeighborIndex, NeighborIndexBuilder};
+use rtcore::pipeline::{GeometryKind, PipelineConfig, TraversalEngine};
 use rtcore::Result;
-use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Configuration of RT-DBSCAN.
 #[derive(Debug, Clone, Copy)]
@@ -53,10 +51,8 @@ pub struct RtDbscan {
     /// ablation (2–5× slower because of AnyHit overhead).
     pub geometry: GeometryKind,
     /// Launches smaller than this run sequentially instead of through the
-    /// parallel launch (forwarded to
-    /// [`PipelineConfig::min_parallel_launch`]).  The default mirrors the
-    /// pipeline's; benches sweep it to locate the sequential-vs-parallel
-    /// crossover.
+    /// parallel launch.  Benches sweep it to locate the
+    /// sequential-vs-parallel crossover.
     pub min_parallel_launch: usize,
     /// Which traversal substrate both stages launch on.  Defaults to the
     /// wide (BVH4) batched engine — the layout real RT cores walk; the
@@ -98,8 +94,12 @@ impl RtDbscan {
         }
     }
 
-    /// Override the launch-width threshold below which ray launches run
-    /// sequentially (see [`PipelineConfig::min_parallel_launch`]).
+    /// Override the launch-width threshold below which launches run
+    /// sequentially.
+    #[deprecated(
+        since = "0.3.0",
+        note = "set the field directly or use ClusterEngine::builder().min_parallel_launch(..)"
+    )]
     pub fn with_min_parallel_launch(min_parallel_launch: usize) -> Self {
         RtDbscan {
             min_parallel_launch,
@@ -116,125 +116,89 @@ impl RtDbscan {
         }
     }
 
-    /// The pipeline configuration this algorithm launches with.
-    fn pipeline_config(&self) -> PipelineConfig {
-        PipelineConfig {
+    /// The neighbour-index configuration this algorithm builds by default:
+    /// a BVH index (wide batched or binary, per
+    /// [`RtDbscan::traversal`]) with the configured device builder,
+    /// compaction pass and geometry presentation.
+    pub fn index_builder(&self) -> NeighborIndexBuilder {
+        NeighborIndexBuilder {
+            kind: match self.traversal {
+                TraversalEngine::WideBatched => IndexKind::WideBatched,
+                TraversalEngine::Binary => IndexKind::BinaryBvh,
+            },
+            bvh_builder: self.builder,
+            compaction: self.compaction,
             geometry: self.geometry,
             min_parallel_launch: self.min_parallel_launch,
-            traversal: self.traversal,
-            ..PipelineConfig::default()
+            ..NeighborIndexBuilder::new(IndexKind::WideBatched)
         }
     }
 
-    fn build_scene(&self, points: &[Point3], eps: f32) -> Result<(Bvh, Vec<u32>, WorkCounters)> {
-        let mut extra = WorkCounters::ZERO;
-        let (spheres, representative_of) = if self.compaction {
-            let compaction = compact_coincident(points, eps);
-            extra.compaction_merges += compaction.merged;
-            // The bounds program still runs once per *input* primitive before
-            // the device merges duplicates, so charge the merged ones too.
-            extra.build_prims += compaction.merged;
-            (compaction.spheres, compaction.representative_of)
+    /// Run both clustering stages over an already-built neighbour index.
+    ///
+    /// The build phase of the returned result carries the index's build
+    /// counters and zero wall-clock time (the caller built the index and
+    /// owns its timing); the execution path is the RT cores when the
+    /// backend is BVH-backed, the shader cores otherwise.
+    pub fn run_on(
+        &self,
+        index: &dyn NeighborIndex,
+        points: &[Point3],
+        params: DbscanParams,
+    ) -> Result<RunResult> {
+        params.validate()?;
+        let n = points.len();
+        let path = if index.capabilities().rt_core {
+            ExecutionPath::RtCore
         } else {
-            (
-                spheres_from_points(points, eps),
-                (0..points.len() as u32).collect(),
-            )
+            ExecutionPath::ShaderCore
         };
-        let bvh = match self.builder {
-            BuilderKind::BinnedSah => SahBuilder::default().build(spheres)?,
-            BuilderKind::Lbvh => LbvhBuilder::default().build(spheres)?,
-            BuilderKind::MedianSplit => MedianSplitBuilder::default().build(spheres)?,
-        };
-        Ok((bvh, representative_of, extra))
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Stage 1: neighbour counting inside the Intersection program.
-// ---------------------------------------------------------------------------
-
-struct CorePointProgram<'a> {
-    points: &'a [Point3],
-    representative_of: &'a [u32],
-    eps_sq: f32,
-}
-
-impl RayProgram for CorePointProgram<'_> {
-    type Payload = u64;
-
-    fn ray_gen(&self, launch_index: usize) -> (Ray, u64) {
-        (Ray::epsilon_ray(self.points[launch_index]), 0)
-    }
-
-    fn intersection(
-        &self,
-        launch_index: usize,
-        sphere: &Sphere,
-        ray: &Ray,
-        payload: &mut u64,
-        counters: &mut WorkCounters,
-    ) -> ProgramFlow {
-        counters.dist_comps += 1;
-        if sphere.center.distance_squared(ray.origin) <= self.eps_sq {
-            if sphere.point_index == self.representative_of[launch_index] {
-                // The sphere at our own location: its multiplicity includes
-                // this very point, so only the other coincident points count.
-                *payload += (sphere.multiplicity - 1) as u64;
-            } else {
-                *payload += sphere.multiplicity as u64;
-            }
+        if n == 0 {
+            return Ok(RunResult {
+                clustering: Clustering::new(vec![], vec![]),
+                timings: PhaseTimings::default(),
+                counters: PhaseCounters::default(),
+                path,
+                device_bytes: 0,
+            });
         }
-        ProgramFlow::Continue
-    }
-}
 
-// ---------------------------------------------------------------------------
-// Stage 2: union-find updates inside the Intersection program.
-// ---------------------------------------------------------------------------
+        // ------------------------------------------------------------------
+        // Stage 1: one query per point, count neighbours, mark core points.
+        // ------------------------------------------------------------------
+        let ((counts, stage1_counters), stage1_time) =
+            timed(|| stages::count_all_neighbors(index, points, params.eps, None));
+        let core: Vec<bool> = counts
+            .iter()
+            .map(|&count| count as usize >= params.min_pts)
+            .collect();
 
-struct ClusterFormationProgram<'a> {
-    points: &'a [Point3],
-    core_indices: &'a [u32],
-    core: &'a [bool],
-    claimed: &'a [AtomicBool],
-    dsu: &'a ConcurrentDisjointSet,
-    eps_sq: f32,
-}
+        // ------------------------------------------------------------------
+        // Stage 2: one query per core point, union-find cluster formation.
+        // ------------------------------------------------------------------
+        let ((labels, stage2_counters), stage2_time) =
+            timed(|| stages::form_clusters(index, points, &core, params.eps));
 
-impl RayProgram for ClusterFormationProgram<'_> {
-    type Payload = ();
+        let device_bytes = index.device_bytes()
+            + std::mem::size_of_val(points) as u64
+            + (n * std::mem::size_of::<usize>()) as u64 // union-find parents
+            + 2 * n as u64; // core + claimed flags
 
-    fn ray_gen(&self, launch_index: usize) -> (Ray, ()) {
-        let p = self.core_indices[launch_index] as usize;
-        (Ray::epsilon_ray(self.points[p]), ())
-    }
-
-    fn intersection(
-        &self,
-        launch_index: usize,
-        sphere: &Sphere,
-        ray: &Ray,
-        _payload: &mut (),
-        counters: &mut WorkCounters,
-    ) -> ProgramFlow {
-        counters.dist_comps += 1;
-        let p = self.core_indices[launch_index] as usize;
-        let q = sphere.point_index as usize;
-        if q != p && sphere.center.distance_squared(ray.origin) <= self.eps_sq {
-            if self.core[q] {
-                self.dsu.union(p, q);
-            } else if self.claimed[q]
-                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
-                .is_ok()
-            {
-                // Critical section of Algorithm 3 (line 14): a border point
-                // may be reachable from several clusters but must join only
-                // one, otherwise two clusters would be merged incorrectly.
-                self.dsu.union(p, q);
-            }
-        }
-        ProgramFlow::Continue
+        Ok(RunResult {
+            clustering: Clustering::new(labels, core),
+            timings: PhaseTimings {
+                build: std::time::Duration::ZERO,
+                core_identification: stage1_time,
+                cluster_formation: stage2_time,
+            },
+            counters: PhaseCounters {
+                build: index.build_counters(),
+                core_identification: stage1_counters,
+                cluster_formation: stage2_counters,
+            },
+            path,
+            device_bytes,
+        })
     }
 }
 
@@ -254,149 +218,28 @@ impl DbscanAlgorithm for RtDbscan {
 
     fn run(&self, points: &[Point3], params: DbscanParams) -> Result<RunResult> {
         params.validate()?;
-        let n = points.len();
-        if n == 0 {
-            return Ok(RunResult {
-                clustering: Clustering::new(vec![], vec![]),
-                timings: PhaseTimings::default(),
-                counters: PhaseCounters::default(),
-                path: ExecutionPath::RtCore,
-                device_bytes: 0,
-            });
-        }
-
-        // ------------------------------------------------------------------
-        // Build: input transformation + device acceleration structure.
-        // ------------------------------------------------------------------
-        let (scene, build_time) = timed(|| self.build_scene(points, params.eps));
-        let (bvh, representative_of, extra_build) = scene?;
-
-        // Pipeline creation collapses the scene into the wide format when
-        // the batched engine is selected; that is device-build work, so its
-        // time and node emissions are charged to the build phase.
-        let (pipeline, collapse_time) =
-            timed(|| Pipeline::with_config(&bvh, self.pipeline_config()));
-        let build_time = build_time + collapse_time;
-        let build_counters = bvh.build_counters
-            + extra_build
-            + pipeline
-                .wide_scene()
-                .map(|w| w.collapse_counters)
-                .unwrap_or(WorkCounters::ZERO);
-        let eps_sq = params.eps_sq();
-
-        // ------------------------------------------------------------------
-        // Stage 1: one ray per point, count neighbours, mark core points.
-        // ------------------------------------------------------------------
-        let (stage1, stage1_time) = timed(|| {
-            pipeline.launch(
-                n,
-                &CorePointProgram {
-                    points,
-                    representative_of: &representative_of,
-                    eps_sq,
-                },
-            )
-        });
-        let core: Vec<bool> = stage1
-            .payloads
-            .iter()
-            .map(|&count| count as usize >= params.min_pts)
-            .collect();
-        let stage1_counters = stage1.counters;
-
-        // ------------------------------------------------------------------
-        // Stage 2: one ray per core point, union-find cluster formation.
-        // ------------------------------------------------------------------
-        let core_indices: Vec<u32> = (0..n as u32).filter(|&i| core[i as usize]).collect();
-        let dsu = ConcurrentDisjointSet::new(n);
-        let claimed: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
-        let (stage2, stage2_time) = timed(|| {
-            pipeline.launch(
-                core_indices.len(),
-                &ClusterFormationProgram {
-                    points,
-                    core_indices: &core_indices,
-                    core: &core,
-                    claimed: &claimed,
-                    dsu: &dsu,
-                    eps_sq,
-                },
-            )
-        });
-        let mut stage2_counters = stage2.counters;
-        let (find_ops, union_ops) = dsu.op_counts();
-        stage2_counters.find_ops += find_ops;
-        stage2_counters.union_ops += union_ops;
-
-        // ------------------------------------------------------------------
-        // Materialise labels.  Coincident duplicates that were merged away at
-        // build time inherit the assignment of their representative (they
-        // have identical neighbourhoods, so this is always a valid DBSCAN
-        // assignment).
-        // ------------------------------------------------------------------
-        let mut labels: Vec<i64> = (0..n)
-            .map(|i| {
-                if core[i] || claimed[i].load(Ordering::Relaxed) {
-                    dsu.find(i) as i64
-                } else {
-                    NOISE
-                }
-            })
-            .collect();
-        let mut dup_fixups = 0u64;
-        for i in 0..n {
-            let rep = representative_of[i] as usize;
-            if rep != i && labels[i] == NOISE && labels[rep] >= 0 {
-                labels[i] = labels[rep];
-                dup_fixups += 1;
-            }
-        }
-        stage2_counters.misc_ops += dup_fixups;
-
-        let device_bytes = bvh.device_bytes()
-            + pipeline.wide_scene().map_or(0, |w| w.device_bytes())
-            + std::mem::size_of_val(points) as u64
-            + (n * std::mem::size_of::<usize>()) as u64 // union-find parents
-            + 2 * n as u64; // core + claimed flags
-
-        Ok(RunResult {
-            clustering: Clustering::new(labels, core),
-            timings: PhaseTimings {
-                build: build_time,
-                core_identification: stage1_time,
-                cluster_formation: stage2_time,
-            },
-            counters: PhaseCounters {
-                build: build_counters,
-                core_identification: stage1_counters,
-                cluster_formation: stage2_counters,
-            },
-            path: ExecutionPath::RtCore,
-            device_bytes,
-        })
+        let (index, build_time) = timed(|| self.index_builder().build(points, params.eps));
+        let mut result = self.run_on(index?.as_ref(), points, params)?;
+        result.timings.build += build_time;
+        Ok(result)
     }
 }
 
 /// A reusable RT-DBSCAN session for parameter exploration (Section VI-B).
 ///
-/// The paper argues that the realistic DBSCAN workflow is to run the
-/// clustering many times while exploring parameters, and that recording the
-/// full neighbour count of every point (instead of early-exiting the
-/// traversal) lets every later run with a different `minPts` skip the
-/// core-point identification stage entirely.  `RtDbscanSession` implements
-/// exactly that workflow:
-///
-/// * [`RtDbscanSession::new`] builds the acceleration structure and runs
-///   stage 1 once, recording the neighbour count of every point;
-/// * [`RtDbscanSession::cluster`] produces a full clustering for any
-///   `minPts` value, paying only for the stage-2 traversal.
+/// Deprecated shim over [`crate::engine::ClusterSession`] — the
+/// backend-generic session behind
+/// [`crate::engine::ClusterEngine::session`]; the behaviour (build the
+/// acceleration structure and run stage 1 once, then answer any `minPts`
+/// paying only for stage 2) is unchanged.
 ///
 /// ```
 /// use rtcore::geometry::Point3;
+/// # #[allow(deprecated)]
 /// use rtdbscan::rt_dbscan::RtDbscanSession;
 ///
 /// let points: Vec<Point3> = (0..60).map(|i| Point3::new_2d(0.1 * (i % 30) as f32, (i / 30) as f32)).collect();
+/// # #[allow(deprecated)]
 /// let session = RtDbscanSession::new(&points, 0.25).unwrap();
 /// let strict = session.cluster(8).unwrap();
 /// let loose = session.cluster(2).unwrap();
@@ -404,253 +247,82 @@ impl DbscanAlgorithm for RtDbscan {
 /// ```
 #[derive(Debug)]
 pub struct RtDbscanSession {
-    points: Vec<Point3>,
-    eps: f32,
-    config: RtDbscan,
-    bvh: Bvh,
-    /// The wide collapse of `bvh`, kept so repeated `cluster` calls reuse it
-    /// (only populated for the batched engine).
-    wide: Option<rtcore::bvh::WideBvh>,
-    representative_of: Vec<u32>,
-    neighbor_counts: Vec<u64>,
-    build_counters: WorkCounters,
-    stage1_counters: WorkCounters,
-    build_time: std::time::Duration,
-    stage1_time: std::time::Duration,
+    inner: crate::engine::ClusterSession,
 }
 
 impl RtDbscanSession {
     /// Build the scene and record every point's ε-neighbour count with the
     /// default RT-DBSCAN configuration.
+    #[deprecated(since = "0.3.0", note = "use ClusterEngine::builder()…session(points)")]
     pub fn new(points: &[Point3], eps: f32) -> Result<Self> {
+        #[allow(deprecated)]
         Self::with_config(points, eps, RtDbscan::default())
     }
 
     /// Build a session with an explicit RT-DBSCAN configuration.
+    #[deprecated(since = "0.3.0", note = "use ClusterEngine::builder()…session(points)")]
     pub fn with_config(points: &[Point3], eps: f32, config: RtDbscan) -> Result<Self> {
         // Validate eps through the params type (minPts is irrelevant here).
         DbscanParams::new(eps, 1)?;
-        if points.is_empty() {
-            return Ok(RtDbscanSession {
-                points: Vec::new(),
-                eps,
-                config,
-                bvh: Bvh {
-                    nodes: vec![],
-                    primitives: vec![],
-                    builder: config.builder,
-                    build_counters: WorkCounters::ZERO,
-                },
-                wide: None,
-                representative_of: Vec::new(),
-                neighbor_counts: Vec::new(),
-                build_counters: WorkCounters::ZERO,
-                stage1_counters: WorkCounters::ZERO,
-                build_time: std::time::Duration::ZERO,
-                stage1_time: std::time::Duration::ZERO,
-            });
-        }
-        let (scene, build_time) = timed(|| config.build_scene(points, eps));
-        let (bvh, representative_of, extra_build) = scene?;
-
-        let pipeline_config = config.pipeline_config();
-        // Collapse once and keep it: every later `cluster` call reuses the
-        // wide scene instead of re-collapsing.
-        let (wide, collapse_time) = timed(|| match config.traversal {
-            TraversalEngine::WideBatched => Some(rtcore::bvh::WideBvh::from_binary(&bvh)),
-            TraversalEngine::Binary => None,
-        });
-        let build_time = build_time + collapse_time;
-        let build_counters = bvh.build_counters
-            + extra_build
-            + wide
-                .as_ref()
-                .map(|w| w.collapse_counters)
-                .unwrap_or(WorkCounters::ZERO);
-
-        let eps_sq = eps * eps;
-        let (stage1, stage1_time) = timed(|| {
-            let pipeline = match &wide {
-                Some(w) => Pipeline::with_collapsed(&bvh, w, pipeline_config),
-                None => Pipeline::with_config(&bvh, pipeline_config),
-            };
-            pipeline.launch(
-                points.len(),
-                &CorePointProgram {
-                    points,
-                    representative_of: &representative_of,
-                    eps_sq,
-                },
-            )
-        });
+        let (index, build_time) = timed(|| config.index_builder().build(points, eps));
         Ok(RtDbscanSession {
-            points: points.to_vec(),
-            eps,
-            config,
-            bvh,
-            wide,
-            representative_of,
-            neighbor_counts: stage1.payloads,
-            build_counters,
-            stage1_counters: stage1.counters,
-            build_time,
-            stage1_time,
+            inner: crate::engine::ClusterSession::create(index?, points, eps, build_time),
         })
     }
 
     /// The search radius this session was built for.
     pub fn eps(&self) -> f32 {
-        self.eps
+        self.inner.eps()
     }
 
     /// Number of points in the session.
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.inner.len()
     }
 
     /// True if the session holds no points.
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.inner.is_empty()
     }
 
     /// The recorded ε-neighbour count of every point (self excluded) — the
     /// quantity whose retention Section VI-B argues for.
     pub fn neighbor_counts(&self) -> &[u64] {
-        &self.neighbor_counts
+        self.inner.neighbor_counts()
     }
 
     /// Number of points that would be core points for a given `minPts`.
     pub fn core_count_for(&self, min_pts: usize) -> usize {
-        self.neighbor_counts
-            .iter()
-            .filter(|&&c| c as usize >= min_pts)
-            .count()
+        self.inner.core_count_for(min_pts)
     }
 
     /// The `minPts` value at which a given fraction (0..1) of the points
-    /// would qualify as core points — a simple parameter-selection helper
-    /// for the exploration workflow.
+    /// would qualify as core points.
     pub fn min_pts_for_core_fraction(&self, fraction: f64) -> usize {
-        if self.neighbor_counts.is_empty() {
-            return 1;
-        }
-        let mut counts: Vec<u64> = self.neighbor_counts.clone();
-        counts.sort_unstable_by(|a, b| b.cmp(a));
-        let idx = ((counts.len() as f64 * fraction.clamp(0.0, 1.0)).ceil() as usize)
-            .clamp(1, counts.len());
-        (counts[idx - 1] as usize).max(1)
+        self.inner.min_pts_for_core_fraction(fraction)
     }
 
-    /// Cluster with a given `minPts`, reusing the acceleration structure and
-    /// the recorded neighbour counts.  Only the cluster-formation stage is
-    /// executed; its cost is reported in the returned
-    /// [`RunResult::counters`] (`build` and `core_identification` are zero
-    /// because that work is shared across all calls on this session).
+    /// Cluster with a given `minPts`, reusing the acceleration structure
+    /// and the recorded neighbour counts.
     pub fn cluster(&self, min_pts: usize) -> Result<RunResult> {
-        DbscanParams::new(self.eps, min_pts)?;
-        let n = self.points.len();
-        if n == 0 {
-            return Ok(RunResult {
-                clustering: Clustering::new(vec![], vec![]),
-                timings: PhaseTimings::default(),
-                counters: PhaseCounters::default(),
-                path: ExecutionPath::RtCore,
-                device_bytes: 0,
-            });
-        }
-        let core: Vec<bool> = self
-            .neighbor_counts
-            .iter()
-            .map(|&c| c as usize >= min_pts)
-            .collect();
-        let core_indices: Vec<u32> = (0..n as u32).filter(|&i| core[i as usize]).collect();
-        let dsu = ConcurrentDisjointSet::new(n);
-        let claimed: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
-        let pipeline_config = self.config.pipeline_config();
-        let eps_sq = self.eps * self.eps;
-        let (stage2, stage2_time) = timed(|| {
-            let pipeline = match &self.wide {
-                Some(w) => Pipeline::with_collapsed(&self.bvh, w, pipeline_config),
-                None => Pipeline::with_config(&self.bvh, pipeline_config),
-            };
-            pipeline.launch(
-                core_indices.len(),
-                &ClusterFormationProgram {
-                    points: &self.points,
-                    core_indices: &core_indices,
-                    core: &core,
-                    claimed: &claimed,
-                    dsu: &dsu,
-                    eps_sq,
-                },
-            )
-        });
-        let mut stage2_counters = stage2.counters;
-        let (find_ops, union_ops) = dsu.op_counts();
-        stage2_counters.find_ops += find_ops;
-        stage2_counters.union_ops += union_ops;
-
-        let mut labels: Vec<i64> = (0..n)
-            .map(|i| {
-                if core[i] || claimed[i].load(Ordering::Relaxed) {
-                    dsu.find(i) as i64
-                } else {
-                    NOISE
-                }
-            })
-            .collect();
-        for i in 0..n {
-            let rep = self.representative_of[i] as usize;
-            if rep != i && labels[i] == NOISE && labels[rep] >= 0 {
-                labels[i] = labels[rep];
-                stage2_counters.misc_ops += 1;
-            }
-        }
-
-        Ok(RunResult {
-            clustering: Clustering::new(labels, core),
-            timings: PhaseTimings {
-                build: std::time::Duration::ZERO,
-                core_identification: std::time::Duration::ZERO,
-                cluster_formation: stage2_time,
-            },
-            counters: PhaseCounters {
-                build: WorkCounters::ZERO,
-                core_identification: WorkCounters::ZERO,
-                cluster_formation: stage2_counters,
-            },
-            path: ExecutionPath::RtCore,
-            device_bytes: self.bvh.device_bytes()
-                + self.wide.as_ref().map_or(0, |w| w.device_bytes())
-                + (n * std::mem::size_of::<Point3>()) as u64
-                + 8 * n as u64,
-        })
+        self.inner.cluster(min_pts)
     }
 
     /// The one-off cost of building this session (acceleration-structure
     /// build plus the stage-1 launch): counters and wall-clock timings.
     pub fn setup_cost(&self) -> (PhaseCounters, PhaseTimings) {
-        (
-            PhaseCounters {
-                build: self.build_counters,
-                core_identification: self.stage1_counters,
-                cluster_formation: WorkCounters::ZERO,
-            },
-            PhaseTimings {
-                build: self.build_time,
-                core_identification: self.stage1_time,
-                cluster_formation: std::time::Duration::ZERO,
-            },
-        )
+        self.inner.setup_cost()
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::classic::ClassicDbscan;
     use crate::fdbscan::Fdbscan;
     use crate::metrics::same_clustering;
+    use rtcore::hardware::WorkCounters;
 
     fn blobs_with_noise() -> Vec<Point3> {
         let mut pts = Vec::new();
@@ -874,10 +546,10 @@ mod tests {
         // Force the all-sequential and all-parallel launch paths.
         let sequential = RtDbscan::with_min_parallel_launch(usize::MAX);
         let parallel = RtDbscan::with_min_parallel_launch(0);
-        assert_eq!(sequential.pipeline_config().min_parallel_launch, usize::MAX);
-        assert_eq!(parallel.pipeline_config().min_parallel_launch, 0);
+        assert_eq!(sequential.index_builder().min_parallel_launch, usize::MAX);
+        assert_eq!(parallel.index_builder().min_parallel_launch, 0);
         assert_eq!(
-            RtDbscan::default().pipeline_config().min_parallel_launch,
+            RtDbscan::default().index_builder().min_parallel_launch,
             PipelineConfig::default().min_parallel_launch
         );
 
@@ -961,5 +633,32 @@ mod tests {
         let rt = alt.run(&pts, params).unwrap().clustering;
         assert_eq!(reference.core, rt.core);
         assert!(same_clustering(&reference, &rt, &pts, params));
+    }
+
+    #[test]
+    fn run_on_accepts_any_backend() {
+        use rtcore::index::IndexKind;
+        let pts = blobs_with_noise();
+        let params = DbscanParams::new(0.5, 5).unwrap();
+        let reference = ClassicDbscan::cluster(&pts, params).unwrap();
+        for kind in IndexKind::ALL {
+            let index = NeighborIndexBuilder::new(kind)
+                .build(&pts, params.eps)
+                .unwrap();
+            let run = RtDbscan::default()
+                .run_on(index.as_ref(), &pts, params)
+                .unwrap();
+            assert_eq!(reference.core, run.clustering.core, "{kind:?}");
+            assert!(
+                same_clustering(&reference, &run.clustering, &pts, params),
+                "{kind:?}"
+            );
+            let expected_path = if kind.is_bvh() {
+                ExecutionPath::RtCore
+            } else {
+                ExecutionPath::ShaderCore
+            };
+            assert_eq!(run.path, expected_path, "{kind:?}");
+        }
     }
 }

@@ -1,0 +1,120 @@
+//! The two-stage DBSCAN formulation (Algorithm 3 of the paper) expressed
+//! over any [`NeighborIndex`] backend.
+//!
+//! Stage 1 counts every point's ε-neighbours in one batched launch; stage 2
+//! launches one query per core point and merges clusters through a parallel
+//! union-find, claiming border points atomically.  Both RT-DBSCAN and the
+//! FDBSCAN baseline are thin configurations of these two functions — the
+//! substrate (binary BVH vs BVH4 packets vs grid vs brute force) is whatever
+//! backend the caller hands in, which is the point of the redesign.
+
+use crate::disjoint_set::ConcurrentDisjointSet;
+use crate::labels::NOISE;
+use rtcore::geometry::Point3;
+use rtcore::hardware::WorkCounters;
+use rtcore::index::{NeighborFlow, NeighborIndex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Stage 1: every point's exact ε-neighbour count (self excluded), answered
+/// by one batched launch over the backend.
+///
+/// Compacting backends report representatives with multiplicities; the
+/// query point's own group contributes `multiplicity - 1` (the point itself
+/// does not count), which is exactly the Intersection-program logic of the
+/// original RT path.  With `early_exit_min_pts` set, a query stops as soon
+/// as its count reaches the threshold (the FDBSCAN-EarlyExit optimisation).
+pub(crate) fn count_all_neighbors(
+    index: &dyn NeighborIndex,
+    points: &[Point3],
+    eps: f32,
+    early_exit_min_pts: Option<usize>,
+) -> (Vec<u64>, WorkCounters) {
+    let counts: Vec<AtomicU64> = (0..points.len()).map(|_| AtomicU64::new(0)).collect();
+    let mut counters = WorkCounters::ZERO;
+    index.batch_neighbors(points, eps, &mut counters, &|q, neighbor, _| {
+        let own_group = neighbor.index == index.representative_of(q as u32);
+        let add = if own_group {
+            neighbor.multiplicity.saturating_sub(1) as u64
+        } else {
+            neighbor.multiplicity as u64
+        };
+        if add == 0 {
+            return NeighborFlow::Continue;
+        }
+        let total = counts[q].fetch_add(add, Ordering::Relaxed) + add;
+        match early_exit_min_pts {
+            Some(min_pts) if total >= min_pts as u64 => NeighborFlow::Stop,
+            _ => NeighborFlow::Continue,
+        }
+    });
+    (
+        counts.into_iter().map(AtomicU64::into_inner).collect(),
+        counters,
+    )
+}
+
+/// Stage 2: one query per core point; core neighbours merge through the
+/// concurrent union-find and border points are claimed atomically (the
+/// paper's critical section, Algorithm 3 line 14).  Returns the final
+/// labels (noise = [`NOISE`]) and the stage's counted work, including the
+/// union-find traffic and the duplicate fix-up pass for compacting
+/// backends.
+pub(crate) fn form_clusters(
+    index: &dyn NeighborIndex,
+    points: &[Point3],
+    core: &[bool],
+    eps: f32,
+) -> (Vec<i64>, WorkCounters) {
+    let n = points.len();
+    let core_indices: Vec<u32> = (0..n as u32).filter(|&i| core[i as usize]).collect();
+    let queries: Vec<Point3> = core_indices.iter().map(|&i| points[i as usize]).collect();
+    let dsu = ConcurrentDisjointSet::new(n);
+    let claimed: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+
+    let mut counters = WorkCounters::ZERO;
+    index.batch_neighbors(&queries, eps, &mut counters, &|ordinal, neighbor, _| {
+        let p = core_indices[ordinal] as usize;
+        let q = neighbor.index as usize;
+        if q != p {
+            if core[q] {
+                dsu.union(p, q);
+            } else if claimed[q]
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                // A border point may be reachable from several clusters but
+                // must join exactly one.
+                dsu.union(p, q);
+            }
+        }
+        NeighborFlow::Continue
+    });
+    let (find_ops, union_ops) = dsu.op_counts();
+    counters.find_ops += find_ops;
+    counters.union_ops += union_ops;
+
+    // Materialise labels.  Coincident duplicates merged away by a
+    // compacting backend inherit their representative's assignment (they
+    // have identical neighbourhoods, so this is always a valid DBSCAN
+    // assignment).
+    let mut labels: Vec<i64> = (0..n)
+        .map(|i| {
+            if core[i] || claimed[i].load(Ordering::Relaxed) {
+                dsu.find(i) as i64
+            } else {
+                NOISE
+            }
+        })
+        .collect();
+    let mut dup_fixups = 0u64;
+    for i in 0..n {
+        let rep = index.representative_of(i as u32) as usize;
+        if rep != i && labels[i] == NOISE && labels[rep] >= 0 {
+            labels[i] = labels[rep];
+            dup_fixups += 1;
+        }
+    }
+    counters.misc_ops += dup_fixups;
+
+    (labels, counters)
+}

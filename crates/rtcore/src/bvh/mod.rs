@@ -12,7 +12,7 @@
 //!   acceleration structure with quality heuristics the user cannot see).
 //! * [`MedianSplitBuilder`] — simple longest-axis median split, kept as an
 //!   easy-to-reason-about reference for tests.
-//! * [`compact`] — the primitive-compaction pass the RT path applies before
+//! * [`compact_coincident`] — the primitive-compaction pass the RT path applies before
 //!   building: exactly coincident sphere centres are merged into a single
 //!   primitive with a multiplicity count.
 //! * [`wide`] — the BVH4 layout real RT cores traverse: any binary tree from

@@ -1,0 +1,583 @@
+//! BVH-backed neighbour-search backends: the binary traversal oracle and
+//! the wide (BVH4) batched engine.
+
+use super::{
+    charge_candidate, IndexCapabilities, IndexKind, Neighbor, NeighborFlow, NeighborIndex,
+    NeighborIndexBuilder, NeighborSink, NeighborVisitor,
+};
+use crate::bvh::BuilderKind;
+use crate::bvh::{
+    compact_coincident, refit, spheres_from_points, Bvh, BvhBuilder, LbvhBuilder,
+    MedianSplitBuilder, SahBuilder, WideBvh,
+};
+use crate::error::Result;
+use crate::geometry::{Point3, Ray};
+use crate::hardware::WorkCounters;
+use crate::pipeline::GeometryKind;
+use crate::traversal::{traverse, traverse_batch, traverse_wide, Traversal};
+use parking_lot::Mutex;
+use std::collections::HashSet;
+
+/// State shared by the binary and wide backends: the built tree, the
+/// compaction mapping, and the accounting.
+#[derive(Debug)]
+struct BvhCore {
+    n: usize,
+    eps: f32,
+    bvh: Option<Bvh>,
+    /// `representative_of[i]` is the primitive standing for point `i`
+    /// (identity when compaction is off or merged nothing).
+    representative_of: Vec<u32>,
+    compacting: bool,
+    geometry: GeometryKind,
+    min_parallel_launch: usize,
+    build_counters: WorkCounters,
+    query_counters: Mutex<WorkCounters>,
+}
+
+impl BvhCore {
+    fn build(config: &NeighborIndexBuilder, points: &[Point3], eps: f32) -> Result<Self> {
+        let mut build_counters = WorkCounters::ZERO;
+        let (spheres, representative_of) = if config.compaction {
+            let compaction = compact_coincident(points, eps);
+            build_counters.compaction_merges += compaction.merged;
+            // The bounds program still runs once per *input* primitive
+            // before the device merges duplicates, so charge those too.
+            build_counters.build_prims += compaction.merged;
+            (compaction.spheres, compaction.representative_of)
+        } else {
+            (
+                spheres_from_points(points, eps),
+                (0..points.len() as u32).collect(),
+            )
+        };
+        let bvh = if spheres.is_empty() {
+            None
+        } else {
+            Some(match config.bvh_builder {
+                BuilderKind::BinnedSah => SahBuilder {
+                    max_leaf_size: config.max_leaf_size,
+                    ..SahBuilder::default()
+                }
+                .build(spheres)?,
+                BuilderKind::Lbvh => LbvhBuilder {
+                    max_leaf_size: config.max_leaf_size,
+                }
+                .build(spheres)?,
+                BuilderKind::MedianSplit => MedianSplitBuilder {
+                    max_leaf_size: config.max_leaf_size,
+                }
+                .build(spheres)?,
+            })
+        };
+        if let Some(b) = &bvh {
+            build_counters += b.build_counters;
+        }
+        Ok(BvhCore {
+            n: points.len(),
+            eps,
+            bvh,
+            representative_of,
+            compacting: config.compaction,
+            geometry: config.geometry,
+            min_parallel_launch: config.min_parallel_launch,
+            build_counters,
+            query_counters: Mutex::new(WorkCounters::ZERO),
+        })
+    }
+
+    /// One counted single-ray traversal over the binary tree, invoking
+    /// `emit` for every verified neighbour.
+    fn trace_binary(
+        &self,
+        query: Point3,
+        eps: f32,
+        exclude: Option<u32>,
+        counters: &mut WorkCounters,
+        mut emit: impl FnMut(Neighbor, &mut WorkCounters) -> NeighborFlow,
+    ) {
+        debug_assert!(eps <= self.eps, "query radius exceeds the build radius");
+        let Some(bvh) = &self.bvh else { return };
+        counters.rays += 1;
+        let ray = Ray::epsilon_ray(query);
+        let eps_sq = eps * eps;
+        let geometry = self.geometry;
+        traverse(bvh, &ray, counters, |sphere, counters| {
+            charge_candidate(geometry, counters);
+            if sphere.center.distance_squared(query) <= eps_sq
+                && Some(sphere.point_index) != exclude
+            {
+                let n = Neighbor {
+                    index: sphere.point_index,
+                    multiplicity: sphere.multiplicity,
+                };
+                match emit(n, counters) {
+                    NeighborFlow::Continue => Traversal::Continue,
+                    NeighborFlow::Stop => Traversal::Terminate,
+                }
+            } else {
+                Traversal::Continue
+            }
+        });
+    }
+
+    fn record(&self, local: &WorkCounters) {
+        *self.query_counters.lock() += *local;
+    }
+
+    fn remove_impl(&mut self, retired: &[u32]) -> Result<WorkCounters> {
+        // Refuse whenever compaction is configured (not merely when it
+        // merged something) so behaviour always matches the advertised
+        // `capabilities().refittable`.
+        if self.compacting {
+            return Err(crate::error::Error::InvalidConfig(
+                "cannot remove points from a compacting index: merged primitives \
+                 stand for several input points"
+                    .into(),
+            ));
+        }
+        let mut counters = WorkCounters::ZERO;
+        if let Some(bvh) = &mut self.bvh {
+            let dead: HashSet<u32> = retired.iter().copied().collect();
+            refit::remove_points(bvh, |idx| dead.contains(&idx), &mut counters);
+            self.n = self.n.saturating_sub(retired.len());
+            if bvh.primitives.is_empty() {
+                self.bvh = None;
+            }
+        }
+        self.build_counters += counters;
+        Ok(counters)
+    }
+
+    fn update_impl(&mut self, moved: &[(u32, Point3)]) -> Result<WorkCounters> {
+        if self.compacting {
+            return Err(crate::error::Error::InvalidConfig(
+                "cannot move points of a compacting index: merged primitives \
+                 stand for several input points"
+                    .into(),
+            ));
+        }
+        let mut counters = WorkCounters::ZERO;
+        if let Some(bvh) = &mut self.bvh {
+            refit::update_spheres(
+                bvh,
+                |sphere| {
+                    if let Some(&(_, p)) = moved.iter().find(|&&(i, _)| i == sphere.point_index) {
+                        sphere.center = p;
+                    }
+                },
+                &mut counters,
+            );
+        }
+        self.build_counters += counters;
+        Ok(counters)
+    }
+
+    fn capabilities(&self, kind: IndexKind, batched: bool) -> IndexCapabilities {
+        IndexCapabilities {
+            kind,
+            batched,
+            compacting: self.compacting,
+            refittable: !self.compacting,
+            rt_core: true,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary backend
+// ---------------------------------------------------------------------------
+
+/// One-ray-at-a-time traversal of a binary BVH — the reference RT substrate
+/// and the oracle the batched engine is verified against.
+#[derive(Debug)]
+pub struct BinaryBvhIndex {
+    core: BvhCore,
+}
+
+impl BinaryBvhIndex {
+    /// Build from a [`NeighborIndexBuilder`] configuration (the builder's
+    /// `kind` field is ignored — this constructor always builds binary).
+    pub fn build(config: &NeighborIndexBuilder, points: &[Point3], eps: f32) -> Result<Self> {
+        Ok(BinaryBvhIndex {
+            core: BvhCore::build(config, points, eps)?,
+        })
+    }
+
+    /// The underlying binary tree, if any points were indexed.
+    pub fn bvh(&self) -> Option<&Bvh> {
+        self.core.bvh.as_ref()
+    }
+}
+
+impl NeighborIndex for BinaryBvhIndex {
+    fn len(&self) -> usize {
+        self.core.n
+    }
+
+    fn eps(&self) -> f32 {
+        self.core.eps
+    }
+
+    fn capabilities(&self) -> IndexCapabilities {
+        self.core.capabilities(IndexKind::BinaryBvh, false)
+    }
+
+    fn build_counters(&self) -> WorkCounters {
+        self.core.build_counters
+    }
+
+    fn counters(&self) -> WorkCounters {
+        self.core.build_counters + *self.core.query_counters.lock()
+    }
+
+    fn device_bytes(&self) -> u64 {
+        self.core.bvh.as_ref().map_or(0, Bvh::device_bytes)
+    }
+
+    fn representative_of(&self, index: u32) -> u32 {
+        self.core
+            .representative_of
+            .get(index as usize)
+            .copied()
+            .unwrap_or(index)
+    }
+
+    fn for_each_neighbor(
+        &self,
+        query: Point3,
+        eps: f32,
+        exclude: Option<u32>,
+        counters: &mut WorkCounters,
+        visit: &mut NeighborVisitor<'_>,
+    ) {
+        let mut local = WorkCounters::ZERO;
+        self.core
+            .trace_binary(query, eps, exclude, &mut local, |n, c| visit(n, c));
+        self.core.record(&local);
+        *counters += local;
+    }
+
+    fn batch_neighbors(
+        &self,
+        queries: &[Point3],
+        eps: f32,
+        counters: &mut WorkCounters,
+        sink: &NeighborSink<'_>,
+    ) {
+        let total = super::dispatch_batch(
+            queries.len(),
+            queries.len() >= self.core.min_parallel_launch,
+            |ordinal| {
+                let mut local = WorkCounters::ZERO;
+                self.core
+                    .trace_binary(queries[ordinal], eps, None, &mut local, |n, c| {
+                        sink(ordinal, n, c)
+                    });
+                local
+            },
+        );
+        self.core.record(&total);
+        *counters += total;
+    }
+
+    fn remove(&mut self, retired: &[u32]) -> Result<WorkCounters> {
+        self.core.remove_impl(retired)
+    }
+
+    fn update(&mut self, moved: &[(u32, Point3)]) -> Result<WorkCounters> {
+        self.core.update_impl(moved)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wide batched backend
+// ---------------------------------------------------------------------------
+
+/// The BVH4 scene real RT cores walk: the binary tree is collapsed once at
+/// build time and queries launch in fixed-size ray packets, each wide node
+/// fetched once per packet (see [`crate::traversal::batch`]).
+#[derive(Debug)]
+pub struct WideBatchedIndex {
+    core: BvhCore,
+    wide: Option<WideBvh>,
+    batch_size: usize,
+}
+
+impl WideBatchedIndex {
+    /// Build from a [`NeighborIndexBuilder`] configuration (the builder's
+    /// `kind` field is ignored — this constructor always builds wide).
+    pub fn build(config: &NeighborIndexBuilder, points: &[Point3], eps: f32) -> Result<Self> {
+        let mut core = BvhCore::build(config, points, eps)?;
+        let wide = core.bvh.as_ref().map(WideBvh::from_binary);
+        if let Some(w) = &wide {
+            // The collapse is device-build work, charged with the build.
+            core.build_counters += w.collapse_counters;
+        }
+        Ok(WideBatchedIndex {
+            core,
+            wide,
+            batch_size: config.batch_size.max(1),
+        })
+    }
+
+    /// The collapsed wide scene, if any points were indexed.
+    pub fn wide_scene(&self) -> Option<&WideBvh> {
+        self.wide.as_ref()
+    }
+
+    /// Fixed packet boundaries for a batched launch of `count` queries.
+    fn packet_ranges(&self, count: usize) -> Vec<(usize, usize)> {
+        (0..count)
+            .step_by(self.batch_size)
+            .map(|start| (start, self.batch_size.min(count - start)))
+            .collect()
+    }
+
+    /// Trace one packet of queries through the wide scene.
+    fn trace_packet(
+        &self,
+        queries: &[Point3],
+        start: usize,
+        len: usize,
+        eps: f32,
+        sink: &NeighborSink<'_>,
+    ) -> WorkCounters {
+        let mut counters = WorkCounters::ZERO;
+        let Some(wide) = &self.wide else {
+            return counters;
+        };
+        counters.rays += len as u64;
+        let rays: Vec<Ray> = queries[start..start + len]
+            .iter()
+            .map(|&q| Ray::epsilon_ray(q))
+            .collect();
+        let eps_sq = eps * eps;
+        let geometry = self.core.geometry;
+        traverse_batch(wide, &rays, &mut counters, |q, sphere, counters| {
+            charge_candidate(geometry, counters);
+            if sphere.center.distance_squared(rays[q].origin) <= eps_sq {
+                let n = Neighbor {
+                    index: sphere.point_index,
+                    multiplicity: sphere.multiplicity,
+                };
+                match sink(start + q, n, counters) {
+                    NeighborFlow::Continue => Traversal::Continue,
+                    NeighborFlow::Stop => Traversal::Terminate,
+                }
+            } else {
+                Traversal::Continue
+            }
+        });
+        counters
+    }
+}
+
+impl NeighborIndex for WideBatchedIndex {
+    fn len(&self) -> usize {
+        self.core.n
+    }
+
+    fn eps(&self) -> f32 {
+        self.core.eps
+    }
+
+    fn capabilities(&self) -> IndexCapabilities {
+        self.core.capabilities(IndexKind::WideBatched, true)
+    }
+
+    fn build_counters(&self) -> WorkCounters {
+        self.core.build_counters
+    }
+
+    fn counters(&self) -> WorkCounters {
+        self.core.build_counters + *self.core.query_counters.lock()
+    }
+
+    fn device_bytes(&self) -> u64 {
+        self.core.bvh.as_ref().map_or(0, Bvh::device_bytes)
+            + self.wide.as_ref().map_or(0, WideBvh::device_bytes)
+    }
+
+    fn representative_of(&self, index: u32) -> u32 {
+        self.core
+            .representative_of
+            .get(index as usize)
+            .copied()
+            .unwrap_or(index)
+    }
+
+    fn for_each_neighbor(
+        &self,
+        query: Point3,
+        eps: f32,
+        exclude: Option<u32>,
+        counters: &mut WorkCounters,
+        visit: &mut NeighborVisitor<'_>,
+    ) {
+        debug_assert!(eps <= self.core.eps, "query radius exceeds build radius");
+        let Some(wide) = &self.wide else { return };
+        let mut local = WorkCounters::ZERO;
+        local.rays += 1;
+        let ray = Ray::epsilon_ray(query);
+        let eps_sq = eps * eps;
+        let geometry = self.core.geometry;
+        traverse_wide(wide, &ray, &mut local, |sphere, counters| {
+            charge_candidate(geometry, counters);
+            if sphere.center.distance_squared(query) <= eps_sq
+                && Some(sphere.point_index) != exclude
+            {
+                let n = Neighbor {
+                    index: sphere.point_index,
+                    multiplicity: sphere.multiplicity,
+                };
+                match visit(n, counters) {
+                    NeighborFlow::Continue => Traversal::Continue,
+                    NeighborFlow::Stop => Traversal::Terminate,
+                }
+            } else {
+                Traversal::Continue
+            }
+        });
+        self.core.record(&local);
+        *counters += local;
+    }
+
+    fn batch_neighbors(
+        &self,
+        queries: &[Point3],
+        eps: f32,
+        counters: &mut WorkCounters,
+        sink: &NeighborSink<'_>,
+    ) {
+        debug_assert!(eps <= self.core.eps, "query radius exceeds build radius");
+        let ranges = self.packet_ranges(queries.len());
+        let total = super::dispatch_batch(
+            ranges.len(),
+            queries.len() >= self.core.min_parallel_launch,
+            |packet| {
+                let (start, len) = ranges[packet];
+                self.trace_packet(queries, start, len, eps, sink)
+            },
+        );
+        self.core.record(&total);
+        *counters += total;
+    }
+
+    fn remove(&mut self, retired: &[u32]) -> Result<WorkCounters> {
+        let mut counters = self.core.remove_impl(retired)?;
+        // The collapsed scene follows the binary tree's shape.
+        self.wide = self.core.bvh.as_ref().map(WideBvh::from_binary);
+        if let Some(w) = &self.wide {
+            counters += w.collapse_counters;
+            self.core.build_counters += w.collapse_counters;
+        }
+        Ok(counters)
+    }
+
+    fn update(&mut self, moved: &[(u32, Point3)]) -> Result<WorkCounters> {
+        let mut counters = self.core.update_impl(moved)?;
+        self.wide = self.core.bvh.as_ref().map(WideBvh::from_binary);
+        if let Some(w) = &self.wide {
+            counters += w.collapse_counters;
+            self.core.build_counters += w.collapse_counters;
+        }
+        Ok(counters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::NeighborIndexBuilder;
+
+    fn line(n: usize, spacing: f32) -> Vec<Point3> {
+        (0..n)
+            .map(|i| Point3::new(i as f32 * spacing, 0.0, 0.0))
+            .collect()
+    }
+
+    #[test]
+    fn compaction_reports_representatives_and_multiplicities() {
+        let mut pts = line(5, 10.0);
+        pts.push(pts[0]); // exact duplicate of point 0
+        pts.push(pts[0]);
+        let config = NeighborIndexBuilder {
+            compaction: true,
+            ..NeighborIndexBuilder::new(IndexKind::WideBatched)
+        };
+        let index = WideBatchedIndex::build(&config, &pts, 1.0).unwrap();
+        assert!(index.capabilities().compacting);
+        assert_eq!(index.build_counters().compaction_merges, 2);
+        assert_eq!(index.representative_of(5), index.representative_of(0));
+        // Querying at the duplicated location reports the representative
+        // with the whole group's multiplicity.
+        let mut c = WorkCounters::ZERO;
+        let mut seen = Vec::new();
+        index.for_each_neighbor(pts[0], 1.0, None, &mut c, &mut |n, _| {
+            seen.push((n.index, n.multiplicity));
+            NeighborFlow::Continue
+        });
+        assert_eq!(seen, vec![(index.representative_of(0), 3)]);
+    }
+
+    #[test]
+    fn wide_backend_counts_wide_visits_and_packets() {
+        let pts = line(300, 0.3);
+        let config = NeighborIndexBuilder {
+            batch_size: 64,
+            min_parallel_launch: 0,
+            ..NeighborIndexBuilder::new(IndexKind::WideBatched)
+        };
+        let index = WideBatchedIndex::build(&config, &pts, 0.5).unwrap();
+        let mut c = WorkCounters::ZERO;
+        index.batch_neighbors(&pts, 0.5, &mut c, &|_, _, _| NeighborFlow::Continue);
+        assert_eq!(c.rays, 300);
+        assert_eq!(c.node_visits, 0);
+        assert!(c.wide_node_visits > 0);
+        assert_eq!(c.batched_launches, 5, "300 rays in packets of 64");
+    }
+
+    #[test]
+    fn binary_backend_refits_out_removed_points() {
+        let pts = line(40, 1.0);
+        let config = NeighborIndexBuilder::new(IndexKind::BinaryBvh);
+        let mut index = BinaryBvhIndex::build(&config, &pts, 1.5).unwrap();
+        let mut c = WorkCounters::ZERO;
+        let mut got = index.neighbors_of(pts[10], 1.5, Some(10), &mut c);
+        got.sort_unstable();
+        assert_eq!(got, vec![9, 11]);
+        let refit_work = index.remove(&[9, 11]).unwrap();
+        assert!(refit_work.refit_node_ops > 0);
+        assert!(index
+            .neighbors_of(pts[10], 1.5, Some(10), &mut c)
+            .is_empty());
+        assert_eq!(index.len(), 38);
+    }
+
+    #[test]
+    fn wide_backend_update_moves_points_in_place() {
+        let pts = line(20, 5.0);
+        let config = NeighborIndexBuilder::new(IndexKind::WideBatched);
+        let mut index = WideBatchedIndex::build(&config, &pts, 1.0).unwrap();
+        let mut c = WorkCounters::ZERO;
+        assert!(index.neighbors_of(pts[0], 1.0, Some(0), &mut c).is_empty());
+        // Move point 1 next to point 0.
+        index.update(&[(1, Point3::new(0.5, 0.0, 0.0))]).unwrap();
+        assert_eq!(index.neighbors_of(pts[0], 1.0, Some(0), &mut c), vec![1]);
+    }
+
+    #[test]
+    fn compacted_indexes_refuse_refit_hooks() {
+        let mut pts = line(4, 10.0);
+        pts.push(pts[0]);
+        let config = NeighborIndexBuilder {
+            compaction: true,
+            ..NeighborIndexBuilder::new(IndexKind::BinaryBvh)
+        };
+        let mut index = BinaryBvhIndex::build(&config, &pts, 1.0).unwrap();
+        assert!(!index.capabilities().refittable);
+        assert!(index.remove(&[0]).is_err());
+        assert!(index.update(&[(0, Point3::ORIGIN)]).is_err());
+    }
+}

@@ -21,9 +21,12 @@
 //!   converts those counts into simulated execution time for an RT-core
 //!   device (RTX-2060-like) or a shader-core-only device, together with a
 //!   simulated device-memory budget.
-//! * [`query`] — `RT-FindNeighbor`: the fixed-radius nearest-neighbour
-//!   primitive of the paper (Definition III.1 / Algorithm 2), built on top of
-//!   the pipeline.
+//! * [`index`] — the pluggable neighbour-search backend layer: the
+//!   [`index::NeighborIndex`] trait with binary-BVH, wide-batched (BVH4),
+//!   uniform-grid and brute-force implementations, all answering the same
+//!   fixed-radius queries through one object-safe surface.
+//! * [`query`] — the original `RT-FindNeighbor` convenience API, kept as a
+//!   deprecated shim over [`index::BinaryBvhIndex`].
 //!
 //! The crate has no knowledge of DBSCAN; clustering lives in the `rtdbscan`
 //! crate which drives this one.
@@ -32,15 +35,19 @@
 //!
 //! ```
 //! use rtcore::geometry::Point3;
-//! use rtcore::query::FixedRadiusSearch;
+//! use rtcore::hardware::WorkCounters;
+//! use rtcore::index::{IndexKind, NeighborIndexBuilder};
 //!
 //! let pts = vec![
 //!     Point3::new(0.0, 0.0, 0.0),
 //!     Point3::new(0.5, 0.0, 0.0),
 //!     Point3::new(10.0, 0.0, 0.0),
 //! ];
-//! let search = FixedRadiusSearch::build(&pts, 1.0);
-//! let n = search.neighbors_of(0);
+//! let index = NeighborIndexBuilder::new(IndexKind::BinaryBvh)
+//!     .build(&pts, 1.0)
+//!     .unwrap();
+//! let mut counters = WorkCounters::ZERO;
+//! let n = index.neighbors_of(pts[0], 1.0, Some(0), &mut counters);
 //! assert_eq!(n, vec![1]); // point 2 is too far, self is excluded
 //! ```
 
@@ -51,6 +58,7 @@ pub mod bvh;
 pub mod error;
 pub mod geometry;
 pub mod hardware;
+pub mod index;
 pub mod pipeline;
 pub mod query;
 pub mod traversal;

@@ -8,7 +8,7 @@
 //! Intersection program** and explicitly disables AnyHit and ClosestHit
 //! (Section IV), which is exactly how this module is intended to be used.
 //!
-//! A [`Pipeline`] borrows a built [`Bvh`] ("the scene"), a user
+//! A [`Pipeline`] borrows a built [`crate::bvh::Bvh`] ("the scene"), a user
 //! [`RayProgram`] provides the programmable stages, and
 //! [`Pipeline::launch`] executes one ray per launch index in parallel —
 //! the software analogue of launching one CUDA thread per ray.

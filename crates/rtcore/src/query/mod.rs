@@ -1,22 +1,20 @@
-//! `RT-FindNeighbor`: the fixed-radius nearest-neighbour primitive.
+//! `RT-FindNeighbor`: the original fixed-radius convenience API.
 //!
-//! This is the crate's high-level convenience API, implementing
-//! Definition III.1 / Algorithm 2 of the paper end-to-end: expand an
-//! ε-sphere around every data point, build the acceleration structure, and
-//! answer `findNeighborhood(p, S, ε)` queries by tracing an infinitesimal ray
-//! from `p` and filtering the intersected spheres with an exact distance
-//! test and the self-intersection filter.
-//!
-//! The RT-DBSCAN implementation in the `rtdbscan` crate drives the lower
-//! level [`crate::pipeline`] directly (it needs compaction and per-phase
-//! counters); this module is the ergonomic entry point for everything else —
-//! examples, tests and applications that just need neighbour queries.
+//! Superseded by the backend layer in [`crate::index`]: a
+//! [`FixedRadiusSearch`] is now a thin shim over
+//! [`crate::index::BinaryBvhIndex`], kept for one release so existing
+//! callers migrate at their own pace.  New code should build a backend
+//! through [`crate::index::NeighborIndexBuilder`] instead — it exposes the
+//! same queries behind an object-safe trait, plus batched launches,
+//! refit hooks, and three further backends.
 
-use crate::bvh::{spheres_from_points, BuilderKind, Bvh, BvhBuilder, LbvhBuilder, SahBuilder};
+#![allow(deprecated)]
+
+use crate::bvh::BuilderKind;
 use crate::error::Result;
-use crate::geometry::{Point3, Ray};
+use crate::geometry::Point3;
 use crate::hardware::WorkCounters;
-use crate::traversal::{traverse, Traversal};
+use crate::index::{BinaryBvhIndex, NeighborFlow, NeighborIndex, NeighborIndexBuilder};
 use parking_lot::Mutex;
 
 /// Options controlling how a [`FixedRadiusSearch`] builds its scene.
@@ -38,13 +36,18 @@ impl Default for SearchOptions {
 }
 
 /// A built fixed-radius search structure over a point set.
+///
+/// Deprecated shim: delegates every query to a
+/// [`crate::index::BinaryBvhIndex`] with identical counters and boundary
+/// semantics.
+#[deprecated(
+    since = "0.3.0",
+    note = "use rtcore::index::NeighborIndexBuilder / BinaryBvhIndex instead"
+)]
 #[derive(Debug)]
 pub struct FixedRadiusSearch {
     points: Vec<Point3>,
-    radius: f32,
-    bvh: Option<Bvh>,
-    /// Work performed by queries since construction (build work is recorded
-    /// separately in the BVH itself).
+    index: BinaryBvhIndex,
     query_counters: Mutex<WorkCounters>,
 }
 
@@ -60,38 +63,21 @@ impl FixedRadiusSearch {
 
     /// Build a search structure with explicit options.
     pub fn build_with(points: &[Point3], radius: f32, options: SearchOptions) -> Result<Self> {
-        let bvh = if points.is_empty() {
-            None
-        } else {
-            let prims = spheres_from_points(points, radius);
-            let bvh = match options.builder {
-                BuilderKind::Lbvh => LbvhBuilder {
-                    max_leaf_size: options.max_leaf_size,
-                }
-                .build(prims)?,
-                BuilderKind::BinnedSah => SahBuilder {
-                    max_leaf_size: options.max_leaf_size,
-                    ..SahBuilder::default()
-                }
-                .build(prims)?,
-                BuilderKind::MedianSplit => crate::bvh::MedianSplitBuilder {
-                    max_leaf_size: options.max_leaf_size,
-                }
-                .build(prims)?,
-            };
-            Some(bvh)
+        let config = NeighborIndexBuilder {
+            bvh_builder: options.builder,
+            max_leaf_size: options.max_leaf_size,
+            ..NeighborIndexBuilder::new(crate::index::IndexKind::BinaryBvh)
         };
         Ok(FixedRadiusSearch {
             points: points.to_vec(),
-            radius,
-            bvh,
+            index: BinaryBvhIndex::build(&config, points, radius)?,
             query_counters: Mutex::new(WorkCounters::ZERO),
         })
     }
 
     /// The search radius (ε).
     pub fn radius(&self) -> f32 {
-        self.radius
+        self.index.eps()
     }
 
     /// Number of points in the structure.
@@ -111,10 +97,7 @@ impl FixedRadiusSearch {
 
     /// Work performed by the BVH build.
     pub fn build_counters(&self) -> WorkCounters {
-        self.bvh
-            .as_ref()
-            .map(|b| b.build_counters)
-            .unwrap_or(WorkCounters::ZERO)
+        self.index.build_counters()
     }
 
     /// Work performed by all queries since construction.
@@ -125,12 +108,25 @@ impl FixedRadiusSearch {
     /// Neighbours of the `index`-th data point (self excluded), in arbitrary
     /// order.
     pub fn neighbors_of(&self, index: usize) -> Vec<u32> {
-        self.neighbors_filtered(self.points[index], Some(index as u32))
+        let mut scratch = WorkCounters::ZERO;
+        let out = self.index.neighbors_of(
+            self.points[index],
+            self.radius(),
+            Some(index as u32),
+            &mut scratch,
+        );
+        *self.query_counters.lock() += scratch;
+        out
     }
 
     /// Neighbours of an arbitrary query location (no self-exclusion).
     pub fn neighbors_of_point(&self, query: Point3) -> Vec<u32> {
-        self.neighbors_filtered(query, None)
+        let mut scratch = WorkCounters::ZERO;
+        let out = self
+            .index
+            .neighbors_of(query, self.radius(), None, &mut scratch);
+        *self.query_counters.lock() += scratch;
+        out
     }
 
     /// Number of neighbours of the `index`-th data point (self excluded).
@@ -145,37 +141,19 @@ impl FixedRadiusSearch {
     where
         F: FnMut(u32) -> bool,
     {
-        let Some(bvh) = &self.bvh else {
-            return 0;
-        };
-        let ray = Ray::epsilon_ray(query);
-        let radius_sq = self.radius * self.radius;
-        let mut counters = WorkCounters::ZERO;
-        counters.rays += 1;
         let mut visited = 0usize;
-        traverse(bvh, &ray, &mut counters, |sphere, counters| {
-            counters.dist_comps += 1;
-            if sphere.center.distance_squared(query) <= radius_sq
-                && Some(sphere.point_index) != exclude
-            {
+        let mut scratch = WorkCounters::ZERO;
+        self.index
+            .for_each_neighbor(query, self.radius(), exclude, &mut scratch, &mut |n, _| {
                 visited += 1;
-                if !visit(sphere.point_index) {
-                    return Traversal::Terminate;
+                if visit(n.index) {
+                    NeighborFlow::Continue
+                } else {
+                    NeighborFlow::Stop
                 }
-            }
-            Traversal::Continue
-        });
-        *self.query_counters.lock() += counters;
+            });
+        *self.query_counters.lock() += scratch;
         visited
-    }
-
-    fn neighbors_filtered(&self, query: Point3, exclude: Option<u32>) -> Vec<u32> {
-        let mut out = Vec::new();
-        self.for_each_neighbor(query, exclude, |idx| {
-            out.push(idx);
-            true
-        });
-        out
     }
 }
 

@@ -61,7 +61,7 @@ fn occupied_slots(node: &crate::bvh::WideNode) -> u64 {
 ///
 /// Work is recorded as `wide_node_visits` (one per wide node) plus one
 /// `aabb_tests` per occupied child slot — the four boxes are tested in one
-/// lockstep lane compare ([`WideNode::point_hit_mask`]), but each occupied
+/// lockstep lane compare ([`crate::bvh::WideNode::point_hit_mask`]), but each occupied
 /// lane is still a box test as far as the cost model is concerned.
 pub fn traverse_wide<F>(
     wide: &WideBvh,

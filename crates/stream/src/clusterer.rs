@@ -178,6 +178,11 @@ pub struct StreamingClusterer {
     /// Set when the incremental partition may be invalid (a core point
     /// retired or flipped down); cleared by the stage-2 pass in `snapshot`.
     dirty: bool,
+    /// The last materialised clustering, valid while the window is
+    /// unchanged: clean repeat snapshots return it without recomputing (or
+    /// recounting) anything.  Any successful ingest that inserts or evicts
+    /// invalidates it.
+    snapshot_cache: Option<Clustering>,
 
     /// Work by phase, mirroring the batch pipeline's breakdown: scene
     /// maintenance (build/refit), neighbour-count maintenance (stage 1),
@@ -213,6 +218,7 @@ impl StreamingClusterer {
             pending: Vec::new(),
             dsu: EpochDisjointSet::new(0),
             dirty: false,
+            snapshot_cache: None,
             build_counters: WorkCounters::ZERO,
             stage1_counters: WorkCounters::ZERO,
             stage2_counters: WorkCounters::ZERO,
@@ -301,6 +307,11 @@ impl StreamingClusterer {
         }
         let mut report = IngestReport::default();
         self.flips_scratch.clear();
+        if !batch.is_empty() {
+            // The window contents are about to change; the cached snapshot
+            // no longer describes them.
+            self.snapshot_cache = None;
+        }
 
         for &(point, time) in batch {
             self.now = if self.now.is_finite() {
@@ -717,8 +728,15 @@ impl StreamingClusterer {
     /// state.  On the dirty path it first re-forms the core partition with
     /// a stage-2-only pass: O(1) epoch reset of the disjoint set, then one
     /// neighbourhood traversal per live core point — never a scene rebuild
-    /// or a stage-1 recount.
+    /// or a stage-1 recount.  A repeat snapshot of an *unchanged* window
+    /// performs no counted work at all: the previous result is cached and
+    /// returned directly (the dirty-window flag doubles as the cache
+    /// invalidation).
     pub fn snapshot(&mut self) -> Clustering {
+        if let Some(cached) = &self.snapshot_cache {
+            self.stats.clean_snapshots += 1;
+            return cached.clone();
+        }
         if self.dirty {
             self.reform_partition();
             self.stats.dirty_snapshots += 1;
@@ -743,7 +761,9 @@ impl StreamingClusterer {
             self.stage2_counters.misc_ops += 1;
         }
         self.drain_dsu_ops();
-        Clustering::new(labels, core_flags)
+        let clustering = Clustering::new(labels, core_flags);
+        self.snapshot_cache = Some(clustering.clone());
+        clustering
     }
 
     /// Rays per packet for the batched snapshot repair (bounds the size of
@@ -1213,5 +1233,42 @@ mod tests {
         let a = c.snapshot();
         let b = c.snapshot();
         assert_eq!(a.canonicalize(), b.canonicalize());
+    }
+
+    #[test]
+    fn clean_repeat_snapshots_are_cached_and_cost_nothing() {
+        // Slide the window so the first snapshot takes the dirty repair
+        // path, then snapshot repeatedly without ingesting.
+        let mut c = StreamingClusterer::new(config(1.0, 2, WindowPolicy::Count(20))).unwrap();
+        for wave in 0..4 {
+            let pts: Vec<Point3> = (0..10)
+                .map(|i| Point3::new_2d(wave as f32 * 2.0 + (i % 5) as f32 * 0.4, 0.0))
+                .collect();
+            c.ingest(&timestamped(&pts, wave as f64 * 100.0)).unwrap();
+        }
+        let first = c.snapshot();
+        let counters_after_first = c.counters();
+        let stats_after_first = c.stats();
+        let second = c.snapshot();
+        let third = c.snapshot();
+        // Identical output (bit-identical, not just equivalent) …
+        assert_eq!(first.labels, second.labels);
+        assert_eq!(first.core, second.core);
+        assert_eq!(first.labels, third.labels);
+        // … at exactly zero additional counted work …
+        assert_eq!(counters_after_first, c.counters());
+        // … with the repeats recorded as clean snapshots.
+        assert_eq!(
+            c.stats().clean_snapshots,
+            stats_after_first.clean_snapshots + 2
+        );
+        assert_eq!(c.stats().dirty_snapshots, stats_after_first.dirty_snapshots);
+
+        // Ingesting anything invalidates the cache again.
+        c.ingest(&[(Point3::new_2d(50.0, 0.0), 1000.0)]).unwrap();
+        let after = c.snapshot();
+        assert_ne!(first.len(), 0);
+        assert_eq!(after.len(), c.len());
+        assert!(c.counters().misc_ops > counters_after_first.misc_ops);
     }
 }

@@ -39,8 +39,10 @@
 
 mod adapter;
 mod clusterer;
+mod engine_ext;
 mod window;
 
 pub use adapter::StreamingSnapshotAlgorithm;
 pub use clusterer::{IngestReport, StreamingClusterer, StreamingStats};
+pub use engine_ext::EngineStreamExt;
 pub use window::{StreamingConfig, WindowPolicy};

@@ -1,19 +1,19 @@
-//! Side-by-side comparison of every DBSCAN implementation in the crate.
+//! Side-by-side comparison of every DBSCAN implementation in the workspace,
+//! driven through the `ClusterEngine` façade.
 //!
 //! ```text
-//! cargo run --release -p rtdbscan --example compare_algorithms
+//! cargo run --release --example compare_algorithms
 //! ```
 //!
-//! Runs RT-DBSCAN, FDBSCAN (with and without early exit), G-DBSCAN,
-//! CUDA-DClust+ and the sequential reference on the same ionosphere-like
-//! dataset, checks that they all agree, and prints the work / memory /
-//! simulated-time comparison — a miniature version of the paper's Figure 4.
+//! Runs every [`Algo`] — RT-DBSCAN, FDBSCAN (with and without early exit),
+//! G-DBSCAN, CUDA-DClust+ and the sequential reference — on its native
+//! backend over the same ionosphere-like dataset, checks that they all
+//! agree, and prints the work / memory / simulated-time comparison — a
+//! miniature version of the paper's Figure 4.
 
 use rtdbscan::metrics::{adjusted_rand_index, same_clustering};
-use rtdbscan::{
-    ClassicDbscan, CudaDclustPlus, DbscanAlgorithm, DbscanParams, Fdbscan, GDbscan, RtDbscan,
-};
 use rtdbscan_datasets::{generate, PaperDataset};
+use rtdbscan_repro::prelude::*;
 
 fn main() {
     let points = generate(PaperDataset::Ionosphere3d, 12_000, 42);
@@ -26,46 +26,52 @@ fn main() {
     );
     println!();
 
-    let algorithms: Vec<Box<dyn DbscanAlgorithm>> = vec![
-        Box::new(RtDbscan::default()),
-        Box::new(Fdbscan::default()),
-        Box::new(Fdbscan::with_early_exit()),
-        Box::new(GDbscan::default()),
-        Box::new(CudaDclustPlus::default()),
-        Box::new(ClassicDbscan),
-    ];
+    let engines: Vec<ClusterEngine> = Algo::ALL
+        .iter()
+        .map(|&algo| {
+            ClusterEngine::builder()
+                .algorithm(algo)
+                .params(params)
+                .build()
+                .expect("valid engine configuration")
+        })
+        .collect();
 
-    let reference = ClassicDbscan
-        .run(&points, params)
-        .expect("reference run")
-        .clustering;
-    let device = rtcore::hardware::DeviceModel::rtx2060();
+    let reference = ClassicDbscan::cluster(&points, params).expect("reference run");
 
     println!(
-        "{:<22} {:>9} {:>9} {:>14} {:>14} {:>12} {:>8}",
-        "algorithm", "clusters", "noise", "sim time (s)", "wall time (s)", "device MiB", "ARI"
+        "{:<22} {:<14} {:>9} {:>9} {:>14} {:>14} {:>12} {:>8}",
+        "algorithm",
+        "backend",
+        "clusters",
+        "noise",
+        "sim time (s)",
+        "wall time (s)",
+        "device MiB",
+        "ARI"
     );
-    for algo in &algorithms {
-        match algo.run(&points, params) {
+    for engine in &engines {
+        match engine.run(&points) {
             Ok(run) => {
                 assert!(
                     same_clustering(&reference, &run.clustering, &points, params),
                     "{} disagrees with the reference clustering",
-                    algo.name()
+                    engine.algo().name()
                 );
                 println!(
-                    "{:<22} {:>9} {:>9} {:>14.6} {:>14.3} {:>12.1} {:>8.3}",
-                    algo.name(),
+                    "{:<22} {:<14} {:>9} {:>9} {:>14.6} {:>14.3} {:>12.1} {:>8.3}",
+                    engine.algo().name(),
+                    engine.index_kind().name(),
                     run.clustering.num_clusters(),
                     run.clustering.noise_count(),
-                    run.simulate_on(&device).total().as_secs_f64(),
+                    engine.simulate(&run).total().as_secs_f64(),
                     run.timings.total().as_secs_f64(),
                     run.device_bytes as f64 / (1024.0 * 1024.0),
                     adjusted_rand_index(&reference, &run.clustering)
                 );
             }
             Err(err) => {
-                println!("{:<22} failed: {err}", algo.name());
+                println!("{:<22} failed: {err}", engine.algo().name());
             }
         }
     }

@@ -1,18 +1,21 @@
-//! Parameter exploration — the "typical DBSCAN use case" of Section VI-B.
+//! Parameter exploration — the "typical DBSCAN use case" of Section VI-B,
+//! through the engine's session mode.
 //!
 //! ```text
-//! cargo run --release -p rtdbscan --example parameter_sweep
+//! cargo run --release --example parameter_sweep
 //! ```
 //!
 //! The paper argues that in practice users run DBSCAN many times with
 //! different (ε, minPts) values while exploring a dataset, which is why it
 //! favours recording full neighbour counts over the early-exit optimisation.
-//! This example performs such an exploration on a road-network dataset and
-//! prints how the clustering changes across the grid, along with the
-//! accumulated simulated cost of the whole sweep for RT-DBSCAN vs FDBSCAN.
+//! This example performs such an exploration on a road-network dataset:
+//! for every ε one [`ClusterEngine::session`] builds the index and records
+//! stage-1 counts once, after which each `minPts` value pays only for the
+//! cluster-formation stage.  The accumulated simulated cost is compared
+//! against FDBSCAN re-running from scratch every time.
 
-use rtdbscan::{DbscanAlgorithm, DbscanParams, Fdbscan, RtDbscan};
 use rtdbscan_datasets::{generate, PaperDataset};
+use rtdbscan_repro::prelude::*;
 
 fn main() {
     let points = generate(PaperDataset::RoadNetwork, 40_000, 42);
@@ -23,14 +26,31 @@ fn main() {
         "eps", "minPts", "clusters", "noise", "largest"
     );
 
-    let device = rtcore::hardware::DeviceModel::rtx2060();
+    let device = DeviceModel::rtx2060();
     let mut rt_total = 0.0f64;
     let mut fd_total = 0.0f64;
 
     for &eps in &[0.01f32, 0.02, 0.05, 0.1] {
+        // One session per eps: index build + stage-1 counting happen once.
+        let engine = ClusterEngine::builder()
+            .algorithm(Algo::Rt)
+            .index(IndexKind::WideBatched)
+            .eps(eps)
+            .min_pts(1)
+            .build()
+            .expect("valid engine configuration");
+        let session = engine.session(&points).expect("session build");
+        let (setup_counters, _) = session.setup_cost();
+        rt_total += device
+            .total_time(
+                &setup_counters.total(),
+                rtcore::hardware::ExecutionPath::RtCore,
+            )
+            .as_secs_f64();
+
         for &min_pts in &[5usize, 20, 50] {
             let params = DbscanParams::new(eps, min_pts).expect("valid parameters");
-            let rt_run = RtDbscan::default().run(&points, params).expect("RT-DBSCAN");
+            let rt_run = session.cluster(min_pts).expect("session cluster");
             let fd_run = Fdbscan::default().run(&points, params).expect("FDBSCAN");
             rt_total += rt_run.simulate_on(&device).total().as_secs_f64();
             fd_total += fd_run.simulate_on(&device).total().as_secs_f64();
@@ -49,8 +69,8 @@ fn main() {
 
     println!();
     println!(
-        "whole sweep, simulated RTX 2060: RT-DBSCAN {rt_total:.4} s vs FDBSCAN {fd_total:.4} s \
-         ({:.2}x saved by the RT cores across the exploration)",
+        "whole sweep, simulated RTX 2060: RT-DBSCAN sessions {rt_total:.4} s vs FDBSCAN from \
+         scratch {fd_total:.4} s ({:.2}x saved by reusing the index + stage-1 counts)",
         fd_total / rt_total
     );
 }

@@ -1,15 +1,15 @@
-//! Quickstart: cluster a small 2-D point set with RT-DBSCAN.
+//! Quickstart: cluster a small 2-D point set through the `ClusterEngine`
+//! builder façade.
 //!
 //! ```text
-//! cargo run --release -p rtdbscan --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 //!
-//! Generates three Gaussian blobs plus uniform noise, runs RT-DBSCAN, and
-//! prints what it found together with the per-phase timing breakdown the
-//! library reports.
+//! Generates three Gaussian blobs plus uniform noise, builds an engine
+//! (RT-DBSCAN on the wide batched BVH4 backend), runs it, and prints what it
+//! found together with the per-phase timing breakdown the library reports.
 
-use rtcore::geometry::Point3;
-use rtdbscan::{DbscanAlgorithm, DbscanParams, RtDbscan};
+use rtdbscan_repro::prelude::*;
 
 fn main() {
     // --- 1. Make some data: three blobs and a sprinkling of noise. ---------
@@ -42,18 +42,24 @@ fn main() {
         points.len()
     );
 
-    // --- 2. Cluster with RT-DBSCAN. -----------------------------------------
-    let params = DbscanParams::new(0.5, 8).expect("valid parameters");
-    let algorithm = RtDbscan::default();
-    let result = algorithm
-        .run(&points, params)
-        .expect("clustering should succeed");
+    // --- 2. Configure an engine: algorithm × backend × parameters. ---------
+    // The builder validates everything eagerly; misconfigurations fail here
+    // with a ConfigError naming the offending field, not somewhere downstream.
+    let engine = ClusterEngine::builder()
+        .algorithm(Algo::Rt)
+        .index(IndexKind::WideBatched)
+        .eps(0.5)
+        .min_pts(8)
+        .build()
+        .expect("valid engine configuration");
+    let result = engine.run(&points).expect("clustering should succeed");
 
     // --- 3. Inspect the result. ---------------------------------------------
     let clustering = &result.clustering;
     println!(
-        "{}: {} clusters, {} core points, {} border points, {} noise points",
-        algorithm.name(),
+        "{} on the {} backend: {} clusters, {} core points, {} border points, {} noise points",
+        engine.algo().name(),
+        engine.index_kind().name(),
         clustering.num_clusters(),
         clustering.core_count(),
         clustering.border_count(),
@@ -68,7 +74,7 @@ fn main() {
         "wall-clock: build {:.2?}, core identification {:.2?}, cluster formation {:.2?}",
         result.timings.build, result.timings.core_identification, result.timings.cluster_formation
     );
-    let simulated = result.simulate_on(&rtcore::hardware::DeviceModel::rtx2060());
+    let simulated = engine.simulate(&result);
     println!(
         "simulated RTX 2060: build {}, stage 1 {}, stage 2 {} (clustering fraction {:.0}%)",
         simulated.build,
@@ -84,4 +90,24 @@ fn main() {
         result.counters.total().prim_tests,
         result.counters.total().dist_comps
     );
+
+    // --- 5. Swap the backend, keep everything else. --------------------------
+    // The same engine configuration runs over the binary oracle, the grid or
+    // the brute-force scan; only the substrate (and its counters) changes.
+    for kind in [IndexKind::BinaryBvh, IndexKind::UniformGrid] {
+        let alt = ClusterEngine::builder()
+            .algorithm(Algo::Rt)
+            .index(kind)
+            .eps(0.5)
+            .min_pts(8)
+            .build()
+            .expect("valid engine configuration");
+        let alt_run = alt.run(&points).expect("clustering should succeed");
+        assert_eq!(alt_run.clustering.core, result.clustering.core);
+        println!(
+            "same clustering on the {} backend ({} dist comps)",
+            kind.name(),
+            alt_run.counters.total().dist_comps
+        );
+    }
 }

@@ -10,9 +10,9 @@
 //! the hotspot structure evolves, together with the update-policy decisions
 //! (refit vs rebuild) and their counted cost.
 
-use rtdbscan::DbscanParams;
+use rtdbscan::engine::{Algo, ClusterEngine, IndexKind};
 use rtdbscan_datasets::{PaperDataset, PointStream, StreamConfig};
-use rtdbscan_stream::{StreamingClusterer, StreamingConfig, WindowPolicy};
+use rtdbscan_stream::{EngineStreamExt, WindowPolicy};
 
 fn main() {
     // --- 1. A replayable trajectory feed: 20k GPS fixes at 2k fixes/s. ---
@@ -26,10 +26,19 @@ fn main() {
         },
     );
 
-    // --- 2. A clusterer keeping the last 4 seconds of traffic. ----------
-    let params = DbscanParams::new(0.5, 8).expect("valid parameters");
-    let config = StreamingConfig::new(params, WindowPolicy::Time(4.0));
-    let mut clusterer = StreamingClusterer::new(config).expect("valid config");
+    // --- 2. A clusterer keeping the last 4 seconds of traffic: the same
+    // engine configuration that drives batch runs and sessions also drives
+    // the streaming shape (`EngineStreamExt::stream`).
+    let engine = ClusterEngine::builder()
+        .algorithm(Algo::Rt)
+        .index(IndexKind::WideBatched)
+        .eps(0.5)
+        .min_pts(8)
+        .build()
+        .expect("valid engine configuration");
+    let mut clusterer = engine
+        .stream(WindowPolicy::Time(4.0))
+        .expect("valid window policy");
 
     println!("streaming Porto-style taxi fixes, 4 s sliding window, eps=0.5 minPts=8");
     println!(

@@ -21,3 +21,19 @@ pub use rtcore;
 pub use rtdbscan;
 pub use rtdbscan_datasets;
 pub use rtdbscan_stream;
+
+/// Flat one-line import surface for the whole workspace:
+/// `use rtdbscan_repro::prelude::*;` brings in the [`rtdbscan::engine`]
+/// builder façade, the `rtcore::index` backend layer, the parameter and
+/// result types, and the streaming entry points (including the
+/// [`rtdbscan_stream::EngineStreamExt`] trait that makes
+/// `engine.stream(window)` available).
+pub mod prelude {
+    pub use rtcore::geometry::Point3;
+    pub use rtcore::hardware::{DeviceModel, WorkCounters};
+    pub use rtdbscan::prelude::*;
+    pub use rtdbscan_stream::{
+        EngineStreamExt, StreamingClusterer, StreamingConfig, StreamingSnapshotAlgorithm,
+        WindowPolicy,
+    };
+}

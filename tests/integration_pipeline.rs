@@ -9,9 +9,22 @@ use rtcore::bvh::{
 };
 use rtcore::geometry::{Point3, Ray};
 use rtcore::hardware::{DeviceModel, ExecutionPath, WorkCounters};
-use rtcore::query::FixedRadiusSearch;
+use rtcore::index::{IndexKind, NeighborIndex, NeighborIndexBuilder};
 use rtcore::traversal::collect_sphere_hits;
 use rtdbscan_datasets::{generate, PaperDataset};
+
+fn binary_index(points: &[Point3], radius: f32) -> Box<dyn NeighborIndex> {
+    NeighborIndexBuilder::new(IndexKind::BinaryBvh)
+        .build(points, radius)
+        .expect("finite points and positive radius")
+}
+
+fn index_neighbors(index: &dyn NeighborIndex, points: &[Point3], q: usize) -> Vec<u32> {
+    let mut scratch = WorkCounters::ZERO;
+    let mut got = index.neighbors_of(points[q], index.eps(), Some(q as u32), &mut scratch);
+    got.sort_unstable();
+    got
+}
 
 fn brute_force_neighbors(points: &[Point3], q: usize, radius: f32) -> Vec<u32> {
     let mut out: Vec<u32> = points
@@ -49,12 +62,10 @@ fn fixed_radius_search_matches_brute_force_on_real_shaped_data() {
     for dataset in PaperDataset::ALL {
         let points = generate(dataset, 1_500, 23);
         let (eps, _) = dataset.default_params();
-        let search = FixedRadiusSearch::build(&points, eps);
+        let search = binary_index(&points, eps);
         for q in (0..points.len()).step_by(137) {
-            let mut got = search.neighbors_of(q);
-            got.sort_unstable();
             assert_eq!(
-                got,
+                index_neighbors(search.as_ref(), &points, q),
                 brute_force_neighbors(&points, q, eps),
                 "dataset {} query {q}",
                 dataset.name()
@@ -132,12 +143,12 @@ fn traversal_counters_and_device_model_are_consistent() {
 #[test]
 fn query_structure_handles_updates_of_radius_via_rebuild() {
     let points = generate(PaperDataset::Ionosphere3d, 2_000, 3);
-    let small = FixedRadiusSearch::build(&points, 0.1);
-    let large = FixedRadiusSearch::build(&points, 1.0);
+    let small = binary_index(&points, 0.1);
+    let large = binary_index(&points, 1.0);
     let mut grew = 0;
     for q in (0..points.len()).step_by(97) {
-        let a = small.neighbor_count(q);
-        let b = large.neighbor_count(q);
+        let a = index_neighbors(small.as_ref(), &points, q).len();
+        let b = index_neighbors(large.as_ref(), &points, q).len();
         assert!(b >= a, "larger radius can never lose neighbours");
         if b > a {
             grew += 1;
@@ -173,10 +184,11 @@ proptest! {
             })
             .collect();
         let q = query % n;
-        let search = FixedRadiusSearch::build(&pts, radius);
-        let mut got = search.neighbors_of(q);
-        got.sort_unstable();
-        prop_assert_eq!(got, brute_force_neighbors(&pts, q, radius));
+        let search = binary_index(&pts, radius);
+        prop_assert_eq!(
+            index_neighbors(search.as_ref(), &pts, q),
+            brute_force_neighbors(&pts, q, radius)
+        );
     }
 
     /// Property: BVH structural invariants hold for arbitrary point clouds,

@@ -18,7 +18,8 @@
 use proptest::prelude::*;
 use rtcore::geometry::Point3;
 use rtcore::hardware::CostProfile;
-use rtcore::query::FixedRadiusSearch;
+use rtcore::hardware::WorkCounters;
+use rtcore::index::{IndexKind, NeighborIndexBuilder};
 use rtdbscan::metrics::same_clustering;
 use rtdbscan::{
     ClassicDbscan, CudaDclustPlus, DbscanAlgorithm, DbscanParams, Fdbscan, GDbscan, RtDbscan,
@@ -95,9 +96,12 @@ fn points_exactly_eps_apart_are_neighbors_everywhere() {
         let past_eps = f32::from_bits(((n as f32 * eps).to_bits()) + 1);
         points.push(Point3::new_2d(past_eps, 0.0)); // beyond the last chain point by 1 ulp
 
-        let search = FixedRadiusSearch::build(&points, eps);
+        let search = NeighborIndexBuilder::new(IndexKind::BinaryBvh)
+            .build(&points, eps)
+            .unwrap();
+        let mut scratch = WorkCounters::ZERO;
         for i in 0..n {
-            let mut got = search.neighbors_of(i);
+            let mut got = search.neighbors_of(points[i], eps, Some(i as u32), &mut scratch);
             got.sort_unstable();
             let mut expected: Vec<u32> = (0..n as u32)
                 .filter(|&j| {
@@ -116,7 +120,9 @@ fn points_exactly_eps_apart_are_neighbors_everywhere() {
             }
         }
         // The 1-ulp-past point is not a neighbour of the chain end.
-        assert!(!search.neighbors_of(n - 1).contains(&(n as u32)));
+        assert!(!search
+            .neighbors_of(points[n - 1], eps, Some((n - 1) as u32), &mut scratch)
+            .contains(&(n as u32)));
 
         // Every algorithm agrees on the clustering of the boundary chain.
         let params = DbscanParams::new(eps, 2).unwrap();
