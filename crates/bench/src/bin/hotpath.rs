@@ -1,0 +1,248 @@
+//! `hotpath` — the steady-state query-path wall-clock trajectory.
+//!
+//! Runs a fixed-seed, fig6-style **stage-1 sweep** (every point's
+//! ε-neighbour count, one batched launch over the whole dataset) on the
+//! binary and wide-batched [`rtcore::index::NeighborIndex`] backends and
+//! records wall-clock plus work counters to `BENCH_hotpath.json` at the
+//! repository root.  Index
+//! build time is excluded: the file tracks the *steady-state query path*
+//! that PR 4's scratch-arena / SoA / CSR work optimises, so future PRs can
+//! prove (or be caught regressing) the hot-path trajectory.
+//!
+//! # Usage
+//!
+//! ```text
+//! cargo run --release -p rtdbscan-bench --bin hotpath                    # regenerate "current"
+//! cargo run --release -p rtdbscan-bench --bin hotpath -- --record-baseline  # overwrite "baseline" too
+//! cargo run --release -p rtdbscan-bench --bin hotpath -- --smoke        # tiny CI run, no file written
+//! ```
+//!
+//! # `BENCH_hotpath.json` schema (`rtdbscan-hotpath/v1`)
+//!
+//! One JSON object with four keys:
+//!
+//! * `"schema"` — the literal string `"rtdbscan-hotpath/v1"`.
+//! * `"config"` — the sweep parameters, one object on one line:
+//!   `dataset`, `seed`, `eps`, `reps` (timing repetitions per cell; the
+//!   reported `best_ns` is the minimum, `mean_ns` the average).
+//! * `"baseline"` — `{ "results": [...] }`, recorded once (pre-PR 4) and
+//!   preserved verbatim by later regenerations unless `--record-baseline`
+//!   is passed.
+//! * `"current"` — same shape, overwritten on every run.
+//!
+//! Each entry of `results` is one `(n, backend)` cell:
+//! `{"n": 100000, "backend": "wide-batched", "best_ns": …, "mean_ns": …,
+//!   "rays": …, "dist_comps": …, "prim_tests": …, "node_visits": …,
+//!   "wide_node_visits": …, "batched_launches": …}` — the counters are the
+//! aggregate [`rtcore::hardware::WorkCounters`] of one stage-1 launch and
+//! must be identical
+//! run-to-run (they are work, not time; any drift is a correctness bug).
+//!
+//! The `baseline`/`current` sections are each a single line so the
+//! regeneration pass can carry the baseline forward without a JSON parser.
+
+use rtcore::geometry::Point3;
+use rtcore::hardware::WorkCounters;
+use rtcore::index::{IndexKind, NeighborIndexBuilder};
+use rtdbscan_datasets::{generate, PaperDataset};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+const SCHEMA: &str = "rtdbscan-hotpath/v1";
+const EPS: f32 = 0.4;
+const SEED: u64 = 42;
+
+/// One `(n, backend)` measurement cell.
+struct Cell {
+    n: usize,
+    backend: &'static str,
+    best_ns: u128,
+    mean_ns: u128,
+    counters: WorkCounters,
+}
+
+impl Cell {
+    fn to_json(&self) -> String {
+        let c = &self.counters;
+        format!(
+            "{{\"n\":{},\"backend\":\"{}\",\"best_ns\":{},\"mean_ns\":{},\
+             \"rays\":{},\"dist_comps\":{},\"prim_tests\":{},\"node_visits\":{},\
+             \"wide_node_visits\":{},\"batched_launches\":{}}}",
+            self.n,
+            self.backend,
+            self.best_ns,
+            self.mean_ns,
+            c.rays,
+            c.dist_comps,
+            c.prim_tests,
+            c.node_visits,
+            c.wide_node_visits,
+            c.batched_launches,
+        )
+    }
+}
+
+/// Time stage 1 (one batched neighbour-count launch over all points, self
+/// excluded — exactly what the DBSCAN algorithms issue) on one backend:
+/// one warm-up launch, then `reps` timed launches.
+fn measure_stage1(kind: IndexKind, points: &[Point3], reps: usize) -> Cell {
+    let index = NeighborIndexBuilder::new(kind)
+        .build(points, EPS)
+        .expect("generated points are finite");
+    let counts: Vec<AtomicU64> = (0..points.len()).map(|_| AtomicU64::new(0)).collect();
+    let run = |counters: &mut WorkCounters| {
+        for c in &counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        index.batch_neighbor_counts(points, EPS, true, None, counters, &counts);
+    };
+
+    // Warm-up: first launch grows the per-worker scratch arenas.
+    let mut counters = WorkCounters::ZERO;
+    run(&mut counters);
+
+    let mut best = u128::MAX;
+    let mut total = 0u128;
+    for _ in 0..reps {
+        let mut rep_counters = WorkCounters::ZERO;
+        let t = Instant::now();
+        run(&mut rep_counters);
+        let ns = t.elapsed().as_nanos();
+        best = best.min(ns);
+        total += ns;
+        assert_eq!(
+            rep_counters, counters,
+            "stage-1 counters drifted between repetitions"
+        );
+    }
+    Cell {
+        n: points.len(),
+        backend: kind.name(),
+        best_ns: best,
+        mean_ns: total / reps as u128,
+        counters,
+    }
+}
+
+fn results_line(cells: &[Cell]) -> String {
+    let entries: Vec<String> = cells.iter().map(Cell::to_json).collect();
+    format!("{{\"results\":[{}]}}", entries.join(","))
+}
+
+/// Pull the single-line `"baseline"` section out of an existing file.
+fn existing_baseline(path: &std::path::Path) -> Option<String> {
+    let text = std::fs::read_to_string(path).ok()?;
+    for line in text.lines() {
+        if let Some(rest) = line.trim_start().strip_prefix("\"baseline\": ") {
+            return Some(rest.trim_end_matches(',').to_string());
+        }
+    }
+    None
+}
+
+/// Scan a results line for the `best_ns` of one `(n, backend)` cell.
+fn scan_best_ns(section: &str, n: usize, backend: &str) -> Option<u128> {
+    let key = format!("{{\"n\":{n},\"backend\":\"{backend}\"");
+    let start = section.find(&key)?;
+    let rest = &section[start..];
+    let v = rest.split("\"best_ns\":").nth(1)?;
+    let digits: String = v.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let record_baseline = args.iter().any(|a| a == "--record-baseline");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_hotpath.json")
+        });
+
+    let (sizes, reps): (&[usize], usize) = if smoke {
+        (&[2_000], 2)
+    } else {
+        (&[10_000, 50_000, 100_000], 5)
+    };
+
+    let mut cells = Vec::new();
+    for &n in sizes {
+        let points = generate(PaperDataset::PortoTaxi, n, SEED);
+        for kind in [IndexKind::BinaryBvh, IndexKind::WideBatched] {
+            let cell = measure_stage1(kind, &points, reps);
+            println!(
+                "n={n:>7}  {:<12}  best {:>12.3} ms  mean {:>12.3} ms  \
+                 (rays={} dist_comps={} wide_visits={} launches={})",
+                cell.backend,
+                cell.best_ns as f64 / 1e6,
+                cell.mean_ns as f64 / 1e6,
+                cell.counters.rays,
+                cell.counters.dist_comps,
+                cell.counters.wide_node_visits,
+                cell.counters.batched_launches,
+            );
+            cells.push(cell);
+        }
+    }
+
+    if smoke {
+        println!(
+            "smoke run complete ({} cells), no file written",
+            cells.len()
+        );
+        return;
+    }
+
+    let current = results_line(&cells);
+    let baseline = if record_baseline {
+        current.clone()
+    } else if out_path.exists() {
+        // Never silently replace a recorded baseline: if the file is there
+        // but its baseline line cannot be recovered (hand edits,
+        // reformatting), refuse and make the reset explicit.
+        existing_baseline(&out_path).unwrap_or_else(|| {
+            eprintln!(
+                "error: {} exists but its \"baseline\" line could not be parsed; \
+                 rerun with --record-baseline to reset the baseline deliberately",
+                out_path.display()
+            );
+            std::process::exit(2);
+        })
+    } else {
+        println!(
+            "note: no existing {} — recording this run as the baseline",
+            out_path.display()
+        );
+        current.clone()
+    };
+    let config = format!(
+        "{{\"dataset\":\"porto-taxi\",\"seed\":{SEED},\"eps\":{EPS},\"reps\":{reps},\
+         \"measures\":\"stage-1 batched neighbour count, index build excluded\"}}"
+    );
+    let doc = format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"config\": {config},\n  \
+         \"baseline\": {baseline},\n  \"current\": {current}\n}}\n"
+    );
+    std::fs::write(&out_path, doc).expect("write BENCH_hotpath.json");
+    println!("wrote {}", out_path.display());
+
+    for &n in sizes {
+        for backend in ["binary-bvh", "wide-batched"] {
+            if let (Some(b), Some(c)) = (
+                scan_best_ns(&baseline, n, backend),
+                scan_best_ns(&current, n, backend),
+            ) {
+                println!(
+                    "n={n:>7}  {backend:<12}  baseline {:>10.3} ms → current {:>10.3} ms  ({:.2}x)",
+                    b as f64 / 1e6,
+                    c as f64 / 1e6,
+                    b as f64 / c as f64
+                );
+            }
+        }
+    }
+}

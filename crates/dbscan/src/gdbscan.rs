@@ -23,7 +23,7 @@ use crate::runner::{timed, DbscanAlgorithm, PhaseCounters, PhaseTimings, RunResu
 use rayon::prelude::*;
 use rtcore::geometry::Point3;
 use rtcore::hardware::{ExecutionPath, MemoryTracker, WorkCounters};
-use rtcore::index::{IndexKind, NeighborFlow, NeighborIndex, NeighborIndexBuilder};
+use rtcore::index::{CsrNeighbors, IndexKind, NeighborFlow, NeighborIndex, NeighborIndexBuilder};
 use rtcore::Result;
 
 /// Configuration of the G-DBSCAN baseline.
@@ -80,33 +80,56 @@ impl GDbscan {
         // ------------------------------------------------------------------
         // Graph construction: one neighbour query per point through the
         // backend (the native brute-force index reproduces the original
-        // all-pairs comparison and its n·(n−1) distance computations).
+        // all-pairs comparison and its n·(n−1) distance computations).  The
+        // graph is CSR from the start — each parallel chunk produces one
+        // flat (degrees, edges) pair and the chunks concatenate in order —
+        // so no per-vertex `Vec` ever exists; the BFS then walks flat
+        // arrays, which is exactly the layout the original stores on
+        // device.
         // ------------------------------------------------------------------
+        // Chunk size adapts to n (pure function of n, so chunk boundaries —
+        // and hence the deterministic merge order — never depend on thread
+        // count): small inputs still split ~64 ways so the quadratic
+        // distance pass keeps every core busy, large inputs cap the
+        // per-chunk buffers.  Saturating counter addition is associative,
+        // so totals are identical for any chunking.
+        let graph_chunk = n.div_ceil(64).clamp(16, 1024);
         let ((adjacency, mut build_counters), build_time) = timed(|| {
-            let per_point: Vec<(Vec<u32>, WorkCounters)> = (0..n)
+            let per_chunk: Vec<(Vec<u32>, Vec<u32>, WorkCounters)> = (0..n.div_ceil(graph_chunk))
                 .into_par_iter()
-                .map(|i| {
+                .map(|chunk| {
+                    let lo = chunk * graph_chunk;
+                    let hi = ((chunk + 1) * graph_chunk).min(n);
                     let mut c = WorkCounters::ZERO;
-                    let mut neighbors = Vec::new();
-                    index.for_each_neighbor(
-                        points[i],
-                        eps,
-                        Some(i as u32),
-                        &mut c,
-                        &mut |nb, _| {
-                            neighbors.push(nb.index);
-                            NeighborFlow::Continue
-                        },
-                    );
-                    (neighbors, c)
+                    let mut degrees = Vec::with_capacity(hi - lo);
+                    let mut edges = Vec::new();
+                    for (i, &point) in points.iter().enumerate().take(hi).skip(lo) {
+                        let before = edges.len();
+                        index.for_each_neighbor(
+                            point,
+                            eps,
+                            Some(i as u32),
+                            &mut c,
+                            &mut |nb, _| {
+                                edges.push(nb.index);
+                                NeighborFlow::Continue
+                            },
+                        );
+                        degrees.push((edges.len() - before) as u32);
+                    }
+                    (degrees, edges, c)
                 })
                 .collect();
-            let mut adjacency = Vec::with_capacity(n);
+            let mut adjacency = CsrNeighbors::with_capacity(n, 0);
             let mut counters = index.build_counters();
-            for (neighbors, c) in per_point {
+            for (degrees, edges, c) in per_chunk {
                 counters += c;
-                counters.list_ops += neighbors.len() as u64;
-                adjacency.push(neighbors);
+                counters.list_ops += edges.len() as u64;
+                let mut cursor = 0usize;
+                for &deg in &degrees {
+                    adjacency.push_row(&edges[cursor..cursor + deg as usize]);
+                    cursor += deg as usize;
+                }
             }
             (adjacency, counters)
         });
@@ -115,7 +138,7 @@ impl GDbscan {
         // start index per point, 8 bytes) plus 4 bytes per directed edge,
         // plus the index structure itself (for the native brute-force
         // backend that is exactly the points).
-        let edges: u64 = adjacency.iter().map(|a| a.len() as u64).sum();
+        let edges: u64 = adjacency.total_neighbors();
         let graph_bytes = (n as u64) * 8 + edges * 4 + index.device_bytes();
         let mut tracker = MemoryTracker::new(self.device_memory_bytes);
         tracker.allocate(graph_bytes)?;
@@ -156,7 +179,7 @@ impl GDbscan {
                 frontier.push(start as u32);
                 while let Some(v) = frontier.pop() {
                     counters.misc_ops += 1;
-                    for &u in &adjacency[v as usize] {
+                    for &u in adjacency.neighbors(v as usize) {
                         counters.list_ops += 1;
                         let u = u as usize;
                         if labels[u] == UNASSIGNED || labels[u] == NOISE {

@@ -91,7 +91,8 @@ pub mod prelude {
     pub use crate::runner::{DbscanAlgorithm, Phase, PhaseCounters, PhaseTimings, RunResult};
     pub use crate::{ClassicDbscan, CudaDclustPlus, Fdbscan, GDbscan, RtDbscan};
     pub use rtcore::index::{
-        IndexCapabilities, Neighbor, NeighborFlow, NeighborIndex, NeighborIndexBuilder,
+        CsrNeighbors, IndexCapabilities, Neighbor, NeighborFlow, NeighborIndex,
+        NeighborIndexBuilder,
     };
 }
 

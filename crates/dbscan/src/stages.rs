@@ -16,13 +16,16 @@ use rtcore::index::{NeighborFlow, NeighborIndex};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Stage 1: every point's exact ε-neighbour count (self excluded), answered
-/// by one batched launch over the backend.
+/// by one batched launch over the backend's **count output mode**.
 ///
 /// Compacting backends report representatives with multiplicities; the
 /// query point's own group contributes `multiplicity - 1` (the point itself
 /// does not count), which is exactly the Intersection-program logic of the
 /// original RT path.  With `early_exit_min_pts` set, a query stops as soon
 /// as its count reaches the threshold (the FDBSCAN-EarlyExit optimisation).
+/// The count mode lets batched backends flush one count per query per
+/// packet instead of paying a per-neighbour sink call; counted work is
+/// identical either way.
 pub(crate) fn count_all_neighbors(
     index: &dyn NeighborIndex,
     points: &[Point3],
@@ -31,22 +34,14 @@ pub(crate) fn count_all_neighbors(
 ) -> (Vec<u64>, WorkCounters) {
     let counts: Vec<AtomicU64> = (0..points.len()).map(|_| AtomicU64::new(0)).collect();
     let mut counters = WorkCounters::ZERO;
-    index.batch_neighbors(points, eps, &mut counters, &|q, neighbor, _| {
-        let own_group = neighbor.index == index.representative_of(q as u32);
-        let add = if own_group {
-            neighbor.multiplicity.saturating_sub(1) as u64
-        } else {
-            neighbor.multiplicity as u64
-        };
-        if add == 0 {
-            return NeighborFlow::Continue;
-        }
-        let total = counts[q].fetch_add(add, Ordering::Relaxed) + add;
-        match early_exit_min_pts {
-            Some(min_pts) if total >= min_pts as u64 => NeighborFlow::Stop,
-            _ => NeighborFlow::Continue,
-        }
-    });
+    index.batch_neighbor_counts(
+        points,
+        eps,
+        true,
+        early_exit_min_pts.map(|m| m as u64),
+        &mut counters,
+        &counts,
+    );
     (
         counts.into_iter().map(AtomicU64::into_inner).collect(),
         counters,

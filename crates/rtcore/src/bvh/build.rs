@@ -407,20 +407,24 @@ impl BvhBuilder for LbvhBuilder {
         // 2. Radix sort by code.
         counters.build_sort_ops += radix_sort_by_code(&mut codes);
 
-        // 3. Reorder primitives into Morton order.
-        let sorted_prims: Vec<Sphere> = codes.iter().map(|c| prims[c.index as usize]).collect();
-        let sorted_codes: Vec<u32> = codes.iter().map(|c| c.code).collect();
+        // 3. Reorder primitives into Morton order: one fused gather fills
+        // both the primitive and the code array (the codes are needed again
+        // by the split callback below).
+        let mut sorted_prims: Vec<Sphere> = Vec::with_capacity(codes.len());
+        let mut sorted_codes: Vec<u32> = Vec::with_capacity(codes.len());
+        for c in &codes {
+            sorted_prims.push(prims[c.index as usize]);
+            sorted_codes.push(c.code);
+        }
 
         // 4. Emit hierarchy top-down, splitting at the highest differing bit.
         let max_leaf = self.max_leaf_size;
-        let codes_ref = std::sync::Arc::new(sorted_codes);
-        let codes_for_split = std::sync::Arc::clone(&codes_ref);
         Ok(finish_build(
             BuilderKind::Lbvh,
             sorted_prims,
             max_leaf,
             move |_prims, start, end, _counters| {
-                Some(Self::morton_split(&codes_for_split, start, end))
+                Some(Self::morton_split(&sorted_codes, start, end))
             },
             counters,
         ))

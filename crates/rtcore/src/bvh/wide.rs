@@ -115,14 +115,24 @@ impl WideNode {
     /// wide node unit performs; it compiles to branch-free lane compares.
     #[inline]
     pub fn point_hit_mask(&self, p: Point3) -> u8 {
+        self.point_hit_mask_xyz(p.x, p.y, p.z)
+    }
+
+    /// [`WideNode::point_hit_mask`] over already-unpacked coordinates — the
+    /// form the batched engine feeds from its SoA-staged query lanes, so
+    /// the compare chain reads nothing but contiguous `f32` arrays.
+    #[inline]
+    pub fn point_hit_mask_xyz(&self, x: f32, y: f32, z: f32) -> u8 {
         let mut mask = 0u8;
         for slot in 0..WIDE_BRANCHING {
-            let inside = p.x >= self.min_lanes[0][slot]
-                && p.x <= self.max_lanes[0][slot]
-                && p.y >= self.min_lanes[1][slot]
-                && p.y <= self.max_lanes[1][slot]
-                && p.z >= self.min_lanes[2][slot]
-                && p.z <= self.max_lanes[2][slot];
+            // Bitwise (non-short-circuit) combine: all six lane compares
+            // run branch-free so the 4-slot loop vectorises.
+            let inside = (x >= self.min_lanes[0][slot])
+                & (x <= self.max_lanes[0][slot])
+                & (y >= self.min_lanes[1][slot])
+                & (y <= self.max_lanes[1][slot])
+                & (z >= self.min_lanes[2][slot])
+                & (z <= self.max_lanes[2][slot]);
             mask |= (inside as u8) << slot;
         }
         mask

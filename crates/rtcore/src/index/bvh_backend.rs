@@ -2,8 +2,8 @@
 //! the wide (BVH4) batched engine.
 
 use super::{
-    charge_candidate, IndexCapabilities, IndexKind, Neighbor, NeighborFlow, NeighborIndex,
-    NeighborIndexBuilder, NeighborSink, NeighborVisitor,
+    charge_candidate, charge_candidates, uncharge_candidates, IndexCapabilities, IndexKind,
+    Neighbor, NeighborFlow, NeighborIndex, NeighborIndexBuilder, NeighborSink, NeighborVisitor,
 };
 use crate::bvh::BuilderKind;
 use crate::bvh::{
@@ -14,9 +14,25 @@ use crate::error::Result;
 use crate::geometry::{Point3, Ray};
 use crate::hardware::WorkCounters;
 use crate::pipeline::GeometryKind;
-use crate::traversal::{traverse, traverse_batch, traverse_wide, Traversal};
+use crate::traversal::{
+    traverse_batch_with_scratch, traverse_wide_with_scratch, traverse_with_scratch, ScratchPool,
+    Traversal, TraversalScratch,
+};
 use parking_lot::Mutex;
 use std::collections::HashSet;
+
+/// Per-worker reusable state for one packet (or one single-ray query):
+/// the staged epsilon rays plus the traversal scratch.  Checked out of the
+/// core's [`ScratchPool`] for the duration of one work item; grow-only, so
+/// the steady state never touches the allocator.
+#[derive(Debug, Default)]
+struct PacketScratch {
+    rays: Vec<Ray>,
+    trav: TraversalScratch,
+    /// Per-packet-query neighbour counts for the count output mode (one
+    /// shared-cell flush per query instead of one per neighbour).
+    counts: Vec<u64>,
+}
 
 /// State shared by the binary and wide backends: the built tree, the
 /// compaction mapping, and the accounting.
@@ -33,6 +49,9 @@ struct BvhCore {
     min_parallel_launch: usize,
     build_counters: WorkCounters,
     query_counters: Mutex<WorkCounters>,
+    /// Reusable per-worker traversal scratch (never more items than the
+    /// peak number of concurrent workers).
+    scratch: ScratchPool<PacketScratch>,
 }
 
 impl BvhCore {
@@ -83,16 +102,21 @@ impl BvhCore {
             min_parallel_launch: config.min_parallel_launch,
             build_counters,
             query_counters: Mutex::new(WorkCounters::ZERO),
+            scratch: ScratchPool::new(),
         })
     }
 
     /// One counted single-ray traversal over the binary tree, invoking
-    /// `emit` for every verified neighbour.
+    /// `emit` for every verified neighbour.  The node stack comes from a
+    /// caller-held scratch, so repeated queries allocate nothing — and
+    /// batch callers check one scratch out per *chunk* of queries rather
+    /// than paying a pool round-trip per ray.
     fn trace_binary(
         &self,
         query: Point3,
         eps: f32,
         exclude: Option<u32>,
+        scratch: &mut TraversalScratch,
         counters: &mut WorkCounters,
         mut emit: impl FnMut(Neighbor, &mut WorkCounters) -> NeighborFlow,
     ) {
@@ -102,7 +126,7 @@ impl BvhCore {
         let ray = Ray::epsilon_ray(query);
         let eps_sq = eps * eps;
         let geometry = self.geometry;
-        traverse(bvh, &ray, counters, |sphere, counters| {
+        traverse_with_scratch(bvh, &ray, scratch, counters, |sphere, counters| {
             charge_candidate(geometry, counters);
             if sphere.center.distance_squared(query) <= eps_sq
                 && Some(sphere.point_index) != exclude
@@ -252,8 +276,12 @@ impl NeighborIndex for BinaryBvhIndex {
         visit: &mut NeighborVisitor<'_>,
     ) {
         let mut local = WorkCounters::ZERO;
+        let mut guard = self.core.scratch.acquire();
         self.core
-            .trace_binary(query, eps, exclude, &mut local, |n, c| visit(n, c));
+            .trace_binary(query, eps, exclude, &mut guard.trav, &mut local, |n, c| {
+                visit(n, c)
+            });
+        drop(guard);
         self.core.record(&local);
         *counters += local;
     }
@@ -265,15 +293,135 @@ impl NeighborIndex for BinaryBvhIndex {
         counters: &mut WorkCounters,
         sink: &NeighborSink<'_>,
     ) {
+        // Dispatch chunks of queries, one pooled scratch checkout per chunk
+        // (not per ray); chunk boundaries are a pure function of the query
+        // count, and per-query counters still fold in query order, so the
+        // totals are bit-identical to a per-query dispatch.
+        let chunk_size = super::merge_chunk_size(queries.len());
+        let chunks = queries.len().div_ceil(chunk_size);
         let total = super::dispatch_batch(
-            queries.len(),
+            chunks,
             queries.len() >= self.core.min_parallel_launch,
-            |ordinal| {
+            |chunk| {
                 let mut local = WorkCounters::ZERO;
-                self.core
-                    .trace_binary(queries[ordinal], eps, None, &mut local, |n, c| {
-                        sink(ordinal, n, c)
-                    });
+                let mut guard = self.core.scratch.acquire();
+                let lo = chunk * chunk_size;
+                let hi = ((chunk + 1) * chunk_size).min(queries.len());
+                for (ordinal, &query) in queries.iter().enumerate().take(hi).skip(lo) {
+                    self.core.trace_binary(
+                        query,
+                        eps,
+                        None,
+                        &mut guard.trav,
+                        &mut local,
+                        |n, c| sink(ordinal, n, c),
+                    );
+                }
+                local
+            },
+        );
+        self.core.record(&total);
+        *counters += total;
+    }
+
+    fn batch_neighbor_counts(
+        &self,
+        queries: &[Point3],
+        eps: f32,
+        exclude_self: bool,
+        early_exit: Option<u64>,
+        counters: &mut WorkCounters,
+        counts: &[std::sync::atomic::AtomicU64],
+    ) {
+        use std::sync::atomic::Ordering;
+        debug_assert!(
+            eps <= self.core.eps,
+            "query radius exceeds the build radius"
+        );
+        assert_eq!(
+            queries.len(),
+            counts.len(),
+            "one count cell per launched query"
+        );
+        let geometry = self.core.geometry;
+        let eps_sq = eps * eps;
+        // One pooled scratch checkout per chunk of queries (see
+        // `batch_neighbors` for the chunking contract).
+        let chunk_size = super::merge_chunk_size(queries.len());
+        let chunks = queries.len().div_ceil(chunk_size);
+        let total = super::dispatch_batch(
+            chunks,
+            queries.len() >= self.core.min_parallel_launch,
+            |chunk| {
+                let mut local = WorkCounters::ZERO;
+                let Some(bvh) = &self.core.bvh else {
+                    return local;
+                };
+                let mut guard = self.core.scratch.acquire();
+                for ordinal in chunk * chunk_size..((chunk + 1) * chunk_size).min(queries.len()) {
+                    local.rays += 1;
+                    let query = queries[ordinal];
+                    let ray = Ray::epsilon_ray(query);
+                    let mut count = 0u64;
+                    if let Some(min) = early_exit {
+                        // Early exit needs the running adjusted count, so
+                        // the self-exclusion check stays in the loop —
+                        // exactly the sink-mode logic, monomorphised.
+                        let rep = if exclude_self {
+                            self.representative_of(ordinal as u32)
+                        } else {
+                            u32::MAX
+                        };
+                        traverse_with_scratch(
+                            bvh,
+                            &ray,
+                            &mut guard.trav,
+                            &mut local,
+                            |sphere, c| {
+                                charge_candidate(geometry, c);
+                                if sphere.center.distance_squared(query) <= eps_sq {
+                                    let own = exclude_self && sphere.point_index == rep;
+                                    let add = if own {
+                                        sphere.multiplicity.saturating_sub(1) as u64
+                                    } else {
+                                        sphere.multiplicity as u64
+                                    };
+                                    if add > 0 {
+                                        count += add;
+                                        if count >= min {
+                                            return Traversal::Terminate;
+                                        }
+                                    }
+                                }
+                                Traversal::Continue
+                            },
+                        );
+                    } else {
+                        // No early exit: branch-free accumulation; the
+                        // query's own group always hits at distance zero
+                        // and counts one unit less than its multiplicity,
+                        // so self-exclusion is a single subtraction at the
+                        // end.
+                        traverse_with_scratch(
+                            bvh,
+                            &ray,
+                            &mut guard.trav,
+                            &mut local,
+                            |sphere, c| {
+                                charge_candidate(geometry, c);
+                                let hit = sphere.center.distance_squared(query) <= eps_sq;
+                                count += hit as u64 * sphere.multiplicity as u64;
+                                Traversal::Continue
+                            },
+                        );
+                        if exclude_self {
+                            count = count.saturating_sub(1);
+                        }
+                    }
+                    if count > 0 {
+                        counts[ordinal].fetch_add(count, Ordering::Relaxed);
+                    }
+                }
                 local
             },
         );
@@ -326,15 +474,10 @@ impl WideBatchedIndex {
         self.wide.as_ref()
     }
 
-    /// Fixed packet boundaries for a batched launch of `count` queries.
-    fn packet_ranges(&self, count: usize) -> Vec<(usize, usize)> {
-        (0..count)
-            .step_by(self.batch_size)
-            .map(|start| (start, self.batch_size.min(count - start)))
-            .collect()
-    }
-
-    /// Trace one packet of queries through the wide scene.
+    /// Trace one packet of queries through the wide scene.  The ray staging
+    /// buffer and the traversal scratch come from the core's worker pool;
+    /// packet boundaries are fixed by `batch_size`, so neither the work
+    /// performed nor its accounting depends on how packets are scheduled.
     fn trace_packet(
         &self,
         queries: &[Point3],
@@ -348,29 +491,190 @@ impl WideBatchedIndex {
             return counters;
         };
         counters.rays += len as u64;
-        let rays: Vec<Ray> = queries[start..start + len]
-            .iter()
-            .map(|&q| Ray::epsilon_ray(q))
-            .collect();
+        let packet_queries = &queries[start..start + len];
+        let mut guard = self.core.scratch.acquire();
+        let scratch = &mut *guard;
+        scratch.rays.clear();
+        scratch
+            .rays
+            .extend(packet_queries.iter().map(|&q| Ray::epsilon_ray(q)));
         let eps_sq = eps * eps;
         let geometry = self.core.geometry;
-        traverse_batch(wide, &rays, &mut counters, |q, sphere, counters| {
-            charge_candidate(geometry, counters);
-            if sphere.center.distance_squared(rays[q].origin) <= eps_sq {
-                let n = Neighbor {
-                    index: sphere.point_index,
-                    multiplicity: sphere.multiplicity,
-                };
-                match sink(start + q, n, counters) {
-                    NeighborFlow::Continue => Traversal::Continue,
-                    NeighborFlow::Stop => Traversal::Terminate,
+        traverse_batch_with_scratch(
+            wide,
+            &scratch.rays,
+            &mut scratch.trav,
+            &mut counters,
+            |q, sphere, counters| {
+                charge_candidate(geometry, counters);
+                if sphere.center.distance_squared(packet_queries[q]) <= eps_sq {
+                    let n = Neighbor {
+                        index: sphere.point_index,
+                        multiplicity: sphere.multiplicity,
+                    };
+                    match sink(start + q, n, counters) {
+                        NeighborFlow::Continue => Traversal::Continue,
+                        NeighborFlow::Stop => Traversal::Terminate,
+                    }
+                } else {
+                    Traversal::Continue
                 }
-            } else {
-                Traversal::Continue
-            }
-        });
+            },
+        );
         counters
     }
+
+    /// The count-mode packet tracer: candidate runs are processed by one
+    /// monomorphic loop with hoisted candidate charging, counts accumulate
+    /// in a packet-local buffer, and each query flushes to its shared cell
+    /// once at packet end.  Traversal order, early-exit points and every
+    /// aggregate counter are identical to driving the count sink through
+    /// [`WideBatchedIndex::trace_packet`] — only the per-neighbour dynamic
+    /// dispatch is gone.
+    #[allow(clippy::too_many_arguments)]
+    fn trace_count_packet(
+        &self,
+        queries: &[Point3],
+        start: usize,
+        len: usize,
+        eps: f32,
+        exclude_self: bool,
+        early_exit: Option<u64>,
+        counts: &[std::sync::atomic::AtomicU64],
+    ) -> WorkCounters {
+        use std::sync::atomic::Ordering;
+        let mut counters = WorkCounters::ZERO;
+        let Some(wide) = &self.wide else {
+            return counters;
+        };
+        counters.rays += len as u64;
+        let packet_queries = &queries[start..start + len];
+        let mut guard = self.core.scratch.acquire();
+        let PacketScratch {
+            rays,
+            trav,
+            counts: local,
+        } = &mut *guard;
+        rays.clear();
+        rays.extend(packet_queries.iter().map(|&q| Ray::epsilon_ray(q)));
+        local.clear();
+        local.resize(len, 0);
+        let eps_sq = eps * eps;
+        let geometry = self.core.geometry;
+        if early_exit.is_none() {
+            // No early exit ⇒ every hit is accumulated, so self-exclusion
+            // reduces to algebra: the query's own primitive (or group)
+            // always hits at distance zero and contributes exactly one
+            // countable unit less than its multiplicity, hence the adjusted
+            // count is Σ multiplicity − 1.  That makes the candidate loop
+            // branch-free: accumulate `hit × multiplicity`, subtract the
+            // self unit once per query afterwards.
+            use crate::traversal::{traverse_batch_leaves_with_scratch, LeafVisit};
+            traverse_batch_leaves_with_scratch(wide, rays, trav, &mut counters, {
+                let local = &mut *local;
+                move |q, prims, counters| {
+                    charge_candidates(geometry, prims.len() as u64, counters);
+                    let query = packet_queries[q];
+                    let mut add = 0u64;
+                    for prim in prims {
+                        let hit = prim.center.distance_squared(query) <= eps_sq;
+                        add += hit as u64 * prim.multiplicity as u64;
+                    }
+                    local[q] += add;
+                    LeafVisit::all(prims)
+                }
+            });
+            if exclude_self {
+                for c in local.iter_mut() {
+                    *c = c.saturating_sub(1);
+                }
+            }
+        } else {
+            traversal_count_launch(
+                wide,
+                rays,
+                trav,
+                &mut counters,
+                |q| {
+                    if exclude_self {
+                        self.representative_of((start + q) as u32)
+                    } else {
+                        u32::MAX
+                    }
+                },
+                packet_queries,
+                local,
+                eps_sq,
+                geometry,
+                exclude_self,
+                early_exit,
+            );
+        }
+        for (i, &c) in local.iter().enumerate() {
+            if c > 0 {
+                counts[start + i].fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        counters
+    }
+}
+
+/// The hoisted-candidate count launch shared by [`WideBatchedIndex`]'s
+/// count mode: one [`crate::traversal::LeafVisit`] handler that charges a
+/// whole candidate run at once and un-charges the abandoned tail on early
+/// exit, keeping totals bit-identical to the per-candidate sink path.
+#[allow(clippy::too_many_arguments)]
+fn traversal_count_launch(
+    wide: &WideBvh,
+    rays: &[Ray],
+    trav: &mut TraversalScratch,
+    counters: &mut WorkCounters,
+    rep_of: impl Fn(usize) -> u32,
+    packet_queries: &[Point3],
+    local: &mut [u64],
+    eps_sq: f32,
+    geometry: GeometryKind,
+    exclude_self: bool,
+    early_exit: Option<u64>,
+) {
+    use crate::traversal::{traverse_batch_leaves_with_scratch, LeafVisit};
+    traverse_batch_leaves_with_scratch(wide, rays, trav, counters, |q, prims, counters| {
+        charge_candidates(geometry, prims.len() as u64, counters);
+        let query = packet_queries[q];
+        let rep = rep_of(q);
+        let count = &mut local[q];
+        let mut visited = 0u32;
+        for prim in prims {
+            visited += 1;
+            if prim.center.distance_squared(query) <= eps_sq {
+                let own_group = exclude_self && prim.point_index == rep;
+                let add = if own_group {
+                    prim.multiplicity.saturating_sub(1) as u64
+                } else {
+                    prim.multiplicity as u64
+                };
+                if add > 0 {
+                    *count += add;
+                    if let Some(min) = early_exit {
+                        if *count >= min {
+                            // The rest of the run is never tested; give its
+                            // hoisted charge back.
+                            uncharge_candidates(
+                                geometry,
+                                (prims.len() - visited as usize) as u64,
+                                counters,
+                            );
+                            return LeafVisit {
+                                visited,
+                                terminate: true,
+                            };
+                        }
+                    }
+                }
+            }
+        }
+        LeafVisit::all(prims)
+    });
 }
 
 impl NeighborIndex for WideBatchedIndex {
@@ -422,23 +726,30 @@ impl NeighborIndex for WideBatchedIndex {
         let ray = Ray::epsilon_ray(query);
         let eps_sq = eps * eps;
         let geometry = self.core.geometry;
-        traverse_wide(wide, &ray, &mut local, |sphere, counters| {
-            charge_candidate(geometry, counters);
-            if sphere.center.distance_squared(query) <= eps_sq
-                && Some(sphere.point_index) != exclude
-            {
-                let n = Neighbor {
-                    index: sphere.point_index,
-                    multiplicity: sphere.multiplicity,
-                };
-                match visit(n, counters) {
-                    NeighborFlow::Continue => Traversal::Continue,
-                    NeighborFlow::Stop => Traversal::Terminate,
+        let mut guard = self.core.scratch.acquire();
+        traverse_wide_with_scratch(
+            wide,
+            &ray,
+            &mut guard.trav,
+            &mut local,
+            |sphere, counters| {
+                charge_candidate(geometry, counters);
+                if sphere.center.distance_squared(query) <= eps_sq
+                    && Some(sphere.point_index) != exclude
+                {
+                    let n = Neighbor {
+                        index: sphere.point_index,
+                        multiplicity: sphere.multiplicity,
+                    };
+                    match visit(n, counters) {
+                        NeighborFlow::Continue => Traversal::Continue,
+                        NeighborFlow::Stop => Traversal::Terminate,
+                    }
+                } else {
+                    Traversal::Continue
                 }
-            } else {
-                Traversal::Continue
-            }
-        });
+            },
+        );
         self.core.record(&local);
         *counters += local;
     }
@@ -451,17 +762,107 @@ impl NeighborIndex for WideBatchedIndex {
         sink: &NeighborSink<'_>,
     ) {
         debug_assert!(eps <= self.core.eps, "query radius exceeds build radius");
-        let ranges = self.packet_ranges(queries.len());
+        // Fixed packet boundaries, derived arithmetically — no materialised
+        // range list on the launch path.
+        let packets = queries.len().div_ceil(self.batch_size);
         let total = super::dispatch_batch(
-            ranges.len(),
+            packets,
             queries.len() >= self.core.min_parallel_launch,
             |packet| {
-                let (start, len) = ranges[packet];
+                let start = packet * self.batch_size;
+                let len = self.batch_size.min(queries.len() - start);
                 self.trace_packet(queries, start, len, eps, sink)
             },
         );
         self.core.record(&total);
         *counters += total;
+    }
+
+    fn batch_neighbor_counts(
+        &self,
+        queries: &[Point3],
+        eps: f32,
+        exclude_self: bool,
+        early_exit: Option<u64>,
+        counters: &mut WorkCounters,
+        counts: &[std::sync::atomic::AtomicU64],
+    ) {
+        debug_assert!(eps <= self.core.eps, "query radius exceeds build radius");
+        assert_eq!(
+            queries.len(),
+            counts.len(),
+            "one count cell per launched query"
+        );
+        let packets = queries.len().div_ceil(self.batch_size);
+        let total = super::dispatch_batch(
+            packets,
+            queries.len() >= self.core.min_parallel_launch,
+            |packet| {
+                let start = packet * self.batch_size;
+                let len = self.batch_size.min(queries.len() - start);
+                self.trace_count_packet(queries, start, len, eps, exclude_self, early_exit, counts)
+            },
+        );
+        self.core.record(&total);
+        *counters += total;
+    }
+
+    fn batch_neighbors_csr_into(
+        &self,
+        queries: &[Point3],
+        eps: f32,
+        counters: &mut WorkCounters,
+        out: &mut super::CsrNeighbors,
+    ) {
+        use crate::traversal::{traverse_batch_leaves_with_scratch, LeafVisit};
+        debug_assert!(eps <= self.core.eps, "query radius exceeds build radius");
+        // Specialised CSR launch: each packet collects `(query, hit)` pairs
+        // into its worker scratch (monomorphic candidate loop, hoisted
+        // charging) and appends them to the shared pair list under one lock
+        // per packet — not one per neighbour like the generic default.
+        // Emission order within a query is the traversal order, and the
+        // counting-sort rebuild restores row order, so output and counters
+        // are identical to the callback-mode launch.
+        let pairs_shared: Mutex<Vec<(u32, u32)>> = Mutex::new(Vec::new());
+        let packets = queries.len().div_ceil(self.batch_size);
+        let total = super::dispatch_batch(
+            packets,
+            queries.len() >= self.core.min_parallel_launch,
+            |packet| {
+                let start = packet * self.batch_size;
+                let len = self.batch_size.min(queries.len() - start);
+                let mut local = WorkCounters::ZERO;
+                let Some(wide) = &self.wide else {
+                    return local;
+                };
+                local.rays += len as u64;
+                let packet_queries = &queries[start..start + len];
+                let mut guard = self.core.scratch.acquire();
+                let PacketScratch { rays, trav, .. } = &mut *guard;
+                rays.clear();
+                rays.extend(packet_queries.iter().map(|&q| Ray::epsilon_ray(q)));
+                let mut pairs = std::mem::take(&mut trav.pairs);
+                pairs.clear();
+                let eps_sq = eps * eps;
+                let geometry = self.core.geometry;
+                traverse_batch_leaves_with_scratch(wide, rays, trav, &mut local, |q, prims, c| {
+                    charge_candidates(geometry, prims.len() as u64, c);
+                    let query = packet_queries[q];
+                    for prim in prims {
+                        if prim.center.distance_squared(query) <= eps_sq {
+                            pairs.push(((start + q) as u32, prim.point_index));
+                        }
+                    }
+                    LeafVisit::all(prims)
+                });
+                pairs_shared.lock().extend_from_slice(&pairs);
+                trav.pairs = pairs;
+                local
+            },
+        );
+        self.core.record(&total);
+        *counters += total;
+        out.rebuild_from_pairs(queries.len(), &pairs_shared.into_inner());
     }
 
     fn remove(&mut self, retired: &[u32]) -> Result<WorkCounters> {

@@ -1,0 +1,188 @@
+//! Compressed-sparse-row neighbour lists.
+//!
+//! Algorithms that materialise every query's neighbour list used to collect
+//! them as `Vec<Vec<u32>>` — one heap allocation per query and pointer
+//! chasing for every consumer.  [`CsrNeighbors`] stores the same data as
+//! two flat arrays in the classic CSR layout: `offsets` (one entry per
+//! query plus a final sentinel) and `indices` (all neighbour ids,
+//! concatenated in query order).  Query `q`'s neighbours are
+//! `indices[offsets[q] .. offsets[q + 1]]`.
+//!
+//! The structure is **rebuildable in place**: [`CsrNeighbors::clear`] and
+//! the rebuild methods reuse the existing capacity, so a caller that holds
+//! one `CsrNeighbors` across batched launches allocates only while the
+//! shape is still growing.  Neighbour ids are whatever the producing
+//! backend reports — representatives, for a compacting index; consumers
+//! that need multiplicities use the callback mode instead.
+
+/// Flat CSR neighbour lists: `offsets` + `indices`.
+///
+/// # Examples
+///
+/// ```
+/// use rtcore::index::CsrNeighbors;
+///
+/// let mut csr = CsrNeighbors::default();
+/// csr.push_row(&[2, 5]);
+/// csr.push_row(&[]);
+/// csr.push_row(&[0]);
+/// assert_eq!(csr.num_queries(), 3);
+/// assert_eq!(csr.neighbors(0), &[2, 5]);
+/// assert_eq!(csr.neighbors(1), &[] as &[u32]);
+/// assert_eq!(csr.neighbors(2), &[0]);
+/// assert_eq!(csr.offsets(), &[0, 2, 2, 3]);
+/// assert_eq!(csr.indices(), &[2, 5, 0]);
+/// assert_eq!(csr.total_neighbors(), 3);
+///
+/// // Rebuilding in place reuses the capacity.
+/// csr.clear();
+/// assert_eq!(csr.num_queries(), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CsrNeighbors {
+    /// Row starts; `offsets[q]..offsets[q + 1]` indexes `indices`.  Either
+    /// empty (no rows recorded, `Default` is allocation-free so the
+    /// structure is cheap to `std::mem::take`) or led by the `0` sentinel.
+    offsets: Vec<u32>,
+    /// All neighbour ids, concatenated in query order.
+    indices: Vec<u32>,
+    /// Scatter cursors reused by [`CsrNeighbors::rebuild_from_pairs`].
+    cursors: Vec<u32>,
+}
+
+impl CsrNeighbors {
+    /// An empty structure (no queries).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty structure with room for `queries` rows and `neighbors`
+    /// total entries.
+    pub fn with_capacity(queries: usize, neighbors: usize) -> Self {
+        let mut offsets = Vec::with_capacity(queries + 1);
+        offsets.push(0);
+        CsrNeighbors {
+            offsets,
+            indices: Vec::with_capacity(neighbors),
+            cursors: Vec::new(),
+        }
+    }
+
+    /// Number of queries (rows).
+    pub fn num_queries(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// True if no rows have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.num_queries() == 0
+    }
+
+    /// Total number of neighbour entries across all rows.
+    pub fn total_neighbors(&self) -> u64 {
+        self.indices.len() as u64
+    }
+
+    /// The neighbours of query `q`, in emission order.
+    pub fn neighbors(&self, q: usize) -> &[u32] {
+        let start = self.offsets[q] as usize;
+        let end = self.offsets[q + 1] as usize;
+        &self.indices[start..end]
+    }
+
+    /// The row-start array: empty when no rows have been recorded,
+    /// otherwise length `num_queries() + 1` starting with 0.
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The flat neighbour-id array.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Iterate over all rows in query order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        (0..self.num_queries()).map(move |q| self.neighbors(q))
+    }
+
+    /// Drop all rows, keeping the allocated capacity.
+    pub fn clear(&mut self) {
+        self.offsets.clear();
+        self.indices.clear();
+    }
+
+    /// Append one query's neighbour list as the next row.
+    pub fn push_row(&mut self, row: &[u32]) {
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        self.indices.extend_from_slice(row);
+        self.offsets.push(self.indices.len() as u32);
+    }
+
+    /// Rebuild the whole structure from unsorted `(query, neighbour)`
+    /// pairs for `n_queries` rows, in place (two counting-sort passes, no
+    /// comparison sort).  Pairs belonging to the same query keep their
+    /// relative order, so emission order within a row is preserved no
+    /// matter how rows were interleaved by parallel producers.
+    pub fn rebuild_from_pairs(&mut self, n_queries: usize, pairs: &[(u32, u32)]) {
+        self.offsets.clear();
+        self.offsets.resize(n_queries + 1, 0);
+        for &(q, _) in pairs {
+            self.offsets[q as usize + 1] += 1;
+        }
+        for q in 0..n_queries {
+            self.offsets[q + 1] += self.offsets[q];
+        }
+        self.cursors.clear();
+        self.cursors.extend_from_slice(&self.offsets[..n_queries]);
+        self.indices.clear();
+        self.indices.resize(pairs.len(), 0);
+        for &(q, idx) in pairs {
+            let cursor = &mut self.cursors[q as usize];
+            self.indices[*cursor as usize] = idx;
+            *cursor += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rebuild_from_pairs_is_stable_within_rows() {
+        let mut csr = CsrNeighbors::new();
+        // Rows interleaved, but within-row order (by pair position) holds.
+        let pairs = [(2u32, 9u32), (0, 4), (2, 1), (0, 7), (0, 5)];
+        csr.rebuild_from_pairs(4, &pairs);
+        assert_eq!(csr.num_queries(), 4);
+        assert_eq!(csr.neighbors(0), &[4, 7, 5]);
+        assert_eq!(csr.neighbors(1), &[] as &[u32]);
+        assert_eq!(csr.neighbors(2), &[9, 1]);
+        assert_eq!(csr.neighbors(3), &[] as &[u32]);
+        assert_eq!(csr.total_neighbors(), 5);
+
+        // Rebuilding with a different shape reuses the buffers.
+        csr.rebuild_from_pairs(1, &[(0, 3)]);
+        assert_eq!(csr.num_queries(), 1);
+        assert_eq!(csr.neighbors(0), &[3]);
+
+        csr.rebuild_from_pairs(0, &[]);
+        assert!(csr.is_empty());
+    }
+
+    #[test]
+    fn push_row_and_iter() {
+        let mut csr = CsrNeighbors::with_capacity(2, 4);
+        csr.push_row(&[1, 2, 3]);
+        csr.push_row(&[]);
+        csr.push_row(&[8]);
+        let rows: Vec<&[u32]> = csr.iter().collect();
+        assert_eq!(rows, vec![[1u32, 2, 3].as_slice(), &[], &[8]]);
+        csr.clear();
+        assert_eq!(csr.num_queries(), 0);
+        assert_eq!(csr.total_neighbors(), 0);
+    }
+}

@@ -46,10 +46,12 @@
 
 mod brute;
 mod bvh_backend;
+mod csr;
 mod grid;
 
 pub use brute::BruteForceIndex;
 pub use bvh_backend::{BinaryBvhIndex, WideBatchedIndex};
+pub use csr::CsrNeighbors;
 pub use grid::UniformGridIndex;
 
 use crate::bvh::BuilderKind;
@@ -217,6 +219,93 @@ pub trait NeighborIndex: std::fmt::Debug + Send + Sync {
         sink: &NeighborSink<'_>,
     );
 
+    /// Answer many queries at once in **count output mode** — the stage-1
+    /// hot path: `counts[q]` accumulates the multiplicity-weighted number
+    /// of neighbours of `queries[q]`, with no per-neighbour callback on the
+    /// way (backends may flush one count per query per packet instead of
+    /// paying a dynamic sink call for every reported neighbour).
+    ///
+    /// `counts` entries for the launched queries must start at zero.  With
+    /// `exclude_self`, the launch uses the self-join convention of DBSCAN
+    /// stage 1 — `queries` are the indexed points in index order, and the
+    /// query's own group contributes `multiplicity - 1` (the point itself
+    /// does not count).  With `early_exit` (the FDBSCAN-EarlyExit
+    /// optimisation), a query stops as soon as its count reaches the
+    /// threshold; counted work and final counts are identical to driving
+    /// the same logic through [`NeighborIndex::batch_neighbors`], which is
+    /// exactly what this default implementation does.
+    fn batch_neighbor_counts(
+        &self,
+        queries: &[Point3],
+        eps: f32,
+        exclude_self: bool,
+        early_exit: Option<u64>,
+        counters: &mut WorkCounters,
+        counts: &[std::sync::atomic::AtomicU64],
+    ) {
+        use std::sync::atomic::Ordering;
+        assert_eq!(
+            queries.len(),
+            counts.len(),
+            "one count cell per launched query"
+        );
+        self.batch_neighbors(queries, eps, counters, &|q, neighbor, _| {
+            let own_group = exclude_self && neighbor.index == self.representative_of(q as u32);
+            let add = if own_group {
+                neighbor.multiplicity.saturating_sub(1) as u64
+            } else {
+                neighbor.multiplicity as u64
+            };
+            if add == 0 {
+                return NeighborFlow::Continue;
+            }
+            let total = counts[q].fetch_add(add, Ordering::Relaxed) + add;
+            match early_exit {
+                Some(min) if total >= min => NeighborFlow::Stop,
+                _ => NeighborFlow::Continue,
+            }
+        });
+    }
+
+    /// Answer many queries at once in **CSR output mode**: the neighbour
+    /// lists land in `out` as flat `offsets` + `indices` arrays (rebuilt in
+    /// place, reusing `out`'s capacity) instead of flowing through a
+    /// callback.  Semantics match [`NeighborIndex::batch_neighbors`]: no
+    /// self-exclusion, neighbour ids are representatives, and the counted
+    /// work is identical to a callback-mode launch of the same queries.
+    /// Within each row, neighbours appear in the backend's emission order.
+    fn batch_neighbors_csr_into(
+        &self,
+        queries: &[Point3],
+        eps: f32,
+        counters: &mut WorkCounters,
+        out: &mut CsrNeighbors,
+    ) {
+        use parking_lot::Mutex;
+        // Pairs are pushed under a lock; a query's pairs all come from the
+        // one worker that owns its packet, so within-row order stays
+        // deterministic and the counting-sort rebuild restores row order.
+        let pairs: Mutex<Vec<(u32, u32)>> = Mutex::new(Vec::new());
+        self.batch_neighbors(queries, eps, counters, &|q, neighbor, _| {
+            pairs.lock().push((q as u32, neighbor.index));
+            NeighborFlow::Continue
+        });
+        out.rebuild_from_pairs(queries.len(), &pairs.into_inner());
+    }
+
+    /// [`NeighborIndex::batch_neighbors_csr_into`] into a fresh
+    /// [`CsrNeighbors`].
+    fn batch_neighbors_csr(
+        &self,
+        queries: &[Point3],
+        eps: f32,
+        counters: &mut WorkCounters,
+    ) -> CsrNeighbors {
+        let mut out = CsrNeighbors::new();
+        self.batch_neighbors_csr_into(queries, eps, counters, &mut out);
+        out
+    }
+
     /// Retire points from the index in place (streaming refit hook).
     /// Returns the maintenance work performed.  Backends that cannot refit
     /// report [`Error::InvalidConfig`].
@@ -257,11 +346,28 @@ pub trait NeighborIndex: std::fmt::Debug + Send + Sync {
     }
 }
 
+/// Items per merge chunk for a parallel launch of `count` items.
+///
+/// A pure function of `count` (never of thread count): chunk boundaries are
+/// part of the deterministic merge order.  Fine-grained launches (one item
+/// per query) merge 64 items locally per chunk instead of materialising one
+/// [`WorkCounters`] per item; coarse launches (one item per ray packet)
+/// keep one item per chunk so parallelism is not starved.
+pub(crate) fn merge_chunk_size(count: usize) -> usize {
+    (count / 512).clamp(1, 64)
+}
+
 /// Shared batched-launch dispatch: run `one(ordinal)` for every work item
 /// (a query, or a packet of queries), in parallel when `parallel` is set.
-/// Per-item counters are summed in item order either way, so the totals a
-/// batch reports never depend on thread count — the determinism contract
-/// every [`NeighborIndex::batch_neighbors`] implementation promises.
+///
+/// Counters merge **per chunk**: each chunk of consecutive items folds its
+/// counters locally and the chunk totals are folded in chunk order.
+/// Saturating addition is associative, so the grand total is bit-identical
+/// to the old one-`WorkCounters`-per-item fold (unit-tested, saturation
+/// included) while the parallel path materialises `count / chunk` counter
+/// values instead of `count`.  Totals never depend on thread count — the
+/// determinism contract every [`NeighborIndex::batch_neighbors`]
+/// implementation promises.
 pub(crate) fn dispatch_batch(
     count: usize,
     parallel: bool,
@@ -270,7 +376,18 @@ pub(crate) fn dispatch_batch(
     use rayon::prelude::*;
     let mut total = WorkCounters::ZERO;
     if parallel {
-        let per: Vec<WorkCounters> = (0..count).into_par_iter().map(&one).collect();
+        let chunk = merge_chunk_size(count);
+        let chunks = count.div_ceil(chunk);
+        let per: Vec<WorkCounters> = (0..chunks)
+            .into_par_iter()
+            .map(|c| {
+                let mut local = WorkCounters::ZERO;
+                for ordinal in c * chunk..((c + 1) * chunk).min(count) {
+                    local += one(ordinal);
+                }
+                local
+            })
+            .collect();
         for c in per {
             total += c;
         }
@@ -296,6 +413,36 @@ pub(crate) fn charge_candidate(geometry: GeometryKind, counters: &mut WorkCounte
         counters.anyhit_invocations += 1;
     }
     counters.dist_comps += 1;
+}
+
+/// [`charge_candidate`] hoisted over a run of `n` candidates — one add per
+/// run instead of one per candidate, with identical totals.
+#[inline]
+pub(crate) fn charge_candidates(geometry: GeometryKind, n: u64, counters: &mut WorkCounters) {
+    if let GeometryKind::TriangleSpheres {
+        triangles_per_sphere,
+    } = geometry
+    {
+        counters.prim_tests += triangles_per_sphere.saturating_sub(1) as u64 * n;
+        counters.anyhit_invocations += n;
+    }
+    counters.dist_comps += n;
+}
+
+/// Reverse [`charge_candidates`] for the untested tail of a run a query
+/// abandoned at early exit, so hoisted charging matches the per-candidate
+/// path exactly.  Only ever subtracts charges added earlier in the same
+/// run.
+#[inline]
+pub(crate) fn uncharge_candidates(geometry: GeometryKind, n: u64, counters: &mut WorkCounters) {
+    if let GeometryKind::TriangleSpheres {
+        triangles_per_sphere,
+    } = geometry
+    {
+        counters.prim_tests -= triangles_per_sphere.saturating_sub(1) as u64 * n;
+        counters.anyhit_invocations -= n;
+    }
+    counters.dist_comps -= n;
 }
 
 /// Configuration from which any [`NeighborIndex`] backend is built.
@@ -544,6 +691,34 @@ mod tests {
                 "{kind:?} NaN point"
             );
         }
+    }
+
+    #[test]
+    fn per_chunk_merging_matches_per_item_merging_even_at_saturation() {
+        // The parallel dispatch folds counters per chunk; saturating
+        // addition is associative, so the grand total must equal the plain
+        // per-item fold bit for bit — including when intermediate sums
+        // clamp at u64::MAX.
+        let near_max = |i: usize| WorkCounters {
+            rays: u64::MAX / 3,
+            dist_comps: (i as u64 + 1) * 1000,
+            prim_tests: u64::MAX,
+            ..WorkCounters::ZERO
+        };
+        for count in [0usize, 1, 7, 64, 65, 1000, 40_000] {
+            let sequential = dispatch_batch(count, false, near_max);
+            let parallel = dispatch_batch(count, true, near_max);
+            assert_eq!(sequential, parallel, "count {count}");
+            if count >= 3 {
+                assert_eq!(sequential.rays, u64::MAX, "count {count} must saturate");
+                assert_eq!(sequential.prim_tests, u64::MAX);
+            }
+        }
+        // Chunk sizing is a pure function of item count, never thread
+        // count: fine-grained launches chunk up, coarse ones stay 1:1.
+        assert_eq!(merge_chunk_size(0), 1);
+        assert_eq!(merge_chunk_size(196), 1);
+        assert_eq!(merge_chunk_size(100_000), 64);
     }
 
     #[test]

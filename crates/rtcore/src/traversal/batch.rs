@@ -20,11 +20,26 @@
 //! the primitive array, so even hit grouping per leaf is identical); only
 //! the node-visit accounting differs.  The equivalence is property-tested
 //! here and again end-to-end in the workspace integration suite.
+//!
+//! # The allocation-free steady state
+//!
+//! The wavefront engine keeps **no per-node heap state**: the queries that
+//! reach each node live in the flat segment arena of a
+//! [`TraversalScratch`], addressed by explicit `(node, seg_start, seg_len)`
+//! frames, and each packet's query origins are staged once into the
+//! scratch's SoA lanes so the 4-child box test reads three contiguous `f32`
+//! arrays instead of gathering from `Ray` structs.  Callers that launch
+//! repeatedly should hold a scratch (or a
+//! [`crate::traversal::ScratchPool`]) and use
+//! [`traverse_batch_with_scratch`]; the plain [`traverse_batch`] entry
+//! point allocates a one-shot scratch per call for convenience.
 
 use crate::bvh::wide::{WideBvh, WideChild, WIDE_BRANCHING};
 use crate::geometry::{Ray, Sphere};
 use crate::hardware::WorkCounters;
-use crate::traversal::{Traversal, TraversalOutcome};
+use crate::index::CsrNeighbors;
+use crate::traversal::scratch::SegFrame;
+use crate::traversal::{Traversal, TraversalOutcome, TraversalScratch};
 
 /// 4-bit hit mask of `ray` against a wide node's child slots.
 ///
@@ -56,16 +71,12 @@ fn occupied_slots(node: &crate::bvh::WideNode) -> u64 {
         .count() as u64
 }
 
-/// Traverse a wide scene with a single ray, invoking `on_primitive` for
-/// every primitive in every leaf slot whose box the ray reaches.
-///
-/// Work is recorded as `wide_node_visits` (one per wide node) plus one
-/// `aabb_tests` per occupied child slot — the four boxes are tested in one
-/// lockstep lane compare ([`crate::bvh::WideNode::point_hit_mask`]), but each occupied
-/// lane is still a box test as far as the cost model is concerned.
-pub fn traverse_wide<F>(
+/// Single-ray wide traversal over a caller-provided node stack (the scratch
+/// and one-shot entry points share this body).
+fn traverse_wide_on_stack<F>(
     wide: &WideBvh,
     ray: &Ray,
+    stack: &mut Vec<u32>,
     counters: &mut WorkCounters,
     mut on_primitive: F,
 ) -> TraversalOutcome
@@ -85,7 +96,7 @@ where
         return outcome;
     }
 
-    let mut stack: Vec<u32> = Vec::with_capacity(32);
+    stack.clear();
     stack.push(0);
     'outer: while let Some(idx) = stack.pop() {
         let node = &wide.nodes[idx as usize];
@@ -122,6 +133,41 @@ where
     outcome
 }
 
+/// Traverse a wide scene with a single ray, invoking `on_primitive` for
+/// every primitive in every leaf slot whose box the ray reaches.
+///
+/// Work is recorded as `wide_node_visits` (one per wide node) plus one
+/// `aabb_tests` per occupied child slot — the four boxes are tested in one
+/// lockstep lane compare ([`crate::bvh::WideNode::point_hit_mask`]), but each occupied
+/// lane is still a box test as far as the cost model is concerned.
+pub fn traverse_wide<F>(
+    wide: &WideBvh,
+    ray: &Ray,
+    counters: &mut WorkCounters,
+    on_primitive: F,
+) -> TraversalOutcome
+where
+    F: FnMut(&Sphere, &mut WorkCounters) -> Traversal,
+{
+    let mut stack: Vec<u32> = Vec::with_capacity(32);
+    traverse_wide_on_stack(wide, ray, &mut stack, counters, on_primitive)
+}
+
+/// [`traverse_wide`] reusing the node stack of a caller-held scratch —
+/// zero allocations once the stack has grown to the tree's depth.
+pub fn traverse_wide_with_scratch<F>(
+    wide: &WideBvh,
+    ray: &Ray,
+    scratch: &mut TraversalScratch,
+    counters: &mut WorkCounters,
+    on_primitive: F,
+) -> TraversalOutcome
+where
+    F: FnMut(&Sphere, &mut WorkCounters) -> Traversal,
+{
+    traverse_wide_on_stack(wide, ray, &mut scratch.node_stack, counters, on_primitive)
+}
+
 /// Traverse a wide scene with a packet of rays in wavefront order.
 ///
 /// All rays walk the tree together: every wide node reached by at least one
@@ -133,73 +179,199 @@ where
 ///
 /// One call is one batched launch (`batched_launches += 1`).  Returns a
 /// per-query [`TraversalOutcome`] in packet order.
+///
+/// This convenience entry point allocates a one-shot scratch; hot callers
+/// reuse one via [`traverse_batch_with_scratch`].
 pub fn traverse_batch<F>(
     wide: &WideBvh,
     rays: &[Ray],
     counters: &mut WorkCounters,
-    mut on_primitive: F,
+    on_primitive: F,
 ) -> Vec<TraversalOutcome>
 where
     F: FnMut(usize, &Sphere, &mut WorkCounters) -> Traversal,
 {
-    let mut outcomes = vec![
+    let mut scratch = TraversalScratch::default();
+    traverse_batch_with_scratch(wide, rays, &mut scratch, counters, on_primitive).to_vec()
+}
+
+/// What a leaf handler did with one query's run of candidate primitives
+/// (see [`traverse_batch_leaves_with_scratch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeafVisit {
+    /// Number of primitives actually processed, counting the one that
+    /// triggered termination.  The engine charges `prim_tests` and the
+    /// query's `primitives_visited` from this.
+    pub visited: u32,
+    /// True to retire the query (no further callbacks for it).
+    pub terminate: bool,
+}
+
+impl LeafVisit {
+    /// A handler outcome that processed every primitive of the run and
+    /// keeps the query alive.
+    pub fn all(prims: &[Sphere]) -> LeafVisit {
+        LeafVisit {
+            visited: prims.len() as u32,
+            terminate: false,
+        }
+    }
+}
+
+/// [`traverse_batch`] over a caller-held [`TraversalScratch`]: the segment
+/// arena, frame stack, SoA lanes, alive flags and outcomes all reuse the
+/// scratch's grow-only buffers, so repeated launches perform no heap
+/// allocation after the first.  Returns the per-query outcomes as a slice
+/// borrowed from the scratch.
+pub fn traverse_batch_with_scratch<'s, F>(
+    wide: &WideBvh,
+    rays: &[Ray],
+    scratch: &'s mut TraversalScratch,
+    counters: &mut WorkCounters,
+    mut on_primitive: F,
+) -> &'s [TraversalOutcome]
+where
+    F: FnMut(usize, &Sphere, &mut WorkCounters) -> Traversal,
+{
+    traverse_batch_leaves_with_scratch(wide, rays, scratch, counters, |q, prims, counters| {
+        let mut visited = 0u32;
+        for prim in prims {
+            visited += 1;
+            if on_primitive(q, prim, counters) == Traversal::Terminate {
+                return LeafVisit {
+                    visited,
+                    terminate: true,
+                };
+            }
+        }
+        LeafVisit {
+            visited,
+            terminate: false,
+        }
+    })
+}
+
+/// The wavefront engine's leaf-segment form: `on_leaf` receives one
+/// query's **whole run of candidate primitives** per reached leaf slot —
+/// `(packet-local query, &[Sphere], packet counters)` — instead of one
+/// callback per primitive.
+///
+/// This is the shape the hot backends consume: a monomorphic candidate
+/// loop in the caller can hoist its per-candidate counter charging to one
+/// add per run (subtracting the tail on early termination), which is
+/// measurably cheaper than 150M+ per-candidate callback returns.  The
+/// handler reports how many primitives it actually processed via
+/// [`LeafVisit`]; the engine charges `prim_tests`/`primitives_visited`
+/// from that, so aggregate counters are bit-identical to the per-primitive
+/// form.
+pub fn traverse_batch_leaves_with_scratch<'s, F>(
+    wide: &WideBvh,
+    rays: &[Ray],
+    scratch: &'s mut TraversalScratch,
+    counters: &mut WorkCounters,
+    mut on_leaf: F,
+) -> &'s [TraversalOutcome]
+where
+    F: FnMut(usize, &[Sphere], &mut WorkCounters) -> LeafVisit,
+{
+    let n = rays.len();
+    scratch.outcomes.clear();
+    scratch.outcomes.resize(
+        n,
         TraversalOutcome {
             terminated_early: false,
             primitives_visited: 0,
-        };
-        rays.len()
-    ];
-    if rays.is_empty() {
-        return outcomes;
+        },
+    );
+    if n == 0 {
+        return &scratch.outcomes;
     }
     counters.batched_launches += 1;
     if wide.nodes.is_empty() {
-        return outcomes;
+        return &scratch.outcomes;
     }
 
+    // Stage the packet's query origins into the SoA lanes once; the
+    // per-node box test then reads three contiguous f32 arrays instead of
+    // gathering 48-byte `Ray` structs.
+    let all_point_queries = scratch.stage_origins(rays);
+
+    let TraversalScratch {
+        arena,
+        frames,
+        alive,
+        outcomes,
+        live,
+        masks,
+        qx,
+        qy,
+        qz,
+        ..
+    } = scratch;
+
     // Root scene-bounds test retires rays that miss the scene entirely.
-    let mut root_queries: Vec<u32> = Vec::with_capacity(rays.len());
+    arena.clear();
+    frames.clear();
     for (q, ray) in rays.iter().enumerate() {
         counters.aabb_tests += 1;
         if wide.scene_bounds.intersects_ray(ray) {
-            root_queries.push(q as u32);
+            arena.push(q as u32);
         }
     }
-    if root_queries.is_empty() {
+    if arena.is_empty() {
         return outcomes;
     }
 
-    let mut alive = vec![true; rays.len()];
-    // Wavefront worklist: (wide node, queries that reached it).
-    let mut work: Vec<(u32, Vec<u32>)> = vec![(0, root_queries)];
-    // Scratch reused across node visits: (query, its slot hit mask).
-    let mut hits: Vec<(u32, u8)> = Vec::new();
-    let mut slot_queries: Vec<u32> = Vec::new();
+    alive.clear();
+    alive.resize(n, true);
+    frames.push(SegFrame {
+        node: 0,
+        seg_start: 0,
+        seg_len: arena.len() as u32,
+    });
 
-    while let Some((idx, queries)) = work.pop() {
-        let node = &wide.nodes[idx as usize];
+    while let Some(frame) = frames.pop() {
+        let node = &wide.nodes[frame.node as usize];
+        let seg_start = frame.seg_start as usize;
+        // LIFO discipline: the popped frame's segment is the arena suffix.
+        debug_assert_eq!(seg_start + frame.seg_len as usize, arena.len());
+
         // Lockstep lane compare of every live query against all four child
-        // boxes at once; queries that terminated while this entry sat on
-        // the stack drop out here.
-        hits.clear();
-        for &q in &queries {
-            if alive[q as usize] {
-                hits.push((q, slot_hit_mask(node, &rays[q as usize])));
+        // boxes at once; queries that terminated while this frame sat on
+        // the stack drop out here.  The mask is computed exactly once per
+        // (node, query).
+        live.clear();
+        masks.clear();
+        for &q in &arena[seg_start..] {
+            let qi = q as usize;
+            if alive[qi] {
+                let mask = if all_point_queries {
+                    node.point_hit_mask_xyz(qx[qi], qy[qi], qz[qi])
+                } else {
+                    slot_hit_mask(node, &rays[qi])
+                };
+                live.push(q);
+                masks.push(mask);
             }
         }
-        if hits.is_empty() {
+        // The frame's segment is consumed; reclaim its arena space before
+        // publishing child segments.
+        arena.truncate(seg_start);
+        if live.is_empty() {
             continue;
         }
         counters.wide_node_visits += 1;
-        counters.aabb_tests += occupied_slots(node) * hits.len() as u64;
+        counters.aabb_tests += occupied_slots(node) * live.len() as u64;
+
         for slot in 0..WIDE_BRANCHING {
-            slot_queries.clear();
-            for &(q, mask) in &hits {
-                if mask & (1 << slot) != 0 && alive[q as usize] {
-                    slot_queries.push(q);
+            let bit = 1u8 << slot;
+            let child_start = arena.len();
+            for (k, &q) in live.iter().enumerate() {
+                if masks[k] & bit != 0 && alive[q as usize] {
+                    arena.push(q);
                 }
             }
-            if slot_queries.is_empty() {
+            if arena.len() == child_start {
                 continue;
             }
             match node.children[slot] {
@@ -207,7 +379,13 @@ where
                     unreachable!("empty slots hold inverted boxes and never match")
                 }
                 WideChild::Node(child) => {
-                    work.push((child, slot_queries.clone()));
+                    // The surviving queries stay parked in the arena; the
+                    // frame records where.
+                    frames.push(SegFrame {
+                        node: child,
+                        seg_start: child_start as u32,
+                        seg_len: (arena.len() - child_start) as u32,
+                    });
                 }
                 WideChild::Leaf {
                     first_prim,
@@ -215,18 +393,20 @@ where
                 } => {
                     let first = first_prim as usize;
                     let count = prim_count as usize;
-                    for &q in &slot_queries {
+                    let prims = &wide.primitives[first..first + count];
+                    for &q in &arena[child_start..] {
                         let qi = q as usize;
-                        for prim in &wide.primitives[first..first + count] {
-                            counters.prim_tests += 1;
-                            outcomes[qi].primitives_visited += 1;
-                            if on_primitive(qi, prim, counters) == Traversal::Terminate {
-                                outcomes[qi].terminated_early = true;
-                                alive[qi] = false;
-                                break;
-                            }
+                        let visit = on_leaf(qi, prims, counters);
+                        counters.prim_tests += visit.visited as u64;
+                        let outcome = &mut outcomes[qi];
+                        outcome.primitives_visited += visit.visited as u64;
+                        if visit.terminate {
+                            outcome.terminated_early = true;
+                            alive[qi] = false;
                         }
                     }
+                    // Leaf segments are consumed immediately.
+                    arena.truncate(child_start);
                 }
             }
         }
@@ -256,6 +436,36 @@ pub fn collect_sphere_hits_batch(
         Traversal::Continue
     });
     hits
+}
+
+/// CSR-mode variant of [`collect_sphere_hits_batch`]: the same traversal
+/// and identical counters, but the per-ray hit lists land in one
+/// [`CsrNeighbors`] (flat `offsets` + `indices`) instead of a
+/// `Vec<Vec<u32>>` — one output structure for the whole packet, rebuilt in
+/// place so a reused `out` (and `scratch`) makes the steady state
+/// allocation-free.  Hit order within each ray matches the callback order
+/// of the wavefront traversal.
+pub fn collect_sphere_hits_csr(
+    wide: &WideBvh,
+    rays: &[Ray],
+    exclude: &[Option<u32>],
+    scratch: &mut TraversalScratch,
+    counters: &mut WorkCounters,
+    out: &mut CsrNeighbors,
+) {
+    let mut pairs = std::mem::take(&mut scratch.pairs);
+    pairs.clear();
+    traverse_batch_with_scratch(wide, rays, scratch, counters, |q, sphere, counters| {
+        counters.dist_comps += 1;
+        if sphere.intersects_ray(&rays[q])
+            && exclude.get(q).copied().flatten() != Some(sphere.point_index)
+        {
+            pairs.push((q as u32, sphere.point_index));
+        }
+        Traversal::Continue
+    });
+    out.rebuild_from_pairs(rays.len(), &pairs);
+    scratch.pairs = pairs;
 }
 
 #[cfg(test)]
@@ -448,5 +658,142 @@ mod tests {
             got.sort_unstable();
             assert_eq!(got, expected, "query {i}");
         }
+    }
+
+    #[test]
+    fn scratch_reuse_across_differently_shaped_launches() {
+        // Larger → smaller → larger packets, an empty scene in between, and
+        // a single-query launch: every launch over a reused scratch must
+        // report exactly what a fresh scratch reports (counters included).
+        let points = scatter(500);
+        let bvh = SahBuilder::default()
+            .build(spheres_from_points(&points, 0.8))
+            .unwrap();
+        let wide = WideBvh::from_binary(&bvh);
+        let empty = WideBvh::from_binary(&crate::bvh::Bvh {
+            nodes: vec![],
+            primitives: vec![],
+            builder: crate::bvh::BuilderKind::Lbvh,
+            build_counters: WorkCounters::ZERO,
+        });
+        let rays: Vec<Ray> = points.iter().map(|&p| Ray::epsilon_ray(p)).collect();
+
+        let mut reused = TraversalScratch::default();
+        let shapes: [(usize, bool); 5] = [
+            (400, false),
+            (7, false),
+            (0, true),
+            (1, false),
+            (500, false),
+        ];
+        for (len, use_empty) in shapes {
+            let scene = if use_empty { &empty } else { &wide };
+            let packet = &rays[..len];
+
+            let mut hits_reused: Vec<Vec<u32>> = vec![Vec::new(); len];
+            let mut c_reused = WorkCounters::ZERO;
+            let out_reused: Vec<TraversalOutcome> = traverse_batch_with_scratch(
+                scene,
+                packet,
+                &mut reused,
+                &mut c_reused,
+                |q, s, c| {
+                    c.dist_comps += 1;
+                    if s.intersects_ray(&packet[q]) {
+                        hits_reused[q].push(s.point_index);
+                    }
+                    Traversal::Continue
+                },
+            )
+            .to_vec();
+
+            let mut fresh = TraversalScratch::default();
+            let mut hits_fresh: Vec<Vec<u32>> = vec![Vec::new(); len];
+            let mut c_fresh = WorkCounters::ZERO;
+            let out_fresh: Vec<TraversalOutcome> =
+                traverse_batch_with_scratch(scene, packet, &mut fresh, &mut c_fresh, |q, s, c| {
+                    c.dist_comps += 1;
+                    if s.intersects_ray(&packet[q]) {
+                        hits_fresh[q].push(s.point_index);
+                    }
+                    Traversal::Continue
+                })
+                .to_vec();
+
+            assert_eq!(out_reused, out_fresh, "outcomes at shape {len}");
+            assert_eq!(hits_reused, hits_fresh, "hits at shape {len}");
+            assert_eq!(c_reused, c_fresh, "counters at shape {len}");
+        }
+    }
+
+    #[test]
+    fn scratch_and_one_shot_entry_points_agree() {
+        let points = scatter(300);
+        let bvh = LbvhBuilder::default()
+            .build(spheres_from_points(&points, 1.0))
+            .unwrap();
+        let wide = WideBvh::from_binary(&bvh);
+        let rays: Vec<Ray> = points.iter().map(|&p| Ray::epsilon_ray(p)).collect();
+
+        let mut c_one_shot = WorkCounters::ZERO;
+        let one_shot = traverse_batch(&wide, &rays, &mut c_one_shot, |_, _, c| {
+            c.dist_comps += 1;
+            Traversal::Continue
+        });
+        let mut scratch = TraversalScratch::default();
+        let mut c_scratch = WorkCounters::ZERO;
+        let with_scratch =
+            traverse_batch_with_scratch(&wide, &rays, &mut scratch, &mut c_scratch, |_, _, c| {
+                c.dist_comps += 1;
+                Traversal::Continue
+            });
+        assert_eq!(one_shot, with_scratch);
+        assert_eq!(c_one_shot, c_scratch);
+
+        // Single-ray scratch variant agrees with the plain one as well.
+        let ray = Ray::epsilon_ray(points[7]);
+        let mut c_a = WorkCounters::ZERO;
+        let a = traverse_wide(&wide, &ray, &mut c_a, |_, _| Traversal::Continue);
+        let mut c_b = WorkCounters::ZERO;
+        let b = traverse_wide_with_scratch(&wide, &ray, &mut scratch, &mut c_b, |_, _| {
+            Traversal::Continue
+        });
+        assert_eq!(a, b);
+        assert_eq!(c_a, c_b);
+    }
+
+    #[test]
+    fn csr_hits_match_vec_of_vec_hits() {
+        let mut points = scatter(250);
+        // Exact duplicates and an exact-ε pair stress the boundary rules.
+        points.push(points[0]);
+        points.push(points[0]);
+        points.push(Point3::new(100.0, 0.0, 0.0));
+        points.push(Point3::new(100.6, 0.0, 0.0));
+        let radius = 0.6;
+        let bvh = SahBuilder::default()
+            .build(spheres_from_points(&points, radius))
+            .unwrap();
+        let wide = WideBvh::from_binary(&bvh);
+        let rays: Vec<Ray> = points.iter().map(|&p| Ray::epsilon_ray(p)).collect();
+        let exclude: Vec<Option<u32>> = (0..points.len()).map(|i| Some(i as u32)).collect();
+
+        let mut c_vec = WorkCounters::ZERO;
+        let lists = collect_sphere_hits_batch(&wide, &rays, &exclude, &mut c_vec);
+
+        let mut scratch = TraversalScratch::default();
+        let mut csr = CsrNeighbors::default();
+        let mut c_csr = WorkCounters::ZERO;
+        collect_sphere_hits_csr(&wide, &rays, &exclude, &mut scratch, &mut c_csr, &mut csr);
+
+        assert_eq!(c_vec, c_csr, "CSR mode must not change counted work");
+        assert_eq!(csr.num_queries(), lists.len());
+        for (q, list) in lists.iter().enumerate() {
+            assert_eq!(csr.neighbors(q), list.as_slice(), "query {q}");
+        }
+        assert_eq!(
+            csr.total_neighbors() as usize,
+            lists.iter().map(Vec::len).sum::<usize>()
+        );
     }
 }

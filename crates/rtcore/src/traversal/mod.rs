@@ -17,8 +17,14 @@
 //! default.
 
 pub mod batch;
+pub mod scratch;
 
-pub use batch::{collect_sphere_hits_batch, traverse_batch, traverse_wide};
+pub use batch::{
+    collect_sphere_hits_batch, collect_sphere_hits_csr, traverse_batch,
+    traverse_batch_leaves_with_scratch, traverse_batch_with_scratch, traverse_wide,
+    traverse_wide_with_scratch, LeafVisit,
+};
+pub use scratch::{PoolGuard, ScratchPool, TraversalScratch};
 
 use crate::bvh::{Bvh, NodeKind};
 use crate::geometry::{Ray, Sphere};
@@ -54,6 +60,39 @@ pub fn traverse<F>(
     bvh: &Bvh,
     ray: &Ray,
     counters: &mut WorkCounters,
+    on_primitive: F,
+) -> TraversalOutcome
+where
+    F: FnMut(&Sphere, &mut WorkCounters) -> Traversal,
+{
+    let mut stack: Vec<u32> = Vec::with_capacity(64);
+    traverse_on_stack(bvh, ray, &mut stack, counters, on_primitive)
+}
+
+/// [`traverse`] reusing the node stack of a caller-held
+/// [`TraversalScratch`] — zero allocations once the stack has grown to the
+/// tree's depth.  Hits, traversal order and counted work are identical to
+/// the one-shot entry point.
+pub fn traverse_with_scratch<F>(
+    bvh: &Bvh,
+    ray: &Ray,
+    scratch: &mut TraversalScratch,
+    counters: &mut WorkCounters,
+    on_primitive: F,
+) -> TraversalOutcome
+where
+    F: FnMut(&Sphere, &mut WorkCounters) -> Traversal,
+{
+    traverse_on_stack(bvh, ray, &mut scratch.node_stack, counters, on_primitive)
+}
+
+/// Shared body of [`traverse`] / [`traverse_with_scratch`] over a
+/// caller-provided node stack.
+fn traverse_on_stack<F>(
+    bvh: &Bvh,
+    ray: &Ray,
+    stack: &mut Vec<u32>,
+    counters: &mut WorkCounters,
     mut on_primitive: F,
 ) -> TraversalOutcome
 where
@@ -73,7 +112,7 @@ where
         return outcome;
     }
 
-    let mut stack: Vec<u32> = Vec::with_capacity(64);
+    stack.clear();
     stack.push(0);
 
     'outer: while let Some(idx) = stack.pop() {

@@ -35,8 +35,9 @@ use crate::window::{StreamingConfig, WindowPolicy};
 use rtcore::bvh::{refit, Bvh, BvhBuilder, LbvhBuilder, TreeHealth, WideBvh};
 use rtcore::geometry::{Point3, Ray, Sphere};
 use rtcore::hardware::WorkCounters;
+use rtcore::index::CsrNeighbors;
 use rtcore::pipeline::TraversalEngine;
-use rtcore::traversal::{traverse, traverse_batch, Traversal};
+use rtcore::traversal::{traverse, traverse_batch_with_scratch, Traversal, TraversalScratch};
 use rtcore::Result;
 use rtdbscan::disjoint_set::EpochDisjointSet;
 use rtdbscan::labels::{Clustering, NOISE};
@@ -195,6 +196,15 @@ pub struct StreamingClusterer {
     /// Scratch buffers reused across calls.
     hits_scratch: Vec<u32>,
     flips_scratch: Vec<u32>,
+    /// Reusable state of the batched snapshot-repair pass: staged rays,
+    /// `(query, hit)` pairs, the wavefront traversal scratch, and the CSR
+    /// neighbourhoods of the current packet.  All grow-only, so the
+    /// per-packet repair loop allocates nothing once warm (the pass itself
+    /// still materialises its core-point list once per repair).
+    repair_rays: Vec<Ray>,
+    repair_pairs: Vec<(u32, u32)>,
+    repair_trav: TraversalScratch,
+    repair_csr: CsrNeighbors,
 }
 
 impl StreamingClusterer {
@@ -225,6 +235,10 @@ impl StreamingClusterer {
             stats: StreamingStats::default(),
             hits_scratch: Vec::new(),
             flips_scratch: Vec::new(),
+            repair_rays: Vec::new(),
+            repair_pairs: Vec::new(),
+            repair_trav: TraversalScratch::default(),
+            repair_csr: CsrNeighbors::new(),
         })
     }
 
@@ -786,16 +800,16 @@ impl StreamingClusterer {
             .filter(|&slot| self.slots[slot as usize].core)
             .collect();
         self.ensure_wide_scene();
-        // One packet at a time: neighbourhood lists for at most
-        // `SNAPSHOT_PACKET` core points are materialised at once, then
-        // consumed, keeping the repair's memory bounded regardless of
-        // window size.
-        let mut lists: Vec<Vec<u32>> = Vec::new();
+        // One packet at a time: the CSR neighbourhoods of at most
+        // `SNAPSHOT_PACKET` core points are materialised at once (two flat
+        // arrays, rebuilt in place each packet), then consumed, keeping
+        // the repair's memory bounded regardless of window size.
         for start in (0..cores.len()).step_by(Self::SNAPSHOT_PACKET) {
             let chunk = &cores[start..(start + Self::SNAPSHOT_PACKET).min(cores.len())];
-            self.chunk_neighborhoods(chunk, &mut lists);
+            self.chunk_neighborhoods(chunk);
+            let csr = std::mem::take(&mut self.repair_csr);
             for (k, &slot) in chunk.iter().enumerate() {
-                for &q in &lists[k] {
+                for &q in csr.neighbors(k) {
                     if self.slots[q as usize].core {
                         self.dsu.union(slot as usize, q as usize);
                     } else {
@@ -809,6 +823,7 @@ impl StreamingClusterer {
                     }
                 }
             }
+            self.repair_csr = csr;
         }
         self.drain_dsu_ops();
         self.dirty = false;
@@ -830,16 +845,21 @@ impl StreamingClusterer {
     }
 
     /// Exact live ε-neighbourhoods of one packet of slots (self excluded),
-    /// written into `lists` (index-aligned with `chunk`, scratch reused
-    /// across calls): the main scene answers the whole packet in one
-    /// batched wide launch when so configured, deltas and the pending tail
-    /// are scanned per query.  Work is charged to stage 2.
-    fn chunk_neighborhoods(&mut self, chunk: &[u32], lists: &mut Vec<Vec<u32>>) {
-        for list in lists.iter_mut() {
-            list.clear();
-        }
-        lists.resize(chunk.len().max(lists.len()), Vec::new());
+    /// rebuilt into the reusable CSR scratch (`repair_csr`, rows
+    /// index-aligned with `chunk`): the main scene answers the whole packet
+    /// in one batched wide launch when so configured, deltas and the
+    /// pending tail are scanned per query.  Hits collect as flat
+    /// `(query, slot)` pairs and one counting-sort pass turns them into the
+    /// packet's CSR rows — no per-query list ever exists, and every buffer
+    /// (rays, pairs, traversal scratch, CSR) is grow-only across packets.
+    /// Work is charged to stage 2.
+    fn chunk_neighborhoods(&mut self, chunk: &[u32]) {
+        let rays = &mut self.repair_rays;
+        let pairs = &mut self.repair_pairs;
+        rays.clear();
+        pairs.clear();
         if chunk.is_empty() {
+            self.repair_csr.clear();
             return;
         }
 
@@ -847,28 +867,35 @@ impl StreamingClusterer {
         counters.rays += chunk.len() as u64;
         let eps_sq = self.eps_sq;
         let slots = &self.slots;
-        let rays: Vec<Ray> = chunk
-            .iter()
-            .map(|&slot| Ray::epsilon_ray(slots[slot as usize].point))
-            .collect();
+        rays.extend(
+            chunk
+                .iter()
+                .map(|&slot| Ray::epsilon_ray(slots[slot as usize].point)),
+        );
 
         // Main indexed scene.
         match (&self.wide_scene, &self.scene) {
             (Some(wide), _) if self.config.snapshot_traversal == TraversalEngine::WideBatched => {
-                traverse_batch(wide, &rays, &mut counters, |q, sphere, counters| {
-                    counters.dist_comps += 1;
-                    if Self::is_live_neighbor(
-                        slots,
-                        chunk[q],
-                        eps_sq,
-                        sphere.point_index,
-                        sphere.center,
-                        rays[q].origin,
-                    ) {
-                        lists[q].push(sphere.point_index);
-                    }
-                    Traversal::Continue
-                });
+                traverse_batch_with_scratch(
+                    wide,
+                    rays,
+                    &mut self.repair_trav,
+                    &mut counters,
+                    |q, sphere, counters| {
+                        counters.dist_comps += 1;
+                        if Self::is_live_neighbor(
+                            slots,
+                            chunk[q],
+                            eps_sq,
+                            sphere.point_index,
+                            sphere.center,
+                            rays[q].origin,
+                        ) {
+                            pairs.push((q as u32, sphere.point_index));
+                        }
+                        Traversal::Continue
+                    },
+                );
             }
             (_, Some(scene)) => {
                 for (k, ray) in rays.iter().enumerate() {
@@ -882,7 +909,7 @@ impl StreamingClusterer {
                             sphere.center,
                             ray.origin,
                         ) {
-                            lists[k].push(sphere.point_index);
+                            pairs.push((k as u32, sphere.point_index));
                         }
                         Traversal::Continue
                     });
@@ -904,7 +931,7 @@ impl StreamingClusterer {
                         sphere.center,
                         ray.origin,
                     ) {
-                        lists[k].push(sphere.point_index);
+                        pairs.push((k as u32, sphere.point_index));
                     }
                     Traversal::Continue
                 });
@@ -915,11 +942,12 @@ impl StreamingClusterer {
                 counters.dist_comps += 1;
                 let center = slots[p as usize].point;
                 if Self::is_live_neighbor(slots, chunk[k], eps_sq, p, center, ray.origin) {
-                    lists[k].push(p);
+                    pairs.push((k as u32, p));
                 }
             }
         }
         self.stage2_counters += counters;
+        self.repair_csr.rebuild_from_pairs(chunk.len(), pairs);
     }
 }
 
