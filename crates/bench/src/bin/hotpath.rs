@@ -2,12 +2,13 @@
 //!
 //! Runs a fixed-seed, fig6-style **stage-1 sweep** (every point's
 //! ε-neighbour count, one batched launch over the whole dataset) on the
-//! binary and wide-batched [`rtcore::index::NeighborIndex`] backends and
-//! records wall-clock plus work counters to `BENCH_hotpath.json` at the
-//! repository root.  Index
-//! build time is excluded: the file tracks the *steady-state query path*
-//! that PR 4's scratch-arena / SoA / CSR work optimises, so future PRs can
-//! prove (or be caught regressing) the hot-path trajectory.
+//! binary backend and on a matrix of wide-batched configurations — query
+//! order × SIMD policy × node layout — and records wall-clock plus work
+//! counters to `BENCH_hotpath.json` at the repository root.  Index build
+//! time is excluded: the file tracks the *steady-state query path* that
+//! the scratch-arena (PR 4) and coherence/SIMD/layout (PR 5) work
+//! optimises, so future PRs can prove (or be caught regressing) the
+//! hot-path trajectory.
 //!
 //! # Usage
 //!
@@ -17,45 +18,96 @@
 //! cargo run --release -p rtdbscan-bench --bin hotpath -- --smoke        # tiny CI run, no file written
 //! ```
 //!
-//! # `BENCH_hotpath.json` schema (`rtdbscan-hotpath/v1`)
+//! `--record-baseline` refuses to overwrite a baseline recorded under a
+//! different `schema` or `config` — it prints both lines as a diff and
+//! exits non-zero; pass `--force` as well to reset deliberately.
+//!
+//! # `BENCH_hotpath.json` schema (`rtdbscan-hotpath/v2`)
 //!
 //! One JSON object with four keys:
 //!
-//! * `"schema"` — the literal string `"rtdbscan-hotpath/v1"`.
+//! * `"schema"` — the literal string `"rtdbscan-hotpath/v2"`.
 //! * `"config"` — the sweep parameters, one object on one line:
 //!   `dataset`, `seed`, `eps`, `reps` (timing repetitions per cell; the
 //!   reported `best_ns` is the minimum, `mean_ns` the average).
-//! * `"baseline"` — `{ "results": [...] }`, recorded once (pre-PR 4) and
-//!   preserved verbatim by later regenerations unless `--record-baseline`
-//!   is passed.
+//! * `"baseline"` — `{ "results": [...] }`, recorded once and preserved
+//!   verbatim by later regenerations unless `--record-baseline` is
+//!   passed.  A `v1` baseline (pre-dating the per-cell config fields) is
+//!   migrated in place by annotating its cells with the legacy
+//!   configuration (`as-given` order, `scalar` SIMD, `f32` layout).
 //! * `"current"` — same shape, overwritten on every run.
 //!
-//! Each entry of `results` is one `(n, backend)` cell:
-//! `{"n": 100000, "backend": "wide-batched", "best_ns": …, "mean_ns": …,
+//! Each entry of `results` is one measurement cell:
+//! `{"n": 100000, "backend": "wide-batched", "query_order": "morton",
+//!   "simd": "avx2", "layout": "quantized", "best_ns": …, "mean_ns": …,
 //!   "rays": …, "dist_comps": …, "prim_tests": …, "node_visits": …,
-//!   "wide_node_visits": …, "batched_launches": …}` — the counters are the
+//!   "wide_node_visits": …, "batched_launches": …}` — `query_order` /
+//! `simd` / `layout` name the launch configuration (`simd` records the
+//! **resolved** level actually run; the binary backend, which has no wide
+//! kernels, reports `"n/a"` for all three).  The counters are the
 //! aggregate [`rtcore::hardware::WorkCounters`] of one stage-1 launch and
-//! must be identical
-//! run-to-run (they are work, not time; any drift is a correctness bug).
+//! must be identical run-to-run (they are work, not time; any drift is a
+//! correctness bug).  Every wide `f32`-layout cell must further agree
+//! with the binary cell on `dist_comps`/`prim_tests` (reordering and SIMD
+//! never change counted candidate work), and Morton cells must show
+//! strictly fewer `wide_node_visits` than their as-given twins — both
+//! asserted on every run, including `--smoke`.
 //!
 //! The `baseline`/`current` sections are each a single line so the
 //! regeneration pass can carry the baseline forward without a JSON parser.
 
 use rtcore::geometry::Point3;
 use rtcore::hardware::WorkCounters;
-use rtcore::index::{IndexKind, NeighborIndexBuilder};
+use rtcore::index::{IndexKind, NeighborIndexBuilder, QueryOrder, SimdPolicy, WideLayout};
 use rtdbscan_datasets::{generate, PaperDataset};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-const SCHEMA: &str = "rtdbscan-hotpath/v1";
+const SCHEMA: &str = "rtdbscan-hotpath/v2";
+const V1_SCHEMA: &str = "rtdbscan-hotpath/v1";
 const EPS: f32 = 0.4;
 const SEED: u64 = 42;
 
-/// One `(n, backend)` measurement cell.
+/// One wide-backend launch configuration of the sweep.
+#[derive(Clone, Copy)]
+struct WideConfig {
+    query_order: QueryOrder,
+    simd: SimdPolicy,
+    layout: WideLayout,
+}
+
+/// The sweep matrix: the legacy configuration first (comparable with the
+/// pre-coherence baseline), then each coherence knob stacked on.
+const WIDE_CONFIGS: [WideConfig; 4] = [
+    WideConfig {
+        query_order: QueryOrder::AsGiven,
+        simd: SimdPolicy::Scalar,
+        layout: WideLayout::F32,
+    },
+    WideConfig {
+        query_order: QueryOrder::AsGiven,
+        simd: SimdPolicy::Auto,
+        layout: WideLayout::F32,
+    },
+    WideConfig {
+        query_order: QueryOrder::Morton,
+        simd: SimdPolicy::Auto,
+        layout: WideLayout::F32,
+    },
+    WideConfig {
+        query_order: QueryOrder::Morton,
+        simd: SimdPolicy::Auto,
+        layout: WideLayout::Quantized,
+    },
+];
+
+/// One measurement cell.
 struct Cell {
     n: usize,
     backend: &'static str,
+    query_order: String,
+    simd: String,
+    layout: String,
     best_ns: u128,
     mean_ns: u128,
     counters: WorkCounters,
@@ -65,11 +117,15 @@ impl Cell {
     fn to_json(&self) -> String {
         let c = &self.counters;
         format!(
-            "{{\"n\":{},\"backend\":\"{}\",\"best_ns\":{},\"mean_ns\":{},\
+            "{{\"n\":{},\"backend\":\"{}\",\"query_order\":\"{}\",\"simd\":\"{}\",\
+             \"layout\":\"{}\",\"best_ns\":{},\"mean_ns\":{},\
              \"rays\":{},\"dist_comps\":{},\"prim_tests\":{},\"node_visits\":{},\
              \"wide_node_visits\":{},\"batched_launches\":{}}}",
             self.n,
             self.backend,
+            self.query_order,
+            self.simd,
+            self.layout,
             self.best_ns,
             self.mean_ns,
             c.rays,
@@ -83,10 +139,16 @@ impl Cell {
 }
 
 /// Time stage 1 (one batched neighbour-count launch over all points, self
-/// excluded — exactly what the DBSCAN algorithms issue) on one backend:
-/// one warm-up launch, then `reps` timed launches.
-fn measure_stage1(kind: IndexKind, points: &[Point3], reps: usize) -> Cell {
-    let index = NeighborIndexBuilder::new(kind)
+/// excluded — exactly what the DBSCAN algorithms issue) on one built
+/// index: one warm-up launch, then `reps` timed launches.
+fn measure_stage1(
+    builder: &NeighborIndexBuilder,
+    backend: &'static str,
+    labels: (&str, &str, &str),
+    points: &[Point3],
+    reps: usize,
+) -> Cell {
+    let index = builder
         .build(points, EPS)
         .expect("generated points are finite");
     let counts: Vec<AtomicU64> = (0..points.len()).map(|_| AtomicU64::new(0)).collect();
@@ -117,10 +179,106 @@ fn measure_stage1(kind: IndexKind, points: &[Point3], reps: usize) -> Cell {
     }
     Cell {
         n: points.len(),
-        backend: kind.name(),
+        backend,
+        query_order: labels.0.to_string(),
+        simd: labels.1.to_string(),
+        layout: labels.2.to_string(),
         best_ns: best,
         mean_ns: total / reps as u128,
         counters,
+    }
+}
+
+/// Run the full cell matrix for one dataset size.
+fn sweep_size(points: &[Point3], reps: usize) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    cells.push(measure_stage1(
+        &NeighborIndexBuilder::new(IndexKind::BinaryBvh),
+        "binary-bvh",
+        ("n/a", "n/a", "n/a"),
+        points,
+        reps,
+    ));
+    for cfg in WIDE_CONFIGS {
+        let builder = NeighborIndexBuilder {
+            query_order: cfg.query_order,
+            simd: cfg.simd,
+            wide_layout: cfg.layout,
+            ..NeighborIndexBuilder::new(IndexKind::WideBatched)
+        };
+        // Record the level the policy actually resolved to, not the ask.
+        let resolved = cfg.simd.resolve().name();
+        cells.push(measure_stage1(
+            &builder,
+            "wide-batched",
+            (cfg.query_order.name(), resolved, cfg.layout.name()),
+            points,
+            reps,
+        ));
+    }
+    cells
+}
+
+/// The counter invariants every sweep must satisfy (asserted in full runs
+/// and in `--smoke`): reordering and SIMD never change candidate work,
+/// Morton strictly reduces shared node fetches, and conservative
+/// quantisation can only add work.
+fn assert_sweep_invariants(cells: &[Cell]) {
+    let find = |n: usize, order: &str, layout: &str| {
+        cells
+            .iter()
+            .find(|c| {
+                c.n == n
+                    && c.backend == "wide-batched"
+                    && c.query_order == order
+                    && c.layout == layout
+            })
+            .unwrap_or_else(|| panic!("missing wide cell n={n} order={order} layout={layout}"))
+    };
+    let sizes: std::collections::BTreeSet<usize> = cells.iter().map(|c| c.n).collect();
+    for &n in &sizes {
+        let binary = cells
+            .iter()
+            .find(|c| c.n == n && c.backend == "binary-bvh")
+            .expect("binary cell");
+        let legacy = find(n, "as-given", "f32");
+        let simd = cells
+            .iter()
+            .find(|c| {
+                c.n == n
+                    && c.backend == "wide-batched"
+                    && c.query_order == "as-given"
+                    && c.layout == "f32"
+                    && c.simd != legacy.simd
+            })
+            .unwrap_or(legacy);
+        let morton = find(n, "morton", "f32");
+        let quant = find(n, "morton", "quantized");
+        for cell in [legacy, simd, morton] {
+            assert_eq!(
+                cell.counters.dist_comps, binary.counters.dist_comps,
+                "n={n}: wide f32 {}-order {} dist_comps must match binary",
+                cell.query_order, cell.simd
+            );
+            assert_eq!(
+                cell.counters.prim_tests, binary.counters.prim_tests,
+                "n={n}"
+            );
+        }
+        assert_eq!(
+            legacy.counters.wide_node_visits,
+            simd.counters.wide_node_visits
+        );
+        assert!(
+            morton.counters.wide_node_visits < legacy.counters.wide_node_visits,
+            "n={n}: morton wide_node_visits {} must be strictly below as-given {}",
+            morton.counters.wide_node_visits,
+            legacy.counters.wide_node_visits
+        );
+        assert!(
+            quant.counters.dist_comps >= morton.counters.dist_comps,
+            "n={n}: quantized boxes are conservative and can only add candidates"
+        );
     }
 }
 
@@ -129,31 +287,74 @@ fn results_line(cells: &[Cell]) -> String {
     format!("{{\"results\":[{}]}}", entries.join(","))
 }
 
-/// Pull the single-line `"baseline"` section out of an existing file.
-fn existing_baseline(path: &std::path::Path) -> Option<String> {
+/// Pull a single-line section (`"baseline"` / `"config"` / `"schema"`)
+/// out of an existing file.
+fn existing_section(path: &std::path::Path, key: &str) -> Option<String> {
     let text = std::fs::read_to_string(path).ok()?;
+    let prefix = format!("\"{key}\": ");
     for line in text.lines() {
-        if let Some(rest) = line.trim_start().strip_prefix("\"baseline\": ") {
+        if let Some(rest) = line.trim_start().strip_prefix(&prefix) {
             return Some(rest.trim_end_matches(',').to_string());
         }
     }
     None
 }
 
-/// Scan a results line for the `best_ns` of one `(n, backend)` cell.
+/// Migrate a `v1` baseline results line to the `v2` cell shape by
+/// annotating every cell with the legacy launch configuration it was
+/// recorded under (binary cells have no wide kernels and get `"n/a"`).
+fn migrate_v1_baseline(line: &str) -> String {
+    // The line is `{"results":[{cell},{cell},…]}` with no nested braces
+    // inside a cell, so cells split cleanly on `},{`.
+    let (Some(start), Some(end)) = (line.find('['), line.rfind(']')) else {
+        return line.to_string();
+    };
+    let body = &line[start + 1..end];
+    let cells: Vec<String> = if body.trim().is_empty() {
+        Vec::new()
+    } else {
+        body.split("},{")
+            .map(|cell| {
+                let cell = cell.trim_start_matches('{').trim_end_matches('}');
+                let (order, simd, layout) = if cell.contains("\"backend\":\"binary-bvh\"") {
+                    ("n/a", "n/a", "n/a")
+                } else {
+                    ("as-given", "scalar", "f32")
+                };
+                format!(
+                    "{{{cell},\"query_order\":\"{order}\",\"simd\":\"{simd}\",\
+                     \"layout\":\"{layout}\"}}"
+                )
+            })
+            .collect()
+    };
+    format!("{}[{}{}", &line[..start], cells.join(","), &line[end..])
+}
+
+/// Scan a results line for the `best_ns` of the best (minimum) cell of
+/// one `(n, backend)` pair across whatever configurations it holds.
 fn scan_best_ns(section: &str, n: usize, backend: &str) -> Option<u128> {
-    let key = format!("{{\"n\":{n},\"backend\":\"{backend}\"");
-    let start = section.find(&key)?;
-    let rest = &section[start..];
-    let v = rest.split("\"best_ns\":").nth(1)?;
-    let digits: String = v.chars().take_while(char::is_ascii_digit).collect();
-    digits.parse().ok()
+    let key = format!("\"n\":{n},\"backend\":\"{backend}\"");
+    let mut best: Option<u128> = None;
+    let mut from = 0usize;
+    while let Some(pos) = section[from..].find(&key) {
+        let rest = &section[from + pos..];
+        if let Some(v) = rest.split("\"best_ns\":").nth(1) {
+            let digits: String = v.chars().take_while(char::is_ascii_digit).collect();
+            if let Ok(ns) = digits.parse::<u128>() {
+                best = Some(best.map_or(ns, |b: u128| b.min(ns)));
+            }
+        }
+        from += pos + key.len();
+    }
+    best
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let record_baseline = args.iter().any(|a| a == "--record-baseline");
+    let force = args.iter().any(|a| a == "--force");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -172,46 +373,83 @@ fn main() {
     let mut cells = Vec::new();
     for &n in sizes {
         let points = generate(PaperDataset::PortoTaxi, n, SEED);
-        for kind in [IndexKind::BinaryBvh, IndexKind::WideBatched] {
-            let cell = measure_stage1(kind, &points, reps);
+        for cell in sweep_size(&points, reps) {
             println!(
-                "n={n:>7}  {:<12}  best {:>12.3} ms  mean {:>12.3} ms  \
-                 (rays={} dist_comps={} wide_visits={} launches={})",
+                "n={n:>7}  {:<12} {:<9} {:<7} {:<10}  best {:>10.3} ms  mean {:>10.3} ms  \
+                 (dist_comps={} wide_visits={})",
                 cell.backend,
+                cell.query_order,
+                cell.simd,
+                cell.layout,
                 cell.best_ns as f64 / 1e6,
                 cell.mean_ns as f64 / 1e6,
-                cell.counters.rays,
                 cell.counters.dist_comps,
                 cell.counters.wide_node_visits,
-                cell.counters.batched_launches,
             );
             cells.push(cell);
         }
     }
+    assert_sweep_invariants(&cells);
 
     if smoke {
         println!(
-            "smoke run complete ({} cells), no file written",
+            "smoke run complete ({} cells, coherence invariants hold), no file written",
             cells.len()
         );
         return;
     }
 
     let current = results_line(&cells);
+    let config = format!(
+        "{{\"dataset\":\"porto-taxi\",\"seed\":{SEED},\"eps\":{EPS},\"reps\":{reps},\
+         \"measures\":\"stage-1 batched neighbour count, index build excluded\"}}"
+    );
+
     let baseline = if record_baseline {
-        current.clone()
-    } else if out_path.exists() {
-        // Never silently replace a recorded baseline: if the file is there
-        // but its baseline line cannot be recovered (hand edits,
-        // reformatting), refuse and make the reset explicit.
-        existing_baseline(&out_path).unwrap_or_else(|| {
+        // Never clobber a baseline from a different world: a schema or
+        // config mismatch means the numbers are not comparable, so print
+        // the diff and require an explicit --force.
+        let old_schema = existing_section(&out_path, "schema");
+        let old_config = existing_section(&out_path, "config");
+        let schema_matches = old_schema.as_deref() == Some(&format!("\"{SCHEMA}\""));
+        let config_matches = old_config.as_deref() == Some(config.as_str());
+        if out_path.exists() && !(schema_matches && config_matches) && !force {
             eprintln!(
-                "error: {} exists but its \"baseline\" line could not be parsed; \
-                 rerun with --record-baseline to reset the baseline deliberately",
+                "error: refusing to overwrite the baseline in {}: it was recorded under a \
+                 different schema/config.",
                 out_path.display()
             );
+            eprintln!("  recorded schema: {}", old_schema.unwrap_or_default());
+            eprintln!("  this run schema: \"{SCHEMA}\"");
+            eprintln!("  recorded config: {}", old_config.unwrap_or_default());
+            eprintln!("  this run config: {config}");
+            eprintln!("pass --record-baseline --force to reset the baseline deliberately");
             std::process::exit(2);
-        })
+        }
+        current.clone()
+    } else if out_path.exists() {
+        let old_schema = existing_section(&out_path, "schema");
+        match (
+            old_schema.as_deref(),
+            existing_section(&out_path, "baseline"),
+        ) {
+            (Some(s), Some(line)) if s == format!("\"{V1_SCHEMA}\"") => {
+                println!("note: migrating v1 baseline cells to the v2 schema (legacy config)");
+                migrate_v1_baseline(&line)
+            }
+            (Some(s), Some(line)) if s == format!("\"{SCHEMA}\"") => line,
+            _ => {
+                // Never silently replace a recorded baseline: if the file
+                // is there but unrecognisable (hand edits, unknown
+                // schema), refuse and make the reset explicit.
+                eprintln!(
+                    "error: {} exists but its schema/baseline could not be recovered; \
+                     rerun with --record-baseline to reset the baseline deliberately",
+                    out_path.display()
+                );
+                std::process::exit(2);
+            }
+        }
     } else {
         println!(
             "note: no existing {} — recording this run as the baseline",
@@ -219,10 +457,7 @@ fn main() {
         );
         current.clone()
     };
-    let config = format!(
-        "{{\"dataset\":\"porto-taxi\",\"seed\":{SEED},\"eps\":{EPS},\"reps\":{reps},\
-         \"measures\":\"stage-1 batched neighbour count, index build excluded\"}}"
-    );
+
     let doc = format!(
         "{{\n  \"schema\": \"{SCHEMA}\",\n  \"config\": {config},\n  \
          \"baseline\": {baseline},\n  \"current\": {current}\n}}\n"
@@ -237,7 +472,7 @@ fn main() {
                 scan_best_ns(&current, n, backend),
             ) {
                 println!(
-                    "n={n:>7}  {backend:<12}  baseline {:>10.3} ms → current {:>10.3} ms  ({:.2}x)",
+                    "n={n:>7}  {backend:<12}  baseline best {:>10.3} ms → current best {:>10.3} ms  ({:.2}x)",
                     b as f64 / 1e6,
                     c as f64 / 1e6,
                     b as f64 / c as f64

@@ -68,7 +68,7 @@ use rtcore::pipeline::GeometryKind;
 use rtcore::Result;
 use std::time::Duration;
 
-pub use rtcore::index::IndexKind;
+pub use rtcore::index::{IndexKind, QueryOrder, SimdPolicy, WideLayout};
 
 /// Which clustering algorithm the engine runs.  Every variant executes over
 /// any [`IndexKind`]; the default backend is the algorithm's native
@@ -244,6 +244,9 @@ pub struct ClusterEngineBuilder {
     geometry: Option<GeometryKind>,
     batch_size: Option<usize>,
     min_parallel_launch: Option<usize>,
+    query_order: Option<QueryOrder>,
+    wide_layout: Option<WideLayout>,
+    simd: Option<SimdPolicy>,
     device_memory_bytes: Option<u64>,
     wide_visit_fraction: Option<f64>,
     device: DeviceModel,
@@ -262,6 +265,9 @@ impl Default for ClusterEngineBuilder {
             geometry: None,
             batch_size: None,
             min_parallel_launch: None,
+            query_order: None,
+            wide_layout: None,
+            simd: None,
             device_memory_bytes: None,
             wide_visit_fraction: None,
             device: DeviceModel::default(),
@@ -336,6 +342,30 @@ impl ClusterEngineBuilder {
     /// Launches smaller than this run sequentially.
     pub fn min_parallel_launch(mut self, min_parallel_launch: usize) -> Self {
         self.min_parallel_launch = Some(min_parallel_launch);
+        self
+    }
+
+    /// In what order batched launches feed queries into ray packets.
+    /// [`QueryOrder::Morton`] sorts query origins along the Z-order curve
+    /// before packets are cut and restores caller order on every output;
+    /// per-query backends have no packets and simply ignore the knob.
+    pub fn query_order(mut self, order: QueryOrder) -> Self {
+        self.query_order = Some(order);
+        self
+    }
+
+    /// Which node representation the wide-batched traversal reads
+    /// ([`IndexKind::WideBatched`] only); see [`WideLayout`].
+    pub fn wide_layout(mut self, layout: WideLayout) -> Self {
+        self.wide_layout = Some(layout);
+        self
+    }
+
+    /// SIMD policy for the wide-batched traversal kernels
+    /// ([`IndexKind::WideBatched`] only), resolved once per index build;
+    /// see [`SimdPolicy`].
+    pub fn simd(mut self, simd: SimdPolicy) -> Self {
+        self.simd = Some(simd);
         self
     }
 
@@ -494,6 +524,40 @@ impl ClusterEngineBuilder {
         }
         if let Some(m) = self.min_parallel_launch {
             index.min_parallel_launch = m;
+        }
+        if let Some(order) = self.query_order {
+            // Valid for every backend: per-query backends have no packets
+            // and answer in the caller's order regardless, which is
+            // exactly what the knob's contract promises.
+            index.query_order = order;
+        }
+        if let Some(layout) = self.wide_layout {
+            if layout == WideLayout::Quantized && kind != IndexKind::WideBatched {
+                return Err(ConfigError::conflict(
+                    "wide_layout",
+                    format!("{layout:?}"),
+                    "index",
+                    format!(
+                        "the quantized node layout exists only on the wide batched backend, not {}",
+                        kind.name()
+                    ),
+                ));
+            }
+            index.wide_layout = layout;
+        }
+        if let Some(simd) = self.simd {
+            if simd != SimdPolicy::Auto && kind != IndexKind::WideBatched {
+                return Err(ConfigError::conflict(
+                    "simd",
+                    format!("{simd:?}"),
+                    "index",
+                    format!(
+                        "SIMD traversal kernels exist only on the wide batched backend, not {}",
+                        kind.name()
+                    ),
+                ));
+            }
+            index.simd = simd;
         }
         if let Some(f) = self.wide_visit_fraction {
             if !f.is_finite() || f <= 0.0 || f > 1.0 {
@@ -994,6 +1058,22 @@ mod tests {
                 None,
             ),
             (
+                b().index(IndexKind::BinaryBvh)
+                    .wide_layout(WideLayout::Quantized)
+                    .build()
+                    .unwrap_err(),
+                "wide_layout",
+                Some("index"),
+            ),
+            (
+                b().index(IndexKind::UniformGrid)
+                    .simd(SimdPolicy::Avx2)
+                    .build()
+                    .unwrap_err(),
+                "simd",
+                Some("index"),
+            ),
+            (
                 b().wide_visit_fraction(0.0).build().unwrap_err(),
                 "wide_visit_fraction",
                 None,
@@ -1084,6 +1164,33 @@ mod tests {
             let run = engine.run(&pts, params).unwrap();
             assert_eq!(reference.core, run.clustering.core, "{}", engine.name());
         }
+    }
+
+    #[test]
+    fn coherence_knobs_preserve_the_clustering_and_reduce_wide_visits() {
+        let pts = blobs();
+        let params = DbscanParams::new(0.5, 5).unwrap();
+        let plain = ClusterEngine::builder().params(params).build().unwrap();
+        let tuned = ClusterEngine::builder()
+            .params(params)
+            .query_order(QueryOrder::Morton)
+            .wide_layout(WideLayout::Quantized)
+            .simd(SimdPolicy::Auto)
+            .build()
+            .unwrap();
+        let a = plain.run(&pts).unwrap();
+        let b = tuned.run(&pts).unwrap();
+        assert_eq!(a.clustering.core, b.clustering.core);
+        assert!(same_clustering(&a.clustering, &b.clustering, &pts, params));
+        // Morton ordering is also accepted (as a no-op) on per-query
+        // backends, so the knob can be swept uniformly.
+        let grid = ClusterEngine::builder()
+            .params(params)
+            .index(IndexKind::UniformGrid)
+            .query_order(QueryOrder::Morton)
+            .build()
+            .unwrap();
+        assert_eq!(grid.run(&pts).unwrap().clustering.core, a.clustering.core);
     }
 
     #[test]

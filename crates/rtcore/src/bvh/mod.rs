@@ -35,7 +35,10 @@ pub use compact::{compact_coincident, CompactionResult};
 pub use node::{Bvh, BvhNode, NodeKind};
 pub use refit::{remove_points, tree_health, update_spheres, RefitPolicy, RefitStats, TreeHealth};
 pub use validate::{validate, BvhInvariantError};
-pub use wide::{validate_wide, WideBvh, WideChild, WideInvariantError, WideNode, WIDE_BRANCHING};
+pub use wide::{
+    validate_wide, CompactWideNode, CompactWideNodes, PrimLanes, WideBvh, WideChild,
+    WideInvariantError, WideLayout, WideNode, WIDE_BRANCHING,
+};
 
 use crate::error::Result;
 use crate::geometry::{Point3, Sphere};

@@ -41,6 +41,7 @@
 use crate::bvh::{Bvh, NodeKind};
 use crate::geometry::{Aabb, Point3, Sphere};
 use crate::hardware::WorkCounters;
+use crate::simd::{SimdLevel, LANE_PADDING};
 
 /// Branching factor of the wide format.
 pub const WIDE_BRANCHING: usize = 4;
@@ -137,6 +138,79 @@ impl WideNode {
         }
         mask
     }
+
+    /// Explicit SSE2 form of [`WideNode::point_hit_mask_xyz`]: the six SoA
+    /// lanes feed six 128-bit compares, bit-identical to the scalar path
+    /// (same `>=`/`<=` predicates, false on NaN, empty slots hold inverted
+    /// boxes).  SSE2 is part of the `x86_64` baseline, so this needs no
+    /// runtime detection.
+    #[cfg(target_arch = "x86_64")]
+    #[inline]
+    pub fn point_hit_mask_xyz_sse2(&self, x: f32, y: f32, z: f32) -> u8 {
+        use std::arch::x86_64::*;
+        // SAFETY: SSE2 is unconditionally available on x86_64, and the six
+        // lane loads read the node's own `[f32; 4]` arrays.
+        unsafe {
+            let q = [_mm_set1_ps(x), _mm_set1_ps(y), _mm_set1_ps(z)];
+            let mut inside = _mm_castsi128_ps(_mm_set1_epi32(-1));
+            for (axis, &qv) in q.iter().enumerate() {
+                let lo = _mm_loadu_ps(self.min_lanes[axis].as_ptr());
+                let hi = _mm_loadu_ps(self.max_lanes[axis].as_ptr());
+                inside = _mm_and_ps(inside, _mm_cmpge_ps(qv, lo));
+                inside = _mm_and_ps(inside, _mm_cmple_ps(qv, hi));
+            }
+            _mm_movemask_ps(inside) as u8
+        }
+    }
+
+    /// AVX form of the hit mask: the x and y axes (eight contiguous `f32`
+    /// lanes in both `min_lanes` and `max_lanes`) are tested in one 256-bit
+    /// compare pair, the z axis in a 128-bit pair.  Bit-identical to the
+    /// scalar path.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2 (the callers resolve a
+    /// [`crate::simd::SimdPolicy`] once per launch before selecting this
+    /// kernel).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn point_hit_mask_xyz_avx2(&self, x: f32, y: f32, z: f32) -> u8 {
+        use std::arch::x86_64::*;
+        // SAFETY: caller guarantees AVX2; loads read the node's own lane
+        // arrays ([[f32; 4]; 3] is 12 contiguous floats).
+        unsafe {
+            let qxy = _mm256_set_m128(_mm_set1_ps(y), _mm_set1_ps(x));
+            let lo_xy = _mm256_loadu_ps(self.min_lanes.as_ptr().cast::<f32>());
+            let hi_xy = _mm256_loadu_ps(self.max_lanes.as_ptr().cast::<f32>());
+            let in_xy = _mm256_and_ps(
+                _mm256_cmp_ps(qxy, lo_xy, _CMP_GE_OQ),
+                _mm256_cmp_ps(qxy, hi_xy, _CMP_LE_OQ),
+            );
+            let m = _mm256_movemask_ps(in_xy) as u32;
+            let qz = _mm_set1_ps(z);
+            let in_z = _mm_and_ps(
+                _mm_cmpge_ps(qz, _mm_loadu_ps(self.min_lanes[2].as_ptr())),
+                _mm_cmple_ps(qz, _mm_loadu_ps(self.max_lanes[2].as_ptr())),
+            );
+            (m & (m >> 4) & _mm_movemask_ps(in_z) as u32) as u8
+        }
+    }
+
+    /// Dispatch the hit mask through the kernel for `level` (resolved once
+    /// per launch by the caller).
+    #[inline]
+    pub fn point_hit_mask_xyz_at(&self, level: SimdLevel, x: f32, y: f32, z: f32) -> u8 {
+        match level {
+            SimdLevel::Scalar => self.point_hit_mask_xyz(x, y, z),
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Sse2 => self.point_hit_mask_xyz_sse2(x, y, z),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: Avx2 is only resolved after runtime detection.
+            SimdLevel::Avx2 => unsafe { self.point_hit_mask_xyz_avx2(x, y, z) },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => self.point_hit_mask_xyz(x, y, z),
+        }
+    }
 }
 
 /// A collapsed 4-wide BVH.
@@ -225,6 +299,454 @@ impl WideBvh {
     pub fn device_bytes(&self) -> u64 {
         std::mem::size_of::<WideNode>() as u64 * self.nodes.len() as u64
             + std::mem::size_of::<Sphere>() as u64 * self.primitives.len() as u64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Traversal-time layouts: quantized nodes and SoA primitive lanes
+// ---------------------------------------------------------------------------
+
+/// Which node representation a wide-batched traversal reads.
+///
+/// [`WideLayout::F32`] walks the full-precision [`WideNode`] array the
+/// collapse produced.  [`WideLayout::Quantized`] walks a
+/// [`CompactWideNodes`] mirror whose child boxes are stored as `u8` offsets
+/// against a per-node dequantisation frame — 80 bytes per node instead of
+/// 144, so a wide visit touches roughly half the memory.  Quantisation is
+/// **conservative**: a dequantised box always contains the exact `f32` box
+/// it stands for, so the hit mask can over-admit queries into subtrees but
+/// can never miss one, and the unchanged exact leaf distance test keeps
+/// every reported neighbour set identical.  The price is honest extra work
+/// where boxes were inflated (visible as slightly higher `dist_comps` /
+/// `prim_tests` in the counters).
+///
+/// # Examples
+///
+/// ```
+/// use rtcore::bvh::{spheres_from_points, BvhBuilder, CompactWideNodes, LbvhBuilder, WideBvh};
+/// use rtcore::bvh::{WideLayout, WIDE_BRANCHING};
+/// use rtcore::geometry::Point3;
+///
+/// let pts: Vec<Point3> = (0..64).map(|i| Point3::new(i as f32 * 0.3, 0.0, 0.0)).collect();
+/// let bvh = LbvhBuilder::default().build(spheres_from_points(&pts, 0.5)).unwrap();
+/// let wide = WideBvh::from_binary(&bvh);
+/// let compact = CompactWideNodes::from_wide(&wide);
+///
+/// assert_eq!(WideLayout::default(), WideLayout::F32);
+/// // Conservative containment: every dequantised child box contains the
+/// // exact f32 box it was quantised from.
+/// for (i, node) in wide.nodes.iter().enumerate() {
+///     for slot in 0..WIDE_BRANCHING {
+///         let exact = node.child_bounds(slot);
+///         if !exact.is_empty() {
+///             assert!(compact.child_bounds(i, slot).contains_aabb(&exact));
+///         }
+///     }
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WideLayout {
+    /// Full-precision `[f32; 4]` SoA lanes per axis (the default).
+    #[default]
+    F32,
+    /// Child boxes quantised to `u8` offsets against a per-node frame;
+    /// conservative, so hit masks over-admit but never miss.
+    Quantized,
+}
+
+impl WideLayout {
+    /// Report name used by benches and configuration dumps.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WideLayout::F32 => "f32",
+            WideLayout::Quantized => "quantized",
+        }
+    }
+}
+
+/// Child-tag value marking an empty slot of a [`CompactWideNode`].
+const COMPACT_EMPTY: u32 = u32::MAX;
+
+/// One wide node in the compact traversal-time layout: four child boxes as
+/// `u8` offsets against the node's dequantisation frame (`origin` +
+/// `scale` per axis), plus packed child references.  80 bytes, vs the 144
+/// of [`WideNode`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactWideNode {
+    /// Dequantisation origin per axis (the union of the node's child-box
+    /// minima).
+    pub origin: [f32; 3],
+    /// Dequantisation step per axis, conservatively widened so every child
+    /// box survives the `u8` round trip contained.
+    pub scale: [f32; 3],
+    /// Quantised child minima, one `u8` per slot per axis.
+    pub qlo: [[u8; 4]; 3],
+    /// Quantised child maxima.
+    pub qhi: [[u8; 4]; 3],
+    /// Per-slot payload: nested node index (interior) or first primitive
+    /// (leaf).
+    pub child_payload: [u32; 4],
+    /// Per-slot tag: [`u32::MAX`] = empty, `0` = interior, otherwise the
+    /// leaf's primitive count.
+    pub child_tag: [u32; 4],
+}
+
+impl CompactWideNode {
+    /// The slot's child reference in [`WideChild`] form.
+    #[inline]
+    pub fn child(&self, slot: usize) -> WideChild {
+        match self.child_tag[slot] {
+            COMPACT_EMPTY => WideChild::Empty,
+            0 => WideChild::Node(self.child_payload[slot]),
+            count => WideChild::Leaf {
+                first_prim: self.child_payload[slot],
+                prim_count: count,
+            },
+        }
+    }
+
+    /// Bit `s` set ⇔ slot `s` is non-empty.  Quantised empty slots cannot
+    /// rely on inverted boxes (a degenerate frame collapses them), so the
+    /// hit mask is ANDed with this occupancy mask instead.
+    #[inline]
+    pub fn occupancy_mask(&self) -> u8 {
+        let mut m = 0u8;
+        for slot in 0..WIDE_BRANCHING {
+            m |= ((self.child_tag[slot] != COMPACT_EMPTY) as u8) << slot;
+        }
+        m
+    }
+
+    /// Dequantised lower bound of `slot` on `axis`.
+    #[inline]
+    fn lo(&self, axis: usize, slot: usize) -> f32 {
+        self.origin[axis] + self.qlo[axis][slot] as f32 * self.scale[axis]
+    }
+
+    /// Dequantised upper bound of `slot` on `axis`.
+    #[inline]
+    fn hi(&self, axis: usize, slot: usize) -> f32 {
+        self.origin[axis] + self.qhi[axis][slot] as f32 * self.scale[axis]
+    }
+
+    /// Reconstruct the (conservative) AABB of child slot `slot`.
+    pub fn child_bounds(&self, slot: usize) -> Aabb {
+        if self.child_tag[slot] == COMPACT_EMPTY {
+            return Aabb::EMPTY;
+        }
+        Aabb {
+            min: Point3::new(self.lo(0, slot), self.lo(1, slot), self.lo(2, slot)),
+            max: Point3::new(self.hi(0, slot), self.hi(1, slot), self.hi(2, slot)),
+        }
+    }
+
+    /// 4-bit point containment mask against the dequantised child boxes
+    /// (empty slots masked out via [`CompactWideNode::occupancy_mask`]).
+    #[inline]
+    pub fn point_hit_mask_xyz(&self, x: f32, y: f32, z: f32) -> u8 {
+        let q = [x, y, z];
+        let mut mask = 0u8;
+        for slot in 0..WIDE_BRANCHING {
+            let inside = (q[0] >= self.lo(0, slot))
+                & (q[0] <= self.hi(0, slot))
+                & (q[1] >= self.lo(1, slot))
+                & (q[1] <= self.hi(1, slot))
+                & (q[2] >= self.lo(2, slot))
+                & (q[2] <= self.hi(2, slot));
+            mask |= (inside as u8) << slot;
+        }
+        mask & self.occupancy_mask()
+    }
+
+    /// SSE2 form of [`CompactWideNode::point_hit_mask_xyz`]: the `u8` slot
+    /// offsets are widened and dequantised in-register with the exact
+    /// scalar arithmetic (`origin + q · scale`, no FMA), so the mask is
+    /// bit-identical.  The AVX2 dispatch level shares this kernel — with
+    /// four slots the dequantising chain has no 256-bit shape worth the
+    /// extra lane plumbing.
+    #[cfg(target_arch = "x86_64")]
+    #[inline]
+    pub fn point_hit_mask_xyz_sse2(&self, x: f32, y: f32, z: f32) -> u8 {
+        use std::arch::x86_64::*;
+        let q = [x, y, z];
+        // SAFETY: SSE2 is unconditionally available on x86_64.
+        unsafe {
+            let zero = _mm_setzero_si128();
+            let mut inside = _mm_castsi128_ps(_mm_set1_epi32(-1));
+            for (axis, &coord) in q.iter().enumerate() {
+                let origin = _mm_set1_ps(self.origin[axis]);
+                let scale = _mm_set1_ps(self.scale[axis]);
+                let widen = |bytes: [u8; 4]| -> __m128 {
+                    let v = _mm_cvtsi32_si128(i32::from_ne_bytes(bytes));
+                    let v16 = _mm_unpacklo_epi8(v, zero);
+                    _mm_cvtepi32_ps(_mm_unpacklo_epi16(v16, zero))
+                };
+                let lo = _mm_add_ps(origin, _mm_mul_ps(widen(self.qlo[axis]), scale));
+                let hi = _mm_add_ps(origin, _mm_mul_ps(widen(self.qhi[axis]), scale));
+                let qv = _mm_set1_ps(coord);
+                inside = _mm_and_ps(inside, _mm_cmpge_ps(qv, lo));
+                inside = _mm_and_ps(inside, _mm_cmple_ps(qv, hi));
+            }
+            (_mm_movemask_ps(inside) as u8) & self.occupancy_mask()
+        }
+    }
+
+    /// Dispatch the hit mask through the kernel for `level`.
+    #[inline]
+    pub fn point_hit_mask_xyz_at(&self, level: SimdLevel, x: f32, y: f32, z: f32) -> u8 {
+        match level {
+            SimdLevel::Scalar => self.point_hit_mask_xyz(x, y, z),
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Sse2 | SimdLevel::Avx2 => self.point_hit_mask_xyz_sse2(x, y, z),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => self.point_hit_mask_xyz(x, y, z),
+        }
+    }
+}
+
+/// The smallest `f32` strictly greater than `v` (finite positive inputs
+/// only) — used to widen quantisation scales until containment holds.
+#[inline]
+fn f32_next_up(v: f32) -> f32 {
+    f32::from_bits(v.to_bits() + 1)
+}
+
+/// A [`WideBvh`]'s node array re-encoded in the compact quantised layout.
+///
+/// Shares the source tree's structure slot for slot (node `i` here mirrors
+/// `wide.nodes[i]`), so traversal reads these nodes and the source tree's
+/// primitive array.  Constructed once per scene by
+/// [`CompactWideNodes::from_wide`]; the conservative-containment invariant
+/// is property-tested in this module and in the workspace suite.
+#[derive(Debug, Clone, Default)]
+pub struct CompactWideNodes {
+    /// Quantised nodes, index-compatible with the source `WideBvh::nodes`.
+    pub nodes: Vec<CompactWideNode>,
+}
+
+impl CompactWideNodes {
+    /// Quantise every node of `wide`.  Each node's frame is the union of
+    /// its non-empty child boxes; slot minima round down and maxima round
+    /// up, with a fix-up pass per value (and a scale-widening pass per
+    /// axis) so the dequantised box always contains the exact one under
+    /// `f32` arithmetic.
+    pub fn from_wide(wide: &WideBvh) -> Self {
+        let nodes = wide.nodes.iter().map(quantize_node).collect();
+        CompactWideNodes { nodes }
+    }
+
+    /// Number of nodes (equals the source tree's).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Dequantised (conservative) child bounds of `slot` of node `node`.
+    pub fn child_bounds(&self, node: usize, slot: usize) -> Aabb {
+        self.nodes[node].child_bounds(slot)
+    }
+
+    /// Device-memory footprint of the compact node array in bytes.
+    pub fn device_bytes(&self) -> u64 {
+        std::mem::size_of::<CompactWideNode>() as u64 * self.nodes.len() as u64
+    }
+}
+
+/// Quantise one wide node (see [`CompactWideNodes::from_wide`]).
+fn quantize_node(node: &WideNode) -> CompactWideNode {
+    let mut child_payload = [0u32; 4];
+    let mut child_tag = [COMPACT_EMPTY; 4];
+    let mut frame = Aabb::EMPTY;
+    for slot in 0..WIDE_BRANCHING {
+        match node.children[slot] {
+            WideChild::Empty => {}
+            WideChild::Node(idx) => {
+                child_payload[slot] = idx;
+                child_tag[slot] = 0;
+                frame = frame.union(&node.child_bounds(slot));
+            }
+            WideChild::Leaf {
+                first_prim,
+                prim_count,
+            } => {
+                // A zero-primitive leaf (never produced by the builders,
+                // but representable) visits nothing either way; encoding it
+                // as empty keeps the tag space (0 = interior, MAX = empty)
+                // collision-free.
+                if prim_count > 0 {
+                    child_payload[slot] = first_prim;
+                    child_tag[slot] = prim_count;
+                    frame = frame.union(&node.child_bounds(slot));
+                }
+            }
+        }
+    }
+    let occupied = (0..WIDE_BRANCHING).filter(|&s| child_tag[s] != COMPACT_EMPTY);
+    let (origin, frame_max) = if frame.is_empty() {
+        ([0.0f32; 3], [0.0f32; 3])
+    } else {
+        (
+            [frame.min.x, frame.min.y, frame.min.z],
+            [frame.max.x, frame.max.y, frame.max.z],
+        )
+    };
+    let mut scale = [0.0f32; 3];
+    for axis in 0..3 {
+        if frame_max[axis] > origin[axis] {
+            // A frame spanning more than f32::MAX (finite corners, infinite
+            // extent) cannot represent its span as a finite difference;
+            // start from the largest finite step instead of +∞ so the
+            // dequantisation arithmetic stays NaN-free (an overflowing
+            // `origin + q·s` saturates to +∞, which only over-admits).
+            let extent = frame_max[axis] - origin[axis];
+            let mut s = if extent.is_finite() {
+                extent / 255.0
+            } else {
+                f32::MAX / 255.0
+            };
+            // Widen until the top of the frame survives the round trip:
+            // origin + 255·s must reach the exact frame maximum (rounding
+            // can land `origin + extent` short of it), or a child box
+            // touching the top could dequantise short.
+            while origin[axis] + 255.0 * s < frame_max[axis] {
+                s = f32_next_up(s);
+            }
+            scale[axis] = s;
+        }
+    }
+    let mut qlo = [[0u8; 4]; 3];
+    let mut qhi = [[0u8; 4]; 3];
+    // Empty slots get an inverted quantised box (lo=255, hi=0); they are
+    // excluded by the occupancy mask regardless.
+    for axis in 0..3 {
+        for slot in 0..WIDE_BRANCHING {
+            qlo[axis][slot] = 255;
+            qhi[axis][slot] = 0;
+        }
+    }
+    for slot in occupied {
+        let bounds = node.child_bounds(slot);
+        let lo = [bounds.min.x, bounds.min.y, bounds.min.z];
+        let hi = [bounds.max.x, bounds.max.y, bounds.max.z];
+        for axis in 0..3 {
+            let (o, s) = (origin[axis], scale[axis]);
+            if s == 0.0 {
+                // Degenerate axis: every box collapses to the origin plane,
+                // which the frame construction guarantees contains it.
+                qlo[axis][slot] = 0;
+                qhi[axis][slot] = 255;
+                continue;
+            }
+            // Round down, then walk down until the dequantised value no
+            // longer overshoots the exact minimum (q = 0 always works:
+            // the frame origin is the union minimum).
+            let mut q = (((lo[axis] - o) / s).floor()).clamp(0.0, 255.0) as u8;
+            while q > 0 && o + q as f32 * s > lo[axis] {
+                q -= 1;
+            }
+            qlo[axis][slot] = q;
+            // Round up, then walk up until the dequantised value covers the
+            // exact maximum (q = 255 always works by the scale widening).
+            let mut q = (((hi[axis] - o) / s).ceil()).clamp(0.0, 255.0) as u8;
+            while q < 255 && o + q as f32 * s < hi[axis] {
+                q += 1;
+            }
+            qhi[axis][slot] = q;
+        }
+    }
+    CompactWideNode {
+        origin,
+        scale,
+        qlo,
+        qhi,
+        child_payload,
+        child_tag,
+    }
+}
+
+/// Structure-of-arrays mirror of a wide scene's primitive array: the
+/// coordinate and multiplicity lanes the SIMD leaf-run kernels consume
+/// (see [`crate::simd`]).  Lanes are padded with `+∞` coordinates /
+/// zero multiplicities so vector loads may read whole vectors past a
+/// run's end without admitting phantom candidates.
+#[derive(Debug, Clone, Default)]
+pub struct PrimLanes {
+    x: Vec<f32>,
+    y: Vec<f32>,
+    z: Vec<f32>,
+    mult: Vec<u32>,
+    /// True when every primitive has multiplicity 1 (no compaction): hit
+    /// counts are then plain popcounts and the multiplicity lane is never
+    /// read.
+    uniform: bool,
+}
+
+impl PrimLanes {
+    /// Stage `primitives` (a wide scene's leaf-ordered array) into padded
+    /// SoA lanes.
+    pub fn from_primitives(primitives: &[Sphere]) -> Self {
+        let n = primitives.len();
+        let mut lanes = PrimLanes {
+            x: Vec::with_capacity(n + LANE_PADDING),
+            y: Vec::with_capacity(n + LANE_PADDING),
+            z: Vec::with_capacity(n + LANE_PADDING),
+            mult: Vec::with_capacity(n + LANE_PADDING),
+            uniform: true,
+        };
+        for p in primitives {
+            lanes.x.push(p.center.x);
+            lanes.y.push(p.center.y);
+            lanes.z.push(p.center.z);
+            lanes.mult.push(p.multiplicity);
+            lanes.uniform &= p.multiplicity == 1;
+        }
+        for _ in 0..LANE_PADDING {
+            lanes.x.push(f32::INFINITY);
+            lanes.y.push(f32::INFINITY);
+            lanes.z.push(f32::INFINITY);
+            lanes.mult.push(0);
+        }
+        lanes
+    }
+
+    /// Number of primitives staged (padding excluded).
+    pub fn len(&self) -> usize {
+        self.x.len() - LANE_PADDING.min(self.x.len())
+    }
+
+    /// True when no primitives are staged.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Multiplicity-weighted count of the candidates in
+    /// `[first, first + count)` within the closed ball of squared radius
+    /// `eps_sq` around `query`, evaluated by the kernel for `level`.
+    /// Bit-identical across levels (same predicates, same association
+    /// order as [`crate::geometry::distance_squared`]).
+    #[inline]
+    pub fn count_in_ball(
+        &self,
+        level: SimdLevel,
+        first: usize,
+        count: usize,
+        query: Point3,
+        eps_sq: f32,
+    ) -> u64 {
+        if self.uniform {
+            crate::simd::count_run_unit(
+                level, &self.x, &self.y, &self.z, first, count, query.x, query.y, query.z, eps_sq,
+            )
+        } else {
+            crate::simd::count_run(
+                level, &self.x, &self.y, &self.z, &self.mult, first, count, query.x, query.y,
+                query.z, eps_sq,
+            )
+        }
+    }
+
+    /// Device-memory footprint of the lanes in bytes.
+    pub fn device_bytes(&self) -> u64 {
+        (self.x.len() + self.y.len() + self.z.len() + self.mult.len()) as u64 * 4
     }
 }
 
@@ -627,6 +1149,206 @@ mod tests {
         let wide = WideBvh::from_binary(&bvh);
         validate_wide(&wide).unwrap();
         assert_eq!(wide.primitive_count(), 500);
+    }
+
+    /// Deterministic pseudo-random scatter for the quantisation tests.
+    fn random_points(n: usize, seed: u64) -> Vec<Point3> {
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) & 0xFFFFF) as f32 / 1000.0 - 500.0
+        };
+        (0..n)
+            .map(|_| Point3::new(next(), next(), next() * 0.01))
+            .collect()
+    }
+
+    #[test]
+    fn quantized_child_boxes_always_contain_the_exact_f32_boxes() {
+        // Conservative containment over random trees from every builder:
+        // the whole point of the compact layout is that dequantised boxes
+        // can only over-admit, never miss.
+        for seed in [1u64, 77, 901, 4242] {
+            let pts = random_points(600, seed);
+            let builders: Vec<Box<dyn BvhBuilder>> = vec![
+                Box::new(LbvhBuilder::default()),
+                Box::new(SahBuilder::default()),
+                Box::new(MedianSplitBuilder::default()),
+            ];
+            for b in builders {
+                let bvh = b.build(spheres_from_points(&pts, 0.8)).unwrap();
+                let wide = WideBvh::from_binary(&bvh);
+                let compact = CompactWideNodes::from_wide(&wide);
+                assert_eq!(compact.node_count(), wide.node_count());
+                for (i, node) in wide.nodes.iter().enumerate() {
+                    for slot in 0..WIDE_BRANCHING {
+                        let exact = node.child_bounds(slot);
+                        if node.children[slot] == WideChild::Empty {
+                            assert_eq!(
+                                compact.nodes[i].child(slot),
+                                WideChild::Empty,
+                                "seed {seed} node {i} slot {slot}"
+                            );
+                            continue;
+                        }
+                        assert_eq!(node.children[slot], compact.nodes[i].child(slot));
+                        let dequant = compact.child_bounds(i, slot);
+                        assert!(
+                            dequant.contains_aabb(&exact),
+                            "seed {seed} builder {:?} node {i} slot {slot}: \
+                             {dequant:?} does not contain {exact:?}",
+                            b.kind()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_hit_mask_over_admits_but_never_misses() {
+        let pts = random_points(400, 9);
+        let bvh = LbvhBuilder::default()
+            .build(spheres_from_points(&pts, 1.5))
+            .unwrap();
+        let wide = WideBvh::from_binary(&bvh);
+        let compact = CompactWideNodes::from_wide(&wide);
+        let queries = random_points(200, 10);
+        for (node, cnode) in wide.nodes.iter().zip(&compact.nodes) {
+            for q in &queries {
+                let exact = node.point_hit_mask(*q);
+                let quant = cnode.point_hit_mask_xyz(q.x, q.y, q.z);
+                assert_eq!(exact & quant, exact, "quantised mask missed a hit");
+            }
+            // And the exact corners of every exact box must stay inside.
+            for slot in 0..WIDE_BRANCHING {
+                if node.children[slot] == WideChild::Empty {
+                    continue;
+                }
+                let b = node.child_bounds(slot);
+                for p in [b.min, b.max] {
+                    assert_ne!(cnode.point_hit_mask_xyz(p.x, p.y, p.z) & (1 << slot), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simd_hit_masks_match_scalar_on_both_layouts() {
+        use crate::simd::{detect_simd, SimdLevel};
+        let pts = random_points(500, 33);
+        let bvh = SahBuilder::default()
+            .build(spheres_from_points(&pts, 1.0))
+            .unwrap();
+        let wide = WideBvh::from_binary(&bvh);
+        let compact = CompactWideNodes::from_wide(&wide);
+        let queries = {
+            let mut q = random_points(64, 34);
+            q.push(wide.scene_bounds.min);
+            q.push(wide.scene_bounds.max);
+            q.push(Point3::new(f32::NAN, 0.0, 0.0));
+            q
+        };
+        for level in [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2] {
+            if level > detect_simd() {
+                continue;
+            }
+            for (node, cnode) in wide.nodes.iter().zip(&compact.nodes) {
+                for q in &queries {
+                    assert_eq!(
+                        node.point_hit_mask_xyz_at(level, q.x, q.y, q.z),
+                        node.point_hit_mask_xyz(q.x, q.y, q.z),
+                        "{level:?} f32 mask at {q:?}"
+                    );
+                    assert_eq!(
+                        cnode.point_hit_mask_xyz_at(level, q.x, q.y, q.z),
+                        cnode.point_hit_mask_xyz(q.x, q.y, q.z),
+                        "{level:?} quantized mask at {q:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_survives_frames_wider_than_f32_max() {
+        // Finite corners whose span overflows f32: the dequantisation
+        // frame cannot hold the extent as a finite difference.  The scale
+        // falls back to the largest finite step, arithmetic saturates to
+        // +∞ instead of producing NaN, and the masks stay conservative.
+        let pts = vec![
+            Point3::new(-1.7e38, -1.0e38, 0.0),
+            Point3::new(1.7e38, 1.2e38, 0.0),
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, 1.0, 0.0),
+        ];
+        let bvh = MedianSplitBuilder::default()
+            .build(spheres_from_points(&pts, 1.0))
+            .unwrap();
+        let wide = WideBvh::from_binary(&bvh);
+        let compact = CompactWideNodes::from_wide(&wide);
+        for (i, node) in wide.nodes.iter().enumerate() {
+            for slot in 0..WIDE_BRANCHING {
+                if node.children[slot] == WideChild::Empty {
+                    continue;
+                }
+                let dequant = compact.child_bounds(i, slot);
+                assert!(
+                    !dequant.min.x.is_nan() && !dequant.max.x.is_nan(),
+                    "node {i} slot {slot} dequantised to NaN: {dequant:?}"
+                );
+            }
+            // Over-admit, never miss — including at the exact corners.
+            for &q in &pts {
+                let exact = node.point_hit_mask(q);
+                let quant = compact.nodes[i].point_hit_mask_xyz(q.x, q.y, q.z);
+                assert_eq!(exact & quant, exact, "node {i} at {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn compact_nodes_are_smaller_and_prim_lanes_mirror_primitives() {
+        assert!(
+            std::mem::size_of::<CompactWideNode>() * 2 <= std::mem::size_of::<WideNode>() + 16,
+            "compact node ({}) should be about half a wide node ({})",
+            std::mem::size_of::<CompactWideNode>(),
+            std::mem::size_of::<WideNode>()
+        );
+        let pts = random_points(123, 5);
+        let bvh = LbvhBuilder::default()
+            .build(spheres_from_points(&pts, 0.5))
+            .unwrap();
+        let wide = WideBvh::from_binary(&bvh);
+        let lanes = PrimLanes::from_primitives(&wide.primitives);
+        assert_eq!(lanes.len(), wide.primitives.len());
+        assert!(!lanes.is_empty());
+        assert!(lanes.device_bytes() > 0);
+        // Whole-array count through the lanes equals the scalar sphere test.
+        let q = pts[7];
+        let eps_sq = 2.25f32;
+        let want: u64 = wide
+            .primitives
+            .iter()
+            .filter(|p| p.center.distance_squared(q) <= eps_sq)
+            .map(|p| p.multiplicity as u64)
+            .sum();
+        use crate::simd::{detect_simd, SimdLevel};
+        for level in [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2] {
+            if level > detect_simd() {
+                continue;
+            }
+            assert_eq!(
+                lanes.count_in_ball(level, 0, lanes.len(), q, eps_sq),
+                want,
+                "{level:?}"
+            );
+        }
+        let empty = PrimLanes::from_primitives(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.len(), 0);
     }
 
     #[test]

@@ -7,19 +7,28 @@ use super::{
 };
 use crate::bvh::BuilderKind;
 use crate::bvh::{
-    compact_coincident, refit, spheres_from_points, Bvh, BvhBuilder, LbvhBuilder,
-    MedianSplitBuilder, SahBuilder, WideBvh,
+    compact_coincident, refit, spheres_from_points, Bvh, BvhBuilder, CompactWideNodes, LbvhBuilder,
+    MedianSplitBuilder, PrimLanes, SahBuilder, WideBvh, WideLayout,
 };
 use crate::error::Result;
 use crate::geometry::{Point3, Ray};
 use crate::hardware::WorkCounters;
 use crate::pipeline::GeometryKind;
+use crate::simd::SimdLevel;
 use crate::traversal::{
-    traverse_batch_with_scratch, traverse_wide_with_scratch, traverse_with_scratch, ScratchPool,
-    Traversal, TraversalScratch,
+    traverse_batch_runs_with_scratch, traverse_batch_scene_with_scratch,
+    traverse_wide_scene_with_scratch, traverse_with_scratch, LeafVisit, QueryOrder, ReorderScratch,
+    ScratchPool, Traversal, TraversalScratch, WideScene,
 };
 use parking_lot::Mutex;
 use std::collections::HashSet;
+
+/// Caller ordinal of packet position `pos` under an optional launch
+/// permutation (identity when the launch runs in caller order).
+#[inline]
+fn caller_ordinal(perm: Option<&[u32]>, pos: usize) -> usize {
+    perm.map_or(pos, |p| p[pos] as usize)
+}
 
 /// Per-worker reusable state for one packet (or one single-ray query):
 /// the staged epsilon rays plus the traversal scratch.  Checked out of the
@@ -445,11 +454,28 @@ impl NeighborIndex for BinaryBvhIndex {
 /// The BVH4 scene real RT cores walk: the binary tree is collapsed once at
 /// build time and queries launch in fixed-size ray packets, each wide node
 /// fetched once per packet (see [`crate::traversal::batch`]).
+///
+/// Three coherence/layout knobs of the [`NeighborIndexBuilder`] shape the
+/// launches: [`QueryOrder::Morton`] sorts query origins along the Z-order
+/// curve before packets are cut (outputs restored to caller order
+/// bit-identically), [`WideLayout::Quantized`] walks the compact
+/// `u8`-quantised node mirror, and the [`crate::simd::SimdPolicy`] selects
+/// the hit-mask / leaf-distance kernels once at build.
 #[derive(Debug)]
 pub struct WideBatchedIndex {
     core: BvhCore,
     wide: Option<WideBvh>,
+    /// Quantised node mirror (only when `layout == Quantized`).
+    compact: Option<CompactWideNodes>,
+    /// SoA primitive lanes for the SIMD leaf-run kernels.
+    lanes: Option<PrimLanes>,
+    layout: WideLayout,
+    query_order: QueryOrder,
+    /// SIMD level resolved once at build — never re-detected per launch.
+    simd: SimdLevel,
     batch_size: usize,
+    /// Pooled buffers for Morton launch reordering.
+    reorder: ScratchPool<ReorderScratch>,
 }
 
 impl WideBatchedIndex {
@@ -462,10 +488,27 @@ impl WideBatchedIndex {
             // The collapse is device-build work, charged with the build.
             core.build_counters += w.collapse_counters;
         }
+        let compact = match (config.wide_layout, &wide) {
+            (WideLayout::Quantized, Some(w)) => {
+                // Re-encoding the node array is one more device-build pass.
+                core.build_counters.build_node_ops += w.node_count() as u64;
+                Some(CompactWideNodes::from_wide(w))
+            }
+            _ => None,
+        };
+        let lanes = wide
+            .as_ref()
+            .map(|w| PrimLanes::from_primitives(&w.primitives));
         Ok(WideBatchedIndex {
             core,
             wide,
+            compact,
+            lanes,
+            layout: config.wide_layout,
+            query_order: config.query_order,
+            simd: config.simd.resolve(),
             batch_size: config.batch_size.max(1),
+            reorder: ScratchPool::new(),
         })
     }
 
@@ -474,24 +517,80 @@ impl WideBatchedIndex {
         self.wide.as_ref()
     }
 
+    /// The SIMD level this index resolved at build.
+    pub fn simd_level(&self) -> SimdLevel {
+        self.simd
+    }
+
+    /// The scene in the configured traversal layout.
+    fn scene(&self) -> Option<WideScene<'_>> {
+        let wide = self.wide.as_ref()?;
+        Some(match &self.compact {
+            Some(nodes) => WideScene::Quantized { wide, nodes },
+            None => WideScene::F32(wide),
+        })
+    }
+
+    /// Rebuild the traversal-time mirrors (compact nodes, SoA lanes) after
+    /// the wide scene changed shape.  Returns the work performed — the
+    /// quantisation re-encode costs `build_node_ops` exactly as it does at
+    /// initial build, so refit-heavy streaming maintenance is charged
+    /// honestly.
+    fn refresh_layout(&mut self) -> WorkCounters {
+        let mut counters = WorkCounters::ZERO;
+        self.compact = match (self.layout, &self.wide) {
+            (WideLayout::Quantized, Some(w)) => {
+                counters.build_node_ops += w.node_count() as u64;
+                Some(CompactWideNodes::from_wide(w))
+            }
+            _ => None,
+        };
+        self.lanes = self
+            .wide
+            .as_ref()
+            .map(|w| PrimLanes::from_primitives(&w.primitives));
+        counters
+    }
+
+    /// Check a reorder scratch out of the pool and Morton-sort the launch
+    /// into it (no-op returning `None` under [`QueryOrder::AsGiven`] or
+    /// for trivial launches).  Callers keep the guard alive for the launch
+    /// and reborrow the `points` / `perm` slices out of it; the sort
+    /// scatter work lands in `setup.misc_ops`.
+    fn morton_guard(
+        &self,
+        queries: &[Point3],
+        setup: &mut WorkCounters,
+    ) -> Option<crate::traversal::PoolGuard<'_, ReorderScratch>> {
+        if self.query_order != QueryOrder::Morton || queries.len() < 2 {
+            return None;
+        }
+        let mut guard = self.reorder.acquire();
+        setup.misc_ops += guard.order_morton(queries);
+        Some(guard)
+    }
+
     /// Trace one packet of queries through the wide scene.  The ray staging
     /// buffer and the traversal scratch come from the core's worker pool;
     /// packet boundaries are fixed by `batch_size`, so neither the work
     /// performed nor its accounting depends on how packets are scheduled.
+    /// `ordered` is the launch-order query array and `perm` maps packet
+    /// positions back to caller ordinals (None = identity).
     fn trace_packet(
         &self,
-        queries: &[Point3],
+        ordered: &[Point3],
+        perm: Option<&[u32]>,
         start: usize,
         len: usize,
         eps: f32,
         sink: &NeighborSink<'_>,
     ) -> WorkCounters {
         let mut counters = WorkCounters::ZERO;
-        let Some(wide) = &self.wide else {
+        let Some(scene) = self.scene() else {
             return counters;
         };
         counters.rays += len as u64;
-        let packet_queries = &queries[start..start + len];
+        let packet_queries = &ordered[start..start + len];
         let mut guard = self.core.scratch.acquire();
         let scratch = &mut *guard;
         scratch.rays.clear();
@@ -500,11 +599,12 @@ impl WideBatchedIndex {
             .extend(packet_queries.iter().map(|&q| Ray::epsilon_ray(q)));
         let eps_sq = eps * eps;
         let geometry = self.core.geometry;
-        traverse_batch_with_scratch(
-            wide,
+        traverse_batch_scene_with_scratch(
+            scene,
             &scratch.rays,
             &mut scratch.trav,
             &mut counters,
+            self.simd,
             |q, sphere, counters| {
                 charge_candidate(geometry, counters);
                 if sphere.center.distance_squared(packet_queries[q]) <= eps_sq {
@@ -512,7 +612,7 @@ impl WideBatchedIndex {
                         index: sphere.point_index,
                         multiplicity: sphere.multiplicity,
                     };
-                    match sink(start + q, n, counters) {
+                    match sink(caller_ordinal(perm, start + q), n, counters) {
                         NeighborFlow::Continue => Traversal::Continue,
                         NeighborFlow::Stop => Traversal::Terminate,
                     }
@@ -530,11 +630,14 @@ impl WideBatchedIndex {
     /// once at packet end.  Traversal order, early-exit points and every
     /// aggregate counter are identical to driving the count sink through
     /// [`WideBatchedIndex::trace_packet`] — only the per-neighbour dynamic
-    /// dispatch is gone.
+    /// dispatch is gone.  The no-early-exit path runs the SIMD leaf-run
+    /// kernel over the SoA primitive lanes (bit-identical to the scalar
+    /// sphere test; see [`crate::simd`]).
     #[allow(clippy::too_many_arguments)]
     fn trace_count_packet(
         &self,
-        queries: &[Point3],
+        ordered: &[Point3],
+        perm: Option<&[u32]>,
         start: usize,
         len: usize,
         eps: f32,
@@ -544,11 +647,11 @@ impl WideBatchedIndex {
     ) -> WorkCounters {
         use std::sync::atomic::Ordering;
         let mut counters = WorkCounters::ZERO;
-        let Some(wide) = &self.wide else {
+        let Some(scene) = self.scene() else {
             return counters;
         };
         counters.rays += len as u64;
-        let packet_queries = &queries[start..start + len];
+        let packet_queries = &ordered[start..start + len];
         let mut guard = self.core.scratch.acquire();
         let PacketScratch {
             rays,
@@ -567,21 +670,25 @@ impl WideBatchedIndex {
             // always hits at distance zero and contributes exactly one
             // countable unit less than its multiplicity, hence the adjusted
             // count is Σ multiplicity − 1.  That makes the candidate loop
-            // branch-free: accumulate `hit × multiplicity`, subtract the
-            // self unit once per query afterwards.
-            use crate::traversal::{traverse_batch_leaves_with_scratch, LeafVisit};
-            traverse_batch_leaves_with_scratch(wide, rays, trav, &mut counters, {
+            // branch-free — exactly the shape the SIMD run kernel consumes
+            // from the SoA lanes.
+            let lanes = self.lanes.as_ref().expect("lanes exist with the scene");
+            let simd = self.simd;
+            traverse_batch_runs_with_scratch(scene, rays, trav, &mut counters, simd, {
                 let local = &mut *local;
-                move |q, prims, counters| {
-                    charge_candidates(geometry, prims.len() as u64, counters);
-                    let query = packet_queries[q];
-                    let mut add = 0u64;
-                    for prim in prims {
-                        let hit = prim.center.distance_squared(query) <= eps_sq;
-                        add += hit as u64 * prim.multiplicity as u64;
+                move |q, first, count, counters| {
+                    charge_candidates(geometry, count as u64, counters);
+                    local[q] += lanes.count_in_ball(
+                        simd,
+                        first as usize,
+                        count as usize,
+                        packet_queries[q],
+                        eps_sq,
+                    );
+                    LeafVisit {
+                        visited: count,
+                        terminate: false,
                     }
-                    local[q] += add;
-                    LeafVisit::all(prims)
                 }
             });
             if exclude_self {
@@ -591,13 +698,14 @@ impl WideBatchedIndex {
             }
         } else {
             traversal_count_launch(
-                wide,
+                scene,
                 rays,
                 trav,
                 &mut counters,
+                self.simd,
                 |q| {
                     if exclude_self {
-                        self.representative_of((start + q) as u32)
+                        self.representative_of(caller_ordinal(perm, start + q) as u32)
                     } else {
                         u32::MAX
                     }
@@ -612,7 +720,7 @@ impl WideBatchedIndex {
         }
         for (i, &c) in local.iter().enumerate() {
             if c > 0 {
-                counts[start + i].fetch_add(c, Ordering::Relaxed);
+                counts[caller_ordinal(perm, start + i)].fetch_add(c, Ordering::Relaxed);
             }
         }
         counters
@@ -625,10 +733,11 @@ impl WideBatchedIndex {
 /// exit, keeping totals bit-identical to the per-candidate sink path.
 #[allow(clippy::too_many_arguments)]
 fn traversal_count_launch(
-    wide: &WideBvh,
+    scene: WideScene<'_>,
     rays: &[Ray],
     trav: &mut TraversalScratch,
     counters: &mut WorkCounters,
+    simd: SimdLevel,
     rep_of: impl Fn(usize) -> u32,
     packet_queries: &[Point3],
     local: &mut [u64],
@@ -637,44 +746,52 @@ fn traversal_count_launch(
     exclude_self: bool,
     early_exit: Option<u64>,
 ) {
-    use crate::traversal::{traverse_batch_leaves_with_scratch, LeafVisit};
-    traverse_batch_leaves_with_scratch(wide, rays, trav, counters, |q, prims, counters| {
-        charge_candidates(geometry, prims.len() as u64, counters);
-        let query = packet_queries[q];
-        let rep = rep_of(q);
-        let count = &mut local[q];
-        let mut visited = 0u32;
-        for prim in prims {
-            visited += 1;
-            if prim.center.distance_squared(query) <= eps_sq {
-                let own_group = exclude_self && prim.point_index == rep;
-                let add = if own_group {
-                    prim.multiplicity.saturating_sub(1) as u64
-                } else {
-                    prim.multiplicity as u64
-                };
-                if add > 0 {
-                    *count += add;
-                    if let Some(min) = early_exit {
-                        if *count >= min {
-                            // The rest of the run is never tested; give its
-                            // hoisted charge back.
-                            uncharge_candidates(
-                                geometry,
-                                (prims.len() - visited as usize) as u64,
-                                counters,
-                            );
-                            return LeafVisit {
-                                visited,
-                                terminate: true,
-                            };
+    let all_prims = scene.primitives();
+    traverse_batch_runs_with_scratch(
+        scene,
+        rays,
+        trav,
+        counters,
+        simd,
+        |q, first, count, counters| {
+            let prims = &all_prims[first as usize..(first + count) as usize];
+            charge_candidates(geometry, prims.len() as u64, counters);
+            let query = packet_queries[q];
+            let rep = rep_of(q);
+            let count = &mut local[q];
+            let mut visited = 0u32;
+            for prim in prims {
+                visited += 1;
+                if prim.center.distance_squared(query) <= eps_sq {
+                    let own_group = exclude_self && prim.point_index == rep;
+                    let add = if own_group {
+                        prim.multiplicity.saturating_sub(1) as u64
+                    } else {
+                        prim.multiplicity as u64
+                    };
+                    if add > 0 {
+                        *count += add;
+                        if let Some(min) = early_exit {
+                            if *count >= min {
+                                // The rest of the run is never tested; give its
+                                // hoisted charge back.
+                                uncharge_candidates(
+                                    geometry,
+                                    (prims.len() - visited as usize) as u64,
+                                    counters,
+                                );
+                                return LeafVisit {
+                                    visited,
+                                    terminate: true,
+                                };
+                            }
                         }
                     }
                 }
             }
-        }
-        LeafVisit::all(prims)
-    });
+            LeafVisit::all(prims)
+        },
+    );
 }
 
 impl NeighborIndex for WideBatchedIndex {
@@ -701,6 +818,11 @@ impl NeighborIndex for WideBatchedIndex {
     fn device_bytes(&self) -> u64 {
         self.core.bvh.as_ref().map_or(0, Bvh::device_bytes)
             + self.wide.as_ref().map_or(0, WideBvh::device_bytes)
+            + self
+                .compact
+                .as_ref()
+                .map_or(0, CompactWideNodes::device_bytes)
+            + self.lanes.as_ref().map_or(0, PrimLanes::device_bytes)
     }
 
     fn representative_of(&self, index: u32) -> u32 {
@@ -720,15 +842,15 @@ impl NeighborIndex for WideBatchedIndex {
         visit: &mut NeighborVisitor<'_>,
     ) {
         debug_assert!(eps <= self.core.eps, "query radius exceeds build radius");
-        let Some(wide) = &self.wide else { return };
+        let Some(scene) = self.scene() else { return };
         let mut local = WorkCounters::ZERO;
         local.rays += 1;
         let ray = Ray::epsilon_ray(query);
         let eps_sq = eps * eps;
         let geometry = self.core.geometry;
         let mut guard = self.core.scratch.acquire();
-        traverse_wide_with_scratch(
-            wide,
+        traverse_wide_scene_with_scratch(
+            scene,
             &ray,
             &mut guard.trav,
             &mut local,
@@ -762,18 +884,28 @@ impl NeighborIndex for WideBatchedIndex {
         sink: &NeighborSink<'_>,
     ) {
         debug_assert!(eps <= self.core.eps, "query radius exceeds build radius");
+        // Morton launch order (if configured): the guard keeps the permuted
+        // buffers alive across the parallel dispatch; sinks still see
+        // caller ordinals.
+        let mut setup = WorkCounters::ZERO;
+        let reorder = self.morton_guard(queries, &mut setup);
+        let (ordered, perm): (&[Point3], Option<&[u32]>) = match reorder.as_deref() {
+            Some(g) => (&g.points, Some(&g.perm)),
+            None => (queries, None),
+        };
         // Fixed packet boundaries, derived arithmetically — no materialised
         // range list on the launch path.
         let packets = queries.len().div_ceil(self.batch_size);
-        let total = super::dispatch_batch(
+        let mut total = super::dispatch_batch(
             packets,
             queries.len() >= self.core.min_parallel_launch,
             |packet| {
                 let start = packet * self.batch_size;
                 let len = self.batch_size.min(queries.len() - start);
-                self.trace_packet(queries, start, len, eps, sink)
+                self.trace_packet(ordered, perm, start, len, eps, sink)
             },
         );
+        total += setup;
         self.core.record(&total);
         *counters += total;
     }
@@ -793,16 +925,32 @@ impl NeighborIndex for WideBatchedIndex {
             counts.len(),
             "one count cell per launched query"
         );
+        let mut setup = WorkCounters::ZERO;
+        let reorder = self.morton_guard(queries, &mut setup);
+        let (ordered, perm): (&[Point3], Option<&[u32]>) = match reorder.as_deref() {
+            Some(g) => (&g.points, Some(&g.perm)),
+            None => (queries, None),
+        };
         let packets = queries.len().div_ceil(self.batch_size);
-        let total = super::dispatch_batch(
+        let mut total = super::dispatch_batch(
             packets,
             queries.len() >= self.core.min_parallel_launch,
             |packet| {
                 let start = packet * self.batch_size;
                 let len = self.batch_size.min(queries.len() - start);
-                self.trace_count_packet(queries, start, len, eps, exclude_self, early_exit, counts)
+                self.trace_count_packet(
+                    ordered,
+                    perm,
+                    start,
+                    len,
+                    eps,
+                    exclude_self,
+                    early_exit,
+                    counts,
+                )
             },
         );
+        total += setup;
         self.core.record(&total);
         *counters += total;
     }
@@ -814,29 +962,36 @@ impl NeighborIndex for WideBatchedIndex {
         counters: &mut WorkCounters,
         out: &mut super::CsrNeighbors,
     ) {
-        use crate::traversal::{traverse_batch_leaves_with_scratch, LeafVisit};
         debug_assert!(eps <= self.core.eps, "query radius exceeds build radius");
         // Specialised CSR launch: each packet collects `(query, hit)` pairs
         // into its worker scratch (monomorphic candidate loop, hoisted
         // charging) and appends them to the shared pair list under one lock
         // per packet — not one per neighbour like the generic default.
-        // Emission order within a query is the traversal order, and the
-        // counting-sort rebuild restores row order, so output and counters
-        // are identical to the callback-mode launch.
+        // Emission order within a query is the traversal order (invariant
+        // under launch reordering), and the counting-sort rebuild restores
+        // row order, so output and counters are identical to the
+        // callback-mode launch whatever the query order.
+        let mut setup = WorkCounters::ZERO;
+        let reorder = self.morton_guard(queries, &mut setup);
+        let (ordered, perm): (&[Point3], Option<&[u32]>) = match reorder.as_deref() {
+            Some(g) => (&g.points, Some(&g.perm)),
+            None => (queries, None),
+        };
         let pairs_shared: Mutex<Vec<(u32, u32)>> = Mutex::new(Vec::new());
         let packets = queries.len().div_ceil(self.batch_size);
-        let total = super::dispatch_batch(
+        let mut total = super::dispatch_batch(
             packets,
             queries.len() >= self.core.min_parallel_launch,
             |packet| {
                 let start = packet * self.batch_size;
                 let len = self.batch_size.min(queries.len() - start);
                 let mut local = WorkCounters::ZERO;
-                let Some(wide) = &self.wide else {
+                let Some(scene) = self.scene() else {
                     return local;
                 };
+                let all_prims = scene.primitives();
                 local.rays += len as u64;
-                let packet_queries = &queries[start..start + len];
+                let packet_queries = &ordered[start..start + len];
                 let mut guard = self.core.scratch.acquire();
                 let PacketScratch { rays, trav, .. } = &mut *guard;
                 rays.clear();
@@ -845,21 +1000,33 @@ impl NeighborIndex for WideBatchedIndex {
                 pairs.clear();
                 let eps_sq = eps * eps;
                 let geometry = self.core.geometry;
-                traverse_batch_leaves_with_scratch(wide, rays, trav, &mut local, |q, prims, c| {
-                    charge_candidates(geometry, prims.len() as u64, c);
-                    let query = packet_queries[q];
-                    for prim in prims {
-                        if prim.center.distance_squared(query) <= eps_sq {
-                            pairs.push(((start + q) as u32, prim.point_index));
+                traverse_batch_runs_with_scratch(
+                    scene,
+                    rays,
+                    trav,
+                    &mut local,
+                    self.simd,
+                    |q, first, count, c| {
+                        let prims = &all_prims[first as usize..(first + count) as usize];
+                        charge_candidates(geometry, prims.len() as u64, c);
+                        let query = packet_queries[q];
+                        for prim in prims {
+                            if prim.center.distance_squared(query) <= eps_sq {
+                                pairs.push((
+                                    caller_ordinal(perm, start + q) as u32,
+                                    prim.point_index,
+                                ));
+                            }
                         }
-                    }
-                    LeafVisit::all(prims)
-                });
+                        LeafVisit::all(prims)
+                    },
+                );
                 pairs_shared.lock().extend_from_slice(&pairs);
                 trav.pairs = pairs;
                 local
             },
         );
+        total += setup;
         self.core.record(&total);
         *counters += total;
         out.rebuild_from_pairs(queries.len(), &pairs_shared.into_inner());
@@ -873,6 +1040,9 @@ impl NeighborIndex for WideBatchedIndex {
             counters += w.collapse_counters;
             self.core.build_counters += w.collapse_counters;
         }
+        let relayout = self.refresh_layout();
+        counters += relayout;
+        self.core.build_counters += relayout;
         Ok(counters)
     }
 
@@ -883,6 +1053,9 @@ impl NeighborIndex for WideBatchedIndex {
             counters += w.collapse_counters;
             self.core.build_counters += w.collapse_counters;
         }
+        let relayout = self.refresh_layout();
+        counters += relayout;
+        self.core.build_counters += relayout;
         Ok(counters)
     }
 }

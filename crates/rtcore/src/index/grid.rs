@@ -181,6 +181,74 @@ impl NeighborIndex for UniformGridIndex {
         *counters += total;
     }
 
+    fn batch_neighbor_counts(
+        &self,
+        queries: &[Point3],
+        eps: f32,
+        exclude_self: bool,
+        early_exit: Option<u64>,
+        counters: &mut WorkCounters,
+        counts: &[std::sync::atomic::AtomicU64],
+    ) {
+        use std::sync::atomic::Ordering;
+        // Specialised count mode: the 3×3×3 cell scan accumulates one
+        // local count per query and flushes it to the shared cell once —
+        // no dyn-sink call and no atomic add per neighbour like the
+        // default implementation pays.  Candidate charging (self candidate
+        // included), the self-join exclusion (`candidate == ordinal`
+        // contributes nothing) and the early-exit stop point replicate the
+        // sink logic exactly, so counted work and final counts are
+        // bit-identical to the default path.
+        assert_eq!(
+            queries.len(),
+            counts.len(),
+            "one count cell per launched query"
+        );
+        debug_assert!(eps <= self.eps, "query radius exceeds the grid cell side");
+        let eps_sq = eps * eps;
+        let total = super::dispatch_batch(
+            queries.len(),
+            queries.len() >= self.min_parallel_launch,
+            |ordinal| {
+                let mut local = WorkCounters::ZERO;
+                let query = queries[ordinal];
+                let c = cell_of(query, self.eps);
+                let mut count = 0u64;
+                'scan: for dx in -1..=1 {
+                    for dy in -1..=1 {
+                        for dz in -1..=1 {
+                            let Some(cell_points) = self.cells.get(&(c.0 + dx, c.1 + dy, c.2 + dz))
+                            else {
+                                continue;
+                            };
+                            for &q in cell_points {
+                                local.dist_comps += 1;
+                                let own = exclude_self && q as usize == ordinal;
+                                if !own
+                                    && self.alive[q as usize]
+                                    && self.points[q as usize].distance_squared(query) <= eps_sq
+                                {
+                                    count += 1;
+                                    if let Some(min) = early_exit {
+                                        if count >= min {
+                                            break 'scan;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                if count > 0 {
+                    counts[ordinal].fetch_add(count, Ordering::Relaxed);
+                }
+                local
+            },
+        );
+        *self.query_counters.lock() += total;
+        *counters += total;
+    }
+
     fn remove(&mut self, retired: &[u32]) -> Result<WorkCounters> {
         let mut counters = WorkCounters::ZERO;
         for &r in retired {
@@ -258,6 +326,69 @@ mod tests {
         assert!(c.dist_comps >= 4, "self candidate is charged too");
         assert!(index.cell_count() > 0);
         assert_eq!(index.build_counters().build_prims, 5);
+    }
+
+    #[test]
+    fn specialized_count_mode_matches_the_sink_path_exactly() {
+        use super::super::NeighborFlow;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // Blobs + duplicates + an exact-ε pair, queried with and without
+        // self-exclusion and with early exit: the specialised override must
+        // reproduce the generic sink-driven logic (which this reference
+        // sink replicates) bit for bit — counts and counters.
+        let eps = 1.0f32;
+        let mut pts: Vec<Point3> = (0..120)
+            .map(|i| {
+                Point3::new(
+                    (i % 11) as f32 * 0.7,
+                    (i / 11) as f32 * 0.7,
+                    (i % 3) as f32 * 0.1,
+                )
+            })
+            .collect();
+        pts.push(pts[0]);
+        pts.push(pts[0]);
+        pts.push(Point3::new(50.0, 0.0, 0.0));
+        pts.push(Point3::new(50.0 + eps, 0.0, 0.0));
+        let index = UniformGridIndex::build(
+            &NeighborIndexBuilder {
+                min_parallel_launch: usize::MAX,
+                ..NeighborIndexBuilder::new(IndexKind::UniformGrid)
+            },
+            &pts,
+            eps,
+        )
+        .unwrap();
+        for exclude_self in [false, true] {
+            for early_exit in [None, Some(1u64), Some(3), Some(1000)] {
+                // Reference: the pre-override sink logic over
+                // batch_neighbors.
+                let want: Vec<AtomicU64> = (0..pts.len()).map(|_| AtomicU64::new(0)).collect();
+                let mut want_c = WorkCounters::ZERO;
+                index.batch_neighbors(&pts, eps, &mut want_c, &|q, n, _| {
+                    let own = exclude_self && n.index == q as u32;
+                    let add = if own { 0 } else { n.multiplicity as u64 };
+                    if add == 0 {
+                        return NeighborFlow::Continue;
+                    }
+                    let total = want[q].fetch_add(add, Ordering::Relaxed) + add;
+                    match early_exit {
+                        Some(min) if total >= min => NeighborFlow::Stop,
+                        _ => NeighborFlow::Continue,
+                    }
+                });
+                let got: Vec<AtomicU64> = (0..pts.len()).map(|_| AtomicU64::new(0)).collect();
+                let mut got_c = WorkCounters::ZERO;
+                index.batch_neighbor_counts(&pts, eps, exclude_self, early_exit, &mut got_c, &got);
+                let want: Vec<u64> = want.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+                let got: Vec<u64> = got.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+                assert_eq!(want, got, "exclude_self={exclude_self} exit={early_exit:?}");
+                assert_eq!(
+                    want_c.dist_comps, got_c.dist_comps,
+                    "exclude_self={exclude_self} exit={early_exit:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -54,6 +54,10 @@ pub use bvh_backend::{BinaryBvhIndex, WideBatchedIndex};
 pub use csr::CsrNeighbors;
 pub use grid::UniformGridIndex;
 
+pub use crate::bvh::WideLayout;
+pub use crate::simd::SimdPolicy;
+pub use crate::traversal::QueryOrder;
+
 use crate::bvh::BuilderKind;
 use crate::error::{Error, Result};
 use crate::geometry::Point3;
@@ -472,6 +476,17 @@ pub struct NeighborIndexBuilder {
     /// Batches smaller than this answer sequentially instead of through the
     /// parallel launch.
     pub min_parallel_launch: usize,
+    /// In what order batched launches feed queries into packets
+    /// ([`IndexKind::WideBatched`] only — per-query backends have no
+    /// packets to make coherent).  Outputs are restored to caller order
+    /// bit-identically either way; see [`QueryOrder`].
+    pub query_order: QueryOrder,
+    /// Which node representation the wide-batched traversal reads
+    /// ([`IndexKind::WideBatched`] only); see [`WideLayout`].
+    pub wide_layout: WideLayout,
+    /// SIMD policy for the wide-batched hit-mask and leaf-distance
+    /// kernels, resolved once per index build; see [`SimdPolicy`].
+    pub simd: SimdPolicy,
 }
 
 impl NeighborIndexBuilder {
@@ -485,6 +500,9 @@ impl NeighborIndexBuilder {
             geometry: GeometryKind::CustomSpheres,
             batch_size: 512,
             min_parallel_launch: 256,
+            query_order: QueryOrder::AsGiven,
+            wide_layout: WideLayout::F32,
+            simd: SimdPolicy::Auto,
         }
     }
 

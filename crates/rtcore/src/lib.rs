@@ -61,6 +61,7 @@ pub mod hardware;
 pub mod index;
 pub mod pipeline;
 pub mod query;
+pub mod simd;
 pub mod traversal;
 
 pub use error::{Error, Result};

@@ -1,10 +1,14 @@
 //! Pipeline construction and (parallel) launch.
 
 use super::program::{GeometryKind, ProgramFlow, RayProgram};
-use crate::bvh::{Bvh, WideBvh};
-use crate::geometry::{Ray, Sphere};
+use crate::bvh::{Bvh, CompactWideNodes, WideBvh, WideLayout};
+use crate::geometry::{Point3, Ray, Sphere};
 use crate::hardware::WorkCounters;
-use crate::traversal::{traverse, traverse_batch, Traversal};
+use crate::simd::{SimdLevel, SimdPolicy};
+use crate::traversal::{
+    traverse, traverse_batch_scene_with_scratch, QueryOrder, ReorderScratch, Traversal,
+    TraversalScratch, WideScene,
+};
 use rayon::prelude::*;
 
 /// Which traversal substrate a pipeline launch uses.
@@ -38,6 +42,19 @@ pub struct PipelineConfig {
     /// are fixed by this value, so counters are launch-order deterministic
     /// regardless of thread count.
     pub batch_size: usize,
+    /// In what order a batched launch feeds rays into packets
+    /// ([`TraversalEngine::WideBatched`] only): [`QueryOrder::Morton`]
+    /// sorts ray origins along the Z-order curve before cutting packets
+    /// and restores launch-index order on every payload, so only the
+    /// shared node-fetch work changes.
+    pub query_order: QueryOrder,
+    /// Which node representation the batched traversal reads
+    /// ([`TraversalEngine::WideBatched`] only); see
+    /// [`crate::bvh::WideLayout`].
+    pub layout: WideLayout,
+    /// SIMD policy for the batched hit-mask kernels, resolved once at
+    /// pipeline construction.
+    pub simd: SimdPolicy,
 }
 
 impl Default for PipelineConfig {
@@ -47,6 +64,9 @@ impl Default for PipelineConfig {
             min_parallel_launch: 256,
             traversal: TraversalEngine::Binary,
             batch_size: 512,
+            query_order: QueryOrder::AsGiven,
+            layout: WideLayout::F32,
+            simd: SimdPolicy::Auto,
         }
     }
 }
@@ -118,6 +138,10 @@ pub struct LaunchResult<P> {
 pub struct Pipeline<'a> {
     scene: &'a Bvh,
     wide: Option<std::borrow::Cow<'a, WideBvh>>,
+    /// Quantised node mirror (only under [`WideLayout::Quantized`]).
+    compact: Option<CompactWideNodes>,
+    /// SIMD level resolved once at construction.
+    simd: SimdLevel,
     config: PipelineConfig,
 }
 
@@ -135,9 +159,15 @@ impl<'a> Pipeline<'a> {
                 Some(std::borrow::Cow::Owned(WideBvh::from_binary(scene)))
             }
         };
+        let compact = match (config.layout, &wide) {
+            (WideLayout::Quantized, Some(w)) => Some(CompactWideNodes::from_wide(w)),
+            _ => None,
+        };
         Pipeline {
             scene,
             wide,
+            compact,
+            simd: config.simd.resolve(),
             config,
         }
     }
@@ -146,10 +176,29 @@ impl<'a> Pipeline<'a> {
     /// already holds (session-style reuse across many launches); the
     /// collapse must have been produced from `scene`.
     pub fn with_collapsed(scene: &'a Bvh, wide: &'a WideBvh, config: PipelineConfig) -> Self {
+        let compact = match config.layout {
+            WideLayout::Quantized => Some(CompactWideNodes::from_wide(wide)),
+            WideLayout::F32 => None,
+        };
         Pipeline {
             scene,
             wide: Some(std::borrow::Cow::Borrowed(wide)),
+            compact,
+            simd: config.simd.resolve(),
             config,
+        }
+    }
+
+    /// The wide scene in the configured traversal layout (batched
+    /// configurations only).
+    fn wide_scene_ref(&self) -> WideScene<'_> {
+        let wide = self
+            .wide
+            .as_deref()
+            .expect("wide scene is collapsed at construction for WideBatched");
+        match &self.compact {
+            Some(nodes) => WideScene::Quantized { wide, nodes },
+            None => WideScene::F32(wide),
         }
     }
 
@@ -204,40 +253,146 @@ impl<'a> Pipeline<'a> {
         start: usize,
         len: usize,
     ) -> (Vec<P::Payload>, WorkCounters) {
-        let wide = self
-            .wide
-            .as_deref()
-            .expect("wide scene is collapsed at construction for WideBatched");
+        // The in-order packet is the identity-indexed case of the indexed
+        // tracer (one body to keep counter charging and miss handling in
+        // lockstep across the launch orders).
+        let members: Vec<(u32, Ray, P::Payload)> = (start..start + len)
+            .map(|i| {
+                let (ray, payload) = program.ray_gen(i);
+                (i as u32, ray, payload)
+            })
+            .collect();
+        let (indexed, counters) = self.trace_indexed_packet(program, members);
+        (indexed.into_iter().map(|(_, p)| p).collect(), counters)
+    }
+
+    /// One packet of launch indices: `members` lists the indices the
+    /// packet traces (consecutive for an in-order launch, Z-order-sorted
+    /// for a Morton one), paired with their pre-generated rays and
+    /// payloads.  Payloads come back paired with their launch index for
+    /// the caller-order scatter.
+    fn trace_indexed_packet<P: RayProgram>(
+        &self,
+        program: &P,
+        members: Vec<(u32, Ray, P::Payload)>,
+    ) -> (Vec<(u32, P::Payload)>, WorkCounters) {
+        let scene = self.wide_scene_ref();
         let mut counters = WorkCounters::ZERO;
-        counters.rays += len as u64;
-        let mut rays = Vec::with_capacity(len);
-        let mut payloads = Vec::with_capacity(len);
-        for i in start..start + len {
-            let (ray, payload) = program.ray_gen(i);
+        counters.rays += members.len() as u64;
+        let mut rays = Vec::with_capacity(members.len());
+        let mut indices = Vec::with_capacity(members.len());
+        let mut payloads = Vec::with_capacity(members.len());
+        for (index, ray, payload) in members {
+            indices.push(index);
             rays.push(ray);
             payloads.push(payload);
         }
         let geometry = self.config.geometry;
+        let mut scratch = TraversalScratch::default();
         let outcomes = {
             let payloads = &mut payloads;
-            traverse_batch(wide, &rays, &mut counters, |q, sphere, counters| {
-                run_intersection(
-                    program,
-                    geometry,
-                    start + q,
-                    sphere,
-                    &rays[q],
-                    &mut payloads[q],
-                    counters,
-                )
-            })
+            let indices = &indices;
+            traverse_batch_scene_with_scratch(
+                scene,
+                &rays,
+                &mut scratch,
+                &mut counters,
+                self.simd,
+                |q, sphere, counters| {
+                    run_intersection(
+                        program,
+                        geometry,
+                        indices[q] as usize,
+                        sphere,
+                        &rays[q],
+                        &mut payloads[q],
+                        counters,
+                    )
+                },
+            )
         };
         for (q, outcome) in outcomes.iter().enumerate() {
             if outcome.primitives_visited == 0 {
-                program.miss(start + q, &mut payloads[q]);
+                program.miss(indices[q] as usize, &mut payloads[q]);
             }
         }
-        (payloads, counters)
+        (indices.into_iter().zip(payloads).collect(), counters)
+    }
+
+    /// The Morton-ordered batched launch: rays are generated once in launch
+    /// order, sorted along the Z-order curve of their origins, traced in
+    /// fixed-size packets of the sorted order, and the payloads scattered
+    /// back so the result is indexed by launch index exactly like the
+    /// in-order path.  The sort work is charged as `misc_ops`.
+    #[allow(clippy::type_complexity)]
+    fn launch_wide_morton<P: RayProgram>(
+        &self,
+        count: usize,
+        program: &P,
+        parallel: bool,
+    ) -> LaunchResult<P::Payload> {
+        let mut counters = WorkCounters::ZERO;
+        let mut items: Vec<Option<(Ray, P::Payload)>> =
+            (0..count).map(|i| Some(program.ray_gen(i))).collect();
+        let origins: Vec<Point3> = items
+            .iter()
+            .map(|it| it.as_ref().expect("just generated").0.origin)
+            .collect();
+        let mut reorder = ReorderScratch::default();
+        counters.misc_ops += reorder.order_morton(&origins);
+
+        // Cut fixed-size packets of the sorted order, moving each ray and
+        // payload into its packet.  Packets sit in take-once mutex slots so
+        // the parallel path can move them out through a shared borrow:
+        // payloads are only `Send`, and the workspace's rayon *shim*
+        // (unlike real rayon) needs `Sync + Clone` to par-iterate an owned
+        // `Vec`, so indices are what get fanned out.
+        let size = self.config.batch_size.max(1);
+        let packets: Vec<parking_lot::Mutex<Option<Vec<(u32, Ray, P::Payload)>>>> = reorder
+            .perm
+            .chunks(size)
+            .map(|chunk| {
+                parking_lot::Mutex::new(Some(
+                    chunk
+                        .iter()
+                        .map(|&orig| {
+                            let (ray, payload) =
+                                items[orig as usize].take().expect("each index moves once");
+                            (orig, ray, payload)
+                        })
+                        .collect(),
+                ))
+            })
+            .collect();
+        drop(items);
+
+        let run_packet = |slot: &parking_lot::Mutex<Option<Vec<(u32, Ray, P::Payload)>>>| {
+            let members = slot.lock().take().expect("each packet traces once");
+            self.trace_indexed_packet(program, members)
+        };
+        let results: Vec<(Vec<(u32, P::Payload)>, WorkCounters)> = if parallel {
+            (0..packets.len())
+                .into_par_iter()
+                .map(|p| run_packet(&packets[p]))
+                .collect()
+        } else {
+            packets.iter().map(run_packet).collect()
+        };
+
+        let mut payloads: Vec<Option<P::Payload>> = (0..count).map(|_| None).collect();
+        for (packet_payloads, c) in results {
+            counters += c;
+            for (index, payload) in packet_payloads {
+                payloads[index as usize] = Some(payload);
+            }
+        }
+        LaunchResult {
+            payloads: payloads
+                .into_iter()
+                .map(|p| p.expect("every launch index traced exactly once"))
+                .collect(),
+            counters,
+        }
     }
 
     /// Fixed packet boundaries for a batched launch of `count` rays.
@@ -275,6 +430,9 @@ impl<'a> Pipeline<'a> {
                 }
             }
             TraversalEngine::WideBatched => {
+                if self.config.query_order == QueryOrder::Morton && count > 1 {
+                    return self.launch_wide_morton(count, program, true);
+                }
                 let results: Vec<(Vec<P::Payload>, WorkCounters)> = self
                     .packet_ranges(count)
                     .into_par_iter()
@@ -307,6 +465,9 @@ impl<'a> Pipeline<'a> {
                 }
             }
             TraversalEngine::WideBatched => {
+                if self.config.query_order == QueryOrder::Morton && count > 1 {
+                    return self.launch_wide_morton(count, program, false);
+                }
                 for (start, len) in self.packet_ranges(count) {
                     let (p, c) = self.trace_packet(program, start, len);
                     payloads.extend(p);
@@ -559,6 +720,88 @@ mod tests {
         };
         let result = Pipeline::with_config(&bvh, cfg).launch_sequential(6, &MissOrHit);
         assert_eq!(result.payloads, vec![1, -1, 1, -1, 1, -1]);
+    }
+
+    #[test]
+    fn morton_ordered_launch_matches_in_order_payloads() {
+        // Interleave two far-apart clusters so launch order is maximally
+        // incoherent; the Morton launch must return identical payloads
+        // (scattered back to launch-index order) with identical rays and
+        // candidate work, while touching strictly fewer wide nodes.
+        let points: Vec<Point3> = (0..400)
+            .map(|i| {
+                Point3::new(
+                    (i % 2) as f32 * 300.0 + (i / 2) as f32 * 0.15,
+                    (i % 7) as f32 * 0.1,
+                    0.0,
+                )
+            })
+            .collect();
+        let bvh = LbvhBuilder::default()
+            .build(spheres_from_points(&points, 0.5))
+            .unwrap();
+        let program = FindAny {
+            points: &points,
+            radius: 0.5,
+        };
+        let base_cfg = PipelineConfig {
+            traversal: TraversalEngine::WideBatched,
+            batch_size: 64,
+            min_parallel_launch: 0,
+            ..PipelineConfig::default()
+        };
+        let in_order = Pipeline::with_config(&bvh, base_cfg).launch(points.len(), &program);
+        let morton_cfg = PipelineConfig {
+            query_order: crate::traversal::QueryOrder::Morton,
+            ..base_cfg
+        };
+        let morton_pipeline = Pipeline::with_config(&bvh, morton_cfg);
+        let morton = morton_pipeline.launch(points.len(), &program);
+        let morton_seq = morton_pipeline.launch_sequential(points.len(), &program);
+
+        assert_eq!(in_order.payloads, morton.payloads);
+        assert_eq!(morton.payloads, morton_seq.payloads);
+        assert_eq!(morton.counters, morton_seq.counters);
+        assert_eq!(in_order.counters.rays, morton.counters.rays);
+        assert_eq!(in_order.counters.dist_comps, morton.counters.dist_comps);
+        assert_eq!(in_order.counters.prim_tests, morton.counters.prim_tests);
+        assert_eq!(
+            in_order.counters.batched_launches,
+            morton.counters.batched_launches
+        );
+        assert!(
+            morton.counters.wide_node_visits < in_order.counters.wide_node_visits,
+            "coherent packets must share node fetches: morton {} vs in-order {}",
+            morton.counters.wide_node_visits,
+            in_order.counters.wide_node_visits
+        );
+    }
+
+    #[test]
+    fn quantized_layout_launch_matches_f32_payloads() {
+        let points = cluster_points();
+        let bvh = LbvhBuilder::default()
+            .build(spheres_from_points(&points, 0.25))
+            .unwrap();
+        let program = FindAny {
+            points: &points,
+            radius: 0.25,
+        };
+        let f32_cfg = PipelineConfig {
+            traversal: TraversalEngine::WideBatched,
+            batch_size: 16,
+            ..PipelineConfig::default()
+        };
+        let quant_cfg = PipelineConfig {
+            layout: crate::bvh::WideLayout::Quantized,
+            ..f32_cfg
+        };
+        let f32_run = Pipeline::with_config(&bvh, f32_cfg).launch(points.len(), &program);
+        let quant_run = Pipeline::with_config(&bvh, quant_cfg).launch(points.len(), &program);
+        // Conservative boxes can only add candidate tests, never change
+        // the exact per-primitive verdicts.
+        assert_eq!(f32_run.payloads, quant_run.payloads);
+        assert!(quant_run.counters.prim_tests >= f32_run.counters.prim_tests);
     }
 
     #[test]

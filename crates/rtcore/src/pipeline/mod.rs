@@ -19,6 +19,10 @@ mod program;
 pub use launch::{LaunchResult, Pipeline, PipelineConfig, TraversalEngine};
 pub use program::{GeometryKind, ProgramFlow, RayProgram};
 
+pub use crate::bvh::WideLayout;
+pub use crate::simd::SimdPolicy;
+pub use crate::traversal::QueryOrder;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -34,80 +34,238 @@
 //! [`traverse_batch_with_scratch`]; the plain [`traverse_batch`] entry
 //! point allocates a one-shot scratch per call for convenience.
 
-use crate::bvh::wide::{WideBvh, WideChild, WIDE_BRANCHING};
-use crate::geometry::{Ray, Sphere};
+use crate::bvh::wide::{CompactWideNode, CompactWideNodes, WideBvh, WideChild, WIDE_BRANCHING};
+use crate::bvh::WideNode;
+use crate::geometry::{Aabb, Ray, Sphere};
 use crate::hardware::WorkCounters;
 use crate::index::CsrNeighbors;
+use crate::simd::{detect_simd, SimdLevel};
 use crate::traversal::scratch::SegFrame;
 use crate::traversal::{Traversal, TraversalOutcome, TraversalScratch};
 
-/// 4-bit hit mask of `ray` against a wide node's child slots.
-///
-/// Point queries — the neighbour-search reduction's only ray shape — go
-/// through [`WideNode::point_hit_mask`], the lockstep SoA lane compare;
-/// general rays fall back to four scalar slab tests.  Empty slots hold
-/// inverted boxes and can never set their bit on either path.
-#[inline]
-fn slot_hit_mask(node: &crate::bvh::WideNode, ray: &Ray) -> u8 {
-    if ray.is_point_query() {
-        return node.point_hit_mask(ray.origin);
-    }
-    let mut mask = 0u8;
-    for slot in 0..WIDE_BRANCHING {
-        if node.child_bounds(slot).intersects_ray(ray) {
-            mask |= 1 << slot;
-        }
-    }
-    mask
+// ---------------------------------------------------------------------------
+// Node views: the engines are generic over the node representation
+// (full-precision [`WideNode`] vs quantised [`CompactWideNode`]) and over
+// the hit-mask kernel (scalar / SSE2 / AVX2), monomorphised per launch so
+// the inner loops carry no dispatch.
+// ---------------------------------------------------------------------------
+
+/// Operations the wavefront engine needs from a wide-node representation.
+pub(crate) trait WideNodeOps: Sync {
+    /// The slot's child reference.
+    fn child_of(&self, slot: usize) -> WideChild;
+    /// Number of non-empty child slots — the lanes the lockstep box unit
+    /// charges for.
+    fn occupied_slots(&self) -> u64;
+    /// Portable point containment mask (the scalar reference kernel).
+    fn mask_scalar(&self, x: f32, y: f32, z: f32) -> u8;
+    /// 4-bit hit mask for a general (non-point) ray: four slab tests
+    /// against the slot boxes.  Empty slots can never set their bit.
+    fn ray_mask(&self, ray: &Ray) -> u8;
 }
 
-/// Number of non-empty child slots — the lanes the lockstep box unit
-/// charges for.
-#[inline]
-fn occupied_slots(node: &crate::bvh::WideNode) -> u64 {
-    node.children
-        .iter()
-        .filter(|c| **c != WideChild::Empty)
-        .count() as u64
+impl WideNodeOps for WideNode {
+    #[inline]
+    fn child_of(&self, slot: usize) -> WideChild {
+        self.children[slot]
+    }
+
+    #[inline]
+    fn occupied_slots(&self) -> u64 {
+        self.children
+            .iter()
+            .filter(|c| **c != WideChild::Empty)
+            .count() as u64
+    }
+
+    #[inline]
+    fn mask_scalar(&self, x: f32, y: f32, z: f32) -> u8 {
+        self.point_hit_mask_xyz(x, y, z)
+    }
+
+    #[inline]
+    fn ray_mask(&self, ray: &Ray) -> u8 {
+        if ray.is_point_query() {
+            return self.point_hit_mask(ray.origin);
+        }
+        let mut mask = 0u8;
+        for slot in 0..WIDE_BRANCHING {
+            if self.child_bounds(slot).intersects_ray(ray) {
+                mask |= 1 << slot;
+            }
+        }
+        mask
+    }
+}
+
+impl WideNodeOps for CompactWideNode {
+    #[inline]
+    fn child_of(&self, slot: usize) -> WideChild {
+        self.child(slot)
+    }
+
+    #[inline]
+    fn occupied_slots(&self) -> u64 {
+        self.occupancy_mask().count_ones() as u64
+    }
+
+    #[inline]
+    fn mask_scalar(&self, x: f32, y: f32, z: f32) -> u8 {
+        self.point_hit_mask_xyz(x, y, z)
+    }
+
+    #[inline]
+    fn ray_mask(&self, ray: &Ray) -> u8 {
+        if ray.is_point_query() {
+            let o = ray.origin;
+            return self.point_hit_mask_xyz(o.x, o.y, o.z);
+        }
+        let mut mask = 0u8;
+        for slot in 0..WIDE_BRANCHING {
+            if self.child(slot) != WideChild::Empty && self.child_bounds(slot).intersects_ray(ray) {
+                mask |= 1 << slot;
+            }
+        }
+        mask
+    }
+}
+
+/// A point hit-mask kernel, monomorphised into the engine body so the
+/// SIMD level is selected exactly once per launch — never per node.
+pub(crate) trait MaskKernel<N> {
+    /// 4-bit containment mask of `(x, y, z)` against the node's slots.
+    fn mask(node: &N, x: f32, y: f32, z: f32) -> u8;
+}
+
+/// The portable scalar kernel (and the bit-exactness oracle).
+pub(crate) struct KernelScalar;
+
+/// The SSE2 lane-compare kernel (baseline on `x86_64`).
+#[cfg(target_arch = "x86_64")]
+pub(crate) struct KernelSse2;
+
+/// The AVX2 kernel (runtime-detected before selection).
+#[cfg(target_arch = "x86_64")]
+pub(crate) struct KernelAvx2;
+
+impl<N: WideNodeOps> MaskKernel<N> for KernelScalar {
+    #[inline]
+    fn mask(node: &N, x: f32, y: f32, z: f32) -> u8 {
+        node.mask_scalar(x, y, z)
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+impl MaskKernel<WideNode> for KernelSse2 {
+    #[inline]
+    fn mask(node: &WideNode, x: f32, y: f32, z: f32) -> u8 {
+        node.point_hit_mask_xyz_sse2(x, y, z)
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+impl MaskKernel<WideNode> for KernelAvx2 {
+    #[inline]
+    fn mask(node: &WideNode, x: f32, y: f32, z: f32) -> u8 {
+        // SAFETY: `KernelAvx2` is only selected after runtime detection
+        // (see `dispatch_runs`).
+        unsafe { node.point_hit_mask_xyz_avx2(x, y, z) }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+impl MaskKernel<CompactWideNode> for KernelSse2 {
+    #[inline]
+    fn mask(node: &CompactWideNode, x: f32, y: f32, z: f32) -> u8 {
+        node.point_hit_mask_xyz_sse2(x, y, z)
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+impl MaskKernel<CompactWideNode> for KernelAvx2 {
+    #[inline]
+    fn mask(node: &CompactWideNode, x: f32, y: f32, z: f32) -> u8 {
+        // The quantised node's dequantising chain has no 256-bit shape
+        // worth extra plumbing; the AVX2 level shares the SSE2 kernel.
+        node.point_hit_mask_xyz_sse2(x, y, z)
+    }
+}
+
+/// A wide scene in whichever node layout the launch traverses —
+/// full-precision [`WideNode`]s or the quantised
+/// [`crate::bvh::CompactWideNodes`] mirror (see
+/// [`crate::bvh::WideLayout`]).  Both layouts read the same leaf-ordered
+/// primitive array, so neighbour sets are identical; the quantised boxes
+/// are conservative and may only admit extra candidates.
+#[derive(Clone, Copy)]
+pub enum WideScene<'a> {
+    /// Full-precision SoA `[f32; 4]` lanes.
+    F32(&'a WideBvh),
+    /// Quantised `u8`-offset nodes mirroring `wide`'s structure.
+    Quantized {
+        /// The source scene (primitive array + scene bounds).
+        wide: &'a WideBvh,
+        /// The compact node mirror produced by
+        /// [`CompactWideNodes::from_wide`].
+        nodes: &'a CompactWideNodes,
+    },
+}
+
+impl<'a> WideScene<'a> {
+    /// The underlying full-precision scene (primitives + bounds).
+    pub fn wide(&self) -> &'a WideBvh {
+        match self {
+            WideScene::F32(wide) | WideScene::Quantized { wide, .. } => wide,
+        }
+    }
+
+    /// The leaf-ordered primitive array both layouts index into.
+    pub fn primitives(&self) -> &'a [Sphere] {
+        &self.wide().primitives
+    }
 }
 
 /// Single-ray wide traversal over a caller-provided node stack (the scratch
-/// and one-shot entry points share this body).
-fn traverse_wide_on_stack<F>(
-    wide: &WideBvh,
+/// and one-shot entry points share this body, generic over the node
+/// layout).
+fn traverse_wide_on_stack<N, F>(
+    nodes: &[N],
+    scene_bounds: &Aabb,
+    primitives: &[Sphere],
     ray: &Ray,
     stack: &mut Vec<u32>,
     counters: &mut WorkCounters,
     mut on_primitive: F,
 ) -> TraversalOutcome
 where
+    N: WideNodeOps,
     F: FnMut(&Sphere, &mut WorkCounters) -> Traversal,
 {
     let mut outcome = TraversalOutcome {
         terminated_early: false,
         primitives_visited: 0,
     };
-    if wide.nodes.is_empty() {
+    if nodes.is_empty() {
         return outcome;
     }
     // Root test against the scene bounds, mirroring the binary engine.
     counters.aabb_tests += 1;
-    if !wide.scene_bounds.intersects_ray(ray) {
+    if !scene_bounds.intersects_ray(ray) {
         return outcome;
     }
 
     stack.clear();
     stack.push(0);
     'outer: while let Some(idx) = stack.pop() {
-        let node = &wide.nodes[idx as usize];
+        let node = &nodes[idx as usize];
         counters.wide_node_visits += 1;
-        counters.aabb_tests += occupied_slots(node);
-        let mask = slot_hit_mask(node, ray);
+        counters.aabb_tests += node.occupied_slots();
+        let mask = node.ray_mask(ray);
         for slot in 0..WIDE_BRANCHING {
             if mask & (1 << slot) == 0 {
                 continue;
             }
-            match node.children[slot] {
+            match node.child_of(slot) {
                 WideChild::Empty => {}
                 WideChild::Node(child) => {
                     stack.push(child);
@@ -118,7 +276,7 @@ where
                 } => {
                     let first = first_prim as usize;
                     let count = prim_count as usize;
-                    for prim in &wide.primitives[first..first + count] {
+                    for prim in &primitives[first..first + count] {
                         counters.prim_tests += 1;
                         outcome.primitives_visited += 1;
                         if on_primitive(prim, counters) == Traversal::Terminate {
@@ -150,7 +308,15 @@ where
     F: FnMut(&Sphere, &mut WorkCounters) -> Traversal,
 {
     let mut stack: Vec<u32> = Vec::with_capacity(32);
-    traverse_wide_on_stack(wide, ray, &mut stack, counters, on_primitive)
+    traverse_wide_on_stack(
+        &wide.nodes,
+        &wide.scene_bounds,
+        &wide.primitives,
+        ray,
+        &mut stack,
+        counters,
+        on_primitive,
+    )
 }
 
 /// [`traverse_wide`] reusing the node stack of a caller-held scratch —
@@ -165,7 +331,52 @@ pub fn traverse_wide_with_scratch<F>(
 where
     F: FnMut(&Sphere, &mut WorkCounters) -> Traversal,
 {
-    traverse_wide_on_stack(wide, ray, &mut scratch.node_stack, counters, on_primitive)
+    traverse_wide_on_stack(
+        &wide.nodes,
+        &wide.scene_bounds,
+        &wide.primitives,
+        ray,
+        &mut scratch.node_stack,
+        counters,
+        on_primitive,
+    )
+}
+
+/// Single-ray traversal of a [`WideScene`] in either node layout, reusing
+/// a caller-held scratch.  On the quantised layout hit masks are
+/// conservative (may admit extra leaf runs, never miss one), so reported
+/// hits are identical and only the counted box/candidate work can grow.
+pub fn traverse_wide_scene_with_scratch<F>(
+    scene: WideScene<'_>,
+    ray: &Ray,
+    scratch: &mut TraversalScratch,
+    counters: &mut WorkCounters,
+    on_primitive: F,
+) -> TraversalOutcome
+where
+    F: FnMut(&Sphere, &mut WorkCounters) -> Traversal,
+{
+    let wide = scene.wide();
+    match scene {
+        WideScene::F32(_) => traverse_wide_on_stack(
+            &wide.nodes,
+            &wide.scene_bounds,
+            &wide.primitives,
+            ray,
+            &mut scratch.node_stack,
+            counters,
+            on_primitive,
+        ),
+        WideScene::Quantized { nodes, .. } => traverse_wide_on_stack(
+            &nodes.nodes,
+            &wide.scene_bounds,
+            &wide.primitives,
+            ray,
+            &mut scratch.node_stack,
+            counters,
+            on_primitive,
+        ),
+    }
 }
 
 /// Traverse a wide scene with a packet of rays in wavefront order.
@@ -228,27 +439,60 @@ pub fn traverse_batch_with_scratch<'s, F>(
     rays: &[Ray],
     scratch: &'s mut TraversalScratch,
     counters: &mut WorkCounters,
+    on_primitive: F,
+) -> &'s [TraversalOutcome]
+where
+    F: FnMut(usize, &Sphere, &mut WorkCounters) -> Traversal,
+{
+    traverse_batch_scene_with_scratch(
+        WideScene::F32(wide),
+        rays,
+        scratch,
+        counters,
+        detect_simd(),
+        on_primitive,
+    )
+}
+
+/// [`traverse_batch_with_scratch`] generalised over the node layout and
+/// the hit-mask SIMD level: the per-primitive callback form over a
+/// [`WideScene`], with `level` resolved once by the caller (see
+/// [`crate::simd::SimdPolicy::resolve`]).
+pub fn traverse_batch_scene_with_scratch<'s, F>(
+    scene: WideScene<'_>,
+    rays: &[Ray],
+    scratch: &'s mut TraversalScratch,
+    counters: &mut WorkCounters,
+    level: SimdLevel,
     mut on_primitive: F,
 ) -> &'s [TraversalOutcome]
 where
     F: FnMut(usize, &Sphere, &mut WorkCounters) -> Traversal,
 {
-    traverse_batch_leaves_with_scratch(wide, rays, scratch, counters, |q, prims, counters| {
-        let mut visited = 0u32;
-        for prim in prims {
-            visited += 1;
-            if on_primitive(q, prim, counters) == Traversal::Terminate {
-                return LeafVisit {
-                    visited,
-                    terminate: true,
-                };
+    let prims = scene.primitives();
+    traverse_batch_runs_with_scratch(
+        scene,
+        rays,
+        scratch,
+        counters,
+        level,
+        move |q, first, count, counters| {
+            let mut visited = 0u32;
+            for prim in &prims[first as usize..(first + count) as usize] {
+                visited += 1;
+                if on_primitive(q, prim, counters) == Traversal::Terminate {
+                    return LeafVisit {
+                        visited,
+                        terminate: true,
+                    };
+                }
             }
-        }
-        LeafVisit {
-            visited,
-            terminate: false,
-        }
-    })
+            LeafVisit {
+                visited,
+                terminate: false,
+            }
+        },
+    )
 }
 
 /// The wavefront engine's leaf-segment form: `on_leaf` receives one
@@ -274,6 +518,141 @@ pub fn traverse_batch_leaves_with_scratch<'s, F>(
 where
     F: FnMut(usize, &[Sphere], &mut WorkCounters) -> LeafVisit,
 {
+    let prims = &wide.primitives;
+    traverse_batch_runs_with_scratch(
+        WideScene::F32(wide),
+        rays,
+        scratch,
+        counters,
+        detect_simd(),
+        move |q, first, count, counters| {
+            on_leaf(
+                q,
+                &prims[first as usize..(first + count) as usize],
+                counters,
+            )
+        },
+    )
+}
+
+/// The lowest-level wavefront entry point: `on_run` receives one query's
+/// whole candidate run per reached leaf slot as a **primitive range**
+/// `(packet-local query, first_prim, prim_count, packet counters)` —
+/// the shape the SIMD leaf kernels consume directly from the scene's SoA
+/// primitive lanes ([`crate::bvh::PrimLanes`]) without materialising a
+/// `&[Sphere]` slice.
+///
+/// The scene may be in either node layout and `level` selects the
+/// hit-mask kernel **once for the whole launch** (resolve a
+/// [`crate::simd::SimdPolicy`] first); the engine body is monomorphised
+/// per (layout × kernel) pair, so the per-node loop contains no dispatch.
+/// Counted work and traversal order are identical across SIMD levels; the
+/// quantised layout may conservatively admit extra runs (never drop one).
+pub fn traverse_batch_runs_with_scratch<'s, F>(
+    scene: WideScene<'_>,
+    rays: &[Ray],
+    scratch: &'s mut TraversalScratch,
+    counters: &mut WorkCounters,
+    level: SimdLevel,
+    on_run: F,
+) -> &'s [TraversalOutcome]
+where
+    F: FnMut(usize, u32, u32, &mut WorkCounters) -> LeafVisit,
+{
+    let wide = scene.wide();
+    match scene {
+        WideScene::F32(_) => match level {
+            SimdLevel::Scalar => wavefront_core::<WideNode, KernelScalar, F>(
+                &wide.nodes,
+                &wide.scene_bounds,
+                rays,
+                scratch,
+                counters,
+                on_run,
+            ),
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Sse2 => wavefront_core::<WideNode, KernelSse2, F>(
+                &wide.nodes,
+                &wide.scene_bounds,
+                rays,
+                scratch,
+                counters,
+                on_run,
+            ),
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx2 => wavefront_core::<WideNode, KernelAvx2, F>(
+                &wide.nodes,
+                &wide.scene_bounds,
+                rays,
+                scratch,
+                counters,
+                on_run,
+            ),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => wavefront_core::<WideNode, KernelScalar, F>(
+                &wide.nodes,
+                &wide.scene_bounds,
+                rays,
+                scratch,
+                counters,
+                on_run,
+            ),
+        },
+        WideScene::Quantized { nodes, .. } => match level {
+            SimdLevel::Scalar => wavefront_core::<CompactWideNode, KernelScalar, F>(
+                &nodes.nodes,
+                &wide.scene_bounds,
+                rays,
+                scratch,
+                counters,
+                on_run,
+            ),
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Sse2 => wavefront_core::<CompactWideNode, KernelSse2, F>(
+                &nodes.nodes,
+                &wide.scene_bounds,
+                rays,
+                scratch,
+                counters,
+                on_run,
+            ),
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx2 => wavefront_core::<CompactWideNode, KernelAvx2, F>(
+                &nodes.nodes,
+                &wide.scene_bounds,
+                rays,
+                scratch,
+                counters,
+                on_run,
+            ),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => wavefront_core::<CompactWideNode, KernelScalar, F>(
+                &nodes.nodes,
+                &wide.scene_bounds,
+                rays,
+                scratch,
+                counters,
+                on_run,
+            ),
+        },
+    }
+}
+
+/// The monomorphic wavefront engine body: one instantiation per
+/// (node layout × mask kernel) pair.
+fn wavefront_core<'s, N, K, F>(
+    nodes: &[N],
+    scene_bounds: &Aabb,
+    rays: &[Ray],
+    scratch: &'s mut TraversalScratch,
+    counters: &mut WorkCounters,
+    mut on_run: F,
+) -> &'s [TraversalOutcome]
+where
+    N: WideNodeOps,
+    K: MaskKernel<N>,
+    F: FnMut(usize, u32, u32, &mut WorkCounters) -> LeafVisit,
+{
     let n = rays.len();
     scratch.outcomes.clear();
     scratch.outcomes.resize(
@@ -287,7 +666,7 @@ where
         return &scratch.outcomes;
     }
     counters.batched_launches += 1;
-    if wide.nodes.is_empty() {
+    if nodes.is_empty() {
         return &scratch.outcomes;
     }
 
@@ -314,7 +693,7 @@ where
     frames.clear();
     for (q, ray) in rays.iter().enumerate() {
         counters.aabb_tests += 1;
-        if wide.scene_bounds.intersects_ray(ray) {
+        if scene_bounds.intersects_ray(ray) {
             arena.push(q as u32);
         }
     }
@@ -331,7 +710,7 @@ where
     });
 
     while let Some(frame) = frames.pop() {
-        let node = &wide.nodes[frame.node as usize];
+        let node = &nodes[frame.node as usize];
         let seg_start = frame.seg_start as usize;
         // LIFO discipline: the popped frame's segment is the arena suffix.
         debug_assert_eq!(seg_start + frame.seg_len as usize, arena.len());
@@ -339,16 +718,16 @@ where
         // Lockstep lane compare of every live query against all four child
         // boxes at once; queries that terminated while this frame sat on
         // the stack drop out here.  The mask is computed exactly once per
-        // (node, query).
+        // (node, query), through the kernel `K` selected for the launch.
         live.clear();
         masks.clear();
         for &q in &arena[seg_start..] {
             let qi = q as usize;
             if alive[qi] {
                 let mask = if all_point_queries {
-                    node.point_hit_mask_xyz(qx[qi], qy[qi], qz[qi])
+                    K::mask(node, qx[qi], qy[qi], qz[qi])
                 } else {
-                    slot_hit_mask(node, &rays[qi])
+                    node.ray_mask(&rays[qi])
                 };
                 live.push(q);
                 masks.push(mask);
@@ -361,7 +740,7 @@ where
             continue;
         }
         counters.wide_node_visits += 1;
-        counters.aabb_tests += occupied_slots(node) * live.len() as u64;
+        counters.aabb_tests += node.occupied_slots() * live.len() as u64;
 
         for slot in 0..WIDE_BRANCHING {
             let bit = 1u8 << slot;
@@ -374,9 +753,9 @@ where
             if arena.len() == child_start {
                 continue;
             }
-            match node.children[slot] {
+            match node.child_of(slot) {
                 WideChild::Empty => {
-                    unreachable!("empty slots hold inverted boxes and never match")
+                    unreachable!("empty slots can never match the hit mask")
                 }
                 WideChild::Node(child) => {
                     // The surviving queries stay parked in the arena; the
@@ -391,12 +770,9 @@ where
                     first_prim,
                     prim_count,
                 } => {
-                    let first = first_prim as usize;
-                    let count = prim_count as usize;
-                    let prims = &wide.primitives[first..first + count];
                     for &q in &arena[child_start..] {
                         let qi = q as usize;
-                        let visit = on_leaf(qi, prims, counters);
+                        let visit = on_run(qi, first_prim, prim_count, counters);
                         counters.prim_tests += visit.visited as u64;
                         let outcome = &mut outcomes[qi];
                         outcome.primitives_visited += visit.visited as u64;

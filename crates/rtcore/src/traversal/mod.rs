@@ -17,13 +17,16 @@
 //! default.
 
 pub mod batch;
+pub mod order;
 pub mod scratch;
 
 pub use batch::{
     collect_sphere_hits_batch, collect_sphere_hits_csr, traverse_batch,
-    traverse_batch_leaves_with_scratch, traverse_batch_with_scratch, traverse_wide,
-    traverse_wide_with_scratch, LeafVisit,
+    traverse_batch_leaves_with_scratch, traverse_batch_runs_with_scratch,
+    traverse_batch_scene_with_scratch, traverse_batch_with_scratch, traverse_wide,
+    traverse_wide_scene_with_scratch, traverse_wide_with_scratch, LeafVisit, WideScene,
 };
+pub use order::{QueryOrder, ReorderScratch};
 pub use scratch::{PoolGuard, ScratchPool, TraversalScratch};
 
 use crate::bvh::{Bvh, NodeKind};

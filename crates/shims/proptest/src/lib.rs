@@ -194,6 +194,19 @@ macro_rules! prop_assert_eq {
             ));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)*),
+                l,
+                r
+            ));
+        }
+    }};
 }
 
 /// Assert inequality inside a `proptest!` body.
@@ -206,6 +219,18 @@ macro_rules! prop_assert_ne {
                 "assertion failed: `{} != {}`\n  both: {:?}",
                 stringify!($left),
                 stringify!($right),
+                l
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} != {}` ({})\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)*),
                 l
             ));
         }
