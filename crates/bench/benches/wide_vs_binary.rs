@@ -60,16 +60,11 @@ fn report_and_assert(n: usize, points: &[rtcore::geometry::Point3], params: Dbsc
     let wide_ns = node_visit_charge_ns(&profile, &w);
     let binary_ns = node_visit_charge_ns(&profile, &b);
     println!(
-        "n={n:>7}  rays={} dist_comps={} (identical on both engines)\n\
-         \tbinary: node_visits={:>10}  charge={:>12.0} ns\n\
-         \twide:   wide_visits={:>10}  charge={:>12.0} ns  ({} batched launches, {:.2}x cheaper)",
-        w.rays,
-        w.dist_comps,
-        b.node_visits,
-        binary_ns,
-        w.wide_node_visits,
-        wide_ns,
-        w.batched_launches,
+        "n={n:>7}  (dist_comps identical on both engines)\n\
+         \tbinary: charge={binary_ns:>12.0} ns  [{}]\n\
+         \twide:   charge={wide_ns:>12.0} ns  [{}]  ({:.2}x cheaper)",
+        b.summary_line(),
+        w.summary_line(),
         binary_ns / wide_ns.max(1.0),
     );
     assert!(

@@ -16,7 +16,18 @@
 //! cargo run --release -p rtdbscan-bench --bin hotpath                    # regenerate "current"
 //! cargo run --release -p rtdbscan-bench --bin hotpath -- --record-baseline  # overwrite "baseline" too
 //! cargo run --release -p rtdbscan-bench --bin hotpath -- --smoke        # tiny CI run, no file written
+//! cargo run --release -p rtdbscan-bench --bin hotpath -- --trace-out t.json  # + telemetry trace
+//! cargo run --release -p rtdbscan-bench --bin hotpath -- --heatmap      # + node-visit heatmap
 //! ```
+//!
+//! `--trace-out <path>` re-runs stage 1 on the tuned wide configuration
+//! with telemetry spans enabled and writes the Chrome-trace (Perfetto
+//! loadable) JSON to `<path>`; `--heatmap` additionally profiles per-node
+//! visit frequencies and prints the per-depth distribution.  On a full
+//! (non-smoke) `--heatmap` run the distribution is also recorded under the
+//! `"notes"` key of `BENCH_hotpath.json`.  The timed sweep itself always
+//! runs with telemetry off — the profiled launch is a separate pass, so
+//! recorded wall-clocks never include recording overhead.
 //!
 //! `--record-baseline` refuses to overwrite a baseline recorded under a
 //! different `schema` or `config` — it prints both lines as a diff and
@@ -36,6 +47,9 @@
 //!   migrated in place by annotating its cells with the legacy
 //!   configuration (`as-given` order, `scalar` SIMD, `f32` layout).
 //! * `"current"` — same shape, overwritten on every run.
+//! * `"notes"` (optional) — auxiliary profiling evidence, currently the
+//!   per-depth wide-node visit distribution of a `--heatmap` run;
+//!   preserved verbatim by later runs that don't pass `--heatmap`.
 //!
 //! Each entry of `results` is one measurement cell:
 //! `{"n": 100000, "backend": "wide-batched", "query_order": "morton",
@@ -59,6 +73,7 @@
 use rtcore::geometry::Point3;
 use rtcore::hardware::WorkCounters;
 use rtcore::index::{IndexKind, NeighborIndexBuilder, QueryOrder, SimdPolicy, WideLayout};
+use rtcore::telemetry::{PhaseKind, TelemetryConfig};
 use rtdbscan_datasets::{generate, PaperDataset};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -282,6 +297,62 @@ fn assert_sweep_invariants(cells: &[Cell]) {
     }
 }
 
+/// One instrumented stage-1 launch on the tuned wide configuration
+/// (Morton order, auto SIMD, quantized layout): exports the Chrome trace
+/// when `trace_out` is given and returns the heatmap's JSON when
+/// `heatmap` profiling was requested.  Runs apart from the timed sweep so
+/// recording overhead never lands in the recorded wall-clocks.
+fn profile_stage1(
+    points: &[Point3],
+    trace_out: Option<&std::path::Path>,
+    heatmap: bool,
+) -> Option<String> {
+    let level = if heatmap {
+        TelemetryConfig::Profile
+    } else {
+        TelemetryConfig::Spans
+    };
+    let builder = NeighborIndexBuilder {
+        query_order: QueryOrder::Morton,
+        simd: SimdPolicy::Auto,
+        wide_layout: WideLayout::Quantized,
+        telemetry: level,
+        ..NeighborIndexBuilder::new(IndexKind::WideBatched)
+    };
+    let index = builder
+        .build(points, EPS)
+        .expect("generated points are finite");
+    let counts: Vec<AtomicU64> = (0..points.len()).map(|_| AtomicU64::new(0)).collect();
+    let mut counters = WorkCounters::ZERO;
+    {
+        // The stage-1 span normally opens at the dbscan layer; this bench
+        // drives the index directly, so it scopes the launch itself.
+        let telemetry = index.telemetry().expect("telemetry was enabled").clone();
+        let mut span = telemetry.span(PhaseKind::Stage1Launch);
+        index.batch_neighbor_counts(points, EPS, true, None, &mut counters, &counts);
+        span.add_counters(counters);
+    }
+
+    let telemetry = index.telemetry().expect("telemetry was enabled");
+    print!("{}", telemetry.summary_table());
+    if let Some(path) = trace_out {
+        std::fs::write(path, telemetry.chrome_trace_json()).expect("write Chrome trace JSON");
+        println!("wrote Chrome trace to {}", path.display());
+    }
+    if heatmap {
+        let hm = index.heatmap().expect("Profile level builds the heatmap");
+        assert_eq!(
+            hm.total_visits(),
+            counters.wide_node_visits,
+            "heatmap per-node visits must sum to the launch's wide_node_visits"
+        );
+        println!("{}", hm.summary());
+        Some(hm.to_json())
+    } else {
+        None
+    }
+}
+
 fn results_line(cells: &[Cell]) -> String {
     let entries: Vec<String> = cells.iter().map(Cell::to_json).collect();
     format!("{{\"results\":[{}]}}", entries.join(","))
@@ -355,6 +426,12 @@ fn main() {
     let smoke = args.iter().any(|a| a == "--smoke");
     let record_baseline = args.iter().any(|a| a == "--record-baseline");
     let force = args.iter().any(|a| a == "--force");
+    let heatmap = args.iter().any(|a| a == "--heatmap");
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -375,21 +452,32 @@ fn main() {
         let points = generate(PaperDataset::PortoTaxi, n, SEED);
         for cell in sweep_size(&points, reps) {
             println!(
-                "n={n:>7}  {:<12} {:<9} {:<7} {:<10}  best {:>10.3} ms  mean {:>10.3} ms  \
-                 (dist_comps={} wide_visits={})",
+                "n={n:>7}  {:<12} {:<9} {:<7} {:<10}  best {:>10.3} ms  mean {:>10.3} ms  [{}]",
                 cell.backend,
                 cell.query_order,
                 cell.simd,
                 cell.layout,
                 cell.best_ns as f64 / 1e6,
                 cell.mean_ns as f64 / 1e6,
-                cell.counters.dist_comps,
-                cell.counters.wide_node_visits,
+                cell.counters.summary_line(),
             );
             cells.push(cell);
         }
     }
     assert_sweep_invariants(&cells);
+
+    let heatmap_note = if trace_out.is_some() || heatmap {
+        let &profile_n = sizes.last().expect("sweep has at least one size");
+        let points = generate(PaperDataset::PortoTaxi, profile_n, SEED);
+        profile_stage1(&points, trace_out.as_deref(), heatmap).map(|json| {
+            format!(
+                "{{\"heatmap\":{{\"n\":{profile_n},\"backend\":\"wide-batched\",\
+                 \"config\":\"morton/auto/quantized\",\"data\":{json}}}}}"
+            )
+        })
+    } else {
+        None
+    };
 
     if smoke {
         println!(
@@ -458,9 +546,15 @@ fn main() {
         current.clone()
     };
 
+    // A fresh heatmap profile replaces the recorded note; otherwise any
+    // existing note is carried forward verbatim, like the baseline.
+    let notes = heatmap_note.or_else(|| existing_section(&out_path, "notes"));
+    let notes_section = notes
+        .map(|n| format!(",\n  \"notes\": {n}"))
+        .unwrap_or_default();
     let doc = format!(
         "{{\n  \"schema\": \"{SCHEMA}\",\n  \"config\": {config},\n  \
-         \"baseline\": {baseline},\n  \"current\": {current}\n}}\n"
+         \"baseline\": {baseline},\n  \"current\": {current}{notes_section}\n}}\n"
     );
     std::fs::write(&out_path, doc).expect("write BENCH_hotpath.json");
     println!("wrote {}", out_path.display());

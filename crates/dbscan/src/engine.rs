@@ -65,10 +65,12 @@ use rtcore::geometry::Point3;
 use rtcore::hardware::{DeviceModel, ExecutionPath, WorkCounters};
 use rtcore::index::{NeighborIndex, NeighborIndexBuilder};
 use rtcore::pipeline::GeometryKind;
+use rtcore::telemetry::PhaseKind;
 use rtcore::Result;
 use std::time::Duration;
 
 pub use rtcore::index::{IndexKind, QueryOrder, SimdPolicy, WideLayout};
+pub use rtcore::telemetry::TelemetryConfig;
 
 /// Which clustering algorithm the engine runs.  Every variant executes over
 /// any [`IndexKind`]; the default backend is the algorithm's native
@@ -249,6 +251,7 @@ pub struct ClusterEngineBuilder {
     simd: Option<SimdPolicy>,
     device_memory_bytes: Option<u64>,
     wide_visit_fraction: Option<f64>,
+    telemetry: Option<TelemetryConfig>,
     device: DeviceModel,
 }
 
@@ -270,6 +273,7 @@ impl Default for ClusterEngineBuilder {
             simd: None,
             device_memory_bytes: None,
             wide_visit_fraction: None,
+            telemetry: None,
             device: DeviceModel::default(),
         }
     }
@@ -388,6 +392,42 @@ impl ClusterEngineBuilder {
     /// (default: the paper's RTX 2060).
     pub fn cost_profile(mut self, device: DeviceModel) -> Self {
         self.device = device;
+        self
+    }
+
+    /// Telemetry recording level for every index this engine builds
+    /// (default [`TelemetryConfig::Off`], which adds no recorder and keeps
+    /// the hot paths bit-identical to a telemetry-free build).
+    /// [`TelemetryConfig::Spans`] records phase-scoped spans (build,
+    /// collapse, stage launches) plus launch metrics;
+    /// [`TelemetryConfig::Profile`] additionally accumulates the per-node
+    /// visit heatmap, which requires a BVH backend.
+    ///
+    /// Inspect the recordings through a session, which keeps the index
+    /// (and its recorder) alive after clustering:
+    ///
+    /// ```
+    /// use rtdbscan::prelude::*;
+    /// use rtcore::geometry::Point3;
+    ///
+    /// let points = vec![Point3::new_2d(0.0, 0.0); 32];
+    /// let engine = ClusterEngine::builder()
+    ///     .algorithm(Algo::Rt)
+    ///     .index(IndexKind::WideBatched)
+    ///     .eps(0.5)
+    ///     .min_pts(4)
+    ///     .telemetry(TelemetryConfig::Profile)
+    ///     .build()
+    ///     .unwrap();
+    /// let session = engine.session(&points).unwrap(); // build + stage-1 spans
+    /// let _result = session.cluster(4).unwrap();      // the stage-2 span
+    /// let telemetry = session.index().telemetry().unwrap();
+    /// assert!(telemetry.chrome_trace_json().contains("\"stage1_launch\""));
+    /// let heatmap = session.index().heatmap().unwrap(); // Profile only
+    /// assert!(heatmap.total_visits() > 0);
+    /// ```
+    pub fn telemetry(mut self, level: TelemetryConfig) -> Self {
+        self.telemetry = Some(level);
         self
     }
 
@@ -558,6 +598,21 @@ impl ClusterEngineBuilder {
                 ));
             }
             index.simd = simd;
+        }
+        if let Some(t) = self.telemetry {
+            if t.heatmap_enabled() && !kind.is_bvh() {
+                return Err(ConfigError::conflict(
+                    "telemetry",
+                    format!("{t:?}"),
+                    "index",
+                    format!(
+                        "the node-visit heatmap profiles BVH traversal; the {} backend has \
+                         no nodes to profile (use TelemetryConfig::Spans)",
+                        kind.name()
+                    ),
+                ));
+            }
+            index.telemetry = t;
         }
         if let Some(f) = self.wide_visit_fraction {
             if !f.is_finite() || f <= 0.0 || f > 1.0 {
@@ -790,8 +845,14 @@ impl ClusterSession {
         } else {
             ExecutionPath::ShaderCore
         };
-        let ((neighbor_counts, stage1_counters), stage1_time) =
-            timed(|| stages::count_all_neighbors(index.as_ref(), points, eps, None));
+        let ((neighbor_counts, stage1_counters), stage1_time) = timed(|| {
+            let span = index.telemetry().map(|t| t.span(PhaseKind::Stage1Launch));
+            let out = stages::count_all_neighbors(index.as_ref(), points, eps, None);
+            if let Some(mut s) = span {
+                s.add_counters(out.1);
+            }
+            out
+        });
         ClusterSession {
             points: points.to_vec(),
             eps,
@@ -874,8 +935,17 @@ impl ClusterSession {
             .iter()
             .map(|&c| c as usize >= min_pts)
             .collect();
-        let ((labels, stage2_counters), stage2_time) =
-            timed(|| stages::form_clusters(self.index.as_ref(), &self.points, &core, self.eps));
+        let ((labels, stage2_counters), stage2_time) = timed(|| {
+            let span = self
+                .index
+                .telemetry()
+                .map(|t| t.span(PhaseKind::Stage2UnionFind));
+            let out = stages::form_clusters(self.index.as_ref(), &self.points, &core, self.eps);
+            if let Some(mut s) = span {
+                s.add_counters(out.1);
+            }
+            out
+        });
 
         Ok(RunResult {
             clustering: Clustering::new(labels, core),
@@ -1071,6 +1141,14 @@ mod tests {
                     .build()
                     .unwrap_err(),
                 "simd",
+                Some("index"),
+            ),
+            (
+                b().index(IndexKind::UniformGrid)
+                    .telemetry(TelemetryConfig::Profile)
+                    .build()
+                    .unwrap_err(),
+                "telemetry",
                 Some("index"),
             ),
             (

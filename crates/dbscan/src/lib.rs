@@ -85,6 +85,7 @@ pub use runner::{
 pub mod prelude {
     pub use crate::engine::{
         Algo, ClusterEngine, ClusterEngineBuilder, ClusterSession, ConfigError, IndexKind,
+        TelemetryConfig,
     };
     pub use crate::labels::{Clustering, NOISE};
     pub use crate::params::DbscanParams;

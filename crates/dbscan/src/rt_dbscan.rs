@@ -35,6 +35,7 @@ use rtcore::geometry::Point3;
 use rtcore::hardware::ExecutionPath;
 use rtcore::index::{IndexKind, NeighborIndex, NeighborIndexBuilder};
 use rtcore::pipeline::{GeometryKind, PipelineConfig, TraversalEngine};
+use rtcore::telemetry::PhaseKind;
 use rtcore::Result;
 
 /// Configuration of RT-DBSCAN.
@@ -166,8 +167,14 @@ impl RtDbscan {
         // ------------------------------------------------------------------
         // Stage 1: one query per point, count neighbours, mark core points.
         // ------------------------------------------------------------------
-        let ((counts, stage1_counters), stage1_time) =
-            timed(|| stages::count_all_neighbors(index, points, params.eps, None));
+        let ((counts, stage1_counters), stage1_time) = timed(|| {
+            let span = index.telemetry().map(|t| t.span(PhaseKind::Stage1Launch));
+            let out = stages::count_all_neighbors(index, points, params.eps, None);
+            if let Some(mut s) = span {
+                s.add_counters(out.1);
+            }
+            out
+        });
         let core: Vec<bool> = counts
             .iter()
             .map(|&count| count as usize >= params.min_pts)
@@ -176,8 +183,16 @@ impl RtDbscan {
         // ------------------------------------------------------------------
         // Stage 2: one query per core point, union-find cluster formation.
         // ------------------------------------------------------------------
-        let ((labels, stage2_counters), stage2_time) =
-            timed(|| stages::form_clusters(index, points, &core, params.eps));
+        let ((labels, stage2_counters), stage2_time) = timed(|| {
+            let span = index
+                .telemetry()
+                .map(|t| t.span(PhaseKind::Stage2UnionFind));
+            let out = stages::form_clusters(index, points, &core, params.eps);
+            if let Some(mut s) = span {
+                s.add_counters(out.1);
+            }
+            out
+        });
 
         let device_bytes = index.device_bytes()
             + std::mem::size_of_val(points) as u64

@@ -14,7 +14,7 @@
 //! release build would corrupt every downstream cost-model read.  Clamping at
 //! `u64::MAX` is both detectable and harmless.
 
-use std::ops::{Add, AddAssign};
+use std::ops::{Add, AddAssign, Sub};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Per-operation work counts accumulated while building and traversing
@@ -143,6 +143,44 @@ impl WorkCounters {
             self.rebuilds,
         ])
     }
+
+    /// The non-zero counter fields as `(label, value)` rows in declaration
+    /// order — the one shared shape every pretty-printer (bench reports,
+    /// the telemetry summary table, trace-event args) renders from, so a
+    /// new counter field added here shows up everywhere at once.
+    pub fn summary_rows(&self) -> Vec<(&'static str, u64)> {
+        let all = [
+            ("rays", self.rays),
+            ("node_visits", self.node_visits),
+            ("wide_node_visits", self.wide_node_visits),
+            ("batched_launches", self.batched_launches),
+            ("aabb_tests", self.aabb_tests),
+            ("prim_tests", self.prim_tests),
+            ("anyhit_invocations", self.anyhit_invocations),
+            ("dist_comps", self.dist_comps),
+            ("build_prims", self.build_prims),
+            ("build_sort_ops", self.build_sort_ops),
+            ("build_node_ops", self.build_node_ops),
+            ("compaction_merges", self.compaction_merges),
+            ("union_ops", self.union_ops),
+            ("find_ops", self.find_ops),
+            ("list_ops", self.list_ops),
+            ("misc_ops", self.misc_ops),
+            ("refit_node_ops", self.refit_node_ops),
+            ("refits", self.refits),
+            ("rebuilds", self.rebuilds),
+        ];
+        all.into_iter().filter(|&(_, v)| v != 0).collect()
+    }
+
+    /// [`WorkCounters::summary_rows`] joined into one `label=value` line.
+    pub fn summary_line(&self) -> String {
+        self.summary_rows()
+            .iter()
+            .map(|(label, value)| format!("{label}={value}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
 }
 
 impl Add for WorkCounters {
@@ -177,6 +215,38 @@ impl Add for WorkCounters {
 impl AddAssign for WorkCounters {
     fn add_assign(&mut self, rhs: WorkCounters) {
         *self = *self + rhs;
+    }
+}
+
+impl Sub for WorkCounters {
+    type Output = WorkCounters;
+    /// Saturating field-wise difference — the delta between two snapshots
+    /// of a monotonically growing accumulator (telemetry spans charge the
+    /// work performed while they were open this way).
+    fn sub(self, rhs: WorkCounters) -> WorkCounters {
+        WorkCounters {
+            rays: self.rays.saturating_sub(rhs.rays),
+            node_visits: self.node_visits.saturating_sub(rhs.node_visits),
+            wide_node_visits: self.wide_node_visits.saturating_sub(rhs.wide_node_visits),
+            batched_launches: self.batched_launches.saturating_sub(rhs.batched_launches),
+            aabb_tests: self.aabb_tests.saturating_sub(rhs.aabb_tests),
+            prim_tests: self.prim_tests.saturating_sub(rhs.prim_tests),
+            anyhit_invocations: self
+                .anyhit_invocations
+                .saturating_sub(rhs.anyhit_invocations),
+            dist_comps: self.dist_comps.saturating_sub(rhs.dist_comps),
+            build_prims: self.build_prims.saturating_sub(rhs.build_prims),
+            build_sort_ops: self.build_sort_ops.saturating_sub(rhs.build_sort_ops),
+            build_node_ops: self.build_node_ops.saturating_sub(rhs.build_node_ops),
+            compaction_merges: self.compaction_merges.saturating_sub(rhs.compaction_merges),
+            union_ops: self.union_ops.saturating_sub(rhs.union_ops),
+            find_ops: self.find_ops.saturating_sub(rhs.find_ops),
+            list_ops: self.list_ops.saturating_sub(rhs.list_ops),
+            misc_ops: self.misc_ops.saturating_sub(rhs.misc_ops),
+            refit_node_ops: self.refit_node_ops.saturating_sub(rhs.refit_node_ops),
+            refits: self.refits.saturating_sub(rhs.refits),
+            rebuilds: self.rebuilds.saturating_sub(rhs.rebuilds),
+        }
     }
 }
 

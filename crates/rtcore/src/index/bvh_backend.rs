@@ -15,13 +15,35 @@ use crate::geometry::{Point3, Ray};
 use crate::hardware::WorkCounters;
 use crate::pipeline::GeometryKind;
 use crate::simd::SimdLevel;
+use crate::telemetry::{
+    NodeHeatmap, PhaseKind, Telemetry, DIST_COMPS_BUCKETS, LATENCY_US_BUCKETS, OCCUPANCY_BUCKETS,
+};
 use crate::traversal::{
-    traverse_batch_runs_with_scratch, traverse_batch_scene_with_scratch,
-    traverse_wide_scene_with_scratch, traverse_with_scratch, LeafVisit, QueryOrder, ReorderScratch,
-    ScratchPool, Traversal, TraversalScratch, WideScene,
+    traverse_batch_runs_with_scratch_sink, traverse_batch_scene_with_scratch_sink,
+    traverse_wide_scene_with_scratch_sink, traverse_with_scratch_sink, LeafVisit, NoSink,
+    QueryOrder, ReorderScratch, ScratchPool, Traversal, TraversalScratch, WideScene,
 };
 use parking_lot::Mutex;
 use std::collections::HashSet;
+
+/// Monomorphise one traversal call over the optional heatmap: a profiling
+/// run binds the visit sink to the `&NodeHeatmap`, every other run binds
+/// [`NoSink`] — whose `visit` inlines to nothing, so the default arm
+/// compiles to the exact pre-telemetry engine body.
+macro_rules! with_sink {
+    ($heatmap:expr, |$sink:ident| $call:expr) => {
+        match $heatmap {
+            Some(h) => {
+                let $sink = h;
+                $call
+            }
+            None => {
+                let $sink = NoSink;
+                $call
+            }
+        }
+    };
+}
 
 /// Caller ordinal of packet position `pos` under an optional launch
 /// permutation (identity when the launch runs in caller order).
@@ -61,10 +83,16 @@ struct BvhCore {
     /// Reusable per-worker traversal scratch (never more items than the
     /// peak number of concurrent workers).
     scratch: ScratchPool<PacketScratch>,
+    /// Shared span/metrics recorder (disabled under
+    /// [`crate::telemetry::TelemetryConfig::Off`] — every operation on it
+    /// is then a no-op).
+    telemetry: Telemetry,
 }
 
 impl BvhCore {
     fn build(config: &NeighborIndexBuilder, points: &[Point3], eps: f32) -> Result<Self> {
+        let telemetry = Telemetry::new(config.telemetry);
+        let mut build_span = telemetry.span(PhaseKind::LbvhBuild);
         let mut build_counters = WorkCounters::ZERO;
         let (spheres, representative_of) = if config.compaction {
             let compaction = compact_coincident(points, eps);
@@ -101,6 +129,8 @@ impl BvhCore {
         if let Some(b) = &bvh {
             build_counters += b.build_counters;
         }
+        build_span.add_counters(build_counters);
+        drop(build_span);
         Ok(BvhCore {
             n: points.len(),
             eps,
@@ -112,7 +142,51 @@ impl BvhCore {
             build_counters,
             query_counters: Mutex::new(WorkCounters::ZERO),
             scratch: ScratchPool::new(),
+            telemetry,
         })
+    }
+
+    /// The telemetry handle, exposed only when it records (the trait's
+    /// `telemetry()` contract).
+    fn telemetry_handle(&self) -> Option<&Telemetry> {
+        self.telemetry.is_enabled().then_some(&self.telemetry)
+    }
+
+    /// Record one batched launch into the metrics registry, when enabled:
+    /// wall latency, per-query candidate work, and — for packeted
+    /// launches — the mean packet occupancy.  `start_ns` comes from
+    /// [`Telemetry::now_ns`] before the launch (0 on disabled handles, no
+    /// clock read).
+    fn record_launch_metrics(
+        &self,
+        queries: usize,
+        batch_size: Option<usize>,
+        start_ns: u64,
+        total: &WorkCounters,
+    ) {
+        let Some(metrics) = self.telemetry.metrics() else {
+            return;
+        };
+        metrics.incr("launches", 1);
+        metrics.incr("launched_queries", queries as u64);
+        let latency_us = self.telemetry.now_ns().saturating_sub(start_ns) as f64 / 1_000.0;
+        metrics.observe("launch_latency_us", LATENCY_US_BUCKETS, latency_us);
+        if queries > 0 {
+            metrics.observe(
+                "dist_comps_per_query",
+                DIST_COMPS_BUCKETS,
+                total.dist_comps as f64 / queries as f64,
+            );
+        }
+        if let (Some(size), true) = (batch_size, queries > 0) {
+            let size = size.max(1);
+            let packets = queries.div_ceil(size);
+            metrics.observe(
+                "packet_occupancy",
+                OCCUPANCY_BUCKETS,
+                queries as f64 / (packets * size) as f64,
+            );
+        }
     }
 
     /// One counted single-ray traversal over the binary tree, invoking
@@ -120,11 +194,13 @@ impl BvhCore {
     /// caller-held scratch, so repeated queries allocate nothing — and
     /// batch callers check one scratch out per *chunk* of queries rather
     /// than paying a pool round-trip per ray.
+    #[allow(clippy::too_many_arguments)]
     fn trace_binary(
         &self,
         query: Point3,
         eps: f32,
         exclude: Option<u32>,
+        heatmap: Option<&NodeHeatmap>,
         scratch: &mut TraversalScratch,
         counters: &mut WorkCounters,
         mut emit: impl FnMut(Neighbor, &mut WorkCounters) -> NeighborFlow,
@@ -135,23 +211,30 @@ impl BvhCore {
         let ray = Ray::epsilon_ray(query);
         let eps_sq = eps * eps;
         let geometry = self.geometry;
-        traverse_with_scratch(bvh, &ray, scratch, counters, |sphere, counters| {
-            charge_candidate(geometry, counters);
-            if sphere.center.distance_squared(query) <= eps_sq
-                && Some(sphere.point_index) != exclude
-            {
-                let n = Neighbor {
-                    index: sphere.point_index,
-                    multiplicity: sphere.multiplicity,
-                };
-                match emit(n, counters) {
-                    NeighborFlow::Continue => Traversal::Continue,
-                    NeighborFlow::Stop => Traversal::Terminate,
+        with_sink!(heatmap, |vsink| traverse_with_scratch_sink(
+            bvh,
+            &ray,
+            scratch,
+            counters,
+            vsink,
+            |sphere, counters| {
+                charge_candidate(geometry, counters);
+                if sphere.center.distance_squared(query) <= eps_sq
+                    && Some(sphere.point_index) != exclude
+                {
+                    let n = Neighbor {
+                        index: sphere.point_index,
+                        multiplicity: sphere.multiplicity,
+                    };
+                    match emit(n, counters) {
+                        NeighborFlow::Continue => Traversal::Continue,
+                        NeighborFlow::Stop => Traversal::Terminate,
+                    }
+                } else {
+                    Traversal::Continue
                 }
-            } else {
-                Traversal::Continue
             }
-        });
+        ));
     }
 
     fn record(&self, local: &WorkCounters) {
@@ -170,6 +253,7 @@ impl BvhCore {
             ));
         }
         let mut counters = WorkCounters::ZERO;
+        let mut span = self.telemetry.span(PhaseKind::Refit);
         if let Some(bvh) = &mut self.bvh {
             let dead: HashSet<u32> = retired.iter().copied().collect();
             refit::remove_points(bvh, |idx| dead.contains(&idx), &mut counters);
@@ -178,6 +262,8 @@ impl BvhCore {
                 self.bvh = None;
             }
         }
+        span.add_counters(counters);
+        drop(span);
         self.build_counters += counters;
         Ok(counters)
     }
@@ -191,6 +277,7 @@ impl BvhCore {
             ));
         }
         let mut counters = WorkCounters::ZERO;
+        let mut span = self.telemetry.span(PhaseKind::Refit);
         if let Some(bvh) = &mut self.bvh {
             refit::update_spheres(
                 bvh,
@@ -202,6 +289,8 @@ impl BvhCore {
                 &mut counters,
             );
         }
+        span.add_counters(counters);
+        drop(span);
         self.build_counters += counters;
         Ok(counters)
     }
@@ -226,15 +315,22 @@ impl BvhCore {
 #[derive(Debug)]
 pub struct BinaryBvhIndex {
     core: BvhCore,
+    /// Per-node visit profiler, only under
+    /// [`crate::telemetry::TelemetryConfig::Profile`].
+    heatmap: Option<NodeHeatmap>,
 }
 
 impl BinaryBvhIndex {
     /// Build from a [`NeighborIndexBuilder`] configuration (the builder's
     /// `kind` field is ignored — this constructor always builds binary).
     pub fn build(config: &NeighborIndexBuilder, points: &[Point3], eps: f32) -> Result<Self> {
-        Ok(BinaryBvhIndex {
-            core: BvhCore::build(config, points, eps)?,
-        })
+        let core = BvhCore::build(config, points, eps)?;
+        let heatmap = config
+            .telemetry
+            .heatmap_enabled()
+            .then(|| core.bvh.as_ref().map(NodeHeatmap::for_binary))
+            .flatten();
+        Ok(BinaryBvhIndex { core, heatmap })
     }
 
     /// The underlying binary tree, if any points were indexed.
@@ -286,10 +382,15 @@ impl NeighborIndex for BinaryBvhIndex {
     ) {
         let mut local = WorkCounters::ZERO;
         let mut guard = self.core.scratch.acquire();
-        self.core
-            .trace_binary(query, eps, exclude, &mut guard.trav, &mut local, |n, c| {
-                visit(n, c)
-            });
+        self.core.trace_binary(
+            query,
+            eps,
+            exclude,
+            self.heatmap.as_ref(),
+            &mut guard.trav,
+            &mut local,
+            |n, c| visit(n, c),
+        );
         drop(guard);
         self.core.record(&local);
         *counters += local;
@@ -306,6 +407,7 @@ impl NeighborIndex for BinaryBvhIndex {
         // (not per ray); chunk boundaries are a pure function of the query
         // count, and per-query counters still fold in query order, so the
         // totals are bit-identical to a per-query dispatch.
+        let start_ns = self.core.telemetry.now_ns();
         let chunk_size = super::merge_chunk_size(queries.len());
         let chunks = queries.len().div_ceil(chunk_size);
         let total = super::dispatch_batch(
@@ -321,6 +423,7 @@ impl NeighborIndex for BinaryBvhIndex {
                         query,
                         eps,
                         None,
+                        self.heatmap.as_ref(),
                         &mut guard.trav,
                         &mut local,
                         |n, c| sink(ordinal, n, c),
@@ -329,6 +432,8 @@ impl NeighborIndex for BinaryBvhIndex {
                 local
             },
         );
+        self.core
+            .record_launch_metrics(queries.len(), None, start_ns, &total);
         self.core.record(&total);
         *counters += total;
     }
@@ -354,6 +459,8 @@ impl NeighborIndex for BinaryBvhIndex {
         );
         let geometry = self.core.geometry;
         let eps_sq = eps * eps;
+        let heatmap = self.heatmap.as_ref();
+        let start_ns = self.core.telemetry.now_ns();
         // One pooled scratch checkout per chunk of queries (see
         // `batch_neighbors` for the chunking contract).
         let chunk_size = super::merge_chunk_size(queries.len());
@@ -381,11 +488,12 @@ impl NeighborIndex for BinaryBvhIndex {
                         } else {
                             u32::MAX
                         };
-                        traverse_with_scratch(
+                        with_sink!(heatmap, |vsink| traverse_with_scratch_sink(
                             bvh,
                             &ray,
                             &mut guard.trav,
                             &mut local,
+                            vsink,
                             |sphere, c| {
                                 charge_candidate(geometry, c);
                                 if sphere.center.distance_squared(query) <= eps_sq {
@@ -404,25 +512,26 @@ impl NeighborIndex for BinaryBvhIndex {
                                 }
                                 Traversal::Continue
                             },
-                        );
+                        ));
                     } else {
                         // No early exit: branch-free accumulation; the
                         // query's own group always hits at distance zero
                         // and counts one unit less than its multiplicity,
                         // so self-exclusion is a single subtraction at the
                         // end.
-                        traverse_with_scratch(
+                        with_sink!(heatmap, |vsink| traverse_with_scratch_sink(
                             bvh,
                             &ray,
                             &mut guard.trav,
                             &mut local,
+                            vsink,
                             |sphere, c| {
                                 charge_candidate(geometry, c);
                                 let hit = sphere.center.distance_squared(query) <= eps_sq;
                                 count += hit as u64 * sphere.multiplicity as u64;
                                 Traversal::Continue
                             },
-                        );
+                        ));
                         if exclude_self {
                             count = count.saturating_sub(1);
                         }
@@ -434,16 +543,35 @@ impl NeighborIndex for BinaryBvhIndex {
                 local
             },
         );
+        self.core
+            .record_launch_metrics(queries.len(), None, start_ns, &total);
         self.core.record(&total);
         *counters += total;
     }
 
+    fn telemetry(&self) -> Option<&Telemetry> {
+        self.core.telemetry_handle()
+    }
+
+    fn heatmap(&self) -> Option<&NodeHeatmap> {
+        self.heatmap.as_ref()
+    }
+
     fn remove(&mut self, retired: &[u32]) -> Result<WorkCounters> {
-        self.core.remove_impl(retired)
+        let counters = self.core.remove_impl(retired)?;
+        // Refits change the node array; a stale depth map would misreport.
+        if self.heatmap.is_some() {
+            self.heatmap = self.core.bvh.as_ref().map(NodeHeatmap::for_binary);
+        }
+        Ok(counters)
     }
 
     fn update(&mut self, moved: &[(u32, Point3)]) -> Result<WorkCounters> {
-        self.core.update_impl(moved)
+        let counters = self.core.update_impl(moved)?;
+        if self.heatmap.is_some() {
+            self.heatmap = self.core.bvh.as_ref().map(NodeHeatmap::for_binary);
+        }
+        Ok(counters)
     }
 }
 
@@ -476,6 +604,10 @@ pub struct WideBatchedIndex {
     batch_size: usize,
     /// Pooled buffers for Morton launch reordering.
     reorder: ScratchPool<ReorderScratch>,
+    /// Per-node visit profiler, only under
+    /// [`crate::telemetry::TelemetryConfig::Profile`].  Both node layouts
+    /// mirror each other's order, so one heatmap serves either.
+    heatmap: Option<NodeHeatmap>,
 }
 
 impl WideBatchedIndex {
@@ -483,15 +615,25 @@ impl WideBatchedIndex {
     /// `kind` field is ignored — this constructor always builds wide).
     pub fn build(config: &NeighborIndexBuilder, points: &[Point3], eps: f32) -> Result<Self> {
         let mut core = BvhCore::build(config, points, eps)?;
-        let wide = core.bvh.as_ref().map(WideBvh::from_binary);
-        if let Some(w) = &wide {
-            // The collapse is device-build work, charged with the build.
-            core.build_counters += w.collapse_counters;
-        }
+        let wide = {
+            let mut span = core.telemetry.span(PhaseKind::Bvh4Collapse);
+            let wide = core.bvh.as_ref().map(WideBvh::from_binary);
+            if let Some(w) = &wide {
+                // The collapse is device-build work, charged with the build.
+                core.build_counters += w.collapse_counters;
+                span.add_counters(w.collapse_counters);
+            }
+            wide
+        };
         let compact = match (config.wide_layout, &wide) {
             (WideLayout::Quantized, Some(w)) => {
+                let mut span = core.telemetry.span(PhaseKind::QuantizedBake);
                 // Re-encoding the node array is one more device-build pass.
                 core.build_counters.build_node_ops += w.node_count() as u64;
+                span.add_counters(WorkCounters {
+                    build_node_ops: w.node_count() as u64,
+                    ..WorkCounters::ZERO
+                });
                 Some(CompactWideNodes::from_wide(w))
             }
             _ => None,
@@ -499,6 +641,11 @@ impl WideBatchedIndex {
         let lanes = wide
             .as_ref()
             .map(|w| PrimLanes::from_primitives(&w.primitives));
+        let heatmap = config
+            .telemetry
+            .heatmap_enabled()
+            .then(|| wide.as_ref().map(NodeHeatmap::for_wide))
+            .flatten();
         Ok(WideBatchedIndex {
             core,
             wide,
@@ -509,6 +656,7 @@ impl WideBatchedIndex {
             simd: config.simd.resolve(),
             batch_size: config.batch_size.max(1),
             reorder: ScratchPool::new(),
+            heatmap,
         })
     }
 
@@ -540,7 +688,12 @@ impl WideBatchedIndex {
         let mut counters = WorkCounters::ZERO;
         self.compact = match (self.layout, &self.wide) {
             (WideLayout::Quantized, Some(w)) => {
+                let mut span = self.core.telemetry.span(PhaseKind::QuantizedBake);
                 counters.build_node_ops += w.node_count() as u64;
+                span.add_counters(WorkCounters {
+                    build_node_ops: w.node_count() as u64,
+                    ..WorkCounters::ZERO
+                });
                 Some(CompactWideNodes::from_wide(w))
             }
             _ => None,
@@ -549,6 +702,11 @@ impl WideBatchedIndex {
             .wide
             .as_ref()
             .map(|w| PrimLanes::from_primitives(&w.primitives));
+        // Maintenance changed the node array; rebuild the visit profiler's
+        // node→depth map so recorded visits keep landing on real nodes.
+        if self.heatmap.is_some() {
+            self.heatmap = self.wide.as_ref().map(NodeHeatmap::for_wide);
+        }
         counters
     }
 
@@ -565,8 +723,14 @@ impl WideBatchedIndex {
         if self.query_order != QueryOrder::Morton || queries.len() < 2 {
             return None;
         }
+        let mut span = self.core.telemetry.span(PhaseKind::MortonReorder);
         let mut guard = self.reorder.acquire();
-        setup.misc_ops += guard.order_morton(queries);
+        let sort_ops = guard.order_morton(queries);
+        setup.misc_ops += sort_ops;
+        span.add_counters(WorkCounters {
+            misc_ops: sort_ops,
+            ..WorkCounters::ZERO
+        });
         Some(guard)
     }
 
@@ -599,28 +763,31 @@ impl WideBatchedIndex {
             .extend(packet_queries.iter().map(|&q| Ray::epsilon_ray(q)));
         let eps_sq = eps * eps;
         let geometry = self.core.geometry;
-        traverse_batch_scene_with_scratch(
-            scene,
-            &scratch.rays,
-            &mut scratch.trav,
-            &mut counters,
-            self.simd,
-            |q, sphere, counters| {
-                charge_candidate(geometry, counters);
-                if sphere.center.distance_squared(packet_queries[q]) <= eps_sq {
-                    let n = Neighbor {
-                        index: sphere.point_index,
-                        multiplicity: sphere.multiplicity,
-                    };
-                    match sink(caller_ordinal(perm, start + q), n, counters) {
-                        NeighborFlow::Continue => Traversal::Continue,
-                        NeighborFlow::Stop => Traversal::Terminate,
+        with_sink!(self.heatmap.as_ref(), |vsink| {
+            traverse_batch_scene_with_scratch_sink(
+                scene,
+                &scratch.rays,
+                &mut scratch.trav,
+                &mut counters,
+                self.simd,
+                vsink,
+                |q, sphere, counters| {
+                    charge_candidate(geometry, counters);
+                    if sphere.center.distance_squared(packet_queries[q]) <= eps_sq {
+                        let n = Neighbor {
+                            index: sphere.point_index,
+                            multiplicity: sphere.multiplicity,
+                        };
+                        match sink(caller_ordinal(perm, start + q), n, counters) {
+                            NeighborFlow::Continue => Traversal::Continue,
+                            NeighborFlow::Stop => Traversal::Terminate,
+                        }
+                    } else {
+                        Traversal::Continue
                     }
-                } else {
-                    Traversal::Continue
-                }
-            },
-        );
+                },
+            );
+        });
         counters
     }
 
@@ -674,22 +841,32 @@ impl WideBatchedIndex {
             // from the SoA lanes.
             let lanes = self.lanes.as_ref().expect("lanes exist with the scene");
             let simd = self.simd;
-            traverse_batch_runs_with_scratch(scene, rays, trav, &mut counters, simd, {
-                let local = &mut *local;
-                move |q, first, count, counters| {
-                    charge_candidates(geometry, count as u64, counters);
-                    local[q] += lanes.count_in_ball(
-                        simd,
-                        first as usize,
-                        count as usize,
-                        packet_queries[q],
-                        eps_sq,
-                    );
-                    LeafVisit {
-                        visited: count,
-                        terminate: false,
-                    }
-                }
+            with_sink!(self.heatmap.as_ref(), |vsink| {
+                traverse_batch_runs_with_scratch_sink(
+                    scene,
+                    rays,
+                    trav,
+                    &mut counters,
+                    simd,
+                    vsink,
+                    {
+                        let local = &mut *local;
+                        move |q, first, count, counters| {
+                            charge_candidates(geometry, count as u64, counters);
+                            local[q] += lanes.count_in_ball(
+                                simd,
+                                first as usize,
+                                count as usize,
+                                packet_queries[q],
+                                eps_sq,
+                            );
+                            LeafVisit {
+                                visited: count,
+                                terminate: false,
+                            }
+                        }
+                    },
+                );
             });
             if exclude_self {
                 for c in local.iter_mut() {
@@ -703,6 +880,7 @@ impl WideBatchedIndex {
                 trav,
                 &mut counters,
                 self.simd,
+                self.heatmap.as_ref(),
                 |q| {
                     if exclude_self {
                         self.representative_of(caller_ordinal(perm, start + q) as u32)
@@ -738,6 +916,7 @@ fn traversal_count_launch(
     trav: &mut TraversalScratch,
     counters: &mut WorkCounters,
     simd: SimdLevel,
+    heatmap: Option<&NodeHeatmap>,
     rep_of: impl Fn(usize) -> u32,
     packet_queries: &[Point3],
     local: &mut [u64],
@@ -747,12 +926,13 @@ fn traversal_count_launch(
     early_exit: Option<u64>,
 ) {
     let all_prims = scene.primitives();
-    traverse_batch_runs_with_scratch(
+    with_sink!(heatmap, |vsink| traverse_batch_runs_with_scratch_sink(
         scene,
         rays,
         trav,
         counters,
         simd,
+        vsink,
         |q, first, count, counters| {
             let prims = &all_prims[first as usize..(first + count) as usize];
             charge_candidates(geometry, prims.len() as u64, counters);
@@ -791,7 +971,7 @@ fn traversal_count_launch(
             }
             LeafVisit::all(prims)
         },
-    );
+    ));
 }
 
 impl NeighborIndex for WideBatchedIndex {
@@ -849,29 +1029,32 @@ impl NeighborIndex for WideBatchedIndex {
         let eps_sq = eps * eps;
         let geometry = self.core.geometry;
         let mut guard = self.core.scratch.acquire();
-        traverse_wide_scene_with_scratch(
-            scene,
-            &ray,
-            &mut guard.trav,
-            &mut local,
-            |sphere, counters| {
-                charge_candidate(geometry, counters);
-                if sphere.center.distance_squared(query) <= eps_sq
-                    && Some(sphere.point_index) != exclude
-                {
-                    let n = Neighbor {
-                        index: sphere.point_index,
-                        multiplicity: sphere.multiplicity,
-                    };
-                    match visit(n, counters) {
-                        NeighborFlow::Continue => Traversal::Continue,
-                        NeighborFlow::Stop => Traversal::Terminate,
+        with_sink!(self.heatmap.as_ref(), |vsink| {
+            traverse_wide_scene_with_scratch_sink(
+                scene,
+                &ray,
+                &mut guard.trav,
+                &mut local,
+                vsink,
+                |sphere, counters| {
+                    charge_candidate(geometry, counters);
+                    if sphere.center.distance_squared(query) <= eps_sq
+                        && Some(sphere.point_index) != exclude
+                    {
+                        let n = Neighbor {
+                            index: sphere.point_index,
+                            multiplicity: sphere.multiplicity,
+                        };
+                        match visit(n, counters) {
+                            NeighborFlow::Continue => Traversal::Continue,
+                            NeighborFlow::Stop => Traversal::Terminate,
+                        }
+                    } else {
+                        Traversal::Continue
                     }
-                } else {
-                    Traversal::Continue
-                }
-            },
-        );
+                },
+            );
+        });
         self.core.record(&local);
         *counters += local;
     }
@@ -895,6 +1078,7 @@ impl NeighborIndex for WideBatchedIndex {
         };
         // Fixed packet boundaries, derived arithmetically — no materialised
         // range list on the launch path.
+        let start_ns = self.core.telemetry.now_ns();
         let packets = queries.len().div_ceil(self.batch_size);
         let mut total = super::dispatch_batch(
             packets,
@@ -906,6 +1090,8 @@ impl NeighborIndex for WideBatchedIndex {
             },
         );
         total += setup;
+        self.core
+            .record_launch_metrics(queries.len(), Some(self.batch_size), start_ns, &total);
         self.core.record(&total);
         *counters += total;
     }
@@ -931,6 +1117,7 @@ impl NeighborIndex for WideBatchedIndex {
             Some(g) => (&g.points, Some(&g.perm)),
             None => (queries, None),
         };
+        let start_ns = self.core.telemetry.now_ns();
         let packets = queries.len().div_ceil(self.batch_size);
         let mut total = super::dispatch_batch(
             packets,
@@ -951,6 +1138,8 @@ impl NeighborIndex for WideBatchedIndex {
             },
         );
         total += setup;
+        self.core
+            .record_launch_metrics(queries.len(), Some(self.batch_size), start_ns, &total);
         self.core.record(&total);
         *counters += total;
     }
@@ -978,6 +1167,7 @@ impl NeighborIndex for WideBatchedIndex {
             None => (queries, None),
         };
         let pairs_shared: Mutex<Vec<(u32, u32)>> = Mutex::new(Vec::new());
+        let start_ns = self.core.telemetry.now_ns();
         let packets = queries.len().div_ceil(self.batch_size);
         let mut total = super::dispatch_batch(
             packets,
@@ -1000,45 +1190,62 @@ impl NeighborIndex for WideBatchedIndex {
                 pairs.clear();
                 let eps_sq = eps * eps;
                 let geometry = self.core.geometry;
-                traverse_batch_runs_with_scratch(
-                    scene,
-                    rays,
-                    trav,
-                    &mut local,
-                    self.simd,
-                    |q, first, count, c| {
-                        let prims = &all_prims[first as usize..(first + count) as usize];
-                        charge_candidates(geometry, prims.len() as u64, c);
-                        let query = packet_queries[q];
-                        for prim in prims {
-                            if prim.center.distance_squared(query) <= eps_sq {
-                                pairs.push((
-                                    caller_ordinal(perm, start + q) as u32,
-                                    prim.point_index,
-                                ));
+                with_sink!(self.heatmap.as_ref(), |vsink| {
+                    traverse_batch_runs_with_scratch_sink(
+                        scene,
+                        rays,
+                        trav,
+                        &mut local,
+                        self.simd,
+                        vsink,
+                        |q, first, count, c| {
+                            let prims = &all_prims[first as usize..(first + count) as usize];
+                            charge_candidates(geometry, prims.len() as u64, c);
+                            let query = packet_queries[q];
+                            for prim in prims {
+                                if prim.center.distance_squared(query) <= eps_sq {
+                                    pairs.push((
+                                        caller_ordinal(perm, start + q) as u32,
+                                        prim.point_index,
+                                    ));
+                                }
                             }
-                        }
-                        LeafVisit::all(prims)
-                    },
-                );
+                            LeafVisit::all(prims)
+                        },
+                    );
+                });
                 pairs_shared.lock().extend_from_slice(&pairs);
                 trav.pairs = pairs;
                 local
             },
         );
         total += setup;
+        self.core
+            .record_launch_metrics(queries.len(), Some(self.batch_size), start_ns, &total);
         self.core.record(&total);
         *counters += total;
         out.rebuild_from_pairs(queries.len(), &pairs_shared.into_inner());
     }
 
+    fn telemetry(&self) -> Option<&Telemetry> {
+        self.core.telemetry_handle()
+    }
+
+    fn heatmap(&self) -> Option<&NodeHeatmap> {
+        self.heatmap.as_ref()
+    }
+
     fn remove(&mut self, retired: &[u32]) -> Result<WorkCounters> {
         let mut counters = self.core.remove_impl(retired)?;
         // The collapsed scene follows the binary tree's shape.
-        self.wide = self.core.bvh.as_ref().map(WideBvh::from_binary);
-        if let Some(w) = &self.wide {
-            counters += w.collapse_counters;
-            self.core.build_counters += w.collapse_counters;
+        {
+            let mut span = self.core.telemetry.span(PhaseKind::Bvh4Collapse);
+            self.wide = self.core.bvh.as_ref().map(WideBvh::from_binary);
+            if let Some(w) = &self.wide {
+                counters += w.collapse_counters;
+                self.core.build_counters += w.collapse_counters;
+                span.add_counters(w.collapse_counters);
+            }
         }
         let relayout = self.refresh_layout();
         counters += relayout;
@@ -1048,10 +1255,14 @@ impl NeighborIndex for WideBatchedIndex {
 
     fn update(&mut self, moved: &[(u32, Point3)]) -> Result<WorkCounters> {
         let mut counters = self.core.update_impl(moved)?;
-        self.wide = self.core.bvh.as_ref().map(WideBvh::from_binary);
-        if let Some(w) = &self.wide {
-            counters += w.collapse_counters;
-            self.core.build_counters += w.collapse_counters;
+        {
+            let mut span = self.core.telemetry.span(PhaseKind::Bvh4Collapse);
+            self.wide = self.core.bvh.as_ref().map(WideBvh::from_binary);
+            if let Some(w) = &self.wide {
+                counters += w.collapse_counters;
+                self.core.build_counters += w.collapse_counters;
+                span.add_counters(w.collapse_counters);
+            }
         }
         let relayout = self.refresh_layout();
         counters += relayout;

@@ -63,6 +63,7 @@ use crate::error::{Error, Result};
 use crate::geometry::Point3;
 use crate::hardware::WorkCounters;
 use crate::pipeline::GeometryKind;
+use crate::telemetry::{NodeHeatmap, Telemetry, TelemetryConfig};
 
 /// One verified neighbour reported by a backend: the exact distance test has
 /// already passed when the callback sees it.
@@ -332,6 +333,21 @@ pub trait NeighborIndex: std::fmt::Debug + Send + Sync {
         )))
     }
 
+    /// The live telemetry handle this index records into, when it was
+    /// built with an enabled [`TelemetryConfig`].  Callers clone the
+    /// handle to scope their own phases (stage launches, streaming
+    /// slides) into the same timeline as the index's build and reorder
+    /// spans.
+    fn telemetry(&self) -> Option<&Telemetry> {
+        None
+    }
+
+    /// The per-node visit heatmap, when the index was built with
+    /// [`TelemetryConfig::Profile`] on a BVH substrate.
+    fn heatmap(&self) -> Option<&NodeHeatmap> {
+        None
+    }
+
     /// Convenience: collect the neighbour indices of `query` (excluding
     /// `exclude`), expanding multiplicities is the caller's business.
     fn neighbors_of(
@@ -487,6 +503,11 @@ pub struct NeighborIndexBuilder {
     /// SIMD policy for the wide-batched hit-mask and leaf-distance
     /// kernels, resolved once per index build; see [`SimdPolicy`].
     pub simd: SimdPolicy,
+    /// How much telemetry the built index records (phase spans, launch
+    /// metrics, and — under [`TelemetryConfig::Profile`] on a BVH kind —
+    /// the per-node visit heatmap).  [`TelemetryConfig::Off`] compiles the
+    /// hot paths to the exact pre-telemetry code.
+    pub telemetry: TelemetryConfig,
 }
 
 impl NeighborIndexBuilder {
@@ -503,6 +524,7 @@ impl NeighborIndexBuilder {
             query_order: QueryOrder::AsGiven,
             wide_layout: WideLayout::F32,
             simd: SimdPolicy::Auto,
+            telemetry: TelemetryConfig::Off,
         }
     }
 
@@ -519,6 +541,13 @@ impl NeighborIndexBuilder {
         if self.compaction && !self.kind.is_bvh() {
             return Err(Error::InvalidConfig(format!(
                 "compaction is a BVH device-builder pass; the {} index cannot apply it",
+                self.kind.name()
+            )));
+        }
+        if self.telemetry.heatmap_enabled() && !self.kind.is_bvh() {
+            return Err(Error::InvalidConfig(format!(
+                "the node-visit heatmap profiles BVH traversal; the {} index has no \
+                 nodes to profile (use TelemetryConfig::Spans instead)",
                 self.kind.name()
             )));
         }

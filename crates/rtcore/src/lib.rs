@@ -62,6 +62,7 @@ pub mod index;
 pub mod pipeline;
 pub mod query;
 pub mod simd;
+pub mod telemetry;
 pub mod traversal;
 
 pub use error::{Error, Result};

@@ -5,6 +5,7 @@ use crate::bvh::{Bvh, CompactWideNodes, WideBvh, WideLayout};
 use crate::geometry::{Point3, Ray, Sphere};
 use crate::hardware::WorkCounters;
 use crate::simd::{SimdLevel, SimdPolicy};
+use crate::telemetry::{PhaseKind, Telemetry, TelemetryConfig};
 use crate::traversal::{
     traverse, traverse_batch_scene_with_scratch, QueryOrder, ReorderScratch, Traversal,
     TraversalScratch, WideScene,
@@ -55,6 +56,14 @@ pub struct PipelineConfig {
     /// SIMD policy for the batched hit-mask kernels, resolved once at
     /// pipeline construction.
     pub simd: SimdPolicy,
+    /// Telemetry recording level.  Under the default
+    /// [`TelemetryConfig::Off`] no recorder is allocated and the launch
+    /// paths compile to the exact pre-telemetry code; any enabled level
+    /// records phase spans for the construction-time collapse and bake
+    /// passes, retrievable through [`Pipeline::telemetry`].  (The per-node
+    /// heatmap of [`TelemetryConfig::Profile`] lives on the index
+    /// backends, not the raw pipeline.)
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for PipelineConfig {
@@ -67,6 +76,7 @@ impl Default for PipelineConfig {
             query_order: QueryOrder::AsGiven,
             layout: WideLayout::F32,
             simd: SimdPolicy::Auto,
+            telemetry: TelemetryConfig::Off,
         }
     }
 }
@@ -143,6 +153,7 @@ pub struct Pipeline<'a> {
     /// SIMD level resolved once at construction.
     simd: SimdLevel,
     config: PipelineConfig,
+    telemetry: Telemetry,
 }
 
 impl<'a> Pipeline<'a> {
@@ -153,14 +164,25 @@ impl<'a> Pipeline<'a> {
 
     /// Create a pipeline with an explicit configuration.
     pub fn with_config(scene: &'a Bvh, config: PipelineConfig) -> Self {
+        let telemetry = Telemetry::new(config.telemetry);
         let wide = match config.traversal {
             TraversalEngine::Binary => None,
             TraversalEngine::WideBatched => {
-                Some(std::borrow::Cow::Owned(WideBvh::from_binary(scene)))
+                let mut span = telemetry.span(PhaseKind::Bvh4Collapse);
+                let w = WideBvh::from_binary(scene);
+                span.add_counters(w.collapse_counters);
+                Some(std::borrow::Cow::<'a, WideBvh>::Owned(w))
             }
         };
         let compact = match (config.layout, &wide) {
-            (WideLayout::Quantized, Some(w)) => Some(CompactWideNodes::from_wide(w)),
+            (WideLayout::Quantized, Some(w)) => {
+                let mut span = telemetry.span(PhaseKind::QuantizedBake);
+                span.add_counters(WorkCounters {
+                    build_node_ops: w.node_count() as u64,
+                    ..WorkCounters::ZERO
+                });
+                Some(CompactWideNodes::from_wide(w))
+            }
             _ => None,
         };
         Pipeline {
@@ -169,6 +191,7 @@ impl<'a> Pipeline<'a> {
             compact,
             simd: config.simd.resolve(),
             config,
+            telemetry,
         }
     }
 
@@ -176,8 +199,16 @@ impl<'a> Pipeline<'a> {
     /// already holds (session-style reuse across many launches); the
     /// collapse must have been produced from `scene`.
     pub fn with_collapsed(scene: &'a Bvh, wide: &'a WideBvh, config: PipelineConfig) -> Self {
+        let telemetry = Telemetry::new(config.telemetry);
         let compact = match config.layout {
-            WideLayout::Quantized => Some(CompactWideNodes::from_wide(wide)),
+            WideLayout::Quantized => {
+                let mut span = telemetry.span(PhaseKind::QuantizedBake);
+                span.add_counters(WorkCounters {
+                    build_node_ops: wide.node_count() as u64,
+                    ..WorkCounters::ZERO
+                });
+                Some(CompactWideNodes::from_wide(wide))
+            }
             WideLayout::F32 => None,
         };
         Pipeline {
@@ -186,6 +217,7 @@ impl<'a> Pipeline<'a> {
             compact,
             simd: config.simd.resolve(),
             config,
+            telemetry,
         }
     }
 
@@ -215,6 +247,14 @@ impl<'a> Pipeline<'a> {
     /// The active configuration.
     pub fn config(&self) -> PipelineConfig {
         self.config
+    }
+
+    /// The telemetry recorder, when the configuration enables one
+    /// (`None` under [`TelemetryConfig::Off`]).  Construction-time phases
+    /// ([`PhaseKind::Bvh4Collapse`], [`PhaseKind::QuantizedBake`]) are
+    /// already recorded by the time the pipeline is returned.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.is_enabled().then_some(&self.telemetry)
     }
 
     /// Trace a single ray for `launch_index`, returning its payload and the

@@ -1,0 +1,252 @@
+//! The metrics registry: monotonic counters and fixed-bucket histograms.
+//!
+//! Metrics complement spans: a span is one interval, a metric is an
+//! aggregate over many.  The registry is keyed by `&'static str` so the
+//! steady state performs no allocation — entries allocate exactly once, on
+//! first use, and every later `incr`/`observe` is a map lookup plus an
+//! in-place update under a short lock.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// Per-launch latency buckets in microseconds (50 µs … 1 s).
+pub const LATENCY_US_BUCKETS: &[f64] = &[
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1_000.0,
+    2_500.0,
+    5_000.0,
+    10_000.0,
+    25_000.0,
+    50_000.0,
+    100_000.0,
+    250_000.0,
+    1_000_000.0,
+];
+
+/// Ray-packet occupancy buckets (fraction of `batch_size` filled).
+pub const OCCUPANCY_BUCKETS: &[f64] = &[0.125, 0.25, 0.5, 0.75, 0.875, 1.0];
+
+/// Per-query distance-comparison buckets (powers of two).
+pub const DIST_COMPS_BUCKETS: &[f64] = &[
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 4096.0, 16384.0,
+];
+
+/// A fixed-bucket histogram: `bounds[i]` is the inclusive upper bound of
+/// bucket `i`, with one implicit overflow bucket at the end.  Bounds are
+/// fixed at first observation and never change, so merging and JSON
+/// snapshots stay schema-stable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: &'static [f64],
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    fn new(bounds: &'static [f64]) -> Histogram {
+        Histogram {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    fn record(&mut self, value: f64) {
+        let bucket = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[bucket] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// The bucket upper bounds this histogram was created with.
+    pub fn bounds(&self) -> &'static [f64] {
+        self.bounds
+    }
+
+    /// Per-bucket observation counts; the final entry is the overflow
+    /// bucket (`> bounds.last()`).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let bounds: Vec<String> = self.bounds.iter().map(|b| trim_float(*b)).collect();
+        let counts: Vec<String> = self.counts.iter().map(u64::to_string).collect();
+        format!(
+            "{{\"bounds\":[{}],\"counts\":[{}],\"count\":{},\"sum\":{}}}",
+            bounds.join(","),
+            counts.join(","),
+            self.count,
+            trim_float(self.sum),
+        )
+    }
+}
+
+/// Format a float as JSON without trailing noise (integral values print
+/// without a fraction).
+fn trim_float(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Monotonic counters plus fixed-bucket histograms, snapshotable as JSON.
+///
+/// ```
+/// use rtcore::telemetry::{MetricsRegistry, LATENCY_US_BUCKETS};
+///
+/// let metrics = MetricsRegistry::default();
+/// metrics.incr("launches", 1);
+/// metrics.observe("launch_latency_us", LATENCY_US_BUCKETS, 180.0);
+/// assert_eq!(metrics.counter("launches"), 1);
+/// let snapshot = metrics.snapshot_json();
+/// assert!(snapshot.contains("\"launches\":1"));
+/// assert!(snapshot.contains("\"launch_latency_us\""));
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    histograms: Mutex<BTreeMap<&'static str, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// Add `by` to the named monotonic counter (created at zero on first
+    /// use).
+    pub fn incr(&self, name: &'static str, by: u64) {
+        *self.counters.lock().entry(name).or_insert(0) += by;
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.lock().get(name).copied().unwrap_or(0)
+    }
+
+    /// Record one observation into the named histogram, creating it with
+    /// `bounds` on first use.  Later calls ignore `bounds` (the first
+    /// registration wins), keeping the bucket schema stable.
+    pub fn observe(&self, name: &'static str, bounds: &'static [f64], value: f64) {
+        self.histograms
+            .lock()
+            .entry(name)
+            .or_insert_with(|| Histogram::new(bounds))
+            .record(value);
+    }
+
+    /// Snapshot of one histogram, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.histograms.lock().get(name).cloned()
+    }
+
+    /// The whole registry as one JSON object:
+    /// `{"counters":{...},"histograms":{name:{bounds,counts,count,sum}}}`.
+    pub fn snapshot_json(&self) -> String {
+        let counters = self.counters.lock();
+        let histograms = self.histograms.lock();
+        let counter_rows: Vec<String> = counters
+            .iter()
+            .map(|(name, value)| format!("\"{name}\":{value}"))
+            .collect();
+        let histogram_rows: Vec<String> = histograms
+            .iter()
+            .map(|(name, h)| format!("\"{name}\":{}", h.to_json()))
+            .collect();
+        format!(
+            "{{\"counters\":{{{}}},\"histograms\":{{{}}}}}",
+            counter_rows.join(","),
+            histogram_rows.join(","),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotonic_and_keyed() {
+        let m = MetricsRegistry::default();
+        assert_eq!(m.counter("launches"), 0);
+        m.incr("launches", 2);
+        m.incr("launches", 3);
+        m.incr("refits", 1);
+        assert_eq!(m.counter("launches"), 5);
+        assert_eq!(m.counter("refits"), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_by_inclusive_upper_bound() {
+        let m = MetricsRegistry::default();
+        for v in [0.1, 0.125, 0.2, 0.9, 3.0] {
+            m.observe("occupancy", OCCUPANCY_BUCKETS, v);
+        }
+        let h = m.histogram("occupancy").unwrap();
+        // 0.1 and 0.125 land in the first bucket (inclusive bound), 0.2 in
+        // the second, 0.9 in the 1.0 bucket, 3.0 overflows.
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[1], 1);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.counts()[6], 1);
+        assert_eq!(h.count(), 5);
+        assert!((h.mean() - (0.1 + 0.125 + 0.2 + 0.9 + 3.0) / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_bounds_registration_wins() {
+        let m = MetricsRegistry::default();
+        m.observe("lat", LATENCY_US_BUCKETS, 10.0);
+        m.observe("lat", OCCUPANCY_BUCKETS, 10.0);
+        assert_eq!(m.histogram("lat").unwrap().bounds(), LATENCY_US_BUCKETS);
+        assert_eq!(m.histogram("lat").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn snapshot_json_is_schema_stable() {
+        let m = MetricsRegistry::default();
+        m.incr("b_counter", 1);
+        m.incr("a_counter", 2);
+        m.observe("lat", &[1.0, 2.0], 1.5);
+        let json = m.snapshot_json();
+        // BTreeMap order makes the snapshot deterministic.
+        assert_eq!(
+            json,
+            "{\"counters\":{\"a_counter\":2,\"b_counter\":1},\
+             \"histograms\":{\"lat\":{\"bounds\":[1,2],\"counts\":[0,1,0],\"count\":1,\"sum\":1.5}}}"
+        );
+    }
+
+    #[test]
+    fn empty_registry_snapshots_cleanly() {
+        let m = MetricsRegistry::default();
+        assert_eq!(m.snapshot_json(), "{\"counters\":{},\"histograms\":{}}");
+    }
+}

@@ -41,7 +41,7 @@ use crate::hardware::WorkCounters;
 use crate::index::CsrNeighbors;
 use crate::simd::{detect_simd, SimdLevel};
 use crate::traversal::scratch::SegFrame;
-use crate::traversal::{Traversal, TraversalOutcome, TraversalScratch};
+use crate::traversal::{NoSink, Traversal, TraversalOutcome, TraversalScratch, VisitSink};
 
 // ---------------------------------------------------------------------------
 // Node views: the engines are generic over the node representation
@@ -228,17 +228,20 @@ impl<'a> WideScene<'a> {
 /// Single-ray wide traversal over a caller-provided node stack (the scratch
 /// and one-shot entry points share this body, generic over the node
 /// layout).
-fn traverse_wide_on_stack<N, F>(
+#[allow(clippy::too_many_arguments)]
+fn traverse_wide_on_stack<N, S, F>(
     nodes: &[N],
     scene_bounds: &Aabb,
     primitives: &[Sphere],
     ray: &Ray,
     stack: &mut Vec<u32>,
     counters: &mut WorkCounters,
+    sink: S,
     mut on_primitive: F,
 ) -> TraversalOutcome
 where
     N: WideNodeOps,
+    S: VisitSink,
     F: FnMut(&Sphere, &mut WorkCounters) -> Traversal,
 {
     let mut outcome = TraversalOutcome {
@@ -259,6 +262,7 @@ where
     'outer: while let Some(idx) = stack.pop() {
         let node = &nodes[idx as usize];
         counters.wide_node_visits += 1;
+        sink.visit(idx);
         counters.aabb_tests += node.occupied_slots();
         let mask = node.ray_mask(ray);
         for slot in 0..WIDE_BRANCHING {
@@ -315,6 +319,7 @@ where
         ray,
         &mut stack,
         counters,
+        NoSink,
         on_primitive,
     )
 }
@@ -338,6 +343,7 @@ where
         ray,
         &mut scratch.node_stack,
         counters,
+        NoSink,
         on_primitive,
     )
 }
@@ -356,6 +362,23 @@ pub fn traverse_wide_scene_with_scratch<F>(
 where
     F: FnMut(&Sphere, &mut WorkCounters) -> Traversal,
 {
+    traverse_wide_scene_with_scratch_sink(scene, ray, scratch, counters, NoSink, on_primitive)
+}
+
+/// [`traverse_wide_scene_with_scratch`] with a node-visit sink for the
+/// heatmap profiler; `NoSink` monomorphises back to the plain body.
+pub(crate) fn traverse_wide_scene_with_scratch_sink<S, F>(
+    scene: WideScene<'_>,
+    ray: &Ray,
+    scratch: &mut TraversalScratch,
+    counters: &mut WorkCounters,
+    sink: S,
+    on_primitive: F,
+) -> TraversalOutcome
+where
+    S: VisitSink,
+    F: FnMut(&Sphere, &mut WorkCounters) -> Traversal,
+{
     let wide = scene.wide();
     match scene {
         WideScene::F32(_) => traverse_wide_on_stack(
@@ -365,6 +388,7 @@ where
             ray,
             &mut scratch.node_stack,
             counters,
+            sink,
             on_primitive,
         ),
         WideScene::Quantized { nodes, .. } => traverse_wide_on_stack(
@@ -374,6 +398,7 @@ where
             ray,
             &mut scratch.node_stack,
             counters,
+            sink,
             on_primitive,
         ),
     }
@@ -464,18 +489,45 @@ pub fn traverse_batch_scene_with_scratch<'s, F>(
     scratch: &'s mut TraversalScratch,
     counters: &mut WorkCounters,
     level: SimdLevel,
-    mut on_primitive: F,
+    on_primitive: F,
 ) -> &'s [TraversalOutcome]
 where
     F: FnMut(usize, &Sphere, &mut WorkCounters) -> Traversal,
 {
-    let prims = scene.primitives();
-    traverse_batch_runs_with_scratch(
+    traverse_batch_scene_with_scratch_sink(
         scene,
         rays,
         scratch,
         counters,
         level,
+        NoSink,
+        on_primitive,
+    )
+}
+
+/// [`traverse_batch_scene_with_scratch`] with a node-visit sink for the
+/// heatmap profiler; `NoSink` monomorphises back to the plain body.
+pub(crate) fn traverse_batch_scene_with_scratch_sink<'s, S, F>(
+    scene: WideScene<'_>,
+    rays: &[Ray],
+    scratch: &'s mut TraversalScratch,
+    counters: &mut WorkCounters,
+    level: SimdLevel,
+    sink: S,
+    mut on_primitive: F,
+) -> &'s [TraversalOutcome]
+where
+    S: VisitSink,
+    F: FnMut(usize, &Sphere, &mut WorkCounters) -> Traversal,
+{
+    let prims = scene.primitives();
+    traverse_batch_runs_with_scratch_sink(
+        scene,
+        rays,
+        scratch,
+        counters,
+        level,
+        sink,
         move |q, first, count, counters| {
             let mut visited = 0u32;
             for prim in &prims[first as usize..(first + count) as usize] {
@@ -559,79 +611,107 @@ pub fn traverse_batch_runs_with_scratch<'s, F>(
 where
     F: FnMut(usize, u32, u32, &mut WorkCounters) -> LeafVisit,
 {
+    traverse_batch_runs_with_scratch_sink(scene, rays, scratch, counters, level, NoSink, on_run)
+}
+
+/// [`traverse_batch_runs_with_scratch`] with a node-visit sink for the
+/// heatmap profiler.  The sink joins the (layout × kernel) monomorphisation
+/// key, so the `NoSink` instantiations are exactly the engine bodies that
+/// exist without profiling — zero extra work on the default path.
+pub(crate) fn traverse_batch_runs_with_scratch_sink<'s, S, F>(
+    scene: WideScene<'_>,
+    rays: &[Ray],
+    scratch: &'s mut TraversalScratch,
+    counters: &mut WorkCounters,
+    level: SimdLevel,
+    sink: S,
+    on_run: F,
+) -> &'s [TraversalOutcome]
+where
+    S: VisitSink,
+    F: FnMut(usize, u32, u32, &mut WorkCounters) -> LeafVisit,
+{
     let wide = scene.wide();
     match scene {
         WideScene::F32(_) => match level {
-            SimdLevel::Scalar => wavefront_core::<WideNode, KernelScalar, F>(
+            SimdLevel::Scalar => wavefront_core::<WideNode, KernelScalar, S, F>(
                 &wide.nodes,
                 &wide.scene_bounds,
                 rays,
                 scratch,
                 counters,
+                sink,
                 on_run,
             ),
             #[cfg(target_arch = "x86_64")]
-            SimdLevel::Sse2 => wavefront_core::<WideNode, KernelSse2, F>(
+            SimdLevel::Sse2 => wavefront_core::<WideNode, KernelSse2, S, F>(
                 &wide.nodes,
                 &wide.scene_bounds,
                 rays,
                 scratch,
                 counters,
+                sink,
                 on_run,
             ),
             #[cfg(target_arch = "x86_64")]
-            SimdLevel::Avx2 => wavefront_core::<WideNode, KernelAvx2, F>(
+            SimdLevel::Avx2 => wavefront_core::<WideNode, KernelAvx2, S, F>(
                 &wide.nodes,
                 &wide.scene_bounds,
                 rays,
                 scratch,
                 counters,
+                sink,
                 on_run,
             ),
             #[cfg(not(target_arch = "x86_64"))]
-            _ => wavefront_core::<WideNode, KernelScalar, F>(
+            _ => wavefront_core::<WideNode, KernelScalar, S, F>(
                 &wide.nodes,
                 &wide.scene_bounds,
                 rays,
                 scratch,
                 counters,
+                sink,
                 on_run,
             ),
         },
         WideScene::Quantized { nodes, .. } => match level {
-            SimdLevel::Scalar => wavefront_core::<CompactWideNode, KernelScalar, F>(
+            SimdLevel::Scalar => wavefront_core::<CompactWideNode, KernelScalar, S, F>(
                 &nodes.nodes,
                 &wide.scene_bounds,
                 rays,
                 scratch,
                 counters,
+                sink,
                 on_run,
             ),
             #[cfg(target_arch = "x86_64")]
-            SimdLevel::Sse2 => wavefront_core::<CompactWideNode, KernelSse2, F>(
+            SimdLevel::Sse2 => wavefront_core::<CompactWideNode, KernelSse2, S, F>(
                 &nodes.nodes,
                 &wide.scene_bounds,
                 rays,
                 scratch,
                 counters,
+                sink,
                 on_run,
             ),
             #[cfg(target_arch = "x86_64")]
-            SimdLevel::Avx2 => wavefront_core::<CompactWideNode, KernelAvx2, F>(
+            SimdLevel::Avx2 => wavefront_core::<CompactWideNode, KernelAvx2, S, F>(
                 &nodes.nodes,
                 &wide.scene_bounds,
                 rays,
                 scratch,
                 counters,
+                sink,
                 on_run,
             ),
             #[cfg(not(target_arch = "x86_64"))]
-            _ => wavefront_core::<CompactWideNode, KernelScalar, F>(
+            _ => wavefront_core::<CompactWideNode, KernelScalar, S, F>(
                 &nodes.nodes,
                 &wide.scene_bounds,
                 rays,
                 scratch,
                 counters,
+                sink,
                 on_run,
             ),
         },
@@ -640,17 +720,19 @@ where
 
 /// The monomorphic wavefront engine body: one instantiation per
 /// (node layout × mask kernel) pair.
-fn wavefront_core<'s, N, K, F>(
+fn wavefront_core<'s, N, K, S, F>(
     nodes: &[N],
     scene_bounds: &Aabb,
     rays: &[Ray],
     scratch: &'s mut TraversalScratch,
     counters: &mut WorkCounters,
+    sink: S,
     mut on_run: F,
 ) -> &'s [TraversalOutcome]
 where
     N: WideNodeOps,
     K: MaskKernel<N>,
+    S: VisitSink,
     F: FnMut(usize, u32, u32, &mut WorkCounters) -> LeafVisit,
 {
     let n = rays.len();
@@ -740,6 +822,7 @@ where
             continue;
         }
         counters.wide_node_visits += 1;
+        sink.visit(frame.node);
         counters.aabb_tests += node.occupied_slots() * live.len() as u64;
 
         for slot in 0..WIDE_BRANCHING {

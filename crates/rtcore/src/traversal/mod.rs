@@ -26,12 +26,43 @@ pub use batch::{
     traverse_batch_scene_with_scratch, traverse_batch_with_scratch, traverse_wide,
     traverse_wide_scene_with_scratch, traverse_wide_with_scratch, LeafVisit, WideScene,
 };
+pub(crate) use batch::{
+    traverse_batch_runs_with_scratch_sink, traverse_batch_scene_with_scratch_sink,
+    traverse_wide_scene_with_scratch_sink,
+};
 pub use order::{QueryOrder, ReorderScratch};
 pub use scratch::{PoolGuard, ScratchPool, TraversalScratch};
 
 use crate::bvh::{Bvh, NodeKind};
 use crate::geometry::{Ray, Sphere};
 use crate::hardware::WorkCounters;
+
+/// Where per-node visit events go.  The engines are generic over the sink
+/// and monomorphised with [`NoSink`] on every public entry point, so the
+/// disabled case compiles to exactly the pre-telemetry code — no branch,
+/// no call, no extra state in the hot loop.  The profiling backends pass a
+/// [`crate::telemetry::NodeHeatmap`] reference instead.
+pub(crate) trait VisitSink: Copy {
+    /// One node visit (the same event the `node_visits` /
+    /// `wide_node_visits` counters charge).
+    fn visit(self, node: u32);
+}
+
+/// The no-op sink: inlines to nothing.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NoSink;
+
+impl VisitSink for NoSink {
+    #[inline(always)]
+    fn visit(self, _node: u32) {}
+}
+
+impl VisitSink for &crate::telemetry::NodeHeatmap {
+    #[inline]
+    fn visit(self, node: u32) {
+        self.record(node);
+    }
+}
 
 /// Decision returned by a primitive callback.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,7 +100,7 @@ where
     F: FnMut(&Sphere, &mut WorkCounters) -> Traversal,
 {
     let mut stack: Vec<u32> = Vec::with_capacity(64);
-    traverse_on_stack(bvh, ray, &mut stack, counters, on_primitive)
+    traverse_on_stack(bvh, ray, &mut stack, counters, NoSink, on_primitive)
 }
 
 /// [`traverse`] reusing the node stack of a caller-held
@@ -86,19 +117,52 @@ pub fn traverse_with_scratch<F>(
 where
     F: FnMut(&Sphere, &mut WorkCounters) -> Traversal,
 {
-    traverse_on_stack(bvh, ray, &mut scratch.node_stack, counters, on_primitive)
+    traverse_on_stack(
+        bvh,
+        ray,
+        &mut scratch.node_stack,
+        counters,
+        NoSink,
+        on_primitive,
+    )
+}
+
+/// [`traverse_with_scratch`] with a node-visit sink for the heatmap
+/// profiler; behaviour and counters are identical.
+pub(crate) fn traverse_with_scratch_sink<S, F>(
+    bvh: &Bvh,
+    ray: &Ray,
+    scratch: &mut TraversalScratch,
+    counters: &mut WorkCounters,
+    sink: S,
+    on_primitive: F,
+) -> TraversalOutcome
+where
+    S: VisitSink,
+    F: FnMut(&Sphere, &mut WorkCounters) -> Traversal,
+{
+    traverse_on_stack(
+        bvh,
+        ray,
+        &mut scratch.node_stack,
+        counters,
+        sink,
+        on_primitive,
+    )
 }
 
 /// Shared body of [`traverse`] / [`traverse_with_scratch`] over a
 /// caller-provided node stack.
-fn traverse_on_stack<F>(
+fn traverse_on_stack<S, F>(
     bvh: &Bvh,
     ray: &Ray,
     stack: &mut Vec<u32>,
     counters: &mut WorkCounters,
+    sink: S,
     mut on_primitive: F,
 ) -> TraversalOutcome
 where
+    S: VisitSink,
     F: FnMut(&Sphere, &mut WorkCounters) -> Traversal,
 {
     let mut outcome = TraversalOutcome {
@@ -121,6 +185,7 @@ where
     'outer: while let Some(idx) = stack.pop() {
         let node = &bvh.nodes[idx as usize];
         counters.node_visits += 1;
+        sink.visit(idx);
         match node.kind {
             NodeKind::Internal { left, right } => {
                 for child in [left, right] {

@@ -37,6 +37,7 @@ use rtcore::geometry::{Point3, Ray, Sphere};
 use rtcore::hardware::WorkCounters;
 use rtcore::index::CsrNeighbors;
 use rtcore::pipeline::TraversalEngine;
+use rtcore::telemetry::{PhaseKind, Telemetry};
 use rtcore::traversal::{traverse, traverse_batch_with_scratch, Traversal, TraversalScratch};
 use rtcore::Result;
 use rtdbscan::disjoint_set::EpochDisjointSet;
@@ -192,6 +193,8 @@ pub struct StreamingClusterer {
     stage1_counters: WorkCounters,
     stage2_counters: WorkCounters,
     stats: StreamingStats,
+    /// Phase-span recorder (no-op under the default `TelemetryConfig::Off`).
+    telemetry: Telemetry,
 
     /// Scratch buffers reused across calls.
     hits_scratch: Vec<u32>,
@@ -233,6 +236,7 @@ impl StreamingClusterer {
             stage1_counters: WorkCounters::ZERO,
             stage2_counters: WorkCounters::ZERO,
             stats: StreamingStats::default(),
+            telemetry: Telemetry::new(config.telemetry),
             hits_scratch: Vec::new(),
             flips_scratch: Vec::new(),
             repair_rays: Vec::new(),
@@ -269,6 +273,14 @@ impl StreamingClusterer {
     /// Aggregate observability counters.
     pub fn stats(&self) -> StreamingStats {
         self.stats
+    }
+
+    /// The telemetry recorder, when the configuration enables one (`None`
+    /// under the default `TelemetryConfig::Off`).  Every ingest records a
+    /// `streaming_slide` span, with nested `refit` / `rebuild` spans when
+    /// scene maintenance ran.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.is_enabled().then_some(&self.telemetry)
     }
 
     /// Total counted work so far, across all phases.
@@ -319,6 +331,11 @@ impl StreamingClusterer {
                 });
             }
         }
+        // The span borrows a clone of the handle (they share one recorder)
+        // so the body below can keep taking `&mut self`.
+        let telemetry = self.telemetry.clone();
+        let mut slide_span = telemetry.span(PhaseKind::StreamingSlide);
+        let counters_before = self.counters();
         let mut report = IngestReport::default();
         self.flips_scratch.clear();
         if !batch.is_empty() {
@@ -347,6 +364,7 @@ impl StreamingClusterer {
 
         self.stats.ingested += report.inserted as u64;
         self.stats.evicted += report.evicted as u64;
+        slide_span.add_counters(self.counters() - counters_before);
         Ok(report)
     }
 
@@ -561,12 +579,18 @@ impl StreamingClusterer {
             if self.dead_in_scene > 0
                 && self.dead_in_scene as f32 >= self.config.refit_dead_fraction * prims as f32
             {
+                let telemetry = self.telemetry.clone();
+                let mut span = telemetry.span(PhaseKind::Refit);
+                let mut refit_counters = WorkCounters::ZERO;
                 let slots = &self.slots;
                 refit::remove_points(
                     scene,
                     |slot| !slots[slot as usize].alive,
-                    &mut self.build_counters,
+                    &mut refit_counters,
                 );
+                span.add_counters(refit_counters);
+                drop(span);
+                self.build_counters += refit_counters;
                 self.wide_scene = None; // scene changed shape
                 self.dead_in_scene = 0;
                 self.free.append(&mut self.retiring_scene);
@@ -635,6 +659,9 @@ impl StreamingClusterer {
     }
 
     fn rebuild_scene(&mut self) {
+        let telemetry = self.telemetry.clone();
+        let mut span = telemetry.span(PhaseKind::Rebuild);
+        let counters_before = self.build_counters;
         let spheres: Vec<Sphere> = self
             .live
             .iter()
@@ -668,6 +695,7 @@ impl StreamingClusterer {
         self.stats.rebuilds += 1;
         self.health_at_build = Some(refit::tree_health(&bvh));
         self.scene = Some(bvh);
+        span.add_counters(self.build_counters - counters_before);
     }
 
     // ------------------------------------------------------------------

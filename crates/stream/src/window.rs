@@ -2,6 +2,7 @@
 
 use rtcore::bvh::RefitPolicy;
 use rtcore::pipeline::TraversalEngine;
+use rtcore::telemetry::TelemetryConfig;
 use rtdbscan::DbscanParams;
 
 /// Which points are "live": the sliding-window retention policy.
@@ -57,6 +58,12 @@ pub struct StreamingConfig {
     /// engine remains selectable as the oracle.  Delta BVHs are small and
     /// short-lived and always traverse binary.
     pub snapshot_traversal: TraversalEngine,
+    /// Telemetry recording level.  Off (the default) allocates no recorder
+    /// and leaves the ingest/snapshot paths bit-identical to a
+    /// telemetry-free build; any enabled level records phase spans for
+    /// window slides, refits and rebuilds, retrievable through
+    /// [`crate::StreamingClusterer::telemetry`].
+    pub telemetry: TelemetryConfig,
 }
 
 impl StreamingConfig {
@@ -70,6 +77,7 @@ impl StreamingConfig {
             max_pending_fraction: 0.25,
             refit_dead_fraction: 0.03125,
             snapshot_traversal: TraversalEngine::WideBatched,
+            telemetry: TelemetryConfig::Off,
         }
     }
 

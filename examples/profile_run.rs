@@ -1,0 +1,98 @@
+//! Profile a clustering run: phase-scoped spans, a Chrome-trace export,
+//! and the BVH node-visit heatmap.
+//!
+//! ```text
+//! cargo run --release --example profile_run [-- <trace-out.json>]
+//! ```
+//!
+//! Builds a `ClusterEngine` with `TelemetryConfig::Profile`, clusters a
+//! Porto-taxi-shaped synthetic set through a session, then
+//!
+//! 1. prints the per-phase span summary table,
+//! 2. writes a Perfetto/`chrome://tracing`-loadable trace JSON,
+//! 3. prints the per-depth node-visit heatmap, and
+//! 4. cross-checks the telemetry against the engine's own accounting:
+//!    the span-summed stage-1 time must agree with the session's measured
+//!    stage-1 wall-clock within 5%, and the heatmap's per-node visit total
+//!    must equal the `wide_node_visits` counter exactly.
+
+use rtdbscan_repro::prelude::*;
+use rtdbscan_repro::rtcore::telemetry::PhaseKind;
+use rtdbscan_repro::rtdbscan_datasets::{generate, PaperDataset};
+
+const N: usize = 30_000;
+const SEED: u64 = 42;
+
+fn main() {
+    let trace_out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "profile_trace.json".into());
+    let points = generate(PaperDataset::PortoTaxi, N, SEED);
+
+    // Profile = spans + metrics + the node-visit heatmap.  Off (the default)
+    // costs nothing; Spans records timings without per-node accounting.
+    let engine = ClusterEngine::builder()
+        .algorithm(Algo::Rt)
+        .index(IndexKind::WideBatched)
+        .eps(0.4)
+        .min_pts(8)
+        .telemetry(TelemetryConfig::Profile)
+        .build()
+        .expect("valid engine configuration");
+
+    // A session keeps the index (and its telemetry recorder) alive so we can
+    // inspect both after clustering.
+    let session = engine.session(&points).expect("session build");
+    let result = session.cluster(8).expect("cluster formation");
+    println!(
+        "clustered {} points: {} clusters, {} noise\n",
+        points.len(),
+        result.clustering.num_clusters(),
+        result.clustering.noise_count()
+    );
+
+    let telemetry = session
+        .index()
+        .telemetry()
+        .expect("telemetry was enabled on the builder");
+    print!("{}", telemetry.summary_table());
+
+    std::fs::write(&trace_out, telemetry.chrome_trace_json()).expect("write trace JSON");
+    println!("\nwrote Chrome trace to {trace_out} (load in Perfetto or chrome://tracing)\n");
+
+    let heatmap = session
+        .index()
+        .heatmap()
+        .expect("Profile level builds the heatmap");
+    print!("{}", heatmap.summary());
+
+    // --- Cross-checks: telemetry must agree with the engine's accounting. ---
+    let (setup_counters, setup_timings) = session.setup_cost();
+    let stage1_wall = setup_timings.core_identification.as_nanos() as f64;
+    let stage1_spanned = telemetry.phase_total_ns(PhaseKind::Stage1Launch) as f64;
+    let drift = (stage1_wall - stage1_spanned).abs() / stage1_wall.max(1.0);
+    println!(
+        "\nstage-1: wall-clock {:.3} ms, span-summed {:.3} ms ({:.2}% apart)",
+        stage1_wall / 1e6,
+        stage1_spanned / 1e6,
+        drift * 100.0
+    );
+    assert!(
+        drift < 0.05,
+        "span-summed stage-1 time must be within 5% of the measured wall-clock"
+    );
+
+    let traversal_visits = setup_counters.core_identification.wide_node_visits
+        + result.counters.cluster_formation.wide_node_visits;
+    println!(
+        "heatmap: {} recorded visits, {} counted wide_node_visits",
+        heatmap.total_visits(),
+        traversal_visits
+    );
+    assert_eq!(
+        heatmap.total_visits(),
+        traversal_visits,
+        "heatmap per-node visits must sum exactly to the wide_node_visits counter"
+    );
+    println!("telemetry cross-checks passed");
+}

@@ -255,6 +255,47 @@ fn csr_rebuild_into_warm_buffers_is_allocation_free() {
     );
 }
 
+#[test]
+fn explicit_telemetry_off_keeps_the_steady_state_allocation_free() {
+    use rtcore::telemetry::TelemetryConfig;
+
+    // `TelemetryConfig::Off` is the default, but the knob must also cost
+    // nothing when spelled out: no recorder is allocated and the warm
+    // steady state stays allocation-free, so opting the field in (even
+    // explicitly) cannot regress the zero-allocation hot path.
+    let eps = 0.9f32;
+    let points = workload(400, eps);
+    for kind in [IndexKind::BinaryBvh, IndexKind::WideBatched] {
+        let index = NeighborIndexBuilder {
+            telemetry: TelemetryConfig::Off,
+            ..sequential_builder(kind)
+        }
+        .build(&points, eps)
+        .unwrap();
+        assert!(
+            index.telemetry().is_none() && index.heatmap().is_none(),
+            "{kind:?}: Off must not allocate a recorder or heatmap"
+        );
+        let counts: Vec<AtomicU64> = (0..points.len()).map(|_| AtomicU64::new(0)).collect();
+
+        let guard = measure_guard();
+        let mut counters = WorkCounters::ZERO;
+        index.batch_neighbor_counts(&points, eps, true, None, &mut counters, &counts);
+
+        let allocs = allocations_during(|| {
+            for _ in 0..3 {
+                let mut c = WorkCounters::ZERO;
+                index.batch_neighbor_counts(&points, eps, true, None, &mut c, &counts);
+            }
+        });
+        drop(guard);
+        assert_eq!(
+            allocs, 0,
+            "{kind:?}: explicit TelemetryConfig::Off must not allocate in steady state"
+        );
+    }
+}
+
 // ---------------------------------------------------------------------------
 // CSR ≡ callback mode (property test)
 // ---------------------------------------------------------------------------
