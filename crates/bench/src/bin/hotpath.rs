@@ -16,6 +16,7 @@
 //! cargo run --release -p rtdbscan-bench --bin hotpath                    # regenerate "current"
 //! cargo run --release -p rtdbscan-bench --bin hotpath -- --record-baseline  # overwrite "baseline" too
 //! cargo run --release -p rtdbscan-bench --bin hotpath -- --smoke        # tiny CI run, no file written
+//! cargo run --release -p rtdbscan-bench --bin hotpath -- --sharded      # + 1M-point TLAS/BLAS sweep
 //! cargo run --release -p rtdbscan-bench --bin hotpath -- --trace-out t.json  # + telemetry trace
 //! cargo run --release -p rtdbscan-bench --bin hotpath -- --heatmap      # + node-visit heatmap
 //! ```
@@ -33,11 +34,11 @@
 //! different `schema` or `config` — it prints both lines as a diff and
 //! exits non-zero; pass `--force` as well to reset deliberately.
 //!
-//! # `BENCH_hotpath.json` schema (`rtdbscan-hotpath/v2`)
+//! # `BENCH_hotpath.json` schema (`rtdbscan-hotpath/v3`)
 //!
 //! One JSON object with four keys:
 //!
-//! * `"schema"` — the literal string `"rtdbscan-hotpath/v2"`.
+//! * `"schema"` — the literal string `"rtdbscan-hotpath/v3"`.
 //! * `"config"` — the sweep parameters, one object on one line:
 //!   `dataset`, `seed`, `eps`, `reps` (timing repetitions per cell; the
 //!   reported `best_ns` is the minimum, `mean_ns` the average).
@@ -45,7 +46,9 @@
 //!   verbatim by later regenerations unless `--record-baseline` is
 //!   passed.  A `v1` baseline (pre-dating the per-cell config fields) is
 //!   migrated in place by annotating its cells with the legacy
-//!   configuration (`as-given` order, `scalar` SIMD, `f32` layout).
+//!   configuration (`as-given` order, `scalar` SIMD, `f32` layout); a
+//!   `v2` baseline (pre-dating build timing) is annotated with
+//!   `"build_ns":0`, the "not recorded" sentinel.
 //! * `"current"` — same shape, overwritten on every run.
 //! * `"notes"` (optional) — auxiliary profiling evidence, currently the
 //!   per-depth wide-node visit distribution of a `--heatmap` run;
@@ -54,34 +57,55 @@
 //! Each entry of `results` is one measurement cell:
 //! `{"n": 100000, "backend": "wide-batched", "query_order": "morton",
 //!   "simd": "avx2", "layout": "quantized", "best_ns": …, "mean_ns": …,
-//!   "rays": …, "dist_comps": …, "prim_tests": …, "node_visits": …,
-//!   "wide_node_visits": …, "batched_launches": …}` — `query_order` /
-//! `simd` / `layout` name the launch configuration (`simd` records the
-//! **resolved** level actually run; the binary backend, which has no wide
-//! kernels, reports `"n/a"` for all three).  The counters are the
-//! aggregate [`rtcore::hardware::WorkCounters`] of one stage-1 launch and
-//! must be identical run-to-run (they are work, not time; any drift is a
-//! correctness bug).  Every wide `f32`-layout cell must further agree
-//! with the binary cell on `dist_comps`/`prim_tests` (reordering and SIMD
-//! never change counted candidate work), and Morton cells must show
-//! strictly fewer `wide_node_visits` than their as-given twins — both
-//! asserted on every run, including `--smoke`.
+//!   "build_ns": …, "rays": …, "dist_comps": …, "prim_tests": …,
+//!   "node_visits": …, "wide_node_visits": …, "batched_launches": …}` —
+//! `query_order` / `simd` / `layout` name the launch configuration
+//! (`simd` records the **resolved** level actually run; the binary
+//! backend, which has no wide kernels, reports `"n/a"` for all three),
+//! and `build_ns` is the wall-clock of the one index build the cell's
+//! launches ran against (the per-shard parallel build win lands here).
+//! The counters are the aggregate [`rtcore::hardware::WorkCounters`] of
+//! one stage-1 launch and must be identical run-to-run (they are work,
+//! not time; any drift is a correctness bug).  Every wide `f32`-layout
+//! cell must further agree with the binary cell on
+//! `dist_comps`/`prim_tests` (reordering and SIMD never change counted
+//! candidate work), and Morton cells must show strictly fewer
+//! `wide_node_visits` than their as-given twins — both asserted on every
+//! run, including `--smoke`.
+//!
+//! `--sharded` additionally sweeps the two-level (TLAS over sharded
+//! BLAS) backend at the 1M-point scale against a flat LBVH twin built
+//! from the same Morton order: the `"wide-sharded"` cell must match its
+//! `"wide-flat-lbvh"` twin on `dist_comps`/`prim_tests` exactly (aligned
+//! sharding reproduces the flat leaf partition), and a spans-enabled
+//! build shows the per-shard parallel `lbvh_build` spans under
+//! `tlas_build`.  In `--smoke --sharded` the 1M sweep runs with one
+//! repetition and nothing is written.
 //!
 //! The `baseline`/`current` sections are each a single line so the
 //! regeneration pass can carry the baseline forward without a JSON parser.
 
 use rtcore::geometry::Point3;
 use rtcore::hardware::WorkCounters;
-use rtcore::index::{IndexKind, NeighborIndexBuilder, QueryOrder, SimdPolicy, WideLayout};
+use rtcore::index::{
+    IndexKind, NeighborIndexBuilder, QueryOrder, ShardingConfig, SimdPolicy, WideLayout,
+};
 use rtcore::telemetry::{PhaseKind, TelemetryConfig};
 use rtdbscan_datasets::{generate, PaperDataset};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-const SCHEMA: &str = "rtdbscan-hotpath/v2";
+const SCHEMA: &str = "rtdbscan-hotpath/v3";
 const V1_SCHEMA: &str = "rtdbscan-hotpath/v1";
+const V2_SCHEMA: &str = "rtdbscan-hotpath/v2";
 const EPS: f32 = 0.4;
 const SEED: u64 = 42;
+/// The `--sharded` sweep's scale, search radius and shard-size ceiling.
+/// The tighter radius keeps 1M-point neighbourhoods at a density the
+/// stage-1 launch finishes in CI-bounded time.
+const SHARDED_N: usize = 1_000_000;
+const SHARDED_EPS: f32 = 0.05;
+const SHARD_SIZE: usize = 1 << 16;
 
 /// One wide-backend launch configuration of the sweep.
 #[derive(Clone, Copy)]
@@ -125,6 +149,7 @@ struct Cell {
     layout: String,
     best_ns: u128,
     mean_ns: u128,
+    build_ns: u128,
     counters: WorkCounters,
 }
 
@@ -133,7 +158,7 @@ impl Cell {
         let c = &self.counters;
         format!(
             "{{\"n\":{},\"backend\":\"{}\",\"query_order\":\"{}\",\"simd\":\"{}\",\
-             \"layout\":\"{}\",\"best_ns\":{},\"mean_ns\":{},\
+             \"layout\":\"{}\",\"best_ns\":{},\"mean_ns\":{},\"build_ns\":{},\
              \"rays\":{},\"dist_comps\":{},\"prim_tests\":{},\"node_visits\":{},\
              \"wide_node_visits\":{},\"batched_launches\":{}}}",
             self.n,
@@ -143,6 +168,7 @@ impl Cell {
             self.layout,
             self.best_ns,
             self.mean_ns,
+            self.build_ns,
             c.rays,
             c.dist_comps,
             c.prim_tests,
@@ -161,17 +187,20 @@ fn measure_stage1(
     backend: &'static str,
     labels: (&str, &str, &str),
     points: &[Point3],
+    eps: f32,
     reps: usize,
 ) -> Cell {
+    let build_start = Instant::now();
     let index = builder
-        .build(points, EPS)
+        .build(points, eps)
         .expect("generated points are finite");
+    let build_ns = build_start.elapsed().as_nanos();
     let counts: Vec<AtomicU64> = (0..points.len()).map(|_| AtomicU64::new(0)).collect();
     let run = |counters: &mut WorkCounters| {
         for c in &counts {
             c.store(0, Ordering::Relaxed);
         }
-        index.batch_neighbor_counts(points, EPS, true, None, counters, &counts);
+        index.batch_neighbor_counts(points, eps, true, None, counters, &counts);
     };
 
     // Warm-up: first launch grows the per-worker scratch arenas.
@@ -200,6 +229,7 @@ fn measure_stage1(
         layout: labels.2.to_string(),
         best_ns: best,
         mean_ns: total / reps as u128,
+        build_ns,
         counters,
     }
 }
@@ -212,6 +242,7 @@ fn sweep_size(points: &[Point3], reps: usize) -> Vec<Cell> {
         "binary-bvh",
         ("n/a", "n/a", "n/a"),
         points,
+        EPS,
         reps,
     ));
     for cfg in WIDE_CONFIGS {
@@ -228,10 +259,86 @@ fn sweep_size(points: &[Point3], reps: usize) -> Vec<Cell> {
             "wide-batched",
             (cfg.query_order.name(), resolved, cfg.layout.name()),
             points,
+            EPS,
             reps,
         ));
     }
     cells
+}
+
+/// The `--sharded` sweep: the two-level (TLAS over sharded BLAS) backend
+/// at the 1M-point scale against a flat LBVH twin.  Aligned Morton
+/// sharding reproduces the flat tree's leaf partition, so the pair must
+/// agree on `dist_comps`/`prim_tests` exactly — asserted here on every
+/// run.  The interesting deltas are `build_ns` (per-shard parallel
+/// build) and the TLAS-routing counters.
+fn sweep_sharded(points: &[Point3], reps: usize) -> Vec<Cell> {
+    let resolved = SimdPolicy::Auto.resolve().name();
+    let flat = measure_stage1(
+        &NeighborIndexBuilder {
+            bvh_builder: rtcore::bvh::BuilderKind::Lbvh,
+            ..NeighborIndexBuilder::new(IndexKind::WideBatched)
+        },
+        "wide-flat-lbvh",
+        ("as-given", resolved, "f32"),
+        points,
+        SHARDED_EPS,
+        reps,
+    );
+    let sharded = measure_stage1(
+        &NeighborIndexBuilder {
+            bvh_builder: rtcore::bvh::BuilderKind::Lbvh,
+            sharding: Some(ShardingConfig::new(SHARD_SIZE)),
+            ..NeighborIndexBuilder::new(IndexKind::WideBatched)
+        },
+        "wide-sharded",
+        ("as-given", resolved, "f32"),
+        points,
+        SHARDED_EPS,
+        reps,
+    );
+    assert_eq!(
+        sharded.counters.dist_comps, flat.counters.dist_comps,
+        "sharded dist_comps must match the flat LBVH twin"
+    );
+    assert_eq!(
+        sharded.counters.prim_tests, flat.counters.prim_tests,
+        "sharded prim_tests must match the flat LBVH twin"
+    );
+    assert!(
+        sharded.counters.tlas_node_visits > 0 && sharded.counters.blas_launches > 0,
+        "the sharded launch must route through the TLAS"
+    );
+    vec![flat, sharded]
+}
+
+/// One spans-enabled sharded build + launch: prints the phase summary and
+/// asserts the per-shard parallel build is visible in the trace — one
+/// `tlas_build` span enclosing one `lbvh_build` span per shard.
+fn profile_sharded(points: &[Point3]) {
+    let builder = NeighborIndexBuilder {
+        bvh_builder: rtcore::bvh::BuilderKind::Lbvh,
+        sharding: Some(ShardingConfig::new(SHARD_SIZE)),
+        telemetry: TelemetryConfig::Spans,
+        ..NeighborIndexBuilder::new(IndexKind::WideBatched)
+    };
+    let index = builder
+        .build(points, SHARDED_EPS)
+        .expect("generated points are finite");
+    let shards = index
+        .as_sharded()
+        .expect("sharding was configured")
+        .shard_count();
+    let telemetry = index.telemetry().expect("telemetry was enabled");
+    print!("{}", telemetry.summary_table());
+    let trace = telemetry.chrome_trace_json();
+    assert!(trace.contains("tlas_build"), "trace records the TLAS build");
+    let shard_builds = trace.matches("lbvh_build").count();
+    assert!(
+        shard_builds >= shards,
+        "per-shard builds must be visible in the trace: {shard_builds} lbvh_build spans for {shards} shards"
+    );
+    println!("sharded build: {shards} shards, {shard_builds} per-shard lbvh_build spans in trace");
 }
 
 /// The counter invariants every sweep must satisfy (asserted in full runs
@@ -402,6 +509,26 @@ fn migrate_v1_baseline(line: &str) -> String {
     format!("{}[{}{}", &line[..start], cells.join(","), &line[end..])
 }
 
+/// Migrate a `v2` baseline results line to the `v3` cell shape by
+/// annotating every cell with the "build time not recorded" sentinel.
+fn migrate_v2_baseline(line: &str) -> String {
+    let (Some(start), Some(end)) = (line.find('['), line.rfind(']')) else {
+        return line.to_string();
+    };
+    let body = &line[start + 1..end];
+    let cells: Vec<String> = if body.trim().is_empty() {
+        Vec::new()
+    } else {
+        body.split("},{")
+            .map(|cell| {
+                let cell = cell.trim_start_matches('{').trim_end_matches('}');
+                format!("{{{cell},\"build_ns\":0}}")
+            })
+            .collect()
+    };
+    format!("{}[{}{}", &line[..start], cells.join(","), &line[end..])
+}
+
 /// Scan a results line for the `best_ns` of the best (minimum) cell of
 /// one `(n, backend)` pair across whatever configurations it holds.
 fn scan_best_ns(section: &str, n: usize, backend: &str) -> Option<u128> {
@@ -424,6 +551,7 @@ fn scan_best_ns(section: &str, n: usize, backend: &str) -> Option<u128> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let sharded = args.iter().any(|a| a == "--sharded");
     let record_baseline = args.iter().any(|a| a == "--record-baseline");
     let force = args.iter().any(|a| a == "--force");
     let heatmap = args.iter().any(|a| a == "--heatmap");
@@ -466,6 +594,30 @@ fn main() {
     }
     assert_sweep_invariants(&cells);
 
+    if sharded {
+        // Fixed-seed 1M-point sweep through the two-level backend: one
+        // rep in smoke (the counter identities are the point there), the
+        // usual best-of in full runs.
+        let points = generate(PaperDataset::PortoTaxi, SHARDED_N, SEED);
+        let sharded_reps = if smoke { 1 } else { 2 };
+        for cell in sweep_sharded(&points, sharded_reps) {
+            println!(
+                "n={:>7}  {:<14} {:<9} {:<7} {:<10}  best {:>10.3} ms  mean {:>10.3} ms  build {:>10.3} ms  [{}]",
+                cell.n,
+                cell.backend,
+                cell.query_order,
+                cell.simd,
+                cell.layout,
+                cell.best_ns as f64 / 1e6,
+                cell.mean_ns as f64 / 1e6,
+                cell.build_ns as f64 / 1e6,
+                cell.counters.summary_line(),
+            );
+            cells.push(cell);
+        }
+        profile_sharded(&points);
+    }
+
     let heatmap_note = if trace_out.is_some() || heatmap {
         let &profile_n = sizes.last().expect("sweep has at least one size");
         let points = generate(PaperDataset::PortoTaxi, profile_n, SEED);
@@ -490,7 +642,8 @@ fn main() {
     let current = results_line(&cells);
     let config = format!(
         "{{\"dataset\":\"porto-taxi\",\"seed\":{SEED},\"eps\":{EPS},\"reps\":{reps},\
-         \"measures\":\"stage-1 batched neighbour count, index build excluded\"}}"
+         \"measures\":\"stage-1 batched neighbour count; build_ns is the cell's one index build\",\
+         \"sharded\":{{\"n\":{SHARDED_N},\"eps\":{SHARDED_EPS},\"shard_size\":{SHARD_SIZE}}}}}"
     );
 
     let baseline = if record_baseline {
@@ -522,8 +675,14 @@ fn main() {
             existing_section(&out_path, "baseline"),
         ) {
             (Some(s), Some(line)) if s == format!("\"{V1_SCHEMA}\"") => {
-                println!("note: migrating v1 baseline cells to the v2 schema (legacy config)");
-                migrate_v1_baseline(&line)
+                println!("note: migrating v1 baseline cells to the v3 schema (legacy config)");
+                migrate_v2_baseline(&migrate_v1_baseline(&line))
+            }
+            (Some(s), Some(line)) if s == format!("\"{V2_SCHEMA}\"") => {
+                println!(
+                    "note: migrating v2 baseline cells to the v3 schema (no recorded build time)"
+                );
+                migrate_v2_baseline(&line)
             }
             (Some(s), Some(line)) if s == format!("\"{SCHEMA}\"") => line,
             _ => {
@@ -559,8 +718,16 @@ fn main() {
     std::fs::write(&out_path, doc).expect("write BENCH_hotpath.json");
     println!("wrote {}", out_path.display());
 
-    for &n in sizes {
-        for backend in ["binary-bvh", "wide-batched"] {
+    let mut trajectory: Vec<(usize, &str)> = sizes
+        .iter()
+        .flat_map(|&n| [(n, "binary-bvh"), (n, "wide-batched")])
+        .collect();
+    if sharded {
+        trajectory.push((SHARDED_N, "wide-flat-lbvh"));
+        trajectory.push((SHARDED_N, "wide-sharded"));
+    }
+    for (n, backend) in trajectory {
+        {
             if let (Some(b), Some(c)) = (
                 scan_best_ns(&baseline, n, backend),
                 scan_best_ns(&current, n, backend),

@@ -63,7 +63,7 @@ use crate::GDbscan;
 use rtcore::bvh::BuilderKind;
 use rtcore::geometry::Point3;
 use rtcore::hardware::{DeviceModel, ExecutionPath, WorkCounters};
-use rtcore::index::{NeighborIndex, NeighborIndexBuilder};
+use rtcore::index::{NeighborIndex, NeighborIndexBuilder, ShardingConfig};
 use rtcore::pipeline::GeometryKind;
 use rtcore::telemetry::PhaseKind;
 use rtcore::Result;
@@ -249,6 +249,7 @@ pub struct ClusterEngineBuilder {
     query_order: Option<QueryOrder>,
     wide_layout: Option<WideLayout>,
     simd: Option<SimdPolicy>,
+    shard_size: Option<usize>,
     device_memory_bytes: Option<u64>,
     wide_visit_fraction: Option<f64>,
     telemetry: Option<TelemetryConfig>,
@@ -271,6 +272,7 @@ impl Default for ClusterEngineBuilder {
             query_order: None,
             wide_layout: None,
             simd: None,
+            shard_size: None,
             device_memory_bytes: None,
             wide_visit_fraction: None,
             telemetry: None,
@@ -370,6 +372,45 @@ impl ClusterEngineBuilder {
     /// see [`SimdPolicy`].
     pub fn simd(mut self, simd: SimdPolicy) -> Self {
         self.simd = Some(simd);
+        self
+    }
+
+    /// Build a **two-level scene**: the Morton-sorted primitives are cut
+    /// into shards of at most `shard_size` points, each shard owns a
+    /// bottom-level BVH4 scene built in parallel, and a top-level BVH
+    /// (TLAS) routes every query to the shards it overlaps.  Stage 2 then
+    /// stitches clusters across shard boundaries through the epoch
+    /// union-find, producing the same clustering as the flat scene.
+    /// Wide-batched backend only.
+    ///
+    /// ```
+    /// use rtdbscan::prelude::*;
+    /// use rtcore::geometry::Point3;
+    ///
+    /// let points: Vec<Point3> = (0..600)
+    ///     .map(|i| Point3::new_2d((i % 40) as f32 * 0.3, (i / 40) as f32 * 0.3))
+    ///     .collect();
+    /// let sharded = ClusterEngine::builder()
+    ///     .algorithm(Algo::Rt)
+    ///     .index(IndexKind::WideBatched)
+    ///     .shard_size(128)
+    ///     .eps(0.5)
+    ///     .min_pts(4)
+    ///     .build()
+    ///     .unwrap();
+    /// let flat = ClusterEngine::builder()
+    ///     .algorithm(Algo::Rt)
+    ///     .index(IndexKind::WideBatched)
+    ///     .eps(0.5)
+    ///     .min_pts(4)
+    ///     .build()
+    ///     .unwrap();
+    /// let a = sharded.run(&points).unwrap();
+    /// let b = flat.run(&points).unwrap();
+    /// assert_eq!(a.clustering.core, b.clustering.core);
+    /// ```
+    pub fn shard_size(mut self, shard_size: usize) -> Self {
+        self.shard_size = Some(shard_size);
         self
     }
 
@@ -598,6 +639,38 @@ impl ClusterEngineBuilder {
                 ));
             }
             index.simd = simd;
+        }
+        if let Some(s) = self.shard_size {
+            if s == 0 {
+                return Err(ConfigError::invalid(
+                    "shard_size",
+                    0,
+                    "a shard must hold at least one point",
+                ));
+            }
+            if kind != IndexKind::WideBatched {
+                return Err(ConfigError::conflict(
+                    "shard_size",
+                    s,
+                    "index",
+                    format!(
+                        "two-level scenes shard the wide batched backend only, not {}",
+                        kind.name()
+                    ),
+                ));
+            }
+            if s < index.max_leaf_size {
+                return Err(ConfigError::conflict(
+                    "shard_size",
+                    s,
+                    "max_leaf_size",
+                    format!(
+                        "a shard holds at least one full leaf ({} primitives)",
+                        index.max_leaf_size
+                    ),
+                ));
+            }
+            index.sharding = Some(ShardingConfig::new(s));
         }
         if let Some(t) = self.telemetry {
             if t.heatmap_enabled() && !kind.is_bvh() {
@@ -1166,6 +1239,20 @@ mod tests {
                 "device_memory_bytes",
                 None,
             ),
+            (b().shard_size(0).build().unwrap_err(), "shard_size", None),
+            (
+                b().index(IndexKind::BinaryBvh)
+                    .shard_size(256)
+                    .build()
+                    .unwrap_err(),
+                "shard_size",
+                Some("index"),
+            ),
+            (
+                b().max_leaf_size(8).shard_size(4).build().unwrap_err(),
+                "shard_size",
+                Some("max_leaf_size"),
+            ),
         ];
         for (err, field, conflicts_with) in cases {
             assert_eq!(err.field, field, "{err}");
@@ -1269,6 +1356,55 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(grid.run(&pts).unwrap().clustering.core, a.clustering.core);
+    }
+
+    #[test]
+    fn sharded_scene_matches_flat_and_stitches_across_shards() {
+        let pts = blobs();
+        let params = DbscanParams::new(0.5, 5).unwrap();
+        // Pin the LBVH builder: per-shard subtrees then align with the flat
+        // tree's leaves, making candidate counters comparable exactly.
+        let flat = ClusterEngine::builder()
+            .params(params)
+            .bvh_builder(BuilderKind::Lbvh)
+            .build()
+            .unwrap();
+        let sharded = ClusterEngine::builder()
+            .params(params)
+            .bvh_builder(BuilderKind::Lbvh)
+            .shard_size(48)
+            .build()
+            .unwrap();
+        let f = flat.run(&pts).unwrap();
+        let s = sharded.run(&pts).unwrap();
+        assert_eq!(f.clustering.core, s.clustering.core);
+        assert!(same_clustering(&f.clustering, &s.clustering, &pts, params));
+        assert_eq!(
+            f.counters.core_identification.dist_comps, s.counters.core_identification.dist_comps,
+            "aligned shards must charge the flat path's candidate work"
+        );
+        assert_eq!(f.counters.total().tlas_node_visits, 0);
+        assert!(s.counters.total().tlas_node_visits > 0);
+        assert!(s.counters.total().blas_launches > 0);
+    }
+
+    #[test]
+    fn sharded_session_records_two_level_phases() {
+        let pts = blobs();
+        let engine = ClusterEngine::builder()
+            .eps(0.5)
+            .min_pts(5)
+            .shard_size(48)
+            .telemetry(TelemetryConfig::Spans)
+            .build()
+            .unwrap();
+        let session = engine.session(&pts).unwrap();
+        let run = session.cluster(5).unwrap();
+        assert!(run.counters.cluster_formation.tlas_node_visits > 0);
+        let trace = session.index().telemetry().unwrap().chrome_trace_json();
+        for phase in ["tlas_build", "tlas_visit", "shard_stitch"] {
+            assert!(trace.contains(phase), "missing {phase} span in {trace}");
+        }
     }
 
     #[test]

@@ -73,8 +73,6 @@ pub use gdbscan::GDbscan;
 pub use labels::{Clustering, NOISE};
 pub use params::DbscanParams;
 pub use rt_dbscan::RtDbscan;
-#[allow(deprecated)]
-pub use rt_dbscan::RtDbscanSession;
 pub use runner::{
     DbscanAlgorithm, Phase, PhaseCounters, PhaseTimings, RunResult, SimulatedBreakdown,
 };

@@ -95,19 +95,6 @@ impl RtDbscan {
         }
     }
 
-    /// Override the launch-width threshold below which launches run
-    /// sequentially.
-    #[deprecated(
-        since = "0.3.0",
-        note = "set the field directly or use ClusterEngine::builder().min_parallel_launch(..)"
-    )]
-    pub fn with_min_parallel_launch(min_parallel_launch: usize) -> Self {
-        RtDbscan {
-            min_parallel_launch,
-            ..RtDbscan::default()
-        }
-    }
-
     /// RT-DBSCAN on the one-ray-at-a-time binary traversal — the oracle the
     /// wide batched default is verified against.
     pub fn with_binary_traversal() -> Self {
@@ -240,104 +227,25 @@ impl DbscanAlgorithm for RtDbscan {
     }
 }
 
-/// A reusable RT-DBSCAN session for parameter exploration (Section VI-B).
-///
-/// Deprecated shim over [`crate::engine::ClusterSession`] — the
-/// backend-generic session behind
-/// [`crate::engine::ClusterEngine::session`]; the behaviour (build the
-/// acceleration structure and run stage 1 once, then answer any `minPts`
-/// paying only for stage 2) is unchanged.
-///
-/// ```
-/// use rtcore::geometry::Point3;
-/// # #[allow(deprecated)]
-/// use rtdbscan::rt_dbscan::RtDbscanSession;
-///
-/// let points: Vec<Point3> = (0..60).map(|i| Point3::new_2d(0.1 * (i % 30) as f32, (i / 30) as f32)).collect();
-/// # #[allow(deprecated)]
-/// let session = RtDbscanSession::new(&points, 0.25).unwrap();
-/// let strict = session.cluster(8).unwrap();
-/// let loose = session.cluster(2).unwrap();
-/// assert!(loose.clustering.core_count() >= strict.clustering.core_count());
-/// ```
-#[derive(Debug)]
-pub struct RtDbscanSession {
-    inner: crate::engine::ClusterSession,
-}
-
-impl RtDbscanSession {
-    /// Build the scene and record every point's ε-neighbour count with the
-    /// default RT-DBSCAN configuration.
-    #[deprecated(since = "0.3.0", note = "use ClusterEngine::builder()…session(points)")]
-    pub fn new(points: &[Point3], eps: f32) -> Result<Self> {
-        #[allow(deprecated)]
-        Self::with_config(points, eps, RtDbscan::default())
-    }
-
-    /// Build a session with an explicit RT-DBSCAN configuration.
-    #[deprecated(since = "0.3.0", note = "use ClusterEngine::builder()…session(points)")]
-    pub fn with_config(points: &[Point3], eps: f32, config: RtDbscan) -> Result<Self> {
-        // Validate eps through the params type (minPts is irrelevant here).
-        DbscanParams::new(eps, 1)?;
-        let (index, build_time) = timed(|| config.index_builder().build(points, eps));
-        Ok(RtDbscanSession {
-            inner: crate::engine::ClusterSession::create(index?, points, eps, build_time),
-        })
-    }
-
-    /// The search radius this session was built for.
-    pub fn eps(&self) -> f32 {
-        self.inner.eps()
-    }
-
-    /// Number of points in the session.
-    pub fn len(&self) -> usize {
-        self.inner.len()
-    }
-
-    /// True if the session holds no points.
-    pub fn is_empty(&self) -> bool {
-        self.inner.is_empty()
-    }
-
-    /// The recorded ε-neighbour count of every point (self excluded) — the
-    /// quantity whose retention Section VI-B argues for.
-    pub fn neighbor_counts(&self) -> &[u64] {
-        self.inner.neighbor_counts()
-    }
-
-    /// Number of points that would be core points for a given `minPts`.
-    pub fn core_count_for(&self, min_pts: usize) -> usize {
-        self.inner.core_count_for(min_pts)
-    }
-
-    /// The `minPts` value at which a given fraction (0..1) of the points
-    /// would qualify as core points.
-    pub fn min_pts_for_core_fraction(&self, fraction: f64) -> usize {
-        self.inner.min_pts_for_core_fraction(fraction)
-    }
-
-    /// Cluster with a given `minPts`, reusing the acceleration structure
-    /// and the recorded neighbour counts.
-    pub fn cluster(&self, min_pts: usize) -> Result<RunResult> {
-        self.inner.cluster(min_pts)
-    }
-
-    /// The one-off cost of building this session (acceleration-structure
-    /// build plus the stage-1 launch): counters and wall-clock timings.
-    pub fn setup_cost(&self) -> (PhaseCounters, PhaseTimings) {
-        self.inner.setup_cost()
-    }
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::classic::ClassicDbscan;
     use crate::fdbscan::Fdbscan;
     use crate::metrics::same_clustering;
     use rtcore::hardware::WorkCounters;
+
+    /// The engine-level session the removed `RtDbscanSession` shim used to
+    /// wrap: default RT-DBSCAN configuration, any `minPts` per cluster call.
+    fn rt_session(pts: &[Point3], eps: f32) -> crate::engine::ClusterSession {
+        crate::engine::ClusterEngine::builder()
+            .eps(eps)
+            .min_pts(1)
+            .build()
+            .unwrap()
+            .session(pts)
+            .unwrap()
+    }
 
     fn blobs_with_noise() -> Vec<Point3> {
         let mut pts = Vec::new();
@@ -485,7 +393,7 @@ mod tests {
     #[test]
     fn session_matches_one_shot_runs_for_every_min_pts() {
         let pts = blobs_with_noise();
-        let session = RtDbscanSession::new(&pts, 0.5).unwrap();
+        let session = rt_session(&pts, 0.5);
         for min_pts in [2usize, 5, 20, 500] {
             let params = DbscanParams::new(0.5, min_pts).unwrap();
             let one_shot = RtDbscan::default().run(&pts, params).unwrap().clustering;
@@ -502,7 +410,7 @@ mod tests {
     #[test]
     fn session_reuse_skips_stage_one_work() {
         let pts = blobs_with_noise();
-        let session = RtDbscanSession::new(&pts, 0.5).unwrap();
+        let session = rt_session(&pts, 0.5);
         let run = session.cluster(5).unwrap();
         assert_eq!(run.counters.build, WorkCounters::ZERO);
         assert_eq!(run.counters.core_identification, WorkCounters::ZERO);
@@ -516,7 +424,7 @@ mod tests {
     fn session_neighbor_counts_match_brute_force() {
         let pts = blobs_with_noise();
         let eps = 0.5f32;
-        let session = RtDbscanSession::new(&pts, eps).unwrap();
+        let session = rt_session(&pts, eps);
         for (i, &count) in session.neighbor_counts().iter().enumerate().step_by(17) {
             // Closed-ball convention on squared f32 distances — the single
             // boundary rule every implementation in the workspace shares.
@@ -532,7 +440,7 @@ mod tests {
     #[test]
     fn session_parameter_helpers() {
         let pts = blobs_with_noise();
-        let session = RtDbscanSession::new(&pts, 0.5).unwrap();
+        let session = rt_session(&pts, 0.5);
         assert_eq!(session.len(), pts.len());
         assert!(!session.is_empty());
         assert_eq!(session.eps(), 0.5);
@@ -540,7 +448,7 @@ mod tests {
         let cores = session.core_count_for(min_pts_half);
         assert!(cores >= pts.len() / 2, "{cores} of {}", pts.len());
         // An empty session behaves sanely.
-        let empty = RtDbscanSession::new(&[], 0.5).unwrap();
+        let empty = rt_session(&[], 0.5);
         assert!(empty.is_empty());
         assert_eq!(empty.min_pts_for_core_fraction(0.5), 1);
         assert!(empty.cluster(3).unwrap().clustering.is_empty());
@@ -549,8 +457,12 @@ mod tests {
     #[test]
     fn session_rejects_invalid_parameters() {
         let pts = blobs_with_noise();
-        assert!(RtDbscanSession::new(&pts, -1.0).is_err());
-        let session = RtDbscanSession::new(&pts, 0.5).unwrap();
+        assert!(crate::engine::ClusterEngine::builder()
+            .eps(-1.0)
+            .min_pts(1)
+            .build()
+            .is_err());
+        let session = rt_session(&pts, 0.5);
         assert!(session.cluster(0).is_err());
     }
 
@@ -559,8 +471,14 @@ mod tests {
         let pts = blobs_with_noise();
         let params = DbscanParams::new(0.5, 5).unwrap();
         // Force the all-sequential and all-parallel launch paths.
-        let sequential = RtDbscan::with_min_parallel_launch(usize::MAX);
-        let parallel = RtDbscan::with_min_parallel_launch(0);
+        let sequential = RtDbscan {
+            min_parallel_launch: usize::MAX,
+            ..RtDbscan::default()
+        };
+        let parallel = RtDbscan {
+            min_parallel_launch: 0,
+            ..RtDbscan::default()
+        };
         assert_eq!(sequential.index_builder().min_parallel_launch, usize::MAX);
         assert_eq!(parallel.index_builder().min_parallel_launch, 0);
         assert_eq!(

@@ -8,11 +8,12 @@
 //! substrate (binary BVH vs BVH4 packets vs grid vs brute force) is whatever
 //! backend the caller hands in, which is the point of the redesign.
 
-use crate::disjoint_set::ConcurrentDisjointSet;
+use crate::disjoint_set::{ConcurrentDisjointSet, EpochDisjointSet};
 use crate::labels::NOISE;
 use rtcore::geometry::Point3;
 use rtcore::hardware::WorkCounters;
-use rtcore::index::{NeighborFlow, NeighborIndex};
+use rtcore::index::{NeighborFlow, NeighborIndex, ShardSelect, ShardedIndex};
+use rtcore::telemetry::PhaseKind;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Stage 1: every point's exact ε-neighbour count (self excluded), answered
@@ -60,6 +61,9 @@ pub(crate) fn form_clusters(
     core: &[bool],
     eps: f32,
 ) -> (Vec<i64>, WorkCounters) {
+    if let Some(sharded) = index.as_sharded() {
+        return form_clusters_stitched(sharded, index, points, core, eps);
+    }
     let n = points.len();
     let core_indices: Vec<u32> = (0..n as u32).filter(|&i| core[i as usize]).collect();
     let queries: Vec<Point3> = core_indices.iter().map(|&i| points[i as usize]).collect();
@@ -96,6 +100,138 @@ pub(crate) fn form_clusters(
         .map(|i| {
             if core[i] || claimed[i].load(Ordering::Relaxed) {
                 dsu.find(i) as i64
+            } else {
+                NOISE
+            }
+        })
+        .collect();
+    let mut dup_fixups = 0u64;
+    for i in 0..n {
+        let rep = index.representative_of(i as u32) as usize;
+        if rep != i && labels[i] == NOISE && labels[rep] >= 0 {
+            labels[i] = labels[rep];
+            dup_fixups += 1;
+        }
+    }
+    counters.misc_ops += dup_fixups;
+
+    (labels, counters)
+}
+
+/// Stage 2 over a two-level scene: intra-shard clustering first (one
+/// [`ShardSelect::Owner`] launch applying the flat union/claim logic), then
+/// the cross-shard boundary pass — a [`ShardSelect::CrossOnly`] launch whose
+/// edges are merged through the O(1)-reset epoch union-find under a
+/// `shard_stitch` telemetry span.  The two launches together enumerate
+/// exactly the candidate set of one flat launch (see
+/// [`ShardedIndex::batch_neighbors_stitched`]), and union-find merges are
+/// order-insensitive, so the core partition is identical to the flat path's;
+/// border points join exactly one reachable cluster, as in the flat path.
+fn form_clusters_stitched(
+    sharded: &ShardedIndex,
+    index: &dyn NeighborIndex,
+    points: &[Point3],
+    core: &[bool],
+    eps: f32,
+) -> (Vec<i64>, WorkCounters) {
+    let n = points.len();
+    let core_indices: Vec<u32> = (0..n as u32).filter(|&i| core[i as usize]).collect();
+    let queries: Vec<Point3> = core_indices.iter().map(|&i| points[i as usize]).collect();
+    // Owner of each query's representative primitive; a query whose
+    // representative has no live shard (never the case for a freshly built
+    // scene) degrades to "everything is cross-shard", which stays correct.
+    let owners: Vec<u32> = core_indices
+        .iter()
+        .map(|&i| {
+            sharded
+                .owner_shard(index.representative_of(i))
+                .unwrap_or(u32::MAX)
+        })
+        .collect();
+    let dsu = ConcurrentDisjointSet::new(n);
+    let claimed: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    let mut counters = WorkCounters::ZERO;
+
+    // Phase A — intra-shard: each query only visits its owning BLAS; the
+    // sink is the flat stage-2 logic verbatim.
+    sharded.batch_neighbors_stitched(
+        &queries,
+        &owners,
+        ShardSelect::Owner,
+        eps,
+        &mut counters,
+        &|ordinal, neighbor, _| {
+            let p = core_indices[ordinal] as usize;
+            let q = neighbor.index as usize;
+            // Core neighbours always merge; border points are claimed by
+            // exactly one cluster (the CAS runs only for non-core q).
+            if q != p
+                && (core[q]
+                    || claimed[q]
+                        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                        .is_ok())
+            {
+                dsu.union(p, q);
+            }
+            NeighborFlow::Continue
+        },
+    );
+
+    // Phase B — boundary regions: collect the cross-shard edges, then merge
+    // them through the epoch union-find so the stitch work is visible as its
+    // own phase (and its own union-find traffic).
+    let cross_edges: std::sync::Mutex<Vec<(u32, u32)>> = std::sync::Mutex::new(Vec::new());
+    sharded.batch_neighbors_stitched(
+        &queries,
+        &owners,
+        ShardSelect::CrossOnly,
+        eps,
+        &mut counters,
+        &|ordinal, neighbor, _| {
+            let p = core_indices[ordinal];
+            if neighbor.index != p {
+                cross_edges.lock().unwrap().push((p, neighbor.index));
+            }
+            NeighborFlow::Continue
+        },
+    );
+
+    let span = sharded.telemetry().map(|t| t.span(PhaseKind::ShardStitch));
+    let mut epoch = EpochDisjointSet::new(n);
+    // Import the intra-shard partition: attach every assigned point to its
+    // phase-A representative.
+    for i in 0..n {
+        if core[i] || claimed[i].load(Ordering::Relaxed) {
+            epoch.union(i, dsu.find(i));
+        }
+    }
+    for &(p, q) in cross_edges.lock().unwrap().iter() {
+        let (p, q) = (p as usize, q as usize);
+        // Same union/claim rule as phase A, applied to the boundary edges.
+        if core[q]
+            || claimed[q]
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        {
+            epoch.union(p, q);
+        }
+    }
+    let mut stitch_counters = WorkCounters::ZERO;
+    let (find_ops, union_ops) = dsu.op_counts();
+    stitch_counters.find_ops += find_ops;
+    stitch_counters.union_ops += union_ops;
+    let (find_ops, union_ops) = epoch.op_counts();
+    stitch_counters.find_ops += find_ops;
+    stitch_counters.union_ops += union_ops;
+    if let Some(mut s) = span {
+        s.add_counters(stitch_counters);
+    }
+    counters += stitch_counters;
+
+    let mut labels: Vec<i64> = (0..n)
+        .map(|i| {
+            if core[i] || claimed[i].load(Ordering::Relaxed) {
+                epoch.find(i) as i64
             } else {
                 NOISE
             }

@@ -40,7 +40,7 @@ pub trait BvhBuilder: Sync {
 }
 
 /// Validate primitives before building.
-fn validate_prims(prims: &[Sphere]) -> Result<()> {
+pub(crate) fn validate_prims(prims: &[Sphere]) -> Result<()> {
     if prims.is_empty() {
         return Err(Error::EmptyScene);
     }
@@ -360,7 +360,7 @@ impl LbvhBuilder {
     /// Find the split position of a sorted Morton-code range: one past the
     /// last element that shares the highest differing bit with the first
     /// element.  Returns the midpoint when all codes are identical.
-    fn morton_split(codes: &[u32], start: usize, end: usize) -> usize {
+    pub(crate) fn morton_split(codes: &[u32], start: usize, end: usize) -> usize {
         let first = codes[start];
         let last = codes[end - 1];
         if first == last {
@@ -382,6 +382,39 @@ impl LbvhBuilder {
         }
         lo.clamp(start + 1, end - 1)
     }
+}
+
+/// Build an LBVH over primitives that are *already* in Morton order.
+///
+/// Used by the sharded scene: the sharder Morton-encodes and radix-sorts the
+/// whole scene once over the global bounds, then each shard's BLAS is emitted
+/// directly over its contiguous slice of the sorted arrays.  Because
+/// `morton_split` depends only on the codes within a range (and splits
+/// identical-code runs at the range midpoint, which is invariant under
+/// re-indexing), every BLAS is bit-identical to the corresponding subtree of
+/// the flat LBVH over the same data — the property the sharded backend's
+/// counter-identity guarantees rest on.
+///
+/// `counters` seeds the build counters (the caller charges the global encode
+/// and sort there); `finish_build` adds the per-shard `build_prims` and
+/// `build_node_ops` on top.
+pub(crate) fn lbvh_from_sorted(
+    sorted_prims: Vec<Sphere>,
+    sorted_codes: Vec<u32>,
+    max_leaf_size: usize,
+    counters: WorkCounters,
+) -> Result<Bvh> {
+    validate_prims(&sorted_prims)?;
+    debug_assert_eq!(sorted_prims.len(), sorted_codes.len());
+    Ok(finish_build(
+        BuilderKind::Lbvh,
+        sorted_prims,
+        max_leaf_size,
+        move |_prims, start, end, _counters| {
+            Some(LbvhBuilder::morton_split(&sorted_codes, start, end))
+        },
+        counters,
+    ))
 }
 
 impl BvhBuilder for LbvhBuilder {

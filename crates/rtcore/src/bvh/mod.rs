@@ -19,14 +19,18 @@
 //!   the builders above collapses into SoA wide nodes
 //!   ([`WideBvh::from_binary`]) consumed by the batched traversal engine in
 //!   [`crate::traversal::batch`].
+//! * [`tlas`] — two-level scenes: Morton-range shard planning plus the
+//!   top-level BVH whose leaves are shard instances, each owning a
+//!   bottom-level BVH built by the machinery above.
 //!
 //! All builders produce the same flat [`Bvh`] representation and report the
 //! work they performed through [`crate::hardware::WorkCounters`].
 
-mod build;
+pub(crate) mod build;
 mod compact;
 mod node;
 pub mod refit;
+pub mod tlas;
 mod validate;
 pub mod wide;
 
@@ -34,6 +38,7 @@ pub use build::{BuilderKind, BvhBuilder, LbvhBuilder, MedianSplitBuilder, SahBui
 pub use compact::{compact_coincident, CompactionResult};
 pub use node::{Bvh, BvhNode, NodeKind};
 pub use refit::{remove_points, tree_health, update_spheres, RefitPolicy, RefitStats, TreeHealth};
+pub use tlas::{plan_shards, ShardPlan, ShardingConfig, Tlas, TlasNode, TlasNodeKind};
 pub use validate::{validate, BvhInvariantError};
 pub use wide::{
     validate_wide, CompactWideNode, CompactWideNodes, PrimLanes, WideBvh, WideChild,

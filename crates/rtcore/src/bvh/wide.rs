@@ -253,20 +253,35 @@ impl WideBvh {
         while let Some((bin_idx, wide_idx)) = work.pop() {
             let members = collapse_members(bvh, bin_idx);
             let mut node = WideNode::EMPTY;
-            for (slot, &member) in members.iter().enumerate() {
+            let mut slot = 0usize;
+            for &member in &members {
                 let m = &bvh.nodes[member as usize];
-                node.set_bounds(slot, &m.bounds);
                 match m.kind {
                     NodeKind::Leaf {
                         first_prim,
                         prim_count,
                     } => {
+                        // Leaves emptied by a refit removal stay in the
+                        // binary tree but must not occupy a wide slot: an
+                        // empty-box slot tagged as a leaf breaks the
+                        // layout invariant and wastes a hit-mask lane.
+                        if prim_count == 0 {
+                            continue;
+                        }
+                        node.set_bounds(slot, &m.bounds);
                         node.children[slot] = WideChild::Leaf {
                             first_prim,
                             prim_count,
                         };
                     }
                     NodeKind::Internal { .. } => {
+                        // A subtree whose every primitive was removed refits
+                        // to the inverted box; prune it rather than nesting
+                        // an all-empty wide node under a non-empty tag.
+                        if m.bounds.is_empty() {
+                            continue;
+                        }
+                        node.set_bounds(slot, &m.bounds);
                         let child_wide = nodes.len() as u32;
                         nodes.push(WideNode::EMPTY);
                         counters.build_node_ops += 1;
@@ -274,6 +289,7 @@ impl WideBvh {
                         work.push((member, child_wide));
                     }
                 }
+                slot += 1;
             }
             nodes[wide_idx as usize] = node;
         }

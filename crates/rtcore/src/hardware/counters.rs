@@ -32,6 +32,12 @@ pub struct WorkCounters {
     /// Batched traversal launches (one per ray packet handed to the wide
     /// traversal engine).
     pub batched_launches: u64,
+    /// Top-level (TLAS) nodes visited while enumerating the bottom-level
+    /// scenes a query overlaps in a two-level (sharded) scene.
+    pub tlas_node_visits: u64,
+    /// Bottom-level (BLAS) traversal launches dispatched by the sharded
+    /// backend — one per (packet, overlapping shard) pair.
+    pub blas_launches: u64,
     /// Ray–AABB slab tests performed.
     pub aabb_tests: u64,
     /// Primitive intersection-program invocations (ray–sphere tests).
@@ -82,6 +88,8 @@ impl WorkCounters {
         node_visits: 0,
         wide_node_visits: 0,
         batched_launches: 0,
+        tlas_node_visits: 0,
+        blas_launches: 0,
         aabb_tests: 0,
         prim_tests: 0,
         anyhit_invocations: 0,
@@ -106,6 +114,8 @@ impl WorkCounters {
             self.node_visits,
             self.wide_node_visits,
             self.batched_launches,
+            self.tlas_node_visits,
+            self.blas_launches,
             self.aabb_tests,
             self.prim_tests,
             self.anyhit_invocations,
@@ -154,6 +164,8 @@ impl WorkCounters {
             ("node_visits", self.node_visits),
             ("wide_node_visits", self.wide_node_visits),
             ("batched_launches", self.batched_launches),
+            ("tlas_node_visits", self.tlas_node_visits),
+            ("blas_launches", self.blas_launches),
             ("aabb_tests", self.aabb_tests),
             ("prim_tests", self.prim_tests),
             ("anyhit_invocations", self.anyhit_invocations),
@@ -191,6 +203,8 @@ impl Add for WorkCounters {
             node_visits: self.node_visits.saturating_add(rhs.node_visits),
             wide_node_visits: self.wide_node_visits.saturating_add(rhs.wide_node_visits),
             batched_launches: self.batched_launches.saturating_add(rhs.batched_launches),
+            tlas_node_visits: self.tlas_node_visits.saturating_add(rhs.tlas_node_visits),
+            blas_launches: self.blas_launches.saturating_add(rhs.blas_launches),
             aabb_tests: self.aabb_tests.saturating_add(rhs.aabb_tests),
             prim_tests: self.prim_tests.saturating_add(rhs.prim_tests),
             anyhit_invocations: self
@@ -229,6 +243,8 @@ impl Sub for WorkCounters {
             node_visits: self.node_visits.saturating_sub(rhs.node_visits),
             wide_node_visits: self.wide_node_visits.saturating_sub(rhs.wide_node_visits),
             batched_launches: self.batched_launches.saturating_sub(rhs.batched_launches),
+            tlas_node_visits: self.tlas_node_visits.saturating_sub(rhs.tlas_node_visits),
+            blas_launches: self.blas_launches.saturating_sub(rhs.blas_launches),
             aabb_tests: self.aabb_tests.saturating_sub(rhs.aabb_tests),
             prim_tests: self.prim_tests.saturating_sub(rhs.prim_tests),
             anyhit_invocations: self
@@ -284,6 +300,8 @@ pub struct SharedCounters {
     node_visits: AtomicU64,
     wide_node_visits: AtomicU64,
     batched_launches: AtomicU64,
+    tlas_node_visits: AtomicU64,
+    blas_launches: AtomicU64,
     aabb_tests: AtomicU64,
     prim_tests: AtomicU64,
     anyhit_invocations: AtomicU64,
@@ -317,6 +335,8 @@ impl SharedCounters {
         saturating_fetch_add(&self.node_visits, c.node_visits);
         saturating_fetch_add(&self.wide_node_visits, c.wide_node_visits);
         saturating_fetch_add(&self.batched_launches, c.batched_launches);
+        saturating_fetch_add(&self.tlas_node_visits, c.tlas_node_visits);
+        saturating_fetch_add(&self.blas_launches, c.blas_launches);
         saturating_fetch_add(&self.aabb_tests, c.aabb_tests);
         saturating_fetch_add(&self.prim_tests, c.prim_tests);
         saturating_fetch_add(&self.anyhit_invocations, c.anyhit_invocations);
@@ -341,6 +361,8 @@ impl SharedCounters {
             node_visits: self.node_visits.load(Ordering::Relaxed),
             wide_node_visits: self.wide_node_visits.load(Ordering::Relaxed),
             batched_launches: self.batched_launches.load(Ordering::Relaxed),
+            tlas_node_visits: self.tlas_node_visits.load(Ordering::Relaxed),
+            blas_launches: self.blas_launches.load(Ordering::Relaxed),
             aabb_tests: self.aabb_tests.load(Ordering::Relaxed),
             prim_tests: self.prim_tests.load(Ordering::Relaxed),
             anyhit_invocations: self.anyhit_invocations.load(Ordering::Relaxed),
@@ -365,6 +387,8 @@ impl SharedCounters {
         self.node_visits.store(0, Ordering::Relaxed);
         self.wide_node_visits.store(0, Ordering::Relaxed);
         self.batched_launches.store(0, Ordering::Relaxed);
+        self.tlas_node_visits.store(0, Ordering::Relaxed);
+        self.blas_launches.store(0, Ordering::Relaxed);
         self.aabb_tests.store(0, Ordering::Relaxed);
         self.prim_tests.store(0, Ordering::Relaxed);
         self.anyhit_invocations.store(0, Ordering::Relaxed);
@@ -408,6 +432,8 @@ mod tests {
             rebuilds: 17,
             wide_node_visits: 18,
             batched_launches: 19,
+            tlas_node_visits: 20,
+            blas_launches: 21,
         }
     }
 
@@ -428,10 +454,13 @@ mod tests {
     #[test]
     fn aggregate_helpers() {
         let c = sample();
-        assert_eq!(c.traversal_ops(), 1 + 2 + 3 + 4 + 14 + 5 + 18 + 19);
+        assert_eq!(
+            c.traversal_ops(),
+            1 + 2 + 3 + 4 + 14 + 5 + 18 + 19 + 20 + 21
+        );
         assert_eq!(c.build_ops(), 6 + 7 + 8 + 9);
         assert_eq!(c.refit_ops(), 15 + 16);
-        assert_eq!(c.total_ops(), (1..=19).sum::<u64>());
+        assert_eq!(c.total_ops(), (1..=21).sum::<u64>());
     }
 
     #[test]

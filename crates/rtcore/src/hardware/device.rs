@@ -172,6 +172,10 @@ impl CostProfile {
             + c.node_visits as f64 * self.node_visit_ns
             + c.wide_node_visits as f64 * self.wide_visit_ns()
             + c.batched_launches as f64 * self.batched_launch_ns
+            // Two-level scenes: a TLAS node visit is priced like a binary
+            // node visit, and each BLAS dispatch like a batched launch.
+            + c.tlas_node_visits as f64 * self.node_visit_ns
+            + c.blas_launches as f64 * self.batched_launch_ns
             + c.aabb_tests as f64 * self.aabb_test_ns
             + c.prim_tests as f64 * self.prim_test_ns
             + c.anyhit_invocations as f64 * self.anyhit_ns

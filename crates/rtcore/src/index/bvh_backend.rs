@@ -48,7 +48,7 @@ macro_rules! with_sink {
 /// Caller ordinal of packet position `pos` under an optional launch
 /// permutation (identity when the launch runs in caller order).
 #[inline]
-fn caller_ordinal(perm: Option<&[u32]>, pos: usize) -> usize {
+pub(crate) fn caller_ordinal(perm: Option<&[u32]>, pos: usize) -> usize {
     perm.map_or(pos, |p| p[pos] as usize)
 }
 
@@ -144,6 +144,33 @@ impl BvhCore {
             scratch: ScratchPool::new(),
             telemetry,
         })
+    }
+
+    /// Wrap an already-built tree (a shard's BLAS): no compaction pass, no
+    /// builder dispatch — the sharded scene performed both globally.  The
+    /// `representative_of` table stays empty (identity fallback); the
+    /// spheres carry their global point indices, so queries report global
+    /// ids without translation.
+    fn from_prebuilt(
+        config: &NeighborIndexBuilder,
+        bvh: Bvh,
+        eps: f32,
+        telemetry: Telemetry,
+    ) -> Self {
+        let build_counters = bvh.build_counters;
+        BvhCore {
+            n: bvh.primitives.len(),
+            eps,
+            bvh: Some(bvh),
+            representative_of: Vec::new(),
+            compacting: false,
+            geometry: config.geometry,
+            min_parallel_launch: config.min_parallel_launch,
+            build_counters,
+            query_counters: Mutex::new(WorkCounters::ZERO),
+            scratch: ScratchPool::new(),
+            telemetry,
+        }
     }
 
     /// The telemetry handle, exposed only when it records (the trait's
@@ -660,6 +687,62 @@ impl WideBatchedIndex {
         })
     }
 
+    /// Wrap an already-built binary tree (a shard's BLAS) into the wide
+    /// batched engine: collapse to BVH4 (and bake the quantized mirror when
+    /// configured) exactly as [`WideBatchedIndex::build`] does, but skip the
+    /// compaction/builder front end — the sharded scene ran those globally.
+    /// Spans open on the calling thread, so per-shard parallel builds are
+    /// visible in the trace through their thread ids.
+    pub(crate) fn from_prebuilt(
+        config: &NeighborIndexBuilder,
+        bvh: Bvh,
+        eps: f32,
+        telemetry: Telemetry,
+    ) -> Self {
+        let mut core = BvhCore::from_prebuilt(config, bvh, eps, telemetry);
+        let wide = {
+            let mut span = core.telemetry.span(PhaseKind::Bvh4Collapse);
+            let wide = core.bvh.as_ref().map(WideBvh::from_binary);
+            if let Some(w) = &wide {
+                core.build_counters += w.collapse_counters;
+                span.add_counters(w.collapse_counters);
+            }
+            wide
+        };
+        let compact = match (config.wide_layout, &wide) {
+            (WideLayout::Quantized, Some(w)) => {
+                let mut span = core.telemetry.span(PhaseKind::QuantizedBake);
+                core.build_counters.build_node_ops += w.node_count() as u64;
+                span.add_counters(WorkCounters {
+                    build_node_ops: w.node_count() as u64,
+                    ..WorkCounters::ZERO
+                });
+                Some(CompactWideNodes::from_wide(w))
+            }
+            _ => None,
+        };
+        let lanes = wide
+            .as_ref()
+            .map(|w| PrimLanes::from_primitives(&w.primitives));
+        let heatmap = config
+            .telemetry
+            .heatmap_enabled()
+            .then(|| wide.as_ref().map(NodeHeatmap::for_wide))
+            .flatten();
+        WideBatchedIndex {
+            core,
+            wide,
+            compact,
+            lanes,
+            layout: config.wide_layout,
+            query_order: config.query_order,
+            simd: config.simd.resolve(),
+            batch_size: config.batch_size.max(1),
+            reorder: ScratchPool::new(),
+            heatmap,
+        }
+    }
+
     /// The collapsed wide scene, if any points were indexed.
     pub fn wide_scene(&self) -> Option<&WideBvh> {
         self.wide.as_ref()
@@ -668,6 +751,15 @@ impl WideBatchedIndex {
     /// The SIMD level this index resolved at build.
     pub fn simd_level(&self) -> SimdLevel {
         self.simd
+    }
+
+    /// Sphere-inflated bounds of everything this index holds (empty when no
+    /// primitives remain).  The sharded scene's TLAS leaves carry exactly
+    /// these boxes.
+    pub(crate) fn root_bounds(&self) -> crate::geometry::Aabb {
+        self.wide
+            .as_ref()
+            .map_or(crate::geometry::Aabb::EMPTY, |w| w.scene_bounds)
     }
 
     /// The scene in the configured traversal layout.
@@ -740,7 +832,7 @@ impl WideBatchedIndex {
     /// performed nor its accounting depends on how packets are scheduled.
     /// `ordered` is the launch-order query array and `perm` maps packet
     /// positions back to caller ordinals (None = identity).
-    fn trace_packet(
+    pub(crate) fn trace_packet(
         &self,
         ordered: &[Point3],
         perm: Option<&[u32]>,
@@ -801,7 +893,7 @@ impl WideBatchedIndex {
     /// kernel over the SoA primitive lanes (bit-identical to the scalar
     /// sphere test; see [`crate::simd`]).
     #[allow(clippy::too_many_arguments)]
-    fn trace_count_packet(
+    pub(crate) fn trace_count_packet(
         &self,
         ordered: &[Point3],
         perm: Option<&[u32]>,

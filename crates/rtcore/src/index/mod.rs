@@ -48,13 +48,15 @@ mod brute;
 mod bvh_backend;
 mod csr;
 mod grid;
+mod sharded;
 
 pub use brute::BruteForceIndex;
 pub use bvh_backend::{BinaryBvhIndex, WideBatchedIndex};
 pub use csr::CsrNeighbors;
 pub use grid::UniformGridIndex;
+pub use sharded::{ShardSelect, ShardedIndex};
 
-pub use crate::bvh::WideLayout;
+pub use crate::bvh::{ShardingConfig, WideLayout};
 pub use crate::simd::SimdPolicy;
 pub use crate::traversal::QueryOrder;
 
@@ -348,6 +350,13 @@ pub trait NeighborIndex: std::fmt::Debug + Send + Sync {
         None
     }
 
+    /// Downcast to the two-level sharded backend, when this index is one.
+    /// Engine stages use this to route stage 2 through the cross-shard
+    /// stitching launches instead of one flat launch.
+    fn as_sharded(&self) -> Option<&ShardedIndex> {
+        None
+    }
+
     /// Convenience: collect the neighbour indices of `query` (excluding
     /// `exclude`), expanding multiplicities is the caller's business.
     fn neighbors_of(
@@ -508,6 +517,31 @@ pub struct NeighborIndexBuilder {
     /// the per-node visit heatmap).  [`TelemetryConfig::Off`] compiles the
     /// hot paths to the exact pre-telemetry code.
     pub telemetry: TelemetryConfig,
+    /// Build a two-level scene ([`ShardedIndex`]) instead of one flat BVH:
+    /// the Morton-sorted primitives are cut into shards of at most
+    /// `max_shard_size`, each shard owns a bottom-level wide scene built in
+    /// parallel, and a top-level BVH (TLAS) routes queries to the shards
+    /// they overlap.  [`IndexKind::WideBatched`] only.
+    ///
+    /// ```
+    /// use rtcore::geometry::Point3;
+    /// use rtcore::index::{IndexKind, NeighborIndexBuilder, ShardingConfig};
+    ///
+    /// let pts: Vec<Point3> = (0..1000)
+    ///     .map(|i| Point3::new(i as f32 * 0.01, 0.0, 0.0))
+    ///     .collect();
+    /// let index = NeighborIndexBuilder {
+    ///     sharding: Some(ShardingConfig::new(128)),
+    ///     ..NeighborIndexBuilder::new(IndexKind::WideBatched)
+    /// }
+    /// .build(&pts, 0.05)
+    /// .unwrap();
+    /// // Same trait surface, same answers as the flat backend.
+    /// let mut c = rtcore::hardware::WorkCounters::ZERO;
+    /// assert!(index.neighbors_of(pts[0], 0.05, Some(0), &mut c).contains(&1));
+    /// assert!(index.as_sharded().unwrap().shard_count() > 1);
+    /// ```
+    pub sharding: Option<ShardingConfig>,
 }
 
 impl NeighborIndexBuilder {
@@ -525,6 +559,7 @@ impl NeighborIndexBuilder {
             wide_layout: WideLayout::F32,
             simd: SimdPolicy::Auto,
             telemetry: TelemetryConfig::Off,
+            sharding: None,
         }
     }
 
@@ -550,6 +585,27 @@ impl NeighborIndexBuilder {
                  nodes to profile (use TelemetryConfig::Spans instead)",
                 self.kind.name()
             )));
+        }
+        if let Some(sharding) = self.sharding {
+            if self.kind != IndexKind::WideBatched {
+                return Err(Error::InvalidConfig(format!(
+                    "sharding builds a TLAS over wide-batched bottom-level scenes; \
+                     the {} index cannot shard",
+                    self.kind.name()
+                )));
+            }
+            if sharding.max_shard_size == 0 {
+                return Err(Error::InvalidConfig(
+                    "max_shard_size must be at least 1".into(),
+                ));
+            }
+            if sharding.max_shard_size < self.max_leaf_size {
+                return Err(Error::InvalidConfig(format!(
+                    "max_shard_size ({}) must be at least max_leaf_size ({}): a shard \
+                     holds at least one full leaf",
+                    sharding.max_shard_size, self.max_leaf_size
+                )));
+            }
         }
         match self.geometry {
             GeometryKind::CustomSpheres => {}
@@ -591,6 +647,9 @@ impl NeighborIndexBuilder {
         }
         Ok(match self.kind {
             IndexKind::BinaryBvh => Box::new(BinaryBvhIndex::build(self, points, eps)?),
+            IndexKind::WideBatched if self.sharding.is_some() => {
+                Box::new(ShardedIndex::build(self, points, eps)?)
+            }
             IndexKind::WideBatched => Box::new(WideBatchedIndex::build(self, points, eps)?),
             IndexKind::UniformGrid => Box::new(UniformGridIndex::build(self, points, eps)?),
             IndexKind::BruteForce => Box::new(BruteForceIndex::build(self, points, eps)?),

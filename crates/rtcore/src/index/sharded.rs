@@ -1,0 +1,1028 @@
+//! [`ShardedIndex`]: the two-level (TLAS over sharded BLAS) neighbour-search
+//! backend.
+//!
+//! The flat [`super::WideBatchedIndex`] builds one BVH over the whole scene;
+//! this backend cuts the same Morton-sorted primitive array into contiguous
+//! shards ([`crate::bvh::tlas::plan_shards`]), builds one bottom-level wide
+//! scene per shard **in parallel**, and answers queries by descending a
+//! small top-level BVH to enumerate the shards a query overlaps, then
+//! reusing the existing wavefront packet engine per BLAS.
+//!
+//! # Equivalence to the flat path
+//!
+//! With the LBVH builder, every BLAS is bit-identical to the corresponding
+//! subtree of the flat LBVH (see [`crate::bvh::tlas`]), so the *leaf* boxes
+//! — the only structure that decides which candidates are charged — are the
+//! same.  The TLAS gate uses the same [`Aabb::intersects_ray`] predicate as
+//! the engines' root gates and is therefore conservative, so the union of
+//! per-BLAS candidate sets equals the flat candidate set exactly: neighbour
+//! sets, CSR rows, counts, and the `dist_comps` / `prim_tests` counters all
+//! match the flat wide-batched launch.  Counters that measure *structure
+//! walked* rather than *candidates charged* (`rays`, `aabb_tests`,
+//! `wide_node_visits`, `batched_launches`) legitimately differ; the sharded
+//! backend additionally charges `tlas_node_visits` and one `blas_launches`
+//! per (packet, overlapping shard) engine dispatch.
+//!
+//! `early_exit` hints are honoured as *exact* counting (the hint is a lower
+//! bound, so `count >= min` core decisions are unchanged); unlike the flat
+//! hot path, packet planning allocates per-shard sub-lists, which is why
+//! this backend is not under the flat path's zero-allocation contract.
+
+use super::bvh_backend::caller_ordinal;
+use super::{
+    IndexCapabilities, IndexKind, NeighborFlow, NeighborIndex, NeighborIndexBuilder, NeighborSink,
+    NeighborVisitor, WideBatchedIndex,
+};
+use crate::bvh::build::lbvh_from_sorted;
+use crate::bvh::tlas::{plan_shards, Tlas};
+use crate::bvh::{
+    compact_coincident, spheres_from_points, BuilderKind, BvhBuilder, MedianSplitBuilder,
+    SahBuilder,
+};
+use crate::error::{Error, Result};
+use crate::geometry::{Aabb, Point3, Ray, Sphere};
+use crate::hardware::WorkCounters;
+use crate::telemetry::{
+    NodeHeatmap, PhaseKind, Telemetry, DIST_COMPS_BUCKETS, LATENCY_US_BUCKETS, OCCUPANCY_BUCKETS,
+};
+use crate::traversal::{QueryOrder, ReorderScratch, ScratchPool};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One shard's slice of the Morton-sorted build inputs (primitives and
+/// codes), boxed in a consumable slot so the parallel build can move it
+/// out exactly once.
+type ShardSlice = Mutex<Option<(Vec<Sphere>, Vec<u32>)>>;
+
+/// Per-worker reusable buffers for one sharded packet: the TLAS descent
+/// output, the (shard, packet position) launch plan, the per-shard query
+/// sub-lists, and the packet-local count cells.
+#[derive(Debug, Default)]
+struct ShardScratch {
+    overlaps: Vec<u32>,
+    /// `(shard, packet position)` pairs, sorted by shard so each shard's
+    /// sub-launch is one contiguous run in packet order.
+    pairs: Vec<(u32, u32)>,
+    sub_queries: Vec<Point3>,
+    sub_perm: Vec<u32>,
+    counts: Vec<AtomicU64>,
+}
+
+/// Which shards a stitched stage-2 launch targets per query (see
+/// [`ShardedIndex::batch_neighbors_stitched`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardSelect {
+    /// Only the query's owning shard — the intra-shard clustering pass.
+    Owner,
+    /// Every overlapping shard *except* the owner — the cross-shard
+    /// boundary pass whose edges the stitcher merges.
+    CrossOnly,
+}
+
+/// Two-level neighbour-search backend: a TLAS over Morton-range shards,
+/// each owning a bottom-level wide (BVH4 / quantized) scene answered by the
+/// wavefront packet engine.
+///
+/// Built through [`NeighborIndexBuilder`] by setting
+/// [`NeighborIndexBuilder::sharding`] on the [`IndexKind::WideBatched`]
+/// kind.  Streaming eviction drops whole BLASes: [`NeighborIndex::remove`]
+/// routes retirements to their owning shards, and a shard whose last
+/// primitive is refitted away becomes a `None` slot whose TLAS leaf is an
+/// empty box.
+#[derive(Debug)]
+pub struct ShardedIndex {
+    n: usize,
+    eps: f32,
+    batch_size: usize,
+    min_parallel_launch: usize,
+    query_order: QueryOrder,
+    compacting: bool,
+    max_shard_size: usize,
+    representative_of: Vec<u32>,
+    /// Representative point id → owning shard (`u32::MAX` once retired).
+    owner_shard: Vec<u32>,
+    tlas: Tlas,
+    /// One bottom-level scene per planned shard; `None` = evicted.
+    shards: Vec<Option<WideBatchedIndex>>,
+    build_counters: WorkCounters,
+    query_counters: Mutex<WorkCounters>,
+    reorder: ScratchPool<ReorderScratch>,
+    scratch: ScratchPool<ShardScratch>,
+    telemetry: Telemetry,
+}
+
+impl ShardedIndex {
+    /// Build the two-level scene from a [`NeighborIndexBuilder`] whose
+    /// `sharding` knob is set.  Compaction (if configured) runs globally
+    /// before sharding, so representatives and multiplicities are identical
+    /// to the flat backend's; the per-shard BLAS builds run in parallel.
+    pub fn build(config: &NeighborIndexBuilder, points: &[Point3], eps: f32) -> Result<Self> {
+        let sharding = config.sharding.ok_or_else(|| {
+            Error::InvalidConfig("ShardedIndex::build requires the sharding knob".into())
+        })?;
+        let telemetry = Telemetry::new(config.telemetry);
+        let mut build_counters = WorkCounters::ZERO;
+        let (spheres, representative_of) = if config.compaction {
+            let compaction = compact_coincident(points, eps);
+            build_counters.compaction_merges += compaction.merged;
+            build_counters.build_prims += compaction.merged;
+            (compaction.spheres, compaction.representative_of)
+        } else {
+            (
+                spheres_from_points(points, eps),
+                (0..points.len() as u32).collect(),
+            )
+        };
+
+        let mut index = ShardedIndex {
+            n: points.len(),
+            eps,
+            batch_size: config.batch_size.max(1),
+            min_parallel_launch: config.min_parallel_launch,
+            query_order: config.query_order,
+            compacting: config.compaction,
+            max_shard_size: sharding.max_shard_size,
+            representative_of,
+            owner_shard: vec![u32::MAX; points.len()],
+            tlas: Tlas::default(),
+            shards: Vec::new(),
+            build_counters,
+            query_counters: Mutex::new(WorkCounters::ZERO),
+            reorder: ScratchPool::new(),
+            scratch: ScratchPool::new(),
+            telemetry,
+        };
+        if spheres.is_empty() {
+            return Ok(index);
+        }
+
+        // Global Morton encode + sort + shard-cut descent.
+        let plan = {
+            let mut span = index.telemetry.span(PhaseKind::LbvhBuild);
+            let plan = plan_shards(spheres, sharding.max_shard_size)?;
+            span.add_counters(plan.counters);
+            plan
+        };
+        index.build_counters += plan.counters;
+        for (s, &(lo, hi)) in plan.ranges.iter().enumerate() {
+            for p in &plan.sorted_prims[lo..hi] {
+                index.owner_shard[p.point_index as usize] = s as u32;
+            }
+        }
+
+        // Per-shard parallel BLAS build on the rayon pool.  Each worker
+        // opens its own build spans, so shard-build parallelism shows up in
+        // the trace through the span thread ids.
+        let max_leaf = config.max_leaf_size;
+        let builder_kind = config.bvh_builder;
+        // One consumable slot per shard: the shim's owned-`Vec` parallel
+        // iterator clones items out, so hand workers indices instead and
+        // move each slice out of its slot exactly once.
+        let slices: Vec<ShardSlice> = plan
+            .ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                Mutex::new(Some((
+                    plan.sorted_prims[lo..hi].to_vec(),
+                    plan.sorted_codes[lo..hi].to_vec(),
+                )))
+            })
+            .collect();
+        let telemetry = index.telemetry.clone();
+        let config = *config;
+        let built: Vec<Result<WideBatchedIndex>> = {
+            use rayon::prelude::*;
+            (0..slices.len())
+                .into_par_iter()
+                .map(|s| {
+                    let (prims, codes) = slices[s].lock().take().expect("slot consumed once");
+                    let bvh = {
+                        let mut span = telemetry.span(PhaseKind::LbvhBuild);
+                        let bvh = match builder_kind {
+                            // The aligned path: emit over the pre-sorted
+                            // slice, reproducing the flat subtree exactly.
+                            BuilderKind::Lbvh => {
+                                lbvh_from_sorted(prims, codes, max_leaf, WorkCounters::ZERO)?
+                            }
+                            BuilderKind::BinnedSah => SahBuilder {
+                                max_leaf_size: max_leaf,
+                                ..SahBuilder::default()
+                            }
+                            .build(prims)?,
+                            BuilderKind::MedianSplit => MedianSplitBuilder {
+                                max_leaf_size: max_leaf,
+                            }
+                            .build(prims)?,
+                        };
+                        span.add_counters(bvh.build_counters);
+                        bvh
+                    };
+                    Ok(WideBatchedIndex::from_prebuilt(
+                        &config,
+                        bvh,
+                        eps,
+                        telemetry.clone(),
+                    ))
+                })
+                .collect()
+        };
+        for blas in built {
+            let blas = blas?;
+            index.build_counters += blas.build_counters();
+            index.shards.push(Some(blas));
+        }
+        index.rebuild_tlas();
+        Ok(index)
+    }
+
+    /// Rebuild the top-level BVH from the current shard root bounds
+    /// (evicted shards contribute empty boxes) under a `tlas_build` span.
+    fn rebuild_tlas(&mut self) {
+        let bounds: Vec<Aabb> = self
+            .shards
+            .iter()
+            .map(|s| s.as_ref().map_or(Aabb::EMPTY, |b| b.root_bounds()))
+            .collect();
+        let mut counters = WorkCounters::ZERO;
+        let mut span = self.telemetry.span(PhaseKind::TlasBuild);
+        self.tlas = Tlas::build(&bounds, &mut counters);
+        span.add_counters(counters);
+        drop(span);
+        self.build_counters += counters;
+    }
+
+    /// Number of planned shards (including evicted slots).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of shards still holding a live BLAS.
+    pub fn live_shard_count(&self) -> usize {
+        self.shards.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// The shard owning a point's representative primitive, or `None` once
+    /// the point was retired (or never indexed).
+    pub fn owner_shard(&self, point: u32) -> Option<u32> {
+        match self.owner_shard.get(point as usize) {
+            Some(&s) if s != u32::MAX && self.shards.get(s as usize)?.is_some() => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Per-shard node-visit heatmaps (one entry per shard slot), populated
+    /// when the index was built under
+    /// [`crate::telemetry::TelemetryConfig::Profile`].
+    pub fn shard_heatmaps(&self) -> Vec<Option<&NodeHeatmap>> {
+        self.shards
+            .iter()
+            .map(|s| s.as_ref().and_then(|b| b.heatmap()))
+            .collect()
+    }
+
+    /// The configured shard-size ceiling.
+    pub fn max_shard_size(&self) -> usize {
+        self.max_shard_size
+    }
+
+    fn record(&self, local: &WorkCounters) {
+        *self.query_counters.lock() += *local;
+    }
+
+    /// Mirror of the flat backends' launch metrics recording.
+    fn record_launch_metrics(&self, queries: usize, start_ns: u64, total: &WorkCounters) {
+        let Some(metrics) = self.telemetry.metrics() else {
+            return;
+        };
+        metrics.incr("launches", 1);
+        metrics.incr("launched_queries", queries as u64);
+        let latency_us = self.telemetry.now_ns().saturating_sub(start_ns) as f64 / 1_000.0;
+        metrics.observe("launch_latency_us", LATENCY_US_BUCKETS, latency_us);
+        if queries > 0 {
+            metrics.observe(
+                "dist_comps_per_query",
+                DIST_COMPS_BUCKETS,
+                total.dist_comps as f64 / queries as f64,
+            );
+            let size = self.batch_size.max(1);
+            let packets = queries.div_ceil(size);
+            metrics.observe(
+                "packet_occupancy",
+                OCCUPANCY_BUCKETS,
+                queries as f64 / (packets * size) as f64,
+            );
+        }
+    }
+
+    /// Morton-reorder the launch when configured (see the flat backend's
+    /// `morton_guard`); outputs are restored to caller ordinals through the
+    /// permutation either way.
+    fn morton_guard(
+        &self,
+        queries: &[Point3],
+        setup: &mut WorkCounters,
+    ) -> Option<crate::traversal::PoolGuard<'_, ReorderScratch>> {
+        if self.query_order != QueryOrder::Morton || queries.len() < 2 {
+            return None;
+        }
+        let mut span = self.telemetry.span(PhaseKind::MortonReorder);
+        let mut guard = self.reorder.acquire();
+        let sort_ops = guard.order_morton(queries);
+        setup.misc_ops += sort_ops;
+        span.add_counters(WorkCounters {
+            misc_ops: sort_ops,
+            ..WorkCounters::ZERO
+        });
+        Some(guard)
+    }
+
+    /// TLAS-descend every ray of one packet and lay out the per-shard
+    /// sub-launch plan in `scratch.pairs` (sorted by shard, packet order
+    /// within a shard).  `filter(caller ordinal, shard)` prunes shards per
+    /// query — the stitched stage-2 passes select owner-only or cross-only
+    /// launches through it.
+    #[allow(clippy::too_many_arguments)]
+    fn plan_packet(
+        tlas: &Tlas,
+        shards: &[Option<WideBatchedIndex>],
+        ordered: &[Point3],
+        perm: Option<&[u32]>,
+        start: usize,
+        len: usize,
+        overlaps: &mut Vec<u32>,
+        pairs: &mut Vec<(u32, u32)>,
+        counters: &mut WorkCounters,
+        filter: &(impl Fn(usize, u32) -> bool + ?Sized),
+    ) {
+        pairs.clear();
+        for pos in 0..len {
+            let ray = Ray::epsilon_ray(ordered[start + pos]);
+            overlaps.clear();
+            tlas.overlapping(&ray, counters, overlaps);
+            let global = caller_ordinal(perm, start + pos);
+            for &s in overlaps.iter() {
+                if shards[s as usize].is_some() && filter(global, s) {
+                    pairs.push((s, pos as u32));
+                }
+            }
+        }
+        pairs.sort_unstable();
+    }
+
+    /// Sink-mode sharded packet: plan, then one wavefront engine launch per
+    /// overlapped shard, each charged as one `blas_launches`.  Sinks see
+    /// caller ordinals directly through the sub-launch permutation.
+    #[allow(clippy::too_many_arguments)]
+    fn trace_packet_sharded(
+        &self,
+        ordered: &[Point3],
+        perm: Option<&[u32]>,
+        start: usize,
+        len: usize,
+        eps: f32,
+        sink: &NeighborSink<'_>,
+        filter: &(impl Fn(usize, u32) -> bool + ?Sized),
+    ) -> WorkCounters {
+        let mut local = WorkCounters::ZERO;
+        let mut guard = self.scratch.acquire();
+        let ShardScratch {
+            overlaps,
+            pairs,
+            sub_queries,
+            sub_perm,
+            ..
+        } = &mut *guard;
+        Self::plan_packet(
+            &self.tlas,
+            &self.shards,
+            ordered,
+            perm,
+            start,
+            len,
+            overlaps,
+            pairs,
+            &mut local,
+            filter,
+        );
+        let mut i = 0;
+        while i < pairs.len() {
+            let shard = pairs[i].0;
+            sub_queries.clear();
+            sub_perm.clear();
+            let mut j = i;
+            while j < pairs.len() && pairs[j].0 == shard {
+                let pos = pairs[j].1 as usize;
+                sub_queries.push(ordered[start + pos]);
+                sub_perm.push(caller_ordinal(perm, start + pos) as u32);
+                j += 1;
+            }
+            let blas = self.shards[shard as usize]
+                .as_ref()
+                .expect("planned shards are live");
+            local.blas_launches += 1;
+            local +=
+                blas.trace_packet(sub_queries, Some(sub_perm), 0, sub_queries.len(), eps, sink);
+            i = j;
+        }
+        local
+    }
+
+    /// Count-mode sharded packet: per-shard counts accumulate in
+    /// packet-local cells (each sub-launch flushes once per query, exactly
+    /// like the flat packet tracer), and the packet flushes the
+    /// `saturating_sub(1)` self-exclusion algebra to the shared cells once
+    /// per query — bit-identical to the flat count path's adjustment.
+    #[allow(clippy::too_many_arguments)]
+    fn trace_count_packet_sharded(
+        &self,
+        ordered: &[Point3],
+        perm: Option<&[u32]>,
+        start: usize,
+        len: usize,
+        eps: f32,
+        exclude_self: bool,
+        counts: &[AtomicU64],
+    ) -> WorkCounters {
+        let mut local = WorkCounters::ZERO;
+        let mut guard = self.scratch.acquire();
+        let ShardScratch {
+            overlaps,
+            pairs,
+            sub_queries,
+            sub_perm,
+            counts: cells,
+        } = &mut *guard;
+        Self::plan_packet(
+            &self.tlas,
+            &self.shards,
+            ordered,
+            perm,
+            start,
+            len,
+            overlaps,
+            pairs,
+            &mut local,
+            &|_, _| true,
+        );
+        cells.clear();
+        cells.resize_with(len, AtomicU64::default);
+        let mut i = 0;
+        while i < pairs.len() {
+            let shard = pairs[i].0;
+            sub_queries.clear();
+            sub_perm.clear();
+            let mut j = i;
+            while j < pairs.len() && pairs[j].0 == shard {
+                let pos = pairs[j].1;
+                sub_queries.push(ordered[start + pos as usize]);
+                sub_perm.push(pos);
+                j += 1;
+            }
+            let blas = self.shards[shard as usize]
+                .as_ref()
+                .expect("planned shards are live");
+            local.blas_launches += 1;
+            local += blas.trace_count_packet(
+                sub_queries,
+                Some(sub_perm),
+                0,
+                sub_queries.len(),
+                eps,
+                false,
+                None,
+                cells,
+            );
+            i = j;
+        }
+        for (pos, cell) in cells.iter().enumerate() {
+            let mut count = cell.load(Ordering::Relaxed);
+            if exclude_self {
+                count = count.saturating_sub(1);
+            }
+            if count > 0 {
+                counts[caller_ordinal(perm, start + pos)].fetch_add(count, Ordering::Relaxed);
+            }
+        }
+        local
+    }
+
+    /// The shared sink-mode launch driver: Morton reorder (when configured),
+    /// fixed packets, one `tlas_visit` span over the whole launch.
+    fn launch_sink(
+        &self,
+        queries: &[Point3],
+        eps: f32,
+        counters: &mut WorkCounters,
+        sink: &NeighborSink<'_>,
+        filter: &(dyn Fn(usize, u32) -> bool + Sync),
+    ) {
+        debug_assert!(eps <= self.eps, "query radius exceeds the build radius");
+        let mut setup = WorkCounters::ZERO;
+        let reorder = self.morton_guard(queries, &mut setup);
+        let (ordered, perm): (&[Point3], Option<&[u32]>) = match reorder.as_deref() {
+            Some(g) => (&g.points, Some(&g.perm)),
+            None => (queries, None),
+        };
+        let start_ns = self.telemetry.now_ns();
+        let mut span = self.telemetry.span(PhaseKind::TlasVisit);
+        let packets = queries.len().div_ceil(self.batch_size);
+        let mut total = super::dispatch_batch(
+            packets,
+            queries.len() >= self.min_parallel_launch,
+            |packet| {
+                let start = packet * self.batch_size;
+                let len = self.batch_size.min(queries.len() - start);
+                self.trace_packet_sharded(ordered, perm, start, len, eps, sink, filter)
+            },
+        );
+        total += setup;
+        span.add_counters(total);
+        drop(span);
+        self.record_launch_metrics(queries.len(), start_ns, &total);
+        self.record(&total);
+        *counters += total;
+    }
+
+    /// Stage-2 stitching entry: launch each query against the shards
+    /// [`ShardSelect`] picks relative to its owning shard.  `owners[i]` is
+    /// the owning shard of `queries[i]` (from [`ShardedIndex::owner_shard`]).
+    /// The union of an [`ShardSelect::Owner`] and a
+    /// [`ShardSelect::CrossOnly`] launch over the same queries reports
+    /// exactly the neighbours (and charges exactly the candidate work) of
+    /// one plain [`NeighborIndex::batch_neighbors`] launch.
+    pub fn batch_neighbors_stitched(
+        &self,
+        queries: &[Point3],
+        owners: &[u32],
+        select: ShardSelect,
+        eps: f32,
+        counters: &mut WorkCounters,
+        sink: &NeighborSink<'_>,
+    ) {
+        assert_eq!(queries.len(), owners.len(), "one owning shard per query");
+        match select {
+            ShardSelect::Owner => {
+                self.launch_sink(queries, eps, counters, sink, &|q, s| owners[q] == s)
+            }
+            ShardSelect::CrossOnly => {
+                self.launch_sink(queries, eps, counters, sink, &|q, s| owners[q] != s)
+            }
+        }
+    }
+}
+
+impl NeighborIndex for ShardedIndex {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn eps(&self) -> f32 {
+        self.eps
+    }
+
+    fn capabilities(&self) -> IndexCapabilities {
+        IndexCapabilities {
+            kind: IndexKind::WideBatched,
+            batched: true,
+            compacting: self.compacting,
+            refittable: !self.compacting,
+            rt_core: true,
+        }
+    }
+
+    fn build_counters(&self) -> WorkCounters {
+        self.build_counters
+    }
+
+    fn counters(&self) -> WorkCounters {
+        self.build_counters + *self.query_counters.lock()
+    }
+
+    fn device_bytes(&self) -> u64 {
+        let blas: u64 = self.shards.iter().flatten().map(|b| b.device_bytes()).sum();
+        blas + (self.tlas.nodes.len() * std::mem::size_of::<crate::bvh::TlasNode>()) as u64
+    }
+
+    fn representative_of(&self, index: u32) -> u32 {
+        self.representative_of
+            .get(index as usize)
+            .copied()
+            .unwrap_or(index)
+    }
+
+    fn for_each_neighbor(
+        &self,
+        query: Point3,
+        eps: f32,
+        exclude: Option<u32>,
+        counters: &mut WorkCounters,
+        visit: &mut NeighborVisitor<'_>,
+    ) {
+        let mut local = WorkCounters::ZERO;
+        let mut overlaps = Vec::new();
+        self.tlas
+            .overlapping(&Ray::epsilon_ray(query), &mut local, &mut overlaps);
+        let mut stopped = false;
+        for s in overlaps {
+            if stopped {
+                break;
+            }
+            let Some(blas) = self.shards[s as usize].as_ref() else {
+                continue;
+            };
+            local.blas_launches += 1;
+            blas.for_each_neighbor(query, eps, exclude, &mut local, &mut |n, c| {
+                let flow = visit(n, c);
+                if flow == NeighborFlow::Stop {
+                    stopped = true;
+                }
+                flow
+            });
+        }
+        self.record(&local);
+        *counters += local;
+    }
+
+    fn batch_neighbors(
+        &self,
+        queries: &[Point3],
+        eps: f32,
+        counters: &mut WorkCounters,
+        sink: &NeighborSink<'_>,
+    ) {
+        self.launch_sink(queries, eps, counters, sink, &|_, _| true);
+    }
+
+    fn batch_neighbor_counts(
+        &self,
+        queries: &[Point3],
+        eps: f32,
+        exclude_self: bool,
+        early_exit: Option<u64>,
+        counters: &mut WorkCounters,
+        counts: &[AtomicU64],
+    ) {
+        // `early_exit` is a hint; the sharded path counts exactly (exact
+        // counts are >= the capped ones, so `count >= min_pts` core
+        // decisions are identical).
+        let _ = early_exit;
+        debug_assert!(eps <= self.eps, "query radius exceeds the build radius");
+        assert_eq!(
+            queries.len(),
+            counts.len(),
+            "one count cell per launched query"
+        );
+        let mut setup = WorkCounters::ZERO;
+        let reorder = self.morton_guard(queries, &mut setup);
+        let (ordered, perm): (&[Point3], Option<&[u32]>) = match reorder.as_deref() {
+            Some(g) => (&g.points, Some(&g.perm)),
+            None => (queries, None),
+        };
+        let start_ns = self.telemetry.now_ns();
+        let mut span = self.telemetry.span(PhaseKind::TlasVisit);
+        let packets = queries.len().div_ceil(self.batch_size);
+        let mut total = super::dispatch_batch(
+            packets,
+            queries.len() >= self.min_parallel_launch,
+            |packet| {
+                let start = packet * self.batch_size;
+                let len = self.batch_size.min(queries.len() - start);
+                self.trace_count_packet_sharded(
+                    ordered,
+                    perm,
+                    start,
+                    len,
+                    eps,
+                    exclude_self,
+                    counts,
+                )
+            },
+        );
+        total += setup;
+        span.add_counters(total);
+        drop(span);
+        self.record_launch_metrics(queries.len(), start_ns, &total);
+        self.record(&total);
+        *counters += total;
+    }
+
+    fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.is_enabled().then_some(&self.telemetry)
+    }
+
+    fn remove(&mut self, retired: &[u32]) -> Result<WorkCounters> {
+        if self.compacting {
+            return Err(Error::InvalidConfig(
+                "cannot remove points from a compacting index: merged primitives \
+                 stand for several input points"
+                    .into(),
+            ));
+        }
+        // Route retirements to their owning shards, refit each touched BLAS
+        // in parallel, and drop any BLAS refitted down to nothing.
+        let mut per_shard: Vec<Vec<u32>> = vec![Vec::new(); self.shards.len()];
+        for &id in retired {
+            if let Some(s) = self.owner_shard(id) {
+                per_shard[s as usize].push(id);
+            }
+        }
+        for &id in retired {
+            if let Some(slot) = self.owner_shard.get_mut(id as usize) {
+                *slot = u32::MAX;
+            }
+        }
+        let work: Vec<Mutex<Option<WideBatchedIndex>>> = std::mem::take(&mut self.shards)
+            .into_iter()
+            .map(Mutex::new)
+            .collect();
+        let refitted: Vec<Result<(Option<WideBatchedIndex>, WorkCounters)>> = {
+            use rayon::prelude::*;
+            (0..work.len())
+                .into_par_iter()
+                .map(|s| {
+                    let Some(mut blas) = work[s].lock().take() else {
+                        return Ok((None, WorkCounters::ZERO));
+                    };
+                    let dead = &per_shard[s];
+                    if dead.is_empty() {
+                        return Ok((Some(blas), WorkCounters::ZERO));
+                    }
+                    let counters = blas.remove(dead)?;
+                    // Eviction emptied the shard: drop the whole BLAS.
+                    let blas = blas.wide_scene().is_some().then_some(blas);
+                    Ok((blas, counters))
+                })
+                .collect()
+        };
+        let mut total = WorkCounters::ZERO;
+        for r in refitted {
+            let (blas, counters) = r?;
+            total += counters;
+            self.shards.push(blas);
+        }
+        self.n = self.n.saturating_sub(retired.len());
+        self.build_counters += total;
+        self.rebuild_tlas();
+        Ok(total)
+    }
+
+    fn update(&mut self, moved: &[(u32, Point3)]) -> Result<WorkCounters> {
+        if self.compacting {
+            return Err(Error::InvalidConfig(
+                "cannot move points of a compacting index: merged primitives \
+                 stand for several input points"
+                    .into(),
+            ));
+        }
+        // A moved point stays in its owning shard — the refit inflates the
+        // BLAS (and then TLAS) bounds exactly like the flat refit inflates
+        // the single tree.
+        let mut per_shard: Vec<Vec<(u32, Point3)>> = vec![Vec::new(); self.shards.len()];
+        for &(id, p) in moved {
+            if let Some(s) = self.owner_shard(id) {
+                per_shard[s as usize].push((id, p));
+            }
+        }
+        let work: Vec<Mutex<Option<WideBatchedIndex>>> = std::mem::take(&mut self.shards)
+            .into_iter()
+            .map(Mutex::new)
+            .collect();
+        let refitted: Vec<Result<(Option<WideBatchedIndex>, WorkCounters)>> = {
+            use rayon::prelude::*;
+            (0..work.len())
+                .into_par_iter()
+                .map(|s| {
+                    let Some(mut blas) = work[s].lock().take() else {
+                        return Ok((None, WorkCounters::ZERO));
+                    };
+                    let shard_moves = &per_shard[s];
+                    if shard_moves.is_empty() {
+                        return Ok((Some(blas), WorkCounters::ZERO));
+                    }
+                    let counters = blas.update(shard_moves)?;
+                    Ok((Some(blas), counters))
+                })
+                .collect()
+        };
+        let mut total = WorkCounters::ZERO;
+        for r in refitted {
+            let (blas, counters) = r?;
+            total += counters;
+            self.shards.push(blas);
+        }
+        self.build_counters += total;
+        self.rebuild_tlas();
+        Ok(total)
+    }
+
+    fn as_sharded(&self) -> Option<&ShardedIndex> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bvh::WideLayout;
+    use crate::index::{Neighbor, NeighborIndexBuilder};
+
+    fn blob_points(n: usize, seed: u64) -> Vec<Point3> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) * 8.0
+        };
+        (0..n)
+            .map(|i| {
+                if i % 11 == 0 {
+                    Point3::new(2.0, 2.0, 2.0) // duplicate run
+                } else {
+                    Point3::new(next(), next(), next())
+                }
+            })
+            .collect()
+    }
+
+    fn flat_config() -> NeighborIndexBuilder {
+        NeighborIndexBuilder {
+            bvh_builder: BuilderKind::Lbvh,
+            min_parallel_launch: 0,
+            batch_size: 64,
+            ..NeighborIndexBuilder::new(IndexKind::WideBatched)
+        }
+    }
+
+    fn sharded_config(max_shard: usize) -> NeighborIndexBuilder {
+        NeighborIndexBuilder {
+            sharding: Some(crate::bvh::ShardingConfig::new(max_shard)),
+            ..flat_config()
+        }
+    }
+
+    fn sorted_rows(
+        index: &dyn NeighborIndex,
+        queries: &[Point3],
+        eps: f32,
+    ) -> (Vec<Vec<u32>>, WorkCounters) {
+        let mut c = WorkCounters::ZERO;
+        let csr = index.batch_neighbors_csr(queries, eps, &mut c);
+        let rows = (0..queries.len())
+            .map(|q| {
+                let mut row: Vec<u32> = csr.neighbors(q).to_vec();
+                row.sort_unstable();
+                row
+            })
+            .collect();
+        (rows, c)
+    }
+
+    #[test]
+    fn sharded_matches_flat_rows_and_candidate_counters() {
+        let pts = blob_points(700, 5);
+        let eps = 0.6f32;
+        let flat = WideBatchedIndex::build(&flat_config(), &pts, eps).unwrap();
+        let sharded = ShardedIndex::build(&sharded_config(64), &pts, eps).unwrap();
+        assert!(sharded.shard_count() > 1, "scene must actually shard");
+
+        let (flat_rows, flat_c) = sorted_rows(&flat, &pts, eps);
+        let (shard_rows, shard_c) = sorted_rows(&sharded, &pts, eps);
+        assert_eq!(flat_rows, shard_rows);
+        assert_eq!(flat_c.dist_comps, shard_c.dist_comps);
+        assert_eq!(flat_c.prim_tests, shard_c.prim_tests);
+        assert!(shard_c.tlas_node_visits > 0);
+        assert!(shard_c.blas_launches > 0);
+    }
+
+    #[test]
+    fn sharded_counts_match_flat_counts() {
+        let pts = blob_points(500, 9);
+        let eps = 0.5f32;
+        let flat = WideBatchedIndex::build(&flat_config(), &pts, eps).unwrap();
+        let sharded = ShardedIndex::build(&sharded_config(48), &pts, eps).unwrap();
+        for exclude_self in [false, true] {
+            let fc: Vec<AtomicU64> = (0..pts.len()).map(|_| AtomicU64::new(0)).collect();
+            let sc: Vec<AtomicU64> = (0..pts.len()).map(|_| AtomicU64::new(0)).collect();
+            let mut c1 = WorkCounters::ZERO;
+            let mut c2 = WorkCounters::ZERO;
+            flat.batch_neighbor_counts(&pts, eps, exclude_self, None, &mut c1, &fc);
+            sharded.batch_neighbor_counts(&pts, eps, exclude_self, None, &mut c2, &sc);
+            for (i, (f, s)) in fc.iter().zip(&sc).enumerate() {
+                assert_eq!(
+                    f.load(Ordering::Relaxed),
+                    s.load(Ordering::Relaxed),
+                    "query {i} exclude_self={exclude_self}"
+                );
+            }
+            assert_eq!(c1.dist_comps, c2.dist_comps);
+        }
+    }
+
+    #[test]
+    fn stitched_launches_partition_the_neighbor_set() {
+        let pts = blob_points(400, 21);
+        let eps = 0.7f32;
+        let sharded = ShardedIndex::build(&sharded_config(48), &pts, eps).unwrap();
+        let owners: Vec<u32> = (0..pts.len())
+            .map(|i| sharded.owner_shard(i as u32).unwrap())
+            .collect();
+        let collect = |select: Option<ShardSelect>| {
+            let rows: Vec<Mutex<Vec<u32>>> =
+                (0..pts.len()).map(|_| Mutex::new(Vec::new())).collect();
+            let mut c = WorkCounters::ZERO;
+            let sink = |q: usize, n: Neighbor, _: &mut WorkCounters| {
+                rows[q].lock().push(n.index);
+                NeighborFlow::Continue
+            };
+            match select {
+                Some(s) => sharded.batch_neighbors_stitched(&pts, &owners, s, eps, &mut c, &sink),
+                None => sharded.batch_neighbors(&pts, eps, &mut c, &sink),
+            }
+            let rows: Vec<Vec<u32>> = rows
+                .into_iter()
+                .map(|m| {
+                    let mut v = m.into_inner();
+                    v.sort_unstable();
+                    v
+                })
+                .collect();
+            (rows, c)
+        };
+        let (all, call) = collect(None);
+        let (intra, cintra) = collect(Some(ShardSelect::Owner));
+        let (cross, ccross) = collect(Some(ShardSelect::CrossOnly));
+        for q in 0..pts.len() {
+            let mut merged: Vec<u32> = intra[q].iter().chain(&cross[q]).copied().collect();
+            merged.sort_unstable();
+            assert_eq!(merged, all[q], "query {q}");
+        }
+        assert_eq!(
+            cintra.dist_comps + ccross.dist_comps,
+            call.dist_comps,
+            "intra + cross candidate work must equal the plain launch"
+        );
+    }
+
+    #[test]
+    fn eviction_drops_blases_and_keeps_answers_correct() {
+        let pts = blob_points(300, 33);
+        let eps = 0.5f32;
+        let mut sharded = ShardedIndex::build(&sharded_config(32), &pts, eps).unwrap();
+        let before = sharded.live_shard_count();
+        // Evict every point of shard 0 → that BLAS must drop.
+        let shard0: Vec<u32> = (0..pts.len() as u32)
+            .filter(|&i| sharded.owner_shard(i) == Some(0))
+            .collect();
+        assert!(!shard0.is_empty());
+        sharded.remove(&shard0).unwrap();
+        assert_eq!(sharded.live_shard_count(), before - 1);
+        assert_eq!(sharded.owner_shard(shard0[0]), None);
+        // Remaining queries still answer exactly (vs brute force).
+        let mut c = WorkCounters::ZERO;
+        for q in (0..pts.len()).step_by(17) {
+            let mut got = sharded.neighbors_of(pts[q], eps, Some(q as u32), &mut c);
+            got.sort_unstable();
+            let mut want: Vec<u32> = pts
+                .iter()
+                .enumerate()
+                .filter(|&(j, p)| {
+                    j != q
+                        && !shard0.contains(&(j as u32))
+                        && p.distance_squared(pts[q]) <= eps * eps
+                })
+                .map(|(j, _)| j as u32)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "query {q}");
+        }
+    }
+
+    #[test]
+    fn empty_scene_builds_and_answers_empty() {
+        let sharded = ShardedIndex::build(&sharded_config(32), &[], 1.0).unwrap();
+        assert!(sharded.is_empty());
+        assert_eq!(sharded.shard_count(), 0);
+        let mut c = WorkCounters::ZERO;
+        assert!(sharded
+            .neighbors_of(Point3::ORIGIN, 1.0, None, &mut c)
+            .is_empty());
+    }
+
+    #[test]
+    fn quantized_layout_keeps_labels_identical_sets() {
+        // The quantized BLAS mirror is conservative per shard-frame: sets
+        // stay exact even though traversal counters may grow.
+        let pts = blob_points(350, 44);
+        let eps = 0.6f32;
+        let flat = WideBatchedIndex::build(&flat_config(), &pts, eps).unwrap();
+        let q_config = NeighborIndexBuilder {
+            wide_layout: WideLayout::Quantized,
+            ..sharded_config(48)
+        };
+        let sharded = ShardedIndex::build(&q_config, &pts, eps).unwrap();
+        let (flat_rows, _) = sorted_rows(&flat, &pts, eps);
+        let (shard_rows, _) = sorted_rows(&sharded, &pts, eps);
+        assert_eq!(flat_rows, shard_rows);
+    }
+}

@@ -25,8 +25,6 @@
 //!   [`index::NeighborIndex`] trait with binary-BVH, wide-batched (BVH4),
 //!   uniform-grid and brute-force implementations, all answering the same
 //!   fixed-radius queries through one object-safe surface.
-//! * [`query`] — the original `RT-FindNeighbor` convenience API, kept as a
-//!   deprecated shim over [`index::BinaryBvhIndex`].
 //!
 //! The crate has no knowledge of DBSCAN; clustering lives in the `rtdbscan`
 //! crate which drives this one.
@@ -60,7 +58,6 @@ pub mod geometry;
 pub mod hardware;
 pub mod index;
 pub mod pipeline;
-pub mod query;
 pub mod simd;
 pub mod telemetry;
 pub mod traversal;

@@ -135,11 +135,18 @@ pub enum PhaseKind {
     Rebuild,
     /// One streaming window slide (ingest + evict bookkeeping).
     StreamingSlide,
+    /// Top-level (TLAS) build over the shard instances of a sharded scene.
+    TlasBuild,
+    /// TLAS descent enumerating the BLASes a query packet overlaps.
+    TlasVisit,
+    /// Cross-shard boundary pass merging clusters through the epoch
+    /// union-find so sharded labels match the flat path.
+    ShardStitch,
 }
 
 impl PhaseKind {
     /// Every phase, in taxonomy order.
-    pub const ALL: [PhaseKind; 9] = [
+    pub const ALL: [PhaseKind; 12] = [
         PhaseKind::LbvhBuild,
         PhaseKind::Bvh4Collapse,
         PhaseKind::QuantizedBake,
@@ -149,6 +156,9 @@ impl PhaseKind {
         PhaseKind::Refit,
         PhaseKind::Rebuild,
         PhaseKind::StreamingSlide,
+        PhaseKind::TlasBuild,
+        PhaseKind::TlasVisit,
+        PhaseKind::ShardStitch,
     ];
 
     /// Stable snake_case name used in trace events and summaries.
@@ -163,6 +173,9 @@ impl PhaseKind {
             PhaseKind::Refit => "refit",
             PhaseKind::Rebuild => "rebuild",
             PhaseKind::StreamingSlide => "streaming_slide",
+            PhaseKind::TlasBuild => "tlas_build",
+            PhaseKind::TlasVisit => "tlas_visit",
+            PhaseKind::ShardStitch => "shard_stitch",
         }
     }
 }

@@ -1,0 +1,201 @@
+//! Streaming eviction over a two-level scene: **drop a BLAS** instead of
+//! refitting a monolithic tree.
+//!
+//! The flat streaming clusterer ([`crate::StreamingClusterer`]) keeps one
+//! BVH alive and refits expiring points out of it, accepting gradual tree
+//! degradation until a rebuild heuristic fires.  A two-level scene
+//! ([`rtcore::index::ShardedIndex`]) changes the failure mode: each
+//! Morton-range shard owns its own bottom-level scene, so when a region of
+//! space ages out of the window its shard empties and the whole BLAS is
+//! *dropped* — the TLAS leaf becomes an empty box, queries stop visiting
+//! it, and no rebuild debt accumulates.  Partially-expired shards refit
+//! like the flat path, but in parallel and independently.
+//!
+//! [`ShardedWindow`] is the thin windowing wrapper that drives this:
+//! evictions are routed through [`rtcore::index::NeighborIndex::remove`]
+//! under a `streaming_slide` telemetry span, and the per-slide statistics
+//! (dropped BLASes, live shards, refit work) are exposed for the bench
+//! harness and tests.
+
+use rtcore::geometry::Point3;
+use rtcore::hardware::WorkCounters;
+use rtcore::index::{IndexKind, NeighborIndex, NeighborIndexBuilder, ShardedIndex, ShardingConfig};
+use rtcore::telemetry::{PhaseKind, TelemetryConfig};
+use rtcore::Result;
+
+/// Cumulative statistics of a [`ShardedWindow`]'s slides.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardedWindowStats {
+    /// Points evicted so far.
+    pub evicted_points: usize,
+    /// Shards planned at build time.
+    pub planned_shards: usize,
+    /// Shards still holding a live bottom-level scene.
+    pub live_shards: usize,
+    /// Bottom-level scenes dropped because eviction emptied them.
+    pub dropped_blases: usize,
+    /// Slides performed.
+    pub slides: usize,
+}
+
+/// A sliding window over a two-level scene where aging out a region drops
+/// its bottom-level BVH wholesale.
+///
+/// ```
+/// use rtcore::geometry::Point3;
+/// use rtdbscan_stream::ShardedWindow;
+///
+/// let pts: Vec<Point3> = (0..256)
+///     .map(|i| Point3::new_2d((i % 16) as f32, (i / 16) as f32))
+///     .collect();
+/// let mut window = ShardedWindow::build(&pts, 1.5, 32).unwrap();
+/// // Age out one whole shard's worth of points…
+/// let shard0: Vec<u32> = (0..pts.len() as u32)
+///     .filter(|&i| window.index().owner_shard(i) == Some(0))
+///     .collect();
+/// window.evict(&shard0).unwrap();
+/// // …and its BLAS is gone, not refitted.
+/// assert_eq!(window.stats().dropped_blases, 1);
+/// ```
+#[derive(Debug)]
+pub struct ShardedWindow {
+    index: ShardedIndex,
+    evicted: usize,
+    slides: usize,
+}
+
+impl ShardedWindow {
+    /// Build the windowed scene over `points` with search radius `eps` and
+    /// the given shard-size ceiling, recording telemetry spans.
+    pub fn build(points: &[Point3], eps: f32, max_shard_size: usize) -> Result<Self> {
+        let config = NeighborIndexBuilder {
+            sharding: Some(ShardingConfig::new(max_shard_size)),
+            telemetry: TelemetryConfig::Spans,
+            ..NeighborIndexBuilder::new(IndexKind::WideBatched)
+        };
+        Ok(ShardedWindow {
+            index: ShardedIndex::build(&config, points, eps)?,
+            evicted: 0,
+            slides: 0,
+        })
+    }
+
+    /// The underlying two-level index, for queries and shard inspection.
+    pub fn index(&self) -> &ShardedIndex {
+        &self.index
+    }
+
+    /// Number of points still live in the window.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True once every point has been evicted.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Slide the window: retire `expired` points from the scene.  Shards
+    /// they partially occupy refit in parallel; shards they empty drop
+    /// their BLAS entirely.  Returns the maintenance work performed.
+    pub fn evict(&mut self, expired: &[u32]) -> Result<WorkCounters> {
+        let telemetry = self.index.telemetry().cloned();
+        let span = telemetry
+            .as_ref()
+            .map(|t| t.span(PhaseKind::StreamingSlide));
+        let counters = self.index.remove(expired)?;
+        if let Some(mut s) = span {
+            s.add_counters(counters);
+        }
+        self.evicted += expired.len();
+        self.slides += 1;
+        Ok(counters)
+    }
+
+    /// Cumulative slide statistics.
+    pub fn stats(&self) -> ShardedWindowStats {
+        ShardedWindowStats {
+            evicted_points: self.evicted,
+            planned_shards: self.index.shard_count(),
+            live_shards: self.index.live_shard_count(),
+            dropped_blases: self.index.shard_count() - self.index.live_shard_count(),
+            slides: self.slides,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n_side: usize) -> Vec<Point3> {
+        (0..n_side * n_side)
+            .map(|i| Point3::new_2d((i % n_side) as f32, (i / n_side) as f32))
+            .collect()
+    }
+
+    #[test]
+    fn evicting_a_whole_shard_drops_its_blas() {
+        let pts = grid(20);
+        let mut window = ShardedWindow::build(&pts, 1.5, 64).unwrap();
+        let planned = window.stats().planned_shards;
+        assert!(planned > 1);
+        let shard0: Vec<u32> = (0..pts.len() as u32)
+            .filter(|&i| window.index().owner_shard(i) == Some(0))
+            .collect();
+        window.evict(&shard0).unwrap();
+        let stats = window.stats();
+        assert_eq!(stats.dropped_blases, 1);
+        assert_eq!(stats.live_shards, planned - 1);
+        assert_eq!(stats.evicted_points, shard0.len());
+        assert_eq!(stats.slides, 1);
+    }
+
+    #[test]
+    fn partial_eviction_refits_and_keeps_answers_exact() {
+        let pts = grid(16);
+        let mut window = ShardedWindow::build(&pts, 1.2, 48).unwrap();
+        // Retire every third point — most shards survive, refitted.
+        let expired: Vec<u32> = (0..pts.len() as u32).step_by(3).collect();
+        let counters = window.evict(&expired).unwrap();
+        assert!(counters.refit_node_ops > 0 || counters.refits > 0);
+        let mut c = WorkCounters::ZERO;
+        for q in (0..pts.len()).step_by(29) {
+            let mut got = window
+                .index()
+                .neighbors_of(pts[q], 1.2, Some(q as u32), &mut c);
+            got.sort_unstable();
+            let mut want: Vec<u32> = pts
+                .iter()
+                .enumerate()
+                .filter(|&(j, p)| {
+                    j != q
+                        && !(j as u32).is_multiple_of(3)
+                        && p.distance_squared(pts[q]) <= 1.2 * 1.2
+                })
+                .map(|(j, _)| j as u32)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "query {q}");
+        }
+    }
+
+    #[test]
+    fn evicting_everything_empties_the_scene() {
+        let pts = grid(10);
+        let mut window = ShardedWindow::build(&pts, 1.0, 16).unwrap();
+        let all: Vec<u32> = (0..pts.len() as u32).collect();
+        window.evict(&all).unwrap();
+        assert!(window.is_empty());
+        assert_eq!(window.stats().live_shards, 0);
+        let mut c = WorkCounters::ZERO;
+        assert!(window
+            .index()
+            .neighbors_of(Point3::ORIGIN, 1.0, None, &mut c)
+            .is_empty());
+        // The slide trace records the eviction work.
+        let trace = window.index().telemetry().unwrap().chrome_trace_json();
+        assert!(trace.contains("streaming_slide"));
+        assert!(trace.contains("tlas_build"));
+    }
+}
