@@ -1,0 +1,316 @@
+//! The analysis engine: walk the workspace, lex each `.rs` file, run every
+//! applicable rule, subtract `// analyze-allow:` waivers, and render the
+//! surviving findings as human-readable or JSON diagnostics.
+//!
+//! # Waivers
+//!
+//! ```text
+//! // analyze-allow: <rule>[, <rule>]* -- <reason>
+//! ```
+//!
+//! A waiver suppresses findings of the named rule(s) on **its own line and
+//! the next line** (so it can sit above the offending statement or at the
+//! end of it).  The `-- <reason>` part is mandatory: a reasonless waiver is
+//! itself reported as `waiver-missing-reason` and cannot be waived away.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{self, TokenKind};
+use crate::rules::{FileContext, Finding, Regions, Rule};
+
+/// Directory names never descended into, and path prefixes excluded from
+/// analysis.  The shims emulate crates.io APIs verbatim (including their
+/// `SeqCst` defaults), and the fixtures contain deliberate violations.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "related"];
+const SKIP_PREFIXES: &[&str] = &["crates/shims/", "crates/analysis/tests/fixtures/"];
+
+/// Result of analyzing a tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings that survived waivers, sorted by (path, line, col, rule).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files lexed and checked.
+    pub files_scanned: usize,
+    /// Number of waivers that actually suppressed at least one finding.
+    pub waivers_used: usize,
+}
+
+/// One parsed `// analyze-allow:` comment.
+#[derive(Debug)]
+struct Waiver {
+    line: u32,
+    col: u32,
+    rules: Vec<String>,
+    has_reason: bool,
+    used: bool,
+}
+
+/// Analyze every workspace `.rs` file under `root`.  `rule_filter` limits
+/// the run to one rule id (waiver bookkeeping still sees all waivers).
+pub fn analyze_workspace(root: &Path, rule_filter: Option<&str>) -> std::io::Result<Report> {
+    let registry = crate::rules::registry();
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+
+    let mut report = Report::default();
+    for rel in &files {
+        let src = fs::read_to_string(root.join(rel))?;
+        analyze_source(rel, &src, &registry, rule_filter, &mut report);
+        report.files_scanned += 1;
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    Ok(report)
+}
+
+/// Analyze one in-memory file (used by both the workspace walk and the
+/// fixture tests, so fixtures can claim any `rel_path` they like).
+pub fn analyze_source(
+    rel_path: &str,
+    src: &str,
+    registry: &[Rule],
+    rule_filter: Option<&str>,
+    report: &mut Report,
+) {
+    let tokens = lexer::lex(src);
+    let regions = Regions::compute(&tokens);
+    let ctx = FileContext {
+        rel_path,
+        tokens: &tokens,
+        regions: &regions,
+    };
+
+    let mut waivers = parse_waivers(&tokens, rel_path);
+    let mut raw: Vec<Finding> = Vec::new();
+    for rule in registry {
+        if rule_filter.is_some_and(|f| f != rule.name) {
+            continue;
+        }
+        if (rule.applies)(rel_path) {
+            raw.extend((rule.check)(&ctx));
+        }
+    }
+
+    for finding in raw {
+        let waived = waivers.iter_mut().any(|w| {
+            let covers = finding.line == w.line || finding.line == w.line + 1;
+            let names = w.rules.iter().any(|r| r == finding.rule);
+            if covers && names && w.has_reason {
+                w.used = true;
+                return true;
+            }
+            false
+        });
+        if !waived {
+            report.findings.push(finding);
+        }
+    }
+
+    for w in &waivers {
+        if w.used {
+            report.waivers_used += 1;
+        }
+        if !w.has_reason {
+            report.findings.push(Finding {
+                rule: "waiver-missing-reason",
+                path: rel_path.to_owned(),
+                line: w.line,
+                col: w.col,
+                message: "analyze-allow waiver without a `-- <reason>` — every \
+                          waiver must record why the rule does not apply here"
+                    .to_owned(),
+            });
+        }
+    }
+}
+
+/// Extract `// analyze-allow: rule[, rule]* -- reason` comments.
+fn parse_waivers(tokens: &[lexer::Token], _rel_path: &str) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for t in tokens {
+        if t.kind != TokenKind::LineComment {
+            continue;
+        }
+        // Only a plain `// analyze-allow: …` comment is a waiver; rustdoc
+        // (`///`, `//!`) merely *talks about* waivers — like this line.
+        if t.text.starts_with("///") || t.text.starts_with("//!") {
+            continue;
+        }
+        let body = t.text.trim_start_matches('/').trim_start();
+        let Some(spec) = body.strip_prefix("analyze-allow:") else {
+            continue;
+        };
+        let (names, reason) = match spec.split_once("--") {
+            Some((n, r)) => (n, Some(r.trim())),
+            None => (spec, None),
+        };
+        let rules: Vec<String> = names
+            .split(',')
+            .map(|s| s.trim().to_owned())
+            .filter(|s| !s.is_empty())
+            .collect();
+        out.push(Waiver {
+            line: t.line,
+            col: t.col,
+            rules,
+            has_reason: reason.is_some_and(|r| !r.is_empty()),
+            used: false,
+        });
+    }
+    out
+}
+
+/// Recursively gather `.rs` files as repo-relative forward-slash paths.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path: PathBuf = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            if SKIP_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+                continue;
+            }
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+/// `path:line:col: deny[rule]: message` — one line per finding, plus a
+/// trailing summary line.
+pub fn render_human(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&format!(
+            "{}:{}:{}: deny[{}]: {}\n",
+            f.path, f.line, f.col, f.rule, f.message
+        ));
+    }
+    out.push_str(&format!(
+        "{} finding(s) across {} file(s); {} waiver(s) in effect\n",
+        report.findings.len(),
+        report.files_scanned,
+        report.waivers_used
+    ));
+    out
+}
+
+/// Stable machine-readable output:
+/// `{"findings": […], "files_scanned": N, "waivers_used": N}`.
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\"}}",
+            json_escape(f.rule),
+            json_escape(&f.path),
+            f.line,
+            f.col,
+            json_escape(&f.message)
+        ));
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"files_scanned\": {},\n  \"waivers_used\": {}\n}}\n",
+        report.files_scanned, report.waivers_used
+    ));
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Report {
+        let mut report = Report::default();
+        analyze_source(path, src, &crate::rules::registry(), None, &mut report);
+        report
+    }
+
+    #[test]
+    fn waiver_with_reason_suppresses_same_and_next_line() {
+        let src = "// analyze-allow: lib-unwrap -- invariant: set in new()\nfn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        let r = run("crates/stream/src/lib.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.waivers_used, 1);
+    }
+
+    #[test]
+    fn waiver_without_reason_is_its_own_finding() {
+        let src = "// analyze-allow: lib-unwrap\nfn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        let r = run("crates/stream/src/lib.rs", src);
+        // The unwrap is NOT suppressed and the waiver is flagged.
+        assert_eq!(r.findings.len(), 2, "{:?}", r.findings);
+        assert!(r.findings.iter().any(|f| f.rule == "waiver-missing-reason"));
+    }
+
+    #[test]
+    fn waiver_for_a_different_rule_does_not_apply() {
+        let src = "// analyze-allow: hot-path-alloc -- setup only\nfn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        let r = run("crates/stream/src/lib.rs", src);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "lib-unwrap");
+    }
+
+    #[test]
+    fn multi_rule_waiver() {
+        let src = "fn f(v: &[u8]) { let x = v.to_vec(); x.first().unwrap(); } // analyze-allow: hot-path-alloc, lib-unwrap -- compat shim retained for tests";
+        let r = run("crates/rtcore/src/index/sharded.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn json_output_is_stable_and_escaped() {
+        let mut report = Report::default();
+        report.findings.push(Finding {
+            rule: "lib-unwrap",
+            path: "a/b.rs".into(),
+            line: 3,
+            col: 7,
+            message: "quote \" and backslash \\".into(),
+        });
+        report.files_scanned = 1;
+        let json = render_json(&report);
+        assert!(json.contains("\"line\": 3"));
+        assert!(json.contains("quote \\\" and backslash \\\\"));
+        assert!(json.ends_with("\"waivers_used\": 0\n}\n"));
+    }
+}

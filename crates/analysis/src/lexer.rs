@@ -1,0 +1,451 @@
+//! A small hand-rolled Rust lexer for the lint engine.
+//!
+//! The rules in [`crate::rules`] match token patterns, so the lexer's only
+//! job is to split source text into tokens **without being fooled by
+//! comments and string literals** — `unsafe` inside a doc comment or a
+//! `r#"raw string"#` must never look like the keyword.  Comments are kept
+//! as tokens (rules read `// SAFETY:` / `// ordering:` / `// analyze-allow:`
+//! annotations from them); string/char literal *contents* are opaque.
+//!
+//! This is deliberately not a full Rust lexer: no token trees, no keyword
+//! table, no float-suffix validation.  It handles exactly the constructs
+//! that would otherwise break token matching:
+//!
+//! - line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! - string, byte-string, raw-string (`r"…"`, `r#"…"#`, `br##"…"##`) and
+//!   C-string literals, with escapes;
+//! - char literals vs. lifetimes (`'a'` vs `'a`), including `'\''`;
+//! - raw identifiers (`r#type`);
+//! - numbers that stop before method calls (`1.to_vec()` lexes as
+//!   `1` `.` `to_vec`, while `1.5` stays one token);
+//! - multi-character punctuation (`::`, `+=`, `..=`, `->`, …).
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the lexer does not distinguish them).
+    Ident,
+    /// `// …` to end of line, including doc comments.
+    LineComment,
+    /// `/* … */`, nesting respected, including doc block comments.
+    BlockComment,
+    /// Any string-like literal: `"…"`, `b"…"`, `r#"…"#`, `c"…"`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `b'\n'`.
+    Char,
+    /// Lifetime: `'a`, `'static`.
+    Lifetime,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// Punctuation, longest-match: `::`, `+=`, `..=`, `{`, …
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in bytes) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True when this token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+
+    /// True when this token is the punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == p
+    }
+
+    /// True for line and block comments.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Three-character punctuation, checked before the two- and one-character
+/// forms so the longest match wins.
+const PUNCT3: &[&str] = &["..=", "...", "<<=", ">>="];
+const PUNCT2: &[&str] = &[
+    "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..", "+=", "-=", "*=", "/=", "%=", "^=",
+    "&=", "|=", "<<", ">>",
+];
+
+/// Lex `src` into tokens.  Never fails: bytes that fit no token class are
+/// skipped (the lint rules only care about the constructs listed in the
+/// module docs, and a file that far off Rust syntax won't compile anyway).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        self.src.get(self.pos + ahead).copied().unwrap_or(0)
+    }
+
+    /// Advance one byte, maintaining the line/column counters.
+    fn bump(&mut self) -> u8 {
+        let b = self.src[self.pos];
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        b
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32, col: u32) {
+        self.out.push(Token {
+            kind,
+            text: String::from_utf8_lossy(&self.src[start..self.pos]).into_owned(),
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let (start, line, col) = (self.pos, self.line, self.col);
+            let b = self.peek(0);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => {
+                    while self.pos < self.src.len() && self.peek(0) != b'\n' {
+                        self.bump();
+                    }
+                    self.push(TokenKind::LineComment, start, line, col);
+                }
+                b'/' if self.peek(1) == b'*' => {
+                    self.block_comment();
+                    self.push(TokenKind::BlockComment, start, line, col);
+                }
+                b'r' | b'b' | b'c' if self.raw_or_byte_string() => {
+                    self.push(TokenKind::Str, start, line, col);
+                }
+                b'b' if self.peek(1) == b'\'' => {
+                    self.bump(); // b
+                    self.char_literal();
+                    self.push(TokenKind::Char, start, line, col);
+                }
+                b'"' => {
+                    self.string_literal();
+                    self.push(TokenKind::Str, start, line, col);
+                }
+                b'\'' => {
+                    let kind = self.char_or_lifetime();
+                    self.push(kind, start, line, col);
+                }
+                b'0'..=b'9' => {
+                    self.number();
+                    self.push(TokenKind::Num, start, line, col);
+                }
+                b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                    self.ident();
+                    self.push(TokenKind::Ident, start, line, col);
+                }
+                _ => {
+                    self.punct(line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Consume `/* … */` with nesting; tolerates an unterminated comment at
+    /// end of file.
+    fn block_comment(&mut self) {
+        self.bump(); // /
+        self.bump(); // *
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                self.bump();
+                self.bump();
+                depth += 1;
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                self.bump();
+                self.bump();
+                depth -= 1;
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// If the cursor sits on a raw/byte/C string opener (`r"`, `r#"`, `br"`,
+    /// `b"`, `c"`, `br##"` …), consume the whole literal and return true.
+    /// A raw *identifier* (`r#match`) returns false and is lexed as an
+    /// identifier by the caller.
+    fn raw_or_byte_string(&mut self) -> bool {
+        let mut ahead = 0usize;
+        // Optional leading b/c, optional r.
+        if self.peek(ahead) == b'b' || self.peek(ahead) == b'c' {
+            ahead += 1;
+        }
+        let raw = self.peek(ahead) == b'r';
+        if raw {
+            ahead += 1;
+        }
+        let mut hashes = 0usize;
+        while raw && self.peek(ahead) == b'#' {
+            ahead += 1;
+            hashes += 1;
+        }
+        if self.peek(ahead) != b'"' {
+            return false; // r#ident, plain ident `b`/`c`/`r`, b'x', …
+        }
+        if ahead == 0 {
+            return false; // bare `"` — plain string, handled by the caller
+        }
+        // Consume the opener: prefix bytes plus the quote itself.
+        for _ in 0..=ahead {
+            self.bump();
+        }
+        if raw {
+            // …then scan to `"` followed by `hashes` hashes, no escapes.
+            loop {
+                if self.pos >= self.src.len() {
+                    return true; // unterminated; tolerate
+                }
+                if self.bump() == b'"' {
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == b'#' {
+                        self.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        return true;
+                    }
+                }
+            }
+        } else {
+            // b"…" / c"…": ordinary escape rules.
+            self.string_body();
+            true
+        }
+    }
+
+    /// Consume a `"`-opened string literal including the opening quote.
+    fn string_literal(&mut self) {
+        self.bump(); // "
+        self.string_body();
+    }
+
+    /// Consume up to and including the closing quote, honouring `\"` and
+    /// `\\` escapes.
+    fn string_body(&mut self) {
+        while self.pos < self.src.len() {
+            match self.bump() {
+                b'\\' if self.pos < self.src.len() => {
+                    self.bump();
+                }
+                b'"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// At a `'`: decide char literal vs lifetime.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        // '\… is always a char literal; 'X' (any single char then ') too.
+        // Otherwise it's a lifetime: consume identifier chars.
+        if self.peek(1) == b'\\' {
+            self.char_literal();
+            return TokenKind::Char;
+        }
+        let second_is_ident =
+            matches!(self.peek(1), b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_');
+        if second_is_ident && self.peek(2) != b'\'' {
+            // 'static, 'a — a lifetime.
+            self.bump(); // '
+            while matches!(self.peek(0), b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_') {
+                self.bump();
+            }
+            TokenKind::Lifetime
+        } else {
+            self.char_literal();
+            TokenKind::Char
+        }
+    }
+
+    /// Consume `'…'` with escapes, starting at the opening quote.
+    fn char_literal(&mut self) {
+        self.bump(); // '
+        while self.pos < self.src.len() {
+            match self.bump() {
+                b'\\' if self.pos < self.src.len() => {
+                    self.bump();
+                }
+                b'\'' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consume a numeric literal.  A `.` is part of the number only when
+    /// followed by a digit, so `1.to_vec()` and `0..n` split correctly;
+    /// `1e-5` keeps its exponent.
+    fn number(&mut self) {
+        self.bump();
+        loop {
+            match self.peek(0) {
+                b'0'..=b'9' | b'_' | b'A'..=b'Z' | b'a'..=b'z' => {
+                    let c = self.bump();
+                    // Exponent sign: 1e-5, 2E+3.
+                    if (c == b'e' || c == b'E')
+                        && matches!(self.peek(0), b'+' | b'-')
+                        && self.peek(1).is_ascii_digit()
+                    {
+                        self.bump();
+                    }
+                }
+                b'.' if self.peek(1).is_ascii_digit() => {
+                    self.bump();
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        // Raw identifier prefix r#.
+        if self.peek(0) == b'r' && self.peek(1) == b'#' {
+            self.bump();
+            self.bump();
+        }
+        while matches!(self.peek(0), b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_') {
+            self.bump();
+        }
+    }
+
+    fn punct(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        let rest = &self.src[self.pos..];
+        let take = PUNCT3
+            .iter()
+            .chain(PUNCT2.iter())
+            .find(|p| rest.starts_with(p.as_bytes()))
+            .map_or(1, |p| p.len());
+        for _ in 0..take {
+            self.bump();
+        }
+        self.push(TokenKind::Punct, start, line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn keywords_in_strings_and_comments_are_not_idents() {
+        let toks = kinds(r#"let s = "unsafe { }"; // unsafe too"#);
+        let unsafe_idents = toks
+            .iter()
+            .filter(|(k, t)| *k == TokenKind::Ident && t == "unsafe")
+            .count();
+        assert_eq!(unsafe_idents, 0);
+        assert_eq!(toks.last().unwrap().0, TokenKind::LineComment);
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let toks = kinds(r###"let s = r#"a "quoted" unsafe"#; x"###);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("quoted")));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "x"));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let toks = kinds("/* a /* nested */ still comment */ real");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1], (TokenKind::Ident, "real".into()));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds(r"fn f<'a>(x: &'a u8) { let c = 'x'; let q = '\''; }");
+        let lifetimes = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .count();
+        let chars = toks.iter().filter(|(k, _)| *k == TokenKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn numbers_stop_before_method_calls_and_ranges() {
+        let toks = kinds("1.to_vec(); 1.5f32; 0..n; 2e-3;");
+        assert_eq!(toks[0], (TokenKind::Num, "1".into()));
+        assert_eq!(toks[1], (TokenKind::Punct, ".".into()));
+        assert_eq!(toks[2], (TokenKind::Ident, "to_vec".into()));
+        assert!(toks.contains(&(TokenKind::Num, "1.5f32".into())));
+        assert!(toks.contains(&(TokenKind::Punct, "..".into())));
+        assert!(toks.contains(&(TokenKind::Num, "2e-3".into())));
+    }
+
+    #[test]
+    fn multi_char_punct_longest_match() {
+        let toks = kinds("a += b; c ..= d; e :: f");
+        assert!(toks.contains(&(TokenKind::Punct, "+=".into())));
+        assert!(toks.contains(&(TokenKind::Punct, "..=".into())));
+        assert!(toks.contains(&(TokenKind::Punct, "::".into())));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.contains(&(TokenKind::Ident, "r#type".into())));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let toks = kinds(r##"let a = b"bytes"; let b = c"cstr"; let d = br"raw";"##);
+        let strs = toks.iter().filter(|(k, _)| *k == TokenKind::Str).count();
+        assert_eq!(strs, 3);
+    }
+
+    #[test]
+    fn line_and_column_positions() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,22 @@
+//! In-workspace static analysis for the RT-DBSCAN reproduction.
+//!
+//! The workspace's correctness story rests on disciplines no off-the-shelf
+//! linter knows about: saturating counter arithmetic (bit-identity of
+//! `WorkCounters` across backends), justified atomic orderings in the
+//! lock-free core, `SAFETY:` comments on the SIMD kernels, and the
+//! zero-allocation guarantee on the traversal hot path.  This crate
+//! enforces them with a hand-rolled lexer ([`lexer`]), a rule registry
+//! ([`rules`]) and a workspace walker ([`engine`]) — no crates.io
+//! dependencies, so it builds in the offline container.
+//!
+//! Run it as:
+//!
+//! ```text
+//! cargo run -p rtdbscan-analyze -- --deny-warnings --format json
+//! cargo xtask analyze                 # thin alias (.cargo/config.toml)
+//! cargo test -p rtdbscan-analyze --features loom-models   # model checker
+//! ```
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;

@@ -1,0 +1,121 @@
+//! CLI for the workspace analyzer.
+//!
+//! ```text
+//! cargo run -p rtdbscan-analyze -- [analyze] [--root <dir>] [--rule <id>]
+//!                                  [--format human|json] [--deny-warnings]
+//!                                  [--list-rules]
+//! ```
+//!
+//! Exit code 0 when no findings survive waivers, 1 otherwise (findings are
+//! deny-by-default; `--deny-warnings` is accepted for CI symmetry and
+//! changes nothing).  The `cargo xtask analyze` alias in
+//! `.cargo/config.toml` forwards here.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rtdbscan_analyze::engine::{analyze_workspace, render_human, render_json};
+use rtdbscan_analyze::rules::registry;
+
+struct Options {
+    root: PathBuf,
+    rule: Option<String>,
+    json: bool,
+    list_rules: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rtdbscan-analyze [analyze] [--root <dir>] [--rule <id>] \
+         [--format human|json] [--deny-warnings] [--list-rules]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        root: default_root(),
+        rule: None,
+        json: false,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            // Subcommand form (`cargo xtask analyze`); only one verb exists.
+            "analyze" => {}
+            "--root" => match args.next() {
+                Some(dir) => opts.root = PathBuf::from(dir),
+                None => usage(),
+            },
+            "--rule" => match args.next() {
+                Some(rule) => opts.rule = Some(rule),
+                None => usage(),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("json") => opts.json = true,
+                Some("human") => opts.json = false,
+                _ => usage(),
+            },
+            // Findings are already errors; flag kept so CI invocations read
+            // like the other lint jobs.
+            "--deny-warnings" => {}
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+/// The workspace root: `$CARGO_MANIFEST_DIR/../..` when built in-tree,
+/// falling back to the current directory (e.g. a copied binary).
+fn default_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+
+    if opts.list_rules {
+        for rule in registry() {
+            println!("{:<16} {}", rule.name, rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(rule) = &opts.rule {
+        if !registry().iter().any(|r| r.name == rule.as_str()) {
+            eprintln!("unknown rule `{rule}`; try --list-rules");
+            return ExitCode::from(2);
+        }
+    }
+
+    let report = match analyze_workspace(&opts.root, opts.rule.as_deref()) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("analyze: failed to walk {}: {err}", opts.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    print!(
+        "{}",
+        if opts.json {
+            render_json(&report)
+        } else {
+            render_human(&report)
+        }
+    );
+
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: allowlisted module — justification and SeqCst checks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn justified(c: &AtomicU64) -> u64 {
+    // ordering: fixture tally cell; the caller's join publishes the value.
+    c.load(Ordering::Relaxed)
+}
+
+pub fn unjustified(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Acquire)
+}
+
+pub fn seqcst(c: &AtomicU64) -> u64 {
+    // ordering: even a justification comment never excuses SeqCst.
+    c.load(Ordering::SeqCst)
+}
+
+pub fn cmp_ordering_is_fine(a: u64, b: u64) -> std::cmp::Ordering {
+    a.cmp(&b)
+}

@@ -1,0 +1,8 @@
+//! Fixture: a module that is not in the atomics allowlist at all.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn sneaky(c: &AtomicU64) -> u64 {
+    // ordering: a justification does not help outside the allowlist.
+    c.load(Ordering::Relaxed)
+}

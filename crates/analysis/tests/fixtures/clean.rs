@@ -1,0 +1,26 @@
+//! Fixture: a fully clean file — justified atomics, SAFETY comments, no
+//! allocation in scope, nothing to report.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A tally cell.
+#[derive(Debug, Default)]
+pub struct Cell(AtomicU64);
+
+impl Cell {
+    // ordering: pure tally — the caller's join publishes the total; the
+    // cell itself guards no other data.
+    pub fn bump(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // ordering: see bump — reads happen after the parallel phase joins.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+pub fn read_first(p: *const u8) -> u8 {
+    // SAFETY: fixture pointer always comes from a live reference.
+    unsafe { *p }
+}

@@ -1,0 +1,23 @@
+//! Fixture: counter-arith violations and non-violations.
+
+pub struct W { pub rays: u64, pub dist_comps: u64 }
+
+pub fn bad(c: &mut W) {
+    c.rays += 1;
+    c.dist_comps = c.dist_comps + 2;
+}
+
+pub fn fine(local_rays: u64) -> u64 {
+    let rays = local_rays;
+    rays + 1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn arithmetic_on_copies_is_fine() {
+        let mut c = super::W { rays: 0, dist_comps: 0 };
+        c.rays += 1;
+        assert_eq!(c.rays, 1);
+    }
+}

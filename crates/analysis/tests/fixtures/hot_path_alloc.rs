@@ -1,0 +1,25 @@
+//! Fixture: hot-path-alloc violations, one waived site, test-region escape.
+
+pub fn bad() -> Vec<u32> {
+    let a: Vec<u32> = Vec::new();
+    let b = vec![1u32, 2];
+    let c = b.to_vec();
+    let d: Vec<u32> = c.iter().copied().collect::<Vec<u32>>();
+    let e = Box::new(3u32);
+    drop(e);
+    a.into_iter().chain(d).collect()
+}
+
+pub fn waived() -> Vec<u32> {
+    // analyze-allow: hot-path-alloc -- fixture: one-off setup allocation
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn alloc_in_tests_is_fine() {
+        let v: Vec<u32> = Vec::new();
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,20 @@
+//! Fixture: lexer edge cases that must produce no findings even when the
+//! file is analyzed as a hot, lint-scoped module.
+
+pub fn strings() -> usize {
+    let a = "calls .unwrap() and Ordering::SeqCst in a string";
+    let b = r#"raw with "quotes", vec![1] and Vec::new()"#;
+    let c = br##"byte raw: .expect("x") unsafe { } .to_vec()"##;
+    let d = 'u'; // a char literal, not a lifetime
+    let _lt: &'static str = "lifetime, not a char";
+    let r#type = 1usize; // raw identifier
+    let e = 2.5_f32 as usize; // float literal
+    let f = 1.min(2); // method call on an int literal: `1` `.` `min`
+    a.len() + b.len() + c.len() + d as usize + r#type + e + f
+}
+
+/* block comment mentioning .unwrap() and
+   /* a nested comment */ Ordering::Relaxed and Box::new */
+pub fn after_comment() -> u32 {
+    0
+}

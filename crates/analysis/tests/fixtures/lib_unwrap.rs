@@ -1,0 +1,31 @@
+//! Fixture: lib-unwrap violations, a reasoned waiver, and a reasonless one.
+
+pub fn bad(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn bad_expect(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+pub fn waived(v: Option<u32>) -> u32 {
+    // analyze-allow: lib-unwrap -- fixture: the invariant lives here
+    v.expect("fixture invariant")
+}
+
+pub fn reasonless(v: Option<u32>) -> u32 {
+    // analyze-allow: lib-unwrap
+    v.unwrap()
+}
+
+pub fn unwrap_or_is_fine(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

@@ -1,0 +1,24 @@
+//! Fixture: safety-comment violations.
+
+pub fn bad_block(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn good_block(p: *const u8) -> u8 {
+    // SAFETY: caller hands a valid pointer (fixture).
+    unsafe { *p }
+}
+
+/// Reads a byte.
+///
+/// # Safety
+///
+/// `p` must be valid for reads.
+pub unsafe fn documented(p: *const u8) -> u8 {
+    // SAFETY: contract forwarded to the caller.
+    unsafe { *p }
+}
+
+pub unsafe fn undocumented(p: *const u8) -> u8 {
+    *p
+}

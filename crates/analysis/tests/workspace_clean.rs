@@ -1,0 +1,25 @@
+//! The workspace itself must analyze clean: every rule passes over the
+//! real source tree, with every waiver carrying a reason.  This is the
+//! same check CI runs via `cargo xtask analyze` — keeping it in the test
+//! suite means a plain `cargo test` refuses regressions too.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = rtdbscan_analyze::engine::analyze_workspace(&root, None)
+        .expect("workspace scan must not hit IO errors");
+    assert!(
+        report.files_scanned > 50,
+        "scan looks truncated: only {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.findings.is_empty(),
+        "workspace must analyze clean; run `cargo xtask analyze` to see \
+         these {} finding(s):\n{:#?}",
+        report.findings.len(),
+        report.findings
+    );
+}

@@ -197,6 +197,8 @@ fn measure_stage1(
     let build_ns = build_start.elapsed().as_nanos();
     let counts: Vec<AtomicU64> = (0..points.len()).map(|_| AtomicU64::new(0)).collect();
     let run = |counters: &mut WorkCounters| {
+        // ordering: Relaxed — the bench resets and reads the count cells
+        // strictly between launches; the launch join orders everything.
         for c in &counts {
             c.store(0, Ordering::Relaxed);
         }

@@ -24,6 +24,7 @@ use crate::labels::{Clustering, NOISE, UNASSIGNED};
 use crate::params::DbscanParams;
 use crate::runner::{timed, DbscanAlgorithm, PhaseCounters, PhaseTimings, RunResult};
 use rtcore::geometry::Point3;
+use rtcore::hardware::sat_bump;
 use rtcore::hardware::{ExecutionPath, MemoryTracker, WorkCounters};
 use rtcore::index::{IndexKind, NeighborFlow, NeighborIndex, NeighborIndexBuilder};
 use rtcore::Result;
@@ -97,7 +98,7 @@ impl CudaDclustPlus {
             + collision_matrix_bytes;
         let mut tracker = MemoryTracker::new(self.device_memory_bytes);
         tracker.allocate(device_bytes)?;
-        build_counters.misc_ops += chains; // chain initialisation
+        sat_bump(&mut build_counters.misc_ops, chains); // chain initialisation
 
         // Helper: the exact ε-neighbourhood of point `p` through the index.
         let neighbors_of = |p: usize, counters: &mut WorkCounters| -> Vec<u32> {
@@ -116,7 +117,7 @@ impl CudaDclustPlus {
             let mut counters = WorkCounters::ZERO;
             let mut core = vec![false; n];
             for (p, is_core) in core.iter_mut().enumerate() {
-                counters.misc_ops += 1;
+                sat_bump(&mut counters.misc_ops, 1);
                 let neigh = neighbors_of(p, &mut counters);
                 *is_core = neigh.len() >= params.min_pts;
             }
@@ -150,10 +151,10 @@ impl CudaDclustPlus {
                 seeds.push(start as u32);
 
                 while let Some(v) = seeds.pop().or_else(|| overflow.pop()) {
-                    counters.misc_ops += 1;
+                    sat_bump(&mut counters.misc_ops, 1);
                     let v = v as usize;
                     for q in neighbors_of(v, &mut counters) {
-                        counters.list_ops += 1;
+                        sat_bump(&mut counters.list_ops, 1);
                         let q = q as usize;
                         match chain_of[q] {
                             UNASSIGNED | NOISE => {
@@ -171,7 +172,7 @@ impl CudaDclustPlus {
                             other if other != chain && core[q] => {
                                 // Collision between two chains through a core
                                 // point: record it for the resolution pass.
-                                counters.union_ops += 1;
+                                sat_bump(&mut counters.union_ops, 1);
                                 chain_dsu.union(chain as usize, other as usize);
                             }
                             _ => {}
@@ -183,7 +184,7 @@ impl CudaDclustPlus {
             // Collision resolution: merge chains, then materialise labels.
             let labels: Vec<i64> = (0..n)
                 .map(|i| {
-                    counters.find_ops += 1;
+                    sat_bump(&mut counters.find_ops, 1);
                     match chain_of[i] {
                         UNASSIGNED | NOISE => NOISE,
                         chain => chain_dsu.find(chain as usize) as i64,
@@ -191,8 +192,8 @@ impl CudaDclustPlus {
                 })
                 .collect();
             let (finds, merges) = chain_dsu.op_counts();
-            counters.find_ops += finds;
-            counters.union_ops += merges;
+            sat_bump(&mut counters.find_ops, finds);
+            sat_bump(&mut counters.union_ops, merges);
             (labels, counters)
         });
 

@@ -9,6 +9,12 @@
 //! on their interleaving, which is what makes the parallel clustering
 //! reproducible.
 
+// Under the `loom` feature the forest's atomics become model-aware so the
+// interleaving checker can exhaustively schedule concurrent unions; release
+// builds compile to the std atomics with zero overhead.
+#[cfg(feature = "loom")]
+use loom::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+#[cfg(not(feature = "loom"))]
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// A disjoint-set forest that can be updated concurrently from many threads
@@ -41,6 +47,11 @@ impl ConcurrentDisjointSet {
     }
 
     /// Find the representative of `x` with path halving.
+    // ordering: Acquire on parent loads pairs with the AcqRel CAS in
+    // `union`/the halving CAS, so a thread that observes a link also
+    // observes everything published before it; the halving CAS itself is
+    // AcqRel (Relaxed on failure — a lost race is retried, nothing is
+    // published).  The `finds` tally is Relaxed: statistics only.
     pub fn find(&self, mut x: usize) -> usize {
         self.finds.fetch_add(1, Ordering::Relaxed);
         loop {
@@ -65,6 +76,11 @@ impl ConcurrentDisjointSet {
 
     /// Merge the sets containing `a` and `b`.  Returns `true` if this call
     /// performed the merge (false if they were already in the same set).
+    // ordering: the linking CAS is AcqRel — Release publishes the new edge
+    // to subsequent Acquire loads in `find`, Acquire orders this thread
+    // against the edge it replaces; failure uses Acquire because the
+    // observed value feeds the retry's root resolution.  The `merges`
+    // tally is Relaxed: statistics only.
     pub fn union(&self, a: usize, b: usize) -> bool {
         let mut ra = self.find(a);
         let mut rb = self.find(b);
@@ -94,6 +110,8 @@ impl ConcurrentDisjointSet {
     ///
     /// Only meaningful once all concurrent unions have completed (the usual
     /// pattern: parallel union phase, join, then read).
+    // ordering: Acquire root re-checks pair with union's Release CAS so a
+    // root that still self-parents here really was a root at the check.
     pub fn same_set(&self, a: usize, b: usize) -> bool {
         // Re-check after resolving both to tolerate a concurrent union that
         // finished between the two finds.
@@ -117,6 +135,8 @@ impl ConcurrentDisjointSet {
     }
 
     /// (find operations, successful merges) performed so far.
+    // ordering: Relaxed — monitoring tallies, read after the parallel
+    // phase joins.
     pub fn op_counts(&self) -> (u64, u64) {
         (
             self.finds.load(Ordering::Relaxed),

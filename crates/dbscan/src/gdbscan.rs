@@ -22,6 +22,7 @@ use crate::params::DbscanParams;
 use crate::runner::{timed, DbscanAlgorithm, PhaseCounters, PhaseTimings, RunResult};
 use rayon::prelude::*;
 use rtcore::geometry::Point3;
+use rtcore::hardware::sat_bump;
 use rtcore::hardware::{ExecutionPath, MemoryTracker, WorkCounters};
 use rtcore::index::{CsrNeighbors, IndexKind, NeighborFlow, NeighborIndex, NeighborIndexBuilder};
 use rtcore::Result;
@@ -124,7 +125,7 @@ impl GDbscan {
             let mut counters = index.build_counters();
             for (degrees, edges, c) in per_chunk {
                 counters += c;
-                counters.list_ops += edges.len() as u64;
+                sat_bump(&mut counters.list_ops, edges.len() as u64);
                 let mut cursor = 0usize;
                 for &deg in &degrees {
                     adjacency.push_row(&edges[cursor..cursor + deg as usize]);
@@ -142,7 +143,7 @@ impl GDbscan {
         let graph_bytes = (n as u64) * 8 + edges * 4 + index.device_bytes();
         let mut tracker = MemoryTracker::new(self.device_memory_bytes);
         tracker.allocate(graph_bytes)?;
-        build_counters.misc_ops += n as u64; // degree prefix-sum pass
+        sat_bump(&mut build_counters.misc_ops, n as u64); // degree prefix-sum pass
 
         // ------------------------------------------------------------------
         // Stage 1: core points are simply the vertices with degree ≥ minPts.
@@ -178,9 +179,9 @@ impl GDbscan {
                 frontier.clear();
                 frontier.push(start as u32);
                 while let Some(v) = frontier.pop() {
-                    counters.misc_ops += 1;
+                    sat_bump(&mut counters.misc_ops, 1);
                     for &u in adjacency.neighbors(v as usize) {
-                        counters.list_ops += 1;
+                        sat_bump(&mut counters.list_ops, 1);
                         let u = u as usize;
                         if labels[u] == UNASSIGNED || labels[u] == NOISE {
                             labels[u] = cluster;

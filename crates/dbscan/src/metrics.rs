@@ -179,6 +179,7 @@ pub fn same_clustering(
                 let search = search.get_or_insert_with(|| {
                     let config = NeighborIndexBuilder::new(rtcore::index::IndexKind::BinaryBvh);
                     BinaryBvhIndex::build(&config, points, params.eps)
+                        // analyze-allow: lib-unwrap -- validation-only helper; the same finite points were already indexed by this builder
                         .expect("validation search over finite points cannot fail")
                 });
                 let mut scratch = WorkCounters::ZERO;

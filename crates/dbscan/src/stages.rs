@@ -11,6 +11,7 @@
 use crate::disjoint_set::{ConcurrentDisjointSet, EpochDisjointSet};
 use crate::labels::NOISE;
 use rtcore::geometry::Point3;
+use rtcore::hardware::sat_bump;
 use rtcore::hardware::WorkCounters;
 use rtcore::index::{NeighborFlow, NeighborIndex, ShardSelect, ShardedIndex};
 use rtcore::telemetry::PhaseKind;
@@ -70,6 +71,10 @@ pub(crate) fn form_clusters(
     let dsu = ConcurrentDisjointSet::new(n);
     let claimed: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
 
+    // ordering: the border-claim CAS is AcqRel so the winning claim is
+    // ordered against the union it guards (Relaxed on failure: losers do
+    // nothing).  The post-join label reads use Relaxed — the parallel
+    // region has joined, which already provides the happens-before edge.
     let mut counters = WorkCounters::ZERO;
     index.batch_neighbors(&queries, eps, &mut counters, &|ordinal, neighbor, _| {
         let p = core_indices[ordinal] as usize;
@@ -89,8 +94,8 @@ pub(crate) fn form_clusters(
         NeighborFlow::Continue
     });
     let (find_ops, union_ops) = dsu.op_counts();
-    counters.find_ops += find_ops;
-    counters.union_ops += union_ops;
+    sat_bump(&mut counters.find_ops, find_ops);
+    sat_bump(&mut counters.union_ops, union_ops);
 
     // Materialise labels.  Coincident duplicates merged away by a
     // compacting backend inherit their representative's assignment (they
@@ -113,7 +118,7 @@ pub(crate) fn form_clusters(
             dup_fixups += 1;
         }
     }
-    counters.misc_ops += dup_fixups;
+    sat_bump(&mut counters.misc_ops, dup_fixups);
 
     (labels, counters)
 }
@@ -151,6 +156,11 @@ fn form_clusters_stitched(
     let dsu = ConcurrentDisjointSet::new(n);
     let claimed: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
     let mut counters = WorkCounters::ZERO;
+
+    // ordering: same discipline as the flat path — AcqRel on the winning
+    // border-claim CAS (Relaxed on failure), Relaxed for every read that
+    // happens after the launch has joined (phase B and label materialise
+    // run strictly after phase A's join).
 
     // Phase A — intra-shard: each query only visits its owning BLAS; the
     // sink is the flat stage-2 logic verbatim.
@@ -190,7 +200,10 @@ fn form_clusters_stitched(
         &|ordinal, neighbor, _| {
             let p = core_indices[ordinal];
             if neighbor.index != p {
-                cross_edges.lock().unwrap().push((p, neighbor.index));
+                cross_edges
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push((p, neighbor.index));
             }
             NeighborFlow::Continue
         },
@@ -205,7 +218,10 @@ fn form_clusters_stitched(
             epoch.union(i, dsu.find(i));
         }
     }
-    for &(p, q) in cross_edges.lock().unwrap().iter() {
+    let cross_edges = cross_edges
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    for &(p, q) in cross_edges.iter() {
         let (p, q) = (p as usize, q as usize);
         // Same union/claim rule as phase A, applied to the boundary edges.
         if core[q]
@@ -218,11 +234,11 @@ fn form_clusters_stitched(
     }
     let mut stitch_counters = WorkCounters::ZERO;
     let (find_ops, union_ops) = dsu.op_counts();
-    stitch_counters.find_ops += find_ops;
-    stitch_counters.union_ops += union_ops;
+    sat_bump(&mut stitch_counters.find_ops, find_ops);
+    sat_bump(&mut stitch_counters.union_ops, union_ops);
     let (find_ops, union_ops) = epoch.op_counts();
-    stitch_counters.find_ops += find_ops;
-    stitch_counters.union_ops += union_ops;
+    sat_bump(&mut stitch_counters.find_ops, find_ops);
+    sat_bump(&mut stitch_counters.union_ops, union_ops);
     if let Some(mut s) = span {
         s.add_counters(stitch_counters);
     }
@@ -245,7 +261,7 @@ fn form_clusters_stitched(
             dup_fixups += 1;
         }
     }
-    counters.misc_ops += dup_fixups;
+    sat_bump(&mut counters.misc_ops, dup_fixups);
 
     (labels, counters)
 }

@@ -3,6 +3,7 @@
 use crate::bvh::{Bvh, BvhNode, NodeKind};
 use crate::error::{Error, Result};
 use crate::geometry::{morton_encode_3d, radix_sort_by_code, Aabb, MortonCode, Sphere};
+use crate::hardware::sat_bump;
 use crate::hardware::WorkCounters;
 
 /// Identifies which construction algorithm produced a [`Bvh`].
@@ -94,7 +95,7 @@ where
 {
     let node_index = nodes.len() as u32;
     let bounds = range_bounds(&prims[start..end]);
-    counters.build_node_ops += 1;
+    sat_bump(&mut counters.build_node_ops, 1);
     // Placeholder, patched below once children are known.
     nodes.push(BvhNode {
         bounds,
@@ -126,7 +127,7 @@ fn finish_build(
     mut counters: WorkCounters,
 ) -> Bvh {
     let mut nodes = Vec::with_capacity(2 * prims.len().max(1));
-    counters.build_prims += prims.len() as u64;
+    sat_bump(&mut counters.build_prims, prims.len() as u64);
     let n = prims.len();
     emit_node(
         &mut prims,
@@ -183,7 +184,7 @@ impl BvhBuilder for MedianSplitBuilder {
                     return Some((start + end) / 2);
                 }
                 let range = &mut prims[start..end];
-                counters.build_sort_ops += range.len() as u64;
+                sat_bump(&mut counters.build_sort_ops, range.len() as u64);
                 let mid = range.len() / 2;
                 range.select_nth_unstable_by(mid, |a, b| {
                     a.center[axis]
@@ -243,7 +244,7 @@ impl BvhBuilder for SahBuilder {
                 let min = cb.min[axis];
                 let extent = cb.max[axis] - min;
                 let range = &mut prims[start..end];
-                counters.build_sort_ops += range.len() as u64;
+                sat_bump(&mut counters.build_sort_ops, range.len() as u64);
                 if extent <= 0.0 {
                     // Degenerate: all centroids identical along every axis
                     // (centroid_bounds picks the longest). Fall back to an
@@ -435,10 +436,10 @@ impl BvhBuilder for LbvhBuilder {
                 index: i as u32,
             })
             .collect();
-        counters.misc_ops += codes.len() as u64; // code computation
+        sat_bump(&mut counters.misc_ops, codes.len() as u64); // code computation
 
         // 2. Radix sort by code.
-        counters.build_sort_ops += radix_sort_by_code(&mut codes);
+        sat_bump(&mut counters.build_sort_ops, radix_sort_by_code(&mut codes));
 
         // 3. Reorder primitives into Morton order: one fused gather fills
         // both the primitive and the code array (the codes are needed again

@@ -28,6 +28,7 @@
 
 use crate::bvh::{Bvh, NodeKind};
 use crate::geometry::{Aabb, Sphere};
+use crate::hardware::sat_bump;
 use crate::hardware::WorkCounters;
 
 /// What one refit pass did to the tree.
@@ -66,7 +67,7 @@ fn refit_bounds(bvh: &mut Bvh, counters: &mut WorkCounters) -> u64 {
         bvh.nodes[i].bounds = bounds;
         nodes_refit += 1;
     }
-    counters.refit_node_ops += nodes_refit;
+    sat_bump(&mut counters.refit_node_ops, nodes_refit);
     nodes_refit
 }
 
@@ -126,8 +127,8 @@ where
         nodes_refit: refit_bounds(bvh, counters),
         prims_removed: (before - write) as u64,
     };
-    counters.refits += 1;
-    counters.misc_ops += before as u64; // per-primitive liveness test
+    sat_bump(&mut counters.refits, 1);
+    sat_bump(&mut counters.misc_ops, before as u64); // per-primitive liveness test
     stats
 }
 
@@ -146,12 +147,12 @@ where
     for sphere in &mut bvh.primitives {
         update(sphere);
     }
-    counters.misc_ops += bvh.primitives.len() as u64;
+    sat_bump(&mut counters.misc_ops, bvh.primitives.len() as u64);
     let stats = RefitStats {
         nodes_refit: refit_bounds(bvh, counters),
         prims_removed: 0,
     };
-    counters.refits += 1;
+    sat_bump(&mut counters.refits, 1);
     stats
 }
 

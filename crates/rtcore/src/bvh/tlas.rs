@@ -18,6 +18,7 @@
 use crate::bvh::build::{validate_prims, LbvhBuilder};
 use crate::error::Result;
 use crate::geometry::{morton_encode_3d, radix_sort_by_code, Aabb, MortonCode, Ray, Sphere};
+use crate::hardware::sat_bump;
 use crate::hardware::WorkCounters;
 
 /// Sharding knobs for a two-level scene.
@@ -84,8 +85,8 @@ pub fn plan_shards(prims: Vec<Sphere>, max_shard_size: usize) -> Result<ShardPla
             index: i as u32,
         })
         .collect();
-    counters.misc_ops += codes.len() as u64;
-    counters.build_sort_ops += radix_sort_by_code(&mut codes);
+    sat_bump(&mut counters.misc_ops, codes.len() as u64);
+    sat_bump(&mut counters.build_sort_ops, radix_sort_by_code(&mut codes));
 
     let mut sorted_prims: Vec<Sphere> = Vec::with_capacity(codes.len());
     let mut sorted_codes: Vec<u32> = Vec::with_capacity(codes.len());
@@ -105,7 +106,7 @@ pub fn plan_shards(prims: Vec<Sphere>, max_shard_size: usize) -> Result<ShardPla
             ranges.push((start, end));
             continue;
         }
-        counters.build_node_ops += 1;
+        sat_bump(&mut counters.build_node_ops, 1);
         let mid = LbvhBuilder::morton_split(&sorted_codes, start, end);
         stack.push((mid, end));
         stack.push((start, mid));
@@ -179,7 +180,7 @@ impl Tlas {
         counters: &mut WorkCounters,
     ) -> u32 {
         let index = self.nodes.len() as u32;
-        counters.build_node_ops += 1;
+        sat_bump(&mut counters.build_node_ops, 1);
         let node_bounds = bounds[start..end]
             .iter()
             .fold(Aabb::EMPTY, |acc, b| acc.union(b));
@@ -228,7 +229,7 @@ impl Tlas {
         }
         let mut stack = vec![0u32];
         while let Some(ni) = stack.pop() {
-            counters.tlas_node_visits += 1;
+            sat_bump(&mut counters.tlas_node_visits, 1);
             let node = &self.nodes[ni as usize];
             if !node.bounds.intersects_ray(ray) {
                 continue;

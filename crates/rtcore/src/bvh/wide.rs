@@ -40,6 +40,7 @@
 
 use crate::bvh::{Bvh, NodeKind};
 use crate::geometry::{Aabb, Point3, Sphere};
+use crate::hardware::sat_bump;
 use crate::hardware::WorkCounters;
 use crate::simd::{SimdLevel, LANE_PADDING};
 
@@ -248,7 +249,7 @@ impl WideBvh {
         let mut nodes: Vec<WideNode> = Vec::with_capacity(bvh.nodes.len() / 2 + 1);
         // Worklist of (binary node to collapse, wide node slot to fill).
         nodes.push(WideNode::EMPTY);
-        counters.build_node_ops += 1;
+        sat_bump(&mut counters.build_node_ops, 1);
         let mut work: Vec<(u32, u32)> = vec![(0, 0)];
         while let Some((bin_idx, wide_idx)) = work.pop() {
             let members = collapse_members(bvh, bin_idx);
@@ -284,7 +285,7 @@ impl WideBvh {
                         node.set_bounds(slot, &m.bounds);
                         let child_wide = nodes.len() as u32;
                         nodes.push(WideNode::EMPTY);
-                        counters.build_node_ops += 1;
+                        sat_bump(&mut counters.build_node_ops, 1);
                         node.children[slot] = WideChild::Node(child_wide);
                         work.push((member, child_wide));
                     }

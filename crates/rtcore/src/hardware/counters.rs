@@ -15,6 +15,12 @@
 //! `u64::MAX` is both detectable and harmless.
 
 use std::ops::{Add, AddAssign, Sub};
+// Under the `loom` feature the counter atomics become model-aware so the
+// interleaving checker can drive `SharedCounters` through every schedule;
+// production builds use the std atomics unchanged.
+#[cfg(feature = "loom")]
+use loom::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(feature = "loom"))]
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Per-operation work counts accumulated while building and traversing
@@ -79,6 +85,16 @@ pub struct WorkCounters {
 #[inline]
 fn sat_sum(parts: &[u64]) -> u64 {
     parts.iter().fold(0u64, |acc, &x| acc.saturating_add(x))
+}
+
+/// Saturating in-place bump of a single counter cell: the one blessed way
+/// to increment a [`WorkCounters`] field outside this module.  The
+/// `counter-arith` lint (`cargo xtask analyze`) denies bare `+=` on counter
+/// fields so every accumulation path shares the module-level saturation
+/// discipline.
+#[inline]
+pub fn sat_bump(cell: &mut u64, n: u64) {
+    *cell = cell.saturating_add(n);
 }
 
 impl WorkCounters {
@@ -279,6 +295,9 @@ fn saturating_fetch_add(cell: &AtomicU64, value: u64) {
     if value == 0 {
         return;
     }
+    // ordering: Relaxed everywhere — each cell is an independent tally with
+    // no payload guarded by it; the CAS only needs atomicity of the single
+    // cell, and readers synchronise through the thread join, not the cell.
     let mut current = cell.load(Ordering::Relaxed);
     loop {
         let next = current.saturating_add(value);
@@ -355,6 +374,9 @@ impl SharedCounters {
     }
 
     /// Read the accumulated totals.
+    // ordering: Relaxed loads — callers snapshot after the parallel region
+    // has joined (the join is the happens-before edge); a mid-run snapshot
+    // is a monitoring read where per-cell tearing is acceptable by contract.
     pub fn snapshot(&self) -> WorkCounters {
         WorkCounters {
             rays: self.rays.load(Ordering::Relaxed),
@@ -382,6 +404,9 @@ impl SharedCounters {
     }
 
     /// Reset every counter to zero.
+    // ordering: Relaxed stores — reset happens between measurement phases
+    // when no concurrent writers exist; the phase boundary (join/spawn)
+    // publishes the zeroes.
     pub fn reset(&self) {
         self.rays.store(0, Ordering::Relaxed);
         self.node_visits.store(0, Ordering::Relaxed);

@@ -12,6 +12,7 @@ use super::{
 };
 use crate::error::Result;
 use crate::geometry::Point3;
+use crate::hardware::sat_bump;
 use crate::hardware::WorkCounters;
 use parking_lot::Mutex;
 
@@ -58,7 +59,7 @@ impl BruteForceIndex {
             if Some(j as u32) == exclude || !self.alive[j] {
                 continue;
             }
-            counters.dist_comps += 1;
+            sat_bump(&mut counters.dist_comps, 1);
             if p.distance_squared(query) <= eps_sq {
                 let n = Neighbor {
                     index: j as u32,
@@ -146,7 +147,7 @@ impl NeighborIndex for BruteForceIndex {
                 if *alive {
                     *alive = false;
                     self.live -= 1;
-                    counters.misc_ops += 1;
+                    sat_bump(&mut counters.misc_ops, 1);
                 }
             }
         }
@@ -159,7 +160,7 @@ impl NeighborIndex for BruteForceIndex {
         for &(i, p) in moved {
             if let Some(slot) = self.points.get_mut(i as usize) {
                 *slot = p;
-                counters.misc_ops += 1;
+                sat_bump(&mut counters.misc_ops, 1);
             }
         }
         self.build_counters += counters;

@@ -12,6 +12,7 @@ use crate::bvh::{
 };
 use crate::error::Result;
 use crate::geometry::{Point3, Ray};
+use crate::hardware::sat_bump;
 use crate::hardware::WorkCounters;
 use crate::pipeline::GeometryKind;
 use crate::simd::SimdLevel;
@@ -96,10 +97,10 @@ impl BvhCore {
         let mut build_counters = WorkCounters::ZERO;
         let (spheres, representative_of) = if config.compaction {
             let compaction = compact_coincident(points, eps);
-            build_counters.compaction_merges += compaction.merged;
+            sat_bump(&mut build_counters.compaction_merges, compaction.merged);
             // The bounds program still runs once per *input* primitive
             // before the device merges duplicates, so charge those too.
-            build_counters.build_prims += compaction.merged;
+            sat_bump(&mut build_counters.build_prims, compaction.merged);
             (compaction.spheres, compaction.representative_of)
         } else {
             (
@@ -162,6 +163,7 @@ impl BvhCore {
             n: bvh.primitives.len(),
             eps,
             bvh: Some(bvh),
+            // analyze-allow: hot-path-alloc -- constructor: one empty vec per scene build, not per query
             representative_of: Vec::new(),
             compacting: false,
             geometry: config.geometry,
@@ -234,7 +236,7 @@ impl BvhCore {
     ) {
         debug_assert!(eps <= self.eps, "query radius exceeds the build radius");
         let Some(bvh) = &self.bvh else { return };
-        counters.rays += 1;
+        sat_bump(&mut counters.rays, 1);
         let ray = Ray::epsilon_ray(query);
         let eps_sq = eps * eps;
         let geometry = self.geometry;
@@ -502,7 +504,7 @@ impl NeighborIndex for BinaryBvhIndex {
                 };
                 let mut guard = self.core.scratch.acquire();
                 for ordinal in chunk * chunk_size..((chunk + 1) * chunk_size).min(queries.len()) {
-                    local.rays += 1;
+                    sat_bump(&mut local.rays, 1);
                     let query = queries[ordinal];
                     let ray = Ray::epsilon_ray(query);
                     let mut count = 0u64;
@@ -564,6 +566,9 @@ impl NeighborIndex for BinaryBvhIndex {
                         }
                     }
                     if count > 0 {
+                        // ordering: Relaxed — each worker adds to distinct
+                        // ordinals' cells within one launch; the caller reads
+                        // only after the parallel launch joins.
                         counts[ordinal].fetch_add(count, Ordering::Relaxed);
                     }
                 }
@@ -656,7 +661,10 @@ impl WideBatchedIndex {
             (WideLayout::Quantized, Some(w)) => {
                 let mut span = core.telemetry.span(PhaseKind::QuantizedBake);
                 // Re-encoding the node array is one more device-build pass.
-                core.build_counters.build_node_ops += w.node_count() as u64;
+                sat_bump(
+                    &mut core.build_counters.build_node_ops,
+                    w.node_count() as u64,
+                );
                 span.add_counters(WorkCounters {
                     build_node_ops: w.node_count() as u64,
                     ..WorkCounters::ZERO
@@ -712,7 +720,10 @@ impl WideBatchedIndex {
         let compact = match (config.wide_layout, &wide) {
             (WideLayout::Quantized, Some(w)) => {
                 let mut span = core.telemetry.span(PhaseKind::QuantizedBake);
-                core.build_counters.build_node_ops += w.node_count() as u64;
+                sat_bump(
+                    &mut core.build_counters.build_node_ops,
+                    w.node_count() as u64,
+                );
                 span.add_counters(WorkCounters {
                     build_node_ops: w.node_count() as u64,
                     ..WorkCounters::ZERO
@@ -781,7 +792,7 @@ impl WideBatchedIndex {
         self.compact = match (self.layout, &self.wide) {
             (WideLayout::Quantized, Some(w)) => {
                 let mut span = self.core.telemetry.span(PhaseKind::QuantizedBake);
-                counters.build_node_ops += w.node_count() as u64;
+                sat_bump(&mut counters.build_node_ops, w.node_count() as u64);
                 span.add_counters(WorkCounters {
                     build_node_ops: w.node_count() as u64,
                     ..WorkCounters::ZERO
@@ -818,7 +829,7 @@ impl WideBatchedIndex {
         let mut span = self.core.telemetry.span(PhaseKind::MortonReorder);
         let mut guard = self.reorder.acquire();
         let sort_ops = guard.order_morton(queries);
-        setup.misc_ops += sort_ops;
+        sat_bump(&mut setup.misc_ops, sort_ops);
         span.add_counters(WorkCounters {
             misc_ops: sort_ops,
             ..WorkCounters::ZERO
@@ -845,7 +856,7 @@ impl WideBatchedIndex {
         let Some(scene) = self.scene() else {
             return counters;
         };
-        counters.rays += len as u64;
+        sat_bump(&mut counters.rays, len as u64);
         let packet_queries = &ordered[start..start + len];
         let mut guard = self.core.scratch.acquire();
         let scratch = &mut *guard;
@@ -909,7 +920,7 @@ impl WideBatchedIndex {
         let Some(scene) = self.scene() else {
             return counters;
         };
-        counters.rays += len as u64;
+        sat_bump(&mut counters.rays, len as u64);
         let packet_queries = &ordered[start..start + len];
         let mut guard = self.core.scratch.acquire();
         let PacketScratch {
@@ -931,6 +942,7 @@ impl WideBatchedIndex {
             // count is Σ multiplicity − 1.  That makes the candidate loop
             // branch-free — exactly the shape the SIMD run kernel consumes
             // from the SoA lanes.
+            // analyze-allow: lib-unwrap -- lanes are built unconditionally with the scene in build()
             let lanes = self.lanes.as_ref().expect("lanes exist with the scene");
             let simd = self.simd;
             with_sink!(self.heatmap.as_ref(), |vsink| {
@@ -990,6 +1002,9 @@ impl WideBatchedIndex {
         }
         for (i, &c) in local.iter().enumerate() {
             if c > 0 {
+                // ordering: Relaxed — one flush per sub-range per launch,
+                // distinct caller ordinals per worker; the dispatching
+                // join publishes the cells to the caller.
                 counts[caller_ordinal(perm, start + i)].fetch_add(c, Ordering::Relaxed);
             }
         }
@@ -1116,7 +1131,7 @@ impl NeighborIndex for WideBatchedIndex {
         debug_assert!(eps <= self.core.eps, "query radius exceeds build radius");
         let Some(scene) = self.scene() else { return };
         let mut local = WorkCounters::ZERO;
-        local.rays += 1;
+        sat_bump(&mut local.rays, 1);
         let ray = Ray::epsilon_ray(query);
         let eps_sq = eps * eps;
         let geometry = self.core.geometry;
@@ -1258,6 +1273,7 @@ impl NeighborIndex for WideBatchedIndex {
             Some(g) => (&g.points, Some(&g.perm)),
             None => (queries, None),
         };
+        // analyze-allow: hot-path-alloc -- one shared pair-sink allocation per launch, amortised over every packet
         let pairs_shared: Mutex<Vec<(u32, u32)>> = Mutex::new(Vec::new());
         let start_ns = self.core.telemetry.now_ns();
         let packets = queries.len().div_ceil(self.batch_size);
@@ -1272,7 +1288,7 @@ impl NeighborIndex for WideBatchedIndex {
                     return local;
                 };
                 let all_prims = scene.primitives();
-                local.rays += len as u64;
+                sat_bump(&mut local.rays, len as u64);
                 let packet_queries = &ordered[start..start + len];
                 let mut guard = self.core.scratch.acquire();
                 let PacketScratch { rays, trav, .. } = &mut *guard;

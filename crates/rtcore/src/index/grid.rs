@@ -14,6 +14,7 @@ use super::{
 };
 use crate::error::Result;
 use crate::geometry::Point3;
+use crate::hardware::sat_bump;
 use crate::hardware::WorkCounters;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -92,7 +93,7 @@ impl UniformGridIndex {
                         continue;
                     };
                     for &q in cell_points {
-                        counters.dist_comps += 1;
+                        sat_bump(&mut counters.dist_comps, 1);
                         if Some(q) != exclude
                             && self.alive[q as usize]
                             && self.points[q as usize].distance_squared(query) <= eps_sq
@@ -222,7 +223,7 @@ impl NeighborIndex for UniformGridIndex {
                                 continue;
                             };
                             for &q in cell_points {
-                                local.dist_comps += 1;
+                                sat_bump(&mut local.dist_comps, 1);
                                 let own = exclude_self && q as usize == ordinal;
                                 if !own
                                     && self.alive[q as usize]
@@ -240,6 +241,9 @@ impl NeighborIndex for UniformGridIndex {
                     }
                 }
                 if count > 0 {
+                    // ordering: Relaxed — per-ordinal tally cell written
+                    // inside the launch, read by the caller only after the
+                    // parallel iterator joins.
                     counts[ordinal].fetch_add(count, Ordering::Relaxed);
                 }
                 local
@@ -259,7 +263,7 @@ impl NeighborIndex for UniformGridIndex {
                     let cell = cell_of(self.points[r as usize], self.eps);
                     if let Some(ids) = self.cells.get_mut(&cell) {
                         ids.retain(|&i| i != r);
-                        counters.misc_ops += 1;
+                        sat_bump(&mut counters.misc_ops, 1);
                         if ids.is_empty() {
                             self.cells.remove(&cell);
                         }
@@ -280,7 +284,7 @@ impl NeighborIndex for UniformGridIndex {
             let old_cell = cell_of(old, self.eps);
             let new_cell = cell_of(p, self.eps);
             self.points[i as usize] = p;
-            counters.misc_ops += 1;
+            sat_bump(&mut counters.misc_ops, 1);
             if old_cell != new_cell {
                 if let Some(ids) = self.cells.get_mut(&old_cell) {
                     ids.retain(|&j| j != i);

@@ -63,6 +63,7 @@ pub use crate::traversal::QueryOrder;
 use crate::bvh::BuilderKind;
 use crate::error::{Error, Result};
 use crate::geometry::Point3;
+use crate::hardware::sat_bump;
 use crate::hardware::WorkCounters;
 use crate::pipeline::GeometryKind;
 use crate::telemetry::{NodeHeatmap, Telemetry, TelemetryConfig};
@@ -266,6 +267,9 @@ pub trait NeighborIndex: std::fmt::Debug + Send + Sync {
             if add == 0 {
                 return NeighborFlow::Continue;
             }
+            // ordering: Relaxed — the cell is a pure tally; the returned
+            // running total only steers this worker's own early exit, and
+            // the final values are read after the launch joins.
             let total = counts[q].fetch_add(add, Ordering::Relaxed) + add;
             match early_exit {
                 Some(min) if total >= min => NeighborFlow::Stop,
@@ -438,10 +442,13 @@ pub(crate) fn charge_candidate(geometry: GeometryKind, counters: &mut WorkCounte
         triangles_per_sphere,
     } = geometry
     {
-        counters.prim_tests += triangles_per_sphere.saturating_sub(1) as u64;
-        counters.anyhit_invocations += 1;
+        sat_bump(
+            &mut counters.prim_tests,
+            triangles_per_sphere.saturating_sub(1) as u64,
+        );
+        sat_bump(&mut counters.anyhit_invocations, 1);
     }
-    counters.dist_comps += 1;
+    sat_bump(&mut counters.dist_comps, 1);
 }
 
 /// [`charge_candidate`] hoisted over a run of `n` candidates — one add per
@@ -452,10 +459,13 @@ pub(crate) fn charge_candidates(geometry: GeometryKind, n: u64, counters: &mut W
         triangles_per_sphere,
     } = geometry
     {
-        counters.prim_tests += triangles_per_sphere.saturating_sub(1) as u64 * n;
-        counters.anyhit_invocations += n;
+        sat_bump(
+            &mut counters.prim_tests,
+            triangles_per_sphere.saturating_sub(1) as u64 * n,
+        );
+        sat_bump(&mut counters.anyhit_invocations, n);
     }
-    counters.dist_comps += n;
+    sat_bump(&mut counters.dist_comps, n);
 }
 
 /// Reverse [`charge_candidates`] for the untested tail of a run a query

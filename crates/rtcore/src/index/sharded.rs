@@ -41,6 +41,7 @@ use crate::bvh::{
 };
 use crate::error::{Error, Result};
 use crate::geometry::{Aabb, Point3, Ray, Sphere};
+use crate::hardware::sat_bump;
 use crate::hardware::WorkCounters;
 use crate::telemetry::{
     NodeHeatmap, PhaseKind, Telemetry, DIST_COMPS_BUCKETS, LATENCY_US_BUCKETS, OCCUPANCY_BUCKETS,
@@ -124,8 +125,8 @@ impl ShardedIndex {
         let mut build_counters = WorkCounters::ZERO;
         let (spheres, representative_of) = if config.compaction {
             let compaction = compact_coincident(points, eps);
-            build_counters.compaction_merges += compaction.merged;
-            build_counters.build_prims += compaction.merged;
+            sat_bump(&mut build_counters.compaction_merges, compaction.merged);
+            sat_bump(&mut build_counters.build_prims, compaction.merged);
             (compaction.spheres, compaction.representative_of)
         } else {
             (
@@ -143,8 +144,10 @@ impl ShardedIndex {
             compacting: config.compaction,
             max_shard_size: sharding.max_shard_size,
             representative_of,
+            // analyze-allow: hot-path-alloc -- constructor: owner table allocated once per scene build
             owner_shard: vec![u32::MAX; points.len()],
             tlas: Tlas::default(),
+            // analyze-allow: hot-path-alloc -- constructor: shard list allocated once per scene build
             shards: Vec::new(),
             build_counters,
             query_counters: Mutex::new(WorkCounters::ZERO),
@@ -183,7 +186,9 @@ impl ShardedIndex {
             .iter()
             .map(|&(lo, hi)| {
                 Mutex::new(Some((
+                    // analyze-allow: hot-path-alloc -- build path: each shard copies its prim slice once at scene construction
                     plan.sorted_prims[lo..hi].to_vec(),
+                    // analyze-allow: hot-path-alloc -- build path: each shard copies its code slice once at scene construction
                     plan.sorted_codes[lo..hi].to_vec(),
                 )))
             })
@@ -195,6 +200,7 @@ impl ShardedIndex {
             (0..slices.len())
                 .into_par_iter()
                 .map(|s| {
+                    // analyze-allow: lib-unwrap -- each parallel build slot is filled by plan and taken exactly once by its own task
                     let (prims, codes) = slices[s].lock().take().expect("slot consumed once");
                     let bvh = {
                         let mut span = telemetry.span(PhaseKind::LbvhBuild);
@@ -328,7 +334,7 @@ impl ShardedIndex {
         let mut span = self.telemetry.span(PhaseKind::MortonReorder);
         let mut guard = self.reorder.acquire();
         let sort_ops = guard.order_morton(queries);
-        setup.misc_ops += sort_ops;
+        sat_bump(&mut setup.misc_ops, sort_ops);
         span.add_counters(WorkCounters {
             misc_ops: sort_ops,
             ..WorkCounters::ZERO
@@ -418,8 +424,9 @@ impl ShardedIndex {
             }
             let blas = self.shards[shard as usize]
                 .as_ref()
+                // analyze-allow: lib-unwrap -- plan_packet only emits pairs for shards it verified live
                 .expect("planned shards are live");
-            local.blas_launches += 1;
+            sat_bump(&mut local.blas_launches, 1);
             local +=
                 blas.trace_packet(sub_queries, Some(sub_perm), 0, sub_queries.len(), eps, sink);
             i = j;
@@ -480,8 +487,9 @@ impl ShardedIndex {
             }
             let blas = self.shards[shard as usize]
                 .as_ref()
+                // analyze-allow: lib-unwrap -- plan_packet only emits pairs for shards it verified live
                 .expect("planned shards are live");
-            local.blas_launches += 1;
+            sat_bump(&mut local.blas_launches, 1);
             local += blas.trace_count_packet(
                 sub_queries,
                 Some(sub_perm),
@@ -494,6 +502,21 @@ impl ShardedIndex {
             );
             i = j;
         }
+        // ordering: Relaxed is sound on both sides of this flush.  The
+        // packet-local `cells` come from pooled ShardScratch owned by this
+        // packet alone; the per-shard sub-launches above run *sequentially*
+        // on this thread, so by the time the loop reads a cell every write
+        // to it is sequenced-before the read (the cells are atomic only
+        // because `trace_count_packet` takes `&[AtomicU64]`).  Each shared
+        // `counts` cell has a single writer per launch — caller ordinals are
+        // disjoint across packets — so the fetch_add never races another
+        // increment to the same cell, and the dispatch join in the launch
+        // driver provides the happens-before edge that publishes the totals
+        // to the post-join reader.  The `saturating_sub(1)` self-exclusion
+        // is exact, not defensive: each cell starts at 0 and receives
+        // exactly one flush per query (each query is routed to each
+        // overlapping shard at most once by `plan_packet`), so the query's
+        // own hit is counted exactly once before subtraction.
         for (pos, cell) in cells.iter().enumerate() {
             let mut count = cell.load(Ordering::Relaxed);
             if exclude_self {
@@ -619,6 +642,7 @@ impl NeighborIndex for ShardedIndex {
         visit: &mut NeighborVisitor<'_>,
     ) {
         let mut local = WorkCounters::ZERO;
+        // analyze-allow: hot-path-alloc -- single-query compatibility path; the batched tracers use pooled ShardScratch
         let mut overlaps = Vec::new();
         self.tlas
             .overlapping(&Ray::epsilon_ray(query), &mut local, &mut overlaps);
@@ -630,7 +654,7 @@ impl NeighborIndex for ShardedIndex {
             let Some(blas) = self.shards[s as usize].as_ref() else {
                 continue;
             };
-            local.blas_launches += 1;
+            sat_bump(&mut local.blas_launches, 1);
             blas.for_each_neighbor(query, eps, exclude, &mut local, &mut |n, c| {
                 let flow = visit(n, c);
                 if flow == NeighborFlow::Stop {
@@ -720,6 +744,7 @@ impl NeighborIndex for ShardedIndex {
         }
         // Route retirements to their owning shards, refit each touched BLAS
         // in parallel, and drop any BLAS refitted down to nothing.
+        // analyze-allow: hot-path-alloc -- refit path: per-shard routing buckets, once per retire batch, not per query
         let mut per_shard: Vec<Vec<u32>> = vec![Vec::new(); self.shards.len()];
         for &id in retired {
             if let Some(s) = self.owner_shard(id) {
@@ -777,6 +802,7 @@ impl NeighborIndex for ShardedIndex {
         // A moved point stays in its owning shard — the refit inflates the
         // BLAS (and then TLAS) bounds exactly like the flat refit inflates
         // the single tree.
+        // analyze-allow: hot-path-alloc -- refit path: per-shard routing buckets, once per move batch, not per query
         let mut per_shard: Vec<Vec<(u32, Point3)>> = vec![Vec::new(); self.shards.len()];
         for &(id, p) in moved {
             if let Some(s) = self.owner_shard(id) {

@@ -3,6 +3,7 @@
 use super::program::{GeometryKind, ProgramFlow, RayProgram};
 use crate::bvh::{Bvh, CompactWideNodes, WideBvh, WideLayout};
 use crate::geometry::{Point3, Ray, Sphere};
+use crate::hardware::sat_bump;
 use crate::hardware::WorkCounters;
 use crate::simd::{SimdLevel, SimdPolicy};
 use crate::telemetry::{PhaseKind, Telemetry, TelemetryConfig};
@@ -106,13 +107,16 @@ fn run_intersection<P: RayProgram>(
         } => {
             // The hardware tests every triangle of the tessellated
             // sphere (cheap, done by the RT units) …
-            counters.prim_tests += triangles_per_sphere.saturating_sub(1) as u64;
+            sat_bump(
+                &mut counters.prim_tests,
+                triangles_per_sphere.saturating_sub(1) as u64,
+            );
             // … and every *accepted* hit bounces back into the AnyHit
             // program on the shader cores, which is where the 2–5×
             // slowdown of Section VI-C comes from.
             match program.intersection(launch_index, sphere, ray, payload, counters) {
                 ProgramFlow::Continue => {
-                    counters.anyhit_invocations += 1;
+                    sat_bump(&mut counters.anyhit_invocations, 1);
                     match program.any_hit(launch_index, sphere, ray, payload, counters) {
                         ProgramFlow::Continue => Traversal::Continue,
                         ProgramFlow::TerminateRay => Traversal::Terminate,
@@ -227,6 +231,7 @@ impl<'a> Pipeline<'a> {
         let wide = self
             .wide
             .as_deref()
+            // analyze-allow: lib-unwrap -- the WideBatched constructor collapses the wide scene before this variant exists
             .expect("wide scene is collapsed at construction for WideBatched");
         match &self.compact {
             Some(nodes) => WideScene::Quantized { wide, nodes },
@@ -265,7 +270,7 @@ impl<'a> Pipeline<'a> {
         launch_index: usize,
     ) -> (P::Payload, WorkCounters) {
         let mut counters = WorkCounters::ZERO;
-        counters.rays += 1;
+        sat_bump(&mut counters.rays, 1);
         let (ray, mut payload) = program.ray_gen(launch_index);
         let geometry = self.config.geometry;
         let outcome = traverse(self.scene, &ray, &mut counters, |sphere, counters| {
@@ -318,7 +323,7 @@ impl<'a> Pipeline<'a> {
     ) -> (Vec<(u32, P::Payload)>, WorkCounters) {
         let scene = self.wide_scene_ref();
         let mut counters = WorkCounters::ZERO;
-        counters.rays += members.len() as u64;
+        sat_bump(&mut counters.rays, members.len() as u64);
         let mut rays = Vec::with_capacity(members.len());
         let mut indices = Vec::with_capacity(members.len());
         let mut payloads = Vec::with_capacity(members.len());
@@ -376,10 +381,11 @@ impl<'a> Pipeline<'a> {
             (0..count).map(|i| Some(program.ray_gen(i))).collect();
         let origins: Vec<Point3> = items
             .iter()
+            // analyze-allow: lib-unwrap -- slot was filled by ray_gen in the comprehension directly above
             .map(|it| it.as_ref().expect("just generated").0.origin)
             .collect();
         let mut reorder = ReorderScratch::default();
-        counters.misc_ops += reorder.order_morton(&origins);
+        sat_bump(&mut counters.misc_ops, reorder.order_morton(&origins));
 
         // Cut fixed-size packets of the sorted order, moving each ray and
         // payload into its packet.  Packets sit in take-once mutex slots so
@@ -397,6 +403,7 @@ impl<'a> Pipeline<'a> {
                         .iter()
                         .map(|&orig| {
                             let (ray, payload) =
+                                // analyze-allow: lib-unwrap -- the Morton order is a permutation, so each index is taken exactly once
                                 items[orig as usize].take().expect("each index moves once");
                             (orig, ray, payload)
                         })
@@ -407,6 +414,7 @@ impl<'a> Pipeline<'a> {
         drop(items);
 
         let run_packet = |slot: &parking_lot::Mutex<Option<Vec<(u32, Ray, P::Payload)>>>| {
+            // analyze-allow: lib-unwrap -- each packet slot is consumed by exactly one dispatch task
             let members = slot.lock().take().expect("each packet traces once");
             self.trace_indexed_packet(program, members)
         };
@@ -429,6 +437,7 @@ impl<'a> Pipeline<'a> {
         LaunchResult {
             payloads: payloads
                 .into_iter()
+                // analyze-allow: lib-unwrap -- every launch ordinal is written back by the packet that traced it
                 .map(|p| p.expect("every launch index traced exactly once"))
                 .collect(),
             counters,

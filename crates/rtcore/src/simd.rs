@@ -249,10 +249,16 @@ pub(crate) unsafe fn count_run_sse2(
 ) -> u64 {
     use std::arch::x86_64::*;
     debug_assert!(px.len() >= first + count + LANE_PADDING);
-    let qxv = unsafe { _mm_set1_ps(qx) };
-    let qyv = unsafe { _mm_set1_ps(qy) };
-    let qzv = unsafe { _mm_set1_ps(qz) };
-    let epsv = unsafe { _mm_set1_ps(eps_sq) };
+    // SAFETY: `_mm_set1_ps` has no memory or alignment preconditions; SSE2
+    // is part of the x86_64 baseline.
+    let (qxv, qyv, qzv, epsv) = unsafe {
+        (
+            _mm_set1_ps(qx),
+            _mm_set1_ps(qy),
+            _mm_set1_ps(qz),
+            _mm_set1_ps(eps_sq),
+        )
+    };
     let mut add = 0u64;
     let mut i = 0usize;
     while i < count {

@@ -82,6 +82,9 @@ impl NodeHeatmap {
 
     /// Count one visit of `node`.  Relaxed atomic add — safe from any
     /// number of traversal workers, never part of the counted cost model.
+    // ordering: Relaxed fetch_add — independent tally cells with no guarded
+    // payload; readers synchronise via the launch join (see the audit note
+    // on the reader methods below), not via these cells.
     #[inline]
     pub fn record(&self, node: u32) {
         self.visits[node as usize].fetch_add(1, Ordering::Relaxed);
@@ -93,6 +96,9 @@ impl NodeHeatmap {
     }
 
     /// Recorded visits of one node.
+    // ordering: Relaxed load — read after the traversal launch joins; the
+    // join (rayon scope exit / dispatch_batch return) is the happens-before
+    // edge that makes every worker's Relaxed adds visible here.
     pub fn visits(&self, node: usize) -> u64 {
         self.visits[node].load(Ordering::Relaxed)
     }
@@ -110,12 +116,14 @@ impl NodeHeatmap {
     /// Sum of all per-node visits — equals the engine's
     /// `wide_node_visits` (or binary `node_visits`) for the launches made
     /// while this heatmap was attached.
+    // ordering: Relaxed loads — post-join read, see `visits`.
     pub fn total_visits(&self) -> u64 {
         self.visits.iter().map(|v| v.load(Ordering::Relaxed)).sum()
     }
 
     /// Visits aggregated per depth: `result[d]` is the total visits of all
     /// nodes at depth `d`.
+    // ordering: Relaxed loads — post-join read, see `visits`.
     pub fn per_depth(&self) -> Vec<u64> {
         let mut out = vec![0u64; self.max_depth as usize + 1];
         for (node, v) in self.visits.iter().enumerate() {
@@ -137,6 +145,7 @@ impl NodeHeatmap {
     /// Visits aggregated per treelet of `nodes_per_treelet` consecutive
     /// node ids — the unit a cache-aware layout would relocate together
     /// (e.g. 64 compact 80-byte nodes ≈ one 4 KiB page).
+    // ordering: Relaxed loads — post-join read, see `visits`.
     pub fn per_treelet(&self, nodes_per_treelet: usize) -> Vec<u64> {
         let size = nodes_per_treelet.max(1);
         let mut out = vec![0u64; self.visits.len().div_ceil(size)];
@@ -147,6 +156,8 @@ impl NodeHeatmap {
     }
 
     /// Zero every visit counter (the depth mapping is static and kept).
+    // ordering: Relaxed stores — reset runs between launches with no
+    // concurrent writers; the next launch's spawn publishes the zeroes.
     pub fn reset(&self) {
         for v in &self.visits {
             v.store(0, Ordering::Relaxed);

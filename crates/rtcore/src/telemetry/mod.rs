@@ -209,6 +209,9 @@ impl Clock {
     }
 
     /// Nanoseconds since the clock's epoch.
+    // ordering: Relaxed — the manual clock cell is a single monotone value
+    // with no guarded payload; tests that advance it do so from the same
+    // thread that reads, and cross-thread skew only shifts span timestamps.
     pub fn now_ns(&self) -> u64 {
         match self {
             Clock::Monotonic { epoch } => epoch.elapsed().as_nanos() as u64,
@@ -294,6 +297,8 @@ thread_local! {
     static SPAN_DEPTH: Cell<u32> = const { Cell::new(0) };
 }
 
+// ordering: Relaxed fetch_add — the global ordinal only needs uniqueness
+// (atomicity), not ordering against any other memory.
 fn thread_ordinal() -> u64 {
     THREAD_ORDINAL.with(|cell| {
         let v = cell.get();

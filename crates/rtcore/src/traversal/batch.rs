@@ -37,6 +37,7 @@
 use crate::bvh::wide::{CompactWideNode, CompactWideNodes, WideBvh, WideChild, WIDE_BRANCHING};
 use crate::bvh::WideNode;
 use crate::geometry::{Aabb, Ray, Sphere};
+use crate::hardware::sat_bump;
 use crate::hardware::WorkCounters;
 use crate::index::CsrNeighbors;
 use crate::simd::{detect_simd, SimdLevel};
@@ -252,7 +253,7 @@ where
         return outcome;
     }
     // Root test against the scene bounds, mirroring the binary engine.
-    counters.aabb_tests += 1;
+    sat_bump(&mut counters.aabb_tests, 1);
     if !scene_bounds.intersects_ray(ray) {
         return outcome;
     }
@@ -261,9 +262,9 @@ where
     stack.push(0);
     'outer: while let Some(idx) = stack.pop() {
         let node = &nodes[idx as usize];
-        counters.wide_node_visits += 1;
+        sat_bump(&mut counters.wide_node_visits, 1);
         sink.visit(idx);
-        counters.aabb_tests += node.occupied_slots();
+        sat_bump(&mut counters.aabb_tests, node.occupied_slots());
         let mask = node.ray_mask(ray);
         for slot in 0..WIDE_BRANCHING {
             if mask & (1 << slot) == 0 {
@@ -281,7 +282,7 @@ where
                     let first = first_prim as usize;
                     let count = prim_count as usize;
                     for prim in &primitives[first..first + count] {
-                        counters.prim_tests += 1;
+                        sat_bump(&mut counters.prim_tests, 1);
                         outcome.primitives_visited += 1;
                         if on_primitive(prim, counters) == Traversal::Terminate {
                             outcome.terminated_early = true;
@@ -428,6 +429,7 @@ where
     F: FnMut(usize, &Sphere, &mut WorkCounters) -> Traversal,
 {
     let mut scratch = TraversalScratch::default();
+    // analyze-allow: hot-path-alloc -- owned-result convenience wrapper; hot callers use the _with_scratch form
     traverse_batch_with_scratch(wide, rays, &mut scratch, counters, on_primitive).to_vec()
 }
 
@@ -747,7 +749,7 @@ where
     if n == 0 {
         return &scratch.outcomes;
     }
-    counters.batched_launches += 1;
+    sat_bump(&mut counters.batched_launches, 1);
     if nodes.is_empty() {
         return &scratch.outcomes;
     }
@@ -774,7 +776,7 @@ where
     arena.clear();
     frames.clear();
     for (q, ray) in rays.iter().enumerate() {
-        counters.aabb_tests += 1;
+        sat_bump(&mut counters.aabb_tests, 1);
         if scene_bounds.intersects_ray(ray) {
             arena.push(q as u32);
         }
@@ -821,9 +823,12 @@ where
         if live.is_empty() {
             continue;
         }
-        counters.wide_node_visits += 1;
+        sat_bump(&mut counters.wide_node_visits, 1);
         sink.visit(frame.node);
-        counters.aabb_tests += node.occupied_slots() * live.len() as u64;
+        sat_bump(
+            &mut counters.aabb_tests,
+            node.occupied_slots() * live.len() as u64,
+        );
 
         for slot in 0..WIDE_BRANCHING {
             let bit = 1u8 << slot;
@@ -856,7 +861,7 @@ where
                     for &q in &arena[child_start..] {
                         let qi = q as usize;
                         let visit = on_run(qi, first_prim, prim_count, counters);
-                        counters.prim_tests += visit.visited as u64;
+                        sat_bump(&mut counters.prim_tests, visit.visited as u64);
                         let outcome = &mut outcomes[qi];
                         outcome.primitives_visited += visit.visited as u64;
                         if visit.terminate {
@@ -884,9 +889,10 @@ pub fn collect_sphere_hits_batch(
     exclude: &[Option<u32>],
     counters: &mut WorkCounters,
 ) -> Vec<Vec<u32>> {
+    // analyze-allow: hot-path-alloc -- owned-result convenience helper for tests/tools, one alloc per call, not per visit
     let mut hits: Vec<Vec<u32>> = vec![Vec::new(); rays.len()];
     traverse_batch(wide, rays, counters, |q, sphere, counters| {
-        counters.dist_comps += 1;
+        sat_bump(&mut counters.dist_comps, 1);
         if sphere.intersects_ray(&rays[q])
             && exclude.get(q).copied().flatten() != Some(sphere.point_index)
         {
@@ -915,7 +921,7 @@ pub fn collect_sphere_hits_csr(
     let mut pairs = std::mem::take(&mut scratch.pairs);
     pairs.clear();
     traverse_batch_with_scratch(wide, rays, scratch, counters, |q, sphere, counters| {
-        counters.dist_comps += 1;
+        sat_bump(&mut counters.dist_comps, 1);
         if sphere.intersects_ray(&rays[q])
             && exclude.get(q).copied().flatten() != Some(sphere.point_index)
         {

@@ -35,6 +35,7 @@ pub use scratch::{PoolGuard, ScratchPool, TraversalScratch};
 
 use crate::bvh::{Bvh, NodeKind};
 use crate::geometry::{Ray, Sphere};
+use crate::hardware::sat_bump;
 use crate::hardware::WorkCounters;
 
 /// Where per-node visit events go.  The engines are generic over the sink
@@ -174,7 +175,7 @@ where
     }
 
     // Root test.
-    counters.aabb_tests += 1;
+    sat_bump(&mut counters.aabb_tests, 1);
     if !bvh.nodes[0].bounds.intersects_ray(ray) {
         return outcome;
     }
@@ -184,12 +185,12 @@ where
 
     'outer: while let Some(idx) = stack.pop() {
         let node = &bvh.nodes[idx as usize];
-        counters.node_visits += 1;
+        sat_bump(&mut counters.node_visits, 1);
         sink.visit(idx);
         match node.kind {
             NodeKind::Internal { left, right } => {
                 for child in [left, right] {
-                    counters.aabb_tests += 1;
+                    sat_bump(&mut counters.aabb_tests, 1);
                     if bvh.nodes[child as usize].bounds.intersects_ray(ray) {
                         stack.push(child);
                     }
@@ -202,7 +203,7 @@ where
                 let first = first_prim as usize;
                 let count = prim_count as usize;
                 for prim in &bvh.primitives[first..first + count] {
-                    counters.prim_tests += 1;
+                    sat_bump(&mut counters.prim_tests, 1);
                     outcome.primitives_visited += 1;
                     if on_primitive(prim, counters) == Traversal::Terminate {
                         outcome.terminated_early = true;
@@ -227,7 +228,7 @@ pub fn collect_sphere_hits(
 ) -> Vec<u32> {
     let mut hits = Vec::new();
     traverse(bvh, ray, counters, |sphere, counters| {
-        counters.dist_comps += 1;
+        sat_bump(&mut counters.dist_comps, 1);
         if sphere.intersects_ray(ray) && Some(sphere.point_index) != exclude_index {
             hits.push(sphere.point_index);
         }

@@ -188,12 +188,14 @@ pub struct PoolGuard<'a, T: Default> {
 impl<T: Default> std::ops::Deref for PoolGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
+        // analyze-allow: lib-unwrap -- pool guard invariant: the item is only None after Drop takes it back
         self.item.as_ref().expect("present until drop")
     }
 }
 
 impl<T: Default> std::ops::DerefMut for PoolGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
+        // analyze-allow: lib-unwrap -- pool guard invariant: the item is only None after Drop takes it back
         self.item.as_mut().expect("present until drop")
     }
 }

@@ -34,6 +34,7 @@
 use crate::window::{StreamingConfig, WindowPolicy};
 use rtcore::bvh::{refit, Bvh, BvhBuilder, LbvhBuilder, TreeHealth, WideBvh};
 use rtcore::geometry::{Point3, Ray, Sphere};
+use rtcore::hardware::sat_bump;
 use rtcore::hardware::WorkCounters;
 use rtcore::index::CsrNeighbors;
 use rtcore::pipeline::TraversalEngine;
@@ -403,7 +404,7 @@ impl StreamingClusterer {
         for &q in &hits {
             let s = &mut self.slots[q as usize];
             s.neighbor_count -= 1;
-            self.stage1_counters.misc_ops += 1;
+            sat_bump(&mut self.stage1_counters.misc_ops, 1);
             if s.core && (s.neighbor_count as usize) < min_pts {
                 s.core = false;
                 self.dirty = true;
@@ -428,6 +429,7 @@ impl StreamingClusterer {
                     .pending
                     .iter()
                     .position(|&p| p == slot)
+                    // analyze-allow: lib-unwrap -- the tail slot was pushed to pending when it entered the delta region
                     .expect("tail slot must be in pending");
                 self.pending.swap_remove(pos);
                 self.free.push(slot);
@@ -478,7 +480,7 @@ impl StreamingClusterer {
         for &q in &hits {
             let other = &mut self.slots[q as usize];
             other.neighbor_count += 1;
-            self.stage1_counters.misc_ops += 1;
+            sat_bump(&mut self.stage1_counters.misc_ops, 1);
             if other.core {
                 hint = hint.or(Some(q));
             } else if other.neighbor_count as usize >= min_pts {
@@ -556,8 +558,8 @@ impl StreamingClusterer {
     fn drain_dsu_ops(&mut self) {
         let (finds, unions) = self.dsu.op_counts();
         self.dsu.reset_op_counts();
-        self.stage2_counters.find_ops += finds;
-        self.stage2_counters.union_ops += unions;
+        sat_bump(&mut self.stage2_counters.find_ops, finds);
+        sat_bump(&mut self.stage2_counters.union_ops, unions);
     }
 
     // ------------------------------------------------------------------
@@ -594,7 +596,7 @@ impl StreamingClusterer {
                 self.wide_scene = None; // scene changed shape
                 self.dead_in_scene = 0;
                 self.free.append(&mut self.retiring_scene);
-                self.stats.refits += 1;
+                sat_bump(&mut self.stats.refits, 1);
                 refitted = true;
             }
         }
@@ -623,6 +625,7 @@ impl StreamingClusterer {
             .collect();
         let delta = LbvhBuilder::default()
             .build(spheres)
+            // analyze-allow: lib-unwrap -- tail rebuild inputs are points already validated finite on insert
             .expect("tail points are finite by construction");
         self.build_counters += delta.build_counters;
         for &slot in &self.pending {
@@ -689,10 +692,11 @@ impl StreamingClusterer {
         }
         let bvh = LbvhBuilder::default()
             .build(spheres)
+            // analyze-allow: lib-unwrap -- window rebuild inputs are points already validated finite on insert
             .expect("live window points are finite by construction");
         self.build_counters += bvh.build_counters;
-        self.build_counters.rebuilds += 1;
-        self.stats.rebuilds += 1;
+        sat_bump(&mut self.build_counters.rebuilds, 1);
+        sat_bump(&mut self.stats.rebuilds, 1);
         self.health_at_build = Some(refit::tree_health(&bvh));
         self.scene = Some(bvh);
         span.add_counters(self.build_counters - counters_before);
@@ -726,13 +730,13 @@ impl StreamingClusterer {
     fn neighbors_of(&mut self, point: Point3, exclude: u32, out: &mut Vec<u32>, phase: Phase) {
         out.clear();
         let mut counters = WorkCounters::ZERO;
-        counters.rays += 1;
+        sat_bump(&mut counters.rays, 1);
         let ray = Ray::epsilon_ray(point);
         let slots = &self.slots;
         let eps_sq = self.eps_sq;
         for tree in self.scene.iter().chain(self.deltas.iter()) {
             traverse(tree, &ray, &mut counters, |sphere, counters| {
-                counters.dist_comps += 1;
+                sat_bump(&mut counters.dist_comps, 1);
                 if Self::is_live_neighbor(
                     slots,
                     exclude,
@@ -747,7 +751,7 @@ impl StreamingClusterer {
             });
         }
         for &slot in &self.pending {
-            counters.dist_comps += 1;
+            sat_bump(&mut counters.dist_comps, 1);
             let center = slots[slot as usize].point;
             if Self::is_live_neighbor(slots, exclude, eps_sq, slot, center, point) {
                 out.push(slot);
@@ -795,12 +799,13 @@ impl StreamingClusterer {
             if s.core {
                 labels.push(self.dsu.find(slot as usize) as i64);
             } else if self.hint_valid(s.point, s.hint) {
+                // analyze-allow: lib-unwrap -- hint_valid returns true only when the hint is Some and still live
                 let h = s.hint.expect("hint_valid checked Some");
                 labels.push(self.dsu.find(h as usize) as i64);
             } else {
                 labels.push(NOISE);
             }
-            self.stage2_counters.misc_ops += 1;
+            sat_bump(&mut self.stage2_counters.misc_ops, 1);
         }
         self.drain_dsu_ops();
         let clustering = Clustering::new(labels, core_flags);
@@ -892,7 +897,7 @@ impl StreamingClusterer {
         }
 
         let mut counters = WorkCounters::ZERO;
-        counters.rays += chunk.len() as u64;
+        sat_bump(&mut counters.rays, chunk.len() as u64);
         let eps_sq = self.eps_sq;
         let slots = &self.slots;
         rays.extend(
@@ -910,7 +915,7 @@ impl StreamingClusterer {
                     &mut self.repair_trav,
                     &mut counters,
                     |q, sphere, counters| {
-                        counters.dist_comps += 1;
+                        sat_bump(&mut counters.dist_comps, 1);
                         if Self::is_live_neighbor(
                             slots,
                             chunk[q],
@@ -928,7 +933,7 @@ impl StreamingClusterer {
             (_, Some(scene)) => {
                 for (k, ray) in rays.iter().enumerate() {
                     traverse(scene, ray, &mut counters, |sphere, counters| {
-                        counters.dist_comps += 1;
+                        sat_bump(&mut counters.dist_comps, 1);
                         if Self::is_live_neighbor(
                             slots,
                             chunk[k],
@@ -950,7 +955,7 @@ impl StreamingClusterer {
         for tree in &self.deltas {
             for (k, ray) in rays.iter().enumerate() {
                 traverse(tree, ray, &mut counters, |sphere, counters| {
-                    counters.dist_comps += 1;
+                    sat_bump(&mut counters.dist_comps, 1);
                     if Self::is_live_neighbor(
                         slots,
                         chunk[k],
@@ -967,7 +972,7 @@ impl StreamingClusterer {
         }
         for &p in &self.pending {
             for (k, ray) in rays.iter().enumerate() {
-                counters.dist_comps += 1;
+                sat_bump(&mut counters.dist_comps, 1);
                 let center = slots[p as usize].point;
                 if Self::is_live_neighbor(slots, chunk[k], eps_sq, p, center, ray.origin) {
                     pairs.push((k as u32, p));
