@@ -149,6 +149,8 @@ const COUNTER_FIELDS: &[&str] = &[
     "build_prims",
     "build_sort_ops",
     "build_node_ops",
+    "build_chunk_merges",
+    "build_splice_ops",
     "compaction_merges",
     "union_ops",
     "find_ops",

@@ -34,11 +34,11 @@
 //! different `schema` or `config` — it prints both lines as a diff and
 //! exits non-zero; pass `--force` as well to reset deliberately.
 //!
-//! # `BENCH_hotpath.json` schema (`rtdbscan-hotpath/v3`)
+//! # `BENCH_hotpath.json` schema (`rtdbscan-hotpath/v4`)
 //!
-//! One JSON object with four keys:
+//! One JSON object with five keys:
 //!
-//! * `"schema"` — the literal string `"rtdbscan-hotpath/v3"`.
+//! * `"schema"` — the literal string `"rtdbscan-hotpath/v4"`.
 //! * `"config"` — the sweep parameters, one object on one line:
 //!   `dataset`, `seed`, `eps`, `reps` (timing repetitions per cell; the
 //!   reported `best_ns` is the minimum, `mean_ns` the average).
@@ -48,8 +48,19 @@
 //!   migrated in place by annotating its cells with the legacy
 //!   configuration (`as-given` order, `scalar` SIMD, `f32` layout); a
 //!   `v2` baseline (pre-dating build timing) is annotated with
-//!   `"build_ns":0`, the "not recorded" sentinel.
+//!   `"build_ns":null` ("not recorded"); a `v3` baseline's stale
+//!   `"build_ns":0` sentinels — zero never being a real build time — are
+//!   rewritten to the honest `null`.
 //! * `"current"` — same shape, overwritten on every run.
+//! * `"build"` — the construction-time sweep, overwritten on every run:
+//!   `{ "results": [...] }` with one cell per (size × thread-count) LBVH
+//!   build, `{"n": …, "builder": "lbvh", "threads": …, "best_ns": …,
+//!   "mean_ns": …}`.  `threads` is the [`BuildParallelism`] ask
+//!   (`1` = the sequential emitter); every parallel build is asserted
+//!   bit-identical to the sequential tree before its time is recorded,
+//!   and the best parallel cell at the largest size must beat the
+//!   sequential one (the treelet emitter's bottom-up bounds do the work
+//!   even on one core).
 //! * `"notes"` (optional) — auxiliary profiling evidence, currently the
 //!   per-depth wide-node visit distribution of a `--heatmap` run;
 //!   preserved verbatim by later runs that don't pass `--heatmap`.
@@ -85,6 +96,7 @@
 //! The `baseline`/`current` sections are each a single line so the
 //! regeneration pass can carry the baseline forward without a JSON parser.
 
+use rtcore::bvh::{spheres_from_points, BuildParallelism, Bvh, BvhBuilder, LbvhBuilder};
 use rtcore::geometry::Point3;
 use rtcore::hardware::WorkCounters;
 use rtcore::index::{
@@ -95,9 +107,10 @@ use rtdbscan_datasets::{generate, PaperDataset};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-const SCHEMA: &str = "rtdbscan-hotpath/v3";
+const SCHEMA: &str = "rtdbscan-hotpath/v4";
 const V1_SCHEMA: &str = "rtdbscan-hotpath/v1";
 const V2_SCHEMA: &str = "rtdbscan-hotpath/v2";
+const V3_SCHEMA: &str = "rtdbscan-hotpath/v3";
 const EPS: f32 = 0.4;
 const SEED: u64 = 42;
 /// The `--sharded` sweep's scale, search radius and shard-size ceiling.
@@ -268,6 +281,115 @@ fn sweep_size(points: &[Point3], reps: usize) -> Vec<Cell> {
     cells
 }
 
+/// One cell of the construction-time sweep: a single LBVH build at one
+/// (size, thread-count) point.
+struct BuildCell {
+    n: usize,
+    threads: usize,
+    best_ns: u128,
+    mean_ns: u128,
+}
+
+impl BuildCell {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"n\":{},\"builder\":\"lbvh\",\"threads\":{},\"best_ns\":{},\"mean_ns\":{}}}",
+            self.n, self.threads, self.best_ns, self.mean_ns
+        )
+    }
+}
+
+/// The build-time sweep: sequential vs parallel LBVH construction across
+/// sizes × thread counts.  `threads` must start at 1 — that cell's tree is
+/// the reference every parallel build is asserted bit-identical against
+/// (node array and primitive order both) before its time is recorded.
+fn sweep_build(sizes: &[usize], threads: &[usize], reps: usize) -> Vec<BuildCell> {
+    assert_eq!(threads[0], 1, "the sequential cell anchors bit-identity");
+    let mut cells = Vec::new();
+    for &n in sizes {
+        let points = generate(PaperDataset::PortoTaxi, n, SEED);
+        let spheres = spheres_from_points(&points, EPS);
+        let mut reference: Option<Bvh> = None;
+        for &t in threads {
+            let parallelism = if t <= 1 {
+                BuildParallelism::Sequential
+            } else {
+                BuildParallelism::Threads(t)
+            };
+            let builder = LbvhBuilder {
+                parallelism,
+                ..LbvhBuilder::default()
+            };
+            let mut best = u128::MAX;
+            let mut total = 0u128;
+            let mut built: Option<Bvh> = None;
+            for _ in 0..reps {
+                let input = spheres.clone();
+                let start = Instant::now();
+                let bvh = builder.build(input).expect("generated points are finite");
+                let ns = start.elapsed().as_nanos();
+                best = best.min(ns);
+                total += ns;
+                built = Some(bvh);
+            }
+            let bvh = built.expect("at least one repetition ran");
+            match &reference {
+                None => reference = Some(bvh),
+                Some(seq) => {
+                    assert_eq!(
+                        bvh.nodes, seq.nodes,
+                        "n={n} threads={t}: parallel node array must be bit-identical"
+                    );
+                    assert_eq!(
+                        bvh.primitives, seq.primitives,
+                        "n={n} threads={t}: parallel primitive order must be bit-identical"
+                    );
+                }
+            }
+            let cell = BuildCell {
+                n,
+                threads: t,
+                best_ns: best,
+                mean_ns: total / reps as u128,
+            };
+            println!(
+                "build n={n:>7}  lbvh threads={t}  best {:>10.3} ms  mean {:>10.3} ms",
+                cell.best_ns as f64 / 1e6,
+                cell.mean_ns as f64 / 1e6,
+            );
+            cells.push(cell);
+        }
+    }
+    cells
+}
+
+/// The build sweep's headline claim, asserted on full runs: at the largest
+/// size the best parallel build beats the sequential one (on many-core
+/// hosts via real threads, on small hosts via the treelet emitter's
+/// bottom-up bounds).
+fn assert_build_win(cells: &[BuildCell], n: usize) {
+    let seq = cells
+        .iter()
+        .find(|c| c.n == n && c.threads == 1)
+        .expect("sequential build cell");
+    let best_par = cells
+        .iter()
+        .filter(|c| c.n == n && c.threads > 1)
+        .map(|c| c.best_ns)
+        .min()
+        .expect("parallel build cells");
+    assert!(
+        best_par < seq.best_ns,
+        "n={n}: best parallel build ({:.3} ms) must beat sequential ({:.3} ms)",
+        best_par as f64 / 1e6,
+        seq.best_ns as f64 / 1e6
+    );
+    println!(
+        "build n={n:>7}  parallel/sequential = {:.2}x",
+        seq.best_ns as f64 / best_par as f64
+    );
+}
+
 /// The `--sharded` sweep: the two-level (TLAS over sharded BLAS) backend
 /// at the 1M-point scale against a flat LBVH twin.  Aligned Morton
 /// sharding reproduces the flat tree's leaf partition, so the pair must
@@ -276,9 +398,13 @@ fn sweep_size(points: &[Point3], reps: usize) -> Vec<Cell> {
 /// build) and the TLAS-routing counters.
 fn sweep_sharded(points: &[Point3], reps: usize) -> Vec<Cell> {
     let resolved = SimdPolicy::Auto.resolve().name();
+    // Both twins build through the parallel HLBVH path (Auto threads); the
+    // sharded side nests it under the per-shard fan-out, which degrades the
+    // per-shard budget gracefully instead of oversubscribing.
     let flat = measure_stage1(
         &NeighborIndexBuilder {
             bvh_builder: rtcore::bvh::BuilderKind::Lbvh,
+            build_parallelism: BuildParallelism::Auto,
             ..NeighborIndexBuilder::new(IndexKind::WideBatched)
         },
         "wide-flat-lbvh",
@@ -290,6 +416,7 @@ fn sweep_sharded(points: &[Point3], reps: usize) -> Vec<Cell> {
     let sharded = measure_stage1(
         &NeighborIndexBuilder {
             bvh_builder: rtcore::bvh::BuilderKind::Lbvh,
+            build_parallelism: BuildParallelism::Auto,
             sharding: Some(ShardingConfig::new(SHARD_SIZE)),
             ..NeighborIndexBuilder::new(IndexKind::WideBatched)
         },
@@ -511,8 +638,10 @@ fn migrate_v1_baseline(line: &str) -> String {
     format!("{}[{}{}", &line[..start], cells.join(","), &line[end..])
 }
 
-/// Migrate a `v2` baseline results line to the `v3` cell shape by
-/// annotating every cell with the "build time not recorded" sentinel.
+/// Migrate a `v2` baseline results line to the current cell shape by
+/// annotating every cell with `"build_ns":null` — build time genuinely
+/// was not recorded, and `null` says so where the old `0` sentinel read
+/// like an impossibly fast build.
 fn migrate_v2_baseline(line: &str) -> String {
     let (Some(start), Some(end)) = (line.find('['), line.rfind(']')) else {
         return line.to_string();
@@ -524,11 +653,21 @@ fn migrate_v2_baseline(line: &str) -> String {
         body.split("},{")
             .map(|cell| {
                 let cell = cell.trim_start_matches('{').trim_end_matches('}');
-                format!("{{{cell},\"build_ns\":0}}")
+                format!("{{{cell},\"build_ns\":null}}")
             })
             .collect()
     };
     format!("{}[{}{}", &line[..start], cells.join(","), &line[end..])
+}
+
+/// Migrate a `v3` baseline results line to `v4`: the v3 migration stamped
+/// unknown build times as `"build_ns":0`, which later tooling cannot tell
+/// apart from a measured value.  Zero is never a real build time, so every
+/// such sentinel is rewritten to the honest `null`; measured (non-zero)
+/// values pass through untouched.
+fn migrate_v3_baseline(line: &str) -> String {
+    line.replace("\"build_ns\":0,", "\"build_ns\":null,")
+        .replace("\"build_ns\":0}", "\"build_ns\":null}")
 }
 
 /// Scan a results line for the `best_ns` of the best (minimum) cell of
@@ -576,6 +715,20 @@ fn main() {
     } else {
         (&[10_000, 50_000, 100_000], 5)
     };
+
+    // Construction-time sweep: sequential vs parallel HLBVH build, the
+    // timing record of the treelet-parallel emitter.  The smoke cells keep
+    // the bit-identity assertion in CI at a size that finishes instantly.
+    let (build_sizes, build_threads, build_reps): (&[usize], &[usize], usize) = if smoke {
+        (&[2_000], &[1, 2, 8], 1)
+    } else {
+        (&[10_000, 100_000, 1_000_000], &[1, 2, 4, 8], 2)
+    };
+    let build_cells = sweep_build(build_sizes, build_threads, build_reps);
+    if !smoke {
+        let &largest = build_sizes.last().expect("build sweep has sizes");
+        assert_build_win(&build_cells, largest);
+    }
 
     let mut cells = Vec::new();
     for &n in sizes {
@@ -645,7 +798,9 @@ fn main() {
     let config = format!(
         "{{\"dataset\":\"porto-taxi\",\"seed\":{SEED},\"eps\":{EPS},\"reps\":{reps},\
          \"measures\":\"stage-1 batched neighbour count; build_ns is the cell's one index build\",\
-         \"sharded\":{{\"n\":{SHARDED_N},\"eps\":{SHARDED_EPS},\"shard_size\":{SHARD_SIZE}}}}}"
+         \"sharded\":{{\"n\":{SHARDED_N},\"eps\":{SHARDED_EPS},\"shard_size\":{SHARD_SIZE}}},\
+         \"build\":{{\"sizes\":{build_sizes:?},\"threads\":{build_threads:?},\
+         \"reps\":{build_reps}}}}}"
     );
 
     let baseline = if record_baseline {
@@ -677,14 +832,21 @@ fn main() {
             existing_section(&out_path, "baseline"),
         ) {
             (Some(s), Some(line)) if s == format!("\"{V1_SCHEMA}\"") => {
-                println!("note: migrating v1 baseline cells to the v3 schema (legacy config)");
+                println!("note: migrating v1 baseline cells to the v4 schema (legacy config)");
                 migrate_v2_baseline(&migrate_v1_baseline(&line))
             }
             (Some(s), Some(line)) if s == format!("\"{V2_SCHEMA}\"") => {
                 println!(
-                    "note: migrating v2 baseline cells to the v3 schema (no recorded build time)"
+                    "note: migrating v2 baseline cells to the v4 schema (no recorded build time)"
                 );
                 migrate_v2_baseline(&line)
+            }
+            (Some(s), Some(line)) if s == format!("\"{V3_SCHEMA}\"") => {
+                println!(
+                    "note: migrating v3 baseline cells to the v4 schema \
+                     (build_ns 0-sentinels → null)"
+                );
+                migrate_v3_baseline(&line)
             }
             (Some(s), Some(line)) if s == format!("\"{SCHEMA}\"") => line,
             _ => {
@@ -713,9 +875,12 @@ fn main() {
     let notes_section = notes
         .map(|n| format!(",\n  \"notes\": {n}"))
         .unwrap_or_default();
+    let build_entries: Vec<String> = build_cells.iter().map(BuildCell::to_json).collect();
+    let build_line = format!("{{\"results\":[{}]}}", build_entries.join(","));
     let doc = format!(
         "{{\n  \"schema\": \"{SCHEMA}\",\n  \"config\": {config},\n  \
-         \"baseline\": {baseline},\n  \"current\": {current}{notes_section}\n}}\n"
+         \"baseline\": {baseline},\n  \"current\": {current},\n  \
+         \"build\": {build_line}{notes_section}\n}}\n"
     );
     std::fs::write(&out_path, doc).expect("write BENCH_hotpath.json");
     println!("wrote {}", out_path.display());

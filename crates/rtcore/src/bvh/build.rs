@@ -2,9 +2,13 @@
 
 use crate::bvh::{Bvh, BvhNode, NodeKind};
 use crate::error::{Error, Result};
-use crate::geometry::{morton_encode_3d, radix_sort_by_code, Aabb, MortonCode, Sphere};
+use crate::geometry::{
+    morton_encode_3d, radix_sort_by_code_parallel, Aabb, MortonCode, SendPtr, Sphere,
+};
 use crate::hardware::sat_bump;
 use crate::hardware::WorkCounters;
+use crate::telemetry::{PhaseKind, Telemetry};
+use rayon::prelude::*;
 
 /// Identifies which construction algorithm produced a [`Bvh`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -23,6 +27,52 @@ impl std::fmt::Display for BuilderKind {
             BuilderKind::Lbvh => write!(f, "LBVH"),
             BuilderKind::BinnedSah => write!(f, "binned-SAH"),
             BuilderKind::MedianSplit => write!(f, "median-split"),
+        }
+    }
+}
+
+/// How much logical parallelism an acceleration-structure build may use.
+///
+/// The value is a *chunk count*, not a physical thread count: the thread
+/// pool runs `min(cores, chunks)` workers, and every parallel build stage is
+/// written so its output depends only on the chunk decomposition — which is
+/// itself chosen so the result is bit-identical to the sequential build.
+/// `Sequential` is the default everywhere, so existing counter-identity
+/// guarantees are unaffected unless a caller opts in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BuildParallelism {
+    /// Single-threaded build (the default; exact legacy code path).
+    #[default]
+    Sequential,
+    /// One logical chunk per available core.
+    Auto,
+    /// A fixed logical chunk count (clamped to at least 1).
+    Threads(usize),
+}
+
+impl BuildParallelism {
+    /// The logical worker count this setting resolves to.
+    pub fn resolved(self) -> usize {
+        match self {
+            BuildParallelism::Sequential => 1,
+            BuildParallelism::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            BuildParallelism::Threads(t) => t.max(1),
+        }
+    }
+
+    /// Derive the parallelism each of `shard_count` nested builds may use
+    /// when the shards themselves already run in parallel: the budget is
+    /// divided so the total stays at `self` and the pool is never
+    /// oversubscribed.  With at least as many shards as workers this
+    /// degrades to `Sequential` per shard (the pre-existing behaviour).
+    pub fn for_nested(self, shard_count: usize) -> BuildParallelism {
+        let per_shard = self.resolved() / shard_count.max(1);
+        if per_shard <= 1 {
+            BuildParallelism::Sequential
+        } else {
+            BuildParallelism::Threads(per_shard)
         }
     }
 }
@@ -349,11 +399,18 @@ fn itertools_partition<T, F: Fn(&T) -> bool>(slice: &mut [T], pred: F) -> usize 
 pub struct LbvhBuilder {
     /// Maximum number of primitives per leaf.
     pub max_leaf_size: usize,
+    /// Logical parallelism of the encode/sort/emit pipeline.  The output is
+    /// bit-identical for every setting; `Sequential` (the default) runs the
+    /// legacy single-threaded path.
+    pub parallelism: BuildParallelism,
 }
 
 impl Default for LbvhBuilder {
     fn default() -> Self {
-        LbvhBuilder { max_leaf_size: 4 }
+        LbvhBuilder {
+            max_leaf_size: 4,
+            parallelism: BuildParallelism::Sequential,
+        }
     }
 }
 
@@ -385,83 +442,391 @@ impl LbvhBuilder {
     }
 }
 
-/// Build an LBVH over primitives that are *already* in Morton order.
+/// Shared Morton-order preparation for every LBVH-style consumer (the flat
+/// builder and the sharded TLAS planner): scene bounds over the centroids,
+/// per-primitive Morton encode, stable radix sort, and a fused gather that
+/// fills the sorted primitive and code lanes in one pass.
 ///
-/// Used by the sharded scene: the sharder Morton-encodes and radix-sorts the
-/// whole scene once over the global bounds, then each shard's BLAS is emitted
-/// directly over its contiguous slice of the sorted arrays.  Because
-/// `morton_split` depends only on the codes within a range (and splits
-/// identical-code runs at the range midpoint, which is invariant under
-/// re-indexing), every BLAS is bit-identical to the corresponding subtree of
-/// the flat LBVH over the same data — the property the sharded backend's
-/// counter-identity guarantees rest on.
-///
-/// `counters` seeds the build counters (the caller charges the global encode
-/// and sort there); `finish_build` adds the per-shard `build_prims` and
-/// `build_node_ops` on top.
-pub(crate) fn lbvh_from_sorted(
-    sorted_prims: Vec<Sphere>,
-    sorted_codes: Vec<u32>,
-    max_leaf_size: usize,
-    counters: WorkCounters,
-) -> Result<Bvh> {
-    validate_prims(&sorted_prims)?;
-    debug_assert_eq!(sorted_prims.len(), sorted_codes.len());
-    Ok(finish_build(
-        BuilderKind::Lbvh,
-        sorted_prims,
-        max_leaf_size,
-        move |_prims, start, end, _counters| {
-            Some(LbvhBuilder::morton_split(&sorted_codes, start, end))
-        },
-        counters,
-    ))
-}
+/// `workers` is the logical chunk count; `1` is the exact legacy sequential
+/// path.  For any `workers` value the output is bit-identical: the bounds
+/// reduction only reassociates `min`/`max` folds over the fixed index order
+/// (associative for the finite inputs `validate_prims` guarantees), the
+/// encode and gather write each lane index independently, and the parallel
+/// radix sort is stable with the same region order as the sequential one.
+pub(crate) fn morton_order(
+    prims: &[Sphere],
+    workers: usize,
+    counters: &mut WorkCounters,
+) -> (Vec<Sphere>, Vec<u32>) {
+    let n = prims.len();
+    let workers = workers.min(n).max(1);
+    let chunk = n.div_ceil(workers.max(1)).max(1);
 
-impl BvhBuilder for LbvhBuilder {
-    fn build(&self, prims: Vec<Sphere>) -> Result<Bvh> {
-        validate_prims(&prims)?;
-        let mut counters = WorkCounters::ZERO;
-
-        // 1. Morton-code every primitive centroid over the scene bounds.
-        let scene = prims
+    // 1. Scene bounds via a chunked min/max reduction over the centroids.
+    let scene = if workers <= 1 {
+        prims
             .iter()
-            .fold(Aabb::EMPTY, |acc, s| acc.grown_to_include(s.center));
-        let extent = scene.extent();
-        let mut codes: Vec<MortonCode> = prims
+            .fold(Aabb::EMPTY, |acc, s| acc.grown_to_include(s.center))
+    } else {
+        let partials: Vec<Aabb> = (0..workers)
+            .into_par_iter()
+            .map(|t| {
+                let lo = (t * chunk).min(n);
+                let hi = ((t + 1) * chunk).min(n);
+                prims[lo..hi]
+                    .iter()
+                    .fold(Aabb::EMPTY, |acc, s| acc.grown_to_include(s.center))
+            })
+            .collect();
+        partials.iter().fold(Aabb::EMPTY, |acc, b| acc.union(b))
+    };
+    let extent = scene.extent();
+
+    // 2. Chunk-parallel Morton encode into a preallocated lane.
+    let mut codes: Vec<MortonCode> = if workers <= 1 {
+        prims
             .iter()
             .enumerate()
             .map(|(i, s)| MortonCode {
                 code: morton_encode_3d(s.center, scene.min, extent),
                 index: i as u32,
             })
-            .collect();
-        sat_bump(&mut counters.misc_ops, codes.len() as u64); // code computation
+            .collect()
+    } else {
+        let mut codes = vec![MortonCode { code: 0, index: 0 }; n];
+        let out = SendPtr::new(codes.as_mut_ptr());
+        (0..workers).into_par_iter().for_each(|t| {
+            let lo = (t * chunk).min(n);
+            let hi = ((t + 1) * chunk).min(n);
+            for (i, s) in prims[lo..hi].iter().enumerate() {
+                // SAFETY: chunks partition `[0, n)` into disjoint index
+                // ranges; worker `t` only writes lane slots `lo..hi`, and
+                // the lane is only read after the pool joins.
+                unsafe {
+                    *out.get().add(lo + i) = MortonCode {
+                        code: morton_encode_3d(s.center, scene.min, extent),
+                        index: (lo + i) as u32,
+                    };
+                }
+            }
+        });
+        codes
+    };
+    sat_bump(&mut counters.misc_ops, n as u64); // code computation
 
-        // 2. Radix sort by code.
-        sat_bump(&mut counters.build_sort_ops, radix_sort_by_code(&mut codes));
+    // 3. Radix sort by code (stable; bit-identical for any chunk count).
+    let sort_stats = radix_sort_by_code_parallel(&mut codes, workers);
+    sat_bump(&mut counters.build_sort_ops, sort_stats.scatter_ops);
+    sat_bump(&mut counters.build_chunk_merges, sort_stats.chunk_merges);
 
-        // 3. Reorder primitives into Morton order: one fused gather fills
-        // both the primitive and the code array (the codes are needed again
-        // by the split callback below).
-        let mut sorted_prims: Vec<Sphere> = Vec::with_capacity(codes.len());
-        let mut sorted_codes: Vec<u32> = Vec::with_capacity(codes.len());
+    // 4. Fused gather: fill both the sorted primitive and the sorted code
+    // lane in one pass (the codes are needed again by `morton_split`).
+    if workers <= 1 {
+        let mut sorted_prims: Vec<Sphere> = Vec::with_capacity(n);
+        let mut sorted_codes: Vec<u32> = Vec::with_capacity(n);
         for c in &codes {
             sorted_prims.push(prims[c.index as usize]);
             sorted_codes.push(c.code);
         }
+        (sorted_prims, sorted_codes)
+    } else {
+        let mut sorted_prims: Vec<Sphere> = vec![prims[0]; n];
+        let mut sorted_codes: Vec<u32> = vec![0u32; n];
+        let prims_out = SendPtr::new(sorted_prims.as_mut_ptr());
+        let codes_out = SendPtr::new(sorted_codes.as_mut_ptr());
+        let codes_ref: &[MortonCode] = &codes;
+        (0..workers).into_par_iter().for_each(|t| {
+            let lo = (t * chunk).min(n);
+            let hi = ((t + 1) * chunk).min(n);
+            for (i, c) in codes_ref[lo..hi].iter().enumerate() {
+                // SAFETY: chunks partition `[0, n)`; worker `t` writes only
+                // slots `lo..hi` of both lanes, which are read again only
+                // after the pool joins.
+                unsafe {
+                    *prims_out.get().add(lo + i) = prims[c.index as usize];
+                    *codes_out.get().add(lo + i) = c.code;
+                }
+            }
+        });
+        (sorted_prims, sorted_codes)
+    }
+}
 
-        // 4. Emit hierarchy top-down, splitting at the highest differing bit.
-        let max_leaf = self.max_leaf_size;
-        Ok(finish_build(
+/// Minimum treelet size for the parallel emitter: below this the per-arena
+/// bookkeeping costs more than the subtree emit itself.
+const MIN_TREELET: usize = 64;
+
+/// One subtree emitted independently by a parallel treelet worker, in local
+/// node indices (index 0 is the treelet root).
+struct TreeletArena {
+    nodes: Vec<BvhNode>,
+    counters: WorkCounters,
+}
+
+/// The top of the tree above the treelets, in the same pre-order the
+/// sequential emitter would produce.
+enum TopPlan {
+    Internal {
+        left: Box<TopPlan>,
+        right: Box<TopPlan>,
+    },
+    Treelet {
+        idx: usize,
+    },
+}
+
+/// Descend the sorted range along `morton_split` boundaries until every
+/// subtree holds at most `target` primitives; those ranges become treelets.
+/// The descent mirrors the sequential recursion exactly, so the treelet
+/// ranges are subtree ranges of the sequential tree.
+fn plan_treelets(
+    codes: &[u32],
+    start: usize,
+    end: usize,
+    target: usize,
+    ranges: &mut Vec<(usize, usize)>,
+) -> TopPlan {
+    if end - start <= target {
+        let idx = ranges.len();
+        ranges.push((start, end));
+        return TopPlan::Treelet { idx };
+    }
+    let mid = LbvhBuilder::morton_split(codes, start, end);
+    let left = plan_treelets(codes, start, mid, target, ranges);
+    let right = plan_treelets(codes, mid, end, target, ranges);
+    TopPlan::Internal {
+        left: Box::new(left),
+        right: Box::new(right),
+    }
+}
+
+/// Emit one treelet subtree in pre-order with *bottom-up* bounds: a leaf
+/// folds its primitive range exactly like the sequential emitter, and an
+/// internal node unions its children's bounds instead of re-folding its
+/// whole range.  The two are bit-identical because the fold is a min/max
+/// reduction over a fixed index order — reassociating it cannot change the
+/// result on the finite values `validate_prims` admits — and it turns the
+/// emitter's O(n·depth) bound refolds into O(n + nodes), which is where the
+/// parallel build's single-thread win comes from.
+fn emit_treelet_node(
+    prims: &[Sphere],
+    codes: &[u32],
+    start: usize,
+    end: usize,
+    max_leaf_size: usize,
+    nodes: &mut Vec<BvhNode>,
+    counters: &mut WorkCounters,
+) -> (u32, Aabb) {
+    let node_index = nodes.len() as u32;
+    sat_bump(&mut counters.build_node_ops, 1);
+    let count = end - start;
+    if count <= max_leaf_size {
+        let bounds = range_bounds(&prims[start..end]);
+        nodes.push(BvhNode {
+            bounds,
+            kind: NodeKind::Leaf {
+                first_prim: start as u32,
+                prim_count: count as u32,
+            },
+        });
+        return (node_index, bounds);
+    }
+    // Placeholder, patched below once the children (and their bounds) exist.
+    nodes.push(BvhNode {
+        bounds: Aabb::EMPTY,
+        kind: NodeKind::Leaf {
+            first_prim: start as u32,
+            prim_count: count as u32,
+        },
+    });
+    let mid = LbvhBuilder::morton_split(codes, start, end);
+    let (left, lb) = emit_treelet_node(prims, codes, start, mid, max_leaf_size, nodes, counters);
+    let (right, rb) = emit_treelet_node(prims, codes, mid, end, max_leaf_size, nodes, counters);
+    let bounds = lb.union(&rb);
+    nodes[node_index as usize] = BvhNode {
+        bounds,
+        kind: NodeKind::Internal { left, right },
+    };
+    (node_index, bounds)
+}
+
+/// Stitch the top levels sequentially and splice the treelet arenas into the
+/// final node array, fixing up each arena's local child indices by its base
+/// offset.  The walk is the same pre-order as the sequential emitter, so the
+/// final array is bit-identical to the sequential layout.
+fn splice_top(
+    plan: &TopPlan,
+    arenas: &[TreeletArena],
+    nodes: &mut Vec<BvhNode>,
+    counters: &mut WorkCounters,
+) -> (u32, Aabb) {
+    match plan {
+        TopPlan::Treelet { idx } => {
+            let arena = &arenas[*idx];
+            let base = nodes.len() as u32;
+            for node in &arena.nodes {
+                let mut patched = *node;
+                if let NodeKind::Internal { left, right } = patched.kind {
+                    patched.kind = NodeKind::Internal {
+                        left: left + base,
+                        right: right + base,
+                    };
+                }
+                nodes.push(patched);
+            }
+            sat_bump(&mut counters.build_splice_ops, arena.nodes.len() as u64);
+            (base, arena.nodes[0].bounds)
+        }
+        TopPlan::Internal { left, right } => {
+            let node_index = nodes.len() as u32;
+            sat_bump(&mut counters.build_node_ops, 1);
+            nodes.push(BvhNode {
+                bounds: Aabb::EMPTY,
+                kind: NodeKind::Leaf {
+                    first_prim: 0,
+                    prim_count: 0,
+                },
+            });
+            let (l, lb) = splice_top(left, arenas, nodes, counters);
+            let (r, rb) = splice_top(right, arenas, nodes, counters);
+            let bounds = lb.union(&rb);
+            nodes[node_index as usize] = BvhNode {
+                bounds,
+                kind: NodeKind::Internal { left: l, right: r },
+            };
+            (node_index, bounds)
+        }
+    }
+}
+
+/// Treelet-parallel LBVH emit over an already-sorted range: plan treelets at
+/// high Morton-bit boundaries, emit every treelet's subtree in parallel into
+/// its own arena (each under its own `lbvh_build` telemetry span), then
+/// stitch and splice sequentially.
+fn emit_treelets_parallel(
+    prims: &[Sphere],
+    codes: &[u32],
+    max_leaf_size: usize,
+    workers: usize,
+    counters: &mut WorkCounters,
+    telemetry: &Telemetry,
+) -> Vec<BvhNode> {
+    let n = prims.len();
+    let target = (n / (workers.max(1) * 4))
+        .max(max_leaf_size)
+        .max(MIN_TREELET);
+    let mut ranges: Vec<(usize, usize)> = Vec::new();
+    let plan = plan_treelets(codes, 0, n, target, &mut ranges);
+    let arenas: Vec<TreeletArena> = (0..ranges.len())
+        .into_par_iter()
+        .map(|i| {
+            let (start, end) = ranges[i];
+            let mut span = telemetry.span(PhaseKind::LbvhBuild);
+            let mut arena = TreeletArena {
+                nodes: Vec::with_capacity(2 * (end - start)),
+                counters: WorkCounters::ZERO,
+            };
+            emit_treelet_node(
+                prims,
+                codes,
+                start,
+                end,
+                max_leaf_size,
+                &mut arena.nodes,
+                &mut arena.counters,
+            );
+            span.add_counters(arena.counters);
+            arena
+        })
+        .collect();
+    for arena in &arenas {
+        *counters += arena.counters;
+    }
+    let mut nodes = Vec::with_capacity(2 * n.max(1));
+    splice_top(&plan, &arenas, &mut nodes, counters);
+    nodes
+}
+
+/// Build an LBVH over primitives that are *already* in Morton order — the
+/// single internal entry point every LBVH consumer funnels through
+/// ([`LbvhBuilder::build`] after its encode/sort, and the sharded backend
+/// for each BLAS slice).
+///
+/// Because `morton_split` depends only on the codes within a range (and
+/// splits identical-code runs at the range midpoint, which is invariant
+/// under re-indexing), every BLAS is bit-identical to the corresponding
+/// subtree of the flat LBVH over the same data — the property the sharded
+/// backend's counter-identity guarantees rest on.
+///
+/// `counters` seeds the build counters (the caller charges the global encode
+/// and sort there); the emit adds `build_prims` and `build_node_ops` on top.
+/// `parallelism` selects between the sequential recursive emit and the
+/// treelet-parallel emit; both produce bit-identical nodes, primitive order
+/// and counters (the parallel path additionally charges the parallel-only
+/// `build_splice_ops`).
+pub(crate) fn lbvh_from_sorted(
+    sorted_prims: Vec<Sphere>,
+    sorted_codes: Vec<u32>,
+    max_leaf_size: usize,
+    counters: WorkCounters,
+    parallelism: BuildParallelism,
+    telemetry: &Telemetry,
+) -> Result<Bvh> {
+    validate_prims(&sorted_prims)?;
+    debug_assert_eq!(sorted_prims.len(), sorted_codes.len());
+    let workers = parallelism.resolved();
+    if workers <= 1 {
+        return Ok(finish_build(
             BuilderKind::Lbvh,
             sorted_prims,
-            max_leaf,
+            max_leaf_size,
             move |_prims, start, end, _counters| {
-                Some(Self::morton_split(&sorted_codes, start, end))
+                Some(LbvhBuilder::morton_split(&sorted_codes, start, end))
             },
             counters,
-        ))
+        ));
+    }
+    let mut counters = counters;
+    sat_bump(&mut counters.build_prims, sorted_prims.len() as u64);
+    let nodes = emit_treelets_parallel(
+        &sorted_prims,
+        &sorted_codes,
+        max_leaf_size.max(1),
+        workers,
+        &mut counters,
+        telemetry,
+    );
+    Ok(Bvh {
+        nodes,
+        primitives: sorted_prims,
+        builder: BuilderKind::Lbvh,
+        build_counters: counters,
+    })
+}
+
+impl LbvhBuilder {
+    /// Build with an explicit telemetry handle so the parallel emitter can
+    /// record its per-treelet spans; [`BvhBuilder::build`] delegates here
+    /// with telemetry disabled.
+    pub fn build_with_telemetry(&self, prims: Vec<Sphere>, telemetry: &Telemetry) -> Result<Bvh> {
+        validate_prims(&prims)?;
+        let mut counters = WorkCounters::ZERO;
+        let workers = self.parallelism.resolved();
+        let (sorted_prims, sorted_codes) = morton_order(&prims, workers, &mut counters);
+        lbvh_from_sorted(
+            sorted_prims,
+            sorted_codes,
+            self.max_leaf_size,
+            counters,
+            self.parallelism,
+            telemetry,
+        )
+    }
+}
+
+impl BvhBuilder for LbvhBuilder {
+    fn build(&self, prims: Vec<Sphere>) -> Result<Bvh> {
+        self.build_with_telemetry(prims, &Telemetry::disabled())
     }
 
     fn kind(&self) -> BuilderKind {

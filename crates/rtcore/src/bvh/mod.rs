@@ -34,11 +34,15 @@ pub mod tlas;
 mod validate;
 pub mod wide;
 
-pub use build::{BuilderKind, BvhBuilder, LbvhBuilder, MedianSplitBuilder, SahBuilder};
+pub use build::{
+    BuildParallelism, BuilderKind, BvhBuilder, LbvhBuilder, MedianSplitBuilder, SahBuilder,
+};
 pub use compact::{compact_coincident, CompactionResult};
 pub use node::{Bvh, BvhNode, NodeKind};
 pub use refit::{remove_points, tree_health, update_spheres, RefitPolicy, RefitStats, TreeHealth};
-pub use tlas::{plan_shards, ShardPlan, ShardingConfig, Tlas, TlasNode, TlasNodeKind};
+pub use tlas::{
+    plan_shards, plan_shards_with, ShardPlan, ShardingConfig, Tlas, TlasNode, TlasNodeKind,
+};
 pub use validate::{validate, BvhInvariantError};
 pub use wide::{
     validate_wide, CompactWideNode, CompactWideNodes, PrimLanes, WideBvh, WideChild,

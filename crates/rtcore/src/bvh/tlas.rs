@@ -15,9 +15,9 @@
 //! that [`crate::bvh::validate`] enforces, so the structure above the leaves
 //! cannot change which candidates are enumerated.
 
-use crate::bvh::build::{validate_prims, LbvhBuilder};
+use crate::bvh::build::{morton_order, validate_prims, BuildParallelism, LbvhBuilder};
 use crate::error::Result;
-use crate::geometry::{morton_encode_3d, radix_sort_by_code, Aabb, MortonCode, Ray, Sphere};
+use crate::geometry::{Aabb, Ray, Sphere};
 use crate::hardware::sat_bump;
 use crate::hardware::WorkCounters;
 
@@ -67,33 +67,24 @@ pub struct ShardPlan {
 /// [`crate::error::Error::InvalidPrimitive`] on non-finite geometry,
 /// mirroring the flat builders.
 pub fn plan_shards(prims: Vec<Sphere>, max_shard_size: usize) -> Result<ShardPlan> {
+    plan_shards_with(prims, max_shard_size, BuildParallelism::Sequential)
+}
+
+/// [`plan_shards`] with an explicit parallelism setting for the global
+/// encode/sort.  The plan is bit-identical for every setting — the sharded
+/// backend's counter-identity guarantees do not depend on it.
+pub fn plan_shards_with(
+    prims: Vec<Sphere>,
+    max_shard_size: usize,
+    parallelism: BuildParallelism,
+) -> Result<ShardPlan> {
     validate_prims(&prims)?;
     let max_shard = max_shard_size.max(1);
     let mut counters = WorkCounters::ZERO;
 
     // Encode over the global centroid bounds — the same frame the flat LBVH
     // uses, so the sort order (and therefore every downstream split) matches.
-    let scene = prims
-        .iter()
-        .fold(Aabb::EMPTY, |acc, s| acc.grown_to_include(s.center));
-    let extent = scene.extent();
-    let mut codes: Vec<MortonCode> = prims
-        .iter()
-        .enumerate()
-        .map(|(i, s)| MortonCode {
-            code: morton_encode_3d(s.center, scene.min, extent),
-            index: i as u32,
-        })
-        .collect();
-    sat_bump(&mut counters.misc_ops, codes.len() as u64);
-    sat_bump(&mut counters.build_sort_ops, radix_sort_by_code(&mut codes));
-
-    let mut sorted_prims: Vec<Sphere> = Vec::with_capacity(codes.len());
-    let mut sorted_codes: Vec<u32> = Vec::with_capacity(codes.len());
-    for c in &codes {
-        sorted_prims.push(prims[c.index as usize]);
-        sorted_codes.push(c.code);
-    }
+    let (sorted_prims, sorted_codes) = morton_order(&prims, parallelism.resolved(), &mut counters);
 
     // Descend the flat tree's own split function until every range fits.
     // Push right before left so the explicit stack pops ranges in ascending
@@ -328,6 +319,7 @@ mod tests {
         let max_leaf = 4;
         let flat = LbvhBuilder {
             max_leaf_size: max_leaf,
+            ..LbvhBuilder::default()
         }
         .build(prims.clone())
         .unwrap();
@@ -341,6 +333,8 @@ mod tests {
                 plan.sorted_codes[s..e].to_vec(),
                 max_leaf,
                 WorkCounters::ZERO,
+                BuildParallelism::Sequential,
+                &crate::telemetry::Telemetry::disabled(),
             )
             .unwrap();
             sharded_leaves.extend(leaf_partitions(&blas.nodes, &blas.primitives));

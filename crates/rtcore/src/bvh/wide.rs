@@ -43,6 +43,8 @@ use crate::geometry::{Aabb, Point3, Sphere};
 use crate::hardware::sat_bump;
 use crate::hardware::WorkCounters;
 use crate::simd::{SimdLevel, LANE_PADDING};
+use crate::telemetry::{PhaseKind, Telemetry};
+use rayon::prelude::*;
 
 /// Branching factor of the wide format.
 pub const WIDE_BRANCHING: usize = 4;
@@ -252,47 +254,85 @@ impl WideBvh {
         sat_bump(&mut counters.build_node_ops, 1);
         let mut work: Vec<(u32, u32)> = vec![(0, 0)];
         while let Some((bin_idx, wide_idx)) = work.pop() {
-            let members = collapse_members(bvh, bin_idx);
-            let mut node = WideNode::EMPTY;
-            let mut slot = 0usize;
-            for &member in &members {
-                let m = &bvh.nodes[member as usize];
-                match m.kind {
-                    NodeKind::Leaf {
-                        first_prim,
-                        prim_count,
-                    } => {
-                        // Leaves emptied by a refit removal stay in the
-                        // binary tree but must not occupy a wide slot: an
-                        // empty-box slot tagged as a leaf breaks the
-                        // layout invariant and wastes a hit-mask lane.
-                        if prim_count == 0 {
-                            continue;
+            collapse_step(bvh, bin_idx, wide_idx, &mut nodes, &mut work, &mut counters);
+        }
+        WideBvh {
+            nodes,
+            scene_bounds: bvh.nodes[0].bounds,
+            primitives: bvh.primitives.clone(),
+            collapse_counters: counters,
+        }
+    }
+
+    /// Parallel form of [`WideBvh::from_binary`] — bit-identical output.
+    ///
+    /// The sequential collapse drains its worklist LIFO, so once an entry
+    /// is popped its entire subtree is emitted into a contiguous node range
+    /// before any earlier entry is touched.  The parallel form exploits
+    /// exactly that: it runs the sequential loop only until the worklist
+    /// holds enough independent subtrees (≥ 2× `workers`), collapses each
+    /// frontier subtree into a local arena in parallel (each under its own
+    /// [`PhaseKind::Bvh4Collapse`] span), and splices the arenas back in
+    /// reverse worklist order — the order the LIFO drain would have used.
+    /// Node contents, child indices, and `build_node_ops` all match the
+    /// sequential result for every `workers` value; the splice copies are
+    /// charged to the parallel-only `build_splice_ops` counter.
+    pub fn from_binary_parallel(bvh: &Bvh, workers: usize, telemetry: &Telemetry) -> WideBvh {
+        if workers <= 1 || bvh.nodes.is_empty() {
+            return WideBvh::from_binary(bvh);
+        }
+        let mut counters = WorkCounters::ZERO;
+        let mut nodes: Vec<WideNode> = Vec::with_capacity(bvh.nodes.len() / 2 + 1);
+        nodes.push(WideNode::EMPTY);
+        sat_bump(&mut counters.build_node_ops, 1);
+        let mut work: Vec<(u32, u32)> = vec![(0, 0)];
+        // Sequential prefix: stop as soon as the worklist offers enough
+        // independent subtrees to occupy the workers.
+        let frontier_target = workers * 2;
+        while work.len() < frontier_target {
+            let Some((bin_idx, wide_idx)) = work.pop() else {
+                break;
+            };
+            collapse_step(bvh, bin_idx, wide_idx, &mut nodes, &mut work, &mut counters);
+        }
+        if !work.is_empty() {
+            let frontier = std::mem::take(&mut work);
+            // Each frontier subtree collapses into a local arena whose node
+            // 0 stands for the already-allocated frontier slot and whose
+            // child links are arena-local until the splice remaps them.
+            let arenas: Vec<(Vec<WideNode>, WorkCounters)> = (0..frontier.len())
+                .into_par_iter()
+                .map(|i| {
+                    let mut span = telemetry.span(PhaseKind::Bvh4Collapse);
+                    let arena = collapse_arena(bvh, frontier[i].0);
+                    span.add_counters(arena.1);
+                    arena
+                })
+                .collect();
+            // Splice in reverse worklist order: the LIFO drain pops the
+            // most recently pushed entry first, so its subtree occupies the
+            // next contiguous node range.  Arena node 0 overwrites the
+            // frontier placeholder; nodes 1.. append at `base`, and local
+            // child index `l` maps to `base + l - 1`.
+            for (i, (arena_nodes, arena_counters)) in arenas.iter().enumerate().rev() {
+                let wide_idx = frontier[i].1 as usize;
+                let base = nodes.len() as u32;
+                counters += *arena_counters;
+                sat_bump(&mut counters.build_splice_ops, arena_nodes.len() as u64);
+                for (l, arena_node) in arena_nodes.iter().enumerate() {
+                    let mut node = *arena_node;
+                    for child in node.children.iter_mut() {
+                        if let WideChild::Node(local) = *child {
+                            *child = WideChild::Node(base + local - 1);
                         }
-                        node.set_bounds(slot, &m.bounds);
-                        node.children[slot] = WideChild::Leaf {
-                            first_prim,
-                            prim_count,
-                        };
                     }
-                    NodeKind::Internal { .. } => {
-                        // A subtree whose every primitive was removed refits
-                        // to the inverted box; prune it rather than nesting
-                        // an all-empty wide node under a non-empty tag.
-                        if m.bounds.is_empty() {
-                            continue;
-                        }
-                        node.set_bounds(slot, &m.bounds);
-                        let child_wide = nodes.len() as u32;
-                        nodes.push(WideNode::EMPTY);
-                        sat_bump(&mut counters.build_node_ops, 1);
-                        node.children[slot] = WideChild::Node(child_wide);
-                        work.push((member, child_wide));
+                    if l == 0 {
+                        nodes[wide_idx] = node;
+                    } else {
+                        nodes.push(node);
                     }
                 }
-                slot += 1;
             }
-            nodes[wide_idx as usize] = node;
         }
         WideBvh {
             nodes,
@@ -552,6 +592,31 @@ impl CompactWideNodes {
         CompactWideNodes { nodes }
     }
 
+    /// Parallel form of [`CompactWideNodes::from_wide`].
+    ///
+    /// [`quantize_node`] is a pure per-node function, so a chunked parallel
+    /// map over the node array — chunks concatenated in index order —
+    /// produces the identical node sequence for every `workers` value.
+    pub fn from_wide_parallel(wide: &WideBvh, workers: usize) -> Self {
+        let n = wide.nodes.len();
+        if workers <= 1 || n < 2 {
+            return Self::from_wide(wide);
+        }
+        let workers = workers.min(n);
+        let chunk = n.div_ceil(workers);
+        let chunks: Vec<Vec<CompactWideNode>> = (0..workers)
+            .into_par_iter()
+            .map(|t| {
+                let lo = (t * chunk).min(n);
+                let hi = ((t + 1) * chunk).min(n);
+                wide.nodes[lo..hi].iter().map(quantize_node).collect()
+            })
+            .collect();
+        CompactWideNodes {
+            nodes: chunks.concat(),
+        }
+    }
+
     /// Number of nodes (equals the source tree's).
     pub fn node_count(&self) -> usize {
         self.nodes.len()
@@ -765,6 +830,80 @@ impl PrimLanes {
     pub fn device_bytes(&self) -> u64 {
         (self.x.len() + self.y.len() + self.z.len() + self.mult.len()) as u64 * 4
     }
+}
+
+/// Collapse one worklist entry: fill `nodes[wide_idx]` from the member set
+/// of binary node `bin_idx`, allocating a placeholder slot (charged one
+/// `build_node_ops`) for every internal member and pushing it for later
+/// processing.  Shared verbatim by the sequential drain and the per-arena
+/// parallel collapse, so the two cannot diverge.
+fn collapse_step(
+    bvh: &Bvh,
+    bin_idx: u32,
+    wide_idx: u32,
+    nodes: &mut Vec<WideNode>,
+    work: &mut Vec<(u32, u32)>,
+    counters: &mut WorkCounters,
+) {
+    let members = collapse_members(bvh, bin_idx);
+    let mut node = WideNode::EMPTY;
+    let mut slot = 0usize;
+    for &member in &members {
+        let m = &bvh.nodes[member as usize];
+        match m.kind {
+            NodeKind::Leaf {
+                first_prim,
+                prim_count,
+            } => {
+                // Leaves emptied by a refit removal stay in the binary tree
+                // but must not occupy a wide slot: an empty-box slot tagged
+                // as a leaf breaks the layout invariant and wastes a
+                // hit-mask lane.
+                if prim_count == 0 {
+                    continue;
+                }
+                node.set_bounds(slot, &m.bounds);
+                node.children[slot] = WideChild::Leaf {
+                    first_prim,
+                    prim_count,
+                };
+            }
+            NodeKind::Internal { .. } => {
+                // A subtree whose every primitive was removed refits to the
+                // inverted box; prune it rather than nesting an all-empty
+                // wide node under a non-empty tag.
+                if m.bounds.is_empty() {
+                    continue;
+                }
+                node.set_bounds(slot, &m.bounds);
+                let child_wide = nodes.len() as u32;
+                nodes.push(WideNode::EMPTY);
+                sat_bump(&mut counters.build_node_ops, 1);
+                node.children[slot] = WideChild::Node(child_wide);
+                work.push((member, child_wide));
+            }
+        }
+        slot += 1;
+    }
+    nodes[wide_idx as usize] = node;
+}
+
+/// Collapse the subtree rooted at binary node `root` into a local arena.
+///
+/// Arena node 0 is the (caller-allocated, so deliberately *not* charged
+/// here) wide slot for `root` itself; child links are arena-local indices
+/// that [`WideBvh::from_binary_parallel`] remaps at splice time.  Because
+/// the drain is the same LIFO loop over [`collapse_step`], arena index `l`
+/// corresponds exactly to the node the sequential collapse would have
+/// emitted at `base + l - 1`.
+fn collapse_arena(bvh: &Bvh, root: u32) -> (Vec<WideNode>, WorkCounters) {
+    let mut counters = WorkCounters::ZERO;
+    let mut nodes: Vec<WideNode> = vec![WideNode::EMPTY];
+    let mut work: Vec<(u32, u32)> = vec![(root, 0)];
+    while let Some((bin_idx, wide_idx)) = work.pop() {
+        collapse_step(bvh, bin_idx, wide_idx, &mut nodes, &mut work, &mut counters);
+    }
+    (nodes, counters)
 }
 
 /// The collapse rule: expand internal members fattest-first until the set
@@ -1033,6 +1172,73 @@ mod tests {
             assert!(wide.node_count() <= bvh.node_count());
             assert!(wide.collapse_counters.build_node_ops > 0);
             assert_eq!(wide.scene_bounds, bvh.scene_bounds());
+        }
+    }
+
+    #[test]
+    fn parallel_collapse_is_bit_identical_for_all_worker_counts() {
+        let telemetry = Telemetry::disabled();
+        let pts = grid(23, 0.6);
+        let builders: Vec<Box<dyn BvhBuilder>> = vec![
+            Box::new(LbvhBuilder::default()),
+            Box::new(SahBuilder::default()),
+            Box::new(MedianSplitBuilder::default()),
+        ];
+        for b in builders {
+            let bvh = b.build(spheres_from_points(&pts, 0.4)).unwrap();
+            let seq = WideBvh::from_binary(&bvh);
+            for workers in [1usize, 2, 3, 5, 8, 64] {
+                let par = WideBvh::from_binary_parallel(&bvh, workers, &telemetry);
+                assert_eq!(par.nodes, seq.nodes, "{:?} workers={workers}", b.kind());
+                assert_eq!(par.primitives, seq.primitives);
+                assert_eq!(par.scene_bounds, seq.scene_bounds);
+                assert_eq!(
+                    par.collapse_counters.build_node_ops,
+                    seq.collapse_counters.build_node_ops
+                );
+                // The splice charge is parallel-only and bounded by the
+                // node count (only frontier subtrees are copied).
+                if workers == 1 {
+                    assert_eq!(par.collapse_counters.build_splice_ops, 0);
+                } else {
+                    assert!(par.collapse_counters.build_splice_ops <= par.node_count() as u64);
+                }
+                validate_wide(&par).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_collapse_handles_tiny_trees() {
+        let telemetry = Telemetry::disabled();
+        let bvh = LbvhBuilder::default()
+            .build(vec![Sphere::new(Point3::ORIGIN, 1.0, 0)])
+            .unwrap();
+        let seq = WideBvh::from_binary(&bvh);
+        let par = WideBvh::from_binary_parallel(&bvh, 8, &telemetry);
+        assert_eq!(par.nodes, seq.nodes);
+
+        let empty = Bvh {
+            nodes: vec![],
+            primitives: vec![],
+            builder: crate::bvh::BuilderKind::Lbvh,
+            build_counters: WorkCounters::ZERO,
+        };
+        let par = WideBvh::from_binary_parallel(&empty, 8, &telemetry);
+        assert_eq!(par.node_count(), 0);
+    }
+
+    #[test]
+    fn parallel_bake_matches_sequential_for_all_worker_counts() {
+        let pts = grid(23, 0.6);
+        let bvh = LbvhBuilder::default()
+            .build(spheres_from_points(&pts, 0.4))
+            .unwrap();
+        let wide = WideBvh::from_binary(&bvh);
+        let seq = CompactWideNodes::from_wide(&wide);
+        for workers in [1usize, 2, 3, 7, 64, 4096] {
+            let par = CompactWideNodes::from_wide_parallel(&wide, workers);
+            assert_eq!(par.nodes, seq.nodes, "workers={workers}");
         }
     }
 

@@ -60,6 +60,13 @@ pub struct WorkCounters {
     pub build_sort_ops: u64,
     /// Node emission / refit operations performed by a builder.
     pub build_node_ops: u64,
+    /// Cross-chunk histogram merges performed by the parallel radix sort's
+    /// exclusive prefix-sum (zero on the sequential build path).
+    pub build_chunk_merges: u64,
+    /// Arena splice / child-index fix-up operations performed when the
+    /// treelet-parallel emitter stitches per-treelet node arenas into the
+    /// final array (zero on the sequential build path).
+    pub build_splice_ops: u64,
     /// Primitives merged away by the compaction pass.
     pub compaction_merges: u64,
     /// Union operations on a disjoint-set structure.
@@ -113,6 +120,8 @@ impl WorkCounters {
         build_prims: 0,
         build_sort_ops: 0,
         build_node_ops: 0,
+        build_chunk_merges: 0,
+        build_splice_ops: 0,
         compaction_merges: 0,
         union_ops: 0,
         find_ops: 0,
@@ -145,6 +154,8 @@ impl WorkCounters {
             self.build_prims,
             self.build_sort_ops,
             self.build_node_ops,
+            self.build_chunk_merges,
+            self.build_splice_ops,
             self.compaction_merges,
         ])
     }
@@ -189,6 +200,8 @@ impl WorkCounters {
             ("build_prims", self.build_prims),
             ("build_sort_ops", self.build_sort_ops),
             ("build_node_ops", self.build_node_ops),
+            ("build_chunk_merges", self.build_chunk_merges),
+            ("build_splice_ops", self.build_splice_ops),
             ("compaction_merges", self.compaction_merges),
             ("union_ops", self.union_ops),
             ("find_ops", self.find_ops),
@@ -230,6 +243,10 @@ impl Add for WorkCounters {
             build_prims: self.build_prims.saturating_add(rhs.build_prims),
             build_sort_ops: self.build_sort_ops.saturating_add(rhs.build_sort_ops),
             build_node_ops: self.build_node_ops.saturating_add(rhs.build_node_ops),
+            build_chunk_merges: self
+                .build_chunk_merges
+                .saturating_add(rhs.build_chunk_merges),
+            build_splice_ops: self.build_splice_ops.saturating_add(rhs.build_splice_ops),
             compaction_merges: self.compaction_merges.saturating_add(rhs.compaction_merges),
             union_ops: self.union_ops.saturating_add(rhs.union_ops),
             find_ops: self.find_ops.saturating_add(rhs.find_ops),
@@ -270,6 +287,10 @@ impl Sub for WorkCounters {
             build_prims: self.build_prims.saturating_sub(rhs.build_prims),
             build_sort_ops: self.build_sort_ops.saturating_sub(rhs.build_sort_ops),
             build_node_ops: self.build_node_ops.saturating_sub(rhs.build_node_ops),
+            build_chunk_merges: self
+                .build_chunk_merges
+                .saturating_sub(rhs.build_chunk_merges),
+            build_splice_ops: self.build_splice_ops.saturating_sub(rhs.build_splice_ops),
             compaction_merges: self.compaction_merges.saturating_sub(rhs.compaction_merges),
             union_ops: self.union_ops.saturating_sub(rhs.union_ops),
             find_ops: self.find_ops.saturating_sub(rhs.find_ops),
@@ -328,6 +349,8 @@ pub struct SharedCounters {
     build_prims: AtomicU64,
     build_sort_ops: AtomicU64,
     build_node_ops: AtomicU64,
+    build_chunk_merges: AtomicU64,
+    build_splice_ops: AtomicU64,
     compaction_merges: AtomicU64,
     union_ops: AtomicU64,
     find_ops: AtomicU64,
@@ -363,6 +386,8 @@ impl SharedCounters {
         saturating_fetch_add(&self.build_prims, c.build_prims);
         saturating_fetch_add(&self.build_sort_ops, c.build_sort_ops);
         saturating_fetch_add(&self.build_node_ops, c.build_node_ops);
+        saturating_fetch_add(&self.build_chunk_merges, c.build_chunk_merges);
+        saturating_fetch_add(&self.build_splice_ops, c.build_splice_ops);
         saturating_fetch_add(&self.compaction_merges, c.compaction_merges);
         saturating_fetch_add(&self.union_ops, c.union_ops);
         saturating_fetch_add(&self.find_ops, c.find_ops);
@@ -392,6 +417,8 @@ impl SharedCounters {
             build_prims: self.build_prims.load(Ordering::Relaxed),
             build_sort_ops: self.build_sort_ops.load(Ordering::Relaxed),
             build_node_ops: self.build_node_ops.load(Ordering::Relaxed),
+            build_chunk_merges: self.build_chunk_merges.load(Ordering::Relaxed),
+            build_splice_ops: self.build_splice_ops.load(Ordering::Relaxed),
             compaction_merges: self.compaction_merges.load(Ordering::Relaxed),
             union_ops: self.union_ops.load(Ordering::Relaxed),
             find_ops: self.find_ops.load(Ordering::Relaxed),
@@ -421,6 +448,8 @@ impl SharedCounters {
         self.build_prims.store(0, Ordering::Relaxed);
         self.build_sort_ops.store(0, Ordering::Relaxed);
         self.build_node_ops.store(0, Ordering::Relaxed);
+        self.build_chunk_merges.store(0, Ordering::Relaxed);
+        self.build_splice_ops.store(0, Ordering::Relaxed);
         self.compaction_merges.store(0, Ordering::Relaxed);
         self.union_ops.store(0, Ordering::Relaxed);
         self.find_ops.store(0, Ordering::Relaxed);
@@ -459,6 +488,8 @@ mod tests {
             batched_launches: 19,
             tlas_node_visits: 20,
             blas_launches: 21,
+            build_chunk_merges: 22,
+            build_splice_ops: 23,
         }
     }
 
@@ -483,9 +514,9 @@ mod tests {
             c.traversal_ops(),
             1 + 2 + 3 + 4 + 14 + 5 + 18 + 19 + 20 + 21
         );
-        assert_eq!(c.build_ops(), 6 + 7 + 8 + 9);
+        assert_eq!(c.build_ops(), 6 + 7 + 8 + 9 + 22 + 23);
         assert_eq!(c.refit_ops(), 15 + 16);
-        assert_eq!(c.total_ops(), (1..=21).sum::<u64>());
+        assert_eq!(c.total_ops(), (1..=23).sum::<u64>());
     }
 
     #[test]

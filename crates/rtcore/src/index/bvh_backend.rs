@@ -119,8 +119,9 @@ impl BvhCore {
                 .build(spheres)?,
                 BuilderKind::Lbvh => LbvhBuilder {
                     max_leaf_size: config.max_leaf_size,
+                    parallelism: config.build_parallelism,
                 }
-                .build(spheres)?,
+                .build_with_telemetry(spheres, &telemetry)?,
                 BuilderKind::MedianSplit => MedianSplitBuilder {
                     max_leaf_size: config.max_leaf_size,
                 }
@@ -634,6 +635,10 @@ pub struct WideBatchedIndex {
     /// SIMD level resolved once at build — never re-detected per launch.
     simd: SimdLevel,
     batch_size: usize,
+    /// Worker count resolved once from the builder's `build_parallelism`;
+    /// reused by refit-driven re-collapses and quantized re-bakes so
+    /// maintenance parallelises exactly like the initial build.
+    build_workers: usize,
     /// Pooled buffers for Morton launch reordering.
     reorder: ScratchPool<ReorderScratch>,
     /// Per-node visit profiler, only under
@@ -647,9 +652,13 @@ impl WideBatchedIndex {
     /// `kind` field is ignored — this constructor always builds wide).
     pub fn build(config: &NeighborIndexBuilder, points: &[Point3], eps: f32) -> Result<Self> {
         let mut core = BvhCore::build(config, points, eps)?;
+        let build_workers = config.build_parallelism.resolved();
         let wide = {
             let mut span = core.telemetry.span(PhaseKind::Bvh4Collapse);
-            let wide = core.bvh.as_ref().map(WideBvh::from_binary);
+            let wide = core
+                .bvh
+                .as_ref()
+                .map(|b| WideBvh::from_binary_parallel(b, build_workers, &core.telemetry));
             if let Some(w) = &wide {
                 // The collapse is device-build work, charged with the build.
                 core.build_counters += w.collapse_counters;
@@ -669,7 +678,7 @@ impl WideBatchedIndex {
                     build_node_ops: w.node_count() as u64,
                     ..WorkCounters::ZERO
                 });
-                Some(CompactWideNodes::from_wide(w))
+                Some(CompactWideNodes::from_wide_parallel(w, build_workers))
             }
             _ => None,
         };
@@ -690,6 +699,7 @@ impl WideBatchedIndex {
             query_order: config.query_order,
             simd: config.simd.resolve(),
             batch_size: config.batch_size.max(1),
+            build_workers,
             reorder: ScratchPool::new(),
             heatmap,
         })
@@ -708,9 +718,13 @@ impl WideBatchedIndex {
         telemetry: Telemetry,
     ) -> Self {
         let mut core = BvhCore::from_prebuilt(config, bvh, eps, telemetry);
+        let build_workers = config.build_parallelism.resolved();
         let wide = {
             let mut span = core.telemetry.span(PhaseKind::Bvh4Collapse);
-            let wide = core.bvh.as_ref().map(WideBvh::from_binary);
+            let wide = core
+                .bvh
+                .as_ref()
+                .map(|b| WideBvh::from_binary_parallel(b, build_workers, &core.telemetry));
             if let Some(w) = &wide {
                 core.build_counters += w.collapse_counters;
                 span.add_counters(w.collapse_counters);
@@ -728,7 +742,7 @@ impl WideBatchedIndex {
                     build_node_ops: w.node_count() as u64,
                     ..WorkCounters::ZERO
                 });
-                Some(CompactWideNodes::from_wide(w))
+                Some(CompactWideNodes::from_wide_parallel(w, build_workers))
             }
             _ => None,
         };
@@ -749,6 +763,7 @@ impl WideBatchedIndex {
             query_order: config.query_order,
             simd: config.simd.resolve(),
             batch_size: config.batch_size.max(1),
+            build_workers,
             reorder: ScratchPool::new(),
             heatmap,
         }
@@ -797,7 +812,7 @@ impl WideBatchedIndex {
                     build_node_ops: w.node_count() as u64,
                     ..WorkCounters::ZERO
                 });
-                Some(CompactWideNodes::from_wide(w))
+                Some(CompactWideNodes::from_wide_parallel(w, self.build_workers))
             }
             _ => None,
         };
@@ -1348,7 +1363,9 @@ impl NeighborIndex for WideBatchedIndex {
         // The collapsed scene follows the binary tree's shape.
         {
             let mut span = self.core.telemetry.span(PhaseKind::Bvh4Collapse);
-            self.wide = self.core.bvh.as_ref().map(WideBvh::from_binary);
+            self.wide = self.core.bvh.as_ref().map(|b| {
+                WideBvh::from_binary_parallel(b, self.build_workers, &self.core.telemetry)
+            });
             if let Some(w) = &self.wide {
                 counters += w.collapse_counters;
                 self.core.build_counters += w.collapse_counters;
@@ -1365,7 +1382,9 @@ impl NeighborIndex for WideBatchedIndex {
         let mut counters = self.core.update_impl(moved)?;
         {
             let mut span = self.core.telemetry.span(PhaseKind::Bvh4Collapse);
-            self.wide = self.core.bvh.as_ref().map(WideBvh::from_binary);
+            self.wide = self.core.bvh.as_ref().map(|b| {
+                WideBvh::from_binary_parallel(b, self.build_workers, &self.core.telemetry)
+            });
             if let Some(w) = &self.wide {
                 counters += w.collapse_counters;
                 self.core.build_counters += w.collapse_counters;

@@ -56,7 +56,7 @@ pub use csr::CsrNeighbors;
 pub use grid::UniformGridIndex;
 pub use sharded::{ShardSelect, ShardedIndex};
 
-pub use crate::bvh::{ShardingConfig, WideLayout};
+pub use crate::bvh::{BuildParallelism, ShardingConfig, WideLayout};
 pub use crate::simd::SimdPolicy;
 pub use crate::traversal::QueryOrder;
 
@@ -522,6 +522,15 @@ pub struct NeighborIndexBuilder {
     /// SIMD policy for the wide-batched hit-mask and leaf-distance
     /// kernels, resolved once per index build; see [`SimdPolicy`].
     pub simd: SimdPolicy,
+    /// Logical parallelism of acceleration-structure construction (the LBVH
+    /// encode/sort/emit, the BVH4 collapse and the quantized bake).  The
+    /// built structure is bit-identical for every setting —
+    /// [`BuildParallelism::Sequential`] (the default) runs the legacy
+    /// single-threaded path, so all counter-identity guarantees hold
+    /// unchanged.  BVH kinds only; with sharding the budget is divided
+    /// across the already-parallel per-shard builds so the pool is never
+    /// oversubscribed.
+    pub build_parallelism: BuildParallelism,
     /// How much telemetry the built index records (phase spans, launch
     /// metrics, and — under [`TelemetryConfig::Profile`] on a BVH kind —
     /// the per-node visit heatmap).  [`TelemetryConfig::Off`] compiles the
@@ -568,6 +577,7 @@ impl NeighborIndexBuilder {
             query_order: QueryOrder::AsGiven,
             wide_layout: WideLayout::F32,
             simd: SimdPolicy::Auto,
+            build_parallelism: BuildParallelism::Sequential,
             telemetry: TelemetryConfig::Off,
             sharding: None,
         }
@@ -582,6 +592,20 @@ impl NeighborIndexBuilder {
             return Err(Error::InvalidConfig(
                 "max_leaf_size must be at least 1".into(),
             ));
+        }
+        if self.build_parallelism != BuildParallelism::Sequential && !self.kind.is_bvh() {
+            return Err(Error::InvalidConfig(format!(
+                "build_parallelism configures BVH construction; the {} index has no \
+                 parallel build",
+                self.kind.name()
+            )));
+        }
+        if let BuildParallelism::Threads(t) = self.build_parallelism {
+            if t == 0 {
+                return Err(Error::InvalidConfig(
+                    "build_parallelism thread count must be at least 1".into(),
+                ));
+            }
         }
         if self.compaction && !self.kind.is_bvh() {
             return Err(Error::InvalidConfig(format!(

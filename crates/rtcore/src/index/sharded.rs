@@ -34,7 +34,7 @@ use super::{
     NeighborVisitor, WideBatchedIndex,
 };
 use crate::bvh::build::lbvh_from_sorted;
-use crate::bvh::tlas::{plan_shards, Tlas};
+use crate::bvh::tlas::{plan_shards_with, Tlas};
 use crate::bvh::{
     compact_coincident, spheres_from_points, BuilderKind, BvhBuilder, MedianSplitBuilder,
     SahBuilder,
@@ -159,10 +159,13 @@ impl ShardedIndex {
             return Ok(index);
         }
 
-        // Global Morton encode + sort + shard-cut descent.
+        // Global Morton encode + sort + shard-cut descent.  The planner may
+        // use the full parallelism budget — the per-shard builds have not
+        // started yet, so there is nothing to oversubscribe.
         let plan = {
             let mut span = index.telemetry.span(PhaseKind::LbvhBuild);
-            let plan = plan_shards(spheres, sharding.max_shard_size)?;
+            let plan =
+                plan_shards_with(spheres, sharding.max_shard_size, config.build_parallelism)?;
             span.add_counters(plan.counters);
             plan
         };
@@ -194,7 +197,13 @@ impl ShardedIndex {
             })
             .collect();
         let telemetry = index.telemetry.clone();
-        let config = *config;
+        // The shards themselves run in parallel, so each nested build only
+        // gets its share of the parallelism budget; with at least as many
+        // shards as workers this degrades to sequential per-shard builds
+        // (the pre-existing behaviour) instead of oversubscribing the pool.
+        let mut config = *config;
+        config.build_parallelism = config.build_parallelism.for_nested(slices.len());
+        let nested = config.build_parallelism;
         let built: Vec<Result<WideBatchedIndex>> = {
             use rayon::prelude::*;
             (0..slices.len())
@@ -207,9 +216,14 @@ impl ShardedIndex {
                         let bvh = match builder_kind {
                             // The aligned path: emit over the pre-sorted
                             // slice, reproducing the flat subtree exactly.
-                            BuilderKind::Lbvh => {
-                                lbvh_from_sorted(prims, codes, max_leaf, WorkCounters::ZERO)?
-                            }
+                            BuilderKind::Lbvh => lbvh_from_sorted(
+                                prims,
+                                codes,
+                                max_leaf,
+                                WorkCounters::ZERO,
+                                nested,
+                                &telemetry,
+                            )?,
                             BuilderKind::BinnedSah => SahBuilder {
                                 max_leaf_size: max_leaf,
                                 ..SahBuilder::default()

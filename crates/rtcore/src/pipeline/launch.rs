@@ -1,7 +1,7 @@
 //! Pipeline construction and (parallel) launch.
 
 use super::program::{GeometryKind, ProgramFlow, RayProgram};
-use crate::bvh::{Bvh, CompactWideNodes, WideBvh, WideLayout};
+use crate::bvh::{BuildParallelism, Bvh, CompactWideNodes, WideBvh, WideLayout};
 use crate::geometry::{Point3, Ray, Sphere};
 use crate::hardware::sat_bump;
 use crate::hardware::WorkCounters;
@@ -57,6 +57,10 @@ pub struct PipelineConfig {
     /// SIMD policy for the batched hit-mask kernels, resolved once at
     /// pipeline construction.
     pub simd: SimdPolicy,
+    /// Worker budget for the construction-time BVH4 collapse and quantized
+    /// bake ([`TraversalEngine::WideBatched`] only).  Output is bit-identical
+    /// for every setting; see [`crate::bvh::BuildParallelism`].
+    pub build_parallelism: BuildParallelism,
     /// Telemetry recording level.  Under the default
     /// [`TelemetryConfig::Off`] no recorder is allocated and the launch
     /// paths compile to the exact pre-telemetry code; any enabled level
@@ -77,6 +81,7 @@ impl Default for PipelineConfig {
             query_order: QueryOrder::AsGiven,
             layout: WideLayout::F32,
             simd: SimdPolicy::Auto,
+            build_parallelism: BuildParallelism::Sequential,
             telemetry: TelemetryConfig::Off,
         }
     }
@@ -169,11 +174,12 @@ impl<'a> Pipeline<'a> {
     /// Create a pipeline with an explicit configuration.
     pub fn with_config(scene: &'a Bvh, config: PipelineConfig) -> Self {
         let telemetry = Telemetry::new(config.telemetry);
+        let workers = config.build_parallelism.resolved();
         let wide = match config.traversal {
             TraversalEngine::Binary => None,
             TraversalEngine::WideBatched => {
                 let mut span = telemetry.span(PhaseKind::Bvh4Collapse);
-                let w = WideBvh::from_binary(scene);
+                let w = WideBvh::from_binary_parallel(scene, workers, &telemetry);
                 span.add_counters(w.collapse_counters);
                 Some(std::borrow::Cow::<'a, WideBvh>::Owned(w))
             }
@@ -185,7 +191,7 @@ impl<'a> Pipeline<'a> {
                     build_node_ops: w.node_count() as u64,
                     ..WorkCounters::ZERO
                 });
-                Some(CompactWideNodes::from_wide(w))
+                Some(CompactWideNodes::from_wide_parallel(w, workers))
             }
             _ => None,
         };
@@ -211,7 +217,10 @@ impl<'a> Pipeline<'a> {
                     build_node_ops: wide.node_count() as u64,
                     ..WorkCounters::ZERO
                 });
-                Some(CompactWideNodes::from_wide(wide))
+                Some(CompactWideNodes::from_wide_parallel(
+                    wide,
+                    config.build_parallelism.resolved(),
+                ))
             }
             WideLayout::F32 => None,
         };

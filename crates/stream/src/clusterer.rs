@@ -690,10 +690,13 @@ impl StreamingClusterer {
             self.health_at_build = None;
             return;
         }
-        let bvh = LbvhBuilder::default()
-            .build(spheres)
-            // analyze-allow: lib-unwrap -- window rebuild inputs are points already validated finite on insert
-            .expect("live window points are finite by construction");
+        let bvh = LbvhBuilder {
+            parallelism: self.config.build_parallelism,
+            ..LbvhBuilder::default()
+        }
+        .build_with_telemetry(spheres, &telemetry)
+        // analyze-allow: lib-unwrap -- window rebuild inputs are points already validated finite on insert
+        .expect("live window points are finite by construction");
         self.build_counters += bvh.build_counters;
         sat_bump(&mut self.build_counters.rebuilds, 1);
         sat_bump(&mut self.stats.rebuilds, 1);
@@ -870,7 +873,11 @@ impl StreamingClusterer {
             && self.wide_scene.is_none()
         {
             if let Some(scene) = &self.scene {
-                let wide = WideBvh::from_binary(scene);
+                let wide = WideBvh::from_binary_parallel(
+                    scene,
+                    self.config.build_parallelism.resolved(),
+                    &self.telemetry,
+                );
                 self.build_counters += wide.collapse_counters;
                 self.wide_scene = Some(wide);
             }

@@ -1,6 +1,6 @@
 //! Window and update-policy configuration for the streaming clusterer.
 
-use rtcore::bvh::RefitPolicy;
+use rtcore::bvh::{BuildParallelism, RefitPolicy};
 use rtcore::pipeline::TraversalEngine;
 use rtcore::telemetry::TelemetryConfig;
 use rtdbscan::DbscanParams;
@@ -64,6 +64,11 @@ pub struct StreamingConfig {
     /// window slides, refits and rebuilds, retrievable through
     /// [`crate::StreamingClusterer::telemetry`].
     pub telemetry: TelemetryConfig,
+    /// Worker budget for the [`RefitPolicy`]-triggered main-scene rebuilds
+    /// (Morton sort, hierarchy emit, BVH4 collapse).  Output is
+    /// bit-identical for every setting; delta BVHs are small, short-lived,
+    /// and always build sequentially.
+    pub build_parallelism: BuildParallelism,
 }
 
 impl StreamingConfig {
@@ -78,6 +83,7 @@ impl StreamingConfig {
             refit_dead_fraction: 0.03125,
             snapshot_traversal: TraversalEngine::WideBatched,
             telemetry: TelemetryConfig::Off,
+            build_parallelism: BuildParallelism::Sequential,
         }
     }
 
@@ -98,6 +104,11 @@ impl StreamingConfig {
                 "refit_dead_fraction must be in [0, 1], got {}",
                 self.refit_dead_fraction
             )));
+        }
+        if self.build_parallelism == BuildParallelism::Threads(0) {
+            return Err(rtcore::Error::InvalidConfig(
+                "build_parallelism thread count must be at least 1".into(),
+            ));
         }
         Ok(())
     }
@@ -133,5 +144,16 @@ mod tests {
             ..good
         };
         assert!(bad_dead.validate().is_err());
+
+        let bad_threads = StreamingConfig {
+            build_parallelism: BuildParallelism::Threads(0),
+            ..good
+        };
+        assert!(bad_threads.validate().is_err());
+        let parallel = StreamingConfig {
+            build_parallelism: BuildParallelism::Threads(4),
+            ..good
+        };
+        assert!(parallel.validate().is_ok());
     }
 }
