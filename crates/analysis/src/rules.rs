@@ -112,8 +112,9 @@ pub fn registry() -> Vec<Rule> {
         },
         Rule {
             name: "lib-unwrap",
-            summary: "no .unwrap()/.expect() in non-test library code of \
-                      rtcore/dbscan/stream",
+            summary: "no .unwrap()/.expect()/panic! in non-test library code \
+                      of rtcore/dbscan/stream (unreachable! stays legal: it \
+                      documents an impossible branch, not an error path)",
             applies: |p| {
                 p.starts_with("crates/rtcore/src/")
                     || p.starts_with("crates/dbscan/src/")
@@ -180,6 +181,7 @@ const ATOMICS_ALLOWLIST: &[&str] = &[
     "crates/rtcore/src/telemetry/mod.rs",
     "crates/rtcore/src/hardware/counters.rs",
     "crates/rtcore/src/traversal/order.rs",
+    "crates/rtcore/src/fault.rs",
     "crates/rtcore/src/index/sharded.rs",
     "crates/rtcore/src/index/grid.rs",
     "crates/rtcore/src/index/bvh_backend.rs",
@@ -405,9 +407,12 @@ fn hot_path_alloc(ctx: &FileContext) -> Vec<Finding> {
 // lib-unwrap
 // ---------------------------------------------------------------------------
 
-/// `.unwrap()` / `.expect(` in non-test library code.  Converting to a
-/// proper error return is preferred; a truly unreachable case can stay as
-/// a waived `.expect("invariant …")` with the invariant in the waiver.
+/// `.unwrap()` / `.expect(` / `panic!` in non-test library code.
+/// Converting to a proper error return is preferred; a truly unreachable
+/// case can stay as a waived `.expect("invariant …")` with the invariant in
+/// the waiver.  `unreachable!` (and `debug_assert!`) are deliberately NOT
+/// matched: they document impossible branches, which a structured error
+/// would mislabel as a caller-visible failure mode.
 fn lib_unwrap(ctx: &FileContext) -> Vec<Finding> {
     let mut out = Vec::new();
     let toks = ctx.tokens;
@@ -427,6 +432,21 @@ fn lib_unwrap(ctx: &FileContext) -> Vec<Finding> {
                     method.text
                 ),
             ));
+        }
+    }
+    for w in code_windows(toks, 2) {
+        let [mac, bang] = [&toks[w], &toks[w + 1]];
+        if mac.is_ident("panic") && bang.is_punct("!") && !ctx.in_test_region(mac.line) {
+            out.push(
+                ctx.finding(
+                    "lib-unwrap",
+                    mac,
+                    "`panic!` in library code — return a structured error \
+                 (fault-tolerant callers must never see a panic), or waive \
+                 with the invariant that rules it out"
+                        .to_owned(),
+                ),
+            );
         }
     }
     out
@@ -730,6 +750,25 @@ mod tests {
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, "lib-unwrap");
         assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn lib_unwrap_catches_panic_but_not_unreachable() {
+        let f = ctx_findings(
+            "crates/rtcore/src/fault.rs",
+            "fn f(x: u8) { if x > 3 { panic!(\"bad {x}\"); } }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "lib-unwrap");
+        assert!(f[0].message.contains("panic!"));
+
+        // unreachable! documents an impossible branch and stays legal, as
+        // do panics inside test regions.
+        assert!(ctx_findings(
+            "crates/rtcore/src/fault.rs",
+            "fn f(x: u8) { match x { 0 => {} _ => unreachable!(\"masked\") } }\n#[cfg(test)]\nmod t { fn g() { panic!(\"fine in tests\") } }",
+        )
+        .is_empty());
     }
 
     #[test]

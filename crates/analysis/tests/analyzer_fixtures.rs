@@ -134,6 +134,22 @@ fn lib_unwrap_spans_waiver_and_reasonless_waiver() {
 }
 
 #[test]
+fn fault_module_panic_span_waiver_and_unreachable_exemption() {
+    let report = analyze_fixture("fault_module.rs", "crates/rtcore/src/fault.rs");
+    assert_eq!(
+        spans(&report),
+        vec![("lib-unwrap", 7, 9)],
+        "{:#?}",
+        report.findings
+    );
+    assert!(report.findings[0].message.contains("panic!"));
+    assert_eq!(
+        report.waivers_used, 1,
+        "the waived panic! must be counted; unreachable! and test panics need no waiver"
+    );
+}
+
+#[test]
 fn lexer_tricky_cases_are_clean() {
     // Analyzed as a hot, allowlisted, unwrap-scoped module so every rule
     // runs; all the "violations" live inside strings and comments.

@@ -1,0 +1,33 @@
+//! Fixture: a fault-handling module where a bare `panic!` is a violation
+//! (fault-tolerant callers must never see one), `unreachable!` documents an
+//! impossible branch, and test-region panics stay exempt.
+
+pub fn bad(v: u32) -> u32 {
+    if v == 0 {
+        panic!("zero not allowed");
+    }
+    v
+}
+
+pub fn waived(v: u32) -> u32 {
+    if v == 0 {
+        // analyze-allow: lib-unwrap -- fixture: every caller screens out zero
+        panic!("zero not allowed");
+    }
+    v
+}
+
+pub fn impossible(v: u32) -> u32 {
+    match v % 2 {
+        0 | 1 => v,
+        _ => unreachable!("v % 2 is always 0 or 1"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panic_in_tests_is_fine() {
+        panic!("fixture test panic");
+    }
+}

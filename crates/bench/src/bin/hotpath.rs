@@ -34,11 +34,11 @@
 //! different `schema` or `config` — it prints both lines as a diff and
 //! exits non-zero; pass `--force` as well to reset deliberately.
 //!
-//! # `BENCH_hotpath.json` schema (`rtdbscan-hotpath/v4`)
+//! # `BENCH_hotpath.json` schema (`rtdbscan-hotpath/v5`)
 //!
-//! One JSON object with five keys:
+//! One JSON object with six keys:
 //!
-//! * `"schema"` — the literal string `"rtdbscan-hotpath/v4"`.
+//! * `"schema"` — the literal string `"rtdbscan-hotpath/v5"`.
 //! * `"config"` — the sweep parameters, one object on one line:
 //!   `dataset`, `seed`, `eps`, `reps` (timing repetitions per cell; the
 //!   reported `best_ns` is the minimum, `mean_ns` the average).
@@ -50,7 +50,9 @@
 //!   `v2` baseline (pre-dating build timing) is annotated with
 //!   `"build_ns":null` ("not recorded"); a `v3` baseline's stale
 //!   `"build_ns":0` sentinels — zero never being a real build time — are
-//!   rewritten to the honest `null`.
+//!   rewritten to the honest `null`; a `v4` baseline's cells already have
+//!   the current shape and carry forward verbatim (the `v5` change adds
+//!   only the per-run `"robustness"` section).
 //! * `"current"` — same shape, overwritten on every run.
 //! * `"build"` — the construction-time sweep, overwritten on every run:
 //!   `{ "results": [...] }` with one cell per (size × thread-count) LBVH
@@ -61,6 +63,16 @@
 //!   and the best parallel cell at the largest size must beat the
 //!   sequential one (the treelet emitter's bottom-up bounds do the work
 //!   even on one core).
+//! * `"robustness"` — the deadline-overhead record, overwritten on every
+//!   run: `{ "results": [...] }` with one `"unchecked"` and one
+//!   `"checked"` cell at the largest sweep size,
+//!   `{"n": …, "mode": "checked", "best_ns": …, "mean_ns": …, counters…}`.
+//!   The checked cell runs the *cancellable* stage-1 entry point under an
+//!   inert `CancelScope::none()`; its counters must be bit-identical to
+//!   the unchecked cell's (asserted on every run including `--smoke`),
+//!   and on full runs its best wall-clock must sit within 1% of the
+//!   unchecked cell (or within 1 ms absolute — deadline checks at packet
+//!   granularity are budgeted as free).
 //! * `"notes"` (optional) — auxiliary profiling evidence, currently the
 //!   per-depth wide-node visit distribution of a `--heatmap` run;
 //!   preserved verbatim by later runs that don't pass `--heatmap`.
@@ -107,10 +119,11 @@ use rtdbscan_datasets::{generate, PaperDataset};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-const SCHEMA: &str = "rtdbscan-hotpath/v4";
+const SCHEMA: &str = "rtdbscan-hotpath/v5";
 const V1_SCHEMA: &str = "rtdbscan-hotpath/v1";
 const V2_SCHEMA: &str = "rtdbscan-hotpath/v2";
 const V3_SCHEMA: &str = "rtdbscan-hotpath/v3";
+const V4_SCHEMA: &str = "rtdbscan-hotpath/v4";
 const EPS: f32 = 0.4;
 const SEED: u64 = 42;
 /// The `--sharded` sweep's scale, search radius and shard-size ceiling.
@@ -441,6 +454,129 @@ fn sweep_sharded(points: &[Point3], reps: usize) -> Vec<Cell> {
     vec![flat, sharded]
 }
 
+/// One deadline-overhead cell: the stage-1 launch driven through either
+/// the plain entry point (`"unchecked"`) or the cancellable one under an
+/// inert `CancelScope::none()` (`"checked"`).
+struct RobustCell {
+    n: usize,
+    mode: &'static str,
+    best_ns: u128,
+    mean_ns: u128,
+    counters: WorkCounters,
+}
+
+impl RobustCell {
+    fn to_json(&self) -> String {
+        let c = &self.counters;
+        format!(
+            "{{\"n\":{},\"mode\":\"{}\",\"best_ns\":{},\"mean_ns\":{},\
+             \"rays\":{},\"dist_comps\":{},\"prim_tests\":{},\"node_visits\":{},\
+             \"wide_node_visits\":{},\"batched_launches\":{}}}",
+            self.n,
+            self.mode,
+            self.best_ns,
+            self.mean_ns,
+            c.rays,
+            c.dist_comps,
+            c.prim_tests,
+            c.node_visits,
+            c.wide_node_visits,
+            c.batched_launches,
+        )
+    }
+}
+
+/// The robustness sweep: checked vs unchecked stage 1 on one shared
+/// wide-batched index.  Counter identity is asserted on every run
+/// (deadline checks must not change counted work); the wall-clock bound —
+/// checked within 1% of unchecked, or within 1 ms absolute — only on full
+/// runs, where the measurement is large enough to mean something.  The
+/// two modes are interleaved rep-by-rep so background load drift hits
+/// both best-of samples equally instead of biasing whichever mode ran
+/// second.
+fn sweep_robustness(points: &[Point3], reps: usize, smoke: bool) -> Vec<RobustCell> {
+    use rtcore::fault::CancelScope;
+
+    let index = NeighborIndexBuilder::new(IndexKind::WideBatched)
+        .build(points, EPS)
+        .expect("generated points are finite");
+    let counts: Vec<AtomicU64> = (0..points.len()).map(|_| AtomicU64::new(0)).collect();
+    let scope = CancelScope::none();
+    let run = |checked: bool, counters: &mut WorkCounters| {
+        // ordering: Relaxed — the bench resets and reads the count
+        // cells strictly between launches; the launch join orders
+        // everything.
+        for c in &counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        if checked {
+            index
+                .batch_neighbor_counts_cancellable(
+                    points, EPS, true, None, counters, &counts, &scope,
+                )
+                .expect("an inert scope never trips");
+        } else {
+            index.batch_neighbor_counts(points, EPS, true, None, counters, &counts);
+        }
+    };
+
+    // Warm-up both paths, anchoring the counter reference.
+    let mut reference = WorkCounters::ZERO;
+    run(false, &mut reference);
+    let mut warm_checked = WorkCounters::ZERO;
+    run(true, &mut warm_checked);
+    assert_eq!(
+        warm_checked, reference,
+        "deadline checks must not change counted work"
+    );
+
+    let reps = reps.max(3);
+    let mut cells = ["unchecked", "checked"].map(|mode| RobustCell {
+        n: points.len(),
+        mode,
+        best_ns: u128::MAX,
+        mean_ns: 0,
+        counters: reference,
+    });
+    let mut totals = [0u128; 2];
+    for _ in 0..reps {
+        for (slot, &checked) in [false, true].iter().enumerate() {
+            let mut rep = WorkCounters::ZERO;
+            let t = Instant::now();
+            run(checked, &mut rep);
+            let ns = t.elapsed().as_nanos();
+            cells[slot].best_ns = cells[slot].best_ns.min(ns);
+            totals[slot] += ns;
+            assert_eq!(
+                rep, reference,
+                "{}: counters drifted between reps",
+                cells[slot].mode
+            );
+        }
+    }
+    for (slot, cell) in cells.iter_mut().enumerate() {
+        cell.mean_ns = totals[slot] / reps as u128;
+        println!(
+            "robustness n={:>7}  {:<9}  best {:>10.3} ms  mean {:>10.3} ms",
+            cell.n,
+            cell.mode,
+            cell.best_ns as f64 / 1e6,
+            cell.mean_ns as f64 / 1e6,
+        );
+    }
+    let [unchecked_best, checked_best] = [cells[0].best_ns, cells[1].best_ns];
+    if !smoke {
+        let slack = (unchecked_best / 100).max(1_000_000); // 1% or 1 ms
+        assert!(
+            checked_best <= unchecked_best + slack,
+            "checked stage 1 ({:.3} ms) exceeds unchecked ({:.3} ms) by more than 1% / 1 ms",
+            checked_best as f64 / 1e6,
+            unchecked_best as f64 / 1e6,
+        );
+    }
+    cells.into_iter().collect()
+}
+
 /// One spans-enabled sharded build + launch: prints the phase summary and
 /// asserts the per-shard parallel build is visible in the trace — one
 /// `tlas_build` span enclosing one `lbvh_build` span per shard.
@@ -749,6 +885,14 @@ fn main() {
     }
     assert_sweep_invariants(&cells);
 
+    // Deadline-overhead cells at the largest sweep size: the cancellable
+    // entry point under an inert scope against the plain one.
+    let robust_cells = {
+        let &robust_n = sizes.last().expect("sweep has at least one size");
+        let points = generate(PaperDataset::PortoTaxi, robust_n, SEED);
+        sweep_robustness(&points, reps, smoke)
+    };
+
     if sharded {
         // Fixed-seed 1M-point sweep through the two-level backend: one
         // rep in smoke (the counter identities are the point there), the
@@ -832,21 +976,28 @@ fn main() {
             existing_section(&out_path, "baseline"),
         ) {
             (Some(s), Some(line)) if s == format!("\"{V1_SCHEMA}\"") => {
-                println!("note: migrating v1 baseline cells to the v4 schema (legacy config)");
+                println!("note: migrating v1 baseline cells to the v5 schema (legacy config)");
                 migrate_v2_baseline(&migrate_v1_baseline(&line))
             }
             (Some(s), Some(line)) if s == format!("\"{V2_SCHEMA}\"") => {
                 println!(
-                    "note: migrating v2 baseline cells to the v4 schema (no recorded build time)"
+                    "note: migrating v2 baseline cells to the v5 schema (no recorded build time)"
                 );
                 migrate_v2_baseline(&line)
             }
             (Some(s), Some(line)) if s == format!("\"{V3_SCHEMA}\"") => {
                 println!(
-                    "note: migrating v3 baseline cells to the v4 schema \
+                    "note: migrating v3 baseline cells to the v5 schema \
                      (build_ns 0-sentinels → null)"
                 );
                 migrate_v3_baseline(&line)
+            }
+            (Some(s), Some(line)) if s == format!("\"{V4_SCHEMA}\"") => {
+                println!(
+                    "note: v4 baseline cells already have the v5 shape; the new \
+                     robustness section is regenerated per run"
+                );
+                line
             }
             (Some(s), Some(line)) if s == format!("\"{SCHEMA}\"") => line,
             _ => {
@@ -877,10 +1028,13 @@ fn main() {
         .unwrap_or_default();
     let build_entries: Vec<String> = build_cells.iter().map(BuildCell::to_json).collect();
     let build_line = format!("{{\"results\":[{}]}}", build_entries.join(","));
+    let robust_entries: Vec<String> = robust_cells.iter().map(RobustCell::to_json).collect();
+    let robust_line = format!("{{\"results\":[{}]}}", robust_entries.join(","));
     let doc = format!(
         "{{\n  \"schema\": \"{SCHEMA}\",\n  \"config\": {config},\n  \
          \"baseline\": {baseline},\n  \"current\": {current},\n  \
-         \"build\": {build_line}{notes_section}\n}}\n"
+         \"build\": {build_line},\n  \
+         \"robustness\": {robust_line}{notes_section}\n}}\n"
     );
     std::fs::write(&out_path, doc).expect("write BENCH_hotpath.json");
     println!("wrote {}", out_path.display());

@@ -61,6 +61,7 @@ use crate::runner::{
 use crate::stages;
 use crate::GDbscan;
 use rtcore::bvh::BuilderKind;
+use rtcore::fault::CancelScope;
 use rtcore::geometry::Point3;
 use rtcore::hardware::{DeviceModel, ExecutionPath, WorkCounters};
 use rtcore::index::{NeighborIndex, NeighborIndexBuilder, ShardingConfig};
@@ -69,6 +70,7 @@ use rtcore::telemetry::PhaseKind;
 use rtcore::Result;
 use std::time::Duration;
 
+pub use rtcore::fault::{CancelToken, Deadline, FaultPlan, MemoryBudget};
 pub use rtcore::index::{IndexKind, QueryOrder, SimdPolicy, WideLayout};
 pub use rtcore::telemetry::TelemetryConfig;
 
@@ -253,6 +255,8 @@ pub struct ClusterEngineBuilder {
     device_memory_bytes: Option<u64>,
     wide_visit_fraction: Option<f64>,
     telemetry: Option<TelemetryConfig>,
+    memory_budget: Option<MemoryBudget>,
+    fault: Option<FaultPlan>,
     device: DeviceModel,
 }
 
@@ -276,6 +280,8 @@ impl Default for ClusterEngineBuilder {
             device_memory_bytes: None,
             wide_visit_fraction: None,
             telemetry: None,
+            memory_budget: None,
+            fault: None,
             device: DeviceModel::default(),
         }
     }
@@ -469,6 +475,25 @@ impl ClusterEngineBuilder {
     /// ```
     pub fn telemetry(mut self, level: TelemetryConfig) -> Self {
         self.telemetry = Some(level);
+        self
+    }
+
+    /// Hard ceiling on the bytes the built index may hold resident
+    /// (default [`MemoryBudget::Unlimited`]).  An over-budget build
+    /// degrades gracefully in a fixed order — drop the quantized node bake,
+    /// then evict the coldest shard BLASes to rebuild-on-demand — and only
+    /// refuses with [`rtcore::Error::OverBudget`] once fully degraded.
+    pub fn memory_budget(mut self, budget: MemoryBudget) -> Self {
+        self.memory_budget = Some(budget);
+        self
+    }
+
+    /// Deterministic fault-injection schedule threaded into every index
+    /// this engine builds (default [`FaultPlan::Off`]).  Only a build
+    /// compiled with the `fault-inject` feature ever arms a plan; without
+    /// the feature every plan behaves as `Off` at zero cost.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
         self
     }
 
@@ -687,6 +712,19 @@ impl ClusterEngineBuilder {
             }
             index.telemetry = t;
         }
+        if let Some(budget) = self.memory_budget {
+            if budget == MemoryBudget::Bytes(0) {
+                return Err(ConfigError::invalid(
+                    "memory_budget",
+                    0,
+                    "a zero-byte budget rejects every index; use at least 1 byte",
+                ));
+            }
+            index.memory_budget = budget;
+        }
+        if let Some(plan) = self.fault {
+            index.fault = plan;
+        }
         if let Some(f) = self.wide_visit_fraction {
             if !f.is_finite() || f <= 0.0 || f > 1.0 {
                 return Err(ConfigError::invalid(
@@ -837,6 +875,104 @@ impl ClusterEngine {
             .run_on(index, points, params),
             Algo::Classic => ClassicDbscan.run_on(index, points, params),
         }
+    }
+
+    /// [`ClusterEngine::run`] under a deadline/cancellation scope.
+    ///
+    /// Both clustering stages poll `scope` at packet granularity; a trip
+    /// surfaces as [`rtcore::Error::DeadlineExceeded`] carrying the work
+    /// counted so far, and every partial stage result (counts, union-find
+    /// merges, claims) is discarded — a cancelled run never returns a wrong
+    /// clustering.  With [`CancelScope::none`] the counted work is
+    /// bit-identical to [`ClusterEngine::run`]'s two-stage formulation.
+    ///
+    /// Like [`ClusterEngine::session`], this always runs the two-stage
+    /// formulation over the engine's backend, whatever [`Algo`] was
+    /// configured (stage boundaries are where cancellation composes);
+    /// [`Algo::FdbscanEarlyExit`]'s stage-1 early exit is honoured.
+    pub fn run_cancellable(&self, points: &[Point3], scope: &CancelScope) -> Result<RunResult> {
+        self.params.validate()?;
+        self.check_launch(points.len())?;
+        let params = self.params;
+        let (index, build_time) = timed(|| self.index.build(points, params.eps));
+        let index = index?;
+        let n = points.len();
+        let path = if index.capabilities().rt_core {
+            ExecutionPath::RtCore
+        } else {
+            ExecutionPath::ShaderCore
+        };
+        if n == 0 {
+            return Ok(RunResult {
+                clustering: Clustering::new(vec![], vec![]),
+                timings: PhaseTimings {
+                    build: build_time,
+                    ..PhaseTimings::default()
+                },
+                counters: PhaseCounters::default(),
+                path,
+                device_bytes: 0,
+            });
+        }
+
+        let early = (self.algo == Algo::FdbscanEarlyExit).then_some(params.min_pts);
+        let (stage1, stage1_time) = timed(|| {
+            let span = index.telemetry().map(|t| t.span(PhaseKind::Stage1Launch));
+            let out = stages::count_all_neighbors_cancellable(
+                index.as_ref(),
+                points,
+                params.eps,
+                early,
+                scope,
+            );
+            if let Some(mut s) = span {
+                if let Ok((_, counters)) = &out {
+                    s.add_counters(*counters);
+                }
+            }
+            out
+        });
+        let (counts, stage1_counters) = stage1?;
+        let core: Vec<bool> = counts
+            .iter()
+            .map(|&count| count as usize >= params.min_pts)
+            .collect();
+
+        let (stage2, stage2_time) = timed(|| {
+            let span = index
+                .telemetry()
+                .map(|t| t.span(PhaseKind::Stage2UnionFind));
+            let out =
+                stages::form_clusters_cancellable(index.as_ref(), points, &core, params.eps, scope);
+            if let Some(mut s) = span {
+                if let Ok((_, counters)) = &out {
+                    s.add_counters(*counters);
+                }
+            }
+            out
+        });
+        let (labels, stage2_counters) = stage2?;
+
+        let device_bytes = index.device_bytes()
+            + std::mem::size_of_val(points) as u64
+            + (n * std::mem::size_of::<usize>()) as u64 // union-find parents
+            + 2 * n as u64; // core + claimed flags
+
+        Ok(RunResult {
+            clustering: Clustering::new(labels, core),
+            timings: PhaseTimings {
+                build: build_time,
+                core_identification: stage1_time,
+                cluster_formation: stage2_time,
+            },
+            counters: PhaseCounters {
+                build: index.build_counters(),
+                core_identification: stage1_counters,
+                cluster_formation: stage2_counters,
+            },
+            path,
+            device_bytes,
+        })
     }
 
     /// Build the index and record every point's ε-neighbour count once,
@@ -1428,5 +1564,131 @@ mod tests {
             cheap_time < dear_time,
             "cheap {cheap_time} vs dear {dear_time}"
         );
+    }
+
+    #[test]
+    fn run_cancellable_with_no_scope_matches_run_exactly() {
+        use rtcore::fault::CancelScope;
+        let pts = blobs();
+        let params = DbscanParams::new(0.5, 5).unwrap();
+        // Flat and sharded backends: the none-scope cancellable path must be
+        // bit-identical to the plain two-stage run (counters included — this
+        // is the "deadline checks are free when unset" contract).
+        for build in [
+            ClusterEngine::builder().params(params),
+            ClusterEngine::builder().params(params).shard_size(48),
+        ] {
+            let engine = build.build().unwrap();
+            let plain = engine.run(&pts).unwrap();
+            let cancellable = engine.run_cancellable(&pts, &CancelScope::none()).unwrap();
+            assert_eq!(plain.clustering.core, cancellable.clustering.core);
+            assert!(same_clustering(
+                &plain.clustering,
+                &cancellable.clustering,
+                &pts,
+                params
+            ));
+            assert_eq!(
+                plain.counters.core_identification,
+                cancellable.counters.core_identification
+            );
+            if engine.index_config().sharding.is_none() {
+                // The sharded uncancellable path runs the stitched (two
+                // launch) shape, which counts work differently; flat paths
+                // must match bit for bit.
+                assert_eq!(
+                    plain.counters.cluster_formation,
+                    cancellable.counters.cluster_formation
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_cancellable_pre_cancelled_returns_structured_error() {
+        use rtcore::fault::{CancelScope, CancelToken};
+        let pts = blobs();
+        let engine = ClusterEngine::builder()
+            .eps(0.5)
+            .min_pts(5)
+            .build()
+            .unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let scope = CancelScope::with_token(&token);
+        match engine.run_cancellable(&pts, &scope) {
+            Err(rtcore::Error::DeadlineExceeded { .. }) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_points_are_rejected_with_a_structured_error() {
+        let params = DbscanParams::new(0.5, 3).unwrap();
+        let engine = ClusterEngine::builder().params(params).build().unwrap();
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let mut pts = blobs();
+            pts[7] = Point3::new_2d(bad, 0.0);
+            match engine.run(&pts) {
+                Err(rtcore::Error::InvalidPrimitive { index, .. }) => assert_eq!(index, 7),
+                other => panic!("expected InvalidPrimitive for {bad}, got {other:?}"),
+            }
+            // The session path builds the same index and must reject too.
+            assert!(matches!(
+                engine.session(&pts),
+                Err(rtcore::Error::InvalidPrimitive { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn memory_budget_flows_into_the_index_and_rejects_zero() {
+        use rtcore::fault::MemoryBudget;
+        let err = ClusterEngine::builder()
+            .eps(0.5)
+            .min_pts(3)
+            .memory_budget(MemoryBudget::Bytes(0))
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field, "memory_budget");
+
+        // An impossible (1 byte) budget on a sharded engine degrades all the
+        // way down and then refuses with the structured over-budget error.
+        let pts = blobs();
+        let engine = ClusterEngine::builder()
+            .eps(0.5)
+            .min_pts(5)
+            .shard_size(48)
+            .memory_budget(MemoryBudget::Bytes(1))
+            .build()
+            .unwrap();
+        match engine.run(&pts) {
+            Err(rtcore::Error::OverBudget { requested, budget }) => {
+                assert_eq!(budget, 1);
+                assert!(requested > 1);
+            }
+            other => panic!("expected OverBudget, got {other:?}"),
+        }
+        // A generous budget is a no-op: identical clustering to no budget.
+        let roomy = ClusterEngine::builder()
+            .eps(0.5)
+            .min_pts(5)
+            .shard_size(48)
+            .memory_budget(MemoryBudget::Bytes(u64::MAX))
+            .build()
+            .unwrap();
+        let params = DbscanParams::new(0.5, 5).unwrap();
+        let unbudgeted = ClusterEngine::builder()
+            .eps(0.5)
+            .min_pts(5)
+            .shard_size(48)
+            .build()
+            .unwrap();
+        assert!(same_clustering(
+            &roomy.run(&pts).unwrap().clustering,
+            &unbudgeted.run(&pts).unwrap().clustering,
+            &pts,
+            params
+        ));
     }
 }

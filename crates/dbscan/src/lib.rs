@@ -89,6 +89,7 @@ pub mod prelude {
     pub use crate::params::DbscanParams;
     pub use crate::runner::{DbscanAlgorithm, Phase, PhaseCounters, PhaseTimings, RunResult};
     pub use crate::{ClassicDbscan, CudaDclustPlus, Fdbscan, GDbscan, RtDbscan};
+    pub use rtcore::fault::{CancelScope, CancelToken, Deadline, FaultPlan, MemoryBudget};
     pub use rtcore::index::{
         CsrNeighbors, IndexCapabilities, Neighbor, NeighborFlow, NeighborIndex,
         NeighborIndexBuilder,

@@ -10,11 +10,13 @@
 
 use crate::disjoint_set::{ConcurrentDisjointSet, EpochDisjointSet};
 use crate::labels::NOISE;
+use rtcore::fault::CancelScope;
 use rtcore::geometry::Point3;
 use rtcore::hardware::sat_bump;
 use rtcore::hardware::WorkCounters;
 use rtcore::index::{NeighborFlow, NeighborIndex, ShardSelect, ShardedIndex};
 use rtcore::telemetry::PhaseKind;
+use rtcore::Result;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Stage 1: every point's exact ε-neighbour count (self excluded), answered
@@ -48,6 +50,35 @@ pub(crate) fn count_all_neighbors(
         counts.into_iter().map(AtomicU64::into_inner).collect(),
         counters,
     )
+}
+
+/// [`count_all_neighbors`] under a deadline/cancellation scope.  The counts
+/// launch is cancellable at packet granularity; a trip surfaces as
+/// [`rtcore::Error::DeadlineExceeded`] carrying the work done so far, and
+/// the partially-filled count cells are dropped with this function's stack
+/// frame — a cancelled stage never leaks a wrong answer.
+pub(crate) fn count_all_neighbors_cancellable(
+    index: &dyn NeighborIndex,
+    points: &[Point3],
+    eps: f32,
+    early_exit_min_pts: Option<usize>,
+    scope: &CancelScope,
+) -> Result<(Vec<u64>, WorkCounters)> {
+    let counts: Vec<AtomicU64> = (0..points.len()).map(|_| AtomicU64::new(0)).collect();
+    let mut counters = WorkCounters::ZERO;
+    index.batch_neighbor_counts_cancellable(
+        points,
+        eps,
+        true,
+        early_exit_min_pts.map(|m| m as u64),
+        &mut counters,
+        &counts,
+        scope,
+    )?;
+    Ok((
+        counts.into_iter().map(AtomicU64::into_inner).collect(),
+        counters,
+    ))
 }
 
 /// Stage 2: one query per core point; core neighbours merge through the
@@ -121,6 +152,80 @@ pub(crate) fn form_clusters(
     sat_bump(&mut counters.misc_ops, dup_fixups);
 
     (labels, counters)
+}
+
+/// [`form_clusters`] under a deadline/cancellation scope.
+///
+/// The launch always takes the flat (non-stitched) shape, even over a
+/// sharded backend: the stitched split exists to attribute telemetry, not
+/// correctness — both shapes enumerate the same candidate set, so the
+/// clustering is identical (the counted work may differ, which is why the
+/// uncancellable entry point keeps the stitched path).  A trip surfaces as
+/// [`rtcore::Error::DeadlineExceeded`]; the union-find and claim state
+/// live in this frame, so a cancelled stage discards every partial merge.
+pub(crate) fn form_clusters_cancellable(
+    index: &dyn NeighborIndex,
+    points: &[Point3],
+    core: &[bool],
+    eps: f32,
+    scope: &CancelScope,
+) -> Result<(Vec<i64>, WorkCounters)> {
+    let n = points.len();
+    let core_indices: Vec<u32> = (0..n as u32).filter(|&i| core[i as usize]).collect();
+    let queries: Vec<Point3> = core_indices.iter().map(|&i| points[i as usize]).collect();
+    let dsu = ConcurrentDisjointSet::new(n);
+    let claimed: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+
+    // ordering: identical discipline to `form_clusters` — AcqRel on the
+    // winning border-claim CAS, Relaxed reads after the launch has joined.
+    let mut counters = WorkCounters::ZERO;
+    index.batch_neighbors_cancellable(
+        &queries,
+        eps,
+        &mut counters,
+        &|ordinal, neighbor, _| {
+            let p = core_indices[ordinal] as usize;
+            let q = neighbor.index as usize;
+            if q != p {
+                // Core neighbours always union; border points union only for
+                // the first core that claims them (the CAS is short-circuited
+                // away for cores, so its side effect fires exactly as before).
+                if core[q]
+                    || claimed[q]
+                        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    dsu.union(p, q);
+                }
+            }
+            NeighborFlow::Continue
+        },
+        scope,
+    )?;
+    let (find_ops, union_ops) = dsu.op_counts();
+    sat_bump(&mut counters.find_ops, find_ops);
+    sat_bump(&mut counters.union_ops, union_ops);
+
+    let mut labels: Vec<i64> = (0..n)
+        .map(|i| {
+            if core[i] || claimed[i].load(Ordering::Relaxed) {
+                dsu.find(i) as i64
+            } else {
+                NOISE
+            }
+        })
+        .collect();
+    let mut dup_fixups = 0u64;
+    for i in 0..n {
+        let rep = index.representative_of(i as u32) as usize;
+        if rep != i && labels[i] == NOISE && labels[rep] >= 0 {
+            labels[i] = labels[rep];
+            dup_fixups += 1;
+        }
+    }
+    sat_bump(&mut counters.misc_ops, dup_fixups);
+
+    Ok((labels, counters))
 }
 
 /// Stage 2 over a two-level scene: intra-shard clustering first (one

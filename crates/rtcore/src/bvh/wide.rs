@@ -594,7 +594,7 @@ impl CompactWideNodes {
 
     /// Parallel form of [`CompactWideNodes::from_wide`].
     ///
-    /// [`quantize_node`] is a pure per-node function, so a chunked parallel
+    /// `quantize_node` is a pure per-node function, so a chunked parallel
     /// map over the node array — chunks concatenated in index order —
     /// produces the identical node sequence for every `workers` value.
     pub fn from_wide_parallel(wide: &WideBvh, workers: usize) -> Self {

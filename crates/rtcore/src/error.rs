@@ -1,5 +1,6 @@
 //! Error type shared by the rtcore crate.
 
+use crate::hardware::WorkCounters;
 use std::fmt;
 
 /// Errors produced while building scenes or launching pipelines.
@@ -28,6 +29,31 @@ pub enum Error {
     MissingGeometry,
     /// A configuration value was out of range (for example a zero radius).
     InvalidConfig(String),
+    /// A cancellable launch tripped its deadline or cancel token.
+    ///
+    /// Partial neighbour output is discarded by the driver — the launch
+    /// never surfaces a wrong answer — but `partial` reports the work that
+    /// was performed before the trip so callers can budget retries.
+    DeadlineExceeded {
+        /// Counters for the work completed before cancellation (boxed so
+        /// the error enum stays small on the happy path).
+        partial: Box<WorkCounters>,
+    },
+    /// An operation would exceed the configured [`crate::fault::MemoryBudget`]
+    /// even after every graceful-degradation step (dropping the quantized
+    /// bake, evicting cold shard scenes) was applied.
+    OverBudget {
+        /// Bytes the structure would occupy after the operation.
+        requested: u64,
+        /// The configured budget in bytes.
+        budget: u64,
+    },
+    /// A deterministic failpoint fired (only reachable with the
+    /// `fault-inject` feature and a seeded [`crate::fault::FaultPlan`]).
+    FaultInjected {
+        /// Stable name of the [`crate::fault::FaultSite`] that fired.
+        site: &'static str,
+    },
 }
 
 impl fmt::Display for Error {
@@ -46,6 +72,19 @@ impl fmt::Display for Error {
             ),
             Error::MissingGeometry => write!(f, "pipeline launched without geometry"),
             Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::DeadlineExceeded { partial } => write!(
+                f,
+                "launch cancelled by deadline or token after {} distance computations \
+                 ({} wide-node visits); partial results were discarded",
+                partial.dist_comps, partial.wide_node_visits
+            ),
+            Error::OverBudget { requested, budget } => write!(
+                f,
+                "memory budget exceeded: structure needs {requested} bytes, budget is {budget}"
+            ),
+            Error::FaultInjected { site } => {
+                write!(f, "injected fault fired at site `{site}`")
+            }
         }
     }
 }
@@ -92,5 +131,39 @@ mod tests {
     fn errors_are_comparable() {
         assert_eq!(Error::EmptyScene, Error::EmptyScene);
         assert_ne!(Error::EmptyScene, Error::MissingGeometry);
+    }
+
+    #[test]
+    fn display_deadline_reports_partial_work() {
+        let mut partial = WorkCounters::ZERO;
+        partial.dist_comps = 42;
+        partial.wide_node_visits = 7;
+        let s = Error::DeadlineExceeded {
+            partial: Box::new(partial),
+        }
+        .to_string();
+        assert!(s.contains("42"));
+        assert!(s.contains('7'));
+        assert!(s.contains("discarded"));
+    }
+
+    #[test]
+    fn display_over_budget_mentions_sizes() {
+        let s = Error::OverBudget {
+            requested: 4096,
+            budget: 1024,
+        }
+        .to_string();
+        assert!(s.contains("4096"));
+        assert!(s.contains("1024"));
+    }
+
+    #[test]
+    fn display_fault_injected_names_site() {
+        let s = Error::FaultInjected {
+            site: "hlbvh_build",
+        }
+        .to_string();
+        assert!(s.contains("hlbvh_build"));
     }
 }

@@ -124,6 +124,7 @@ impl Index<usize> for Point3 {
             0 => &self.x,
             1 => &self.y,
             2 => &self.z,
+            // analyze-allow: lib-unwrap -- Index impls cannot return Result; the slice-like bounds panic is documented under # Panics
             _ => panic!("axis index out of range: {axis}"),
         }
     }

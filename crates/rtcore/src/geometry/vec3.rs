@@ -134,6 +134,7 @@ impl std::ops::Index<usize> for Vec3 {
             0 => &self.x,
             1 => &self.y,
             2 => &self.z,
+            // analyze-allow: lib-unwrap -- Index impls cannot return Result; the slice-like bounds panic is documented under # Panics
             _ => panic!("axis index out of range: {axis}"),
         }
     }

@@ -10,7 +10,8 @@ use crate::bvh::{
     compact_coincident, refit, spheres_from_points, Bvh, BvhBuilder, CompactWideNodes, LbvhBuilder,
     MedianSplitBuilder, PrimLanes, SahBuilder, WideBvh, WideLayout,
 };
-use crate::error::Result;
+use crate::error::{Error, Result};
+use crate::fault::{CancelScope, FaultInjector, FaultSite, MemoryBudget};
 use crate::geometry::{Point3, Ray};
 use crate::hardware::sat_bump;
 use crate::hardware::WorkCounters;
@@ -20,7 +21,7 @@ use crate::telemetry::{
     NodeHeatmap, PhaseKind, Telemetry, DIST_COMPS_BUCKETS, LATENCY_US_BUCKETS, OCCUPANCY_BUCKETS,
 };
 use crate::traversal::{
-    traverse_batch_runs_with_scratch_sink, traverse_batch_scene_with_scratch_sink,
+    traverse_batch_runs_with_scratch_sink_cancel, traverse_batch_scene_with_scratch_sink,
     traverse_wide_scene_with_scratch_sink, traverse_with_scratch_sink, LeafVisit, NoSink,
     QueryOrder, ReorderScratch, ScratchPool, Traversal, TraversalScratch, WideScene,
 };
@@ -645,14 +646,20 @@ pub struct WideBatchedIndex {
     /// [`crate::telemetry::TelemetryConfig::Profile`].  Both node layouts
     /// mirror each other's order, so one heatmap serves either.
     heatmap: Option<NodeHeatmap>,
+    /// Deterministic failpoint handle (disarmed under
+    /// [`crate::fault::FaultPlan::Off`], where probes cost nothing).
+    fault: FaultInjector,
 }
 
 impl WideBatchedIndex {
     /// Build from a [`NeighborIndexBuilder`] configuration (the builder's
     /// `kind` field is ignored — this constructor always builds wide).
     pub fn build(config: &NeighborIndexBuilder, points: &[Point3], eps: f32) -> Result<Self> {
+        let fault = FaultInjector::new(config.fault);
+        crate::fail_point!(fault, FaultSite::HlbvhBuild);
         let mut core = BvhCore::build(config, points, eps)?;
         let build_workers = config.build_parallelism.resolved();
+        crate::fail_point!(fault, FaultSite::Bvh4Collapse);
         let wide = {
             let mut span = core.telemetry.span(PhaseKind::Bvh4Collapse);
             let wide = core
@@ -666,10 +673,138 @@ impl WideBatchedIndex {
             }
             wide
         };
+        if config.wide_layout == WideLayout::Quantized {
+            crate::fail_point!(fault, FaultSite::QuantizedBake);
+        }
         let compact = match (config.wide_layout, &wide) {
             (WideLayout::Quantized, Some(w)) => {
                 let mut span = core.telemetry.span(PhaseKind::QuantizedBake);
                 // Re-encoding the node array is one more device-build pass.
+                sat_bump(
+                    &mut core.build_counters.build_node_ops,
+                    w.node_count() as u64,
+                );
+                span.add_counters(WorkCounters {
+                    build_node_ops: w.node_count() as u64,
+                    ..WorkCounters::ZERO
+                });
+                Some(CompactWideNodes::from_wide_parallel(w, build_workers))
+            }
+            _ => None,
+        };
+        let lanes = wide
+            .as_ref()
+            .map(|w| PrimLanes::from_primitives(&w.primitives));
+        let heatmap = config
+            .telemetry
+            .heatmap_enabled()
+            .then(|| wide.as_ref().map(NodeHeatmap::for_wide))
+            .flatten();
+        let mut this = WideBatchedIndex {
+            core,
+            wide,
+            compact,
+            lanes,
+            layout: config.wide_layout,
+            query_order: config.query_order,
+            simd: config.simd.resolve(),
+            batch_size: config.batch_size.max(1),
+            build_workers,
+            reorder: ScratchPool::new(),
+            heatmap,
+            fault,
+        };
+        this.enforce_budget(config.memory_budget)?;
+        Ok(this)
+    }
+
+    /// Enforce a [`MemoryBudget`] on the built structure.  Degradation
+    /// order: drop the quantized bake (queries fall back to the exact
+    /// full-precision layout — identical answers, conservative-hit work
+    /// differences only), then refuse with [`Error::OverBudget`].
+    fn enforce_budget(&mut self, budget: MemoryBudget) -> Result<()> {
+        let Some(limit) = budget.limit() else {
+            return Ok(());
+        };
+        if self.device_bytes() <= limit {
+            return Ok(());
+        }
+        {
+            // Clone the handle so the span outlives the &mut self call.
+            let telemetry = self.core.telemetry.clone();
+            let mut span = telemetry.span(PhaseKind::Degrade);
+            let freed_nodes = self.compact.as_ref().map_or(0, |c| c.nodes.len() as u64);
+            self.drop_quantized_bake();
+            span.add_counters(WorkCounters {
+                misc_ops: freed_nodes,
+                ..WorkCounters::ZERO
+            });
+        }
+        let bytes = self.device_bytes();
+        if bytes <= limit {
+            Ok(())
+        } else {
+            Err(Error::OverBudget {
+                requested: bytes,
+                budget: limit,
+            })
+        }
+    }
+
+    /// Drop the quantized node mirror (graceful-degradation step 1),
+    /// returning the bytes freed.  The launch path falls back to the
+    /// full-precision layout permanently — refits will not re-bake.
+    pub(crate) fn drop_quantized_bake(&mut self) -> u64 {
+        let freed = self
+            .compact
+            .as_ref()
+            .map_or(0, CompactWideNodes::device_bytes);
+        if freed > 0 {
+            self.compact = None;
+            self.layout = WideLayout::F32;
+        }
+        freed
+    }
+
+    /// True while the quantized node mirror is resident.
+    pub fn has_quantized_bake(&self) -> bool {
+        self.compact.is_some()
+    }
+
+    /// Wrap an already-built binary tree (a shard's BLAS) into the wide
+    /// batched engine: collapse to BVH4 (and bake the quantized mirror when
+    /// configured) exactly as [`WideBatchedIndex::build`] does, but skip the
+    /// compaction/builder front end — the sharded scene ran those globally.
+    /// Spans open on the calling thread, so per-shard parallel builds are
+    /// visible in the trace through their thread ids.
+    pub(crate) fn from_prebuilt(
+        config: &NeighborIndexBuilder,
+        bvh: Bvh,
+        eps: f32,
+        telemetry: Telemetry,
+    ) -> Result<Self> {
+        let fault = FaultInjector::new(config.fault);
+        let mut core = BvhCore::from_prebuilt(config, bvh, eps, telemetry);
+        let build_workers = config.build_parallelism.resolved();
+        crate::fail_point!(fault, FaultSite::Bvh4Collapse);
+        let wide = {
+            let mut span = core.telemetry.span(PhaseKind::Bvh4Collapse);
+            let wide = core
+                .bvh
+                .as_ref()
+                .map(|b| WideBvh::from_binary_parallel(b, build_workers, &core.telemetry));
+            if let Some(w) = &wide {
+                core.build_counters += w.collapse_counters;
+                span.add_counters(w.collapse_counters);
+            }
+            wide
+        };
+        if config.wide_layout == WideLayout::Quantized {
+            crate::fail_point!(fault, FaultSite::QuantizedBake);
+        }
+        let compact = match (config.wide_layout, &wide) {
+            (WideLayout::Quantized, Some(w)) => {
+                let mut span = core.telemetry.span(PhaseKind::QuantizedBake);
                 sat_bump(
                     &mut core.build_counters.build_node_ops,
                     w.node_count() as u64,
@@ -702,71 +837,8 @@ impl WideBatchedIndex {
             build_workers,
             reorder: ScratchPool::new(),
             heatmap,
+            fault,
         })
-    }
-
-    /// Wrap an already-built binary tree (a shard's BLAS) into the wide
-    /// batched engine: collapse to BVH4 (and bake the quantized mirror when
-    /// configured) exactly as [`WideBatchedIndex::build`] does, but skip the
-    /// compaction/builder front end — the sharded scene ran those globally.
-    /// Spans open on the calling thread, so per-shard parallel builds are
-    /// visible in the trace through their thread ids.
-    pub(crate) fn from_prebuilt(
-        config: &NeighborIndexBuilder,
-        bvh: Bvh,
-        eps: f32,
-        telemetry: Telemetry,
-    ) -> Self {
-        let mut core = BvhCore::from_prebuilt(config, bvh, eps, telemetry);
-        let build_workers = config.build_parallelism.resolved();
-        let wide = {
-            let mut span = core.telemetry.span(PhaseKind::Bvh4Collapse);
-            let wide = core
-                .bvh
-                .as_ref()
-                .map(|b| WideBvh::from_binary_parallel(b, build_workers, &core.telemetry));
-            if let Some(w) = &wide {
-                core.build_counters += w.collapse_counters;
-                span.add_counters(w.collapse_counters);
-            }
-            wide
-        };
-        let compact = match (config.wide_layout, &wide) {
-            (WideLayout::Quantized, Some(w)) => {
-                let mut span = core.telemetry.span(PhaseKind::QuantizedBake);
-                sat_bump(
-                    &mut core.build_counters.build_node_ops,
-                    w.node_count() as u64,
-                );
-                span.add_counters(WorkCounters {
-                    build_node_ops: w.node_count() as u64,
-                    ..WorkCounters::ZERO
-                });
-                Some(CompactWideNodes::from_wide_parallel(w, build_workers))
-            }
-            _ => None,
-        };
-        let lanes = wide
-            .as_ref()
-            .map(|w| PrimLanes::from_primitives(&w.primitives));
-        let heatmap = config
-            .telemetry
-            .heatmap_enabled()
-            .then(|| wide.as_ref().map(NodeHeatmap::for_wide))
-            .flatten();
-        WideBatchedIndex {
-            core,
-            wide,
-            compact,
-            lanes,
-            layout: config.wide_layout,
-            query_order: config.query_order,
-            simd: config.simd.resolve(),
-            batch_size: config.batch_size.max(1),
-            build_workers,
-            reorder: ScratchPool::new(),
-            heatmap,
-        }
     }
 
     /// The collapsed wide scene, if any points were indexed.
@@ -858,6 +930,7 @@ impl WideBatchedIndex {
     /// performed nor its accounting depends on how packets are scheduled.
     /// `ordered` is the launch-order query array and `perm` maps packet
     /// positions back to caller ordinals (None = identity).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn trace_packet(
         &self,
         ordered: &[Point3],
@@ -866,11 +939,16 @@ impl WideBatchedIndex {
         len: usize,
         eps: f32,
         sink: &NeighborSink<'_>,
+        cancel: Option<&CancelScope>,
     ) -> WorkCounters {
         let mut counters = WorkCounters::ZERO;
         let Some(scene) = self.scene() else {
             return counters;
         };
+        // Packet granularity: a tripped scope skips the whole packet.
+        if cancel.is_some_and(CancelScope::tripped) {
+            return counters;
+        }
         sat_bump(&mut counters.rays, len as u64);
         let packet_queries = &ordered[start..start + len];
         let mut guard = self.core.scratch.acquire();
@@ -889,6 +967,7 @@ impl WideBatchedIndex {
                 &mut counters,
                 self.simd,
                 vsink,
+                cancel,
                 |q, sphere, counters| {
                     charge_candidate(geometry, counters);
                     if sphere.center.distance_squared(packet_queries[q]) <= eps_sq {
@@ -929,12 +1008,17 @@ impl WideBatchedIndex {
         exclude_self: bool,
         early_exit: Option<u64>,
         counts: &[std::sync::atomic::AtomicU64],
+        cancel: Option<&CancelScope>,
     ) -> WorkCounters {
         use std::sync::atomic::Ordering;
         let mut counters = WorkCounters::ZERO;
         let Some(scene) = self.scene() else {
             return counters;
         };
+        // Packet granularity: a tripped scope skips the whole packet.
+        if cancel.is_some_and(CancelScope::tripped) {
+            return counters;
+        }
         sat_bump(&mut counters.rays, len as u64);
         let packet_queries = &ordered[start..start + len];
         let mut guard = self.core.scratch.acquire();
@@ -961,13 +1045,14 @@ impl WideBatchedIndex {
             let lanes = self.lanes.as_ref().expect("lanes exist with the scene");
             let simd = self.simd;
             with_sink!(self.heatmap.as_ref(), |vsink| {
-                traverse_batch_runs_with_scratch_sink(
+                traverse_batch_runs_with_scratch_sink_cancel(
                     scene,
                     rays,
                     trav,
                     &mut counters,
                     simd,
                     vsink,
+                    cancel,
                     {
                         let local = &mut *local;
                         move |q, first, count, counters| {
@@ -1000,6 +1085,7 @@ impl WideBatchedIndex {
                 &mut counters,
                 self.simd,
                 self.heatmap.as_ref(),
+                cancel,
                 |q| {
                     if exclude_self {
                         self.representative_of(caller_ordinal(perm, start + q) as u32)
@@ -1025,6 +1111,102 @@ impl WideBatchedIndex {
         }
         counters
     }
+
+    /// The shared batched-callback launch body: Morton reorder, fixed
+    /// packet boundaries, deterministic per-chunk counter merge.  `cancel`
+    /// is a runtime parameter — `None` compiles to the exact pre-deadline
+    /// launch, and the dispatch shape (hence counter merge order) is
+    /// identical either way.  Returns the launch total; the caller decides
+    /// whether to surface it (success) or fold it into
+    /// [`Error::DeadlineExceeded`] (trip).
+    fn batch_neighbors_impl(
+        &self,
+        queries: &[Point3],
+        eps: f32,
+        sink: &NeighborSink<'_>,
+        cancel: Option<&CancelScope>,
+    ) -> WorkCounters {
+        debug_assert!(eps <= self.core.eps, "query radius exceeds build radius");
+        // Morton launch order (if configured): the guard keeps the permuted
+        // buffers alive across the parallel dispatch; sinks still see
+        // caller ordinals.
+        let mut setup = WorkCounters::ZERO;
+        let reorder = self.morton_guard(queries, &mut setup);
+        let (ordered, perm): (&[Point3], Option<&[u32]>) = match reorder.as_deref() {
+            Some(g) => (&g.points, Some(&g.perm)),
+            None => (queries, None),
+        };
+        // Fixed packet boundaries, derived arithmetically — no materialised
+        // range list on the launch path.
+        let start_ns = self.core.telemetry.now_ns();
+        let packets = queries.len().div_ceil(self.batch_size);
+        let mut total = super::dispatch_batch(
+            packets,
+            queries.len() >= self.core.min_parallel_launch,
+            |packet| {
+                let start = packet * self.batch_size;
+                let len = self.batch_size.min(queries.len() - start);
+                self.trace_packet(ordered, perm, start, len, eps, sink, cancel)
+            },
+        );
+        total += setup;
+        self.core
+            .record_launch_metrics(queries.len(), Some(self.batch_size), start_ns, &total);
+        self.core.record(&total);
+        total
+    }
+
+    /// The shared count-mode launch body (see
+    /// [`WideBatchedIndex::batch_neighbors_impl`] for the cancel
+    /// semantics).
+    fn batch_neighbor_counts_impl(
+        &self,
+        queries: &[Point3],
+        eps: f32,
+        exclude_self: bool,
+        early_exit: Option<u64>,
+        counts: &[std::sync::atomic::AtomicU64],
+        cancel: Option<&CancelScope>,
+    ) -> WorkCounters {
+        debug_assert!(eps <= self.core.eps, "query radius exceeds build radius");
+        assert_eq!(
+            queries.len(),
+            counts.len(),
+            "one count cell per launched query"
+        );
+        let mut setup = WorkCounters::ZERO;
+        let reorder = self.morton_guard(queries, &mut setup);
+        let (ordered, perm): (&[Point3], Option<&[u32]>) = match reorder.as_deref() {
+            Some(g) => (&g.points, Some(&g.perm)),
+            None => (queries, None),
+        };
+        let start_ns = self.core.telemetry.now_ns();
+        let packets = queries.len().div_ceil(self.batch_size);
+        let mut total = super::dispatch_batch(
+            packets,
+            queries.len() >= self.core.min_parallel_launch,
+            |packet| {
+                let start = packet * self.batch_size;
+                let len = self.batch_size.min(queries.len() - start);
+                self.trace_count_packet(
+                    ordered,
+                    perm,
+                    start,
+                    len,
+                    eps,
+                    exclude_self,
+                    early_exit,
+                    counts,
+                    cancel,
+                )
+            },
+        );
+        total += setup;
+        self.core
+            .record_launch_metrics(queries.len(), Some(self.batch_size), start_ns, &total);
+        self.core.record(&total);
+        total
+    }
 }
 
 /// The hoisted-candidate count launch shared by [`WideBatchedIndex`]'s
@@ -1039,6 +1221,7 @@ fn traversal_count_launch(
     counters: &mut WorkCounters,
     simd: SimdLevel,
     heatmap: Option<&NodeHeatmap>,
+    cancel: Option<&CancelScope>,
     rep_of: impl Fn(usize) -> u32,
     packet_queries: &[Point3],
     local: &mut [u64],
@@ -1048,52 +1231,55 @@ fn traversal_count_launch(
     early_exit: Option<u64>,
 ) {
     let all_prims = scene.primitives();
-    with_sink!(heatmap, |vsink| traverse_batch_runs_with_scratch_sink(
-        scene,
-        rays,
-        trav,
-        counters,
-        simd,
-        vsink,
-        |q, first, count, counters| {
-            let prims = &all_prims[first as usize..(first + count) as usize];
-            charge_candidates(geometry, prims.len() as u64, counters);
-            let query = packet_queries[q];
-            let rep = rep_of(q);
-            let count = &mut local[q];
-            let mut visited = 0u32;
-            for prim in prims {
-                visited += 1;
-                if prim.center.distance_squared(query) <= eps_sq {
-                    let own_group = exclude_self && prim.point_index == rep;
-                    let add = if own_group {
-                        prim.multiplicity.saturating_sub(1) as u64
-                    } else {
-                        prim.multiplicity as u64
-                    };
-                    if add > 0 {
-                        *count += add;
-                        if let Some(min) = early_exit {
-                            if *count >= min {
-                                // The rest of the run is never tested; give its
-                                // hoisted charge back.
-                                uncharge_candidates(
-                                    geometry,
-                                    (prims.len() - visited as usize) as u64,
-                                    counters,
-                                );
-                                return LeafVisit {
-                                    visited,
-                                    terminate: true,
-                                };
+    with_sink!(heatmap, |vsink| {
+        traverse_batch_runs_with_scratch_sink_cancel(
+            scene,
+            rays,
+            trav,
+            counters,
+            simd,
+            vsink,
+            cancel,
+            |q, first, count, counters| {
+                let prims = &all_prims[first as usize..(first + count) as usize];
+                charge_candidates(geometry, prims.len() as u64, counters);
+                let query = packet_queries[q];
+                let rep = rep_of(q);
+                let count = &mut local[q];
+                let mut visited = 0u32;
+                for prim in prims {
+                    visited += 1;
+                    if prim.center.distance_squared(query) <= eps_sq {
+                        let own_group = exclude_self && prim.point_index == rep;
+                        let add = if own_group {
+                            prim.multiplicity.saturating_sub(1) as u64
+                        } else {
+                            prim.multiplicity as u64
+                        };
+                        if add > 0 {
+                            *count += add;
+                            if let Some(min) = early_exit {
+                                if *count >= min {
+                                    // The rest of the run is never tested; give its
+                                    // hoisted charge back.
+                                    uncharge_candidates(
+                                        geometry,
+                                        (prims.len() - visited as usize) as u64,
+                                        counters,
+                                    );
+                                    return LeafVisit {
+                                        visited,
+                                        terminate: true,
+                                    };
+                                }
                             }
                         }
                     }
                 }
-            }
-            LeafVisit::all(prims)
-        },
-    ));
+                LeafVisit::all(prims)
+            },
+        )
+    });
 }
 
 impl NeighborIndex for WideBatchedIndex {
@@ -1188,34 +1374,38 @@ impl NeighborIndex for WideBatchedIndex {
         counters: &mut WorkCounters,
         sink: &NeighborSink<'_>,
     ) {
-        debug_assert!(eps <= self.core.eps, "query radius exceeds build radius");
-        // Morton launch order (if configured): the guard keeps the permuted
-        // buffers alive across the parallel dispatch; sinks still see
-        // caller ordinals.
-        let mut setup = WorkCounters::ZERO;
-        let reorder = self.morton_guard(queries, &mut setup);
-        let (ordered, perm): (&[Point3], Option<&[u32]>) = match reorder.as_deref() {
-            Some(g) => (&g.points, Some(&g.perm)),
-            None => (queries, None),
-        };
-        // Fixed packet boundaries, derived arithmetically — no materialised
-        // range list on the launch path.
-        let start_ns = self.core.telemetry.now_ns();
-        let packets = queries.len().div_ceil(self.batch_size);
-        let mut total = super::dispatch_batch(
-            packets,
-            queries.len() >= self.core.min_parallel_launch,
-            |packet| {
-                let start = packet * self.batch_size;
-                let len = self.batch_size.min(queries.len() - start);
-                self.trace_packet(ordered, perm, start, len, eps, sink)
-            },
-        );
-        total += setup;
-        self.core
-            .record_launch_metrics(queries.len(), Some(self.batch_size), start_ns, &total);
-        self.core.record(&total);
+        let total = self.batch_neighbors_impl(queries, eps, sink, None);
         *counters += total;
+    }
+
+    fn batch_neighbors_cancellable(
+        &self,
+        queries: &[Point3],
+        eps: f32,
+        counters: &mut WorkCounters,
+        sink: &NeighborSink<'_>,
+        scope: &CancelScope,
+    ) -> Result<()> {
+        crate::fail_point!(self.fault, FaultSite::ScratchGrow);
+        if self.fault.fire(FaultSite::LaunchDelay) {
+            // A delayed launch blows its deadline instead of erroring.
+            scope.trip();
+        }
+        if scope.should_stop() {
+            return Err(Error::DeadlineExceeded {
+                // analyze-allow: hot-path-alloc -- boxing the partial counters happens only on the cancelled error path, never in steady state
+                partial: Box::new(WorkCounters::ZERO),
+            });
+        }
+        let total = self.batch_neighbors_impl(queries, eps, sink, Some(scope));
+        if scope.tripped() {
+            return Err(Error::DeadlineExceeded {
+                // analyze-allow: hot-path-alloc -- boxing the partial counters happens only on the cancelled error path, never in steady state
+                partial: Box::new(total),
+            });
+        }
+        *counters += total;
+        Ok(())
     }
 
     fn batch_neighbor_counts(
@@ -1227,43 +1417,47 @@ impl NeighborIndex for WideBatchedIndex {
         counters: &mut WorkCounters,
         counts: &[std::sync::atomic::AtomicU64],
     ) {
-        debug_assert!(eps <= self.core.eps, "query radius exceeds build radius");
-        assert_eq!(
-            queries.len(),
-            counts.len(),
-            "one count cell per launched query"
-        );
-        let mut setup = WorkCounters::ZERO;
-        let reorder = self.morton_guard(queries, &mut setup);
-        let (ordered, perm): (&[Point3], Option<&[u32]>) = match reorder.as_deref() {
-            Some(g) => (&g.points, Some(&g.perm)),
-            None => (queries, None),
-        };
-        let start_ns = self.core.telemetry.now_ns();
-        let packets = queries.len().div_ceil(self.batch_size);
-        let mut total = super::dispatch_batch(
-            packets,
-            queries.len() >= self.core.min_parallel_launch,
-            |packet| {
-                let start = packet * self.batch_size;
-                let len = self.batch_size.min(queries.len() - start);
-                self.trace_count_packet(
-                    ordered,
-                    perm,
-                    start,
-                    len,
-                    eps,
-                    exclude_self,
-                    early_exit,
-                    counts,
-                )
-            },
-        );
-        total += setup;
-        self.core
-            .record_launch_metrics(queries.len(), Some(self.batch_size), start_ns, &total);
-        self.core.record(&total);
+        let total =
+            self.batch_neighbor_counts_impl(queries, eps, exclude_self, early_exit, counts, None);
         *counters += total;
+    }
+
+    fn batch_neighbor_counts_cancellable(
+        &self,
+        queries: &[Point3],
+        eps: f32,
+        exclude_self: bool,
+        early_exit: Option<u64>,
+        counters: &mut WorkCounters,
+        counts: &[std::sync::atomic::AtomicU64],
+        scope: &CancelScope,
+    ) -> Result<()> {
+        crate::fail_point!(self.fault, FaultSite::ScratchGrow);
+        if self.fault.fire(FaultSite::LaunchDelay) {
+            scope.trip();
+        }
+        if scope.should_stop() {
+            return Err(Error::DeadlineExceeded {
+                // analyze-allow: hot-path-alloc -- boxing the partial counters happens only on the cancelled error path, never in steady state
+                partial: Box::new(WorkCounters::ZERO),
+            });
+        }
+        let total = self.batch_neighbor_counts_impl(
+            queries,
+            eps,
+            exclude_self,
+            early_exit,
+            counts,
+            Some(scope),
+        );
+        if scope.tripped() {
+            return Err(Error::DeadlineExceeded {
+                // analyze-allow: hot-path-alloc -- boxing the partial counters happens only on the cancelled error path, never in steady state
+                partial: Box::new(total),
+            });
+        }
+        *counters += total;
+        Ok(())
     }
 
     fn batch_neighbors_csr_into(
@@ -1314,13 +1508,14 @@ impl NeighborIndex for WideBatchedIndex {
                 let eps_sq = eps * eps;
                 let geometry = self.core.geometry;
                 with_sink!(self.heatmap.as_ref(), |vsink| {
-                    traverse_batch_runs_with_scratch_sink(
+                    traverse_batch_runs_with_scratch_sink_cancel(
                         scene,
                         rays,
                         trav,
                         &mut local,
                         self.simd,
                         vsink,
+                        None,
                         |q, first, count, c| {
                             let prims = &all_prims[first as usize..(first + count) as usize];
                             charge_candidates(geometry, prims.len() as u64, c);

@@ -54,7 +54,7 @@ pub use brute::BruteForceIndex;
 pub use bvh_backend::{BinaryBvhIndex, WideBatchedIndex};
 pub use csr::CsrNeighbors;
 pub use grid::UniformGridIndex;
-pub use sharded::{ShardSelect, ShardedIndex};
+pub use sharded::{QuarantineReason, RecoveryStats, ShardSelect, ShardedIndex};
 
 pub use crate::bvh::{BuildParallelism, ShardingConfig, WideLayout};
 pub use crate::simd::SimdPolicy;
@@ -62,6 +62,7 @@ pub use crate::traversal::QueryOrder;
 
 use crate::bvh::BuilderKind;
 use crate::error::{Error, Result};
+use crate::fault::{CancelScope, FaultPlan, MemoryBudget};
 use crate::geometry::Point3;
 use crate::hardware::sat_bump;
 use crate::hardware::WorkCounters;
@@ -278,6 +279,62 @@ pub trait NeighborIndex: std::fmt::Debug + Send + Sync {
         });
     }
 
+    /// [`NeighborIndex::batch_neighbors`] under a [`CancelScope`]: the
+    /// launch winds down cooperatively once the scope's deadline passes or
+    /// its token is cancelled, returning [`Error::DeadlineExceeded`] with
+    /// the counters of the work performed.  **On error the sink may have
+    /// seen a partial, arbitrary subset of emissions — callers must discard
+    /// everything it collected.**  On success, behaviour, output and the
+    /// counters added to `counters` are bit-identical to
+    /// [`NeighborIndex::batch_neighbors`] (with [`CancelScope::none`] the
+    /// identity is unconditional).
+    ///
+    /// This default checks the scope at launch granularity; the packeted
+    /// backends override it with per-packet and wide-node-frontier checks.
+    fn batch_neighbors_cancellable(
+        &self,
+        queries: &[Point3],
+        eps: f32,
+        counters: &mut WorkCounters,
+        sink: &NeighborSink<'_>,
+        scope: &CancelScope,
+    ) -> Result<()> {
+        if scope.should_stop() {
+            return Err(Error::DeadlineExceeded {
+                partial: Box::new(WorkCounters::ZERO),
+            });
+        }
+        // A trip during the uncancellable inner launch is only noticed on
+        // the next call; the completed answer is correct, so return it.
+        self.batch_neighbors(queries, eps, counters, sink);
+        Ok(())
+    }
+
+    /// [`NeighborIndex::batch_neighbor_counts`] under a [`CancelScope`]
+    /// (see [`NeighborIndex::batch_neighbors_cancellable`] for the
+    /// semantics).  **On error the `counts` cells hold garbage** — a
+    /// partial, launch-order-dependent subset of the tallies — and must be
+    /// zeroed before reuse.
+    #[allow(clippy::too_many_arguments)]
+    fn batch_neighbor_counts_cancellable(
+        &self,
+        queries: &[Point3],
+        eps: f32,
+        exclude_self: bool,
+        early_exit: Option<u64>,
+        counters: &mut WorkCounters,
+        counts: &[std::sync::atomic::AtomicU64],
+        scope: &CancelScope,
+    ) -> Result<()> {
+        if scope.should_stop() {
+            return Err(Error::DeadlineExceeded {
+                partial: Box::new(WorkCounters::ZERO),
+            });
+        }
+        self.batch_neighbor_counts(queries, eps, exclude_self, early_exit, counters, counts);
+        Ok(())
+    }
+
     /// Answer many queries at once in **CSR output mode**: the neighbour
     /// lists land in `out` as flat `offsets` + `indices` arrays (rebuilt in
     /// place, reusing `out`'s capacity) instead of flowing through a
@@ -358,6 +415,14 @@ pub trait NeighborIndex: std::fmt::Debug + Send + Sync {
     /// Engine stages use this to route stage 2 through the cross-shard
     /// stitching launches instead of one flat launch.
     fn as_sharded(&self) -> Option<&ShardedIndex> {
+        None
+    }
+
+    /// Mutable downcast to the sharded backend — the entry point for the
+    /// recovery verbs ([`ShardedIndex::quarantine_shard`],
+    /// [`ShardedIndex::recover`], [`ShardedIndex::enforce_budget`]) that
+    /// need `&mut` access.  `None` for every other kind.
+    fn as_sharded_mut(&mut self) -> Option<&mut ShardedIndex> {
         None
     }
 
@@ -561,6 +626,19 @@ pub struct NeighborIndexBuilder {
     /// assert!(index.as_sharded().unwrap().shard_count() > 1);
     /// ```
     pub sharding: Option<ShardingConfig>,
+    /// Simulated device-memory budget for the built structure.  On
+    /// pressure the build degrades gracefully in documented order — drop
+    /// the quantized bake, evict the coldest shard BLAS to
+    /// rebuild-on-demand — before refusing with [`Error::OverBudget`].
+    /// Degradations are observable under
+    /// [`crate::telemetry::PhaseKind::Degrade`] spans.  The default is
+    /// [`MemoryBudget::Unlimited`], which changes nothing.
+    pub memory_budget: MemoryBudget,
+    /// Deterministic fault-injection schedule threaded to the built
+    /// index's failpoints (see [`crate::fault`]).  Only probed when the
+    /// `fault-inject` cargo feature is compiled in; the default
+    /// [`FaultPlan::Off`] arms nothing either way.
+    pub fault: FaultPlan,
 }
 
 impl NeighborIndexBuilder {
@@ -580,6 +658,8 @@ impl NeighborIndexBuilder {
             build_parallelism: BuildParallelism::Sequential,
             telemetry: TelemetryConfig::Off,
             sharding: None,
+            memory_budget: MemoryBudget::Unlimited,
+            fault: FaultPlan::Off,
         }
     }
 

@@ -21,6 +21,10 @@
 //!   converts those counts into simulated execution time for an RT-core
 //!   device (RTX-2060-like) or a shader-core-only device, together with a
 //!   simulated device-memory budget.
+//! * [`fault`] — the robustness substrate: deterministic failpoints
+//!   (`fault-inject` feature), query deadlines and cooperative
+//!   cancellation, memory budgets with graceful degradation, and bounded
+//!   retry policies.
 //! * [`index`] — the pluggable neighbour-search backend layer: the
 //!   [`index::NeighborIndex`] trait with binary-BVH, wide-batched (BVH4),
 //!   uniform-grid and brute-force implementations, all answering the same
@@ -54,6 +58,7 @@
 
 pub mod bvh;
 pub mod error;
+pub mod fault;
 pub mod geometry;
 pub mod hardware;
 pub mod index;

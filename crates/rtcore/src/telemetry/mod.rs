@@ -142,11 +142,15 @@ pub enum PhaseKind {
     /// Cross-shard boundary pass merging clusters through the epoch
     /// union-find so sharded labels match the flat path.
     ShardStitch,
+    /// A graceful-degradation step under memory pressure or fault
+    /// recovery: dropping the quantized bake, evicting or quarantining a
+    /// shard BLAS, or rebuilding one from quarantine.
+    Degrade,
 }
 
 impl PhaseKind {
     /// Every phase, in taxonomy order.
-    pub const ALL: [PhaseKind; 12] = [
+    pub const ALL: [PhaseKind; 13] = [
         PhaseKind::LbvhBuild,
         PhaseKind::Bvh4Collapse,
         PhaseKind::QuantizedBake,
@@ -159,6 +163,7 @@ impl PhaseKind {
         PhaseKind::TlasBuild,
         PhaseKind::TlasVisit,
         PhaseKind::ShardStitch,
+        PhaseKind::Degrade,
     ];
 
     /// Stable snake_case name used in trace events and summaries.
@@ -176,6 +181,7 @@ impl PhaseKind {
             PhaseKind::TlasBuild => "tlas_build",
             PhaseKind::TlasVisit => "tlas_visit",
             PhaseKind::ShardStitch => "shard_stitch",
+            PhaseKind::Degrade => "degrade",
         }
     }
 }

@@ -33,6 +33,7 @@
 
 use crate::window::{StreamingConfig, WindowPolicy};
 use rtcore::bvh::{refit, Bvh, BvhBuilder, LbvhBuilder, TreeHealth, WideBvh};
+use rtcore::fault::{CancelScope, FaultInjector, FaultSite};
 use rtcore::geometry::{Point3, Ray, Sphere};
 use rtcore::hardware::sat_bump;
 use rtcore::hardware::WorkCounters;
@@ -102,6 +103,15 @@ pub struct StreamingStats {
     pub clean_snapshots: u64,
     /// Snapshots that had to re-form the partition (stage-2 pass).
     pub dirty_snapshots: u64,
+    /// Failed main-scene build attempts that were retried in-call.
+    pub rebuild_retries: u64,
+    /// Rebuilds that exhausted every in-call attempt and degraded (the old
+    /// scene, overlays and tail kept answering; a backoff defers the next
+    /// attempt).
+    pub rebuild_failures: u64,
+    /// Tail compactions deferred by a failed delta build (the tail stays
+    /// pending and is scanned exactly until a later pass succeeds).
+    pub compaction_deferrals: u64,
 }
 
 /// Sliding-window density clusterer over the ray-tracing substrate.
@@ -196,6 +206,15 @@ pub struct StreamingClusterer {
     stats: StreamingStats,
     /// Phase-span recorder (no-op under the default `TelemetryConfig::Off`).
     telemetry: Telemetry,
+    /// Deterministic fault injector (disarmed under `FaultPlan::Off` or
+    /// without the `fault-inject` feature; every probe is then one branch).
+    fault: FaultInjector,
+    /// Ingest calls left before a failed rebuild may be retried
+    /// (exponential backoff from [`StreamingConfig::rebuild_retry`]).
+    rebuild_backoff: u64,
+    /// Consecutive exhausted rebuilds; drives the backoff exponent, reset
+    /// by the first successful rebuild.
+    rebuild_fail_streak: u32,
 
     /// Scratch buffers reused across calls.
     hits_scratch: Vec<u32>,
@@ -238,6 +257,9 @@ impl StreamingClusterer {
             stage2_counters: WorkCounters::ZERO,
             stats: StreamingStats::default(),
             telemetry: Telemetry::new(config.telemetry),
+            fault: FaultInjector::new(config.fault),
+            rebuild_backoff: 0,
+            rebuild_fail_streak: 0,
             hits_scratch: Vec::new(),
             flips_scratch: Vec::new(),
             repair_rays: Vec::new(),
@@ -329,6 +351,18 @@ impl StreamingClusterer {
                 return Err(rtcore::Error::InvalidPrimitive {
                     index,
                     reason: format!("non-finite ingest point or timestamp ({point:?} @ {time})"),
+                });
+            }
+        }
+        if !self.config.memory_budget.allows(self.device_bytes()) {
+            // Degrade before refusing: shed the cached wide collapse of the
+            // main scene (snapshot repair recollapses it lazily when next
+            // needed — correctness is unaffected, only repair speed).
+            self.wide_scene = None;
+            if !self.config.memory_budget.allows(self.device_bytes()) {
+                return Err(rtcore::Error::OverBudget {
+                    requested: self.device_bytes(),
+                    budget: self.config.memory_budget.limit().unwrap_or(0),
                 });
             }
         }
@@ -571,9 +605,24 @@ impl StreamingClusterer {
     const MAX_DELTAS: usize = 8;
 
     fn maintain_scene(&mut self) -> (bool, bool) {
-        if self.needs_rebuild() {
-            self.rebuild_scene();
-            return (false, true);
+        if self.rebuild_backoff > 0 {
+            // A recent rebuild exhausted its attempts; wait out the backoff
+            // before trying again.  Refit and tail compaction below still
+            // maintain what they can.
+            self.rebuild_backoff -= 1;
+        } else if self.needs_rebuild() {
+            if self.rebuild_scene() {
+                self.rebuild_fail_streak = 0;
+                return (false, true);
+            }
+            // Degrade: the old scene, delta overlays and exact tail scan
+            // keep answering correctly (just slower); retry later with
+            // exponential backoff.
+            self.rebuild_fail_streak = self.rebuild_fail_streak.saturating_add(1);
+            self.rebuild_backoff = self
+                .config
+                .rebuild_retry
+                .backoff_ticks(self.rebuild_fail_streak);
         }
         let mut refitted = false;
         if let Some(scene) = self.scene.as_mut() {
@@ -623,10 +672,17 @@ impl StreamingClusterer {
                 )
             })
             .collect();
-        let delta = LbvhBuilder::default()
-            .build(spheres)
-            // analyze-allow: lib-unwrap -- tail rebuild inputs are points already validated finite on insert
-            .expect("tail points are finite by construction");
+        // Build before mutating any state: a failed delta build (only
+        // possible via fault injection — the inputs were validated finite
+        // on insert) defers compaction, leaving the tail pending and
+        // exactly scanned until a later pass succeeds.
+        let delta = match self.try_build_delta(spheres) {
+            Ok(delta) => delta,
+            Err(_) => {
+                sat_bump(&mut self.stats.compaction_deferrals, 1);
+                return;
+            }
+        };
         self.build_counters += delta.build_counters;
         for &slot in &self.pending {
             self.slots[slot as usize].loc = Loc::Delta;
@@ -661,7 +717,13 @@ impl StreamingClusterer {
         }
     }
 
-    fn rebuild_scene(&mut self) {
+    /// Rebuild the main scene from the live window, with bounded in-call
+    /// retry under the configured [`rtcore::fault::RetryPolicy`].  The new
+    /// BVH is built *first* and the streaming state committed only on
+    /// success: a failed build (only possible via fault injection — the
+    /// inputs were validated finite on insert) leaves the old scene,
+    /// overlays and tail untouched and returns `false`.
+    fn rebuild_scene(&mut self) -> bool {
         let telemetry = self.telemetry.clone();
         let mut span = telemetry.span(PhaseKind::Rebuild);
         let counters_before = self.build_counters;
@@ -676,6 +738,28 @@ impl StreamingClusterer {
                 )
             })
             .collect();
+        let built = if spheres.is_empty() {
+            None
+        } else {
+            let policy = self.config.rebuild_retry;
+            let mut attempt = 0u32;
+            loop {
+                match self.try_build_scene(spheres.clone(), &telemetry) {
+                    Ok(bvh) => break Some(bvh),
+                    Err(_) => {
+                        attempt += 1;
+                        if !policy.allows_attempt(attempt) {
+                            sat_bump(&mut self.stats.rebuild_failures, 1);
+                            return false;
+                        }
+                        sat_bump(&mut self.stats.rebuild_retries, 1);
+                    }
+                }
+            }
+        };
+
+        // Commit: every live sphere now lives in the (possibly empty) new
+        // scene; overlays, the tail and retired ids are absorbed.
         for &slot in &self.live {
             self.slots[slot as usize].loc = Loc::Scene;
         }
@@ -685,24 +769,39 @@ impl StreamingClusterer {
         self.dead_in_scene = 0;
         self.free.append(&mut self.retiring_scene);
         self.free.append(&mut self.retiring_delta);
-        if spheres.is_empty() {
-            self.scene = None;
-            self.health_at_build = None;
-            return;
+        match built {
+            Some(bvh) => {
+                self.build_counters += bvh.build_counters;
+                sat_bump(&mut self.build_counters.rebuilds, 1);
+                sat_bump(&mut self.stats.rebuilds, 1);
+                self.health_at_build = Some(refit::tree_health(&bvh));
+                self.scene = Some(bvh);
+            }
+            None => {
+                self.scene = None;
+                self.health_at_build = None;
+            }
         }
-        let bvh = LbvhBuilder {
+        span.add_counters(self.build_counters - counters_before);
+        true
+    }
+
+    /// One main-scene build attempt; the failpoint fires before any build
+    /// work so a simulated failure costs nothing.
+    fn try_build_scene(&mut self, spheres: Vec<Sphere>, telemetry: &Telemetry) -> Result<Bvh> {
+        rtcore::fail_point!(self.fault, FaultSite::HlbvhBuild);
+        LbvhBuilder {
             parallelism: self.config.build_parallelism,
             ..LbvhBuilder::default()
         }
-        .build_with_telemetry(spheres, &telemetry)
-        // analyze-allow: lib-unwrap -- window rebuild inputs are points already validated finite on insert
-        .expect("live window points are finite by construction");
-        self.build_counters += bvh.build_counters;
-        sat_bump(&mut self.build_counters.rebuilds, 1);
-        sat_bump(&mut self.stats.rebuilds, 1);
-        self.health_at_build = Some(refit::tree_health(&bvh));
-        self.scene = Some(bvh);
-        span.add_counters(self.build_counters - counters_before);
+        .build_with_telemetry(spheres, telemetry)
+    }
+
+    /// One delta-compaction build attempt (same failpoint site as the main
+    /// rebuild: both are LBVH builds on the streaming path).
+    fn try_build_delta(&mut self, spheres: Vec<Sphere>) -> Result<Bvh> {
+        rtcore::fail_point!(self.fault, FaultSite::HlbvhBuild);
+        LbvhBuilder::default().build(spheres)
     }
 
     // ------------------------------------------------------------------
@@ -787,12 +886,47 @@ impl StreamingClusterer {
             return cached.clone();
         }
         if self.dirty {
-            self.reform_partition();
+            // Infallible without a cancel scope: the only early exit of the
+            // repair is the per-packet cancel poll.
+            let _ = self.reform_partition(None);
             self.stats.dirty_snapshots += 1;
         } else {
             self.stats.clean_snapshots += 1;
         }
+        self.materialise_snapshot()
+    }
 
+    /// [`StreamingClusterer::snapshot`] under a deadline/cancellation
+    /// scope.  The dirty-path repair polls `scope` once per
+    /// `SNAPSHOT_PACKET`-ray packet; a trip surfaces as
+    /// [`rtcore::Error::DeadlineExceeded`] carrying the repair work done so
+    /// far, and the window stays **dirty**: nothing half-formed is ever
+    /// served (the epoch disjoint-set resets in O(1) on the next repair,
+    /// and border hints are validated on use, so a retried snapshot starts
+    /// clean).  Clean and cached snapshots perform no counted work and
+    /// cannot trip.
+    pub fn snapshot_cancellable(&mut self, scope: &CancelScope) -> Result<Clustering> {
+        if let Some(cached) = &self.snapshot_cache {
+            self.stats.clean_snapshots += 1;
+            return Ok(cached.clone());
+        }
+        if self.dirty {
+            if scope.should_stop() {
+                return Err(rtcore::Error::DeadlineExceeded {
+                    partial: Box::new(WorkCounters::ZERO),
+                });
+            }
+            self.reform_partition(Some(scope))?;
+            self.stats.dirty_snapshots += 1;
+        } else {
+            self.stats.clean_snapshots += 1;
+        }
+        Ok(self.materialise_snapshot())
+    }
+
+    /// Materialise labels from the (clean) maintained state, in arrival
+    /// order, and fill the snapshot cache.
+    fn materialise_snapshot(&mut self) -> Clustering {
         let mut labels = Vec::with_capacity(self.live.len());
         let mut core_flags = Vec::with_capacity(self.live.len());
         let live: Vec<u32> = self.live.iter().copied().collect();
@@ -827,7 +961,8 @@ impl StreamingClusterer {
     /// through the wide batched engine (collapsing it lazily, once per
     /// scene shape); the small delta BVHs and the pending tail are handled
     /// per query, exactly as the incremental path does.
-    fn reform_partition(&mut self) {
+    fn reform_partition(&mut self, cancel: Option<&CancelScope>) -> Result<()> {
+        let counters_before = self.stage2_counters;
         self.dsu.reset();
         let cores: Vec<u32> = self
             .live
@@ -841,6 +976,15 @@ impl StreamingClusterer {
         // arrays, rebuilt in place each packet), then consumed, keeping
         // the repair's memory bounded regardless of window size.
         for start in (0..cores.len()).step_by(Self::SNAPSHOT_PACKET) {
+            if cancel.is_some_and(|scope| scope.tripped()) {
+                // The partition stays dirty; every union and hint applied so
+                // far is harmless (the epoch DSU resets on the next repair,
+                // hints are validated on use), so nothing wrong can be
+                // served later.
+                return Err(rtcore::Error::DeadlineExceeded {
+                    partial: Box::new(self.stage2_counters - counters_before),
+                });
+            }
             let chunk = &cores[start..(start + Self::SNAPSHOT_PACKET).min(cores.len())];
             self.chunk_neighborhoods(chunk);
             let csr = std::mem::take(&mut self.repair_csr);
@@ -863,6 +1007,7 @@ impl StreamingClusterer {
         }
         self.drain_dsu_ops();
         self.dirty = false;
+        Ok(())
     }
 
     /// Collapse the main scene into the wide format if the batched snapshot
@@ -872,6 +1017,11 @@ impl StreamingClusterer {
         if self.config.snapshot_traversal == TraversalEngine::WideBatched
             && self.wide_scene.is_none()
         {
+            if self.fault.fire(FaultSite::Bvh4Collapse) {
+                // Degrade: this repair walks the binary scene per query —
+                // identical answers, no wide collapse resident.
+                return;
+            }
             if let Some(scene) = &self.scene {
                 let wide = WideBvh::from_binary_parallel(
                     scene,
@@ -1338,5 +1488,154 @@ mod tests {
         assert_ne!(first.len(), 0);
         assert_eq!(after.len(), c.len());
         assert!(c.counters().misc_ops > counters_after_first.misc_ops);
+    }
+
+    #[test]
+    fn robustness_config_knobs_are_validated() {
+        use rtcore::fault::{FaultPlan, MemoryBudget, RetryPolicy};
+        let params = DbscanParams::new(1.0, 2).unwrap();
+        let good = StreamingConfig::new(params, WindowPolicy::Count(10));
+        assert!(StreamingClusterer::new(StreamingConfig {
+            memory_budget: MemoryBudget::Bytes(0),
+            ..good
+        })
+        .is_err());
+        assert!(StreamingClusterer::new(StreamingConfig {
+            rebuild_retry: RetryPolicy {
+                max_attempts: 0,
+                ..RetryPolicy::default()
+            },
+            ..good
+        })
+        .is_err());
+        assert!(StreamingClusterer::new(StreamingConfig {
+            fault: FaultPlan::Seeded { seed: 1, one_in: 0 },
+            ..good
+        })
+        .is_err());
+        assert!(StreamingClusterer::new(StreamingConfig {
+            memory_budget: MemoryBudget::Bytes(1 << 20),
+            fault: FaultPlan::Seeded { seed: 1, one_in: 7 },
+            ..good
+        })
+        .is_ok());
+    }
+
+    #[test]
+    fn over_budget_ingest_refuses_without_touching_window_state() {
+        use rtcore::fault::MemoryBudget;
+        let mut c = StreamingClusterer::new(StreamingConfig {
+            memory_budget: MemoryBudget::Bytes(1),
+            ..config(1.0, 2, WindowPolicy::Count(100))
+        })
+        .unwrap();
+        // The empty clusterer holds no device bytes, so the first ingest is
+        // admitted; it leaves the state over the (absurd) 1-byte budget.
+        let pts: Vec<Point3> = (0..20)
+            .map(|i| Point3::new_2d(i as f32 * 0.4, 0.0))
+            .collect();
+        c.ingest(&timestamped(&pts, 0.0)).unwrap();
+        let len_before = c.len();
+        let snapshot_before = c.snapshot();
+        match c.ingest(&[(Point3::new_2d(50.0, 0.0), 100.0)]) {
+            Err(rtcore::Error::OverBudget { requested, budget }) => {
+                assert_eq!(budget, 1);
+                assert!(requested > 1);
+            }
+            other => panic!("expected OverBudget, got {other:?}"),
+        }
+        // The refused ingest changed nothing the user can observe.
+        assert_eq!(c.len(), len_before);
+        let after = c.snapshot();
+        assert_eq!(snapshot_before.labels, after.labels);
+        assert_eq!(snapshot_before.core, after.core);
+        assert_matches_classic(&mut c);
+    }
+
+    #[test]
+    fn snapshot_cancellable_matches_snapshot_and_trips_cleanly() {
+        use rtcore::fault::{CancelScope, CancelToken};
+        // Slide the window so snapshots take the dirty repair path.
+        let mut c = StreamingClusterer::new(config(1.0, 2, WindowPolicy::Count(20))).unwrap();
+        for wave in 0..4 {
+            let pts: Vec<Point3> = (0..10)
+                .map(|i| Point3::new_2d(wave as f32 * 2.0 + (i % 5) as f32 * 0.4, 0.0))
+                .collect();
+            c.ingest(&timestamped(&pts, wave as f64 * 100.0)).unwrap();
+        }
+
+        // A pre-cancelled scope refuses before repairing; the window stays
+        // dirty and nothing half-formed leaks.
+        let token = CancelToken::new();
+        token.cancel();
+        let scope = CancelScope::with_token(&token);
+        match c.snapshot_cancellable(&scope) {
+            Err(rtcore::Error::DeadlineExceeded { .. }) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+
+        // An unconstrained scope completes and matches the plain snapshot
+        // bit for bit (same repair, same labels).
+        let relaxed = c.snapshot_cancellable(&CancelScope::none()).unwrap();
+        let plain = c.snapshot();
+        assert_eq!(relaxed.labels, plain.labels);
+        assert_eq!(relaxed.core, plain.core);
+        assert_matches_classic(&mut c);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_build_failures_degrade_gracefully_and_recover() {
+        use rtcore::fault::FaultPlan;
+        // Roughly one in three builds fails; the clusterer must stay exact
+        // throughout (old scene + overlays + tail keep answering) and the
+        // retry/backoff machinery must eventually rebuild.
+        let mut c = StreamingClusterer::new(StreamingConfig {
+            fault: FaultPlan::Seeded {
+                seed: 42,
+                one_in: 3,
+            },
+            max_pending_fraction: 0.05,
+            ..config(1.0, 2, WindowPolicy::Count(60))
+        })
+        .unwrap();
+        for wave in 0..12 {
+            let pts: Vec<Point3> = (0..15)
+                .map(|i| Point3::new_2d(wave as f32 * 1.5 + (i % 5) as f32 * 0.4, 0.0))
+                .collect();
+            c.ingest(&timestamped(&pts, wave as f64 * 100.0)).unwrap();
+            assert_matches_classic(&mut c);
+        }
+        let stats = c.stats();
+        assert!(
+            stats.rebuild_retries + stats.rebuild_failures + stats.compaction_deferrals > 0,
+            "the seeded plan must have fired at least once: {stats:?}"
+        );
+        assert!(stats.rebuilds > 0, "some rebuilds must still succeed");
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn permanent_build_failure_stays_exact_forever() {
+        use rtcore::fault::FaultPlan;
+        // Every build fails: the scene is never (re)built, every query runs
+        // over the exact tail scan — slow, but never wrong and never a
+        // panic.
+        let mut c = StreamingClusterer::new(StreamingConfig {
+            fault: FaultPlan::Seeded { seed: 7, one_in: 1 },
+            ..config(1.0, 2, WindowPolicy::Count(40))
+        })
+        .unwrap();
+        for wave in 0..6 {
+            let pts: Vec<Point3> = (0..12)
+                .map(|i| Point3::new_2d(wave as f32 * 2.0 + (i % 4) as f32 * 0.4, 0.0))
+                .collect();
+            c.ingest(&timestamped(&pts, wave as f64 * 100.0)).unwrap();
+            assert_matches_classic(&mut c);
+        }
+        let stats = c.stats();
+        assert_eq!(stats.rebuilds, 0, "no build can succeed under one_in=1");
+        assert!(stats.rebuild_failures > 0);
+        assert!(stats.compaction_deferrals > 0);
     }
 }

@@ -1,6 +1,7 @@
 //! Window and update-policy configuration for the streaming clusterer.
 
 use rtcore::bvh::{BuildParallelism, RefitPolicy};
+use rtcore::fault::{FaultPlan, MemoryBudget, RetryPolicy};
 use rtcore::pipeline::TraversalEngine;
 use rtcore::telemetry::TelemetryConfig;
 use rtdbscan::DbscanParams;
@@ -69,6 +70,22 @@ pub struct StreamingConfig {
     /// bit-identical for every setting; delta BVHs are small, short-lived,
     /// and always build sequentially.
     pub build_parallelism: BuildParallelism,
+    /// Hard ceiling on the clusterer's resident device bytes (default
+    /// [`MemoryBudget::Unlimited`]).  An ingest that would start over
+    /// budget first sheds the cached wide collapse of the main scene and
+    /// only then refuses — without touching window state — with
+    /// [`rtcore::Error::OverBudget`].
+    pub memory_budget: MemoryBudget,
+    /// Bounded retry-with-backoff for main-scene rebuilds and tail
+    /// compactions that fail (today only via fault injection; real builds
+    /// over ingest-validated points cannot fail).  While a rebuild is
+    /// failing the clusterer degrades gracefully: the old scene, delta
+    /// overlays and exact tail scan keep answering correctly, just slower.
+    pub rebuild_retry: RetryPolicy,
+    /// Deterministic fault-injection schedule (default [`FaultPlan::Off`]).
+    /// Only a build compiled with the `fault-inject` feature ever arms a
+    /// plan; without the feature every plan behaves as `Off` at zero cost.
+    pub fault: FaultPlan,
 }
 
 impl StreamingConfig {
@@ -84,6 +101,9 @@ impl StreamingConfig {
             snapshot_traversal: TraversalEngine::WideBatched,
             telemetry: TelemetryConfig::Off,
             build_parallelism: BuildParallelism::Sequential,
+            memory_budget: MemoryBudget::Unlimited,
+            rebuild_retry: RetryPolicy::default(),
+            fault: FaultPlan::Off,
         }
     }
 
@@ -109,6 +129,23 @@ impl StreamingConfig {
             return Err(rtcore::Error::InvalidConfig(
                 "build_parallelism thread count must be at least 1".into(),
             ));
+        }
+        if self.memory_budget == MemoryBudget::Bytes(0) {
+            return Err(rtcore::Error::InvalidConfig(
+                "memory_budget of zero bytes rejects every ingest; use at least 1 byte".into(),
+            ));
+        }
+        if self.rebuild_retry.max_attempts == 0 {
+            return Err(rtcore::Error::InvalidConfig(
+                "rebuild_retry must allow at least one attempt".into(),
+            ));
+        }
+        if let FaultPlan::Seeded { one_in, .. } = self.fault {
+            if one_in == 0 {
+                return Err(rtcore::Error::InvalidConfig(
+                    "fault plan one_in must be at least 1".into(),
+                ));
+            }
         }
         Ok(())
     }

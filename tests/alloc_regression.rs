@@ -221,6 +221,47 @@ fn steady_state_session_launches_are_allocation_free() {
 }
 
 #[test]
+fn inert_cancel_scope_is_allocation_free_and_counter_identical() {
+    use rtcore::fault::CancelScope;
+
+    // The robustness layer must be provably free when unused: with
+    // `FaultPlan::Off` (the builder default) and `CancelScope::none()`,
+    // steady-state cancellable launches perform zero heap allocations and
+    // count bit-identical work to the unchecked entry point.
+    let eps = 0.9f32;
+    let points = workload(400, eps);
+    let scope = CancelScope::none();
+    for kind in [IndexKind::BinaryBvh, IndexKind::WideBatched] {
+        let index = sequential_builder(kind).build(&points, eps).unwrap();
+        let sink =
+            |_q: usize, _n: rtcore::index::Neighbor, _c: &mut WorkCounters| NeighborFlow::Continue;
+
+        let guard = measure_guard();
+        let mut unchecked = WorkCounters::ZERO;
+        index.batch_neighbors(&points, eps, &mut unchecked, &sink);
+
+        let mut checked = WorkCounters::ZERO;
+        let allocs = allocations_during(|| {
+            for _ in 0..3 {
+                checked = WorkCounters::ZERO;
+                index
+                    .batch_neighbors_cancellable(&points, eps, &mut checked, &sink, &scope)
+                    .unwrap();
+            }
+        });
+        drop(guard);
+        assert_eq!(
+            allocs, 0,
+            "{kind:?}: an inert scope must not allocate in steady state"
+        );
+        assert_eq!(
+            checked, unchecked,
+            "{kind:?}: deadline checks must not change counted work"
+        );
+    }
+}
+
+#[test]
 fn csr_rebuild_into_warm_buffers_is_allocation_free() {
     use rtcore::bvh::{spheres_from_points, BvhBuilder, SahBuilder, WideBvh};
     use rtcore::geometry::Ray;
